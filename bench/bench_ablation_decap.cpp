@@ -1,0 +1,59 @@
+// Ablation (beyond-paper extension): transient droop vs decap placement.
+// The paper notes that backside bond wires "can directly connect to large
+// off-chip decoupling capacitors, which provide better AC power integrity".
+// The RC extension quantifies that: wire bonding adds supply taps, and decap
+// at those taps flattens the droop transient.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/benchmarks.hpp"
+#include "irdrop/analysis.hpp"
+#include "pdn/stack_builder.hpp"
+#include "transient/decap.hpp"
+#include "transient/simulator.hpp"
+
+int main() {
+  using namespace pdn3d;
+  bench::print_header("Ablation: decap and wire bonding (transient extension)",
+                      "off-chip stacked DDR3, step to state 0-0-0-2, 400 ns window");
+
+  const auto bench_cfg = core::make_benchmark(core::BenchmarkKind::kStackedDdr3OffChip);
+  irdrop::PowerBinding power;
+  power.dram = bench_cfg.dram_power;
+  power.logic = bench_cfg.logic_power;
+
+  util::Table t({"design", "tap decap (nF)", "DC IR (mV)", "droop @2ns (mV)", "droop @10ns (mV)",
+                 "settle (ns)"});
+  const auto run = [&](const std::string& label, bool wire_bonding, double tap_nf) {
+    auto cfg = bench_cfg.baseline;
+    cfg.wire_bonding = wire_bonding;
+    const auto built = pdn::build_stack(bench_cfg.stack, cfg);
+    const irdrop::IrAnalyzer analyzer(built.model, bench_cfg.stack.dram_fp,
+                                      bench_cfg.stack.logic_fp, power);
+    const auto state = power::parse_memory_state("0-0-0-2", bench_cfg.stack.dram_spec);
+    const auto sinks = analyzer.injection(state);
+
+    transient::DecapConfig decap;
+    decap.tap_decap_nf = tap_nf;
+    const transient::TransientSimulator sim(
+        built.model, transient::assign_node_capacitance(built.model, decap), 1e-9);
+    const auto r = sim.step_response(sinks, 400e-9);
+    t.add_row({label, util::fmt_fixed(tap_nf, 1), util::fmt_fixed(r.dc_ir_mv, 2),
+               util::fmt_fixed(r.worst_ir_mv[2], 2), util::fmt_fixed(r.worst_ir_mv[10], 2),
+               util::fmt_fixed(r.settle_ns, 0)});
+  };
+
+  run("F2B, no wire bonds", false, 0.0);
+  run("F2B, no wire bonds", false, 2.0);
+  run("F2B + wire bonds", true, 0.0);
+  run("F2B + wire bonds", true, 2.0);
+  run("F2B + wire bonds", true, 20.0);
+  run("F2B + wire bonds", true, 100.0);
+
+  std::cout << t.render();
+  std::cout << "Wire bonding lowers the DC floor; decap at the (many) wire-bond taps also\n"
+            << "slows the droop, buying time for the regulation loop -- the AC benefit the\n"
+            << "paper attributes to bond wires reaching off-chip capacitors.\n\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation: mesh discretization. Sweeps the R-Mesh node pitch on the
+// off-chip baseline and reports the IR drop and solve cost, quantifying the
+// accuracy/speed tradeoff behind the production pitch (0.30 mm).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/benchmarks.hpp"
+#include "irdrop/analysis.hpp"
+#include "pdn/stack_builder.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace pdn3d;
+  bench::print_header("Ablation: mesh pitch",
+                      "off-chip stacked DDR3 baseline, state 0-0-0-2");
+
+  const auto bench_cfg = core::make_benchmark(core::BenchmarkKind::kStackedDdr3OffChip);
+  irdrop::PowerBinding power;
+  power.dram = bench_cfg.dram_power;
+  power.logic = bench_cfg.logic_power;
+
+  util::Table t({"pitch (mm)", "nodes", "max IR (mV)", "setup (ms)", "per-state solve (ms)"});
+  for (double pitch : {0.60, 0.45, 0.30, 0.24, 0.20, 0.15}) {
+    auto spec = bench_cfg.stack;
+    spec.grid_pitch = pitch;
+    util::Timer setup;
+    const auto built = pdn::build_stack(spec, bench_cfg.baseline);
+    const irdrop::IrAnalyzer analyzer(built.model, spec.dram_fp, spec.logic_fp, power);
+    const double setup_ms = setup.elapsed_seconds() * 1e3;
+
+    const auto state = power::parse_memory_state("0-0-0-2", spec.dram_spec);
+    util::Timer solve;
+    const auto r = analyzer.analyze(state);
+    const double solve_ms = solve.elapsed_seconds() * 1e3;
+
+    t.add_row({util::fmt_fixed(pitch, 2), std::to_string(built.model.node_count()),
+               util::fmt_fixed(r.dram_max_mv, 2), util::fmt_fixed(setup_ms, 1),
+               util::fmt_fixed(solve_ms, 1)});
+  }
+  std::cout << t.render();
+  std::cout << "The production pitch (0.30 mm) balances hotspot resolution against the\n"
+            << "cost of LUT construction (81 states) and co-optimization (~10^3 samples).\n\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation: the two controller design choices DESIGN.md calls out.
+//  1. Isolated-projection admission: without it, a LUT policy admits states
+//     that later exceed the constraint when other dies close their banks.
+//  2. Queue scan (out-of-order) vs head-of-line service for the baseline.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/platform.hpp"
+
+int main() {
+  using namespace pdn3d;
+  bench::print_header("Ablation: controller choices",
+                      "off-chip stacked DDR3, 10k reads, 24 mV constraint");
+
+  core::Platform p(core::make_benchmark(core::BenchmarkKind::kStackedDdr3OffChip));
+  const auto cfg = p.benchmark().baseline;
+
+  util::Table t({"variant", "runtime (us)", "bandwidth", "max IR (mV)", "meets 24 mV?"});
+  const auto run = [&](const std::string& label, memctrl::PolicyConfig pc) {
+    const auto r = p.simulate(cfg, pc);
+    t.add_row({label, r.feasible ? util::fmt_fixed(r.runtime_us, 2) : "infeasible",
+               util::fmt_fixed(r.bandwidth_reads_per_clk, 3), util::fmt_fixed(r.max_ir_mv, 2),
+               r.max_ir_mv <= 24.0 + 1e-9 ? "yes" : "NO"});
+  };
+
+  auto aware = memctrl::ir_aware_policy(24.0, memctrl::SchedulingKind::kDistR);
+  run("IR-aware DistR, isolation check ON", aware);
+  aware.isolation_check = false;
+  run("IR-aware DistR, isolation check OFF", aware);
+
+  auto std_in = memctrl::standard_policy();
+  run("standard, head-of-line activations", std_in);
+  std_in.out_of_order = true;
+  run("standard, full-queue activations", std_in);
+
+  std::cout << t.render();
+  std::cout << "Without the isolation check the policy can visit states above its own\n"
+            << "constraint (bank closures on other dies raise the survivors' activity);\n"
+            << "with it, the constraint is honored at a small performance cost.\n\n";
+  return 0;
+}

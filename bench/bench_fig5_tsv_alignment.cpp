@@ -1,0 +1,61 @@
+// Figure 5: impact of TSV count and C4 alignment on the max IR drop, for the
+// on-chip and off-chip stacked DDR3 designs. The paper's findings: more TSVs
+// reduce the IR drop but saturate; C4-aligned TSVs beat uniform-pitch TSVs
+// (up to 51.5% on-chip); off-chip designs are less alignment-sensitive.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/platform.hpp"
+#include "irdrop/crowding.hpp"
+#include "pdn/stack_builder.hpp"
+
+int main() {
+  using namespace pdn3d;
+  bench::print_header("Figure 5", "TSV count and C4-alignment sweep, stacked DDR3, state 0-0-0-2");
+
+  for (const auto kind :
+       {core::BenchmarkKind::kStackedDdr3OffChip, core::BenchmarkKind::kStackedDdr3OnChip}) {
+    core::Platform p(core::make_benchmark(kind));
+    const auto& bench = p.benchmark();
+    std::cout << "--- " << bench.name << " ---\n";
+    // The alignment study concerns the shared power path; disable dedicated
+    // TSVs so the TSVs actually traverse the logic die.
+    auto base = bench.baseline;
+    base.dedicated_tsvs = false;
+
+    util::Table t({"TSV count", "aligned (mV)", "uniform pitch (mV)", "alignment benefit",
+                   "avg C4 distance (mm)", "peak TSV I (mA)", "crowding factor"});
+    for (int tc : {15, 33, 60, 120, 240, 480}) {
+      auto aligned = base;
+      aligned.tsv_count = tc;
+      aligned.align_tsvs_to_c4 = true;
+      auto uniform = aligned;
+      uniform.align_tsvs_to_c4 = false;
+      const double va = p.analyze(aligned, "0-0-0-2").dram_max_mv;
+      const double vu = p.analyze(uniform, "0-0-0-2").dram_max_mv;
+
+      // TSV current crowding of the aligned design (Section 3.2 metric).
+      const auto built = pdn::build_stack(bench.stack, aligned);
+      irdrop::PowerBinding power;
+      power.dram = bench.dram_power;
+      power.logic = bench.logic_power;
+      power.dram_scale = bench.power_scale;
+      const irdrop::IrAnalyzer analyzer(built.model, bench.stack.dram_fp, bench.stack.logic_fp,
+                                        power);
+      const auto state = power::parse_memory_state("0-0-0-2", bench.stack.dram_spec);
+      const auto stats = irdrop::current_stats(built.model, analyzer.node_voltages(state),
+                                               pdn::ElementKind::kTsv);
+
+      t.add_row({std::to_string(tc), util::fmt_fixed(va, 2), util::fmt_fixed(vu, 2),
+                 util::fmt_percent(va / vu - 1.0),
+                 util::fmt_fixed(p.build_info(uniform).avg_c4_tsv_distance_mm, 3),
+                 util::fmt_fixed(stats.max_amps * 1e3, 1),
+                 util::fmt_fixed(stats.crowding_factor(), 1)});
+    }
+    std::cout << t.render() << "\n";
+  }
+  std::cout << "paper: alignment reduces IR drop by up to 51.5% on-chip; gains saturate\n"
+            << "with TSV count; off-chip designs are less alignment-sensitive.\n\n";
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Solver micro-benchmarks (google-benchmark): R-Mesh assembly and DC solve
+// cost across mesh refinements and preconditioners. Not a paper table, but
+// documents the per-solve cost the LUT construction and co-optimization
+// sweeps are built on.
+
+#include <benchmark/benchmark.h>
+
+#include "core/benchmarks.hpp"
+#include "irdrop/analysis.hpp"
+#include "pdn/stack_builder.hpp"
+
+namespace {
+
+using namespace pdn3d;
+
+const core::Benchmark& ddr3() {
+  static const core::Benchmark b = core::make_benchmark(core::BenchmarkKind::kStackedDdr3OffChip);
+  return b;
+}
+
+void BM_BuildStack(benchmark::State& state) {
+  const auto& b = ddr3();
+  for (auto _ : state) {
+    auto built = pdn::build_stack(b.stack, b.baseline);
+    benchmark::DoNotOptimize(built.model.node_count());
+  }
+}
+BENCHMARK(BM_BuildStack);
+
+void BM_AnalyzerSetup(benchmark::State& state) {
+  const auto& b = ddr3();
+  const auto built = pdn::build_stack(b.stack, b.baseline);
+  irdrop::PowerBinding power;
+  power.dram = b.dram_power;
+  power.logic = b.logic_power;
+  for (auto _ : state) {
+    irdrop::IrAnalyzer analyzer(built.model, b.stack.dram_fp, b.stack.logic_fp, power);
+    benchmark::DoNotOptimize(&analyzer);
+  }
+}
+BENCHMARK(BM_AnalyzerSetup);
+
+void BM_SolveState(benchmark::State& state) {
+  const auto& b = ddr3();
+  const auto built = pdn::build_stack(b.stack, b.baseline);
+  irdrop::PowerBinding power;
+  power.dram = b.dram_power;
+  power.logic = b.logic_power;
+  const auto kind = static_cast<irdrop::SolverKind>(state.range(0));
+  const irdrop::IrAnalyzer analyzer(built.model, b.stack.dram_fp, b.stack.logic_fp, power, kind);
+  const auto st = power::parse_memory_state("0-0-0-2", b.stack.dram_spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.analyze(st).dram_max_mv);
+  }
+  switch (kind) {
+    case irdrop::SolverKind::kPcgIc: state.SetLabel("IC-PCG"); break;
+    case irdrop::SolverKind::kPcgJacobi: state.SetLabel("Jacobi-PCG"); break;
+    case irdrop::SolverKind::kBandedDirect: state.SetLabel("RCM banded direct"); break;
+    case irdrop::SolverKind::kDense: state.SetLabel("dense"); break;
+  }
+}
+BENCHMARK(BM_SolveState)
+    ->Arg(static_cast<int>(irdrop::SolverKind::kPcgIc))
+    ->Arg(static_cast<int>(irdrop::SolverKind::kPcgJacobi))
+    ->Arg(static_cast<int>(irdrop::SolverKind::kBandedDirect));
+
+void BM_SingleDieSolve(benchmark::State& state) {
+  const auto& b = ddr3();
+  const int refine = static_cast<int>(state.range(0));
+  const auto die = pdn::build_single_die(b.stack, b.baseline, refine);
+  irdrop::PowerBinding power;
+  power.dram = b.dram_power;
+  power.logic = b.logic_power;
+  const irdrop::IrAnalyzer analyzer(die, b.stack.dram_fp, b.stack.logic_fp, power);
+  const auto st = power::parse_memory_state("2a", b.stack.dram_spec, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.analyze(st).dram_max_mv);
+  }
+  state.SetLabel(std::to_string(die.node_count()) + " nodes");
+}
+BENCHMARK(BM_SingleDieSolve)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

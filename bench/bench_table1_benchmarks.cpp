@@ -1,0 +1,32 @@
+// Table 1: benchmark specifications -- dumps the configured benchmarks and
+// checks they match the published specs.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/benchmarks.hpp"
+
+int main() {
+  using namespace pdn3d;
+  bench::print_header("Table 1", "Benchmark specifications (stacked DDR3, Wide I/O, HMC)");
+
+  util::Table t({"Benchmark", "DRAM size (mm)", "Logic size (mm)", "# banks/die", "# channels",
+                 "# dies", "VDD (V)", "tCK (ns)", "Mounting"});
+  for (const auto& b : core::all_benchmarks()) {
+    t.add_row({
+        b.name,
+        util::fmt_fixed(b.stack.dram_fp.width(), 1) + "x" +
+            util::fmt_fixed(b.stack.dram_fp.height(), 1),
+        util::fmt_fixed(b.stack.logic_fp.width(), 1) + "x" +
+            util::fmt_fixed(b.stack.logic_fp.height(), 1),
+        std::to_string(b.stack.dram_fp.bank_count()),
+        std::to_string(b.sim.channels),
+        std::to_string(b.stack.num_dram_dies),
+        util::fmt_fixed(b.stack.tech.dram.vdd, 1),
+        util::fmt_fixed(b.sim.timing.tck_ns, 2),
+        pdn::to_string(b.baseline.mounting),
+    });
+  }
+  std::cout << t.render() << "\n";
+  return 0;
+}

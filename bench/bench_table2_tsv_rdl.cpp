@@ -1,0 +1,62 @@
+// Table 2 + Figure 6: TSV location and RDL options for the off-chip stacked
+// DDR3 design. Four options:
+//   (a) edge TSVs on memory, matching logic pattern, no RDL  (paper 30.03 mV)
+//   (b) center TSVs on both sides, no RDL                    (paper 50.76 mV)
+//   (c) edge on memory + center on logic side + RDL          (paper 38.46 mV)
+//   (d) center TSVs + RDL                                    (paper 49.36 mV)
+// Also reports the Section 3.1 on-chip coupling numbers.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/platform.hpp"
+#include "cost/cost_model.hpp"
+
+int main() {
+  using namespace pdn3d;
+  bench::print_header("Table 2", "TSV location and RDL options, off-chip stacked DDR3, 0-0-0-2");
+
+  core::Platform p(core::make_benchmark(core::BenchmarkKind::kStackedDdr3OffChip));
+  const auto base = p.benchmark().baseline;
+
+  struct Option {
+    const char* label;
+    pdn::TsvLocation mem;
+    pdn::TsvLocation logic;
+    pdn::RdlMode rdl;
+    double paper_mv;
+  };
+  const Option options[] = {
+      {"(a) edge + edge, no RDL", pdn::TsvLocation::kEdge, pdn::TsvLocation::kEdge,
+       pdn::RdlMode::kNone, 30.03},
+      {"(b) center + center, no RDL", pdn::TsvLocation::kCenter, pdn::TsvLocation::kCenter,
+       pdn::RdlMode::kNone, 50.76},
+      {"(c) edge + center + RDL", pdn::TsvLocation::kEdge, pdn::TsvLocation::kCenter,
+       pdn::RdlMode::kBottomOnly, 38.46},
+      {"(d) center + center + RDL", pdn::TsvLocation::kCenter, pdn::TsvLocation::kCenter,
+       pdn::RdlMode::kBottomOnly, 49.36},
+  };
+
+  util::Table t({"Design option", "IR drop (mV)", "cost"});
+  for (const auto& o : options) {
+    auto cfg = base;
+    cfg.tsv_location = o.mem;
+    cfg.logic_tsv_location = o.logic;
+    cfg.rdl = o.rdl;
+    const double ir = p.analyze(cfg, "0-0-0-2").dram_max_mv;
+    t.add_row({o.label, bench::vs_paper(ir, o.paper_mv), util::fmt_fixed(cost::total_cost(cfg), 2)});
+  }
+  std::cout << t.render();
+
+  // Section 3.1 companion numbers.
+  core::Platform on(core::make_benchmark(core::BenchmarkKind::kStackedDdr3OnChip));
+  auto shared = on.benchmark().baseline;
+  shared.dedicated_tsvs = false;
+  const auto r = on.analyze(shared, "0-0-0-2");
+  std::cout << "\nSection 3.1: on-chip mounting with shared PG TSVs couples the logic noise\n"
+            << "  DRAM max IR  : " << bench::vs_paper(r.dram_max_mv, 64.41) << " mV\n"
+            << "  logic noise  : " << bench::vs_paper(r.logic_max_mv, 50.05) << " mV\n"
+            << "  off-chip ref : "
+            << bench::vs_paper(p.analyze(base, "0-0-0-2").dram_max_mv, 30.03) << " mV\n\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table 3: impact of dedicated TSVs and backside wire bonding on the stacked
+// DDR3 design (state 0-0-0-2).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/platform.hpp"
+
+int main() {
+  using namespace pdn3d;
+  bench::print_header("Table 3", "Dedicated TSVs and wire bonding, stacked DDR3, 0-0-0-2");
+
+  core::Platform on(core::make_benchmark(core::BenchmarkKind::kStackedDdr3OnChip));
+  core::Platform off(core::make_benchmark(core::BenchmarkKind::kStackedDdr3OffChip));
+
+  struct Row {
+    const char* design;
+    const char* dedicated;
+    core::Platform* platform;
+    bool ded;
+    double paper_base;
+    double paper_wb;
+  };
+  Row rows[] = {
+      {"On-chip", "no", &on, false, 64.41, 30.04},
+      {"On-chip", "yes", &on, true, 31.18, 27.18},
+      {"Off-chip", "yes", &off, true, 30.03, 27.10},
+  };
+
+  util::Table t({"Design", "Dedicated TSV?", "Baseline (mV)", "Wire-bonded (mV)", "delta"});
+  for (const auto& row : rows) {
+    auto cfg = row.platform->benchmark().baseline;
+    cfg.dedicated_tsvs = row.ded && cfg.mounting == pdn::Mounting::kOnChip;
+    auto wb = cfg;
+    wb.wire_bonding = true;
+    const double v0 = row.platform->analyze(cfg, "0-0-0-2").dram_max_mv;
+    const double v1 = row.platform->analyze(wb, "0-0-0-2").dram_max_mv;
+    t.add_row({row.design, row.dedicated, bench::vs_paper(v0, row.paper_base),
+               bench::vs_paper(v1, row.paper_wb),
+               bench::delta_vs_paper(v1 / v0 - 1.0, row.paper_wb / row.paper_base - 1.0)});
+  }
+  std::cout << t.render();
+  std::cout << "paper: both options provide a direct supply; combining them adds little.\n\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table 7 + Figure 9: a case study of how design/packaging IR-drop
+// optimizations translate into DRAM performance. Six stacked DDR3 designs
+// are compared; Figure 9 sweeps the IR-drop constraint and reports the
+// runtime of the IR-aware policy on each design. The paper's observation:
+// under tight constraints the F2F design (case 3) overtakes the F2B design
+// with 1.5x PDN metal (case 2) because PDN sharing shines at low activity.
+
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/platform.hpp"
+
+int main() {
+  using namespace pdn3d;
+  bench::print_header("Table 7 / Figure 9",
+                      "Design cases vs IR constraint: runtime of the IR-aware policy");
+
+  core::Platform off(core::make_benchmark(core::BenchmarkKind::kStackedDdr3OffChip));
+  core::Platform on(core::make_benchmark(core::BenchmarkKind::kStackedDdr3OnChip));
+
+  struct Case {
+    const char* label;
+    core::Platform* platform;
+    pdn::PdnConfig config;
+    double paper_ir;
+  };
+  std::vector<Case> cases;
+  {
+    auto c1 = off.benchmark().baseline;
+    cases.push_back({"1: off-chip F2B 1x", &off, c1, 30.03});
+    auto c2 = c1;
+    c2.metal_usage_scale = 1.5;
+    cases.push_back({"2: off-chip F2B 1.5x PDN", &off, c2, 22.15});
+    auto c3 = c1;
+    c3.bonding = pdn::BondingStyle::kF2F;
+    cases.push_back({"3: off-chip F2F 1x", &off, c3, 17.18});
+    auto c4 = on.benchmark().baseline;
+    c4.dedicated_tsvs = false;
+    cases.push_back({"4: on-chip F2B shared", &on, c4, 64.41});
+    auto c5 = c4;
+    c5.wire_bonding = true;
+    cases.push_back({"5: on-chip F2B shared + WB", &on, c5, 30.04});
+    auto c6 = c4;
+    c6.bonding = pdn::BondingStyle::kF2F;
+    cases.push_back({"6: on-chip F2F shared", &on, c6, 65.43});
+  }
+
+  util::Table t7({"Case", "Max IR drop of 0-0-0-2 (mV)"});
+  for (const auto& c : cases) {
+    t7.add_row({c.label,
+                bench::vs_paper(c.platform->analyze(c.config, "0-0-0-2").dram_max_mv, c.paper_ir)});
+  }
+  std::cout << t7.render() << "\n";
+
+  // Figure 9: runtime vs IR constraint (IR-aware FCFS policy).
+  std::vector<double> constraints = {12, 14, 16, 18, 20, 22, 24, 26, 28, 30,
+                                     34, 40, 48, 56, 64, 72};
+  std::vector<std::string> header = {"constraint (mV)"};
+  for (const auto& c : cases) header.push_back(c.label);
+  util::Table fig9(header);
+  for (const double limit : constraints) {
+    std::vector<std::string> row = {util::fmt_fixed(limit, 0)};
+    for (const auto& c : cases) {
+      const auto r = c.platform->simulate(
+          c.config, memctrl::ir_aware_policy(limit, memctrl::SchedulingKind::kFcfs));
+      row.push_back(r.feasible ? util::fmt_fixed(r.runtime_us, 1) : "infeasible");
+    }
+    fig9.add_row(row);
+  }
+  std::cout << fig9.render();
+  std::cout << "paper: every IR optimization improves runtime at some constraint; the F2F\n"
+            << "design tolerates the tightest constraints (crossover vs case 2 below ~18 mV).\n\n";
+  return 0;
+}

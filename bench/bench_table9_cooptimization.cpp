@@ -1,0 +1,94 @@
+// Table 9: cross-domain co-optimization -- best design points for all four
+// benchmarks at alpha = 0 (lowest cost), 0.3 (balanced), and 1 (lowest IR
+// drop), against the industry baseline. For every optimum both the fitted
+// regression model's IR drop and the R-Mesh re-measurement are reported
+// (the paper's "Matlab" and "R-Mesh" columns).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/platform.hpp"
+#include "cost/cost_model.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct PaperRow {
+  double alpha;
+  double ir_mv;
+  double cost;
+};
+
+struct PaperRef {
+  pdn3d::core::BenchmarkKind kind;
+  PaperRow rows[3];
+  double baseline_ir;
+  double baseline_cost;
+};
+
+}  // namespace
+
+int main() {
+  using namespace pdn3d;
+  bench::print_header("Table 9", "Co-optimized best options for all four benchmarks");
+
+  const PaperRef refs[] = {
+      {core::BenchmarkKind::kStackedDdr3OffChip,
+       {{0.0, 88.73, 0.23}, {0.3, 23.01, 0.37}, {1.0, 9.54, 0.87}},
+       30.03, 0.35},
+      {core::BenchmarkKind::kStackedDdr3OnChip,
+       {{0.0, 117.6, 0.17}, {0.3, 27.09, 0.32}, {1.0, 9.843, 0.92}},
+       31.18, 0.35},
+      {core::BenchmarkKind::kWideIo,
+       {{0.0, 110.2, 0.35}, {0.3, 4.841, 0.73}, {1.0, 4.841, 0.73}},
+       13.62, 0.62},
+      {core::BenchmarkKind::kHmc,
+       {{0.0, 459.7, 0.35}, {0.3, 18.65, 0.76}, {1.0, 13.84, 1.17}},
+       47.90, 0.77},
+  };
+
+  for (const auto& ref : refs) {
+    core::Platform platform(core::make_benchmark(ref.kind));
+    const auto& b = platform.benchmark();
+    std::cout << "--- " << b.name << " (default state " << b.default_state << ") ---\n";
+
+    util::Timer timer;
+    auto opt = platform.make_cooptimizer();
+    opt.fit_models();
+
+    util::Table t({"alpha", "M2%", "M3%", "TC", "TL", "TD", "BD", "RL", "WB",
+                   "model IR (mV)", "R-Mesh IR (mV)", "cost"});
+    for (const auto& row : ref.rows) {
+      const auto best = opt.optimize(row.alpha);
+      const auto& c = best.config;
+      t.add_row({util::fmt_fixed(row.alpha, 1), util::fmt_fixed(c.m2_usage * 100.0, 0),
+                 util::fmt_fixed(c.m3_usage * 100.0, 0), std::to_string(c.tsv_count),
+                 pdn::to_string(c.tsv_location),
+                 (c.dedicated_tsvs || c.mounting == pdn::Mounting::kOffChip) ? "Y" : "N",
+                 pdn::to_string(c.bonding), c.rdl != pdn::RdlMode::kNone ? "Y" : "N",
+                 c.wire_bonding ? "Y" : "N", bench::vs_paper(best.predicted_ir_mv, row.ir_mv),
+                 util::fmt_fixed(best.measured_ir_mv, 2), bench::vs_paper(best.cost, row.cost)});
+    }
+    // Baseline row.
+    {
+      const auto& c = b.baseline;
+      const double ir = platform.measure_ir_mv(c);
+      t.add_separator();
+      t.add_row({"base", util::fmt_fixed(c.m2_usage * 100.0, 0),
+                 util::fmt_fixed(c.m3_usage * 100.0, 0), std::to_string(c.tsv_count),
+                 pdn::to_string(c.tsv_location),
+                 (c.dedicated_tsvs || c.mounting == pdn::Mounting::kOffChip) ? "Y" : "N",
+                 pdn::to_string(c.bonding), c.rdl != pdn::RdlMode::kNone ? "Y" : "N",
+                 c.wire_bonding ? "Y" : "N", "-", bench::vs_paper(ir, ref.baseline_ir),
+                 bench::vs_paper(cost::total_cost(c), ref.baseline_cost)});
+    }
+    std::cout << t.render();
+    std::cout << "regression quality: worst RMSE " << util::fmt_fixed(opt.worst_rmse(), 3)
+              << " mV, worst R^2 " << util::fmt_fixed(opt.worst_r_squared(), 4) << " over "
+              << opt.total_samples() << " R-Mesh samples ("
+              << util::fmt_fixed(timer.elapsed_seconds(), 1) << " s)\n\n";
+  }
+  std::cout << "paper: packaging options (WB, F2F) are picked first (cheap, effective);\n"
+            << "piling on TSVs is a poor deal; HMC prefers distributed TSVs and F2B.\n\n";
+  return 0;
+}

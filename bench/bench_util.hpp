@@ -1,0 +1,31 @@
+#pragma once
+
+/// @file bench_util.hpp
+/// @brief Shared helpers for the reproduction bench binaries.
+
+#include <iostream>
+#include <string>
+
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace pdn3d::bench {
+
+inline void print_header(const std::string& experiment, const std::string& description) {
+  std::cout << "==========================================================================\n"
+            << experiment << "\n"
+            << description << "\n"
+            << "==========================================================================\n";
+}
+
+/// "ours (paper X)" cell.
+inline std::string vs_paper(double ours, double paper, int decimals = 2) {
+  return util::fmt_fixed(ours, decimals) + " (paper " + util::fmt_fixed(paper, decimals) + ")";
+}
+
+/// Percent-change cell, ours vs paper reference change.
+inline std::string delta_vs_paper(double ours_frac, double paper_frac) {
+  return util::fmt_percent(ours_frac) + " (paper " + util::fmt_percent(paper_frac) + ")";
+}
+
+}  // namespace pdn3d::bench

@@ -1,0 +1,98 @@
+// Design-space explorer: walks the paper's key design/packaging options on
+// one benchmark and prints how the worst-case IR drop and cost move. Pass a
+// benchmark name (off-chip | on-chip | wide-io | hmc); default off-chip.
+
+#include <iostream>
+#include <string>
+
+#include "core/platform.hpp"
+#include "cost/cost_model.hpp"
+#include "util/table.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+pdn3d::core::BenchmarkKind parse_kind(const std::string& name) {
+  using pdn3d::core::BenchmarkKind;
+  if (name == "on-chip") return BenchmarkKind::kStackedDdr3OnChip;
+  if (name == "wide-io") return BenchmarkKind::kWideIo;
+  if (name == "hmc") return BenchmarkKind::kHmc;
+  return BenchmarkKind::kStackedDdr3OffChip;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pdn3d;
+
+  const std::string which = argc > 1 ? argv[1] : "off-chip";
+  core::Platform platform(core::make_benchmark(parse_kind(which)));
+  const auto& bench = platform.benchmark();
+  const pdn::PdnConfig base = bench.baseline;
+
+  std::cout << "=== " << bench.name << " ===\n";
+  std::cout << "default state " << bench.default_state << ", baseline "
+            << base.summary() << "\n\n";
+
+  util::Table t({"design variant", "max IR (mV)", "logic IR (mV)", "cost"});
+  const auto add = [&](const std::string& label, const pdn::PdnConfig& cfg) {
+    const auto r = platform.analyze(cfg, bench.default_state, bench.default_io_activity);
+    t.add_row({label, util::fmt_fixed(r.dram_max_mv, 2), util::fmt_fixed(r.logic_max_mv, 2),
+               util::fmt_fixed(cost::total_cost(cfg), 2)});
+  };
+
+  add("baseline", base);
+
+  pdn::PdnConfig v = base;
+  v.metal_usage_scale = 1.5;
+  add("1.5x PDN metal", v);
+  v.metal_usage_scale = 2.0;
+  add("2x PDN metal", v);
+
+  v = base;
+  v.bonding = pdn::BondingStyle::kF2F;
+  add("F2F+B2B bonding", v);
+
+  v = base;
+  v.wire_bonding = true;
+  add("wire bonding", v);
+
+  v = base;
+  v.tsv_location = pdn::TsvLocation::kCenter;
+  v.logic_tsv_location = pdn::TsvLocation::kCenter;
+  add("center TSVs", v);
+
+  v = base;
+  v.tsv_location = pdn::TsvLocation::kDistributed;
+  v.logic_tsv_location = pdn::TsvLocation::kDistributed;
+  add("distributed TSVs", v);
+
+  v = base;
+  v.rdl = pdn::RdlMode::kBottomOnly;
+  add("RDL (bottom)", v);
+
+  v = base;
+  v.tsv_count = 160;
+  add("TC=160", v);
+  v.tsv_count = 480;
+  add("TC=480", v);
+
+  if (base.mounting == pdn::Mounting::kOnChip) {
+    v = base;
+    v.dedicated_tsvs = false;
+    add("shared (non-dedicated) TSVs", v);
+    v.dedicated_tsvs = true;
+    add("dedicated TSVs", v);
+  }
+  std::cout << t.render() << "\n";
+
+  util::Table ts({"memory state", "io act", "max IR (mV)", "active-die power (mW)"});
+  for (const char* s : {"0-0-0-2", "2-0-0-0", "0-0-2-2", "2-2-2-2", "0-2a-0-2a", "0-0-2a-2a"}) {
+    const auto r = platform.analyze(base, s);
+    const auto st = platform.parse_state(s);
+    ts.add_row({s, util::fmt_fixed(st.io_activity, 2), util::fmt_fixed(r.dram_max_mv, 2),
+                util::fmt_fixed(r.active_die_power_mw, 1)});
+  }
+  std::cout << ts.render();
+  return 0;
+}

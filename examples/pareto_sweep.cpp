@@ -1,0 +1,48 @@
+// Pareto front of IR drop vs cost: sweeps the co-optimizer's alpha across
+// [0, 1] on one benchmark (default off-chip stacked DDR3) and prints the
+// frontier of best designs -- the continuous version of the paper's Table 9
+// three-point summary. Usage: pareto_sweep [off-chip|on-chip|wide-io|hmc]
+
+#include <iostream>
+#include <string>
+
+#include "core/platform.hpp"
+#include "opt/pareto.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+pdn3d::core::BenchmarkKind parse_kind(const std::string& name) {
+  using pdn3d::core::BenchmarkKind;
+  if (name == "on-chip") return BenchmarkKind::kStackedDdr3OnChip;
+  if (name == "wide-io") return BenchmarkKind::kWideIo;
+  if (name == "hmc") return BenchmarkKind::kHmc;
+  return BenchmarkKind::kStackedDdr3OffChip;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pdn3d;
+
+  core::Platform platform(
+      core::make_benchmark(parse_kind(argc > 1 ? argv[1] : "off-chip")));
+  std::cout << "=== Pareto sweep: " << platform.benchmark().name << " ===\n";
+  std::cout << "fitting regression models (one-time R-Mesh sampling)...\n";
+
+  auto opt = platform.make_cooptimizer();
+  const auto front = opt::pareto_front(opt, 11);
+
+  util::Table t({"alpha", "design", "model IR (mV)", "R-Mesh IR (mV)", "cost"});
+  for (const auto& point : front) {
+    t.add_row({util::fmt_fixed(point.alpha, 1), point.optimum.config.summary(),
+               util::fmt_fixed(point.optimum.predicted_ir_mv, 2),
+               util::fmt_fixed(point.optimum.measured_ir_mv, 2),
+               util::fmt_fixed(point.optimum.cost, 3)});
+  }
+  std::cout << t.render();
+  std::cout << front.size()
+            << " non-dominated designs trace the IR-vs-cost Pareto frontier of the space.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Quickstart: analyze the DC IR drop of the off-chip stacked-DDR3 benchmark
+// at its industry-standard baseline design point, then try two of the
+// paper's packaging upgrades (F2F bonding, wire bonding) and watch the
+// worst-case IR drop move.
+
+#include <iostream>
+
+#include "core/platform.hpp"
+#include "util/string_util.hpp"
+
+int main() {
+  using namespace pdn3d;
+
+  core::Platform platform(core::make_benchmark(core::BenchmarkKind::kStackedDdr3OffChip));
+  const pdn::PdnConfig baseline = platform.benchmark().baseline;
+
+  std::cout << "Benchmark: " << platform.benchmark().name << "\n";
+  std::cout << "Baseline design: " << baseline.summary() << "\n\n";
+
+  // The default interleaving-read state: two banks on the top die (IDD7).
+  const auto result = platform.analyze(baseline, "0-0-0-2");
+  std::cout << "Memory state 0-0-0-2 (two banks reading on the top die):\n";
+  std::cout << "  max DRAM IR drop : " << util::fmt_fixed(result.dram_max_mv, 2) << " mV\n";
+  std::cout << "  total stack power: " << util::fmt_fixed(result.total_power_mw, 1) << " mW\n";
+  for (std::size_t d = 0; d < result.dram_dies.size(); ++d) {
+    std::cout << "  die " << d + 1 << " max/avg IR  : "
+              << util::fmt_fixed(result.dram_dies[d].max_mv, 2) << " / "
+              << util::fmt_fixed(result.dram_dies[d].avg_mv, 2) << " mV\n";
+  }
+
+  // Packaging upgrade 1: F2F bonding (PDN sharing between die pairs).
+  pdn::PdnConfig f2f = baseline;
+  f2f.bonding = pdn::BondingStyle::kF2F;
+  const double ir_f2f = platform.analyze(f2f, "0-0-0-2").dram_max_mv;
+
+  // Packaging upgrade 2: backside wire bonding.
+  pdn::PdnConfig wb = baseline;
+  wb.wire_bonding = true;
+  const double ir_wb = platform.analyze(wb, "0-0-0-2").dram_max_mv;
+
+  std::cout << "\nPackaging upgrades (same state):\n";
+  std::cout << "  F2F+B2B bonding  : " << util::fmt_fixed(ir_f2f, 2) << " mV ("
+            << util::fmt_percent(ir_f2f / result.dram_max_mv - 1.0) << ")\n";
+  std::cout << "  wire bonding     : " << util::fmt_fixed(ir_wb, 2) << " mV ("
+            << util::fmt_percent(ir_wb / result.dram_max_mv - 1.0) << ")\n";
+  return 0;
+}

@@ -1,0 +1,205 @@
+#include "core/benchmarks.hpp"
+
+#include <stdexcept>
+
+#include "dram/timing.hpp"
+#include "floorplan/logic_floorplan.hpp"
+#include "tech/presets.hpp"
+
+namespace pdn3d::core {
+
+std::string to_string(BenchmarkKind k) {
+  switch (k) {
+    case BenchmarkKind::kStackedDdr3OffChip: return "stacked-ddr3-off-chip";
+    case BenchmarkKind::kStackedDdr3OnChip: return "stacked-ddr3-on-chip";
+    case BenchmarkKind::kWideIo: return "wide-io";
+    case BenchmarkKind::kHmc: return "hmc";
+  }
+  return "?";
+}
+
+namespace {
+
+Benchmark make_stacked_ddr3(bool on_chip) {
+  Benchmark b;
+  b.kind = on_chip ? BenchmarkKind::kStackedDdr3OnChip : BenchmarkKind::kStackedDdr3OffChip;
+  b.name = on_chip ? "Stacked DDR3 (on-chip)" : "Stacked DDR3 (off-chip)";
+
+  floorplan::DramFloorplanSpec ds;
+  ds.width_mm = 6.8;
+  ds.height_mm = 6.7;
+  ds.bank_cols = 4;
+  ds.bank_rows = 2;
+  b.stack.dram_spec = ds;
+  b.stack.dram_fp = floorplan::make_dram_floorplan(ds);
+  b.stack.logic_fp = floorplan::make_t2_floorplan(9.0, 8.0);
+  b.stack.num_dram_dies = 4;
+  b.stack.tech = tech::ddr3_technology();
+
+  b.baseline.m2_usage = 0.10;
+  b.baseline.m3_usage = 0.20;
+  b.baseline.tsv_count = 33;
+  b.baseline.tsv_location = pdn::TsvLocation::kEdge;
+  b.baseline.logic_tsv_location = pdn::TsvLocation::kEdge;
+  b.baseline.bonding = pdn::BondingStyle::kF2B;
+  b.baseline.rdl = pdn::RdlMode::kNone;
+  b.baseline.wire_bonding = false;
+  b.baseline.mounting = on_chip ? pdn::Mounting::kOnChip : pdn::Mounting::kOffChip;
+  b.baseline.dedicated_tsvs = on_chip;  // Table 9 on-chip baseline uses TD=Y
+
+  b.design_space.mounting = b.baseline.mounting;
+  b.design_space.tsv_locations = {pdn::TsvLocation::kCenter, pdn::TsvLocation::kEdge};
+  // Off-chip stacks always own their PG TSVs; the dedicated flag is only a
+  // real choice when a logic die is underneath.
+  b.design_space.dedicated_options = on_chip ? std::vector<bool>{false, true}
+                                             : std::vector<bool>{false};
+
+  b.dram_power = power::DiePowerSpec{};
+  b.logic_power = power::LogicPowerSpec{};
+  b.power_scale = 1.0;
+  b.default_state = "0-0-0-2";
+  b.default_io_activity = 1.0;
+  b.paper_baseline_ir_mv = on_chip ? 31.18 : 30.03;
+
+  b.sim.timing = dram::ddr3_1600_timing();
+  b.sim.dies = 4;
+  b.sim.banks_per_die = 8;
+  b.sim.channels = 1;
+  b.workload.dies = 4;
+  b.workload.banks_per_die = 8;
+  b.workload.streams = 2;
+  return b;
+}
+
+Benchmark make_wide_io() {
+  Benchmark b;
+  b.kind = BenchmarkKind::kWideIo;
+  b.name = "Wide I/O";
+
+  floorplan::DramFloorplanSpec ds;
+  ds.width_mm = 7.2;
+  ds.height_mm = 7.2;
+  ds.bank_cols = 4;
+  ds.bank_rows = 4;
+  b.stack.dram_spec = ds;
+  b.stack.dram_fp = floorplan::make_dram_floorplan(ds);
+  b.stack.logic_fp = floorplan::make_t2_floorplan(9.0, 8.0);
+  b.stack.num_dram_dies = 4;
+  b.stack.tech = tech::low_voltage_technology();
+
+  b.baseline.m2_usage = 0.10;
+  b.baseline.m3_usage = 0.20;
+  b.baseline.tsv_count = 160;  // fixed by JEDEC specification
+  b.baseline.tsv_location = pdn::TsvLocation::kEdge;
+  b.baseline.logic_tsv_location = pdn::TsvLocation::kCenter;  // pumps center
+  b.baseline.bonding = pdn::BondingStyle::kF2B;
+  b.baseline.rdl = pdn::RdlMode::kBottomOnly;  // edge TSVs require the RDL
+  b.baseline.wire_bonding = false;
+  b.baseline.mounting = pdn::Mounting::kOnChip;
+  b.baseline.dedicated_tsvs = true;
+
+  b.design_space.mounting = pdn::Mounting::kOnChip;
+  b.design_space.tc_fixed = true;
+  b.design_space.tc_fixed_value = 160;
+  b.design_space.tsv_locations = {pdn::TsvLocation::kCenter, pdn::TsvLocation::kEdge};
+  // JEDEC puts the PG pumps and micro-bumps in the die center, so edge TSVs
+  // are only reachable through an RDL.
+  b.design_space.valid = [](const opt::DiscreteChoice& c) {
+    if (c.tsv_location == pdn::TsvLocation::kEdge && c.rdl == pdn::RdlMode::kNone) return false;
+    return true;
+  };
+
+  // Low-power mobile part: scaled-down power model (1.2 V, slow wide bus).
+  b.dram_power = power::DiePowerSpec{};
+  b.power_scale = 0.47;
+  b.logic_power = power::LogicPowerSpec{};
+  b.default_state = "0-0-0-2";
+  b.default_io_activity = 1.0;
+  b.paper_baseline_ir_mv = 13.56;
+
+  b.sim.timing = dram::wide_io_timing();
+  b.sim.dies = 4;
+  b.sim.banks_per_die = 16;
+  b.sim.channels = 4;
+  b.sim.channel_by_die = true;
+  b.workload.dies = 4;
+  b.workload.banks_per_die = 16;
+  b.workload.streams = 4;
+  b.workload.arrival_interval = 4;
+  return b;
+}
+
+Benchmark make_hmc() {
+  Benchmark b;
+  b.kind = BenchmarkKind::kHmc;
+  b.name = "HMC";
+
+  floorplan::DramFloorplanSpec ds;
+  ds.width_mm = 7.2;
+  ds.height_mm = 6.4;
+  ds.bank_cols = 8;
+  ds.bank_rows = 4;
+  b.stack.dram_spec = ds;
+  b.stack.dram_fp = floorplan::make_dram_floorplan(ds);
+  b.stack.logic_fp = floorplan::make_hmc_logic_floorplan(8.8, 6.4);
+  b.stack.num_dram_dies = 4;
+  b.stack.tech = tech::low_voltage_technology();
+
+  b.baseline.m2_usage = 0.10;
+  b.baseline.m3_usage = 0.20;
+  b.baseline.tsv_count = 384;
+  b.baseline.tsv_location = pdn::TsvLocation::kEdge;
+  b.baseline.logic_tsv_location = pdn::TsvLocation::kEdge;
+  b.baseline.bonding = pdn::BondingStyle::kF2B;
+  b.baseline.rdl = pdn::RdlMode::kNone;
+  b.baseline.wire_bonding = false;
+  b.baseline.mounting = pdn::Mounting::kOnChip;  // on its own logic base die
+  b.baseline.dedicated_tsvs = true;
+
+  b.design_space.mounting = pdn::Mounting::kOnChip;
+  b.design_space.tc_min = 160;  // minimum supply current requirement
+  b.design_space.tc_max = 480;
+  b.design_space.tsv_locations = {pdn::TsvLocation::kCenter, pdn::TsvLocation::kEdge,
+                                  pdn::TsvLocation::kDistributed};
+
+  // High-bandwidth part: every die streams simultaneously through its own
+  // vault channels, so per-die power is much higher than DDR3.
+  b.dram_power = power::DiePowerSpec{};
+  b.power_scale = 2.1;
+  b.logic_power = power::LogicPowerSpec{9.0, 0.35, 0.10, 0.55};  // SerDes-heavy
+  b.default_state = "2-2-2-2";
+  b.default_io_activity = 1.0;  // vaults do not share a channel
+  b.paper_baseline_ir_mv = 47.90;
+
+  b.sim.timing = dram::hmc_timing();
+  b.sim.dies = 4;
+  b.sim.banks_per_die = 32;
+  b.sim.channels = 16;
+  b.sim.channel_by_die = false;
+  b.sim.max_active_per_die = 2;
+  b.workload.dies = 4;
+  b.workload.banks_per_die = 32;
+  b.workload.streams = 8;
+  b.workload.arrival_interval = 2;
+  return b;
+}
+
+}  // namespace
+
+Benchmark make_benchmark(BenchmarkKind kind) {
+  switch (kind) {
+    case BenchmarkKind::kStackedDdr3OffChip: return make_stacked_ddr3(false);
+    case BenchmarkKind::kStackedDdr3OnChip: return make_stacked_ddr3(true);
+    case BenchmarkKind::kWideIo: return make_wide_io();
+    case BenchmarkKind::kHmc: return make_hmc();
+  }
+  throw std::invalid_argument("make_benchmark: unknown kind");
+}
+
+std::vector<Benchmark> all_benchmarks() {
+  return {make_benchmark(BenchmarkKind::kStackedDdr3OffChip),
+          make_benchmark(BenchmarkKind::kStackedDdr3OnChip),
+          make_benchmark(BenchmarkKind::kWideIo), make_benchmark(BenchmarkKind::kHmc)};
+}
+
+}  // namespace pdn3d::core

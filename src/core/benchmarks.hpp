@@ -1,0 +1,60 @@
+#pragma once
+
+/// @file benchmarks.hpp
+/// @brief The four 3D DRAM benchmarks of Table 1.
+///
+/// Each benchmark bundles everything a study needs: die floorplans,
+/// technology, the industry-standard baseline design point (Table 9
+/// "Baseline" rows), the power model calibration, the memory-controller
+/// configuration, and the co-optimization design space.
+
+#include <string>
+
+#include "memctrl/controller.hpp"
+#include "memctrl/workload.hpp"
+#include "opt/design_space.hpp"
+#include "pdn/stack_builder.hpp"
+#include "power/power_model.hpp"
+
+namespace pdn3d::core {
+
+enum class BenchmarkKind {
+  kStackedDdr3OffChip,  ///< stand-alone 4-die DDR3 stack
+  kStackedDdr3OnChip,   ///< same stack mounted on an OpenSPARC T2 host
+  kWideIo,              ///< JEDEC Wide I/O on T2, center micro-bumps
+  kHmc,                 ///< hybrid memory cube on its own logic die
+};
+
+[[nodiscard]] std::string to_string(BenchmarkKind k);
+
+struct Benchmark {
+  std::string name;
+  BenchmarkKind kind = BenchmarkKind::kStackedDdr3OffChip;
+
+  pdn::StackSpec stack;        ///< floorplans + technology + packaging geometry
+  pdn::PdnConfig baseline;     ///< Table 9 baseline design point
+  opt::DesignSpace design_space;
+
+  power::DiePowerSpec dram_power;
+  power::LogicPowerSpec logic_power;
+  double power_scale = 1.0;  ///< multiplies the DRAM power model
+
+  /// Default (worst-case interleaving read) memory state and its I/O
+  /// activity; the co-optimizer minimizes the IR drop of this state.
+  std::string default_state = "0-0-0-2";
+  double default_io_activity = 1.0;
+
+  memctrl::SimConfig sim;
+  memctrl::WorkloadConfig workload;
+
+  /// Paper anchor for the baseline max IR drop (mV) -- used by tests and the
+  /// EXPERIMENTS.md comparison, not by the model itself.
+  double paper_baseline_ir_mv = 0.0;
+};
+
+Benchmark make_benchmark(BenchmarkKind kind);
+
+/// All four, in the paper's order.
+std::vector<Benchmark> all_benchmarks();
+
+}  // namespace pdn3d::core

@@ -1,0 +1,113 @@
+#include "core/platform.hpp"
+
+#include <sstream>
+
+namespace pdn3d::core {
+
+Platform::Platform(Benchmark benchmark) : bench_(std::move(benchmark)) {}
+
+power::MemoryState Platform::parse_state(std::string_view text, double io_activity) const {
+  return power::parse_memory_state(text, bench_.stack.dram_spec, io_activity);
+}
+
+irdrop::PowerBinding Platform::power_binding() const {
+  irdrop::PowerBinding pb;
+  pb.dram = bench_.dram_power;
+  pb.logic = bench_.logic_power;
+  pb.dram_scale = bench_.power_scale;
+  pb.logic_active = true;
+  return pb;
+}
+
+std::string Platform::cache_key(const pdn::PdnConfig& config) const {
+  std::ostringstream os;
+  os << config.summary() << "|ltl=" << pdn::to_string(config.logic_tsv_location)
+     << "|al=" << config.align_tsvs_to_c4;
+  return os.str();
+}
+
+Platform::CachedDesign& Platform::design(const pdn::PdnConfig& config) const {
+  const std::string key = cache_key(config);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return *it->second;
+
+  auto cd = std::make_unique<CachedDesign>();
+  cd->built = pdn::build_stack(bench_.stack, config);
+  // Cached designs serve many states (LUT construction, controller runs),
+  // which favors the factor-once banded direct solver over PCG.
+  cd->analyzer = std::make_unique<irdrop::IrAnalyzer>(cd->built.model, bench_.stack.dram_fp,
+                                                      bench_.stack.logic_fp, power_binding(),
+                                                      irdrop::SolverKind::kBandedDirect);
+  auto [pos, inserted] = cache_.emplace(key, std::move(cd));
+  return *pos->second;
+}
+
+irdrop::IrResult Platform::analyze(const pdn::PdnConfig& config,
+                                   const power::MemoryState& state) const {
+  return design(config).analyzer->analyze(state);
+}
+
+irdrop::IrResult Platform::analyze(const pdn::PdnConfig& config, std::string_view state,
+                                   double io_activity) const {
+  return analyze(config, parse_state(state, io_activity));
+}
+
+double Platform::measure_ir_mv(const pdn::PdnConfig& config) const {
+  // One-shot: build, analyze, discard (sweeps would otherwise exhaust memory
+  // through the cache).
+  const auto built = pdn::build_stack(bench_.stack, config);
+  const irdrop::IrAnalyzer analyzer(built.model, bench_.stack.dram_fp, bench_.stack.logic_fp,
+                                    power_binding());
+  const auto state = parse_state(bench_.default_state, bench_.default_io_activity);
+  return analyzer.analyze(state).dram_max_mv;
+}
+
+pdn::BuildInfo Platform::build_info(const pdn::PdnConfig& config) const {
+  return design(config).built.info;
+}
+
+Platform::RailPairResult Platform::analyze_rail_pair(const pdn::PdnConfig& config,
+                                                     const power::MemoryState& state,
+                                                     double vss_metal_scale) const {
+  if (vss_metal_scale <= 0.0) {
+    throw std::invalid_argument("analyze_rail_pair: vss_metal_scale must be positive");
+  }
+  RailPairResult out;
+  out.vdd = analyze(config, state);
+  // The return net carries the same currents through a mirrored grid; only
+  // its metal budget may differ.
+  pdn::PdnConfig vss_cfg = config;
+  vss_cfg.metal_usage_scale *= vss_metal_scale;
+  out.vss = analyze(vss_cfg, state);
+  out.combined_worst_mv = out.vdd.dram_max_mv + out.vss.dram_max_mv;
+  return out;
+}
+
+const irdrop::IrLut& Platform::lut(const pdn::PdnConfig& config) const {
+  CachedDesign& cd = design(config);
+  if (!cd.lut) {
+    cd.lut = std::make_unique<irdrop::IrLut>(
+        irdrop::IrLut::build(*cd.analyzer, bench_.stack.dram_spec, bench_.sim.max_active_per_die,
+                             bench_.sim.io_demand_factor));
+  }
+  return *cd.lut;
+}
+
+memctrl::SimResult Platform::simulate(const pdn::PdnConfig& config,
+                                      memctrl::PolicyConfig policy) const {
+  return simulate(config, policy, memctrl::generate_workload(bench_.workload));
+}
+
+memctrl::SimResult Platform::simulate(const pdn::PdnConfig& config, memctrl::PolicyConfig policy,
+                                      std::vector<memctrl::Request> requests) const {
+  policy.lut = &lut(config);
+  memctrl::MemoryController controller(bench_.sim, policy);
+  return controller.run(std::move(requests));
+}
+
+opt::CoOptimizer Platform::make_cooptimizer() const {
+  return opt::CoOptimizer(bench_.design_space,
+                          [this](const pdn::PdnConfig& cfg) { return measure_ir_mv(cfg); });
+}
+
+}  // namespace pdn3d::core

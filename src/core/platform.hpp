@@ -1,0 +1,93 @@
+#pragma once
+
+/// @file platform.hpp
+/// @brief The integrated CAD/architecture platform (Figure 2) -- the public
+/// facade tying floorplanning, PDN generation, R-Mesh analysis, the memory
+/// controller, and the co-optimizer together for one benchmark.
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/benchmarks.hpp"
+#include "irdrop/analysis.hpp"
+#include "irdrop/lut.hpp"
+#include "memctrl/controller.hpp"
+#include "opt/cooptimizer.hpp"
+
+namespace pdn3d::core {
+
+class Platform {
+ public:
+  explicit Platform(Benchmark benchmark);
+
+  [[nodiscard]] const Benchmark& benchmark() const { return bench_; }
+
+  /// Parse a memory-state string against this benchmark's die floorplan.
+  [[nodiscard]] power::MemoryState parse_state(std::string_view text,
+                                               double io_activity = -1.0) const;
+
+  /// IR analysis of @p state on the design point @p config (cached analyzer).
+  [[nodiscard]] irdrop::IrResult analyze(const pdn::PdnConfig& config,
+                                         const power::MemoryState& state) const;
+  [[nodiscard]] irdrop::IrResult analyze(const pdn::PdnConfig& config, std::string_view state,
+                                         double io_activity = -1.0) const;
+
+  /// Max DRAM IR drop (mV) of the benchmark's default memory state -- the
+  /// quantity the paper's tables quote and the co-optimizer minimizes.
+  /// Uncached (one-shot) so design-space sweeps do not accumulate memory.
+  [[nodiscard]] double measure_ir_mv(const pdn::PdnConfig& config) const;
+
+  /// Build info (TSV placement diagnostics) for a config.
+  [[nodiscard]] pdn::BuildInfo build_info(const pdn::PdnConfig& config) const;
+
+  /// Complementary two-rail analysis (the paper analyzes VDD and notes the
+  /// ground net "can be analyzed in complementary fashion"). The VSS grid is
+  /// modeled as a mirrored network whose metal budget may differ by
+  /// @p vss_metal_scale; the combined figure adds VDD droop and VSS bounce at
+  /// the worst location (pessimistic colocation).
+  struct RailPairResult {
+    irdrop::IrResult vdd;
+    irdrop::IrResult vss;
+    double combined_worst_mv = 0.0;
+  };
+  [[nodiscard]] RailPairResult analyze_rail_pair(const pdn::PdnConfig& config,
+                                                 const power::MemoryState& state,
+                                                 double vss_metal_scale = 1.0) const;
+
+  /// IR look-up table over memory states (cached per config).
+  [[nodiscard]] const irdrop::IrLut& lut(const pdn::PdnConfig& config) const;
+
+  /// Run the memory-controller simulation on this benchmark's workload with
+  /// the given policy. The LUT for @p config is built (or fetched) first.
+  [[nodiscard]] memctrl::SimResult simulate(const pdn::PdnConfig& config,
+                                            memctrl::PolicyConfig policy) const;
+
+  /// Same, but replaying an explicit request stream (e.g. a trace).
+  [[nodiscard]] memctrl::SimResult simulate(const pdn::PdnConfig& config,
+                                            memctrl::PolicyConfig policy,
+                                            std::vector<memctrl::Request> requests) const;
+
+  /// Co-optimizer bound to this benchmark's design space + R-Mesh evaluator.
+  [[nodiscard]] opt::CoOptimizer make_cooptimizer() const;
+
+  /// Number of distinct design points currently cached.
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  struct CachedDesign {
+    pdn::BuiltStack built;
+    std::unique_ptr<irdrop::IrAnalyzer> analyzer;
+    std::unique_ptr<irdrop::IrLut> lut;
+  };
+
+  [[nodiscard]] std::string cache_key(const pdn::PdnConfig& config) const;
+  [[nodiscard]] CachedDesign& design(const pdn::PdnConfig& config) const;
+  [[nodiscard]] irdrop::PowerBinding power_binding() const;
+
+  Benchmark bench_;
+  mutable std::map<std::string, std::unique_ptr<CachedDesign>> cache_;
+};
+
+}  // namespace pdn3d::core

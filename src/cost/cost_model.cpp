@@ -1,0 +1,43 @@
+#include "cost/cost_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pdn3d::cost {
+
+CostBreakdown compute_cost(const pdn::PdnConfig& config) {
+  if (config.m2_usage <= 0.0 || config.m3_usage <= 0.0 || config.tsv_count < 1) {
+    throw std::invalid_argument("compute_cost: invalid configuration");
+  }
+  CostBreakdown c;
+  c.m2 = 0.25 * config.m2_usage;  // 0.0025 per usage point, usage as fraction
+  c.m3 = 0.25 * config.m3_usage;
+
+  const double tc = kTsvCostCoefficient * std::sqrt(static_cast<double>(config.tsv_count));
+  c.tsv_count = tc;
+  switch (config.tsv_location) {
+    case pdn::TsvLocation::kCenter: c.tsv_location = 0.0; break;
+    case pdn::TsvLocation::kEdge: c.tsv_location = 0.5 * tc; break;
+    case pdn::TsvLocation::kDistributed: c.tsv_location = tc; break;
+  }
+
+  // Stand-alone (off-chip) stacks always pay for their own PG TSV network.
+  const bool dedicated =
+      config.dedicated_tsvs || config.mounting == pdn::Mounting::kOffChip;
+  c.dedicated = dedicated ? 0.06 : 0.0;
+
+  c.bonding = config.bonding == pdn::BondingStyle::kF2B ? 0.045 : 0.06;
+  c.rdl = config.rdl != pdn::RdlMode::kNone ? 0.05 : 0.0;
+  c.wire_bond = config.wire_bonding ? 0.03 : 0.0;
+  return c;
+}
+
+double total_cost(const pdn::PdnConfig& config) { return compute_cost(config).total(); }
+
+double ir_cost(double ir_mv, double cost, double alpha) {
+  if (alpha < 0.0 || alpha > 1.0) throw std::invalid_argument("ir_cost: alpha outside [0,1]");
+  if (ir_mv <= 0.0 || cost <= 0.0) throw std::invalid_argument("ir_cost: non-positive inputs");
+  return std::pow(ir_mv, alpha) * std::pow(cost, 1.0 - alpha);
+}
+
+}  // namespace pdn3d::cost

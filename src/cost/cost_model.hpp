@@ -1,0 +1,48 @@
+#pragma once
+
+/// @file cost_model.hpp
+/// @brief The paper's Table 8 cost model.
+///
+/// Every technology option contributes a normalized cost term:
+///   - M2 / M3 VDD usage: proportional, 10% -> 0.025 (i.e. 0.0025 per point)
+///   - power TSV count: square-root law, 15 -> 0.078 and 480 -> 0.44
+///   - TSV location: center adds 0, edge adds 0.5x the TSV cost (KOZ ring),
+///     distributed adds 1.0x (KOZs between every bank)
+///   - dedicated TSVs 0.06, bonding F2B 0.045 / F2F 0.06, RDL 0.05,
+///     wire bonding 0.03
+/// Off-chip stand-alone stacks always carry their own PG TSV network, so the
+/// dedicated-TSV term applies to them unconditionally (visible in the paper's
+/// Table 9 cost column).
+
+#include "pdn/pdn_config.hpp"
+
+namespace pdn3d::cost {
+
+struct CostBreakdown {
+  double m2 = 0.0;
+  double m3 = 0.0;
+  double tsv_count = 0.0;
+  double tsv_location = 0.0;
+  double dedicated = 0.0;
+  double bonding = 0.0;
+  double rdl = 0.0;
+  double wire_bond = 0.0;
+
+  [[nodiscard]] double total() const {
+    return m2 + m3 + tsv_count + tsv_location + dedicated + bonding + rdl + wire_bond;
+  }
+};
+
+/// Cost coefficient of the TSV square-root law (0.078 / sqrt(15)).
+inline constexpr double kTsvCostCoefficient = 0.020137;
+
+CostBreakdown compute_cost(const pdn::PdnConfig& config);
+
+/// Convenience: total only.
+double total_cost(const pdn::PdnConfig& config);
+
+/// The paper's combined objective: IR-cost = IR^alpha * Cost^(1-alpha).
+/// @param ir_mv in millivolts, @param alpha in [0, 1].
+double ir_cost(double ir_mv, double cost, double alpha);
+
+}  // namespace pdn3d::cost

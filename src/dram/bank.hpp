@@ -1,0 +1,74 @@
+#pragma once
+
+/// @file bank.hpp
+/// @brief Cycle-level DRAM bank state machine.
+///
+/// Tracks one bank's row-buffer state and the timestamps needed to enforce
+/// tRCD/tRAS/tRP/tCCD/tRTP. The controller drives it with activate/read/
+/// precharge commands; the bank validates legality.
+
+#include <cstdint>
+
+#include "dram/timing.hpp"
+
+namespace pdn3d::dram {
+
+using Cycle = long long;
+inline constexpr Cycle kNever = -1'000'000'000LL;
+
+class Bank {
+ public:
+  enum class Phase {
+    kClosed,      ///< precharged, ready for activate
+    kOpening,     ///< activate issued, row not yet usable
+    kOpen,        ///< row buffer valid
+    kPrecharging  ///< precharge issued, not yet complete
+  };
+
+  explicit Bank(const TimingParams& timing) : timing_(&timing) {}
+
+  [[nodiscard]] Phase phase(Cycle now) const;
+  [[nodiscard]] long open_row() const { return open_row_; }
+
+  /// An "active" bank in the paper's IR sense: a row is (being) opened.
+  [[nodiscard]] bool is_active(Cycle now) const {
+    const Phase p = phase(now);
+    return p == Phase::kOpening || p == Phase::kOpen;
+  }
+
+  [[nodiscard]] bool can_activate(Cycle now) const;
+  [[nodiscard]] bool can_read(Cycle now, long row) const;
+  [[nodiscard]] bool can_write(Cycle now, long row) const;
+  [[nodiscard]] bool can_precharge(Cycle now) const;
+
+  /// Issue commands. Each throws std::logic_error when illegal at @p now
+  /// (the controller is expected to have checked with the predicates).
+  void activate(Cycle now, long row);
+  void read(Cycle now);
+  void write(Cycle now);
+  void precharge(Cycle now);
+
+  /// Cycle of the last read command (kNever before any read).
+  [[nodiscard]] Cycle last_read() const { return last_read_; }
+  /// Cycle of the last write command (kNever before any write).
+  [[nodiscard]] Cycle last_write() const { return last_write_; }
+  /// Cycle of the last activate (kNever before any).
+  [[nodiscard]] Cycle last_activate() const { return last_activate_; }
+  /// Latest of last read / row-ready, for idle-timeout close decisions.
+  [[nodiscard]] Cycle last_activity() const;
+
+ private:
+  const TimingParams* timing_;
+  long open_row_ = -1;
+  Cycle last_activate_ = kNever;
+  Cycle row_ready_ = kNever;       ///< activate + tRCD
+  Cycle ras_satisfied_ = kNever;   ///< activate + tRAS
+  Cycle last_read_ = kNever;
+  Cycle last_write_ = kNever;
+  Cycle precharge_issued_ = kNever;
+  Cycle precharge_done_ = 0;       ///< bank usable again at this cycle
+  bool open_ = false;
+  bool precharging_ = false;
+};
+
+}  // namespace pdn3d::dram

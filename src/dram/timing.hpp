@@ -1,0 +1,79 @@
+#pragma once
+
+/// @file timing.hpp
+/// @brief JEDEC-style DRAM read timing parameters (in clock cycles).
+///
+/// These are the parameters the paper's memory-controller simulator models
+/// (Section 2.3): tCL, tRCD, tRP, tRAS, tCCD, plus the standard policy's
+/// tRRD and tFAW limits (Section 5.2 uses tRRD = 8, tFAW = 32).
+
+namespace pdn3d::dram {
+
+struct TimingParams {
+  double tck_ns = 1.25;  ///< DDR3-1600 clock period
+
+  int tCL = 11;   ///< read command to first data
+  int tRCD = 11;  ///< activate to read
+  int tRP = 11;   ///< precharge to activate
+  int tRAS = 28;  ///< activate to precharge (minimum row-open time)
+  int tCCD = 4;   ///< column command to column command
+  int tRTP = 6;   ///< read to precharge
+  int tRRD = 8;   ///< activate to activate (standard policy)
+  int tFAW = 32;  ///< four-activate window (standard policy)
+
+  int tCWL = 8;   ///< write command to first data
+  int tWR = 12;   ///< end of write data to precharge (write recovery)
+  int tWTR = 6;   ///< end of write data to a read command (same bank group)
+  int tRTW = 7;   ///< read command to write command (bus turnaround)
+
+  int tREFI = 6240;  ///< average refresh interval (7.8 us at DDR3-1600)
+  int tRFC = 128;    ///< refresh cycle time (160 ns at DDR3-1600)
+
+  int burst_length = 8;  ///< beats per read; DDR transfers 2 beats per cycle
+
+  /// Data-bus occupancy of one read burst, in cycles.
+  [[nodiscard]] int burst_cycles() const { return burst_length / 2; }
+
+  /// Convert a cycle count to microseconds.
+  [[nodiscard]] double cycles_to_us(long cycles) const {
+    return static_cast<double>(cycles) * tck_ns * 1e-3;
+  }
+};
+
+/// DDR3-1600 defaults (stacked DDR3 benchmark).
+inline TimingParams ddr3_1600_timing() { return TimingParams{}; }
+
+/// Wide I/O SDR-200: long clock period, same cycle-domain parameters scaled
+/// down (the interface is slow but wide).
+inline TimingParams wide_io_timing() {
+  TimingParams t;
+  t.tck_ns = 5.0;
+  t.tCL = 3;
+  t.tRCD = 4;
+  t.tRP = 4;
+  t.tRAS = 9;
+  t.tCCD = 2;
+  t.tRTP = 2;
+  t.tRRD = 2;
+  t.tFAW = 10;
+  t.burst_length = 4;
+  return t;
+}
+
+/// HMC-class timing: 2500 Mbps/pin interface, aggressive bank cycle.
+inline TimingParams hmc_timing() {
+  TimingParams t;
+  t.tck_ns = 0.8;
+  t.tCL = 14;
+  t.tRCD = 14;
+  t.tRP = 14;
+  t.tRAS = 34;
+  t.tCCD = 4;
+  t.tRTP = 8;
+  t.tRRD = 10;
+  t.tFAW = 40;
+  t.burst_length = 8;
+  return t;
+}
+
+}  // namespace pdn3d::dram

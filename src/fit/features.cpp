@@ -1,0 +1,30 @@
+#include "fit/features.hpp"
+
+#include <cmath>
+
+namespace pdn3d::fit {
+
+std::vector<double> ir_features(const DesignVars& v) {
+  const double im2 = 1.0 / v.m2;
+  const double im3 = 1.0 / v.m3;
+  const double itc = 1.0 / v.tc;
+  const double istc = 1.0 / std::sqrt(v.tc);
+  return {
+      1.0,        // constant
+      im2,        // M2 mesh resistance
+      im3,        // M3 mesh resistance
+      itc,        // vertical TSV resistance
+      istc,       // TSV spreading (crowding scales sub-linearly)
+      im2 * im3,  // mesh interaction
+      im2 * itc,  // lateral-vertical interaction
+      im3 * itc,  //
+  };
+}
+
+std::size_t ir_feature_count() { return ir_features(DesignVars{}).size(); }
+
+std::vector<const char*> ir_feature_names() {
+  return {"1", "1/M2", "1/M3", "1/TC", "1/sqrt(TC)", "1/(M2*M3)", "1/(M2*TC)", "1/(M3*TC)"};
+}
+
+}  // namespace pdn3d::fit

@@ -1,0 +1,31 @@
+#pragma once
+
+/// @file features.hpp
+/// @brief Feature basis for the IR-drop regression model.
+///
+/// IR drop through a resistive network is (piecewise) linear in element
+/// resistances, and mesh/TSV resistances go as 1/usage and 1/count. The
+/// regression basis therefore uses reciprocal terms plus interactions, which
+/// is what lets a plain least-squares fit reach the paper's R^2 > 0.999.
+
+#include <vector>
+
+namespace pdn3d::fit {
+
+/// Continuous design variables of one sample.
+struct DesignVars {
+  double m2 = 0.1;  ///< M2 VDD usage fraction
+  double m3 = 0.2;  ///< M3 VDD usage fraction
+  double tc = 33.0; ///< power TSV count
+};
+
+/// Basis evaluation; returns the feature vector for one design point.
+std::vector<double> ir_features(const DesignVars& v);
+
+/// Number of features ir_features() produces.
+std::size_t ir_feature_count();
+
+/// Names of the features (for reports).
+std::vector<const char*> ir_feature_names();
+
+}  // namespace pdn3d::fit

@@ -1,0 +1,53 @@
+#include "fit/regression.hpp"
+
+#include <stdexcept>
+
+#include "linalg/least_squares.hpp"
+#include "util/stats.hpp"
+
+namespace pdn3d::fit {
+
+IrModel IrModel::fit(std::span<const Sample> samples) {
+  const std::size_t nfeat = ir_feature_count();
+  if (samples.size() < nfeat) {
+    throw std::invalid_argument("IrModel::fit: not enough samples for the basis");
+  }
+
+  // Ridge-regularized least squares: a tiny Tikhonov term keeps the system
+  // full rank when a continuous variable is pinned (Wide I/O fixes TC, which
+  // makes the reciprocal-TC features collinear with the constant).
+  constexpr double kRidge = 1e-6;
+  linalg::DenseMatrix a(samples.size() + nfeat, nfeat);
+  std::vector<double> b(samples.size() + nfeat, 0.0);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto feats = ir_features(samples[i].vars);
+    for (std::size_t j = 0; j < nfeat; ++j) a(i, j) = feats[j];
+    b[i] = samples[i].ir_mv;
+  }
+  for (std::size_t j = 0; j < nfeat; ++j) a(samples.size() + j, j) = kRidge;
+
+  const auto ls = linalg::solve_least_squares(a, b);
+
+  IrModel model;
+  model.coefficients_ = ls.coefficients;
+
+  std::vector<double> truth(samples.size(), 0.0);
+  std::vector<double> pred(samples.size(), 0.0);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    truth[i] = samples[i].ir_mv;
+    pred[i] = model.predict(samples[i].vars);
+  }
+  model.rmse_ = util::rmse(truth, pred);
+  model.r_squared_ = util::r_squared(truth, pred);
+  return model;
+}
+
+double IrModel::predict(const DesignVars& v) const {
+  if (coefficients_.empty()) throw std::logic_error("IrModel::predict: model not fitted");
+  const auto feats = ir_features(v);
+  double s = 0.0;
+  for (std::size_t j = 0; j < feats.size(); ++j) s += coefficients_[j] * feats[j];
+  return s;
+}
+
+}  // namespace pdn3d::fit

@@ -1,0 +1,44 @@
+#pragma once
+
+/// @file regression.hpp
+/// @brief Least-squares IR-drop model (the MATLAB-regression substitute).
+///
+/// One model is fitted per discrete option combination (TSV location,
+/// dedicated TSVs, bonding, RDL, wire bonding); the continuous variables
+/// (M2, M3, TC) enter through the reciprocal basis in features.hpp. The
+/// paper reports RMSE < 0.135 and R^2 > 0.999 for its fits; the regression
+/// quality bench reproduces that check.
+
+#include <span>
+#include <vector>
+
+#include "fit/features.hpp"
+
+namespace pdn3d::fit {
+
+struct Sample {
+  DesignVars vars;
+  double ir_mv = 0.0;
+};
+
+class IrModel {
+ public:
+  IrModel() = default;
+
+  /// Fit from samples (needs at least ir_feature_count() of them).
+  /// Throws std::invalid_argument / std::runtime_error on bad input.
+  static IrModel fit(std::span<const Sample> samples);
+
+  [[nodiscard]] double predict(const DesignVars& v) const;
+
+  [[nodiscard]] double rmse() const { return rmse_; }
+  [[nodiscard]] double r_squared() const { return r_squared_; }
+  [[nodiscard]] const std::vector<double>& coefficients() const { return coefficients_; }
+
+ private:
+  std::vector<double> coefficients_;
+  double rmse_ = 0.0;
+  double r_squared_ = 0.0;
+};
+
+}  // namespace pdn3d::fit

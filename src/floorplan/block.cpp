@@ -1,0 +1,19 @@
+#include "floorplan/block.hpp"
+
+namespace pdn3d::floorplan {
+
+std::string to_string(BlockType t) {
+  switch (t) {
+    case BlockType::kBankArray: return "bank";
+    case BlockType::kRowDecoder: return "row_decoder";
+    case BlockType::kColDecoder: return "col_decoder";
+    case BlockType::kPeriphery: return "periphery";
+    case BlockType::kIoBlock: return "io";
+    case BlockType::kCore: return "core";
+    case BlockType::kCache: return "cache";
+    case BlockType::kUncore: return "uncore";
+  }
+  return "?";
+}
+
+}  // namespace pdn3d::floorplan

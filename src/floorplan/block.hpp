@@ -1,0 +1,34 @@
+#pragma once
+
+/// @file block.hpp
+/// @brief Floorplan block: a named rectangle with a functional type.
+
+#include <string>
+
+#include "floorplan/geometry.hpp"
+
+namespace pdn3d::floorplan {
+
+/// Functional classes the power model distinguishes.
+enum class BlockType {
+  kBankArray,   ///< DRAM cell array bank
+  kRowDecoder,  ///< row decoder strip next to a bank
+  kColDecoder,  ///< column decoder / sense amp strip
+  kPeriphery,   ///< center periphery: charge pumps, control, DLL
+  kIoBlock,     ///< I/O drivers and pads (TSV landing region)
+  kCore,        ///< logic die: CPU core / vault controller
+  kCache,       ///< logic die: L2 / SRAM macro
+  kUncore,      ///< logic die: crossbar, SerDes, misc
+};
+
+[[nodiscard]] std::string to_string(BlockType t);
+
+struct Block {
+  std::string name;
+  BlockType type = BlockType::kPeriphery;
+  Rect rect;
+  /// Bank index for kBankArray blocks (and their decoders), -1 otherwise.
+  int bank_index = -1;
+};
+
+}  // namespace pdn3d::floorplan

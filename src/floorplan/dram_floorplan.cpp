@@ -1,0 +1,92 @@
+#include "floorplan/dram_floorplan.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace pdn3d::floorplan {
+
+Floorplan make_dram_floorplan(const DramFloorplanSpec& spec) {
+  if (spec.bank_cols < 1 || spec.bank_rows < 2 || spec.bank_rows % 2 != 0) {
+    throw std::invalid_argument("make_dram_floorplan: need >=1 columns and an even row count");
+  }
+
+  Floorplan fp("dram", spec.width_mm, spec.height_mm);
+  const double w = spec.width_mm;
+  const double h = spec.height_mm;
+  const double margin = spec.edge_margin_mm;
+
+  const double strip_h = spec.strip_height_frac * h;
+  const double strip_y0 = (h - strip_h) * 0.5;
+  const double strip_y1 = strip_y0 + strip_h;
+
+  // Center strip: I/O block in the middle (TSV landing region for center-TSV
+  // designs), periphery blocks on both sides.
+  const double io_w = 0.30 * (w - 2.0 * margin);
+  const double io_x0 = (w - io_w) * 0.5;
+  fp.add_block({"io", BlockType::kIoBlock, Rect{io_x0, strip_y0, io_x0 + io_w, strip_y1}, -1});
+  fp.add_block({"periph_l", BlockType::kPeriphery, Rect{margin, strip_y0, io_x0, strip_y1}, -1});
+  fp.add_block(
+      {"periph_r", BlockType::kPeriphery, Rect{io_x0 + io_w, strip_y0, w - margin, strip_y1}, -1});
+
+  // Column decoder strips hugging the periphery strip.
+  const double coldec_h = 0.030 * h;
+  fp.add_block({"coldec_b", BlockType::kColDecoder,
+                Rect{margin, strip_y0 - coldec_h, w - margin, strip_y0}, -1});
+  fp.add_block({"coldec_t", BlockType::kColDecoder,
+                Rect{margin, strip_y1, w - margin, strip_y1 + coldec_h}, -1});
+
+  // Bank regions above and below.
+  const double rowdec_w = 0.035 * w;
+  const int cols = spec.bank_cols;
+  const int rows_half = spec.bank_rows / 2;
+  const double usable_w = w - 2.0 * margin - static_cast<double>(cols - 1) * rowdec_w;
+  const double bank_w = usable_w / static_cast<double>(cols);
+  const double gap = 0.04;  // mm between stacked banks in one half
+
+  const double bottom_y0 = margin;
+  const double bottom_y1 = strip_y0 - coldec_h;
+  const double top_y0 = strip_y1 + coldec_h;
+  const double top_y1 = h - margin;
+
+  const auto bank_h_in = [&](double y0, double y1) {
+    return (y1 - y0 - static_cast<double>(rows_half - 1) * gap) / static_cast<double>(rows_half);
+  };
+  const double bank_h_bottom = bank_h_in(bottom_y0, bottom_y1);
+  const double bank_h_top = bank_h_in(top_y0, top_y1);
+  if (bank_w <= 0.0 || bank_h_bottom <= 0.0 || bank_h_top <= 0.0) {
+    throw std::invalid_argument("make_dram_floorplan: die too small for the bank grid");
+  }
+
+  for (int c = 0; c < cols; ++c) {
+    const double x0 = margin + static_cast<double>(c) * (bank_w + rowdec_w);
+    // Row decoder strips to the right of every column except the last, split
+    // around the central periphery band (which owns that region).
+    if (c + 1 < cols) {
+      fp.add_block({"rowdec_b" + std::to_string(c), BlockType::kRowDecoder,
+                    Rect{x0 + bank_w, bottom_y0, x0 + bank_w + rowdec_w, bottom_y1}, -1});
+      fp.add_block({"rowdec_t" + std::to_string(c), BlockType::kRowDecoder,
+                    Rect{x0 + bank_w, top_y0, x0 + bank_w + rowdec_w, top_y1}, -1});
+    }
+    for (int r = 0; r < spec.bank_rows; ++r) {
+      const bool bottom_half = r < rows_half;
+      const int r_in_half = bottom_half ? r : r - rows_half;
+      const double bh = bottom_half ? bank_h_bottom : bank_h_top;
+      const double y0 = bottom_half
+                            ? bottom_y0 + static_cast<double>(r_in_half) * (bh + gap)
+                            : top_y0 + static_cast<double>(r_in_half) * (bh + gap);
+      const int index = c * spec.bank_rows + r;
+      fp.add_block({"bank_" + std::to_string(index), BlockType::kBankArray,
+                    Rect{x0, y0, x0 + bank_w, y0 + bh}, index});
+    }
+  }
+  return fp;
+}
+
+BankPair interleave_pair(const DramFloorplanSpec& spec, int column) {
+  if (column < 0 || column >= spec.bank_cols) {
+    throw std::out_of_range("interleave_pair: column out of range");
+  }
+  return BankPair{column * spec.bank_rows, column * spec.bank_rows + spec.bank_rows - 1};
+}
+
+}  // namespace pdn3d::floorplan

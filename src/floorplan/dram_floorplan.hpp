@@ -1,0 +1,38 @@
+#pragma once
+
+/// @file dram_floorplan.hpp
+/// @brief Block-level DRAM die floorplan generator.
+///
+/// Produces the regular layout every benchmark die uses: a central periphery
+/// strip (charge pumps, control, I/O with the TSV landing region), column
+/// decoder strips above/below it, and bank arrays arranged in a grid of
+/// columns x rows, with row-decoder strips between bank columns. This mirrors
+/// the paper's "arrays, row/column decoders, and peripheral circuits"
+/// description.
+
+#include "floorplan/floorplan.hpp"
+
+namespace pdn3d::floorplan {
+
+struct DramFloorplanSpec {
+  double width_mm = 6.8;
+  double height_mm = 6.7;
+  int bank_cols = 4;  ///< bank columns (interleave pairs live in one column)
+  int bank_rows = 2;  ///< total bank rows, split evenly above/below the strip
+  double edge_margin_mm = 0.15;    ///< pad/KOZ ring kept block-free
+  double strip_height_frac = 0.12; ///< center periphery strip height / die height
+};
+
+/// Number of banks = bank_cols * bank_rows. Bank index = col * bank_rows + row
+/// (row 0 at the bottom).
+Floorplan make_dram_floorplan(const DramFloorplanSpec& spec);
+
+/// Convenience: the two banks forming the interleaving pair of @p column
+/// (bottom-most and top-most rows of that column).
+struct BankPair {
+  int low = 0;
+  int high = 0;
+};
+BankPair interleave_pair(const DramFloorplanSpec& spec, int column);
+
+}  // namespace pdn3d::floorplan

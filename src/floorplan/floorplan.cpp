@@ -1,0 +1,63 @@
+#include "floorplan/floorplan.hpp"
+
+#include <stdexcept>
+
+namespace pdn3d::floorplan {
+
+Floorplan::Floorplan(std::string name, double width_mm, double height_mm)
+    : name_(std::move(name)), width_(width_mm), height_(height_mm) {
+  if (width_ <= 0.0 || height_ <= 0.0) {
+    throw std::invalid_argument("Floorplan: non-positive die dimensions");
+  }
+}
+
+void Floorplan::add_block(Block block) { blocks_.push_back(std::move(block)); }
+
+const Block& Floorplan::bank(int bank_index) const {
+  for (const Block& b : blocks_) {
+    if (b.type == BlockType::kBankArray && b.bank_index == bank_index) return b;
+  }
+  throw std::out_of_range("Floorplan::bank: no such bank " + std::to_string(bank_index));
+}
+
+int Floorplan::bank_count() const {
+  int n = 0;
+  for (const Block& b : blocks_) {
+    if (b.type == BlockType::kBankArray) ++n;
+  }
+  return n;
+}
+
+std::vector<const Block*> Floorplan::blocks_of_type(BlockType t) const {
+  std::vector<const Block*> out;
+  for (const Block& b : blocks_) {
+    if (b.type == t) out.push_back(&b);
+  }
+  return out;
+}
+
+bool Floorplan::is_legal() const {
+  const Rect die = outline();
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const Rect& r = blocks_[i].rect;
+    if (r.x0 < -1e-9 || r.y0 < -1e-9 || r.x1 > die.x1 + 1e-9 || r.y1 > die.y1 + 1e-9) {
+      return false;
+    }
+    for (std::size_t j = i + 1; j < blocks_.size(); ++j) {
+      // Tolerate sub-nm "overlaps" from floating-point edge sharing.
+      if (r.overlap_area(blocks_[j].rect) > 1e-9) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double Floorplan::utilization() const {
+  double a = 0.0;
+  for (const Block& b : blocks_) a += b.rect.area();
+  const double die = width_ * height_;
+  return die > 0.0 ? a / die : 0.0;
+}
+
+}  // namespace pdn3d::floorplan

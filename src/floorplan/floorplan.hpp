@@ -1,0 +1,52 @@
+#pragma once
+
+/// @file floorplan.hpp
+/// @brief Block-level die floorplan, the output of the floorplan generator.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "floorplan/block.hpp"
+
+namespace pdn3d::floorplan {
+
+/// A die floorplan: outline + non-overlapping blocks. Bank blocks carry the
+/// bank index the memory controller schedules against.
+class Floorplan {
+ public:
+  Floorplan() = default;
+  Floorplan(std::string name, double width_mm, double height_mm);
+
+  void add_block(Block block);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double width() const { return width_; }
+  [[nodiscard]] double height() const { return height_; }
+  [[nodiscard]] Rect outline() const { return Rect{0.0, 0.0, width_, height_}; }
+
+  [[nodiscard]] const std::vector<Block>& blocks() const { return blocks_; }
+
+  /// Bank-array block for @p bank_index; throws std::out_of_range if absent.
+  [[nodiscard]] const Block& bank(int bank_index) const;
+
+  /// Number of kBankArray blocks.
+  [[nodiscard]] int bank_count() const;
+
+  /// All blocks of a given type.
+  [[nodiscard]] std::vector<const Block*> blocks_of_type(BlockType t) const;
+
+  /// True when no two blocks overlap and all fit inside the outline.
+  [[nodiscard]] bool is_legal() const;
+
+  /// Total block area / die area.
+  [[nodiscard]] double utilization() const;
+
+ private:
+  std::string name_;
+  double width_ = 0.0;
+  double height_ = 0.0;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace pdn3d::floorplan

@@ -1,0 +1,51 @@
+#pragma once
+
+/// @file geometry.hpp
+/// @brief 2D geometry primitives (millimetre coordinates, die-plane).
+
+#include <algorithm>
+#include <cmath>
+
+namespace pdn3d::floorplan {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline double distance(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Axis-aligned rectangle, closed on all edges. Invariant: x0 <= x1, y0 <= y1.
+struct Rect {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+
+  [[nodiscard]] double width() const { return x1 - x0; }
+  [[nodiscard]] double height() const { return y1 - y0; }
+  [[nodiscard]] double area() const { return width() * height(); }
+  [[nodiscard]] Point center() const { return {(x0 + x1) * 0.5, (y0 + y1) * 0.5}; }
+
+  [[nodiscard]] bool contains(Point p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+
+  [[nodiscard]] bool overlaps(const Rect& o) const {
+    return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+  }
+
+  /// Intersection area with @p o (0 when disjoint).
+  [[nodiscard]] double overlap_area(const Rect& o) const {
+    const double w = std::min(x1, o.x1) - std::max(x0, o.x0);
+    const double h = std::min(y1, o.y1) - std::max(y0, o.y0);
+    if (w <= 0.0 || h <= 0.0) return 0.0;
+    return w * h;
+  }
+};
+
+}  // namespace pdn3d::floorplan

@@ -1,0 +1,84 @@
+#include "floorplan/logic_floorplan.hpp"
+
+#include <string>
+
+namespace pdn3d::floorplan {
+
+Floorplan make_t2_floorplan(double width_mm, double height_mm) {
+  Floorplan fp("t2", width_mm, height_mm);
+  const double w = width_mm;
+  const double h = height_mm;
+  const double margin = 0.20;
+
+  // Central crossbar / L2 tag strip.
+  const double strip_h = 0.16 * h;
+  const double strip_y0 = (h - strip_h) * 0.5;
+  fp.add_block({"xbar", BlockType::kUncore, Rect{margin, strip_y0, w - margin, strip_y0 + strip_h},
+                -1});
+
+  // Two rows of four core+cache tiles.
+  const int cols = 4;
+  const double tile_w = (w - 2.0 * margin) / static_cast<double>(cols);
+  const double gap = 0.05;
+  const double row_h_bottom = strip_y0 - margin - gap;
+  const double row_h_top = h - margin - (strip_y0 + strip_h) - gap;
+
+  for (int half = 0; half < 2; ++half) {
+    const double y0 = half == 0 ? margin : strip_y0 + strip_h + gap;
+    const double row_h = half == 0 ? row_h_bottom : row_h_top;
+    // Each tile: core (outer 60%) + L2 cache bank (inner 40%, nearer the
+    // crossbar strip).
+    const double core_h = 0.60 * row_h;
+    for (int c = 0; c < cols; ++c) {
+      const double x0 = margin + static_cast<double>(c) * tile_w;
+      const double x1 = x0 + tile_w - gap;
+      const int core_id = half * cols + c;
+      if (half == 0) {
+        fp.add_block({"core_" + std::to_string(core_id), BlockType::kCore,
+                      Rect{x0, y0, x1, y0 + core_h}, -1});
+        fp.add_block({"l2_" + std::to_string(core_id), BlockType::kCache,
+                      Rect{x0, y0 + core_h, x1, y0 + row_h}, -1});
+      } else {
+        fp.add_block({"l2_" + std::to_string(core_id), BlockType::kCache,
+                      Rect{x0, y0, x1, y0 + row_h - core_h}, -1});
+        fp.add_block({"core_" + std::to_string(core_id), BlockType::kCore,
+                      Rect{x0, y0 + row_h - core_h, x1, y0 + row_h}, -1});
+      }
+    }
+  }
+  return fp;
+}
+
+Floorplan make_hmc_logic_floorplan(double width_mm, double height_mm) {
+  Floorplan fp("hmc_logic", width_mm, height_mm);
+  const double w = width_mm;
+  const double h = height_mm;
+  const double margin = 0.15;
+
+  // SerDes strips on the left and right edges (off-cube links).
+  const double serdes_w = 0.12 * w;
+  fp.add_block({"serdes_l", BlockType::kUncore, Rect{margin, margin, margin + serdes_w, h - margin},
+                -1});
+  fp.add_block({"serdes_r", BlockType::kUncore,
+                Rect{w - margin - serdes_w, margin, w - margin, h - margin}, -1});
+
+  // 4x4 vault controllers in the middle.
+  const int cols = 4;
+  const int rows = 4;
+  const double gap = 0.06;
+  const double x_start = margin + serdes_w + gap;
+  const double x_end = w - margin - serdes_w - gap;
+  const double tile_w = (x_end - x_start) / static_cast<double>(cols);
+  const double tile_h = (h - 2.0 * margin) / static_cast<double>(rows);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double x0 = x_start + static_cast<double>(c) * tile_w;
+      const double y0 = margin + static_cast<double>(r) * tile_h;
+      fp.add_block({"vault_" + std::to_string(r * cols + c), BlockType::kCore,
+                    Rect{x0, y0, x0 + tile_w - gap, y0 + tile_h - gap}, -1});
+    }
+  }
+  return fp;
+}
+
+}  // namespace pdn3d::floorplan

@@ -1,0 +1,23 @@
+#pragma once
+
+/// @file logic_floorplan.hpp
+/// @brief Host logic die floorplan generators.
+///
+/// Two hosts appear in the paper: a full-chip OpenSPARC T2 processor in 28nm
+/// (stacked DDR3 on-chip and Wide I/O designs) and the HMC logic base die.
+/// These are synthetic stand-ins with the same block classes the power model
+/// needs (cores, caches, uncore fabric).
+
+#include "floorplan/floorplan.hpp"
+
+namespace pdn3d::floorplan {
+
+/// OpenSPARC T2-like: 8 cores in two rows of four around a central
+/// crossbar/L2 strip. Die 9.0 x 8.0 mm by default (paper Table 1).
+Floorplan make_t2_floorplan(double width_mm = 9.0, double height_mm = 8.0);
+
+/// HMC logic base: 16 vault controllers in a 4x4 grid with SerDes strips on
+/// the left and right edges. Die 8.8 x 6.4 mm by default.
+Floorplan make_hmc_logic_floorplan(double width_mm = 8.8, double height_mm = 6.4);
+
+}  // namespace pdn3d::floorplan

@@ -1,0 +1,32 @@
+#include "io/floorplan_writer.hpp"
+
+#include <cmath>
+
+namespace pdn3d::io {
+
+void write_floorplan_csv(std::ostream& os, const floorplan::Floorplan& fp) {
+  os << "name,type,bank,x0_mm,y0_mm,x1_mm,y1_mm\n";
+  for (const auto& b : fp.blocks()) {
+    os << b.name << ',' << floorplan::to_string(b.type) << ',' << b.bank_index << ',' << b.rect.x0
+       << ',' << b.rect.y0 << ',' << b.rect.x1 << ',' << b.rect.y1 << "\n";
+  }
+}
+
+namespace {
+long um(double mm) { return std::lround(mm * 1000.0); }
+}  // namespace
+
+void write_floorplan_def(std::ostream& os, const floorplan::Floorplan& fp) {
+  os << "VERSION 5.8 ;\nDESIGN " << fp.name() << " ;\nUNITS DISTANCE MICRONS 1000 ;\n";
+  os << "DIEAREA ( 0 0 ) ( " << um(fp.width()) << ' ' << um(fp.height()) << " ) ;\n";
+  os << "COMPONENTS " << fp.blocks().size() << " ;\n";
+  for (const auto& b : fp.blocks()) {
+    os << "  - " << b.name << ' ' << floorplan::to_string(b.type) << " + PLACED ( "
+       << um(b.rect.x0) << ' ' << um(b.rect.y0) << " ) N\n"
+       << "    + RECT ( " << um(b.rect.x0) << ' ' << um(b.rect.y0) << " ) ( " << um(b.rect.x1)
+       << ' ' << um(b.rect.y1) << " ) ;\n";
+  }
+  os << "END COMPONENTS\nEND DESIGN\n";
+}
+
+}  // namespace pdn3d::io

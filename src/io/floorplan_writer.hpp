@@ -1,0 +1,19 @@
+#pragma once
+
+/// @file floorplan_writer.hpp
+/// @brief Text exports of die floorplans (CSV and a DEF-flavored dump).
+
+#include <ostream>
+
+#include "floorplan/floorplan.hpp"
+
+namespace pdn3d::io {
+
+/// CSV with columns name,type,bank,x0_mm,y0_mm,x1_mm,y1_mm.
+void write_floorplan_csv(std::ostream& os, const floorplan::Floorplan& fp);
+
+/// Minimal DEF-like dump (DIEAREA + COMPONENTS with placed rectangles, in
+/// integer database units of 1 um) -- enough for layout viewers and diffing.
+void write_floorplan_def(std::ostream& os, const floorplan::Floorplan& fp);
+
+}  // namespace pdn3d::io

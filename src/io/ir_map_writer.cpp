@@ -1,0 +1,58 @@
+#include "io/ir_map_writer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace pdn3d::io {
+
+namespace {
+
+void validate(const pdn::StackModel& model, std::span<const double> ir) {
+  if (ir.size() != model.node_count()) {
+    throw std::invalid_argument("ir map writer: IR vector size mismatch");
+  }
+}
+
+}  // namespace
+
+void write_ir_csv(std::ostream& os, const pdn::StackModel& model,
+                  std::span<const double> ir_volts) {
+  validate(model, ir_volts);
+  os << "grid,die,layer,i,j,x_mm,y_mm,ir_mv\n";
+  for (const auto& g : model.grids()) {
+    for (int j = 0; j < g.ny; ++j) {
+      for (int i = 0; i < g.nx; ++i) {
+        const auto p = g.position(i, j);
+        os << g.name << ',' << g.die << ',' << g.layer << ',' << i << ',' << j << ',' << p.x
+           << ',' << p.y << ',' << util::to_mV(ir_volts[g.node(i, j)]) << "\n";
+      }
+    }
+  }
+}
+
+double write_ir_pgm(std::ostream& os, const pdn::StackModel& model,
+                    std::span<const double> ir_volts, int die, int layer) {
+  validate(model, ir_volts);
+  const pdn::LayerGrid& g = model.grid(die, layer);
+
+  double max_ir = 0.0;
+  for (std::size_t k = 0; k < g.size(); ++k) {
+    max_ir = std::max(max_ir, ir_volts[g.base + k]);
+  }
+
+  os << "P5\n" << g.nx << ' ' << g.ny << "\n255\n";
+  for (int j = g.ny - 1; j >= 0; --j) {  // image row 0 at the top (max y)
+    for (int i = 0; i < g.nx; ++i) {
+      const double v = ir_volts[g.node(i, j)];
+      const double frac = max_ir > 0.0 ? v / max_ir : 0.0;
+      // Dark = high drop.
+      const auto pixel = static_cast<unsigned char>(255.0 * (1.0 - std::clamp(frac, 0.0, 1.0)));
+      os.put(static_cast<char>(pixel));
+    }
+  }
+  return util::to_mV(max_ir);
+}
+
+}  // namespace pdn3d::io

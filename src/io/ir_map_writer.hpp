@@ -1,0 +1,27 @@
+#pragma once
+
+/// @file ir_map_writer.hpp
+/// @brief Export per-layer IR-drop maps for inspection/plotting.
+///
+/// Two formats: CSV (x, y, mV per node, one file-section per layer) and PGM
+/// (a grayscale image per layer grid, dark = high drop) for a quick look
+/// without any plotting stack.
+
+#include <ostream>
+#include <span>
+
+#include "pdn/stack_model.hpp"
+
+namespace pdn3d::io {
+
+/// CSV with columns grid,die,layer,i,j,x_mm,y_mm,ir_mv for every mesh node.
+/// @param ir_volts per-node IR drop (model.node_count() entries, volts).
+void write_ir_csv(std::ostream& os, const pdn::StackModel& model,
+                  std::span<const double> ir_volts);
+
+/// Binary PGM (P5) image of one layer grid; pixels scale 0 (no drop) to 255
+/// (max drop over that grid). Returns the maximum drop of the grid in mV.
+double write_ir_pgm(std::ostream& os, const pdn::StackModel& model,
+                    std::span<const double> ir_volts, int die, int layer);
+
+}  // namespace pdn3d::io

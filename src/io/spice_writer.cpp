@@ -1,0 +1,64 @@
+#include "io/spice_writer.hpp"
+
+#include <stdexcept>
+
+namespace pdn3d::io {
+
+namespace {
+
+void validate(const pdn::StackModel& model, std::span<const double> sinks) {
+  if (!sinks.empty() && sinks.size() != model.node_count()) {
+    throw std::invalid_argument("write_spice_netlist: sink vector size mismatch");
+  }
+}
+
+}  // namespace
+
+void write_spice_netlist(std::ostream& os, const pdn::StackModel& model,
+                         std::span<const double> sinks, const SpiceOptions& options) {
+  validate(model, sinks);
+
+  os << "* " << options.title << "\n";
+  os << "* nodes: " << model.node_count() << ", resistors: " << model.resistors().size()
+     << ", supply taps: " << model.taps().size() << "\n";
+  if (options.annotate_grids) {
+    for (const auto& g : model.grids()) {
+      os << "* grid " << g.name << ": die " << g.die << " layer " << g.layer << ", " << g.nx
+         << "x" << g.ny << ", nodes n" << g.base << "..n" << g.base + g.size() - 1 << "\n";
+    }
+  }
+
+  os << "V1 vdd 0 DC " << model.vdd() << "\n";
+
+  std::size_t idx = 0;
+  for (const auto& r : model.resistors()) {
+    os << "R" << idx++ << " n" << r.a << " n" << r.b << " " << r.ohms << "\n";
+  }
+  std::size_t tap_idx = 0;
+  for (const auto& t : model.taps()) {
+    os << "RT" << tap_idx++ << " vdd n" << t.node << " " << t.ohms << "\n";
+  }
+  if (!sinks.empty()) {
+    std::size_t i_idx = 0;
+    for (std::size_t n = 0; n < sinks.size(); ++n) {
+      if (sinks[n] > options.min_sink_amps) {
+        os << "I" << i_idx++ << " n" << n << " 0 DC " << sinks[n] << "\n";
+      }
+    }
+  }
+  if (options.include_op_card) {
+    os << ".OP\n.END\n";
+  }
+}
+
+std::size_t spice_element_count(const pdn::StackModel& model, std::span<const double> sinks,
+                                const SpiceOptions& options) {
+  validate(model, sinks);
+  std::size_t count = 1 + model.resistors().size() + model.taps().size();  // V1 + R + RT
+  for (const double s : sinks) {
+    if (s > options.min_sink_amps) ++count;
+  }
+  return count;
+}
+
+}  // namespace pdn3d::io

@@ -1,0 +1,36 @@
+#pragma once
+
+/// @file spice_writer.hpp
+/// @brief SPICE netlist export of a StackModel.
+///
+/// The paper solves its R-Mesh with HSPICE; this writer emits the equivalent
+/// netlist (resistors, supply taps to an ideal VDD source, DC current sinks)
+/// so any SPICE-compatible solver can cross-check the built-in engine.
+
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "pdn/stack_model.hpp"
+
+namespace pdn3d::io {
+
+struct SpiceOptions {
+  std::string title = "pdn3d R-Mesh";
+  bool include_op_card = true;   ///< emit .OP and .END cards
+  bool annotate_grids = true;    ///< comment each layer's node-id range
+  double min_sink_amps = 1e-12;  ///< suppress smaller current sources
+};
+
+/// Write the model (and optional per-node sink currents) as a SPICE deck.
+/// Node 0 is SPICE ground; the ideal rail is node "vdd" driven by V1.
+/// Mesh node k is named n<k>.
+/// @param sinks empty, or one entry per model node (amps drawn to ground).
+void write_spice_netlist(std::ostream& os, const pdn::StackModel& model,
+                         std::span<const double> sinks = {}, const SpiceOptions& options = {});
+
+/// Count of non-comment element cards the deck would contain.
+std::size_t spice_element_count(const pdn::StackModel& model, std::span<const double> sinks = {},
+                                const SpiceOptions& options = {});
+
+}  // namespace pdn3d::io

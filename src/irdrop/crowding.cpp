@@ -1,0 +1,38 @@
+#include "irdrop/crowding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pdn3d::irdrop {
+
+std::vector<double> element_currents(const pdn::StackModel& model,
+                                     std::span<const double> voltages) {
+  if (voltages.size() != model.node_count()) {
+    throw std::invalid_argument("element_currents: voltage vector size mismatch");
+  }
+  std::vector<double> out;
+  out.reserve(model.resistors().size());
+  for (const auto& r : model.resistors()) {
+    out.push_back(std::abs(voltages[r.a] - voltages[r.b]) / r.ohms);
+  }
+  return out;
+}
+
+CrowdingStats current_stats(const pdn::StackModel& model, std::span<const double> voltages,
+                            pdn::ElementKind kind) {
+  if (voltages.size() != model.node_count()) {
+    throw std::invalid_argument("current_stats: voltage vector size mismatch");
+  }
+  CrowdingStats stats;
+  for (const auto& r : model.resistors()) {
+    if (r.kind != kind) continue;
+    const double amps = std::abs(voltages[r.a] - voltages[r.b]) / r.ohms;
+    ++stats.count;
+    stats.total_amps += amps;
+    if (amps > stats.max_amps) stats.max_amps = amps;
+  }
+  if (stats.count > 0) stats.avg_amps = stats.total_amps / static_cast<double>(stats.count);
+  return stats;
+}
+
+}  // namespace pdn3d::irdrop

@@ -1,0 +1,40 @@
+#pragma once
+
+/// @file crowding.hpp
+/// @brief Element-current extraction and current-crowding statistics.
+///
+/// Section 3.2 of the paper (following Zhao/Scheuermann/Lim, TCPMT'14) treats
+/// TSV current crowding as a first-class power-integrity concern: when TSVs
+/// are few or badly placed, a handful of them carry a disproportionate share
+/// of the supply current. These helpers turn a solved node-voltage vector
+/// into per-element currents and per-kind crowding statistics.
+
+#include <span>
+#include <vector>
+
+#include "pdn/stack_model.hpp"
+
+namespace pdn3d::irdrop {
+
+/// Current through each resistor (amps, |I| of element i = resistors()[i]),
+/// computed from node voltages as |v_a - v_b| / R.
+std::vector<double> element_currents(const pdn::StackModel& model,
+                                     std::span<const double> voltages);
+
+struct CrowdingStats {
+  std::size_t count = 0;      ///< elements of the requested kind
+  double max_amps = 0.0;      ///< worst single element
+  double avg_amps = 0.0;      ///< mean over elements of the kind
+  double total_amps = 0.0;    ///< sum (not a physical net current; diagnostic)
+  /// max / avg -- 1.0 means perfectly balanced; the paper's crowding concern
+  /// is exactly this ratio growing.
+  [[nodiscard]] double crowding_factor() const {
+    return avg_amps > 0.0 ? max_amps / avg_amps : 0.0;
+  }
+};
+
+/// Statistics over all elements of @p kind.
+CrowdingStats current_stats(const pdn::StackModel& model, std::span<const double> voltages,
+                            pdn::ElementKind kind);
+
+}  // namespace pdn3d::irdrop

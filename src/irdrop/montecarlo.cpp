@@ -1,0 +1,61 @@
+#include "irdrop/montecarlo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pdn3d::irdrop {
+
+MonteCarloResult sample_ir_distribution(const IrAnalyzer& analyzer,
+                                        const floorplan::DramFloorplanSpec& spec,
+                                        const MonteCarloConfig& config) {
+  if (config.samples <= 0) throw std::invalid_argument("montecarlo: samples must be positive");
+  if (config.max_banks_per_die < 1) {
+    throw std::invalid_argument("montecarlo: max_banks_per_die must be >= 1");
+  }
+  const int dies = analyzer.model().dram_die_count();
+  const int banks = spec.bank_cols * spec.bank_rows;
+
+  util::Rng rng(config.seed);
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(config.samples));
+
+  for (int s = 0; s < config.samples; ++s) {
+    power::MemoryState state;
+    state.dies.resize(static_cast<std::size_t>(dies));
+    int active_dies = 0;
+    for (int d = 0; d < dies; ++d) {
+      if (!rng.next_bool(config.die_active_probability)) continue;
+      ++active_dies;
+      const int count = rng.next_int(1, config.max_banks_per_die);
+      auto& die = state.dies[static_cast<std::size_t>(d)];
+      while (static_cast<int>(die.active_banks.size()) < count) {
+        const int bank = rng.next_int(0, banks - 1);
+        if (std::find(die.active_banks.begin(), die.active_banks.end(), bank) ==
+            die.active_banks.end()) {
+          die.active_banks.push_back(bank);
+        }
+      }
+    }
+    if (active_dies == 0) {
+      // An all-idle sample carries no information for the margin study.
+      --s;  // resample; next_bool advanced the stream so this terminates
+      continue;
+    }
+    state.io_activity = std::min(1.0, config.io_demand / static_cast<double>(active_dies));
+    values.push_back(analyzer.analyze(state).dram_max_mv);
+  }
+
+  MonteCarloResult out;
+  out.samples = config.samples;
+  out.mean_mv = util::mean(values);
+  out.p50_mv = util::percentile(values, 50.0);
+  out.p95_mv = util::percentile(values, 95.0);
+  out.p99_mv = util::percentile(values, 99.0);
+  out.max_mv = util::max_value(values);
+  return out;
+}
+
+}  // namespace pdn3d::irdrop

@@ -1,0 +1,42 @@
+#pragma once
+
+/// @file montecarlo.hpp
+/// @brief Monte Carlo IR-drop analysis over random memory states.
+///
+/// The paper evaluates worst-case states (edge-column banks). A designer
+/// usually also wants the *distribution*: how much margin does the worst
+/// case carry over typical operation? This sampler draws random states --
+/// random active-die subsets, random bank locations per die -- and reports
+/// IR-drop percentiles.
+
+#include <cstdint>
+
+#include "irdrop/analysis.hpp"
+
+namespace pdn3d::irdrop {
+
+struct MonteCarloConfig {
+  int samples = 200;
+  int max_banks_per_die = 2;  ///< charge-pump interleave limit
+  /// Workload I/O demand (activity = min(1, demand / active dies)).
+  double io_demand = 1.0;
+  /// Probability a die has any active banks in a sample.
+  double die_active_probability = 0.5;
+  std::uint64_t seed = 0xd1ce5eedULL;
+};
+
+struct MonteCarloResult {
+  int samples = 0;
+  double mean_mv = 0.0;
+  double p50_mv = 0.0;
+  double p95_mv = 0.0;
+  double p99_mv = 0.0;
+  double max_mv = 0.0;  ///< worst sampled state (not the analytic worst case)
+};
+
+/// Run the sampler. The analyzer's stack determines die/bank counts.
+MonteCarloResult sample_ir_distribution(const IrAnalyzer& analyzer,
+                                        const floorplan::DramFloorplanSpec& spec,
+                                        const MonteCarloConfig& config = {});
+
+}  // namespace pdn3d::irdrop

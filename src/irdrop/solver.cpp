@@ -1,0 +1,118 @@
+#include "irdrop/solver.hpp"
+
+#include <stdexcept>
+
+#include "linalg/coo.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/reorder.hpp"
+
+namespace pdn3d::irdrop {
+
+IrSolver::IrSolver(const pdn::StackModel& model, SolverKind kind)
+    : kind_(kind), vdd_(model.vdd()) {
+  const std::size_t n = model.node_count();
+  if (n == 0) throw std::invalid_argument("IrSolver: empty model");
+  if (model.taps().empty()) {
+    throw std::invalid_argument("IrSolver: no supply taps -- the system would be singular");
+  }
+
+  linalg::CooBuilder builder(n);
+  for (const auto& r : model.resistors()) {
+    builder.stamp_conductance(r.a, r.b, 1.0 / r.ohms);
+  }
+  supply_rhs_.assign(n, 0.0);
+  for (const auto& t : model.taps()) {
+    const double g = 1.0 / t.ohms;
+    builder.stamp_to_ground(t.node, g);
+    supply_rhs_[t.node] += g * vdd_;
+  }
+  g_ = builder.compress();
+
+  if (kind_ == SolverKind::kPcgIc) {
+    ic_ = std::make_unique<linalg::IncompleteCholesky>(g_);
+  } else if (kind_ == SolverKind::kBandedDirect) {
+    banded_ = std::make_unique<linalg::BandedCholesky>(g_, linalg::rcm_ordering(g_));
+  }
+}
+
+std::vector<double> IrSolver::solve(std::span<const double> sinks) const {
+  const std::size_t n = g_.dimension();
+  if (sinks.size() != n) throw std::invalid_argument("IrSolver::solve: sink vector size mismatch");
+
+  std::vector<double> rhs(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) rhs[i] = supply_rhs_[i] - sinks[i];
+
+  if (kind_ == SolverKind::kBandedDirect) {
+    last_iterations_ = 0;
+    return banded_->solve(rhs);
+  }
+
+  if (kind_ == SolverKind::kDense) {
+    last_iterations_ = 0;
+    linalg::DenseMatrix a(n, n);
+    const auto rp = g_.row_ptr();
+    const auto ci = g_.col_idx();
+    const auto vals = g_.values();
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) a(r, ci[k]) = vals[k];
+    }
+    return linalg::solve_cholesky(std::move(a), rhs);
+  }
+
+  linalg::CgOptions opts;
+  opts.preconditioner = kind_ == SolverKind::kPcgIc ? linalg::Preconditioner::kIncompleteCholesky
+                                                    : linalg::Preconditioner::kJacobi;
+  // Reuse the cached IC factor by inlining the CG loop? solve_cg refactors it
+  // internally; for the IC path we bypass solve_cg and run PCG here with the
+  // cached preconditioner to avoid re-factorizing per state.
+  if (kind_ == SolverKind::kPcgJacobi) {
+    auto result = linalg::solve_cg(g_, rhs, opts);
+    if (!result.converged) throw std::runtime_error("IrSolver: CG did not converge");
+    last_iterations_ = result.iterations;
+    return std::move(result.x);
+  }
+
+  // IC-PCG with the cached factorization.
+  std::vector<double> x(n, 0.0);
+  std::vector<double> r(rhs);
+  std::vector<double> z(n, 0.0);
+  std::vector<double> p(n, 0.0);
+  std::vector<double> ap(n, 0.0);
+  const double bnorm = linalg::norm2(rhs);
+  if (bnorm == 0.0) return x;
+  const double target = 1e-10 * bnorm;
+
+  ic_->apply(r, z);
+  p = z;
+  double rz = linalg::dot(r, z);
+  const std::size_t max_it = 20000;
+  bool converged = false;
+  for (std::size_t it = 0; it < max_it; ++it) {
+    g_.multiply(p, ap);
+    const double pap = linalg::dot(p, ap);
+    if (pap <= 0.0) break;
+    const double alpha = rz / pap;
+    linalg::axpy(alpha, p, x);
+    linalg::axpy(-alpha, ap, r);
+    last_iterations_ = it + 1;
+    if (linalg::norm2(r) <= target) {
+      converged = true;
+      break;
+    }
+    ic_->apply(r, z);
+    const double rz_new = linalg::dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  if (!converged) throw std::runtime_error("IrSolver: IC-PCG did not converge");
+  return x;
+}
+
+std::vector<double> IrSolver::solve_ir(std::span<const double> sinks) const {
+  std::vector<double> v = solve(sinks);
+  for (double& x : v) x = vdd_ - x;
+  return v;
+}
+
+}  // namespace pdn3d::irdrop

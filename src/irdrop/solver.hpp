@@ -1,0 +1,60 @@
+#pragma once
+
+/// @file solver.hpp
+/// @brief DC operating-point solver for a StackModel (the HSPICE substitute).
+///
+/// Nodal analysis with the ideal VDD rail eliminated: every supply tap of
+/// conductance g contributes g to its node's diagonal and g*VDD to the RHS;
+/// block currents are sinks on the RHS. The conductance matrix is SPD, solved
+/// with IC(0)-preconditioned CG. The matrix and preconditioner are built once
+/// per design point and reused across memory states (only the RHS changes),
+/// which is what makes LUT construction and co-optimization sweeps cheap.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "linalg/banded.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/ichol.hpp"
+#include "pdn/stack_model.hpp"
+
+namespace pdn3d::irdrop {
+
+enum class SolverKind {
+  kPcgIc,         ///< IC(0)-preconditioned CG (default, fast)
+  kPcgJacobi,     ///< Jacobi-preconditioned CG
+  kBandedDirect,  ///< RCM + banded Cholesky: factor once, O(n*b) per state
+  kDense,         ///< dense Cholesky -- exact reference ("signoff") path
+};
+
+class IrSolver {
+ public:
+  explicit IrSolver(const pdn::StackModel& model, SolverKind kind = SolverKind::kPcgIc);
+
+  /// Node voltages for the given per-node sink currents (amps, >= 0 draws
+  /// current). @p sinks must have model.node_count() entries.
+  [[nodiscard]] std::vector<double> solve(std::span<const double> sinks) const;
+
+  /// IR drop per node (VDD - v), volts.
+  [[nodiscard]] std::vector<double> solve_ir(std::span<const double> sinks) const;
+
+  [[nodiscard]] std::size_t node_count() const { return g_.dimension(); }
+  [[nodiscard]] double vdd() const { return vdd_; }
+  [[nodiscard]] const linalg::Csr& conductance_matrix() const { return g_; }
+
+  /// Iterations used by the last CG solve (0 for the dense path).
+  [[nodiscard]] std::size_t last_iterations() const { return last_iterations_; }
+
+ private:
+  SolverKind kind_;
+  double vdd_;
+  linalg::Csr g_;
+  std::vector<double> supply_rhs_;  ///< sum of g*VDD per node
+  std::unique_ptr<linalg::IncompleteCholesky> ic_;
+  std::unique_ptr<linalg::BandedCholesky> banded_;
+  mutable std::size_t last_iterations_ = 0;
+};
+
+}  // namespace pdn3d::irdrop

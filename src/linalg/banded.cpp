@@ -1,0 +1,79 @@
+#include "linalg/banded.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/reorder.hpp"
+
+namespace pdn3d::linalg {
+
+BandedCholesky::BandedCholesky(const Csr& a, std::vector<std::size_t> perm)
+    : n_(a.dimension()), perm_(std::move(perm)) {
+  if (perm_.size() != n_) throw std::invalid_argument("BandedCholesky: permutation size");
+  pos_.assign(n_, 0);
+  for (std::size_t k = 0; k < n_; ++k) pos_[perm_[k]] = k;
+
+  band_ = bandwidth_under(a, perm_);
+  // Row-major band storage for L: row i holds columns [i - band_, i].
+  storage_.assign(n_ * (band_ + 1), 0.0);
+
+  // Scatter A (permuted) into the band (lower triangle only).
+  const auto rp = a.row_ptr();
+  const auto ci = a.col_idx();
+  const auto av = a.values();
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) {
+      const std::size_t i = pos_[r];
+      const std::size_t j = pos_[ci[k]];
+      if (j <= i) l_at(i, j) = av[k];
+    }
+  }
+
+  // In-place banded Cholesky.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t lo = i > band_ ? i - band_ : 0;
+    for (std::size_t j = lo; j <= i; ++j) {
+      double sum = l_get(i, j);
+      const std::size_t klo = std::max(lo, j > band_ ? j - band_ : std::size_t{0});
+      for (std::size_t k = klo; k < j; ++k) {
+        sum -= l_get(i, k) * l_get(j, k);
+      }
+      if (j == i) {
+        if (sum <= 0.0) throw std::runtime_error("BandedCholesky: matrix not positive definite");
+        l_at(i, i) = std::sqrt(sum);
+      } else {
+        l_at(i, j) = sum / l_get(j, j);
+      }
+    }
+  }
+}
+
+std::vector<double> BandedCholesky::solve(std::span<const double> b) const {
+  if (b.size() != n_) throw std::invalid_argument("BandedCholesky::solve: rhs size");
+
+  // Permute b.
+  std::vector<double> y(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) y[i] = b[perm_[i]];
+
+  // Forward solve L y = b.
+  for (std::size_t i = 0; i < n_; ++i) {
+    double sum = y[i];
+    const std::size_t lo = i > band_ ? i - band_ : 0;
+    for (std::size_t k = lo; k < i; ++k) sum -= l_get(i, k) * y[k];
+    y[i] = sum / l_get(i, i);
+  }
+  // Backward solve L^T x = y.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double sum = y[ii];
+    const std::size_t hi = std::min(n_ - 1, ii + band_);
+    for (std::size_t k = ii + 1; k <= hi; ++k) sum -= l_get(k, ii) * y[k];
+    y[ii] = sum / l_get(ii, ii);
+  }
+
+  // Un-permute.
+  std::vector<double> x(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) x[perm_[i]] = y[i];
+  return x;
+}
+
+}  // namespace pdn3d::linalg

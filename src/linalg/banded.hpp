@@ -1,0 +1,47 @@
+#pragma once
+
+/// @file banded.hpp
+/// @brief Banded Cholesky factorization under an RCM ordering.
+///
+/// Direct-solver alternative to PCG for repeated right-hand sides: factor
+/// once in O(n b^2), then each solve is O(n b). The R-Mesh LUT (81 states)
+/// and the co-optimizer's per-design multi-state evaluations are exactly
+/// that access pattern.
+
+#include <span>
+#include <vector>
+
+#include "linalg/csr.hpp"
+
+namespace pdn3d::linalg {
+
+class BandedCholesky {
+ public:
+  /// Factor SPD matrix @p a under @p perm (e.g. rcm_ordering(a)).
+  /// Throws std::runtime_error if a pivot is non-positive (not SPD).
+  BandedCholesky(const Csr& a, std::vector<std::size_t> perm);
+
+  /// Solve A x = b (in the original ordering).
+  [[nodiscard]] std::vector<double> solve(std::span<const double> b) const;
+
+  [[nodiscard]] std::size_t bandwidth() const { return band_; }
+  [[nodiscard]] std::size_t dimension() const { return n_; }
+  /// Factor storage in doubles (n * (bandwidth + 1)).
+  [[nodiscard]] std::size_t factor_size() const { return storage_.size(); }
+
+ private:
+  [[nodiscard]] double& l_at(std::size_t i, std::size_t j) {
+    return storage_[i * (band_ + 1) + (j + band_ - i)];
+  }
+  [[nodiscard]] double l_get(std::size_t i, std::size_t j) const {
+    return storage_[i * (band_ + 1) + (j + band_ - i)];
+  }
+
+  std::size_t n_ = 0;
+  std::size_t band_ = 0;
+  std::vector<std::size_t> perm_;  ///< new -> old
+  std::vector<std::size_t> pos_;   ///< old -> new
+  std::vector<double> storage_;    ///< row-major band of L
+};
+
+}  // namespace pdn3d::linalg

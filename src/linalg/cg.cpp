@@ -1,0 +1,97 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "linalg/ichol.hpp"
+
+namespace pdn3d::linalg {
+
+CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& options) {
+  const std::size_t n = a.dimension();
+  if (b.size() != n) throw std::invalid_argument("solve_cg: rhs size mismatch");
+
+  CgResult result;
+  result.x.assign(n, 0.0);
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+
+  const double bnorm = norm2(b);
+  if (bnorm == 0.0) {
+    result.converged = true;
+    return result;
+  }
+  const double target = options.rel_tolerance * bnorm;
+
+  std::vector<double> r(b.begin(), b.end());  // r = b - A*0
+  std::vector<double> z(n, 0.0);
+  std::vector<double> p(n, 0.0);
+  std::vector<double> ap(n, 0.0);
+
+  std::vector<double> inv_diag;
+  std::unique_ptr<IncompleteCholesky> ic;
+  switch (options.preconditioner) {
+    case Preconditioner::kNone:
+      break;
+    case Preconditioner::kJacobi: {
+      inv_diag = a.diagonal();
+      for (double& d : inv_diag) d = (d > 0.0) ? 1.0 / d : 1.0;
+      break;
+    }
+    case Preconditioner::kIncompleteCholesky:
+      ic = std::make_unique<IncompleteCholesky>(a);
+      break;
+  }
+
+  const auto apply_precond = [&](std::span<const double> rr, std::span<double> zz) {
+    switch (options.preconditioner) {
+      case Preconditioner::kNone:
+        std::copy(rr.begin(), rr.end(), zz.begin());
+        break;
+      case Preconditioner::kJacobi:
+        for (std::size_t i = 0; i < rr.size(); ++i) zz[i] = rr[i] * inv_diag[i];
+        break;
+      case Preconditioner::kIncompleteCholesky:
+        ic->apply(rr, zz);
+        break;
+    }
+  };
+
+  apply_precond(r, z);
+  p = z;
+  double rz = dot(r, z);
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    a.multiply(p, ap);
+    const double pap = dot(p, ap);
+    if (pap <= 0.0) break;  // matrix not SPD on this subspace; bail out
+    const double alpha = rz / pap;
+    axpy(alpha, p, result.x);
+    axpy(-alpha, ap, r);
+    result.iterations = it + 1;
+
+    const double rnorm = norm2(r);
+    if (rnorm <= target) {
+      result.converged = true;
+      break;
+    }
+
+    apply_precond(r, z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+
+  // Report the true residual, not the recurrence residual.
+  a.multiply(result.x, ap);
+  for (std::size_t i = 0; i < n; ++i) ap[i] = b[i] - ap[i];
+  result.residual_norm = norm2(ap);
+  if (result.residual_norm <= target * 10.0) result.converged = true;
+  return result;
+}
+
+}  // namespace pdn3d::linalg

@@ -1,0 +1,35 @@
+#pragma once
+
+/// @file cg.hpp
+/// @brief Preconditioned conjugate gradient for the SPD nodal systems the
+/// R-Mesh engine produces (this is our HSPICE substitute).
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "linalg/csr.hpp"
+
+namespace pdn3d::linalg {
+
+/// Identity / Jacobi / incomplete-Cholesky preconditioner choice.
+enum class Preconditioner { kNone, kJacobi, kIncompleteCholesky };
+
+struct CgOptions {
+  double rel_tolerance = 1e-10;  ///< stop when ||r|| <= rel_tolerance * ||b||
+  std::size_t max_iterations = 20000;
+  Preconditioner preconditioner = Preconditioner::kIncompleteCholesky;
+};
+
+struct CgResult {
+  std::vector<double> x;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;  ///< final ||b - Ax||
+  bool converged = false;
+};
+
+/// Solve A x = b for SPD A. Throws std::invalid_argument on size mismatch.
+CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& options = {});
+
+}  // namespace pdn3d::linalg

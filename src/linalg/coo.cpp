@@ -1,0 +1,68 @@
+#include "linalg/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pdn3d::linalg {
+
+CooBuilder::CooBuilder(std::size_t n) : n_(n) {}
+
+void CooBuilder::add(std::size_t row, std::size_t col, double value) {
+  if (row >= n_ || col >= n_) throw std::out_of_range("CooBuilder::add: index out of range");
+  if (value == 0.0) return;
+  rows_.push_back(row);
+  cols_.push_back(col);
+  vals_.push_back(value);
+}
+
+void CooBuilder::stamp_conductance(std::size_t a, std::size_t b, double g) {
+  if (g <= 0.0) throw std::invalid_argument("stamp_conductance: non-positive conductance");
+  if (a == b) throw std::invalid_argument("stamp_conductance: self-loop");
+  add(a, a, g);
+  add(b, b, g);
+  add(a, b, -g);
+  add(b, a, -g);
+}
+
+void CooBuilder::stamp_to_ground(std::size_t a, double g) {
+  if (g <= 0.0) throw std::invalid_argument("stamp_to_ground: non-positive conductance");
+  add(a, a, g);
+}
+
+Csr CooBuilder::compress() const {
+  const std::size_t nnz_in = rows_.size();
+  std::vector<std::size_t> order(nnz_in);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    if (rows_[i] != rows_[j]) return rows_[i] < rows_[j];
+    return cols_[i] < cols_[j];
+  });
+
+  std::vector<std::size_t> row_ptr(n_ + 1, 0);
+  std::vector<std::size_t> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(nnz_in);
+  values.reserve(nnz_in);
+
+  std::size_t i = 0;
+  while (i < nnz_in) {
+    const std::size_t r = rows_[order[i]];
+    const std::size_t c = cols_[order[i]];
+    double sum = 0.0;
+    while (i < nnz_in && rows_[order[i]] == r && cols_[order[i]] == c) {
+      sum += vals_[order[i]];
+      ++i;
+    }
+    if (sum != 0.0) {
+      col_idx.push_back(c);
+      values.push_back(sum);
+      ++row_ptr[r + 1];
+    }
+  }
+  for (std::size_t r = 0; r < n_; ++r) row_ptr[r + 1] += row_ptr[r];
+
+  return Csr(n_, std::move(row_ptr), std::move(col_idx), std::move(values));
+}
+
+}  // namespace pdn3d::linalg

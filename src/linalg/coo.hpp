@@ -1,0 +1,46 @@
+#pragma once
+
+/// @file coo.hpp
+/// @brief Coordinate-format (triplet) sparse matrix builder.
+///
+/// Circuit stamping naturally produces duplicate (row, col) entries -- one per
+/// element incident on a node pair. CooBuilder accumulates triplets and
+/// compresses them (summing duplicates) into a CSR matrix.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/csr.hpp"
+
+namespace pdn3d::linalg {
+
+class CooBuilder {
+ public:
+  /// @param n matrix dimension (square matrices only -- nodal analysis).
+  explicit CooBuilder(std::size_t n);
+
+  /// Accumulate @p value at (row, col). Duplicates sum on compression.
+  void add(std::size_t row, std::size_t col, double value);
+
+  /// Stamp a two-terminal conductance @p g between nodes @p a and @p b:
+  ///   G[a][a] += g, G[b][b] += g, G[a][b] -= g, G[b][a] -= g.
+  void stamp_conductance(std::size_t a, std::size_t b, double g);
+
+  /// Stamp conductance @p g from node @p a to ground (diagonal only).
+  void stamp_to_ground(std::size_t a, double g);
+
+  [[nodiscard]] std::size_t dimension() const { return n_; }
+  [[nodiscard]] std::size_t triplet_count() const { return rows_.size(); }
+
+  /// Sort, merge duplicates, and build a CSR matrix. The builder remains
+  /// valid and may keep accumulating (compress again for an updated matrix).
+  [[nodiscard]] Csr compress() const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> rows_;
+  std::vector<std::size_t> cols_;
+  std::vector<double> vals_;
+};
+
+}  // namespace pdn3d::linalg

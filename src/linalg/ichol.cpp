@@ -1,0 +1,110 @@
+#include "linalg/ichol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pdn3d::linalg {
+
+IncompleteCholesky::IncompleteCholesky(const Csr& a) : n_(a.dimension()) {
+  // Extract the lower triangle (including diagonal) in CSR form.
+  row_ptr_.assign(n_ + 1, 0);
+  const auto arp = a.row_ptr();
+  const auto aci = a.col_idx();
+  const auto av = a.values();
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = arp[r]; k < arp[r + 1]; ++k) {
+      if (aci[k] <= r) ++row_ptr_[r + 1];
+    }
+  }
+  for (std::size_t r = 0; r < n_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+  col_idx_.resize(row_ptr_.back());
+  values_.resize(row_ptr_.back());
+  {
+    std::vector<std::size_t> fill = {};
+    fill.assign(n_, 0);
+    for (std::size_t r = 0; r < n_; ++r) {
+      for (std::size_t k = arp[r]; k < arp[r + 1]; ++k) {
+        if (aci[k] <= r) {
+          const std::size_t pos = row_ptr_[r] + fill[r]++;
+          col_idx_[pos] = aci[k];
+          values_[pos] = av[k];
+        }
+      }
+    }
+  }
+
+  diag_.assign(n_, 0.0);
+  diag_pos_.assign(n_, 0);
+
+  // IC(0): for each row r, update with previously factored rows sharing
+  // sparsity, then take the square root of the diagonal.
+  // Column-wise access helper: for each column c, the rows below that touch it.
+  // We do the standard up-looking variant using a dense work row for clarity;
+  // grid matrices have O(1) entries per row so this stays linear-ish.
+  std::vector<double> work(n_, 0.0);
+  std::vector<std::size_t> pattern;
+  for (std::size_t r = 0; r < n_; ++r) {
+    pattern.clear();
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      work[col_idx_[k]] = values_[k];
+      pattern.push_back(col_idx_[k]);
+    }
+    std::sort(pattern.begin(), pattern.end());
+
+    for (std::size_t c : pattern) {
+      if (c == r) break;
+      // work[c] = (a[r][c] - sum_{j<c} L[r][j] L[c][j]) / L[c][c]
+      double sum = work[c];
+      // Iterate over row c of L (columns j < c) and match against work.
+      for (std::size_t k = row_ptr_[c]; k + 1 < row_ptr_[c + 1]; ++k) {
+        const std::size_t j = col_idx_[k];
+        if (j < c) sum -= values_[k] * work[j];
+      }
+      work[c] = sum / diag_[c];
+    }
+
+    double d = work[r];
+    for (std::size_t c : pattern) {
+      if (c == r) break;
+      d -= work[c] * work[c];
+    }
+    if (d <= 0.0) {
+      // Shifted IC fallback: keep the factorization positive definite.
+      d = std::max(1e-12, std::abs(work[r]) * 1e-3);
+    }
+    diag_[r] = std::sqrt(d);
+
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::size_t c = col_idx_[k];
+      values_[k] = (c == r) ? diag_[r] : work[c];
+      if (c == r) diag_pos_[r] = k;
+      work[c] = 0.0;
+    }
+  }
+}
+
+void IncompleteCholesky::apply(std::span<const double> r, std::span<double> z) const {
+  if (r.size() != n_ || z.size() != n_) throw std::invalid_argument("IncompleteCholesky::apply: size");
+  // Forward solve L y = r (y stored into z).
+  for (std::size_t i = 0; i < n_; ++i) {
+    double sum = r[i];
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const std::size_t c = col_idx_[k];
+      if (c < i) sum -= values_[k] * z[c];
+    }
+    z[i] = sum / diag_[i];
+  }
+  // Backward solve L^T z = y. Column i of L^T is row i of L, so process rows
+  // in reverse, finalizing z[i] and scattering the update into earlier rows.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    z[ii] /= diag_[ii];
+    const double zi = z[ii];
+    for (std::size_t k = row_ptr_[ii]; k < row_ptr_[ii + 1]; ++k) {
+      const std::size_t c = col_idx_[k];
+      if (c < ii) z[c] -= values_[k] * zi;
+    }
+  }
+}
+
+}  // namespace pdn3d::linalg

@@ -1,0 +1,36 @@
+#pragma once
+
+/// @file ichol.hpp
+/// @brief Zero-fill incomplete Cholesky factorization IC(0) used as the PCG
+/// preconditioner on power-grid conductance matrices.
+
+#include <span>
+#include <vector>
+
+#include "linalg/csr.hpp"
+
+namespace pdn3d::linalg {
+
+/// Lower-triangular IC(0) factor stored in CSR layout (same sparsity as the
+/// lower triangle of the input).
+class IncompleteCholesky {
+ public:
+  /// Factorize SPD matrix @p a. If a pivot goes non-positive the diagonal is
+  /// locally boosted (shifted IC) so the preconditioner stays usable.
+  explicit IncompleteCholesky(const Csr& a);
+
+  /// Apply M^-1: solve L L^T z = r.
+  void apply(std::span<const double> r, std::span<double> z) const;
+
+  [[nodiscard]] std::size_t dimension() const { return n_; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> values_;
+  std::vector<double> diag_;          ///< L diagonal entries
+  std::vector<std::size_t> diag_pos_; ///< position of diagonal within each row
+};
+
+}  // namespace pdn3d::linalg

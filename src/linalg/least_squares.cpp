@@ -1,0 +1,65 @@
+#include "linalg/least_squares.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pdn3d::linalg {
+
+LeastSquaresResult solve_least_squares(const DenseMatrix& a, std::span<const double> b) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  if (b.size() != m) throw std::invalid_argument("solve_least_squares: rhs size mismatch");
+  if (m < n) throw std::invalid_argument("solve_least_squares: underdetermined system");
+
+  // Work on copies; reduce A to upper-triangular R with Householder
+  // reflections, applying the same reflections to b.
+  DenseMatrix r = a;
+  std::vector<double> rhs(b.begin(), b.end());
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the Householder vector for column k below the diagonal.
+    double norm = 0.0;
+    for (std::size_t i = k; i < m; ++i) norm += r(i, k) * r(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) throw std::runtime_error("solve_least_squares: rank-deficient matrix");
+
+    const double alpha = (r(k, k) > 0.0) ? -norm : norm;
+    std::vector<double> v(m - k, 0.0);
+    v[0] = r(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) v[i - k] = r(i, k);
+    double vtv = 0.0;
+    for (double vi : v) vtv += vi * vi;
+    if (vtv == 0.0) continue;  // column already reduced
+
+    // Apply H = I - 2 v v^T / (v^T v) to the remaining columns and to rhs.
+    for (std::size_t c = k; c < n; ++c) {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += v[i - k] * r(i, c);
+      const double f = 2.0 * s / vtv;
+      for (std::size_t i = k; i < m; ++i) r(i, c) -= f * v[i - k];
+    }
+    {
+      double s = 0.0;
+      for (std::size_t i = k; i < m; ++i) s += v[i - k] * rhs[i];
+      const double f = 2.0 * s / vtv;
+      for (std::size_t i = k; i < m; ++i) rhs[i] -= f * v[i - k];
+    }
+  }
+
+  LeastSquaresResult out;
+  out.coefficients.assign(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = rhs[ii];
+    for (std::size_t c = ii + 1; c < n; ++c) s -= r(ii, c) * out.coefficients[c];
+    const double d = r(ii, ii);
+    if (std::abs(d) < 1e-300) throw std::runtime_error("solve_least_squares: singular R");
+    out.coefficients[ii] = s / d;
+  }
+
+  double res = 0.0;
+  for (std::size_t i = n; i < m; ++i) res += rhs[i] * rhs[i];
+  out.residual_norm = std::sqrt(res);
+  return out;
+}
+
+}  // namespace pdn3d::linalg

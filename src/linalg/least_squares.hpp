@@ -1,0 +1,23 @@
+#pragma once
+
+/// @file least_squares.hpp
+/// @brief Householder-QR linear least squares (the MATLAB-regression
+/// substitute used by the IR-drop model fitting in src/fit).
+
+#include <span>
+#include <vector>
+
+#include "linalg/dense.hpp"
+
+namespace pdn3d::linalg {
+
+struct LeastSquaresResult {
+  std::vector<double> coefficients;
+  double residual_norm = 0.0;  ///< ||b - A x||_2
+};
+
+/// Minimize ||A x - b||_2 via Householder QR. Requires rows >= cols and full
+/// column rank (throws std::runtime_error on rank deficiency).
+LeastSquaresResult solve_least_squares(const DenseMatrix& a, std::span<const double> b);
+
+}  // namespace pdn3d::linalg

@@ -1,0 +1,29 @@
+#pragma once
+
+/// @file reorder.hpp
+/// @brief Reverse Cuthill-McKee (RCM) bandwidth-reducing ordering.
+///
+/// Power-grid conductance matrices are near-planar; after RCM their
+/// bandwidth is O(grid width), which makes a banded direct factorization
+/// practical (see banded.hpp). Used by the kBandedDirect solver path.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/csr.hpp"
+
+namespace pdn3d::linalg {
+
+/// Returns a permutation `perm` such that new index k corresponds to old
+/// index perm[k]. Handles disconnected graphs (each component ordered from a
+/// minimum-degree peripheral seed).
+std::vector<std::size_t> rcm_ordering(const Csr& a);
+
+/// Half-bandwidth of A under a permutation: max |pos[i] - pos[j]| over
+/// nonzero off-diagonal entries, where pos is the inverse permutation.
+std::size_t bandwidth_under(const Csr& a, const std::vector<std::size_t>& perm);
+
+/// Identity permutation (for comparing orderings).
+std::vector<std::size_t> identity_ordering(std::size_t n);
+
+}  // namespace pdn3d::linalg

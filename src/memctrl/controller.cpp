@@ -1,0 +1,249 @@
+#include "memctrl/controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pdn3d::memctrl {
+
+MemoryController::MemoryController(const SimConfig& config, const PolicyConfig& policy)
+    : config_(config), policy_config_(policy) {
+  if (config_.dies <= 0 || config_.banks_per_die <= 0 || config_.channels <= 0) {
+    throw std::invalid_argument("MemoryController: bad configuration");
+  }
+  if (policy.ir_policy == IrPolicyKind::kIrAware && policy.lut == nullptr) {
+    throw std::invalid_argument("MemoryController: IR-aware policy requires a LUT");
+  }
+}
+
+int MemoryController::channel_of(int die, int bank) const {
+  if (config_.channel_by_die) return die % config_.channels;
+  return (die * config_.banks_per_die + bank) % config_.channels;
+}
+
+SimResult MemoryController::run(std::vector<Request> requests) {
+  std::sort(requests.begin(), requests.end(),
+            [](const Request& a, const Request& b) { return a.arrival < b.arrival; });
+
+  const dram::TimingParams& t = config_.timing;
+  const int nbanks = config_.dies * config_.banks_per_die;
+  std::vector<dram::Bank> banks(static_cast<std::size_t>(nbanks), dram::Bank(t));
+  std::vector<dram::Cycle> bus_free(static_cast<std::size_t>(config_.channels), 0);
+
+  ActivationPolicy policy(policy_config_, t, config_.dies, config_.max_active_per_die);
+
+  std::vector<Request> queue;
+  queue.reserve(static_cast<std::size_t>(config_.queue_capacity));
+
+  SimResult result;
+  std::size_t next_arrival = 0;
+  long completed = 0;
+  const long total = static_cast<long>(requests.size());
+  dram::Cycle now = 0;
+  dram::Cycle last_progress = 0;
+  dram::Cycle last_completion = 0;
+  double active_bank_cycles = 0.0;
+
+  std::vector<int> active_per_die(static_cast<std::size_t>(config_.dies), 0);
+  std::vector<char> bank_touched(static_cast<std::size_t>(nbanks), 0);
+  std::vector<char> cmd_used(static_cast<std::size_t>(config_.channels), 0);
+
+  // Refresh bookkeeping (per die), staggered so dies do not refresh together.
+  std::vector<dram::Cycle> refresh_due(static_cast<std::size_t>(config_.dies), dram::kNever);
+  std::vector<dram::Cycle> refresh_until(static_cast<std::size_t>(config_.dies), dram::kNever);
+  std::vector<char> refresh_pending(static_cast<std::size_t>(config_.dies), 0);
+  if (config_.enable_refresh) {
+    for (int d = 0; d < config_.dies; ++d) {
+      refresh_due[static_cast<std::size_t>(d)] =
+          t.tREFI / config_.dies * (d + 1);  // staggered first due times
+    }
+  }
+  const auto die_blocked = [&](int die, dram::Cycle cyc) {
+    const auto d = static_cast<std::size_t>(die);
+    return refresh_pending[d] != 0 ||
+           (refresh_until[d] != dram::kNever && cyc < refresh_until[d]);
+  };
+
+  const auto bank_at = [&](int die, int bank) -> dram::Bank& {
+    return banks[static_cast<std::size_t>(die * config_.banks_per_die + bank)];
+  };
+
+  while (completed < total) {
+    // --- Arrivals (the queue is the paper's priority queue of size 32). ----
+    while (next_arrival < requests.size() && requests[next_arrival].arrival <= now &&
+           static_cast<int>(queue.size()) < config_.queue_capacity) {
+      queue.push_back(requests[next_arrival]);
+      ++next_arrival;
+      last_progress = now;
+    }
+
+    // --- Current memory state. ---------------------------------------------
+    std::fill(active_per_die.begin(), active_per_die.end(), 0);
+    for (int d = 0; d < config_.dies; ++d) {
+      for (int b = 0; b < config_.banks_per_die; ++b) {
+        if (bank_at(d, b).is_active(now)) ++active_per_die[static_cast<std::size_t>(d)];
+      }
+    }
+    {
+      int total_active = 0;
+      for (int c : active_per_die) total_active += c;
+      active_bank_cycles += total_active;
+      if (policy_config_.lut != nullptr && total_active > 0) {
+        std::vector<int> clamped = active_per_die;
+        for (int& c : clamped) c = std::min(c, policy_config_.lut->max_per_die());
+        result.max_ir_mv = std::max(result.max_ir_mv, policy_config_.lut->max_ir_mv(clamped));
+      }
+    }
+
+    // --- Refresh scheduling (optional). --------------------------------------
+    if (config_.enable_refresh) {
+      for (int d = 0; d < config_.dies; ++d) {
+        const auto dd = static_cast<std::size_t>(d);
+        if (!refresh_pending[dd] && refresh_due[dd] != dram::kNever && now >= refresh_due[dd]) {
+          refresh_pending[dd] = 1;  // stop issuing to this die; drain its banks
+        }
+        if (refresh_pending[dd]) {
+          bool all_closed = true;
+          for (int b = 0; b < config_.banks_per_die; ++b) {
+            dram::Bank& bank = bank_at(d, b);
+            const auto ph = bank.phase(now);
+            if (ph == dram::Bank::Phase::kOpen && bank.can_precharge(now)) {
+              bank.precharge(now);
+              ++result.precharges;
+            }
+            if (bank.phase(now) != dram::Bank::Phase::kClosed) all_closed = false;
+          }
+          if (all_closed) {
+            refresh_pending[dd] = 0;
+            refresh_until[dd] = now + t.tRFC;
+            refresh_due[dd] += t.tREFI;
+            ++result.refreshes;
+            last_progress = now;
+          }
+        }
+      }
+    }
+
+    // --- Idle-bank auto close (power action, Section 2.3). ------------------
+    for (int d = 0; d < config_.dies; ++d) {
+      for (int b = 0; b < config_.banks_per_die; ++b) {
+        dram::Bank& bank = bank_at(d, b);
+        if (bank.phase(now) == dram::Bank::Phase::kOpen &&
+            now - bank.last_activity() > config_.bank_close_timeout && bank.can_precharge(now)) {
+          bank.precharge(now);
+          ++result.precharges;
+        }
+      }
+    }
+
+    // --- Issue commands. -----------------------------------------------------
+    std::fill(bank_touched.begin(), bank_touched.end(), 0);
+    std::fill(cmd_used.begin(), cmd_used.end(), 0);
+    const auto order = schedule_order(queue, policy_config_.scheduling, active_per_die);
+    bool act_gate_open = true;
+    std::vector<std::size_t> to_remove;
+    for (std::size_t oi = 0; oi < order.size(); ++oi) {
+      const std::size_t qi = order[oi];
+      // An in-order controller only opens/closes rows for the oldest request
+      // (row hits anywhere in the queue are served -- FR-FCFS style); a
+      // 3D-aware controller may activate for any queued request.
+      const bool may_manage_rows = policy_config_.out_of_order || oi == 0;
+      Request& r = queue[qi];
+      if (config_.enable_refresh && die_blocked(r.die, now)) continue;
+      const int ch = channel_of(r.die, r.bank);
+      if (cmd_used[static_cast<std::size_t>(ch)]) continue;
+      const int bank_key = r.die * config_.banks_per_die + r.bank;
+      if (bank_touched[static_cast<std::size_t>(bank_key)]) continue;
+      dram::Bank& bank = bank_at(r.die, r.bank);
+
+      const bool column_ready =
+          r.is_write ? bank.can_write(now, r.row) : bank.can_read(now, r.row);
+      if (column_ready) {
+        const int data_delay = r.is_write ? t.tCWL : t.tCL;
+        if (bus_free[static_cast<std::size_t>(ch)] <= now + data_delay) {
+          if (r.is_write) {
+            bank.write(now);
+            ++result.writes;
+          } else {
+            bank.read(now);
+            ++result.reads;
+          }
+          bus_free[static_cast<std::size_t>(ch)] = now + data_delay + t.burst_cycles();
+          r.completed = now + data_delay + t.burst_cycles();
+          last_completion = std::max(last_completion, r.completed);
+          ++completed;
+          to_remove.push_back(qi);
+          cmd_used[static_cast<std::size_t>(ch)] = 1;
+          bank_touched[static_cast<std::size_t>(bank_key)] = 1;
+          last_progress = now;
+        }
+        continue;
+      }
+
+      const auto phase = bank.phase(now);
+      if (phase == dram::Bank::Phase::kOpen && bank.open_row() != r.row) {
+        if (!may_manage_rows) continue;
+        bank_touched[static_cast<std::size_t>(bank_key)] = 1;
+        if (bank.can_precharge(now)) {
+          bank.precharge(now);
+          ++result.precharges;
+          cmd_used[static_cast<std::size_t>(ch)] = 1;
+          last_progress = now;
+        }
+        continue;
+      }
+
+      if (phase == dram::Bank::Phase::kClosed && bank.can_activate(now)) {
+        if (!may_manage_rows) continue;
+        bank_touched[static_cast<std::size_t>(bank_key)] = 1;
+        if (!act_gate_open) continue;
+        if (!policy.allows(now, r.die, active_per_die)) {
+          // FCFS preserves activation order: an IR-blocked older request
+          // gates younger activations (anti-starvation, Section 5.2). DistR
+          // reorders instead, so younger requests may proceed.
+          if (policy_config_.scheduling == SchedulingKind::kFcfs) act_gate_open = false;
+          continue;
+        }
+        {
+          bank.activate(now, r.row);
+          policy.note_activate(now);
+          ++active_per_die[static_cast<std::size_t>(r.die)];
+          ++result.activates;
+          cmd_used[static_cast<std::size_t>(ch)] = 1;
+          last_progress = now;
+        }
+        continue;
+      }
+      // Opening or precharging: nothing to do this cycle.
+      bank_touched[static_cast<std::size_t>(bank_key)] = 1;
+    }
+
+    // Remove completed requests (descending to keep indices valid).
+    std::sort(to_remove.rbegin(), to_remove.rend());
+    for (const std::size_t qi : to_remove) {
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(qi));
+    }
+
+    // --- Stall detection (IR constraint may admit no state at all). --------
+    if (now - last_progress > config_.stall_limit) {
+      result.feasible = false;
+      break;
+    }
+    ++now;
+  }
+
+  result.cycles = result.feasible ? last_completion : now;
+  result.runtime_us = t.cycles_to_us(result.cycles);
+  const long column_ops = result.reads + result.writes;
+  result.bandwidth_reads_per_clk =
+      result.cycles > 0 ? static_cast<double>(column_ops) / static_cast<double>(result.cycles)
+                        : 0.0;
+  result.avg_active_banks =
+      now > 0 ? active_bank_cycles / static_cast<double>(now) : 0.0;
+  result.row_hit_fraction =
+      column_ops > 0
+          ? 1.0 - static_cast<double>(result.activates) / static_cast<double>(column_ops)
+          : 0.0;
+  return result;
+}
+
+}  // namespace pdn3d::memctrl

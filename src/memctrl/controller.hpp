@@ -1,0 +1,67 @@
+#pragma once
+
+/// @file controller.hpp
+/// @brief Cycle-by-cycle 3D DRAM memory-controller simulator (Section 2.3).
+///
+/// Models per-bank state machines, a per-channel command slot and data bus,
+/// a priority queue of fixed capacity, idle-bank auto-close, and the
+/// activation policies of policy.hpp. Reports runtime, bandwidth, and the
+/// worst memory-state IR drop encountered (via the LUT).
+
+#include <vector>
+
+#include "dram/bank.hpp"
+#include "dram/timing.hpp"
+#include "memctrl/policy.hpp"
+#include "memctrl/request.hpp"
+
+namespace pdn3d::memctrl {
+
+struct SimConfig {
+  dram::TimingParams timing;
+  int dies = 4;
+  int banks_per_die = 8;
+  int channels = 1;
+  bool channel_by_die = true;  ///< Wide I/O style: channel = die % channels
+  int queue_capacity = 32;     ///< the paper's priority queue of size 32
+  int max_active_per_die = 2;  ///< charge-pump interleave limit
+  int bank_close_timeout = 8;  ///< close a bank idle for this many cycles
+  long stall_limit = 50000;    ///< cycles without progress -> infeasible
+  /// Workload I/O demand as a fraction of one channel's peak throughput;
+  /// scales the activity at which the IR LUT evaluates memory states.
+  double io_demand_factor = 0.8;
+  /// Model periodic all-bank refresh (tREFI / tRFC). Off by default -- the
+  /// paper's study ignores refresh.
+  bool enable_refresh = false;
+};
+
+struct SimResult {
+  bool feasible = true;  ///< false when the IR constraint admits no state
+  dram::Cycle cycles = 0;
+  double runtime_us = 0.0;
+  double bandwidth_reads_per_clk = 0.0;
+  double max_ir_mv = 0.0;  ///< worst LUT entry among states visited
+  long reads = 0;
+  long writes = 0;
+  long activates = 0;
+  long precharges = 0;
+  long refreshes = 0;
+  double avg_active_banks = 0.0;
+  double row_hit_fraction = 0.0;
+};
+
+class MemoryController {
+ public:
+  MemoryController(const SimConfig& config, const PolicyConfig& policy);
+
+  /// Simulate to completion of all @p requests.
+  SimResult run(std::vector<Request> requests);
+
+ private:
+  [[nodiscard]] int channel_of(int die, int bank) const;
+
+  SimConfig config_;
+  PolicyConfig policy_config_;
+};
+
+}  // namespace pdn3d::memctrl

@@ -1,0 +1,102 @@
+#include "memctrl/policy.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pdn3d::memctrl {
+
+PolicyConfig standard_policy() {
+  PolicyConfig pc;
+  pc.ir_policy = IrPolicyKind::kStandard;
+  pc.scheduling = SchedulingKind::kFcfs;
+  pc.out_of_order = false;
+  return pc;
+}
+
+PolicyConfig ir_aware_policy(double constraint_mv, SchedulingKind scheduling) {
+  PolicyConfig pc;
+  pc.ir_policy = IrPolicyKind::kIrAware;
+  pc.scheduling = scheduling;
+  pc.ir_constraint_mv = constraint_mv;
+  pc.out_of_order = true;
+  return pc;
+}
+
+ActivationPolicy::ActivationPolicy(const PolicyConfig& config, const dram::TimingParams& timing,
+                                   int dies, int max_active_per_die)
+    : config_(config), timing_(&timing), max_active_per_die_(max_active_per_die) {
+  (void)dies;
+  if (config_.ir_policy == IrPolicyKind::kIrAware && config_.lut == nullptr) {
+    throw std::invalid_argument("ActivationPolicy: IR-aware policy requires a LUT");
+  }
+}
+
+bool ActivationPolicy::allows(dram::Cycle now, int die,
+                              const std::vector<int>& active_per_die) const {
+  // Charge-pump limit: at most N interleaved banks per die, always enforced.
+  if (active_per_die[static_cast<std::size_t>(die)] >= max_active_per_die_) return false;
+
+  if (config_.ir_policy == IrPolicyKind::kStandard) {
+    // tRRD: minimum spacing between any two activates.
+    if (last_activate_ != dram::kNever && now < last_activate_ + timing_->tRRD) return false;
+    // tFAW: at most four activates in any tFAW window.
+    int in_window = 0;
+    for (const dram::Cycle c : recent_activates_) {
+      if (c != dram::kNever && now < c + timing_->tFAW) ++in_window;
+    }
+    if (in_window >= 4) return false;
+    // 3D-unaware interleave limit: the standard policy sees one "device",
+    // so the per-die interleave cap applies to the whole stack.
+    const int total = std::accumulate(active_per_die.begin(), active_per_die.end(), 0);
+    if (total >= max_active_per_die_) return false;
+    return true;
+  }
+
+  // IR-drop-aware: admit iff the LUT says the *resulting* state meets the
+  // constraint -- including every state reachable from it by other dies
+  // closing their banks. Closing a die concentrates the shared I/O traffic
+  // on the remaining ones (higher per-die activity), so the isolated
+  // projection of each active die must also stay legal.
+  std::vector<int> next = active_per_die;
+  ++next[static_cast<std::size_t>(die)];
+  if (config_.lut->max_ir_mv(next) > config_.ir_constraint_mv) return false;
+  if (!config_.isolation_check) return true;
+  std::vector<int> isolated(next.size(), 0);
+  for (std::size_t e = 0; e < next.size(); ++e) {
+    if (next[e] == 0) continue;
+    std::fill(isolated.begin(), isolated.end(), 0);
+    isolated[e] = next[e];
+    if (config_.lut->max_ir_mv(isolated) > config_.ir_constraint_mv) return false;
+  }
+  return true;
+}
+
+void ActivationPolicy::note_activate(dram::Cycle now) {
+  last_activate_ = now;
+  recent_activates_.push_back(now);
+  if (recent_activates_.size() > 4) recent_activates_.erase(recent_activates_.begin());
+}
+
+std::vector<std::size_t> schedule_order(const std::vector<Request>& queue,
+                                        SchedulingKind scheduling,
+                                        const std::vector<int>& active_per_die) {
+  std::vector<std::size_t> order(queue.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  if (scheduling == SchedulingKind::kFcfs) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return queue[a].arrival < queue[b].arrival;
+    });
+  } else {
+    // DistR: fewest active banks on the target die first, then arrival.
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const int da = active_per_die[static_cast<std::size_t>(queue[a].die)];
+      const int db = active_per_die[static_cast<std::size_t>(queue[b].die)];
+      if (da != db) return da < db;
+      return queue[a].arrival < queue[b].arrival;
+    });
+  }
+  return order;
+}
+
+}  // namespace pdn3d::memctrl

@@ -1,0 +1,22 @@
+#pragma once
+
+/// @file request.hpp
+/// @brief A read request as seen by the memory controller.
+
+#include "dram/bank.hpp"
+
+namespace pdn3d::memctrl {
+
+struct Request {
+  long id = 0;
+  dram::Cycle arrival = 0;  ///< cycle the request enters the controller
+  int die = 0;
+  int bank = 0;  ///< bank index within the die
+  long row = 0;
+  bool is_write = false;
+
+  /// Filled by the simulator: cycle the last data beat left the bus.
+  dram::Cycle completed = dram::kNever;
+};
+
+}  // namespace pdn3d::memctrl

@@ -1,0 +1,87 @@
+#include "memctrl/trace.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace pdn3d::memctrl {
+
+std::vector<Request> read_trace(std::istream& is) {
+  std::vector<Request> out;
+  std::string raw;
+  int line = 0;
+  dram::Cycle prev_arrival = 0;
+  while (std::getline(is, raw)) {
+    ++line;
+    const std::string_view text = util::trim(raw);
+    if (text.empty() || text.front() == '#') continue;
+
+    std::istringstream ss{std::string(text)};
+    long long arrival = 0;
+    int die = 0;
+    int bank = 0;
+    long row = 0;
+    std::string op;
+    if (!(ss >> arrival >> die >> bank >> row >> op)) {
+      throw std::runtime_error("trace line " + std::to_string(line) +
+                               ": expected '<cycle> <die> <bank> <row> R|W'");
+    }
+    std::string extra;
+    if (ss >> extra) {
+      throw std::runtime_error("trace line " + std::to_string(line) + ": trailing junk '" +
+                               extra + "'");
+    }
+    if (arrival < 0 || die < 0 || bank < 0 || row < 0) {
+      throw std::runtime_error("trace line " + std::to_string(line) + ": negative field");
+    }
+    if (!out.empty() && arrival < prev_arrival) {
+      throw std::runtime_error("trace line " + std::to_string(line) +
+                               ": arrivals must be non-decreasing");
+    }
+    const std::string op_l = util::to_lower(op);
+    if (op_l != "r" && op_l != "w") {
+      throw std::runtime_error("trace line " + std::to_string(line) + ": op must be R or W");
+    }
+
+    Request r;
+    r.id = static_cast<long>(out.size());
+    r.arrival = arrival;
+    r.die = die;
+    r.bank = bank;
+    r.row = row;
+    r.is_write = op_l == "w";
+    prev_arrival = arrival;
+    out.push_back(r);
+  }
+  return out;
+}
+
+void write_trace(std::ostream& os, std::span<const Request> requests) {
+  os << "# pdn3d trace: <arrival-cycle> <die> <bank> <row> R|W\n";
+  for (const Request& r : requests) {
+    os << r.arrival << ' ' << r.die << ' ' << r.bank << ' ' << r.row << ' '
+       << (r.is_write ? 'W' : 'R') << "\n";
+  }
+}
+
+std::string validate_trace(std::span<const Request> requests, int dies, int banks_per_die) {
+  dram::Cycle prev = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const Request& r = requests[i];
+    if (r.die < 0 || r.die >= dies) {
+      return "request " + std::to_string(i) + ": die " + std::to_string(r.die) + " out of range";
+    }
+    if (r.bank < 0 || r.bank >= banks_per_die) {
+      return "request " + std::to_string(i) + ": bank " + std::to_string(r.bank) +
+             " out of range";
+    }
+    if (i > 0 && r.arrival < prev) {
+      return "request " + std::to_string(i) + ": arrival decreases";
+    }
+    prev = r.arrival;
+  }
+  return {};
+}
+
+}  // namespace pdn3d::memctrl

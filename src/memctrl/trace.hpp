@@ -1,0 +1,34 @@
+#pragma once
+
+/// @file trace.hpp
+/// @brief Request-trace reader/writer.
+///
+/// Besides the synthetic generator, the controller can replay request traces
+/// (e.g. captured from a full-system simulator). Line format:
+///
+///   # comment
+///   <arrival-cycle> <die> <bank> <row> R|W
+///
+/// Arrival cycles must be non-decreasing.
+
+#include <istream>
+#include <ostream>
+#include <span>
+#include <vector>
+
+#include "memctrl/request.hpp"
+
+namespace pdn3d::memctrl {
+
+/// Parse a trace. Throws std::runtime_error with a line number on malformed
+/// input (bad field count, negative indices, decreasing arrivals).
+std::vector<Request> read_trace(std::istream& is);
+
+/// Serialize requests in the same format (round-trips through read_trace).
+void write_trace(std::ostream& os, std::span<const Request> requests);
+
+/// Validate a request stream against a configuration (targets in range,
+/// arrivals sorted). Returns an empty string if fine, else a description.
+std::string validate_trace(std::span<const Request> requests, int dies, int banks_per_die);
+
+}  // namespace pdn3d::memctrl

@@ -1,0 +1,68 @@
+#include "memctrl/workload.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace pdn3d::memctrl {
+
+std::vector<Request> generate_workload(const WorkloadConfig& config) {
+  if (config.num_requests <= 0 || config.dies <= 0 || config.banks_per_die <= 0) {
+    throw std::invalid_argument("generate_workload: bad configuration");
+  }
+  util::Rng rng(config.seed);
+  std::vector<Request> out;
+  out.reserve(static_cast<std::size_t>(config.num_requests));
+
+  struct Stream {
+    int die;
+    int bank;
+    long row;
+  };
+  const int nstreams = std::max(1, config.streams);
+  std::vector<Stream> streams;
+  streams.reserve(static_cast<std::size_t>(nstreams));
+  for (int s = 0; s < nstreams; ++s) {
+    streams.push_back({rng.next_int(0, config.dies - 1),
+                       rng.next_int(0, config.banks_per_die - 1),
+                       rng.next_int(0, static_cast<int>(config.rows_per_bank - 1))});
+  }
+
+  for (long i = 0; i < config.num_requests; ++i) {
+    Stream& s = streams[static_cast<std::size_t>(rng.next_int(0, nstreams - 1))];
+    if (i > 0 && !rng.next_bool(config.row_hit_rate)) {
+      // Stream jump: new bank/row, sometimes staying on the same die.
+      if (!rng.next_bool(config.die_affinity)) s.die = rng.next_int(0, config.dies - 1);
+      s.bank = rng.next_int(0, config.banks_per_die - 1);
+      s.row = rng.next_int(0, static_cast<int>(config.rows_per_bank - 1));
+    }
+    Request r;
+    r.id = i;
+    r.arrival = static_cast<dram::Cycle>(i) * config.arrival_interval;
+    r.die = s.die;
+    r.bank = s.bank;
+    r.row = s.row;
+    r.is_write = rng.next_bool(config.write_fraction);
+    out.push_back(r);
+  }
+  return out;
+}
+
+double measured_locality(const std::vector<Request>& requests, int dies, int banks_per_die) {
+  if (requests.empty()) return 0.0;
+  std::map<int, long> last_row;  // (die * banks + bank) -> last row
+  long hits = 0;
+  long total = 0;
+  for (const Request& r : requests) {
+    const int key = r.die * banks_per_die + r.bank;
+    const auto it = last_row.find(key);
+    if (it != last_row.end()) {
+      ++total;
+      if (it->second == r.row) ++hits;
+    }
+    last_row[key] = r.row;
+  }
+  (void)dies;
+  return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace pdn3d::memctrl

@@ -1,0 +1,135 @@
+#include "opt/cooptimizer.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "cost/cost_model.hpp"
+#include "util/log.hpp"
+
+namespace pdn3d::opt {
+
+CoOptimizer::CoOptimizer(DesignSpace space, IrEvaluator evaluate)
+    : space_(std::move(space)), evaluate_(std::move(evaluate)) {
+  if (!evaluate_) throw std::invalid_argument("CoOptimizer: evaluator required");
+}
+
+const std::vector<FittedChoice>& CoOptimizer::fit_models() {
+  if (fitted_) return fits_;
+
+  const auto choices = enumerate_choices(space_);
+  const auto m2s = default_m2_samples(space_);
+  const auto m3s = default_m3_samples(space_);
+  const auto tcs = default_tc_samples(space_);
+
+  fits_.clear();
+  fits_.reserve(choices.size());
+  for (const auto& choice : choices) {
+    std::vector<fit::Sample> samples;
+    samples.reserve(m2s.size() * m3s.size() * tcs.size());
+    for (const double m2 : m2s) {
+      for (const double m3 : m3s) {
+        for (const int tc : tcs) {
+          const auto cfg = make_config(space_, choice, m2, m3, tc);
+          fit::Sample s;
+          s.vars = {m2, m3, static_cast<double>(cfg.tsv_count)};
+          s.ir_mv = evaluate_(cfg);
+          samples.push_back(s);
+          ++total_samples_;
+        }
+      }
+    }
+    FittedChoice fc;
+    fc.choice = choice;
+    fc.sample_count = samples.size();
+    if (samples.size() >= fit::ir_feature_count()) {
+      fc.model = fit::IrModel::fit(samples);
+    } else {
+      // TC-fixed spaces can produce fewer samples than features; fall back
+      // to a reduced grid by densifying the usage axes.
+      std::vector<fit::Sample> dense = samples;
+      const double m2_mid = (space_.m2_min + space_.m2_max) * 0.5;
+      const double m3_lo = space_.m3_min + 0.25 * (space_.m3_max - space_.m3_min);
+      const double m3_hi = space_.m3_min + 0.75 * (space_.m3_max - space_.m3_min);
+      for (const double m2 : {m2_mid}) {
+        for (const double m3 : {m3_lo, m3_hi}) {
+          for (const int tc : tcs) {
+            const auto cfg = make_config(space_, choice, m2, m3, tc);
+            fit::Sample s;
+            s.vars = {m2, m3, static_cast<double>(cfg.tsv_count)};
+            s.ir_mv = evaluate_(cfg);
+            dense.push_back(s);
+            ++total_samples_;
+          }
+        }
+      }
+      fc.sample_count = dense.size();
+      fc.model = fit::IrModel::fit(dense);
+    }
+    util::log_info("fitted choice TL=", to_string(choice.tsv_location),
+                   " TD=", choice.dedicated ? "Y" : "N", " BD=", to_string(choice.bonding),
+                   " RL=", to_string(choice.rdl), " WB=", choice.wire_bonding ? "Y" : "N",
+                   " rmse=", fc.model.rmse(), " r2=", fc.model.r_squared());
+    fits_.push_back(std::move(fc));
+  }
+  fitted_ = true;
+  return fits_;
+}
+
+Optimum CoOptimizer::optimize(double alpha) {
+  if (alpha < 0.0 || alpha > 1.0) throw std::invalid_argument("CoOptimizer: alpha outside [0,1]");
+  fit_models();
+
+  Optimum best;
+  best.objective = std::numeric_limits<double>::max();
+
+  // Fine grid over the continuous box, evaluated on the cheap fitted models.
+  constexpr int kM2Steps = 11;
+  constexpr int kM3Steps = 31;
+  for (const auto& fc : fits_) {
+    const int tc_lo = space_.effective_tc_min();
+    const int tc_hi = space_.effective_tc_max();
+    const int tc_step = std::max(1, (tc_hi - tc_lo) / 156);
+    for (int i = 0; i < kM2Steps; ++i) {
+      const double m2 =
+          space_.m2_min + (space_.m2_max - space_.m2_min) * i / double(kM2Steps - 1);
+      for (int j = 0; j < kM3Steps; ++j) {
+        const double m3 =
+            space_.m3_min + (space_.m3_max - space_.m3_min) * j / double(kM3Steps - 1);
+        for (int tc = tc_lo; tc <= tc_hi; tc += tc_step) {
+          const double ir = fc.model.predict({m2, m3, static_cast<double>(tc)});
+          if (ir <= 0.0) continue;  // extrapolation artifact; physical IR > 0
+          const auto cfg = make_config(space_, fc.choice, m2, m3, tc);
+          const double c = cost::total_cost(cfg);
+          const double obj = cost::ir_cost(ir, c, alpha);
+          if (obj < best.objective) {
+            best.objective = obj;
+            best.config = cfg;
+            best.predicted_ir_mv = ir;
+            best.cost = c;
+          }
+        }
+      }
+    }
+  }
+
+  if (best.objective == std::numeric_limits<double>::max()) {
+    throw std::runtime_error("CoOptimizer: empty design space");
+  }
+  best.measured_ir_mv = evaluate_(best.config);
+  return best;
+}
+
+double CoOptimizer::worst_rmse() const {
+  double w = 0.0;
+  for (const auto& fc : fits_) w = std::max(w, fc.model.rmse());
+  return w;
+}
+
+double CoOptimizer::worst_r_squared() const {
+  double w = 1.0;
+  for (const auto& fc : fits_) w = std::min(w, fc.model.r_squared());
+  return w;
+}
+
+}  // namespace pdn3d::opt

@@ -1,0 +1,64 @@
+#include "opt/design_space.hpp"
+
+#include <cmath>
+
+namespace pdn3d::opt {
+
+std::vector<DiscreteChoice> enumerate_choices(const DesignSpace& space) {
+  std::vector<DiscreteChoice> out;
+  for (const auto tl : space.tsv_locations) {
+    for (const bool td : space.dedicated_options) {
+      for (const auto bd : space.bonding_options) {
+        for (const auto rl : space.rdl_options) {
+          for (const bool wb : space.wirebond_options) {
+            DiscreteChoice c{tl, td, bd, rl, wb};
+            if (space.valid && !space.valid(c)) continue;
+            out.push_back(c);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+pdn::PdnConfig make_config(const DesignSpace& space, const DiscreteChoice& choice, double m2,
+                           double m3, int tc) {
+  pdn::PdnConfig cfg;
+  cfg.m2_usage = m2;
+  cfg.m3_usage = m3;
+  cfg.tsv_count = space.tc_fixed ? space.tc_fixed_value : tc;
+  cfg.tsv_location = choice.tsv_location;
+  // With an RDL the logic-side pattern stays centered (the low-cost choice);
+  // without one both sides must match.
+  cfg.logic_tsv_location =
+      choice.rdl != pdn::RdlMode::kNone ? pdn::TsvLocation::kCenter : choice.tsv_location;
+  cfg.dedicated_tsvs = choice.dedicated;
+  cfg.bonding = choice.bonding;
+  cfg.rdl = choice.rdl;
+  cfg.wire_bonding = choice.wire_bonding;
+  cfg.mounting = space.mounting;
+  return cfg;
+}
+
+std::vector<double> default_m2_samples(const DesignSpace& space) {
+  if (!space.m2_samples.empty()) return space.m2_samples;
+  return {space.m2_min, (space.m2_min + space.m2_max) * 0.5, space.m2_max};
+}
+
+std::vector<double> default_m3_samples(const DesignSpace& space) {
+  if (!space.m3_samples.empty()) return space.m3_samples;
+  return {space.m3_min, (space.m3_min + space.m3_max) * 0.5, space.m3_max};
+}
+
+std::vector<int> default_tc_samples(const DesignSpace& space) {
+  if (space.tc_fixed) return {space.tc_fixed_value};
+  if (!space.tc_samples.empty()) return space.tc_samples;
+  // Geometric-ish spread: the IR response flattens at high counts.
+  const double lo = space.tc_min;
+  const double hi = space.tc_max;
+  return {static_cast<int>(lo), static_cast<int>(std::sqrt(lo * hi)),
+          static_cast<int>((lo + hi) * 0.35), static_cast<int>(hi)};
+}
+
+}  // namespace pdn3d::opt

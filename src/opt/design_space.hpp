@@ -1,0 +1,68 @@
+#pragma once
+
+/// @file design_space.hpp
+/// @brief Per-benchmark design space (Table 8 input ranges + validity rules).
+
+#include <functional>
+#include <vector>
+
+#include "pdn/pdn_config.hpp"
+
+namespace pdn3d::opt {
+
+/// One combination of the discrete options (continuous vars are swept
+/// separately through the regression model).
+struct DiscreteChoice {
+  pdn::TsvLocation tsv_location = pdn::TsvLocation::kEdge;
+  bool dedicated = false;
+  pdn::BondingStyle bonding = pdn::BondingStyle::kF2B;
+  pdn::RdlMode rdl = pdn::RdlMode::kNone;
+  bool wire_bonding = false;
+};
+
+struct DesignSpace {
+  // Continuous ranges (Table 8): usages as fractions, TSV count as integer.
+  double m2_min = 0.10, m2_max = 0.20;
+  double m3_min = 0.10, m3_max = 0.40;
+  int tc_min = 15, tc_max = 480;
+  bool tc_fixed = false;  ///< Wide I/O: TC pinned to 160 by JEDEC specs
+  int tc_fixed_value = 160;
+
+  // Discrete option menus.
+  std::vector<pdn::TsvLocation> tsv_locations = {pdn::TsvLocation::kCenter,
+                                                 pdn::TsvLocation::kEdge};
+  std::vector<bool> dedicated_options = {false, true};
+  std::vector<pdn::BondingStyle> bonding_options = {pdn::BondingStyle::kF2B,
+                                                    pdn::BondingStyle::kF2F};
+  std::vector<pdn::RdlMode> rdl_options = {pdn::RdlMode::kNone, pdn::RdlMode::kBottomOnly};
+  std::vector<bool> wirebond_options = {false, true};
+
+  pdn::Mounting mounting = pdn::Mounting::kOffChip;
+
+  /// Sample points for regression fitting (filled with defaults if empty).
+  std::vector<double> m2_samples;
+  std::vector<double> m3_samples;
+  std::vector<int> tc_samples;
+
+  /// Extra validity rule (e.g. Wide I/O: edge TSVs require an RDL). May be
+  /// empty.
+  std::function<bool(const DiscreteChoice&)> valid;
+
+  /// Effective TC bounds (collapses to the fixed value when tc_fixed).
+  [[nodiscard]] int effective_tc_min() const { return tc_fixed ? tc_fixed_value : tc_min; }
+  [[nodiscard]] int effective_tc_max() const { return tc_fixed ? tc_fixed_value : tc_max; }
+};
+
+/// All valid discrete choices of a space.
+std::vector<DiscreteChoice> enumerate_choices(const DesignSpace& space);
+
+/// Materialize a full PdnConfig from a choice + continuous variables.
+pdn::PdnConfig make_config(const DesignSpace& space, const DiscreteChoice& choice, double m2,
+                           double m3, int tc);
+
+/// Default sample grids when the space does not override them.
+std::vector<double> default_m2_samples(const DesignSpace& space);
+std::vector<double> default_m3_samples(const DesignSpace& space);
+std::vector<int> default_tc_samples(const DesignSpace& space);
+
+}  // namespace pdn3d::opt

@@ -1,0 +1,52 @@
+#include "opt/pareto.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pdn3d::opt {
+
+bool dominates(const Optimum& a, const Optimum& b) {
+  const bool no_worse = a.measured_ir_mv <= b.measured_ir_mv && a.cost <= b.cost;
+  const bool better = a.measured_ir_mv < b.measured_ir_mv || a.cost < b.cost;
+  return no_worse && better;
+}
+
+std::vector<ParetoPoint> pareto_front(CoOptimizer& optimizer, int steps) {
+  if (steps < 2) throw std::invalid_argument("pareto_front: need at least 2 steps");
+
+  std::vector<ParetoPoint> points;
+  points.reserve(static_cast<std::size_t>(steps));
+  for (int i = 0; i < steps; ++i) {
+    ParetoPoint p;
+    p.alpha = static_cast<double>(i) / static_cast<double>(steps - 1);
+    p.optimum = optimizer.optimize(p.alpha);
+    points.push_back(std::move(p));
+  }
+
+  // Drop dominated points.
+  std::vector<ParetoPoint> front;
+  for (const auto& candidate : points) {
+    bool dominated = false;
+    for (const auto& other : points) {
+      if (&other != &candidate && dominates(other.optimum, candidate.optimum)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(candidate);
+  }
+
+  std::sort(front.begin(), front.end(), [](const ParetoPoint& a, const ParetoPoint& b) {
+    if (a.optimum.cost != b.optimum.cost) return a.optimum.cost < b.optimum.cost;
+    return a.optimum.measured_ir_mv < b.optimum.measured_ir_mv;
+  });
+  // Deduplicate identical designs picked at adjacent alphas.
+  front.erase(std::unique(front.begin(), front.end(),
+                          [](const ParetoPoint& a, const ParetoPoint& b) {
+                            return a.optimum.config.summary() == b.optimum.config.summary();
+                          }),
+              front.end());
+  return front;
+}
+
+}  // namespace pdn3d::opt

@@ -1,0 +1,29 @@
+#pragma once
+
+/// @file pareto.hpp
+/// @brief IR-drop vs cost Pareto frontier from the co-optimizer.
+///
+/// Sweeping alpha over [0, 1] and taking each IR-cost optimum traces the
+/// frontier of non-dominated designs -- the continuous generalization of the
+/// paper's three-point Table 9 summary.
+
+#include <vector>
+
+#include "opt/cooptimizer.hpp"
+
+namespace pdn3d::opt {
+
+struct ParetoPoint {
+  double alpha = 0.0;
+  Optimum optimum;
+};
+
+/// Optimize at @p steps evenly spaced alphas in [0, 1] (inclusive), then
+/// filter to the non-dominated set (lower IR and lower cost both win).
+/// Points are returned in ascending-cost order.
+std::vector<ParetoPoint> pareto_front(CoOptimizer& optimizer, int steps = 11);
+
+/// True if @p a dominates @p b (no worse in both objectives, better in one).
+bool dominates(const Optimum& a, const Optimum& b);
+
+}  // namespace pdn3d::opt

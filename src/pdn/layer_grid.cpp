@@ -1,0 +1,40 @@
+#include "pdn/layer_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace pdn3d::pdn {
+
+std::size_t LayerGrid::node(int i, int j) const {
+  if (i < 0 || i >= nx || j < 0 || j >= ny) throw std::out_of_range("LayerGrid::node");
+  return base + static_cast<std::size_t>(j) * static_cast<std::size_t>(nx) +
+         static_cast<std::size_t>(i);
+}
+
+floorplan::Point LayerGrid::position(int i, int j) const {
+  return {x0 + (static_cast<double>(i) + 0.5) * dx, y0 + (static_cast<double>(j) + 0.5) * dy};
+}
+
+std::size_t LayerGrid::nearest(double x, double y) const {
+  const int i = std::clamp(static_cast<int>(std::floor((x - x0) / dx)), 0, nx - 1);
+  const int j = std::clamp(static_cast<int>(std::floor((y - y0) / dy)), 0, ny - 1);
+  return node(i, j);
+}
+
+std::vector<std::size_t> LayerGrid::nodes_in(const floorplan::Rect& r) const {
+  std::vector<std::size_t> out;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      if (r.contains(position(i, j))) out.push_back(node(i, j));
+    }
+  }
+  if (out.empty()) {
+    const auto c = r.center();
+    out.push_back(nearest(c.x, c.y));
+  }
+  return out;
+}
+
+}  // namespace pdn3d::pdn

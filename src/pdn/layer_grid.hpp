@@ -1,0 +1,50 @@
+#pragma once
+
+/// @file layer_grid.hpp
+/// @brief One metal layer discretized as a rectangular node grid.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "floorplan/geometry.hpp"
+
+namespace pdn3d::pdn {
+
+/// Die codes used by the stack model: DRAM dies are 0..n-1 from the bottom,
+/// the host logic die and the package plane get negative codes.
+inline constexpr int kLogicDie = -1;
+inline constexpr int kPackageDie = -2;
+
+/// Cell-centered grid over [x0, x0+nx*dx] x [y0, y0+ny*dy] in the global
+/// (package-centered) frame. Node (i, j) sits at
+/// (x0 + (i+0.5)*dx, y0 + (j+0.5)*dy). Node ids are contiguous from `base`.
+struct LayerGrid {
+  int die = 0;       ///< die code (see above)
+  int layer = 0;     ///< layer index within the die, 0 = closest to devices
+  std::string name;  ///< e.g. "dram2/M3"
+  int nx = 0;
+  int ny = 0;
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double dx = 0.0;
+  double dy = 0.0;
+  std::size_t base = 0;
+
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
+  }
+
+  [[nodiscard]] std::size_t node(int i, int j) const;
+
+  [[nodiscard]] floorplan::Point position(int i, int j) const;
+
+  /// Node nearest to global point (x, y), clamped to the grid.
+  [[nodiscard]] std::size_t nearest(double x, double y) const;
+
+  /// Nodes whose cell centers fall inside @p r (global frame); when none do,
+  /// returns the single nearest node to the rect center.
+  [[nodiscard]] std::vector<std::size_t> nodes_in(const floorplan::Rect& r) const;
+};
+
+}  // namespace pdn3d::pdn

@@ -1,0 +1,39 @@
+#include "pdn/pdn_config.hpp"
+
+#include <sstream>
+
+namespace pdn3d::pdn {
+
+std::string to_string(TsvLocation l) {
+  switch (l) {
+    case TsvLocation::kCenter: return "C";
+    case TsvLocation::kEdge: return "E";
+    case TsvLocation::kDistributed: return "D";
+  }
+  return "?";
+}
+
+std::string to_string(BondingStyle b) { return b == BondingStyle::kF2B ? "F2B" : "F2F"; }
+
+std::string to_string(Mounting m) { return m == Mounting::kOffChip ? "off-chip" : "on-chip"; }
+
+std::string to_string(RdlMode r) {
+  switch (r) {
+    case RdlMode::kNone: return "none";
+    case RdlMode::kBottomOnly: return "bottom";
+    case RdlMode::kAllDies: return "all";
+  }
+  return "?";
+}
+
+std::string PdnConfig::summary() const {
+  std::ostringstream os;
+  os << "M2=" << m2_usage * 100.0 << "% M3=" << m3_usage * 100.0 << "% TC=" << tsv_count
+     << " TL=" << to_string(tsv_location) << " TD=" << (dedicated_tsvs ? "Y" : "N")
+     << " BD=" << to_string(bonding) << " RL=" << to_string(rdl)
+     << " WB=" << (wire_bonding ? "Y" : "N") << " " << to_string(mounting);
+  if (metal_usage_scale != 1.0) os << " x" << metal_usage_scale;
+  return os.str();
+}
+
+}  // namespace pdn3d::pdn

@@ -1,0 +1,62 @@
+#pragma once
+
+/// @file stack_builder.hpp
+/// @brief Assembles the full 3D-stack R-Mesh from a structural spec and a
+/// design-point configuration.
+///
+/// The builder realizes every design/packaging option of the paper:
+///  - per-layer stripe meshes sized by VDD metal usage,
+///  - C4/BGA supply taps and the package power plane,
+///  - TSV interfaces (center / edge / distributed, aligned or uniform-pitch),
+///  - dedicated via-last TSVs that bypass the logic PDN,
+///  - F2B vs F2F+B2B bonding (dense F2F via fields -> PDN sharing),
+///  - backside RDL (bottom-only or on all dies) with edge taps,
+///  - backside wire bonding to the package supply.
+
+#include "floorplan/dram_floorplan.hpp"
+#include "floorplan/floorplan.hpp"
+#include "pdn/pdn_config.hpp"
+#include "pdn/stack_model.hpp"
+#include "tech/technology.hpp"
+
+namespace pdn3d::pdn {
+
+/// Structural description of a benchmark stack (what does not change across
+/// design points).
+struct StackSpec {
+  floorplan::Floorplan dram_fp;
+  floorplan::DramFloorplanSpec dram_spec;
+  int num_dram_dies = 4;
+  floorplan::Floorplan logic_fp;  ///< consulted only when mounting is on-chip
+  tech::Technology tech;
+  double grid_pitch = 0.30;      ///< mm, die mesh node pitch
+  double c4_pitch = 0.80;        ///< mm, VDD C4 bump grid pitch
+  double bga_pitch = 1.20;       ///< mm, VDD package ball pitch
+  double package_margin = 1.0;   ///< mm, package beyond the largest die
+  int wirebond_pads_per_side = 4;
+  int rdl_edge_pads_per_side = 8;
+};
+
+/// Diagnostics captured while building (Figure 5 reports the average
+/// C4-to-TSV distance).
+struct BuildInfo {
+  double avg_c4_tsv_distance_mm = 0.0;  ///< bottom-interface sites vs C4 grid
+  int tsvs_per_interface = 0;
+  std::size_t node_count = 0;
+  std::size_t resistor_count = 0;
+};
+
+struct BuiltStack {
+  StackModel model;
+  BuildInfo info;
+};
+
+/// Build the R-Mesh for @p spec at design point @p config.
+/// Throws std::invalid_argument on inconsistent option combinations.
+BuiltStack build_stack(const StackSpec& spec, const PdnConfig& config);
+
+/// Build a single-die (2D) DRAM R-Mesh -- used by the Figure 4 validation
+/// flow. @p refine multiplies mesh density (refine=2 halves the pitch).
+StackModel build_single_die(const StackSpec& spec, const PdnConfig& config, int refine = 1);
+
+}  // namespace pdn3d::pdn

@@ -1,0 +1,39 @@
+#include "pdn/stack_model.hpp"
+
+namespace pdn3d::pdn {
+
+std::size_t StackModel::add_grid(LayerGrid grid) {
+  grid.base = node_count_;
+  node_count_ += grid.size();
+  grids_.push_back(grid);
+  return grids_.size() - 1;
+}
+
+void StackModel::add_resistor(std::size_t a, std::size_t b, double ohms, ElementKind kind) {
+  if (a >= node_count_ || b >= node_count_) throw std::out_of_range("StackModel::add_resistor");
+  if (a == b) throw std::invalid_argument("StackModel::add_resistor: self-loop");
+  if (ohms <= 0.0) throw std::invalid_argument("StackModel::add_resistor: non-positive R");
+  resistors_.push_back({a, b, ohms, kind});
+}
+
+void StackModel::add_tap(std::size_t node, double ohms) {
+  if (node >= node_count_) throw std::out_of_range("StackModel::add_tap");
+  if (ohms <= 0.0) throw std::invalid_argument("StackModel::add_tap: non-positive R");
+  taps_.push_back({node, ohms});
+}
+
+bool StackModel::has_grid(int die, int layer) const {
+  for (const auto& g : grids_) {
+    if (g.die == die && g.layer == layer) return true;
+  }
+  return false;
+}
+
+const LayerGrid& StackModel::grid(int die, int layer) const {
+  for (const auto& g : grids_) {
+    if (g.die == die && g.layer == layer) return g;
+  }
+  throw std::out_of_range("StackModel::grid: no grid for die/layer");
+}
+
+}  // namespace pdn3d::pdn

@@ -1,0 +1,142 @@
+#include "pdn/tsv_planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pdn3d::pdn {
+
+namespace {
+
+/// Rows x cols factorization of @p count that best matches @p aspect
+/// (width/height), then lay the points out evenly inside @p area.
+std::vector<floorplan::Point> grid_fill(const floorplan::Rect& area, int count) {
+  std::vector<floorplan::Point> out;
+  if (count <= 0) return out;
+  const double aspect = std::max(1e-9, area.width() / std::max(1e-9, area.height()));
+  int best_cols = count;
+  double best_err = std::numeric_limits<double>::max();
+  for (int cols = 1; cols <= count; ++cols) {
+    const int rows = (count + cols - 1) / cols;
+    const double err = std::abs(static_cast<double>(cols) / static_cast<double>(rows) - aspect);
+    if (err < best_err) {
+      best_err = err;
+      best_cols = cols;
+    }
+  }
+  const int cols = best_cols;
+  const int rows = (count + cols - 1) / cols;
+  int placed = 0;
+  for (int r = 0; r < rows && placed < count; ++r) {
+    for (int c = 0; c < cols && placed < count; ++c) {
+      const double x = area.x0 + (static_cast<double>(c) + 0.5) * area.width() / cols;
+      const double y = area.y0 + (static_cast<double>(r) + 0.5) * area.height() / rows;
+      out.push_back({x, y});
+      ++placed;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<floorplan::Point> plan_tsv_sites(const floorplan::Floorplan& fp, TsvLocation location,
+                                             int count) {
+  if (count <= 0) throw std::invalid_argument("plan_tsv_sites: count must be positive");
+  const double w = fp.width();
+  const double h = fp.height();
+  const double margin = 0.10;
+
+  switch (location) {
+    case TsvLocation::kEdge: {
+      // Two rows hugging the top and bottom edges (the pad/KOZ ring).
+      std::vector<floorplan::Point> out;
+      const int bottom = (count + 1) / 2;
+      const int top = count - bottom;
+      const auto fill_row = [&](int n, double y) {
+        for (int i = 0; i < n; ++i) {
+          const double x = margin + (static_cast<double>(i) + 0.5) * (w - 2.0 * margin) / n;
+          out.push_back({x, y});
+        }
+      };
+      fill_row(bottom, margin * 0.5);
+      if (top > 0) fill_row(top, h - margin * 0.5);
+      return out;
+    }
+    case TsvLocation::kCenter: {
+      // Fill the center periphery strip (the pad/pump band of a DRAM die);
+      // fall back to a centered band if the floorplan has no I/O block.
+      const auto io_blocks = fp.blocks_of_type(floorplan::BlockType::kIoBlock);
+      floorplan::Rect area;
+      if (!io_blocks.empty()) {
+        const auto& io = io_blocks.front()->rect;
+        area = {w * 0.15, io.y0, w * 0.85, io.y1};
+      } else {
+        area = {w * 0.15, h * 0.44, w * 0.85, h * 0.56};
+      }
+      return grid_fill(area, count);
+    }
+    case TsvLocation::kDistributed: {
+      return grid_fill({margin, margin, w - margin, h - margin}, count);
+    }
+  }
+  throw std::logic_error("plan_tsv_sites: unknown location");
+}
+
+std::vector<floorplan::Point> c4_grid(double width, double height, double pitch) {
+  if (pitch <= 0.0) throw std::invalid_argument("c4_grid: pitch must be positive");
+  std::vector<floorplan::Point> out;
+  const int nx = std::max(1, static_cast<int>(std::floor(width / pitch)));
+  const int ny = std::max(1, static_cast<int>(std::floor(height / pitch)));
+  const double x_off = (width - static_cast<double>(nx - 1) * pitch) * 0.5;
+  const double y_off = (height - static_cast<double>(ny - 1) * pitch) * 0.5;
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      out.push_back({x_off + i * pitch, y_off + j * pitch});
+    }
+  }
+  return out;
+}
+
+std::vector<floorplan::Point> align_to_c4(const std::vector<floorplan::Point>& sites,
+                                          const std::vector<floorplan::Point>& c4) {
+  if (c4.empty()) return sites;
+  std::vector<floorplan::Point> out;
+  out.reserve(sites.size());
+  for (const auto& s : sites) {
+    const auto it = std::min_element(c4.begin(), c4.end(), [&](const auto& a, const auto& b) {
+      return floorplan::distance(s, a) < floorplan::distance(s, b);
+    });
+    out.push_back(*it);
+  }
+  return out;
+}
+
+double average_c4_distance(const std::vector<floorplan::Point>& sites,
+                           const std::vector<floorplan::Point>& c4) {
+  if (sites.empty() || c4.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : sites) {
+    double best = std::numeric_limits<double>::max();
+    for (const auto& b : c4) best = std::min(best, floorplan::distance(s, b));
+    sum += best;
+  }
+  return sum / static_cast<double>(sites.size());
+}
+
+std::vector<floorplan::Point> edge_pad_ring(const floorplan::Floorplan& fp, int per_side) {
+  std::vector<floorplan::Point> out;
+  if (per_side <= 0) return out;
+  const double w = fp.width();
+  const double h = fp.height();
+  const double inset = 0.08;
+  for (int i = 0; i < per_side; ++i) {
+    const double y = (static_cast<double>(i) + 0.5) * h / per_side;
+    out.push_back({inset, y});
+    out.push_back({w - inset, y});
+  }
+  return out;
+}
+
+}  // namespace pdn3d::pdn

@@ -1,0 +1,45 @@
+#pragma once
+
+/// @file tsv_planner.hpp
+/// @brief PG TSV and bump-site placement.
+///
+/// Produces TSV (x, y) sites in the DRAM die's local frame for the three
+/// location policies (center cluster, edge rows, distributed field), plus C4
+/// bump grids, and the alignment snapping studied in Figure 5.
+
+#include <vector>
+
+#include "floorplan/floorplan.hpp"
+#include "floorplan/geometry.hpp"
+#include "pdn/pdn_config.hpp"
+
+namespace pdn3d::pdn {
+
+/// TSV sites for @p count TSVs on a die of the given floorplan, in die-local
+/// coordinates.
+///  - kEdge: two rows along the top and bottom edges.
+///  - kCenter: a compact grid filling the center I/O block.
+///  - kDistributed: a uniform field across the whole die.
+std::vector<floorplan::Point> plan_tsv_sites(const floorplan::Floorplan& fp, TsvLocation location,
+                                             int count);
+
+/// Uniform VDD C4/bump grid of the given pitch covering @p width x @p height
+/// (local frame), inset by half a pitch.
+std::vector<floorplan::Point> c4_grid(double width, double height, double pitch);
+
+/// Snap each site to the nearest point of @p c4 (both in the same frame).
+/// Multiple TSVs may snap to the same bump -- the paper's "TSVs near C4
+/// bumps" placement, which shortens the lateral detour in the receiving mesh.
+std::vector<floorplan::Point> align_to_c4(const std::vector<floorplan::Point>& sites,
+                                          const std::vector<floorplan::Point>& c4);
+
+/// Mean nearest-C4 distance of @p sites -- the paper's "average C4-to-TSV
+/// distance" metric.
+double average_c4_distance(const std::vector<floorplan::Point>& sites,
+                           const std::vector<floorplan::Point>& c4);
+
+/// Edge pad ring sites (used by RDL edge taps and wire-bond pads): @p per_side
+/// pads along the left and right die edges.
+std::vector<floorplan::Point> edge_pad_ring(const floorplan::Floorplan& fp, int per_side);
+
+}  // namespace pdn3d::pdn

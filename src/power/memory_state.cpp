@@ -1,0 +1,123 @@
+#include "power/memory_state.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace pdn3d::power {
+
+int MemoryState::active_die_count() const {
+  int n = 0;
+  for (const DieActivity& d : dies) {
+    if (d.active()) ++n;
+  }
+  return n;
+}
+
+int MemoryState::total_active_banks() const {
+  int n = 0;
+  for (const DieActivity& d : dies) n += d.count();
+  return n;
+}
+
+std::vector<int> MemoryState::counts() const {
+  std::vector<int> out;
+  out.reserve(dies.size());
+  for (const DieActivity& d : dies) out.push_back(d.count());
+  return out;
+}
+
+std::string MemoryState::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < dies.size(); ++i) {
+    if (i > 0) os << '-';
+    os << dies[i].count();
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Banks for `count` active banks in `column`: the interleave pair for 2,
+/// the bottom bank for 1, and column-major fill for larger counts.
+std::vector<int> banks_for(int count, int column, const floorplan::DramFloorplanSpec& spec) {
+  if (count == 0) return {};
+  if (column < 0 || column >= spec.bank_cols) {
+    throw std::invalid_argument("memory state: bank column out of range");
+  }
+  const int per_column = spec.bank_rows;
+  if (count > spec.bank_cols * spec.bank_rows) {
+    throw std::invalid_argument("memory state: more active banks than banks on the die");
+  }
+  std::vector<int> out;
+  if (count == 2) {
+    const auto pair = floorplan::interleave_pair(spec, column);
+    return {pair.low, pair.high};
+  }
+  // Column-major fill starting at the requested column, wrapping right.
+  int c = column;
+  int r = 0;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(c * per_column + r);
+    if (++r == per_column) {
+      r = 0;
+      c = (c + 1) % spec.bank_cols;
+    }
+  }
+  return out;
+}
+
+void finalize_io_activity(MemoryState& state, double io_activity) {
+  if (io_activity >= 0.0) {
+    state.io_activity = io_activity;
+  } else {
+    const int k = state.active_die_count();
+    state.io_activity = k > 0 ? 1.0 / static_cast<double>(k) : 0.0;
+  }
+}
+
+}  // namespace
+
+MemoryState parse_memory_state(std::string_view text, const floorplan::DramFloorplanSpec& spec,
+                               double io_activity) {
+  MemoryState state;
+  for (const std::string& token_str : util::split(text, '-')) {
+    const std::string_view token = util::trim(token_str);
+    if (token.empty()) throw std::invalid_argument("memory state: empty die token");
+
+    std::size_t i = 0;
+    while (i < token.size() && std::isdigit(static_cast<unsigned char>(token[i]))) ++i;
+    if (i == 0) throw std::invalid_argument("memory state: token must start with a count");
+    const int count = std::stoi(std::string(token.substr(0, i)));
+
+    int column = 0;  // worst-case edge column by default
+    if (i < token.size()) {
+      if (token.size() != i + 1 || !std::isalpha(static_cast<unsigned char>(token[i]))) {
+        throw std::invalid_argument("memory state: malformed location suffix");
+      }
+      column = std::tolower(static_cast<unsigned char>(token[i])) - 'a';
+    }
+
+    DieActivity die;
+    die.active_banks = banks_for(count, column, spec);
+    state.dies.push_back(std::move(die));
+  }
+  finalize_io_activity(state, io_activity);
+  return state;
+}
+
+MemoryState make_state_from_counts(const std::vector<int>& counts,
+                                   const floorplan::DramFloorplanSpec& spec, double io_activity) {
+  MemoryState state;
+  for (int c : counts) {
+    DieActivity die;
+    die.active_banks = banks_for(c, 0, spec);
+    state.dies.push_back(std::move(die));
+  }
+  finalize_io_activity(state, io_activity);
+  return state;
+}
+
+}  // namespace pdn3d::power

@@ -1,0 +1,60 @@
+#pragma once
+
+/// @file memory_state.hpp
+/// @brief The paper's "R1-R2-R3-R4" memory-state grammar.
+///
+/// A memory state names, per DRAM die from the bottom (DRAM1) up, how many
+/// banks are actively read and (optionally) where: "0-0-2a-2a" puts an
+/// interleaving pair in bank column 'a' of the two top dies. Location letters
+/// map to bank columns: 'a' = column 0 (die edge, the worst case the paper
+/// assumes when no location is given), 'b' = column 1, and so on.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "floorplan/dram_floorplan.hpp"
+
+namespace pdn3d::power {
+
+/// Per-die activity: which banks are being read.
+struct DieActivity {
+  std::vector<int> active_banks;
+
+  [[nodiscard]] bool active() const { return !active_banks.empty(); }
+  [[nodiscard]] int count() const { return static_cast<int>(active_banks.size()); }
+};
+
+/// Whole-stack activity plus the shared I/O activity level.
+struct MemoryState {
+  std::vector<DieActivity> dies;  ///< bottom die first
+  /// I/O activity of each *active* die. The paper's convention: with k active
+  /// dies sharing the channel bandwidth, each runs at activity 1/k unless
+  /// overridden (Table 5 sweeps this explicitly).
+  double io_activity = 1.0;
+
+  [[nodiscard]] int die_count() const { return static_cast<int>(dies.size()); }
+  [[nodiscard]] int active_die_count() const;
+  [[nodiscard]] int total_active_banks() const;
+
+  /// Per-die active-bank counts, e.g. {0,0,0,2} -- the LUT key.
+  [[nodiscard]] std::vector<int> counts() const;
+
+  /// "0-0-0-2" style rendering (without location letters).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parse "R1-R2-R3-R4" with optional location letters ("0-0-2b-2a").
+/// @param spec the die floorplan spec (for bank column geometry).
+/// @param io_activity if negative, defaults to 1/active_die_count.
+/// Throws std::invalid_argument on malformed input or out-of-range columns.
+MemoryState parse_memory_state(std::string_view text, const floorplan::DramFloorplanSpec& spec,
+                               double io_activity = -1.0);
+
+/// Build a state from per-die counts, banks placed in the worst-case edge
+/// column ('a'), matching the paper's Section 5.1 assumption.
+MemoryState make_state_from_counts(const std::vector<int>& counts,
+                                   const floorplan::DramFloorplanSpec& spec,
+                                   double io_activity = -1.0);
+
+}  // namespace pdn3d::power

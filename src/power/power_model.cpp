@@ -1,0 +1,89 @@
+#include "power/power_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace pdn3d::power {
+
+double DiePowerSpec::active_die_mw(double io_activity, int active_banks) const {
+  const double act = std::clamp(io_activity, 0.0, 1.0);
+  const double extra = p0 + p1 * act + p2 * act * act - idle_mw;
+  const double bank_fraction =
+      bank_share * static_cast<double>(active_banks) / static_cast<double>(reference_banks);
+  return idle_mw + extra * (bank_fraction + io_share + periphery_share);
+}
+
+namespace {
+
+/// Spread @p power_w over blocks proportionally to area.
+void spread_by_area(const std::vector<const floorplan::Block*>& blocks, double power_w,
+                    std::vector<BlockPower>& out) {
+  double total_area = 0.0;
+  for (const auto* b : blocks) total_area += b->rect.area();
+  if (total_area <= 0.0 || power_w <= 0.0) return;
+  for (const auto* b : blocks) {
+    out.push_back({b, power_w * b->rect.area() / total_area});
+  }
+}
+
+}  // namespace
+
+std::vector<BlockPower> dram_die_power(const floorplan::Floorplan& fp, const DieActivity& activity,
+                                       double io_activity, const DiePowerSpec& spec, double scale) {
+  std::vector<BlockPower> out;
+
+  // Idle/background power over every block by area.
+  std::vector<const floorplan::Block*> all;
+  all.reserve(fp.blocks().size());
+  for (const auto& b : fp.blocks()) all.push_back(&b);
+  spread_by_area(all, util::from_mW(spec.idle_mw * scale), out);
+
+  if (!activity.active()) return out;
+
+  // Polynomial extra power at the reference interleave depth; the bank-array
+  // share scales with the actual active-bank count (each bank draws a fixed
+  // per-bank read power).
+  const double poly_extra_mw =
+      spec.p0 + spec.p1 * io_activity + spec.p2 * io_activity * io_activity - spec.idle_mw;
+  if (poly_extra_mw <= 0.0) return out;
+  const double extra_w = util::from_mW(poly_extra_mw * scale);
+
+  // Active banks: bank_share covers reference_banks banks.
+  const double per_bank =
+      extra_w * spec.bank_share / static_cast<double>(spec.reference_banks);
+  for (int bank : activity.active_banks) {
+    out.push_back({&fp.bank(bank), per_bank});
+  }
+
+  // I/O block(s).
+  spread_by_area(fp.blocks_of_type(floorplan::BlockType::kIoBlock), extra_w * spec.io_share, out);
+
+  // Periphery + column decoders (charge pumps fire on activation).
+  std::vector<const floorplan::Block*> periph = fp.blocks_of_type(floorplan::BlockType::kPeriphery);
+  for (const auto* b : fp.blocks_of_type(floorplan::BlockType::kColDecoder)) periph.push_back(b);
+  spread_by_area(periph, extra_w * spec.periphery_share, out);
+
+  return out;
+}
+
+std::vector<BlockPower> logic_die_power(const floorplan::Floorplan& fp,
+                                        const LogicPowerSpec& spec) {
+  std::vector<BlockPower> out;
+  spread_by_area(fp.blocks_of_type(floorplan::BlockType::kCore), spec.total_w * spec.core_share,
+                 out);
+  spread_by_area(fp.blocks_of_type(floorplan::BlockType::kCache), spec.total_w * spec.cache_share,
+                 out);
+  const double rest = spec.total_w * (1.0 - spec.core_share - spec.cache_share);
+  spread_by_area(fp.blocks_of_type(floorplan::BlockType::kUncore), rest, out);
+  return out;
+}
+
+double total_power_w(const std::vector<BlockPower>& blocks) {
+  double s = 0.0;
+  for (const auto& bp : blocks) s += bp.power_w;
+  return s;
+}
+
+}  // namespace pdn3d::power

@@ -1,0 +1,72 @@
+#pragma once
+
+/// @file power_model.hpp
+/// @brief Per-die and per-block power models.
+///
+/// The paper uses measured Samsung/Micron power maps scaled to 20nm-class
+/// technology (proprietary). We substitute a parametric model calibrated to
+/// the per-die numbers the paper publishes in Table 5 for stacked DDR3:
+///
+///   active-die power (mW) = p0 + p1*act + p2*act^2
+///     act = 1.00 -> 220.5 mW, 0.50 -> 175.5 mW, 0.25 -> 126.0 mW
+///   idle-die power = 27.3 mW
+///
+/// which solves to p0 = 58.5, p1 = 306, p2 = -144 (concave: I/O circuits
+/// dominate at high activity). Other benchmarks scale these coefficients.
+/// Block-level distribution sends the activity-dependent power to the active
+/// bank arrays, I/O block, and periphery (charge pumps), and the idle power
+/// uniformly across the die.
+
+#include <vector>
+
+#include "floorplan/floorplan.hpp"
+#include "power/memory_state.hpp"
+
+namespace pdn3d::power {
+
+/// Coefficients for one DRAM die.
+struct DiePowerSpec {
+  double idle_mw = 30.0;  ///< inactive die: standby + refresh background
+  double p0 = 58.5;       ///< active die power polynomial, in mW
+  double p1 = 306.0;
+  double p2 = -144.0;
+  /// Split of the activity-dependent power (active power minus idle), at the
+  /// reference interleave depth of two active banks:
+  double bank_share = 0.80;     ///< to active bank arrays (per pair)
+  double io_share = 0.12;       ///< to the I/O block
+  double periphery_share = 0.08;///< to periphery/col-decoder (pumps, control)
+  int reference_banks = 2;      ///< interleave depth the polynomial was fit at
+
+  /// Total power of a die running @p active_banks banks at @p io_activity.
+  /// The polynomial is calibrated at reference_banks; the bank-array share
+  /// scales linearly with the actual bank count.
+  [[nodiscard]] double active_die_mw(double io_activity, int active_banks = 2) const;
+};
+
+/// Power assigned to one floorplan block.
+struct BlockPower {
+  const floorplan::Block* block = nullptr;
+  double power_w = 0.0;
+};
+
+/// Distribute one DRAM die's power over its blocks for the given activity.
+/// @param scale multiplies every power term (benchmark scaling).
+std::vector<BlockPower> dram_die_power(const floorplan::Floorplan& fp, const DieActivity& activity,
+                                       double io_activity, const DiePowerSpec& spec,
+                                       double scale = 1.0);
+
+/// Logic die (host) power distribution.
+struct LogicPowerSpec {
+  double total_w = 42.0;     ///< full-chip power
+  double core_share = 0.60;  ///< split across kCore blocks
+  double cache_share = 0.25; ///< across kCache blocks
+  double uncore_share = 0.15;///< across kUncore blocks (and the remainder)
+};
+
+std::vector<BlockPower> logic_die_power(const floorplan::Floorplan& fp,
+                                        const LogicPowerSpec& spec);
+
+/// Sum of block powers (W) -- sanity/bookkeeping helper.
+double total_power_w(const std::vector<BlockPower>& blocks);
+
+}  // namespace pdn3d::power

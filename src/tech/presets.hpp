@@ -1,0 +1,32 @@
+#pragma once
+
+/// @file presets.hpp
+/// @brief Technology presets for the paper's benchmarks.
+///
+/// Numeric values are synthetic but physically plausible for a 20nm-class
+/// DRAM process (thin Cu/Al local metal, thicker top metal) and a 28nm logic
+/// process; they are calibrated so the paper's baseline anchors land close
+/// (see DESIGN.md section 2).
+
+#include "tech/technology.hpp"
+
+namespace pdn3d::tech {
+
+/// 20nm-class DRAM die: M1 signal (not part of the PDN mesh), M2 mixed
+/// signal/power (horizontal), M3 power (vertical).
+DieTechnology dram_20nm(double vdd = 1.5);
+
+/// 28nm logic die (OpenSPARC T2 host or HMC logic base): two global PDN
+/// layers standing in for the upper metal stack.
+DieTechnology logic_28nm(double vdd = 1.5);
+
+/// Default inter-die / packaging electrical models.
+InterconnectTech default_interconnect();
+
+/// Bundle for a DDR3-class stack (1.5 V).
+Technology ddr3_technology();
+
+/// Bundle for a 1.2 V mobile/HPC stack (Wide I/O, HMC).
+Technology low_voltage_technology();
+
+}  // namespace pdn3d::tech

@@ -1,0 +1,213 @@
+#include "tech/tech_file.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "tech/presets.hpp"
+#include "util/string_util.hpp"
+
+namespace pdn3d::tech {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("technology file, line " + std::to_string(line) + ": " + message);
+}
+
+double parse_double(int line, std::string_view text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(std::string(text), &pos);
+    if (pos != text.size()) fail(line, "trailing junk in number '" + std::string(text) + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    fail(line, "expected a number, got '" + std::string(text) + "'");
+  } catch (const std::out_of_range&) {
+    fail(line, "number out of range: '" + std::string(text) + "'");
+  }
+}
+
+RouteDirection parse_direction(int line, std::string_view text) {
+  const std::string d = util::to_lower(text);
+  if (d == "horizontal" || d == "h") return RouteDirection::kHorizontal;
+  if (d == "vertical" || d == "v") return RouteDirection::kVertical;
+  if (d == "omni" || d == "o") return RouteDirection::kOmni;
+  fail(line, "unknown routing direction '" + std::string(text) + "'");
+}
+
+/// Parse "key=value" pairs on a layer line.
+std::map<std::string, std::string> parse_pairs(int line, std::istringstream& rest) {
+  std::map<std::string, std::string> out;
+  std::string token;
+  while (rest >> token) {
+    const auto eq = token.find('=');
+    if (eq == std::string::npos) fail(line, "expected key=value, got '" + token + "'");
+    out[token.substr(0, eq)] = token.substr(eq + 1);
+  }
+  return out;
+}
+
+void apply_die_key(int line, DieTechnology& die, const std::string& key, double value) {
+  if (key == "vdd") {
+    die.vdd = value;
+  } else if (key == "via_resistance") {
+    die.via_resistance = value;
+  } else {
+    fail(line, "unknown die key '" + key + "'");
+  }
+}
+
+void apply_interconnect_key(int line, InterconnectTech& ic, const std::string& key, double value) {
+  if (key == "tsv_resistance") ic.tsv_resistance = value;
+  else if (key == "dedicated_tsv_resistance") ic.dedicated_tsv_resistance = value;
+  else if (key == "c4_resistance") ic.c4_resistance = value;
+  else if (key == "logic_c4_resistance") ic.logic_c4_resistance = value;
+  else if (key == "misalign_detour_ohm_per_mm") ic.misalign_detour_ohm_per_mm = value;
+  else if (key == "package_detour_ohm_per_mm") ic.package_detour_ohm_per_mm = value;
+  else if (key == "microbump_resistance") ic.microbump_resistance = value;
+  else if (key == "f2f_via_resistance") ic.f2f_via_resistance = value;
+  else if (key == "wirebond_resistance") ic.wirebond_resistance = value;
+  else if (key == "package_sheet_resistance") ic.package_sheet_resistance = value;
+  else if (key == "rdl_sheet_resistance") ic.rdl_sheet_resistance = value;
+  else if (key == "rdl_vdd_usage") ic.rdl_vdd_usage = value;
+  else if (key == "rdl_via_resistance") ic.rdl_via_resistance = value;
+  else fail(line, "unknown interconnect key '" + key + "'");
+}
+
+}  // namespace
+
+Technology read_technology(std::istream& is) {
+  Technology tech = ddr3_technology();  // library defaults
+  enum class Section { kNone, kDram, kLogic, kInterconnect };
+  Section section = Section::kNone;
+  bool dram_layers_cleared = false;
+  bool logic_layers_cleared = false;
+
+  std::string raw;
+  int line = 0;
+  while (std::getline(is, raw)) {
+    ++line;
+    std::string_view text = util::trim(raw);
+    if (text.empty() || text.front() == '#') continue;
+
+    if (text.front() == '[') {
+      if (text.back() != ']') fail(line, "unterminated section header");
+      const std::string name = util::to_lower(text.substr(1, text.size() - 2));
+      if (name == "dram") section = Section::kDram;
+      else if (name == "logic") section = Section::kLogic;
+      else if (name == "interconnect") section = Section::kInterconnect;
+      else fail(line, "unknown section '" + name + "'");
+      continue;
+    }
+    if (section == Section::kNone) fail(line, "content before any [section]");
+
+    std::istringstream ss{std::string(text)};
+    std::string first;
+    ss >> first;
+
+    if (first == "layer") {
+      if (section == Section::kInterconnect) fail(line, "layers belong to a die section");
+      std::string lname;
+      if (!(ss >> lname)) fail(line, "layer needs a name");
+      const auto pairs = parse_pairs(line, ss);
+      MetalLayer layer;
+      layer.name = lname;
+      bool have_sheet = false;
+      for (const auto& [k, v] : pairs) {
+        if (k == "sheet") {
+          layer.sheet_resistance = parse_double(line, v);
+          have_sheet = true;
+        } else if (k == "dir") {
+          layer.direction = parse_direction(line, v);
+        } else if (k == "usage") {
+          layer.default_vdd_usage = parse_double(line, v);
+        } else {
+          fail(line, "unknown layer attribute '" + k + "'");
+        }
+      }
+      if (!have_sheet) fail(line, "layer '" + lname + "' needs sheet=");
+      DieTechnology& die = section == Section::kDram ? tech.dram : tech.logic;
+      bool& cleared = section == Section::kDram ? dram_layers_cleared : logic_layers_cleared;
+      if (!cleared) {
+        die.pdn_layers.clear();  // a file that lists layers replaces the stack
+        cleared = true;
+      }
+      die.pdn_layers.push_back(layer);
+      continue;
+    }
+
+    // "key = value" (tolerate spaces around '=').
+    std::string rest;
+    std::getline(ss, rest);
+    std::string key = first;
+    std::string value;
+    const auto eq_in_key = key.find('=');
+    if (eq_in_key != std::string::npos) {
+      value = key.substr(eq_in_key + 1);
+      key = key.substr(0, eq_in_key);
+      if (value.empty()) value = std::string(util::trim(rest));
+    } else {
+      std::string_view r = util::trim(rest);
+      if (r.empty() || r.front() != '=') fail(line, "expected '=' after '" + key + "'");
+      r.remove_prefix(1);
+      value = std::string(util::trim(r));
+    }
+    if (value.empty()) fail(line, "missing value for '" + key + "'");
+    const double v = parse_double(line, value);
+
+    switch (section) {
+      case Section::kDram: apply_die_key(line, tech.dram, key, v); break;
+      case Section::kLogic: apply_die_key(line, tech.logic, key, v); break;
+      case Section::kInterconnect: apply_interconnect_key(line, tech.interconnect, key, v); break;
+      case Section::kNone: fail(line, "unreachable");
+    }
+  }
+
+  for (const DieTechnology* die : {&tech.dram, &tech.logic}) {
+    if (die->pdn_layers.size() < 2) {
+      throw std::runtime_error("technology file: '" + die->name +
+                               "' needs at least two PDN layers");
+    }
+  }
+  return tech;
+}
+
+Technology read_technology_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_technology(is);
+}
+
+void write_technology(std::ostream& os, const Technology& tech) {
+  const auto write_die = [&os](const char* section, const DieTechnology& die) {
+    os << '[' << section << "]\n";
+    os << "vdd = " << die.vdd << "\n";
+    os << "via_resistance = " << die.via_resistance << "\n";
+    for (const auto& l : die.pdn_layers) {
+      os << "layer " << l.name << " sheet=" << l.sheet_resistance << " dir="
+         << to_string(l.direction) << " usage=" << l.default_vdd_usage << "\n";
+    }
+    os << "\n";
+  };
+  os << "# pdn3d technology file\n";
+  write_die("dram", tech.dram);
+  write_die("logic", tech.logic);
+
+  const auto& ic = tech.interconnect;
+  os << "[interconnect]\n";
+  os << "tsv_resistance = " << ic.tsv_resistance << "\n";
+  os << "dedicated_tsv_resistance = " << ic.dedicated_tsv_resistance << "\n";
+  os << "c4_resistance = " << ic.c4_resistance << "\n";
+  os << "logic_c4_resistance = " << ic.logic_c4_resistance << "\n";
+  os << "misalign_detour_ohm_per_mm = " << ic.misalign_detour_ohm_per_mm << "\n";
+  os << "package_detour_ohm_per_mm = " << ic.package_detour_ohm_per_mm << "\n";
+  os << "microbump_resistance = " << ic.microbump_resistance << "\n";
+  os << "f2f_via_resistance = " << ic.f2f_via_resistance << "\n";
+  os << "wirebond_resistance = " << ic.wirebond_resistance << "\n";
+  os << "package_sheet_resistance = " << ic.package_sheet_resistance << "\n";
+  os << "rdl_sheet_resistance = " << ic.rdl_sheet_resistance << "\n";
+  os << "rdl_vdd_usage = " << ic.rdl_vdd_usage << "\n";
+  os << "rdl_via_resistance = " << ic.rdl_via_resistance << "\n";
+}
+
+}  // namespace pdn3d::tech

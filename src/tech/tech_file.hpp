@@ -1,0 +1,45 @@
+#pragma once
+
+/// @file tech_file.hpp
+/// @brief Technology-file reader/writer.
+///
+/// The paper's platform reads "the resistivity of each metal layer as well
+/// as its routing direction ... from the technology file". This implements a
+/// small line-based format:
+///
+///   # comment
+///   [dram]
+///   vdd = 1.5
+///   via_resistance = 0.05
+///   layer M2 sheet=0.285 dir=horizontal usage=0.10
+///   layer M3 sheet=0.138 dir=vertical   usage=0.20
+///
+///   [logic]
+///   ...
+///
+///   [interconnect]
+///   tsv_resistance = 0.15
+///   ...
+///
+/// Unknown keys are rejected (typos should fail loudly in a CAD flow).
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "tech/technology.hpp"
+
+namespace pdn3d::tech {
+
+/// Parse a technology file. Starts from the library defaults, so a file may
+/// override only what it cares about. Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+Technology read_technology(std::istream& is);
+
+/// Convenience: parse from a string.
+Technology read_technology_string(const std::string& text);
+
+/// Serialize to the same format (round-trips through read_technology).
+void write_technology(std::ostream& os, const Technology& tech);
+
+}  // namespace pdn3d::tech

@@ -1,0 +1,23 @@
+#include "tech/technology.hpp"
+
+#include <stdexcept>
+
+namespace pdn3d::tech {
+
+std::string to_string(RouteDirection d) {
+  switch (d) {
+    case RouteDirection::kHorizontal: return "horizontal";
+    case RouteDirection::kVertical: return "vertical";
+    case RouteDirection::kOmni: return "omni";
+  }
+  return "?";
+}
+
+double MetalLayer::segment_resistance(double usage) const {
+  if (usage <= 0.0 || usage > 1.0) {
+    throw std::invalid_argument("MetalLayer::segment_resistance: usage must be in (0, 1]");
+  }
+  return sheet_resistance / usage;
+}
+
+}  // namespace pdn3d::tech

@@ -1,0 +1,77 @@
+#pragma once
+
+/// @file technology.hpp
+/// @brief Electrical technology description for dies, inter-die connections,
+/// and packaging.
+///
+/// The paper reads per-layer resistivity and routing direction from a
+/// technology file and models PDN wire resistance through "metal layer usage"
+/// (area fraction of a layer dedicated to the VDD grid). We mirror that: a
+/// stripe grid with usage u on a layer of sheet resistance Rs has a segment
+/// resistance of Rs/u between adjacent mesh nodes along the routing
+/// direction, independent of the mesh pitch.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pdn3d::tech {
+
+/// Preferred routing direction of a metal layer. Omni layers (RDL, package
+/// planes) conduct in both directions.
+enum class RouteDirection { kHorizontal, kVertical, kOmni };
+
+[[nodiscard]] std::string to_string(RouteDirection d);
+
+/// One PDN metal layer of a die.
+struct MetalLayer {
+  std::string name;
+  double sheet_resistance = 0.05;  ///< ohm/square
+  RouteDirection direction = RouteDirection::kOmni;
+  double default_vdd_usage = 0.2;  ///< fraction of layer area used by VDD
+
+  /// Mesh segment resistance at @p usage (Rs / usage).
+  [[nodiscard]] double segment_resistance(double usage) const;
+};
+
+/// Per-die technology: VDD level and the PDN layer stack (listed from the
+/// layer closest to the devices upward).
+struct DieTechnology {
+  std::string name;
+  double vdd = 1.5;                    ///< volts
+  std::vector<MetalLayer> pdn_layers;  ///< e.g. DRAM: {M2, M3}
+  double via_resistance = 0.05;        ///< ohm, inter-layer via array per mesh node
+
+  [[nodiscard]] const MetalLayer& layer(std::size_t i) const { return pdn_layers.at(i); }
+  [[nodiscard]] std::size_t layer_count() const { return pdn_layers.size(); }
+};
+
+/// Electrical models for everything that crosses die boundaries.
+struct InterconnectTech {
+  double tsv_resistance = 0.15;            ///< ohm per via-middle PG TSV (incl. landing pad)
+  double dedicated_tsv_resistance = 0.10;  ///< ohm per via-last dedicated TSV
+  double c4_resistance = 0.005;            ///< ohm per package BGA ball
+  double logic_c4_resistance = 0.075;      ///< ohm per logic-die C4 power bump
+  /// A TSV that does not land on a C4 bump detours through the narrow local
+  /// power straps of the receiving die -- far more resistive per length than
+  /// the global grid. Extra series resistance per TSV = distance * this.
+  double misalign_detour_ohm_per_mm = 8.0;
+  /// Off-chip stacks detour through wide package substrate traces instead.
+  double package_detour_ohm_per_mm = 0.8;
+  double microbump_resistance = 0.020;     ///< ohm per micro-bump at a die interface
+  double f2f_via_resistance = 0.020;       ///< ohm per F2F via field at one mesh node
+  double wirebond_resistance = 0.25;      ///< ohm per backside bond wire
+  double package_sheet_resistance = 0.0022; ///< ohm/sq of the package power plane
+  double rdl_sheet_resistance = 0.025;     ///< ohm/sq of the redistribution layer
+  double rdl_vdd_usage = 0.50;             ///< VDD fraction of the RDL
+  double rdl_via_resistance = 0.050;       ///< ohm, backside pad connection per node
+};
+
+/// Everything the PDN builder needs in one bundle.
+struct Technology {
+  DieTechnology dram;
+  DieTechnology logic;
+  InterconnectTech interconnect;
+};
+
+}  // namespace pdn3d::tech

@@ -1,0 +1,38 @@
+#include "transient/decap.hpp"
+
+namespace pdn3d::transient {
+
+std::vector<double> assign_node_capacitance(const pdn::StackModel& model,
+                                            const DecapConfig& config) {
+  std::vector<double> caps(model.node_count(), 0.0);
+
+  for (const auto& g : model.grids()) {
+    const double cell_area_mm2 = g.dx * g.dy;
+    const double nf_per_mm2 =
+        g.die == pdn::kPackageDie ? config.package_nf_per_mm2 : config.die_nf_per_mm2;
+    const double farads = nf_per_mm2 * 1e-9 * cell_area_mm2;
+    // Capacitance belongs to the device side of a die; split evenly across
+    // that die's layers so layer stacking does not double-count area.
+    int layers_of_die = 0;
+    for (const auto& other : model.grids()) {
+      if (other.die == g.die) ++layers_of_die;
+    }
+    const double per_layer = farads / static_cast<double>(layers_of_die);
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      caps[g.base + k] += per_layer;
+    }
+  }
+
+  for (const auto& t : model.taps()) {
+    caps[t.node] += config.tap_decap_nf * 1e-9;
+  }
+  return caps;
+}
+
+double total_capacitance(const std::vector<double>& node_caps) {
+  double s = 0.0;
+  for (double c : node_caps) s += c;
+  return s;
+}
+
+}  // namespace pdn3d::transient

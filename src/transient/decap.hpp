@@ -1,0 +1,36 @@
+#pragma once
+
+/// @file decap.hpp
+/// @brief Decoupling-capacitance assignment for transient droop studies.
+///
+/// The paper is a DC study but motivates two AC effects: on-die decap from
+/// sub-bank partitioning ([5] in the paper) and the off-chip decaps reachable
+/// through backside bond wires ("provide better AC power integrity"). This
+/// module assigns a per-node capacitance so the transient simulator can
+/// quantify both.
+
+#include <vector>
+
+#include "pdn/stack_model.hpp"
+
+namespace pdn3d::transient {
+
+struct DecapConfig {
+  /// Intrinsic on-die decap (device + well + explicit cells) per die area.
+  double die_nf_per_mm2 = 0.10;
+  /// Package-plane capacitance per area (plane pairs + discretes).
+  double package_nf_per_mm2 = 0.50;
+  /// Extra lumped decap (nF) added at every supply-tap node, standing for
+  /// the off-chip capacitors that bond wires / balls connect to.
+  double tap_decap_nf = 2.0;
+};
+
+/// Per-node capacitance in farads (model.node_count() entries). Every die
+/// layer-grid node receives its area share; tap nodes get the lumped extra.
+std::vector<double> assign_node_capacitance(const pdn::StackModel& model,
+                                            const DecapConfig& config = {});
+
+/// Total capacitance (F) of an assignment -- bookkeeping helper.
+double total_capacitance(const std::vector<double>& node_caps);
+
+}  // namespace pdn3d::transient

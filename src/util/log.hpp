@@ -1,0 +1,52 @@
+#pragma once
+
+/// @file log.hpp
+/// @brief Minimal leveled logger for library diagnostics.
+///
+/// The library is quiet by default (warnings and errors only); tools that want
+/// progress output raise the level. Output goes to stderr so bench binaries
+/// can keep stdout clean for table data.
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace pdn3d::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit one message at @p level (no trailing newline needed).
+void log_message(LogLevel level, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  log_message(level, os.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  detail::log_fmt(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  detail::log_fmt(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  detail::log_fmt(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  detail::log_fmt(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace pdn3d::util

@@ -1,0 +1,54 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace pdn3d::util {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  next_u32();
+  state_ += seed;
+  next_u32();
+}
+
+std::uint32_t Rng::next_u32() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint32_t Rng::next_below(std::uint32_t bound) {
+  if (bound <= 1) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const std::uint32_t threshold = (0u - bound) % bound;
+  for (;;) {
+    const std::uint32_t r = next_u32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u32()) * (1.0 / 4294967296.0);
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+int Rng::next_int(int lo, int hi) {
+  if (hi <= lo) return lo;
+  const auto span = static_cast<std::uint32_t>(hi - lo + 1);
+  return lo + static_cast<int>(next_below(span));
+}
+
+int Rng::next_geometric(double mean) {
+  if (mean <= 0.0) return 0;
+  const double u = 1.0 - next_double();  // in (0, 1]
+  const double p = 1.0 / (mean + 1.0);
+  return static_cast<int>(std::floor(std::log(u) / std::log(1.0 - p)));
+}
+
+}  // namespace pdn3d::util

@@ -1,0 +1,43 @@
+#pragma once
+
+/// @file rng.hpp
+/// @brief Deterministic random number generation (PCG32).
+///
+/// All stochastic pieces of the platform (workload generation, design-space
+/// sampling) draw from this generator so experiments are reproducible from a
+/// seed alone, independent of the standard library implementation.
+
+#include <cstdint>
+
+namespace pdn3d::util {
+
+/// PCG32 (O'Neill) -- small, fast, statistically solid, fully deterministic.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Uniform 32-bit value.
+  std::uint32_t next_u32();
+
+  /// Uniform in [0, bound) without modulo bias.
+  std::uint32_t next_below(std::uint32_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// True with probability @p p (clamped to [0,1]).
+  bool next_bool(double p);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int next_int(int lo, int hi);
+
+  /// Geometric-ish integer >= 0 with mean roughly @p mean (for bursty gaps).
+  int next_geometric(double mean);
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace pdn3d::util

@@ -1,0 +1,38 @@
+#pragma once
+
+/// @file stats.hpp
+/// @brief Small descriptive-statistics helpers used by analysis and fitting.
+
+#include <span>
+#include <vector>
+
+namespace pdn3d::util {
+
+/// Summary of a sample: produced by summarize().
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  std::size_t count = 0;
+};
+
+double mean(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+double min_value(std::span<const double> xs);
+
+/// Root-mean-square of @p xs.
+double rms(std::span<const double> xs);
+
+/// Root-mean-square error between two equal-length samples.
+double rmse(std::span<const double> a, std::span<const double> b);
+
+/// Coefficient of determination of predictions @p pred against @p truth.
+double r_squared(std::span<const double> truth, std::span<const double> pred);
+
+/// p in [0,100]; linear interpolation between order statistics.
+double percentile(std::vector<double> xs, double p);
+
+Summary summarize(std::span<const double> xs);
+
+}  // namespace pdn3d::util

@@ -1,0 +1,27 @@
+#pragma once
+
+/// @file string_util.hpp
+/// @brief Small string helpers (formatting numbers, splitting, trimming).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdn3d::util {
+
+/// Format @p value with @p decimals digits after the point ("12.34").
+std::string fmt_fixed(double value, int decimals);
+
+/// Format as a signed percentage with @p decimals digits ("-42.8%").
+std::string fmt_percent(double fraction, int decimals = 1);
+
+/// Split @p s on @p sep, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Lower-case ASCII copy.
+std::string to_lower(std::string_view s);
+
+}  // namespace pdn3d::util

@@ -1,0 +1,43 @@
+#pragma once
+
+/// @file table.hpp
+/// @brief ASCII table renderer used by the bench binaries to reproduce the
+/// paper's tables with aligned columns.
+
+#include <string>
+#include <vector>
+
+namespace pdn3d::util {
+
+/// Accumulates rows of strings and renders them with column alignment.
+///
+/// Usage:
+///   Table t({"Design", "IR drop (mV)"});
+///   t.add_row({"off-chip", "30.03"});
+///   std::cout << t.render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal separator line before the next row.
+  void add_separator();
+
+  /// Render with box-drawing characters disabled (plain ASCII, '|' and '-').
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+}  // namespace pdn3d::util

@@ -1,0 +1,12 @@
+#include "util/timer.hpp"
+
+namespace pdn3d::util {
+
+double Timer::elapsed_seconds() const {
+  const auto dt = Clock::now() - start_;
+  return std::chrono::duration<double>(dt).count();
+}
+
+void Timer::reset() { start_ = Clock::now(); }
+
+}  // namespace pdn3d::util

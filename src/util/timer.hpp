@@ -1,0 +1,24 @@
+#pragma once
+
+/// @file timer.hpp
+/// @brief Wall-clock stopwatch used by validation benches to report runtimes.
+
+#include <chrono>
+
+namespace pdn3d::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Seconds since construction or the last reset().
+  [[nodiscard]] double elapsed_seconds() const;
+
+  void reset();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pdn3d::util

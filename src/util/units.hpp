@@ -1,0 +1,38 @@
+#pragma once
+
+/// @file units.hpp
+/// @brief Unit conventions and conversion helpers used throughout pdn3d.
+///
+/// All physical quantities are stored in SI base-derived units unless a
+/// suffix says otherwise:
+///   - lengths in millimetres (mm) -- die-scale geometry reads naturally,
+///   - resistance in ohms, conductance in siemens,
+///   - voltage in volts, current in amperes, power in watts,
+///   - time in seconds (timing parameters in DRAM clock cycles where noted).
+///
+/// Helpers below convert to the display units the paper uses (mV, us).
+
+namespace pdn3d::util {
+
+/// Convert volts to millivolts (the unit every IR-drop table in the paper uses).
+constexpr double to_mV(double volts) { return volts * 1e3; }
+
+/// Convert millivolts to volts.
+constexpr double from_mV(double mv) { return mv * 1e-3; }
+
+/// Convert seconds to microseconds (memory-controller runtime unit).
+constexpr double to_us(double seconds) { return seconds * 1e6; }
+
+/// Convert watts to milliwatts (per-die power unit in Table 5).
+constexpr double to_mW(double watts) { return watts * 1e3; }
+
+/// Convert milliwatts to watts.
+constexpr double from_mW(double mw) { return mw * 1e-3; }
+
+/// Convert ohms to milliohms.
+constexpr double to_mOhm(double ohms) { return ohms * 1e3; }
+
+/// Convert milliohms to ohms.
+constexpr double from_mOhm(double mohm) { return mohm * 1e-3; }
+
+}  // namespace pdn3d::util

@@ -1,0 +1,82 @@
+#include "core/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdn3d::core {
+namespace {
+
+TEST(Benchmarks, AllFourPresent) {
+  const auto all = all_benchmarks();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].kind, BenchmarkKind::kStackedDdr3OffChip);
+  EXPECT_EQ(all[3].kind, BenchmarkKind::kHmc);
+}
+
+TEST(Benchmarks, Table1Specifications) {
+  const auto ddr3 = make_benchmark(BenchmarkKind::kStackedDdr3OffChip);
+  EXPECT_DOUBLE_EQ(ddr3.stack.dram_fp.width(), 6.8);
+  EXPECT_DOUBLE_EQ(ddr3.stack.dram_fp.height(), 6.7);
+  EXPECT_EQ(ddr3.stack.dram_fp.bank_count(), 8);
+  EXPECT_EQ(ddr3.sim.channels, 1);
+  EXPECT_EQ(ddr3.stack.num_dram_dies, 4);
+
+  const auto wio = make_benchmark(BenchmarkKind::kWideIo);
+  EXPECT_DOUBLE_EQ(wio.stack.dram_fp.width(), 7.2);
+  EXPECT_EQ(wio.stack.dram_fp.bank_count(), 16);
+  EXPECT_EQ(wio.sim.channels, 4);
+  EXPECT_TRUE(wio.design_space.tc_fixed);
+  EXPECT_EQ(wio.design_space.tc_fixed_value, 160);
+
+  const auto hmc = make_benchmark(BenchmarkKind::kHmc);
+  EXPECT_EQ(hmc.stack.dram_fp.bank_count(), 32);
+  EXPECT_EQ(hmc.sim.channels, 16);
+  EXPECT_EQ(hmc.design_space.tc_min, 160);
+  EXPECT_EQ(hmc.design_space.tsv_locations.size(), 3u);  // C, E, D
+}
+
+TEST(Benchmarks, MountingStylesConsistent) {
+  EXPECT_EQ(make_benchmark(BenchmarkKind::kStackedDdr3OffChip).baseline.mounting,
+            pdn::Mounting::kOffChip);
+  EXPECT_EQ(make_benchmark(BenchmarkKind::kStackedDdr3OnChip).baseline.mounting,
+            pdn::Mounting::kOnChip);
+  EXPECT_EQ(make_benchmark(BenchmarkKind::kWideIo).baseline.mounting, pdn::Mounting::kOnChip);
+  EXPECT_EQ(make_benchmark(BenchmarkKind::kHmc).baseline.mounting, pdn::Mounting::kOnChip);
+}
+
+TEST(Benchmarks, BaselinesMatchTable9) {
+  for (const auto& b : all_benchmarks()) {
+    EXPECT_DOUBLE_EQ(b.baseline.m2_usage, 0.10) << b.name;
+    EXPECT_DOUBLE_EQ(b.baseline.m3_usage, 0.20) << b.name;
+    EXPECT_EQ(b.baseline.bonding, pdn::BondingStyle::kF2B) << b.name;
+    EXPECT_FALSE(b.baseline.wire_bonding) << b.name;
+    EXPECT_GT(b.paper_baseline_ir_mv, 0.0) << b.name;
+  }
+  EXPECT_EQ(make_benchmark(BenchmarkKind::kStackedDdr3OffChip).baseline.tsv_count, 33);
+  EXPECT_EQ(make_benchmark(BenchmarkKind::kHmc).baseline.tsv_count, 384);
+}
+
+TEST(Benchmarks, WideIoEdgeRequiresRdl) {
+  const auto wio = make_benchmark(BenchmarkKind::kWideIo);
+  ASSERT_TRUE(static_cast<bool>(wio.design_space.valid));
+  opt::DiscreteChoice edge_no_rdl;
+  edge_no_rdl.tsv_location = pdn::TsvLocation::kEdge;
+  edge_no_rdl.rdl = pdn::RdlMode::kNone;
+  EXPECT_FALSE(wio.design_space.valid(edge_no_rdl));
+  edge_no_rdl.rdl = pdn::RdlMode::kBottomOnly;
+  EXPECT_TRUE(wio.design_space.valid(edge_no_rdl));
+}
+
+TEST(Benchmarks, FloorplansLegal) {
+  for (const auto& b : all_benchmarks()) {
+    EXPECT_TRUE(b.stack.dram_fp.is_legal()) << b.name;
+    EXPECT_TRUE(b.stack.logic_fp.is_legal()) << b.name;
+  }
+}
+
+TEST(Benchmarks, Names) {
+  EXPECT_EQ(to_string(BenchmarkKind::kWideIo), "wide-io");
+  EXPECT_EQ(make_benchmark(BenchmarkKind::kHmc).name, "HMC");
+}
+
+}  // namespace
+}  // namespace pdn3d::core

@@ -1,0 +1,106 @@
+#include "core/platform.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdn3d::core {
+namespace {
+
+Platform& off_chip_platform() {
+  static Platform p(make_benchmark(BenchmarkKind::kStackedDdr3OffChip));
+  return p;
+}
+
+TEST(Platform, AnalyzeDefaultState) {
+  auto& p = off_chip_platform();
+  const auto r = p.analyze(p.benchmark().baseline, "0-0-0-2");
+  EXPECT_GT(r.dram_max_mv, 10.0);
+  EXPECT_LT(r.dram_max_mv, 60.0);
+}
+
+TEST(Platform, MeasureMatchesAnalyze) {
+  auto& p = off_chip_platform();
+  const auto& bench = p.benchmark();
+  const double via_measure = p.measure_ir_mv(bench.baseline);
+  const double via_analyze =
+      p.analyze(bench.baseline, bench.default_state, bench.default_io_activity).dram_max_mv;
+  // measure_ir_mv runs one-shot PCG; analyze uses the cached banded direct
+  // factorization -- identical up to solver tolerance.
+  EXPECT_NEAR(via_measure, via_analyze, 1e-4);
+}
+
+TEST(Platform, CacheReusesDesigns) {
+  Platform p(make_benchmark(BenchmarkKind::kStackedDdr3OffChip));
+  const auto base = p.benchmark().baseline;
+  (void)p.analyze(base, "0-0-0-2");
+  const auto n1 = p.cache_size();
+  (void)p.analyze(base, "2-0-0-0");
+  EXPECT_EQ(p.cache_size(), n1);
+
+  pdn::PdnConfig other = base;
+  other.tsv_count = 64;
+  (void)p.analyze(other, "0-0-0-2");
+  EXPECT_EQ(p.cache_size(), n1 + 1);
+}
+
+TEST(Platform, MeasureDoesNotGrowCache) {
+  Platform p(make_benchmark(BenchmarkKind::kStackedDdr3OffChip));
+  pdn::PdnConfig cfg = p.benchmark().baseline;
+  cfg.tsv_count = 99;
+  (void)p.measure_ir_mv(cfg);
+  EXPECT_EQ(p.cache_size(), 0u);
+}
+
+TEST(Platform, LutIsCachedPerConfig) {
+  auto& p = off_chip_platform();
+  const auto& lut1 = p.lut(p.benchmark().baseline);
+  const auto& lut2 = p.lut(p.benchmark().baseline);
+  EXPECT_EQ(&lut1, &lut2);
+  EXPECT_EQ(lut1.size(), 81u);
+}
+
+TEST(Platform, SimulatePoliciesEndToEnd) {
+  auto& p = off_chip_platform();
+  const auto base = p.benchmark().baseline;
+  const auto std_r = p.simulate(base, memctrl::standard_policy());
+  const auto distr = p.simulate(base, memctrl::ir_aware_policy(24.0,
+                                                               memctrl::SchedulingKind::kDistR));
+  EXPECT_TRUE(std_r.feasible);
+  EXPECT_TRUE(distr.feasible);
+  EXPECT_EQ(std_r.reads, p.benchmark().workload.num_requests);
+  // The paper's headline: the IR-aware policy is faster *and* quieter.
+  EXPECT_LT(distr.runtime_us, std_r.runtime_us);
+  EXPECT_LT(distr.max_ir_mv, std_r.max_ir_mv);
+}
+
+TEST(Platform, BuildInfoExposed) {
+  auto& p = off_chip_platform();
+  const auto info = p.build_info(p.benchmark().baseline);
+  EXPECT_EQ(info.tsvs_per_interface, 33);
+  EXPECT_GT(info.node_count, 1000u);
+}
+
+TEST(Platform, RailPairCombinesBothNets) {
+  auto& p = off_chip_platform();
+  const auto base = p.benchmark().baseline;
+  const auto state = p.parse_state("0-0-0-2");
+  const auto symmetric = p.analyze_rail_pair(base, state);
+  // A mirrored VSS grid sees the same drop; the supply window loses both.
+  EXPECT_NEAR(symmetric.combined_worst_mv, 2.0 * symmetric.vdd.dram_max_mv, 1e-9);
+  EXPECT_NEAR(symmetric.vss.dram_max_mv, symmetric.vdd.dram_max_mv, 1e-9);
+
+  // A skinnier ground grid bounces harder.
+  const auto skewed = p.analyze_rail_pair(base, state, 0.6);
+  EXPECT_GT(skewed.vss.dram_max_mv, skewed.vdd.dram_max_mv);
+  EXPECT_GT(skewed.combined_worst_mv, symmetric.combined_worst_mv);
+
+  EXPECT_THROW(p.analyze_rail_pair(base, state, 0.0), std::invalid_argument);
+}
+
+TEST(Platform, ParseStateUsesBenchmarkGeometry) {
+  auto& p = off_chip_platform();
+  const auto st = p.parse_state("0-0-2d-0");
+  EXPECT_EQ(st.dies[2].active_banks, (std::vector<int>{6, 7}));  // column d = 3
+}
+
+}  // namespace
+}  // namespace pdn3d::core

@@ -1,0 +1,132 @@
+#include "cost/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdn3d::cost {
+namespace {
+
+pdn::PdnConfig baseline_off_chip() {
+  pdn::PdnConfig c;  // M2 10%, M3 20%, TC 33, edge, F2B, off-chip
+  return c;
+}
+
+TEST(CostModel, Table8Endpoints) {
+  pdn::PdnConfig c = baseline_off_chip();
+  c.tsv_location = pdn::TsvLocation::kCenter;
+  c.mounting = pdn::Mounting::kOnChip;
+
+  c.m2_usage = 0.10;
+  EXPECT_NEAR(compute_cost(c).m2, 0.025, 1e-9);
+  c.m2_usage = 0.20;
+  EXPECT_NEAR(compute_cost(c).m2, 0.050, 1e-9);
+
+  c.m3_usage = 0.10;
+  EXPECT_NEAR(compute_cost(c).m3, 0.025, 1e-9);
+  c.m3_usage = 0.40;
+  EXPECT_NEAR(compute_cost(c).m3, 0.100, 1e-9);
+
+  c.tsv_count = 15;
+  EXPECT_NEAR(compute_cost(c).tsv_count, 0.078, 1e-3);
+  c.tsv_count = 480;
+  EXPECT_NEAR(compute_cost(c).tsv_count, 0.44, 5e-3);
+}
+
+TEST(CostModel, TsvLocationMultipliers) {
+  pdn::PdnConfig c = baseline_off_chip();
+  c.tsv_count = 100;
+  c.tsv_location = pdn::TsvLocation::kCenter;
+  const double tc = compute_cost(c).tsv_count;
+  EXPECT_DOUBLE_EQ(compute_cost(c).tsv_location, 0.0);
+  c.tsv_location = pdn::TsvLocation::kEdge;
+  EXPECT_NEAR(compute_cost(c).tsv_location, 0.5 * tc, 1e-12);
+  c.tsv_location = pdn::TsvLocation::kDistributed;
+  EXPECT_NEAR(compute_cost(c).tsv_location, tc, 1e-12);
+}
+
+TEST(CostModel, FixedTerms) {
+  pdn::PdnConfig c = baseline_off_chip();
+  c.mounting = pdn::Mounting::kOnChip;
+  EXPECT_DOUBLE_EQ(compute_cost(c).bonding, 0.045);
+  c.bonding = pdn::BondingStyle::kF2F;
+  EXPECT_DOUBLE_EQ(compute_cost(c).bonding, 0.06);
+  EXPECT_DOUBLE_EQ(compute_cost(c).rdl, 0.0);
+  c.rdl = pdn::RdlMode::kBottomOnly;
+  EXPECT_DOUBLE_EQ(compute_cost(c).rdl, 0.05);
+  EXPECT_DOUBLE_EQ(compute_cost(c).wire_bond, 0.0);
+  c.wire_bonding = true;
+  EXPECT_DOUBLE_EQ(compute_cost(c).wire_bond, 0.03);
+  EXPECT_DOUBLE_EQ(compute_cost(c).dedicated, 0.0);
+  c.dedicated_tsvs = true;
+  EXPECT_DOUBLE_EQ(compute_cost(c).dedicated, 0.06);
+}
+
+TEST(CostModel, OffChipAlwaysPaysDedicatedTsvs) {
+  pdn::PdnConfig c = baseline_off_chip();
+  c.dedicated_tsvs = false;
+  EXPECT_DOUBLE_EQ(compute_cost(c).dedicated, 0.06);
+}
+
+TEST(CostModel, PaperTable9BaselineCosts) {
+  // Off-chip baseline: M2 10, M3 20, TC 33 edge, F2B -> 0.35.
+  EXPECT_NEAR(total_cost(baseline_off_chip()), 0.35, 0.01);
+
+  // On-chip alpha=0 point: M2 10, M3 10, TC 15 center, F2B, no extras -> 0.17.
+  pdn::PdnConfig a0;
+  a0.mounting = pdn::Mounting::kOnChip;
+  a0.m3_usage = 0.10;
+  a0.tsv_count = 15;
+  a0.tsv_location = pdn::TsvLocation::kCenter;
+  EXPECT_NEAR(total_cost(a0), 0.17, 0.01);
+
+  // Off-chip alpha=1 point: M2 20, M3 40, TC 360 edge, F2F, WB -> 0.87.
+  pdn::PdnConfig a1;
+  a1.m2_usage = 0.20;
+  a1.m3_usage = 0.40;
+  a1.tsv_count = 360;
+  a1.bonding = pdn::BondingStyle::kF2F;
+  a1.wire_bonding = true;
+  EXPECT_NEAR(total_cost(a1), 0.87, 0.01);
+
+  // HMC alpha=1: M2 20, M3 40, TC 480 distributed, dedicated, F2B, WB -> 1.17.
+  pdn::PdnConfig hmc;
+  hmc.mounting = pdn::Mounting::kOnChip;
+  hmc.m2_usage = 0.20;
+  hmc.m3_usage = 0.40;
+  hmc.tsv_count = 480;
+  hmc.tsv_location = pdn::TsvLocation::kDistributed;
+  hmc.dedicated_tsvs = true;
+  hmc.wire_bonding = true;
+  EXPECT_NEAR(total_cost(hmc), 1.17, 0.01);
+}
+
+TEST(CostModel, InvalidConfigsThrow) {
+  pdn::PdnConfig c = baseline_off_chip();
+  c.tsv_count = 0;
+  EXPECT_THROW(compute_cost(c), std::invalid_argument);
+  c = baseline_off_chip();
+  c.m2_usage = 0.0;
+  EXPECT_THROW(compute_cost(c), std::invalid_argument);
+}
+
+TEST(IrCost, AlphaBlendsObjectives) {
+  EXPECT_DOUBLE_EQ(ir_cost(30.0, 0.5, 0.0), 0.5);   // pure cost
+  EXPECT_DOUBLE_EQ(ir_cost(30.0, 0.5, 1.0), 30.0);  // pure IR
+  const double mid = ir_cost(30.0, 0.5, 0.3);
+  EXPECT_GT(mid, 0.5);
+  EXPECT_LT(mid, 30.0);
+}
+
+TEST(IrCost, RejectsBadInputs) {
+  EXPECT_THROW(ir_cost(30.0, 0.5, -0.1), std::invalid_argument);
+  EXPECT_THROW(ir_cost(30.0, 0.5, 1.1), std::invalid_argument);
+  EXPECT_THROW(ir_cost(0.0, 0.5, 0.5), std::invalid_argument);
+  EXPECT_THROW(ir_cost(30.0, 0.0, 0.5), std::invalid_argument);
+}
+
+TEST(IrCost, MonotoneInBothArguments) {
+  EXPECT_LT(ir_cost(20.0, 0.5, 0.3), ir_cost(30.0, 0.5, 0.3));
+  EXPECT_LT(ir_cost(30.0, 0.4, 0.3), ir_cost(30.0, 0.5, 0.3));
+}
+
+}  // namespace
+}  // namespace pdn3d::cost

@@ -1,0 +1,86 @@
+#include "dram/bank.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdn3d::dram {
+namespace {
+
+class BankTest : public ::testing::Test {
+ protected:
+  TimingParams t = ddr3_1600_timing();
+  Bank bank{t};
+};
+
+TEST_F(BankTest, StartsClosed) {
+  EXPECT_EQ(bank.phase(0), Bank::Phase::kClosed);
+  EXPECT_TRUE(bank.can_activate(0));
+  EXPECT_FALSE(bank.can_read(0, 5));
+  EXPECT_FALSE(bank.is_active(0));
+}
+
+TEST_F(BankTest, ActivateOpensAfterTrcd) {
+  bank.activate(0, 42);
+  EXPECT_EQ(bank.phase(0), Bank::Phase::kOpening);
+  EXPECT_TRUE(bank.is_active(0));
+  EXPECT_EQ(bank.phase(t.tRCD - 1), Bank::Phase::kOpening);
+  EXPECT_EQ(bank.phase(t.tRCD), Bank::Phase::kOpen);
+  EXPECT_TRUE(bank.can_read(t.tRCD, 42));
+  EXPECT_FALSE(bank.can_read(t.tRCD, 43));  // wrong row
+}
+
+TEST_F(BankTest, ReadRespectsTccd) {
+  bank.activate(0, 1);
+  bank.read(t.tRCD);
+  EXPECT_FALSE(bank.can_read(t.tRCD + t.tCCD - 1, 1));
+  EXPECT_TRUE(bank.can_read(t.tRCD + t.tCCD, 1));
+}
+
+TEST_F(BankTest, PrechargeRequiresTrasAndTrtp) {
+  bank.activate(0, 1);
+  EXPECT_FALSE(bank.can_precharge(t.tRAS - 1));
+  EXPECT_TRUE(bank.can_precharge(t.tRAS));
+  bank.read(t.tRAS);
+  EXPECT_FALSE(bank.can_precharge(t.tRAS + t.tRTP - 1));
+  EXPECT_TRUE(bank.can_precharge(t.tRAS + t.tRTP));
+}
+
+TEST_F(BankTest, PrechargeClosesAfterTrp) {
+  bank.activate(0, 1);
+  const Cycle pre = t.tRAS;
+  bank.precharge(pre);
+  EXPECT_EQ(bank.phase(pre), Bank::Phase::kPrecharging);
+  EXPECT_FALSE(bank.is_active(pre));
+  EXPECT_FALSE(bank.can_activate(pre + t.tRP - 1));
+  EXPECT_TRUE(bank.can_activate(pre + t.tRP));
+  EXPECT_EQ(bank.open_row(), -1);
+}
+
+TEST_F(BankTest, ReactivationAfterFullCycle) {
+  bank.activate(0, 1);
+  bank.precharge(t.tRAS);
+  const Cycle again = t.tRAS + t.tRP;
+  bank.activate(again, 2);
+  EXPECT_EQ(bank.phase(again + t.tRCD), Bank::Phase::kOpen);
+  EXPECT_EQ(bank.open_row(), 2);
+}
+
+TEST_F(BankTest, IllegalCommandsThrow) {
+  EXPECT_THROW(bank.read(0), std::logic_error);          // nothing open
+  EXPECT_THROW(bank.precharge(0), std::logic_error);     // nothing open
+  bank.activate(0, 1);
+  EXPECT_THROW(bank.activate(1, 2), std::logic_error);   // already open
+  EXPECT_THROW(bank.read(1), std::logic_error);          // before tRCD
+  EXPECT_THROW(bank.precharge(1), std::logic_error);     // before tRAS
+  bank.read(t.tRCD);
+  EXPECT_THROW(bank.read(t.tRCD + 1), std::logic_error); // tCCD violation
+}
+
+TEST_F(BankTest, LastActivityTracksReads) {
+  bank.activate(0, 1);
+  EXPECT_EQ(bank.last_activity(), static_cast<Cycle>(t.tRCD));
+  bank.read(t.tRCD + 3);
+  EXPECT_EQ(bank.last_activity(), static_cast<Cycle>(t.tRCD + 3));
+}
+
+}  // namespace
+}  // namespace pdn3d::dram

@@ -1,0 +1,38 @@
+#include "dram/timing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdn3d::dram {
+namespace {
+
+TEST(Timing, Ddr3DefaultsMatchPaper) {
+  const TimingParams t = ddr3_1600_timing();
+  EXPECT_EQ(t.tRRD, 8);   // Section 5.2: tRRD of 8
+  EXPECT_EQ(t.tFAW, 32);  // and tFAW of 32
+  EXPECT_EQ(t.burst_length, 8);
+  EXPECT_EQ(t.burst_cycles(), 4);  // DDR: 8 beats over 4 clocks
+  EXPECT_DOUBLE_EQ(t.tck_ns, 1.25);
+}
+
+TEST(Timing, CyclesToMicroseconds) {
+  const TimingParams t = ddr3_1600_timing();
+  EXPECT_DOUBLE_EQ(t.cycles_to_us(80000), 100.0);
+  EXPECT_DOUBLE_EQ(t.cycles_to_us(0), 0.0);
+}
+
+TEST(Timing, OrderingInvariants) {
+  for (const TimingParams& t : {ddr3_1600_timing(), wide_io_timing(), hmc_timing()}) {
+    EXPECT_GT(t.tRAS, t.tRCD);     // a row stays open past its first read
+    EXPECT_GE(t.tFAW, 4 * t.tRRD / 2);  // FAW meaningfully tighter than 4x RRD
+    EXPECT_GT(t.burst_cycles(), 0);
+    EXPECT_GT(t.tck_ns, 0.0);
+  }
+}
+
+TEST(Timing, WideIoSlowerClock) {
+  EXPECT_GT(wide_io_timing().tck_ns, ddr3_1600_timing().tck_ns);
+  EXPECT_LT(hmc_timing().tck_ns, ddr3_1600_timing().tck_ns);
+}
+
+}  // namespace
+}  // namespace pdn3d::dram

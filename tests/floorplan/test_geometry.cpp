@@ -1,0 +1,49 @@
+#include "floorplan/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdn3d::floorplan {
+namespace {
+
+TEST(Geometry, RectBasics) {
+  const Rect r{1.0, 2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(r.width(), 3.0);
+  EXPECT_DOUBLE_EQ(r.height(), 4.0);
+  EXPECT_DOUBLE_EQ(r.area(), 12.0);
+  EXPECT_DOUBLE_EQ(r.center().x, 2.5);
+  EXPECT_DOUBLE_EQ(r.center().y, 4.0);
+}
+
+TEST(Geometry, ContainsIsClosed) {
+  const Rect r{0.0, 0.0, 1.0, 1.0};
+  EXPECT_TRUE(r.contains({0.0, 0.0}));
+  EXPECT_TRUE(r.contains({1.0, 1.0}));
+  EXPECT_TRUE(r.contains({0.5, 0.5}));
+  EXPECT_FALSE(r.contains({1.0001, 0.5}));
+  EXPECT_FALSE(r.contains({0.5, -0.0001}));
+}
+
+TEST(Geometry, OverlapsIsStrict) {
+  const Rect a{0.0, 0.0, 1.0, 1.0};
+  const Rect b{1.0, 0.0, 2.0, 1.0};  // shares an edge only
+  EXPECT_FALSE(a.overlaps(b));
+  const Rect c{0.5, 0.5, 1.5, 1.5};
+  EXPECT_TRUE(a.overlaps(c));
+  EXPECT_TRUE(c.overlaps(a));
+}
+
+TEST(Geometry, OverlapArea) {
+  const Rect a{0.0, 0.0, 2.0, 2.0};
+  const Rect b{1.0, 1.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(a.overlap_area(b), 1.0);
+  const Rect c{5.0, 5.0, 6.0, 6.0};
+  EXPECT_DOUBLE_EQ(a.overlap_area(c), 0.0);
+}
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1.0, 1.0}, {1.0, 1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace pdn3d::floorplan

@@ -1,0 +1,45 @@
+#include "floorplan/logic_floorplan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pdn3d::floorplan {
+namespace {
+
+TEST(LogicFloorplan, T2HasEightCores) {
+  const Floorplan fp = make_t2_floorplan();
+  EXPECT_EQ(fp.blocks_of_type(BlockType::kCore).size(), 8u);
+  EXPECT_EQ(fp.blocks_of_type(BlockType::kCache).size(), 8u);
+  EXPECT_EQ(fp.blocks_of_type(BlockType::kUncore).size(), 1u);
+  EXPECT_TRUE(fp.is_legal());
+  EXPECT_DOUBLE_EQ(fp.width(), 9.0);
+  EXPECT_DOUBLE_EQ(fp.height(), 8.0);
+}
+
+TEST(LogicFloorplan, T2CachesAdjoinCrossbar) {
+  const Floorplan fp = make_t2_floorplan();
+  const auto* xbar = fp.blocks_of_type(BlockType::kUncore).front();
+  // Caches must sit against the crossbar strip (either side of it).
+  for (const auto* cache : fp.blocks_of_type(BlockType::kCache)) {
+    const double cache_gap = std::min(std::abs(cache->rect.y1 - xbar->rect.y0),
+                                      std::abs(cache->rect.y0 - xbar->rect.y1));
+    EXPECT_LT(cache_gap, 0.2);
+  }
+}
+
+TEST(LogicFloorplan, HmcLogicHasSixteenVaults) {
+  const Floorplan fp = make_hmc_logic_floorplan();
+  EXPECT_EQ(fp.blocks_of_type(BlockType::kCore).size(), 16u);
+  EXPECT_EQ(fp.blocks_of_type(BlockType::kUncore).size(), 2u);  // SerDes strips
+  EXPECT_TRUE(fp.is_legal());
+}
+
+TEST(LogicFloorplan, CustomDimensions) {
+  const Floorplan fp = make_t2_floorplan(12.0, 10.0);
+  EXPECT_DOUBLE_EQ(fp.width(), 12.0);
+  EXPECT_TRUE(fp.is_legal());
+}
+
+}  // namespace
+}  // namespace pdn3d::floorplan

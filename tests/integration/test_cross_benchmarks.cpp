@@ -1,0 +1,118 @@
+// Cross-benchmark property sweeps: the physical invariants that must hold on
+// every benchmark (not just stacked DDR3), parameterized over all four.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "core/platform.hpp"
+#include "cost/cost_model.hpp"
+
+namespace pdn3d::core {
+namespace {
+
+class AllBenchmarks : public ::testing::TestWithParam<BenchmarkKind> {
+ protected:
+  static Platform& platform(BenchmarkKind kind) {
+    static std::map<BenchmarkKind, std::unique_ptr<Platform>> cache;
+    auto& slot = cache[kind];
+    if (!slot) slot = std::make_unique<Platform>(make_benchmark(kind));
+    return *slot;
+  }
+
+  Platform& p() { return platform(GetParam()); }
+};
+
+TEST_P(AllBenchmarks, BaselineWithinFactorTwoOfPaper) {
+  auto& plat = p();
+  const double ir = plat.measure_ir_mv(plat.benchmark().baseline);
+  const double paper = plat.benchmark().paper_baseline_ir_mv;
+  EXPECT_GT(ir, 0.5 * paper) << plat.benchmark().name;
+  EXPECT_LT(ir, 2.0 * paper) << plat.benchmark().name;
+}
+
+TEST_P(AllBenchmarks, MoreMetalAlwaysHelps) {
+  auto& plat = p();
+  auto cfg = plat.benchmark().baseline;
+  const double base = plat.measure_ir_mv(cfg);
+  cfg.metal_usage_scale = 1.5;
+  const double thick = plat.measure_ir_mv(cfg);
+  EXPECT_LT(thick, base) << plat.benchmark().name;
+}
+
+TEST_P(AllBenchmarks, MoreAlignedTsvsNeverHurt) {
+  auto& plat = p();
+  auto cfg = plat.benchmark().baseline;
+  // Wide I/O pins TC; doubling it is still a legal *analysis*, only the
+  // optimizer respects the JEDEC bound.
+  const double base = plat.measure_ir_mv(cfg);
+  cfg.tsv_count *= 2;
+  const double more = plat.measure_ir_mv(cfg);
+  EXPECT_LE(more, base * 1.02) << plat.benchmark().name;
+}
+
+TEST_P(AllBenchmarks, IdleColderThanActive) {
+  auto& plat = p();
+  const auto& bench = plat.benchmark();
+  const int dies = bench.stack.num_dram_dies;
+  std::string idle = "0";
+  for (int d = 1; d < dies; ++d) idle += "-0";
+  const double ir_idle = plat.analyze(bench.baseline, idle).dram_max_mv;
+  const double ir_active =
+      plat.analyze(bench.baseline, bench.default_state, bench.default_io_activity).dram_max_mv;
+  EXPECT_LT(ir_idle, ir_active) << bench.name;
+}
+
+TEST_P(AllBenchmarks, LutWorstStateIsAnUpperBound) {
+  auto& plat = p();
+  const auto& lut = plat.lut(plat.benchmark().baseline);
+  for (const auto& probe : {std::vector<int>{0, 0, 0, 1}, std::vector<int>{1, 1, 0, 0},
+                            std::vector<int>{2, 2, 2, 2}}) {
+    EXPECT_LE(lut.max_ir_mv(probe), lut.worst_case_mv() + 1e-9) << plat.benchmark().name;
+  }
+}
+
+TEST_P(AllBenchmarks, StandardPolicyCompletes) {
+  auto& plat = p();
+  const auto r = plat.simulate(plat.benchmark().baseline, memctrl::standard_policy());
+  EXPECT_TRUE(r.feasible) << plat.benchmark().name;
+  EXPECT_EQ(r.reads, plat.benchmark().workload.num_requests) << plat.benchmark().name;
+  EXPECT_GT(r.row_hit_fraction, 0.2) << plat.benchmark().name;
+}
+
+TEST_P(AllBenchmarks, BaselineCostMatchesPaperColumn) {
+  auto& plat = p();
+  const double cost = cost::total_cost(plat.benchmark().baseline);
+  // Paper Table 9 baseline costs: 0.35 / 0.35 / 0.62 / 0.77.
+  const std::map<BenchmarkKind, double> paper = {
+      {BenchmarkKind::kStackedDdr3OffChip, 0.35},
+      {BenchmarkKind::kStackedDdr3OnChip, 0.35},
+      {BenchmarkKind::kWideIo, 0.62},
+      {BenchmarkKind::kHmc, 0.77},
+  };
+  EXPECT_NEAR(cost, paper.at(GetParam()), 0.02) << plat.benchmark().name;
+}
+
+TEST_P(AllBenchmarks, WireBondingAlwaysHelps) {
+  auto& plat = p();
+  auto cfg = plat.benchmark().baseline;
+  const double base = plat.measure_ir_mv(cfg);
+  cfg.wire_bonding = true;
+  EXPECT_LT(plat.measure_ir_mv(cfg), base) << plat.benchmark().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(FourBenchmarks, AllBenchmarks,
+                         ::testing::Values(BenchmarkKind::kStackedDdr3OffChip,
+                                           BenchmarkKind::kStackedDdr3OnChip,
+                                           BenchmarkKind::kWideIo, BenchmarkKind::kHmc),
+                         [](const auto& info) {
+                           std::string name = to_string(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace pdn3d::core

@@ -1,0 +1,195 @@
+// Integration tests asserting the qualitative findings of the paper -- the
+// orderings and effect directions every experiment relies on. Absolute
+// millivolt values are calibration-dependent; these tests pin the *shape*.
+
+#include <gtest/gtest.h>
+
+#include "core/platform.hpp"
+
+namespace pdn3d::core {
+namespace {
+
+Platform& off_chip() {
+  static Platform p(make_benchmark(BenchmarkKind::kStackedDdr3OffChip));
+  return p;
+}
+
+Platform& on_chip() {
+  static Platform p(make_benchmark(BenchmarkKind::kStackedDdr3OnChip));
+  return p;
+}
+
+double ir(Platform& p, const pdn::PdnConfig& cfg, const char* state, double act = -1.0) {
+  return p.analyze(cfg, state, act).dram_max_mv;
+}
+
+TEST(PaperAnchors, BaselineNearPaperValue) {
+  // Off-chip stacked DDR3, 0-0-0-2: paper reports 30.03 mV.
+  const double v = ir(off_chip(), off_chip().benchmark().baseline, "0-0-0-2");
+  EXPECT_GT(v, 22.0);
+  EXPECT_LT(v, 38.0);
+}
+
+TEST(PaperAnchors, Section3MetalUsage) {
+  // "with 2x PDN metal usage, IR drop is reduced more than 40%".
+  auto cfg = off_chip().benchmark().baseline;
+  const double base = ir(off_chip(), cfg, "0-0-0-2");
+  cfg.metal_usage_scale = 2.0;
+  const double doubled = ir(off_chip(), cfg, "0-0-0-2");
+  EXPECT_LT(doubled, base * 0.6);
+}
+
+TEST(PaperAnchors, Section31MountingCoupling) {
+  // On-chip with shared (non-dedicated) TSVs couples the logic noise into
+  // the DRAM: 30.03 -> 64.41 mV in the paper.
+  const double off = ir(off_chip(), off_chip().benchmark().baseline, "0-0-0-2");
+  auto shared = on_chip().benchmark().baseline;
+  shared.dedicated_tsvs = false;
+  const double on = ir(on_chip(), shared, "0-0-0-2");
+  EXPECT_GT(on, off * 1.6);
+
+  // Logic self-noise around the paper's 50 mV.
+  const auto r = on_chip().analyze(shared, "0-0-0-2");
+  EXPECT_GT(r.logic_max_mv, 30.0);
+  EXPECT_LT(r.logic_max_mv, 70.0);
+}
+
+TEST(PaperAnchors, Section32TsvCountSaturates) {
+  // More TSVs lower the IR drop, with diminishing returns (Figure 5).
+  auto cfg = off_chip().benchmark().baseline;
+  cfg.tsv_count = 15;
+  const double v15 = ir(off_chip(), cfg, "0-0-0-2");
+  cfg.tsv_count = 60;
+  const double v60 = ir(off_chip(), cfg, "0-0-0-2");
+  cfg.tsv_count = 240;
+  const double v240 = ir(off_chip(), cfg, "0-0-0-2");
+  cfg.tsv_count = 480;
+  const double v480 = ir(off_chip(), cfg, "0-0-0-2");
+  EXPECT_GT(v15, v60);
+  EXPECT_GT(v60, v240);
+  EXPECT_GE(v240, v480 * 0.99);
+  // Saturation: the second halving buys much less than the first.
+  EXPECT_LT(v240 - v480, v15 - v60);
+}
+
+TEST(PaperAnchors, Section32AlignmentHelpsOnChip) {
+  // Figure 5: aligned TSVs beat uniform-pitch TSVs, especially on-chip.
+  auto cfg = on_chip().benchmark().baseline;
+  cfg.dedicated_tsvs = false;
+  cfg.align_tsvs_to_c4 = true;
+  const double aligned = ir(on_chip(), cfg, "0-0-0-2");
+  cfg.align_tsvs_to_c4 = false;
+  const double misaligned = ir(on_chip(), cfg, "0-0-0-2");
+  EXPECT_GT(misaligned, aligned);
+}
+
+TEST(PaperAnchors, Section33CenterTsvCheapButHot) {
+  // Table 2: center TSVs have the lowest cost but the highest IR drop.
+  auto edge = off_chip().benchmark().baseline;
+  auto center = edge;
+  center.tsv_location = pdn::TsvLocation::kCenter;
+  center.logic_tsv_location = pdn::TsvLocation::kCenter;
+  EXPECT_GT(ir(off_chip(), center, "0-0-0-2"), 1.3 * ir(off_chip(), edge, "0-0-0-2"));
+}
+
+TEST(PaperAnchors, Section41DedicatedTsvsDecouple) {
+  // Table 3: dedicated TSVs bring the on-chip IR drop down to off-chip level.
+  auto shared = on_chip().benchmark().baseline;
+  shared.dedicated_tsvs = false;
+  auto dedicated = on_chip().benchmark().baseline;
+  dedicated.dedicated_tsvs = true;
+  const double v_shared = ir(on_chip(), shared, "0-0-0-2");
+  const double v_dedicated = ir(on_chip(), dedicated, "0-0-0-2");
+  const double v_off = ir(off_chip(), off_chip().benchmark().baseline, "0-0-0-2");
+  EXPECT_LT(v_dedicated, 0.6 * v_shared);
+  EXPECT_NEAR(v_dedicated, v_off, 0.3 * v_off);
+}
+
+TEST(PaperAnchors, Section41WireBondingHelpsSharedMost) {
+  // Table 3: wire bonding cuts the non-dedicated on-chip design by ~53% but
+  // the off-chip design by only ~10%.
+  auto shared = on_chip().benchmark().baseline;
+  shared.dedicated_tsvs = false;
+  auto shared_wb = shared;
+  shared_wb.wire_bonding = true;
+  const double drop_on = 1.0 - ir(on_chip(), shared_wb, "0-0-0-2") /
+                                   ir(on_chip(), shared, "0-0-0-2");
+
+  auto off = off_chip().benchmark().baseline;
+  auto off_wb = off;
+  off_wb.wire_bonding = true;
+  const double drop_off = 1.0 - ir(off_chip(), off_wb, "0-0-0-2") /
+                                    ir(off_chip(), off, "0-0-0-2");
+  EXPECT_GT(drop_on, 2.0 * drop_off);
+  EXPECT_GT(drop_on, 0.25);
+  EXPECT_LT(drop_off, 0.25);
+}
+
+TEST(PaperAnchors, Section42F2fSharesPdn) {
+  // F2F+B2B cuts the default-state IR drop by ~40% (Table 5: 30.03 -> 17.18).
+  auto f2b = off_chip().benchmark().baseline;
+  auto f2f = f2b;
+  f2f.bonding = pdn::BondingStyle::kF2F;
+  const double vb = ir(off_chip(), f2b, "0-0-0-2");
+  const double vf = ir(off_chip(), f2f, "0-0-0-2");
+  EXPECT_LT(vf, 0.72 * vb);
+}
+
+TEST(PaperAnchors, Section43IntraPairOverlapKillsF2fBenefit) {
+  // Table 4: overlapping pairs barely benefit; separated pairs benefit a lot.
+  auto f2b = off_chip().benchmark().baseline;
+  auto f2f = f2b;
+  f2f.bonding = pdn::BondingStyle::kF2F;
+
+  // Intra-pair overlapping: dies 3 and 4 (one F2F pair), same bank column.
+  const double overlap_gain =
+      1.0 - ir(off_chip(), f2f, "0-0-2a-2a") / ir(off_chip(), f2b, "0-0-2a-2a");
+  // No overlap: active dies in different pairs.
+  const double split_gain =
+      1.0 - ir(off_chip(), f2f, "0-2a-0-2a") / ir(off_chip(), f2b, "0-2a-0-2a");
+  EXPECT_GT(split_gain, overlap_gain + 0.10);
+}
+
+TEST(PaperAnchors, Section43SeparationIncreasesF2fBenefit) {
+  auto f2b = off_chip().benchmark().baseline;
+  auto f2f = f2b;
+  f2f.bonding = pdn::BondingStyle::kF2F;
+  const double gain_b =
+      1.0 - ir(off_chip(), f2f, "0-0-2b-2a") / ir(off_chip(), f2b, "0-0-2b-2a");
+  const double gain_d =
+      1.0 - ir(off_chip(), f2f, "0-0-2d-2a") / ir(off_chip(), f2b, "0-0-2d-2a");
+  EXPECT_GT(gain_d, gain_b);
+}
+
+TEST(PaperAnchors, Section51BalancedStatesWin) {
+  // Table 5: 2-2-2-2 at 25% activity has lower max IR than 0-0-0-2 at 100%.
+  const auto& base = off_chip().benchmark().baseline;
+  EXPECT_LT(ir(off_chip(), base, "2-2-2-2", 0.25), ir(off_chip(), base, "0-0-0-2", 1.0));
+}
+
+TEST(PaperAnchors, Section51F2fWorstCaseIsOverlappingState) {
+  // For F2F the intra-pair overlapping 0-0-2-2 state overtakes 0-0-0-2.
+  auto f2f = off_chip().benchmark().baseline;
+  f2f.bonding = pdn::BondingStyle::kF2F;
+  EXPECT_GT(ir(off_chip(), f2f, "0-0-2-2", 0.5), ir(off_chip(), f2f, "0-0-0-2", 1.0) * 0.95);
+}
+
+TEST(PaperAnchors, Section52PolicyOrdering) {
+  auto& p = off_chip();
+  const auto base = p.benchmark().baseline;
+  const auto s = p.simulate(base, memctrl::standard_policy());
+  const auto f = p.simulate(base, memctrl::ir_aware_policy(24.0, memctrl::SchedulingKind::kFcfs));
+  const auto d = p.simulate(base, memctrl::ir_aware_policy(24.0, memctrl::SchedulingKind::kDistR));
+  ASSERT_TRUE(s.feasible);
+  ASSERT_TRUE(f.feasible);
+  ASSERT_TRUE(d.feasible);
+  // Table 6 ordering: standard slowest, DistR fastest; IR-aware under 24 mV.
+  EXPECT_LT(f.runtime_us, s.runtime_us);
+  EXPECT_LT(d.runtime_us, f.runtime_us);
+  EXPECT_LE(f.max_ir_mv, 24.0);
+  EXPECT_LE(d.max_ir_mv, 24.0);
+  EXPECT_GT(s.max_ir_mv, 24.0);
+}
+
+}  // namespace
+}  // namespace pdn3d::core

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/benchmarks.hpp"
+#include "io/floorplan_writer.hpp"
+#include "io/ir_map_writer.hpp"
+#include "irdrop/analysis.hpp"
+#include "pdn/stack_builder.hpp"
+
+namespace pdn3d::io {
+namespace {
+
+struct Built {
+  core::Benchmark bench = core::make_benchmark(core::BenchmarkKind::kStackedDdr3OffChip);
+  pdn::BuiltStack built = pdn::build_stack(bench.stack, bench.baseline);
+};
+
+TEST(IrMapWriter, CsvHasOneRowPerNode) {
+  Built b;
+  const std::vector<double> ir(b.built.model.node_count(), 0.01);
+  std::ostringstream os;
+  write_ir_csv(os, b.built.model, ir);
+  const std::string text = os.str();
+  std::size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, b.built.model.node_count() + 1);  // header + nodes
+  EXPECT_NE(text.find("grid,die,layer,i,j,x_mm,y_mm,ir_mv"), std::string::npos);
+}
+
+TEST(IrMapWriter, PgmHeaderAndSize) {
+  Built b;
+  irdrop::PowerBinding power;
+  power.dram = b.bench.dram_power;
+  power.logic = b.bench.logic_power;
+  const irdrop::IrAnalyzer analyzer(b.built.model, b.bench.stack.dram_fp, b.bench.stack.logic_fp,
+                                    power);
+  const auto state = power::parse_memory_state("0-0-0-2", b.bench.stack.dram_spec);
+  const auto ir = analyzer.ir_map(state);
+
+  std::ostringstream os;
+  const double max_mv = write_ir_pgm(os, b.built.model, ir, 3, 0);
+  EXPECT_GT(max_mv, 5.0);
+
+  const std::string img = os.str();
+  EXPECT_EQ(img.rfind("P5\n", 0), 0u);
+  const auto& g = b.built.model.grid(3, 0);
+  // Header + exactly nx*ny pixel bytes.
+  const std::size_t header_end = img.find("255\n") + 4;
+  EXPECT_EQ(img.size() - header_end, g.size());
+}
+
+TEST(IrMapWriter, SizeMismatchThrows) {
+  Built b;
+  const std::vector<double> bad(3, 0.0);
+  std::ostringstream os;
+  EXPECT_THROW(write_ir_csv(os, b.built.model, bad), std::invalid_argument);
+  EXPECT_THROW(write_ir_pgm(os, b.built.model, bad, 0, 0), std::invalid_argument);
+}
+
+TEST(FloorplanWriter, CsvListsEveryBlock) {
+  Built b;
+  std::ostringstream os;
+  write_floorplan_csv(os, b.bench.stack.dram_fp);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("bank_0,bank,0"), std::string::npos);
+  EXPECT_NE(text.find("io,io,-1"), std::string::npos);
+  std::size_t lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, b.bench.stack.dram_fp.blocks().size() + 1);
+}
+
+TEST(FloorplanWriter, DefStructure) {
+  Built b;
+  std::ostringstream os;
+  write_floorplan_def(os, b.bench.stack.dram_fp);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("VERSION 5.8 ;"), std::string::npos);
+  EXPECT_NE(text.find("DIEAREA ( 0 0 ) ( 6800 6700 ) ;"), std::string::npos);
+  EXPECT_NE(text.find("END COMPONENTS"), std::string::npos);
+  EXPECT_NE(text.find("- bank_0 bank + PLACED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdn3d::io

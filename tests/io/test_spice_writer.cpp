@@ -1,0 +1,79 @@
+#include "io/spice_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pdn3d::io {
+namespace {
+
+pdn::StackModel tiny_model() {
+  pdn::StackModel m(1.5);
+  pdn::LayerGrid g;
+  g.die = 0;
+  g.layer = 0;
+  g.nx = 2;
+  g.ny = 1;
+  g.dx = g.dy = 1.0;
+  g.name = "die/M2";
+  m.add_grid(g);
+  m.set_dram_die_count(1);
+  m.add_resistor(0, 1, 2.5);
+  m.add_tap(0, 0.1);
+  return m;
+}
+
+TEST(SpiceWriter, EmitsAllElements) {
+  const auto m = tiny_model();
+  std::ostringstream os;
+  const std::vector<double> sinks = {0.0, 0.25};
+  write_spice_netlist(os, m, sinks);
+  const std::string deck = os.str();
+
+  EXPECT_NE(deck.find("V1 vdd 0 DC 1.5"), std::string::npos);
+  EXPECT_NE(deck.find("R0 n0 n1 2.5"), std::string::npos);
+  EXPECT_NE(deck.find("RT0 vdd n0 0.1"), std::string::npos);
+  EXPECT_NE(deck.find("I0 n1 0 DC 0.25"), std::string::npos);
+  EXPECT_NE(deck.find(".OP"), std::string::npos);
+  EXPECT_NE(deck.find(".END"), std::string::npos);
+}
+
+TEST(SpiceWriter, GridAnnotations) {
+  const auto m = tiny_model();
+  std::ostringstream os;
+  write_spice_netlist(os, m);
+  EXPECT_NE(os.str().find("* grid die/M2"), std::string::npos);
+
+  SpiceOptions opts;
+  opts.annotate_grids = false;
+  std::ostringstream os2;
+  write_spice_netlist(os2, m, {}, opts);
+  EXPECT_EQ(os2.str().find("* grid"), std::string::npos);
+}
+
+TEST(SpiceWriter, SuppressesTinyCurrents) {
+  const auto m = tiny_model();
+  std::ostringstream os;
+  const std::vector<double> sinks = {1e-15, 0.1};
+  write_spice_netlist(os, m, sinks);
+  const std::string deck = os.str();
+  EXPECT_EQ(deck.find("I0 n0"), std::string::npos);
+  EXPECT_NE(deck.find("I0 n1 0 DC 0.1"), std::string::npos);
+}
+
+TEST(SpiceWriter, ElementCountMatchesDeck) {
+  const auto m = tiny_model();
+  const std::vector<double> sinks = {0.0, 0.25};
+  EXPECT_EQ(spice_element_count(m, sinks), 1u + 1u + 1u + 1u);  // V + R + RT + I
+  EXPECT_EQ(spice_element_count(m), 3u);
+}
+
+TEST(SpiceWriter, SizeMismatchThrows) {
+  const auto m = tiny_model();
+  std::ostringstream os;
+  const std::vector<double> bad = {0.1};
+  EXPECT_THROW(write_spice_netlist(os, m, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdn3d::io

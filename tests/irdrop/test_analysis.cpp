@@ -1,0 +1,150 @@
+#include "irdrop/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "floorplan/logic_floorplan.hpp"
+#include "pdn/stack_builder.hpp"
+#include "tech/presets.hpp"
+
+namespace pdn3d::irdrop {
+namespace {
+
+struct Fixture {
+  pdn::StackSpec spec;
+  pdn::BuiltStack built;
+  PowerBinding power;
+
+  explicit Fixture(pdn::PdnConfig cfg = {}) {
+    floorplan::DramFloorplanSpec ds;
+    ds.width_mm = 6.8;
+    ds.height_mm = 6.7;
+    ds.bank_cols = 4;
+    ds.bank_rows = 2;
+    spec.dram_spec = ds;
+    spec.dram_fp = floorplan::make_dram_floorplan(ds);
+    spec.logic_fp = floorplan::make_t2_floorplan();
+    spec.num_dram_dies = 4;
+    spec.tech = tech::ddr3_technology();
+    built = pdn::build_stack(spec, cfg);
+  }
+
+  IrAnalyzer analyzer() const {
+    return IrAnalyzer(built.model, spec.dram_fp, spec.logic_fp, power);
+  }
+
+  power::MemoryState state(std::string_view s, double act = -1.0) const {
+    return power::parse_memory_state(s, spec.dram_spec, act);
+  }
+};
+
+TEST(IrAnalyzer, TopDieWorstInDefaultState) {
+  const Fixture f;
+  const auto a = f.analyzer();
+  const auto r = a.analyze(f.state("0-0-0-2"));
+  ASSERT_EQ(r.dram_dies.size(), 4u);
+  // Monotone accumulation up the stack: each die's drop >= the one below.
+  EXPECT_LT(r.dram_dies[0].max_mv, r.dram_dies[3].max_mv);
+  EXPECT_DOUBLE_EQ(r.dram_max_mv, r.dram_dies[3].max_mv);
+  EXPECT_GT(r.dram_max_mv, 5.0);
+  EXPECT_LT(r.dram_max_mv, 100.0);
+}
+
+TEST(IrAnalyzer, BottomDieActiveDrawsLess) {
+  const Fixture f;
+  const auto a = f.analyzer();
+  const double top = a.analyze(f.state("0-0-0-2")).dram_max_mv;
+  const double bottom = a.analyze(f.state("2-0-0-0")).dram_max_mv;
+  EXPECT_LT(bottom, top);
+}
+
+TEST(IrAnalyzer, IdleStackHasNegligibleDrop) {
+  const Fixture f;
+  const auto a = f.analyzer();
+  const auto r = a.analyze(f.state("0-0-0-0"));
+  EXPECT_LT(r.dram_max_mv, 6.0);
+  EXPECT_GT(r.dram_max_mv, 0.0);  // idle power still flows
+}
+
+TEST(IrAnalyzer, PowerBookkeepingMatchesTable5Convention) {
+  const Fixture f;
+  const auto a = f.analyzer();
+  const auto r = a.analyze(f.state("0-0-0-2", 1.0));
+  EXPECT_NEAR(r.active_die_power_mw, 220.5, 1e-6);
+  EXPECT_NEAR(r.total_power_mw, 310.5, 1e-6);
+
+  const auto r50 = a.analyze(f.state("0-0-2-2", 0.5));
+  EXPECT_NEAR(r50.active_die_power_mw, 175.5, 1e-6);
+}
+
+TEST(IrAnalyzer, ActivityReducesDrop) {
+  const Fixture f;
+  const auto a = f.analyzer();
+  const double full = a.analyze(f.state("0-0-0-2", 1.0)).dram_max_mv;
+  const double half = a.analyze(f.state("0-0-0-2", 0.5)).dram_max_mv;
+  const double quarter = a.analyze(f.state("0-0-0-2", 0.25)).dram_max_mv;
+  EXPECT_GT(full, half);
+  EXPECT_GT(half, quarter);
+}
+
+TEST(IrAnalyzer, InjectionConservesCurrent) {
+  const Fixture f;
+  const auto a = f.analyzer();
+  const auto st = f.state("0-0-0-2", 1.0);
+  const auto sinks = a.injection(st);
+  double total = 0.0;
+  for (double s : sinks) total += s;
+  // Total sink current = total DRAM power / VDD (no logic die off-chip).
+  EXPECT_NEAR(total, 0.3105 / 1.5, 1e-6);
+}
+
+TEST(IrAnalyzer, StateDieCountMismatchThrows) {
+  const Fixture f;
+  const auto a = f.analyzer();
+  EXPECT_THROW(a.analyze(f.state("0-0-2")), std::invalid_argument);
+}
+
+TEST(IrAnalyzer, LogicNoiseReportedOnChip) {
+  pdn::PdnConfig cfg;
+  cfg.mounting = pdn::Mounting::kOnChip;
+  const Fixture f(cfg);
+  const auto a = f.analyzer();
+  const auto r = a.analyze(f.state("0-0-0-2"));
+  EXPECT_GT(r.logic_max_mv, 10.0);
+
+  const Fixture off;
+  EXPECT_DOUBLE_EQ(off.analyzer().analyze(off.state("0-0-0-2")).logic_max_mv, 0.0);
+}
+
+TEST(IrAnalyzer, BlockReportRanksActiveBanksHottest) {
+  const Fixture f;
+  const auto a = f.analyzer();
+  const auto report = a.block_report(f.state("0-0-0-2"), 3);
+  ASSERT_EQ(report.size(), f.spec.dram_fp.blocks().size());
+  // Hottest-first ordering.
+  for (std::size_t i = 1; i < report.size(); ++i) {
+    EXPECT_GE(report[i - 1].max_mv, report[i].max_mv);
+  }
+  // The hottest block on the active die is one of the two reading banks
+  // (edge-column pair {0, 1}).
+  ASSERT_NE(report.front().block, nullptr);
+  EXPECT_EQ(report.front().block->type, floorplan::BlockType::kBankArray);
+  EXPECT_LE(report.front().block->bank_index, 1);
+  EXPECT_GE(report.front().max_mv, report.front().avg_mv);
+
+  EXPECT_THROW(a.block_report(f.state("0-0-0-2"), 4), std::out_of_range);
+  EXPECT_THROW(a.block_report(f.state("0-0-0-2"), -1), std::out_of_range);
+}
+
+TEST(IrAnalyzer, MoreMetalLowersDrop) {
+  pdn::PdnConfig thin;
+  pdn::PdnConfig thick;
+  thick.metal_usage_scale = 2.0;
+  const Fixture f_thin(thin);
+  const Fixture f_thick(thick);
+  const double ir_thin = f_thin.analyzer().analyze(f_thin.state("0-0-0-2")).dram_max_mv;
+  const double ir_thick = f_thick.analyzer().analyze(f_thick.state("0-0-0-2")).dram_max_mv;
+  EXPECT_LT(ir_thick, ir_thin * 0.75);  // paper: 2x metal cuts IR > 40%
+}
+
+}  // namespace
+}  // namespace pdn3d::irdrop

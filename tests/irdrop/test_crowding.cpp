@@ -1,0 +1,93 @@
+#include "irdrop/crowding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/benchmarks.hpp"
+#include "irdrop/analysis.hpp"
+#include "pdn/stack_builder.hpp"
+
+namespace pdn3d::irdrop {
+namespace {
+
+TEST(Crowding, HandComputedCurrents) {
+  // VDD --1ohm-- n0 --2ohm-- n1 with known voltages.
+  pdn::StackModel m(1.0);
+  pdn::LayerGrid g;
+  g.nx = 2;
+  g.ny = 1;
+  g.dx = g.dy = 1.0;
+  m.add_grid(g);
+  m.add_tap(0, 1.0);
+  m.add_resistor(0, 1, 2.0, pdn::ElementKind::kTsv);
+  const std::vector<double> v = {0.8, 0.2};
+  const auto currents = element_currents(m, v);
+  ASSERT_EQ(currents.size(), 1u);
+  EXPECT_DOUBLE_EQ(currents[0], 0.3);  // |0.8 - 0.2| / 2
+
+  const auto stats = current_stats(m, v, pdn::ElementKind::kTsv);
+  EXPECT_EQ(stats.count, 1u);
+  EXPECT_DOUBLE_EQ(stats.max_amps, 0.3);
+  EXPECT_DOUBLE_EQ(stats.crowding_factor(), 1.0);
+
+  const auto none = current_stats(m, v, pdn::ElementKind::kF2fVia);
+  EXPECT_EQ(none.count, 0u);
+  EXPECT_DOUBLE_EQ(none.crowding_factor(), 0.0);
+}
+
+TEST(Crowding, SizeMismatchThrows) {
+  pdn::StackModel m(1.0);
+  pdn::LayerGrid g;
+  g.nx = 2;
+  g.ny = 1;
+  g.dx = g.dy = 1.0;
+  m.add_grid(g);
+  m.add_resistor(0, 1, 1.0);
+  const std::vector<double> bad = {1.0};
+  EXPECT_THROW(element_currents(m, bad), std::invalid_argument);
+  EXPECT_THROW(current_stats(m, bad, pdn::ElementKind::kMesh), std::invalid_argument);
+}
+
+struct StackFixture {
+  core::Benchmark bench = core::make_benchmark(core::BenchmarkKind::kStackedDdr3OffChip);
+
+  CrowdingStats tsv_stats(const pdn::PdnConfig& cfg, const char* state_text) const {
+    const auto built = pdn::build_stack(bench.stack, cfg);
+    PowerBinding power;
+    power.dram = bench.dram_power;
+    power.logic = bench.logic_power;
+    const IrAnalyzer analyzer(built.model, bench.stack.dram_fp, bench.stack.logic_fp, power);
+    const auto state = power::parse_memory_state(state_text, bench.stack.dram_spec);
+    return current_stats(built.model, analyzer.node_voltages(state), pdn::ElementKind::kTsv);
+  }
+};
+
+TEST(Crowding, TsvCurrentsCarryTheSupply) {
+  const StackFixture f;
+  const auto stats = f.tsv_stats(f.bench.baseline, "0-0-0-2");
+  // 3 upper interfaces x 33 TSVs (bottom interface is C4-kind off-chip).
+  EXPECT_EQ(stats.count, 99u);
+  EXPECT_GT(stats.total_amps, 0.1);  // the active top die draws ~0.15 A
+  EXPECT_GT(stats.crowding_factor(), 1.0);
+}
+
+TEST(Crowding, FewerTsvsCrowdMore) {
+  const StackFixture f;
+  auto few = f.bench.baseline;
+  few.tsv_count = 15;
+  auto many = f.bench.baseline;
+  many.tsv_count = 240;
+  const auto s_few = f.tsv_stats(few, "0-0-0-2");
+  const auto s_many = f.tsv_stats(many, "0-0-0-2");
+  // Per-TSV peak current drops sharply with more TSVs.
+  EXPECT_GT(s_few.max_amps, 3.0 * s_many.max_amps);
+}
+
+TEST(Crowding, IdleStateDrawsLittle) {
+  const StackFixture f;
+  const auto active = f.tsv_stats(f.bench.baseline, "0-0-0-2");
+  const auto idle = f.tsv_stats(f.bench.baseline, "0-0-0-0");
+  EXPECT_LT(idle.max_amps, active.max_amps);
+}
+
+}  // namespace
+}  // namespace pdn3d::irdrop

@@ -1,0 +1,120 @@
+#include "irdrop/lut.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "floorplan/logic_floorplan.hpp"
+#include "pdn/stack_builder.hpp"
+#include "tech/presets.hpp"
+
+namespace pdn3d::irdrop {
+namespace {
+
+struct LutFixture {
+  pdn::StackSpec spec;
+  pdn::BuiltStack built;
+  PowerBinding power;
+  std::unique_ptr<IrAnalyzer> analyzer;
+
+  LutFixture() {
+    floorplan::DramFloorplanSpec ds;
+    ds.width_mm = 6.8;
+    ds.height_mm = 6.7;
+    ds.bank_cols = 4;
+    ds.bank_rows = 2;
+    spec.dram_spec = ds;
+    spec.dram_fp = floorplan::make_dram_floorplan(ds);
+    spec.logic_fp = floorplan::make_t2_floorplan();
+    spec.num_dram_dies = 4;
+    spec.tech = tech::ddr3_technology();
+    built = pdn::build_stack(spec, pdn::PdnConfig{});
+    analyzer = std::make_unique<IrAnalyzer>(built.model, spec.dram_fp, spec.logic_fp, power);
+  }
+};
+
+TEST(IrLut, CoversAllStates) {
+  const LutFixture f;
+  const auto lut = IrLut::build(*f.analyzer, f.spec.dram_spec, 2);
+  EXPECT_EQ(lut.size(), 81u);  // 3^4
+  EXPECT_EQ(lut.die_count(), 4);
+  EXPECT_EQ(lut.max_per_die(), 2);
+}
+
+TEST(IrLut, MatchesDirectAnalysis) {
+  const LutFixture f;
+  const auto lut = IrLut::build(*f.analyzer, f.spec.dram_spec, 2, 1.0);
+  const auto st = power::make_state_from_counts({0, 0, 0, 2}, f.spec.dram_spec, 1.0);
+  EXPECT_NEAR(lut.max_ir_mv({0, 0, 0, 2}), f.analyzer->analyze(st).dram_max_mv, 1e-9);
+}
+
+TEST(IrLut, WorstCaseIsTopDiePair) {
+  const LutFixture f;
+  const auto lut = IrLut::build(*f.analyzer, f.spec.dram_spec, 2, 1.0);
+  EXPECT_EQ(lut.worst_case_state(), (std::vector<int>{0, 0, 0, 2}));
+  EXPECT_DOUBLE_EQ(lut.worst_case_mv(), lut.max_ir_mv({0, 0, 0, 2}));
+}
+
+TEST(IrLut, IdleStateIsSmallest) {
+  const LutFixture f;
+  const auto lut = IrLut::build(*f.analyzer, f.spec.dram_spec, 2);
+  const double idle = lut.max_ir_mv({0, 0, 0, 0});
+  EXPECT_LT(idle, lut.max_ir_mv({1, 0, 0, 0}));
+  EXPECT_LT(idle, lut.worst_case_mv());
+}
+
+TEST(IrLut, DemandFactorScalesEntries) {
+  const LutFixture f;
+  const auto heavy = IrLut::build(*f.analyzer, f.spec.dram_spec, 2, 1.0);
+  const auto light = IrLut::build(*f.analyzer, f.spec.dram_spec, 2, 0.5);
+  EXPECT_GT(heavy.max_ir_mv({0, 0, 0, 2}), light.max_ir_mv({0, 0, 0, 2}));
+  // Idle state unaffected.
+  EXPECT_NEAR(heavy.max_ir_mv({0, 0, 0, 0}), light.max_ir_mv({0, 0, 0, 0}), 1e-9);
+}
+
+TEST(IrLut, RangeChecking) {
+  const LutFixture f;
+  const auto lut = IrLut::build(*f.analyzer, f.spec.dram_spec, 2);
+  EXPECT_THROW(lut.max_ir_mv({0, 0, 0}), std::invalid_argument);
+  EXPECT_THROW(lut.max_ir_mv({0, 0, 0, 3}), std::out_of_range);
+  EXPECT_THROW(lut.max_ir_mv({0, 0, 0, -1}), std::out_of_range);
+}
+
+TEST(IrLut, SaveLoadRoundTrip) {
+  const LutFixture f;
+  const auto lut = IrLut::build(*f.analyzer, f.spec.dram_spec, 2, 0.8);
+  std::ostringstream os;
+  lut.save(os);
+  std::istringstream is(os.str());
+  const auto back = IrLut::load(is);
+  EXPECT_EQ(back.size(), lut.size());
+  EXPECT_EQ(back.die_count(), lut.die_count());
+  for (const auto& probe : {std::vector<int>{0, 0, 0, 2}, std::vector<int>{1, 1, 1, 1},
+                            std::vector<int>{2, 0, 1, 0}}) {
+    EXPECT_NEAR(back.max_ir_mv(probe), lut.max_ir_mv(probe), 1e-4);
+  }
+}
+
+TEST(IrLut, LoadRejectsMalformedInput) {
+  const auto expect_throw = [](const char* text) {
+    std::istringstream is(text);
+    EXPECT_THROW(IrLut::load(is), std::runtime_error) << text;
+  };
+  expect_throw("");
+  expect_throw("wrong header\n0-0 1.0\n");
+  expect_throw("pdn3d-lut v1 dies=2 max=1\n0-0 1.0\n");          // incomplete
+  expect_throw("pdn3d-lut v1 dies=2 max=1\n0-0-0 1.0\n");        // wrong die count
+  expect_throw("pdn3d-lut v1 dies=2 max=1\n0-0\n");              // missing value
+}
+
+TEST(IrLut, BalancedStatesBeatConcentratedOnes) {
+  // The architectural insight of Section 5.1: distributing the same number
+  // of active banks across dies lowers the worst-case IR drop.
+  const LutFixture f;
+  const auto lut = IrLut::build(*f.analyzer, f.spec.dram_spec, 2, 1.0);
+  EXPECT_LT(lut.max_ir_mv({1, 1, 1, 1}), lut.max_ir_mv({0, 0, 0, 2}));
+  EXPECT_LT(lut.max_ir_mv({2, 2, 2, 2}), lut.max_ir_mv({0, 0, 0, 2}));
+}
+
+}  // namespace
+}  // namespace pdn3d::irdrop

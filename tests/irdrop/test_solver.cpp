@@ -1,0 +1,131 @@
+#include "irdrop/solver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdn3d::irdrop {
+namespace {
+
+/// Hand-built models with analytically known solutions.
+pdn::StackModel two_node_divider() {
+  // VDD --1ohm-- n0 --2ohm-- n1, 1A drawn at n1.
+  pdn::StackModel m(1.5);
+  pdn::LayerGrid g;
+  g.nx = 2;
+  g.ny = 1;
+  g.dx = g.dy = 1.0;
+  m.add_grid(g);
+  m.set_dram_die_count(1);
+  m.add_tap(0, 1.0);
+  m.add_resistor(0, 1, 2.0);
+  return m;
+}
+
+class SolverKinds : public ::testing::TestWithParam<SolverKind> {};
+
+TEST_P(SolverKinds, SeriesDividerExact) {
+  const auto m = two_node_divider();
+  IrSolver solver(m, GetParam());
+  std::vector<double> sinks = {0.0, 1.0};  // 1 A at the far node
+  const auto v = solver.solve(sinks);
+  // All current flows through both resistors: v0 = 1.5 - 1*1, v1 = v0 - 2*1.
+  EXPECT_NEAR(v[0], 0.5, 1e-9);
+  EXPECT_NEAR(v[1], -1.5, 1e-9);
+  const auto ir = solver.solve_ir(sinks);
+  EXPECT_NEAR(ir[1], 3.0, 1e-9);
+}
+
+TEST_P(SolverKinds, ParallelPathsShareCurrent) {
+  // VDD taps at both ends of a 3-node chain; 1A in the middle splits evenly.
+  pdn::StackModel m(1.0);
+  pdn::LayerGrid g;
+  g.nx = 3;
+  g.ny = 1;
+  g.dx = g.dy = 1.0;
+  m.add_grid(g);
+  m.set_dram_die_count(1);
+  m.add_tap(0, 1.0);
+  m.add_tap(2, 1.0);
+  m.add_resistor(0, 1, 1.0);
+  m.add_resistor(1, 2, 1.0);
+  IrSolver solver(m, GetParam());
+  const auto ir = solver.solve_ir(std::vector<double>{0.0, 1.0, 0.0});
+  // Symmetric: each branch carries 0.5 A through 2 ohm total.
+  EXPECT_NEAR(ir[1], 1.0, 1e-9);
+  EXPECT_NEAR(ir[0], 0.5, 1e-9);
+  EXPECT_NEAR(ir[2], 0.5, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, SolverKinds,
+                         ::testing::Values(SolverKind::kPcgIc, SolverKind::kPcgJacobi,
+                                           SolverKind::kBandedDirect, SolverKind::kDense));
+
+TEST(IrSolver, NoTapsRejected) {
+  pdn::StackModel m(1.0);
+  pdn::LayerGrid g;
+  g.nx = 2;
+  g.ny = 1;
+  g.dx = g.dy = 1.0;
+  m.add_grid(g);
+  m.add_resistor(0, 1, 1.0);
+  EXPECT_THROW(IrSolver solver(m), std::invalid_argument);
+}
+
+TEST(IrSolver, SinkSizeMismatchThrows) {
+  const auto m = two_node_divider();
+  IrSolver solver(m);
+  EXPECT_THROW(solver.solve(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(IrSolver, ZeroCurrentMeansNoDrop) {
+  const auto m = two_node_divider();
+  IrSolver solver(m);
+  const auto ir = solver.solve_ir(std::vector<double>{0.0, 0.0});
+  EXPECT_NEAR(ir[0], 0.0, 1e-12);
+  EXPECT_NEAR(ir[1], 0.0, 1e-12);
+}
+
+TEST(IrSolver, SuperpositionHolds) {
+  const auto m = two_node_divider();
+  IrSolver solver(m);
+  const auto a = solver.solve_ir(std::vector<double>{0.5, 0.0});
+  const auto b = solver.solve_ir(std::vector<double>{0.0, 0.25});
+  const auto ab = solver.solve_ir(std::vector<double>{0.5, 0.25});
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(ab[i], a[i] + b[i], 1e-10);
+  }
+}
+
+TEST(IrSolver, DensePathMatchesIterative) {
+  // Small random-ish ladder network.
+  pdn::StackModel m(1.2);
+  pdn::LayerGrid g;
+  g.nx = 6;
+  g.ny = 2;
+  g.dx = g.dy = 1.0;
+  m.add_grid(g);
+  m.set_dram_die_count(1);
+  for (int j = 0; j < 2; ++j) {
+    for (int i = 0; i + 1 < 6; ++i) {
+      m.add_resistor(g.node(i, j), g.node(i + 1, j), 0.5 + 0.1 * i);
+    }
+  }
+  for (int i = 0; i < 6; ++i) m.add_resistor(g.node(i, 0), g.node(i, 1), 0.3);
+  m.add_tap(g.node(0, 0), 0.2);
+  m.add_tap(g.node(5, 1), 0.4);
+
+  std::vector<double> sinks(m.node_count(), 0.01);
+  const auto vi = IrSolver(m, SolverKind::kPcgIc).solve(sinks);
+  const auto vd = IrSolver(m, SolverKind::kDense).solve(sinks);
+  for (std::size_t i = 0; i < vi.size(); ++i) {
+    EXPECT_NEAR(vi[i], vd[i], 1e-8);
+  }
+}
+
+TEST(IrSolver, ConductanceMatrixSymmetric) {
+  const auto m = two_node_divider();
+  IrSolver solver(m);
+  EXPECT_TRUE(solver.conductance_matrix().is_symmetric());
+}
+
+}  // namespace
+}  // namespace pdn3d::irdrop

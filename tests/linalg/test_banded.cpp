@@ -1,0 +1,135 @@
+#include "linalg/banded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/coo.hpp"
+#include "linalg/dense.hpp"
+#include "linalg/reorder.hpp"
+#include "util/rng.hpp"
+
+namespace pdn3d::linalg {
+namespace {
+
+/// 2D grid conductance matrix with ground taps -- the PDN structure.
+Csr make_grid(int nx, int ny, double g_edge = 1.0, double g_ground = 0.2) {
+  CooBuilder b(static_cast<std::size_t>(nx * ny));
+  for (int j = 0; j < ny; ++j) {
+    for (int i = 0; i < nx; ++i) {
+      const auto k = static_cast<std::size_t>(j * nx + i);
+      if (i + 1 < nx) b.stamp_conductance(k, k + 1, g_edge);
+      if (j + 1 < ny) b.stamp_conductance(k, k + static_cast<std::size_t>(nx), g_edge);
+    }
+  }
+  b.stamp_to_ground(0, g_ground);
+  b.stamp_to_ground(static_cast<std::size_t>(nx * ny - 1), g_ground);
+  return b.compress();
+}
+
+TEST(Rcm, ReducesGridBandwidth) {
+  // A 6x40 grid numbered row-major has bandwidth 6 along the short axis, but
+  // numbering it column-major (worst case) gives 40; RCM must find ~6.
+  const int nx = 40;
+  const int ny = 6;
+  const Csr a = make_grid(nx, ny);
+  const auto rcm = rcm_ordering(a);
+  EXPECT_LE(bandwidth_under(a, rcm), 8u);
+  EXPECT_EQ(rcm.size(), a.dimension());
+  // Permutation property: every index exactly once.
+  std::vector<char> seen(a.dimension(), 0);
+  for (std::size_t v : rcm) {
+    ASSERT_LT(v, a.dimension());
+    EXPECT_EQ(seen[v], 0);
+    seen[v] = 1;
+  }
+}
+
+TEST(Rcm, HandlesDisconnectedComponents) {
+  CooBuilder b(6);
+  b.stamp_conductance(0, 1, 1.0);
+  b.stamp_conductance(2, 3, 1.0);
+  b.stamp_conductance(4, 5, 1.0);
+  for (std::size_t i = 0; i < 6; ++i) b.stamp_to_ground(i, 0.1);
+  const auto perm = rcm_ordering(b.compress());
+  EXPECT_EQ(perm.size(), 6u);
+  std::vector<char> seen(6, 0);
+  for (std::size_t v : perm) seen[v] = 1;
+  for (char c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(BandedCholesky, MatchesDenseSolve) {
+  const Csr a = make_grid(12, 9);
+  const BandedCholesky banded(a, rcm_ordering(a));
+
+  util::Rng rng(3);
+  std::vector<double> b(a.dimension(), 0.0);
+  for (double& x : b) x = rng.next_double();
+
+  DenseMatrix d(a.dimension(), a.dimension());
+  for (std::size_t i = 0; i < a.dimension(); ++i) {
+    for (std::size_t j = 0; j < a.dimension(); ++j) d(i, j) = a.at(i, j);
+  }
+  const auto x_ref = solve_cholesky(std::move(d), b);
+  const auto x = banded.solve(b);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i], x_ref[i], 1e-9);
+  }
+}
+
+TEST(BandedCholesky, IdentityOrderingAlsoCorrect) {
+  const Csr a = make_grid(8, 8);
+  const BandedCholesky natural(a, identity_ordering(a.dimension()));
+  const BandedCholesky rcm(a, rcm_ordering(a));
+  std::vector<double> b(a.dimension(), 0.0);
+  b[10] = 1.0;
+  const auto x1 = natural.solve(b);
+  const auto x2 = rcm.solve(b);
+  for (std::size_t i = 0; i < x1.size(); ++i) {
+    EXPECT_NEAR(x1[i], x2[i], 1e-10);
+  }
+}
+
+TEST(BandedCholesky, RepeatedSolvesConsistent) {
+  const Csr a = make_grid(10, 10);
+  const BandedCholesky banded(a, rcm_ordering(a));
+  std::vector<double> b1(a.dimension(), 0.0);
+  b1[5] = 1.0;
+  std::vector<double> b2(a.dimension(), 0.0);
+  b2[70] = -2.0;
+  const auto x1 = banded.solve(b1);
+  const auto x2 = banded.solve(b2);
+  // Linearity: solve(b1 + b2) == x1 + x2.
+  std::vector<double> b3(a.dimension(), 0.0);
+  b3[5] = 1.0;
+  b3[70] = -2.0;
+  const auto x3 = banded.solve(b3);
+  for (std::size_t i = 0; i < x3.size(); ++i) {
+    EXPECT_NEAR(x3[i], x1[i] + x2[i], 1e-10);
+  }
+}
+
+TEST(BandedCholesky, RejectsIndefiniteAndBadInput) {
+  CooBuilder b(2);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, 2.0);
+  b.add(1, 0, 2.0);
+  b.add(1, 1, 1.0);
+  const Csr indefinite = b.compress();
+  EXPECT_THROW(BandedCholesky(indefinite, identity_ordering(2)), std::runtime_error);
+
+  const Csr a = make_grid(4, 4);
+  EXPECT_THROW(BandedCholesky(a, identity_ordering(3)), std::invalid_argument);
+  const BandedCholesky ok(a, identity_ordering(a.dimension()));
+  const std::vector<double> bad_rhs(3, 0.0);
+  EXPECT_THROW(ok.solve(bad_rhs), std::invalid_argument);
+}
+
+TEST(BandedCholesky, FactorSizeTracksBandwidth) {
+  const Csr a = make_grid(20, 5);
+  const auto perm = rcm_ordering(a);
+  const BandedCholesky banded(a, perm);
+  EXPECT_EQ(banded.bandwidth(), bandwidth_under(a, perm));
+  EXPECT_EQ(banded.factor_size(), a.dimension() * (banded.bandwidth() + 1));
+}
+
+}  // namespace
+}  // namespace pdn3d::linalg

@@ -1,0 +1,112 @@
+#include "linalg/cg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/coo.hpp"
+#include "linalg/dense.hpp"
+#include "util/rng.hpp"
+
+namespace pdn3d::linalg {
+namespace {
+
+/// Random SPD grid-like matrix: 1D resistor chain with grounds.
+Csr make_chain(std::size_t n, double g_chain, double g_ground) {
+  CooBuilder b(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) b.stamp_conductance(i, i + 1, g_chain);
+  b.stamp_to_ground(0, g_ground);
+  b.stamp_to_ground(n - 1, g_ground);
+  return b.compress();
+}
+
+class CgPreconditioners : public ::testing::TestWithParam<Preconditioner> {};
+
+TEST_P(CgPreconditioners, SolvesChainExactly) {
+  const Csr a = make_chain(50, 2.0, 1.0);
+  std::vector<double> b(50, 0.0);
+  b[25] = 1.0;
+
+  CgOptions opts;
+  opts.preconditioner = GetParam();
+  const CgResult r = solve_cg(a, b, opts);
+  ASSERT_TRUE(r.converged);
+
+  // Verify against the dense direct solve.
+  DenseMatrix d(50, 50);
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t j = 0; j < 50; ++j) d(i, j) = a.at(i, j);
+  }
+  const auto xd = solve_cholesky(std::move(d), b);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_NEAR(r.x[i], xd[i], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPreconditioners, CgPreconditioners,
+                         ::testing::Values(Preconditioner::kNone, Preconditioner::kJacobi,
+                                           Preconditioner::kIncompleteCholesky));
+
+TEST(Cg, ZeroRhsGivesZeroSolution) {
+  const Csr a = make_chain(10, 1.0, 1.0);
+  const std::vector<double> b(10, 0.0);
+  const CgResult r = solve_cg(a, b);
+  EXPECT_TRUE(r.converged);
+  for (double x : r.x) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(Cg, RhsSizeMismatchThrows) {
+  const Csr a = make_chain(10, 1.0, 1.0);
+  const std::vector<double> b(9, 0.0);
+  EXPECT_THROW(solve_cg(a, b), std::invalid_argument);
+}
+
+TEST(Cg, LinearityInRhs) {
+  const Csr a = make_chain(30, 3.0, 0.5);
+  std::vector<double> b(30, 0.0);
+  b[7] = 1.0;
+  const auto r1 = solve_cg(a, b);
+  for (double& v : b) v *= 5.0;
+  const auto r5 = solve_cg(a, b);
+  ASSERT_TRUE(r1.converged);
+  ASSERT_TRUE(r5.converged);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_NEAR(r5.x[i], 5.0 * r1.x[i], 1e-8);
+  }
+}
+
+TEST(Cg, IcPreconditionerConvergesFasterThanNone) {
+  // 2D grid Laplacian + ground taps -- the structure the PDN solver sees.
+  const int n = 20;
+  CooBuilder builder(static_cast<std::size_t>(n * n));
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      const std::size_t k = static_cast<std::size_t>(j * n + i);
+      if (i + 1 < n) builder.stamp_conductance(k, k + 1, 1.0);
+      if (j + 1 < n) builder.stamp_conductance(k, k + static_cast<std::size_t>(n), 1.0);
+    }
+  }
+  builder.stamp_to_ground(0, 1.0);
+  const Csr a = builder.compress();
+  std::vector<double> b(static_cast<std::size_t>(n * n), 0.0);
+  b[static_cast<std::size_t>(n * n / 2)] = 1.0;
+
+  CgOptions none;
+  none.preconditioner = Preconditioner::kNone;
+  CgOptions ic;
+  ic.preconditioner = Preconditioner::kIncompleteCholesky;
+  const auto r_none = solve_cg(a, b, none);
+  const auto r_ic = solve_cg(a, b, ic);
+  ASSERT_TRUE(r_none.converged);
+  ASSERT_TRUE(r_ic.converged);
+  EXPECT_LT(r_ic.iterations, r_none.iterations);
+}
+
+TEST(Cg, ResidualReported) {
+  const Csr a = make_chain(40, 1.0, 1.0);
+  std::vector<double> b(40, 1.0);
+  const auto r = solve_cg(a, b);
+  ASSERT_TRUE(r.converged);
+  EXPECT_LT(r.residual_norm, 1e-8 * norm2(b));
+}
+
+}  // namespace
+}  // namespace pdn3d::linalg

@@ -1,0 +1,78 @@
+#include "linalg/ichol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/coo.hpp"
+
+namespace pdn3d::linalg {
+namespace {
+
+TEST(IncompleteCholesky, ExactForTridiagonal) {
+  // IC(0) of a tridiagonal SPD matrix is the exact Cholesky factor, so
+  // apply() must solve the system exactly.
+  const std::size_t n = 12;
+  CooBuilder b(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) b.stamp_conductance(i, i + 1, 1.0);
+  for (std::size_t i = 0; i < n; ++i) b.stamp_to_ground(i, 0.5);
+  const Csr a = b.compress();
+
+  IncompleteCholesky ic(a);
+  std::vector<double> rhs(n, 0.0);
+  rhs[3] = 1.0;
+  rhs[9] = -2.0;
+  std::vector<double> z(n, 0.0);
+  ic.apply(rhs, z);
+
+  // Check A z == rhs.
+  std::vector<double> az(n, 0.0);
+  a.multiply(z, az);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(az[i], rhs[i], 1e-10);
+  }
+}
+
+TEST(IncompleteCholesky, IdentityMatrix) {
+  const std::size_t n = 5;
+  CooBuilder b(n);
+  for (std::size_t i = 0; i < n; ++i) b.stamp_to_ground(i, 4.0);
+  IncompleteCholesky ic(b.compress());
+  std::vector<double> rhs = {4.0, 8.0, 12.0, 16.0, 20.0};
+  std::vector<double> z(n, 0.0);
+  ic.apply(rhs, z);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(z[i], static_cast<double>(i + 1), 1e-12);
+  }
+}
+
+TEST(IncompleteCholesky, ApplySizeMismatchThrows) {
+  CooBuilder b(3);
+  for (std::size_t i = 0; i < 3; ++i) b.stamp_to_ground(i, 1.0);
+  IncompleteCholesky ic(b.compress());
+  std::vector<double> small(2, 0.0);
+  std::vector<double> z(3, 0.0);
+  EXPECT_THROW(ic.apply(small, z), std::invalid_argument);
+}
+
+TEST(IncompleteCholesky, PreconditionerIsSpd) {
+  // z = M^-1 r must satisfy r^T z > 0 for r != 0 (needed by PCG).
+  const std::size_t n = 16;
+  CooBuilder b(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) b.stamp_conductance(i, i + 1, 2.0);
+  for (std::size_t i = 0; i + 4 < n; ++i) b.stamp_conductance(i, i + 4, 1.0);
+  b.stamp_to_ground(0, 1.0);
+  IncompleteCholesky ic(b.compress());
+
+  std::vector<double> r(n, 0.0);
+  std::vector<double> z(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::fill(r.begin(), r.end(), 0.0);
+    r[k] = 1.0;
+    ic.apply(r, z);
+    double rz = 0.0;
+    for (std::size_t i = 0; i < n; ++i) rz += r[i] * z[i];
+    EXPECT_GT(rz, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace pdn3d::linalg

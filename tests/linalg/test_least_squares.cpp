@@ -1,0 +1,83 @@
+#include "linalg/least_squares.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace pdn3d::linalg {
+namespace {
+
+TEST(LeastSquares, ExactlyDeterminedSystem) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(1, 1) = 4.0;
+  const auto r = solve_least_squares(a, std::vector<double>{2.0, 8.0});
+  EXPECT_NEAR(r.coefficients[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.coefficients[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.residual_norm, 0.0, 1e-12);
+}
+
+TEST(LeastSquares, RecoversLinearModelFromNoisyFreePoints) {
+  // y = 3 + 2x sampled exactly: residual must vanish and coefficients match.
+  const std::size_t m = 20;
+  DenseMatrix a(m, 2);
+  std::vector<double> b(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double x = static_cast<double>(i) * 0.5;
+    a(i, 0) = 1.0;
+    a(i, 1) = x;
+    b[i] = 3.0 + 2.0 * x;
+  }
+  const auto r = solve_least_squares(a, b);
+  EXPECT_NEAR(r.coefficients[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.coefficients[1], 2.0, 1e-10);
+  EXPECT_NEAR(r.residual_norm, 0.0, 1e-9);
+}
+
+TEST(LeastSquares, MinimizesResidualOfInconsistentSystem) {
+  // Overdetermined: best fit of y = c over {1, 2, 3} is c = 2.
+  DenseMatrix a(3, 1);
+  a(0, 0) = a(1, 0) = a(2, 0) = 1.0;
+  const auto r = solve_least_squares(a, std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_NEAR(r.coefficients[0], 2.0, 1e-12);
+  EXPECT_NEAR(r.residual_norm, std::sqrt(2.0), 1e-12);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  DenseMatrix a(1, 2);
+  a(0, 0) = 1.0;
+  EXPECT_THROW(solve_least_squares(a, std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(LeastSquares, RankDeficientThrows) {
+  DenseMatrix a(3, 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    a(i, 0) = 1.0;
+    a(i, 1) = 2.0;  // column 1 = 2 * column 0
+  }
+  EXPECT_THROW(solve_least_squares(a, std::vector<double>{1.0, 1.0, 1.0}), std::runtime_error);
+}
+
+TEST(LeastSquares, AgreesWithNormalEquations) {
+  util::Rng rng(99);
+  const std::size_t m = 30;
+  const std::size_t n = 4;
+  DenseMatrix a(m, n);
+  std::vector<double> b(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.next_double() * 2.0 - 1.0;
+    b[i] = rng.next_double();
+  }
+  const auto qr = solve_least_squares(a, b);
+  const auto gram = a.gram();
+  const auto atb = a.transpose_multiply(b);
+  const auto ne = solve_cholesky(gram, atb);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(qr.coefficients[j], ne[j], 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace pdn3d::linalg

@@ -1,0 +1,98 @@
+#include "memctrl/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "memctrl/controller.hpp"
+#include "memctrl/workload.hpp"
+
+namespace pdn3d::memctrl {
+namespace {
+
+TEST(Trace, ParsesBasicTrace) {
+  std::istringstream is(R"(# header comment
+0 0 3 1203 R
+5 1 0 88 W
+
+10 3 7 42 r
+)");
+  const auto reqs = read_trace(is);
+  ASSERT_EQ(reqs.size(), 3u);
+  EXPECT_EQ(reqs[0].arrival, 0);
+  EXPECT_EQ(reqs[0].bank, 3);
+  EXPECT_FALSE(reqs[0].is_write);
+  EXPECT_TRUE(reqs[1].is_write);
+  EXPECT_EQ(reqs[2].die, 3);
+  EXPECT_FALSE(reqs[2].is_write);
+  EXPECT_EQ(reqs[2].id, 2);
+}
+
+TEST(Trace, RoundTrip) {
+  WorkloadConfig wc;
+  wc.num_requests = 500;
+  wc.write_fraction = 0.25;
+  const auto original = generate_workload(wc);
+
+  std::ostringstream os;
+  write_trace(os, original);
+  std::istringstream is(os.str());
+  const auto back = read_trace(is);
+
+  ASSERT_EQ(back.size(), original.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].arrival, original[i].arrival);
+    EXPECT_EQ(back[i].die, original[i].die);
+    EXPECT_EQ(back[i].bank, original[i].bank);
+    EXPECT_EQ(back[i].row, original[i].row);
+    EXPECT_EQ(back[i].is_write, original[i].is_write);
+  }
+}
+
+TEST(Trace, RejectsMalformedLines) {
+  const auto expect_throw = [](const char* text) {
+    std::istringstream is(text);
+    EXPECT_THROW(read_trace(is), std::runtime_error) << text;
+  };
+  expect_throw("0 0 0 R\n");             // missing field
+  expect_throw("0 0 0 5 X\n");           // bad op
+  expect_throw("0 0 0 5 R extra\n");     // trailing junk
+  expect_throw("-1 0 0 5 R\n");          // negative
+  expect_throw("10 0 0 5 R\n5 0 0 5 R\n");  // decreasing arrival
+}
+
+TEST(Trace, ValidateCatchesRangeErrors) {
+  std::vector<Request> reqs(2);
+  reqs[0].die = 0;
+  reqs[0].bank = 0;
+  reqs[1].die = 4;  // out of range for 4 dies
+  reqs[1].bank = 0;
+  EXPECT_NE(validate_trace(reqs, 4, 8), "");
+  reqs[1].die = 3;
+  reqs[1].bank = 8;  // out of range for 8 banks
+  EXPECT_NE(validate_trace(reqs, 4, 8), "");
+  reqs[1].bank = 7;
+  EXPECT_EQ(validate_trace(reqs, 4, 8), "");
+}
+
+TEST(Trace, ReplaysThroughController) {
+  std::ostringstream os;
+  os << "# synthetic\n";
+  for (int i = 0; i < 200; ++i) {
+    os << i * 5 << ' ' << i % 4 << ' ' << (i / 4) % 8 << ' ' << 17 << (i % 5 == 0 ? " W" : " R")
+       << "\n";
+  }
+  std::istringstream is(os.str());
+  const auto reqs = read_trace(is);
+  EXPECT_EQ(validate_trace(reqs, 4, 8), "");
+
+  SimConfig sim;
+  sim.timing = dram::ddr3_1600_timing();
+  const auto r = MemoryController(sim, standard_policy()).run(reqs);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_EQ(r.reads + r.writes, 200);
+  EXPECT_EQ(r.writes, 40);
+}
+
+}  // namespace
+}  // namespace pdn3d::memctrl

@@ -1,0 +1,102 @@
+#include "memctrl/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pdn3d::memctrl {
+namespace {
+
+TEST(Workload, GeneratesRequestedCount) {
+  WorkloadConfig cfg;
+  cfg.num_requests = 1234;
+  const auto reqs = generate_workload(cfg);
+  EXPECT_EQ(reqs.size(), 1234u);
+}
+
+TEST(Workload, ArrivalsEvenlySpaced) {
+  WorkloadConfig cfg;
+  cfg.num_requests = 100;
+  cfg.arrival_interval = 5;
+  const auto reqs = generate_workload(cfg);
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    EXPECT_EQ(reqs[i].arrival, static_cast<dram::Cycle>(i) * 5);
+    EXPECT_EQ(reqs[i].id, static_cast<long>(i));
+  }
+}
+
+TEST(Workload, TargetsStayInRange) {
+  WorkloadConfig cfg;
+  cfg.num_requests = 5000;
+  cfg.dies = 4;
+  cfg.banks_per_die = 8;
+  cfg.rows_per_bank = 128;
+  const auto reqs = generate_workload(cfg);
+  for (const auto& r : reqs) {
+    EXPECT_GE(r.die, 0);
+    EXPECT_LT(r.die, 4);
+    EXPECT_GE(r.bank, 0);
+    EXPECT_LT(r.bank, 8);
+    EXPECT_GE(r.row, 0);
+    EXPECT_LT(r.row, 128);
+  }
+}
+
+TEST(Workload, DeterministicBySeed) {
+  WorkloadConfig cfg;
+  cfg.num_requests = 500;
+  const auto a = generate_workload(cfg);
+  const auto b = generate_workload(cfg);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].die, b[i].die);
+    EXPECT_EQ(a[i].bank, b[i].bank);
+    EXPECT_EQ(a[i].row, b[i].row);
+  }
+  cfg.seed = 999;
+  const auto c = generate_workload(cfg);
+  int diffs = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].die != c[i].die || a[i].bank != c[i].bank || a[i].row != c[i].row) ++diffs;
+  }
+  EXPECT_GT(diffs, 50);
+}
+
+TEST(Workload, LocalityNearConfiguredHitRate) {
+  WorkloadConfig cfg;
+  cfg.num_requests = 20000;
+  cfg.row_hit_rate = 0.8;
+  cfg.streams = 1;  // single stream makes the measurement exact
+  const auto reqs = generate_workload(cfg);
+  EXPECT_NEAR(measured_locality(reqs, cfg.dies, cfg.banks_per_die), 0.8, 0.03);
+}
+
+TEST(Workload, ZeroHitRateAlwaysJumps) {
+  WorkloadConfig cfg;
+  cfg.num_requests = 3000;
+  cfg.row_hit_rate = 0.0;
+  cfg.streams = 1;
+  cfg.rows_per_bank = 100000;
+  const auto reqs = generate_workload(cfg);
+  EXPECT_LT(measured_locality(reqs, cfg.dies, cfg.banks_per_die), 0.02);
+}
+
+TEST(Workload, MultipleStreamsTouchMultipleDies) {
+  WorkloadConfig cfg;
+  cfg.num_requests = 400;
+  cfg.streams = 4;
+  cfg.row_hit_rate = 1.0;  // streams never jump; diversity comes from streams
+  const auto reqs = generate_workload(cfg);
+  std::set<std::pair<int, int>> targets;
+  for (const auto& r : reqs) targets.insert({r.die, r.bank});
+  EXPECT_GE(targets.size(), 2u);
+  EXPECT_LE(targets.size(), 4u);
+}
+
+TEST(Workload, RejectsBadConfig) {
+  WorkloadConfig cfg;
+  cfg.num_requests = 0;
+  EXPECT_THROW(generate_workload(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdn3d::memctrl

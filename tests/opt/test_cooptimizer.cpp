@@ -1,0 +1,105 @@
+#include "opt/cooptimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.hpp"
+
+namespace pdn3d::opt {
+namespace {
+
+/// Fast analytic IR evaluator standing in for the R-Mesh: reciprocal response
+/// plus bonuses for the discrete options, mimicking the physics (F2F and wire
+/// bonding lower IR; center TSVs raise it).
+double fake_ir(const pdn::PdnConfig& cfg) {
+  double ir = 2.0 + 1.1 / cfg.m2_usage + 0.9 / cfg.m3_usage + 60.0 / cfg.tsv_count;
+  if (cfg.tsv_location == pdn::TsvLocation::kCenter) ir *= 1.6;
+  if (cfg.tsv_location == pdn::TsvLocation::kDistributed) ir *= 0.7;
+  if (cfg.bonding == pdn::BondingStyle::kF2F) ir *= 0.65;
+  if (cfg.wire_bonding) ir *= 0.85;
+  if (cfg.rdl != pdn::RdlMode::kNone) ir *= 1.05;
+  return ir;
+}
+
+DesignSpace small_space() {
+  DesignSpace s;
+  s.tsv_locations = {pdn::TsvLocation::kCenter, pdn::TsvLocation::kEdge};
+  s.dedicated_options = {false};
+  return s;
+}
+
+TEST(CoOptimizer, FitsEveryChoiceWell) {
+  CoOptimizer opt(small_space(), fake_ir);
+  const auto& fits = opt.fit_models();
+  EXPECT_EQ(fits.size(), 16u);
+  EXPECT_LT(opt.worst_rmse(), 0.135);     // the paper's bound
+  EXPECT_GT(opt.worst_r_squared(), 0.999);
+}
+
+TEST(CoOptimizer, AlphaZeroPicksCheapestDesign) {
+  CoOptimizer opt(small_space(), fake_ir);
+  const auto best = opt.optimize(0.0);
+  // Cheapest knobs: minimum metal, minimum TSVs, center location, F2B, no
+  // extras.
+  EXPECT_NEAR(best.config.m2_usage, 0.10, 1e-9);
+  EXPECT_NEAR(best.config.m3_usage, 0.10, 1e-9);
+  EXPECT_EQ(best.config.tsv_count, 15);
+  EXPECT_EQ(best.config.tsv_location, pdn::TsvLocation::kCenter);
+  EXPECT_EQ(best.config.bonding, pdn::BondingStyle::kF2B);
+  EXPECT_FALSE(best.config.wire_bonding);
+  EXPECT_EQ(best.config.rdl, pdn::RdlMode::kNone);
+}
+
+TEST(CoOptimizer, AlphaOnePicksLowestIr) {
+  CoOptimizer opt(small_space(), fake_ir);
+  const auto best = opt.optimize(1.0);
+  EXPECT_NEAR(best.config.m2_usage, 0.20, 1e-9);
+  EXPECT_NEAR(best.config.m3_usage, 0.40, 1e-9);
+  EXPECT_EQ(best.config.bonding, pdn::BondingStyle::kF2F);
+  EXPECT_TRUE(best.config.wire_bonding);
+  EXPECT_GE(best.config.tsv_count, 400);
+}
+
+TEST(CoOptimizer, IntermediateAlphaBetweenExtremes) {
+  CoOptimizer opt(small_space(), fake_ir);
+  const auto lo = opt.optimize(0.0);
+  const auto mid = opt.optimize(0.3);
+  const auto hi = opt.optimize(1.0);
+  EXPECT_LE(lo.cost, mid.cost);
+  EXPECT_LE(mid.cost, hi.cost);
+  EXPECT_GE(lo.measured_ir_mv, mid.measured_ir_mv);
+  EXPECT_GE(mid.measured_ir_mv, hi.measured_ir_mv);
+}
+
+TEST(CoOptimizer, PredictionMatchesMeasurementAtOptimum) {
+  CoOptimizer opt(small_space(), fake_ir);
+  const auto best = opt.optimize(0.3);
+  // Table 9 reports both columns agreeing closely.
+  EXPECT_NEAR(best.predicted_ir_mv, best.measured_ir_mv,
+              0.05 * best.measured_ir_mv + 0.1);
+  EXPECT_NEAR(best.cost, cost::total_cost(best.config), 1e-12);
+}
+
+TEST(CoOptimizer, InvalidArgumentsRejected) {
+  CoOptimizer opt(small_space(), fake_ir);
+  EXPECT_THROW(opt.optimize(-0.1), std::invalid_argument);
+  EXPECT_THROW(opt.optimize(1.1), std::invalid_argument);
+  EXPECT_THROW(CoOptimizer(small_space(), IrEvaluator{}), std::invalid_argument);
+}
+
+TEST(CoOptimizer, FixedTcSpace) {
+  DesignSpace s = small_space();
+  s.tc_fixed = true;
+  s.tc_fixed_value = 160;
+  CoOptimizer opt(s, fake_ir);
+  const auto best = opt.optimize(0.5);
+  EXPECT_EQ(best.config.tsv_count, 160);
+}
+
+TEST(CoOptimizer, SampleCountAccounted) {
+  CoOptimizer opt(small_space(), fake_ir);
+  opt.fit_models();
+  EXPECT_GT(opt.total_samples(), 100u);
+}
+
+}  // namespace
+}  // namespace pdn3d::opt

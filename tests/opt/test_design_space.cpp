@@ -1,0 +1,94 @@
+#include "opt/design_space.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdn3d::opt {
+namespace {
+
+TEST(DesignSpace, DefaultEnumerationSize) {
+  const DesignSpace space;
+  // 2 locations x 2 dedicated x 2 bonding x 2 rdl x 2 wirebond = 32.
+  EXPECT_EQ(enumerate_choices(space).size(), 32u);
+}
+
+TEST(DesignSpace, ValidityFilterApplies) {
+  DesignSpace space;
+  space.valid = [](const DiscreteChoice& c) {
+    return !(c.tsv_location == pdn::TsvLocation::kEdge && c.rdl == pdn::RdlMode::kNone);
+  };
+  const auto choices = enumerate_choices(space);
+  EXPECT_EQ(choices.size(), 24u);
+  for (const auto& c : choices) {
+    EXPECT_FALSE(c.tsv_location == pdn::TsvLocation::kEdge && c.rdl == pdn::RdlMode::kNone);
+  }
+}
+
+TEST(DesignSpace, MakeConfigMaterializesChoice) {
+  DesignSpace space;
+  space.mounting = pdn::Mounting::kOnChip;
+  DiscreteChoice choice;
+  choice.tsv_location = pdn::TsvLocation::kEdge;
+  choice.dedicated = true;
+  choice.bonding = pdn::BondingStyle::kF2F;
+  choice.rdl = pdn::RdlMode::kBottomOnly;
+  choice.wire_bonding = true;
+  const auto cfg = make_config(space, choice, 0.15, 0.3, 100);
+  EXPECT_DOUBLE_EQ(cfg.m2_usage, 0.15);
+  EXPECT_DOUBLE_EQ(cfg.m3_usage, 0.3);
+  EXPECT_EQ(cfg.tsv_count, 100);
+  EXPECT_TRUE(cfg.dedicated_tsvs);
+  EXPECT_EQ(cfg.bonding, pdn::BondingStyle::kF2F);
+  EXPECT_EQ(cfg.mounting, pdn::Mounting::kOnChip);
+  // With an RDL present the logic-side TSVs stay in the center.
+  EXPECT_EQ(cfg.logic_tsv_location, pdn::TsvLocation::kCenter);
+}
+
+TEST(DesignSpace, NoRdlForcesMatchingLogicPattern) {
+  const DesignSpace space;
+  DiscreteChoice choice;
+  choice.tsv_location = pdn::TsvLocation::kEdge;
+  choice.rdl = pdn::RdlMode::kNone;
+  const auto cfg = make_config(space, choice, 0.1, 0.2, 33);
+  EXPECT_EQ(cfg.logic_tsv_location, pdn::TsvLocation::kEdge);
+}
+
+TEST(DesignSpace, FixedTcOverridesRequest) {
+  DesignSpace space;
+  space.tc_fixed = true;
+  space.tc_fixed_value = 160;
+  const auto cfg = make_config(space, DiscreteChoice{}, 0.1, 0.2, 999);
+  EXPECT_EQ(cfg.tsv_count, 160);
+  EXPECT_EQ(space.effective_tc_min(), 160);
+  EXPECT_EQ(space.effective_tc_max(), 160);
+}
+
+TEST(DesignSpace, DefaultSampleGrids) {
+  const DesignSpace space;
+  const auto m2 = default_m2_samples(space);
+  EXPECT_EQ(m2.size(), 3u);
+  EXPECT_DOUBLE_EQ(m2.front(), space.m2_min);
+  EXPECT_DOUBLE_EQ(m2.back(), space.m2_max);
+
+  const auto tcs = default_tc_samples(space);
+  EXPECT_GE(tcs.size(), 3u);
+  EXPECT_EQ(tcs.front(), space.tc_min);
+  EXPECT_EQ(tcs.back(), space.tc_max);
+
+  DesignSpace fixed;
+  fixed.tc_fixed = true;
+  fixed.tc_fixed_value = 160;
+  const auto tcf = default_tc_samples(fixed);
+  ASSERT_EQ(tcf.size(), 1u);
+  EXPECT_EQ(tcf[0], 160);
+}
+
+TEST(DesignSpace, SampleOverridesRespected) {
+  DesignSpace space;
+  space.m2_samples = {0.12, 0.18};
+  space.tc_samples = {20, 40};
+  EXPECT_EQ(default_m2_samples(space).size(), 2u);
+  EXPECT_EQ(default_tc_samples(space).size(), 2u);
+}
+
+}  // namespace
+}  // namespace pdn3d::opt

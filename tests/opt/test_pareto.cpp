@@ -1,0 +1,79 @@
+#include "opt/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdn3d::opt {
+namespace {
+
+double fake_ir(const pdn::PdnConfig& cfg) {
+  double ir = 2.0 + 1.1 / cfg.m2_usage + 0.9 / cfg.m3_usage + 60.0 / cfg.tsv_count;
+  if (cfg.tsv_location == pdn::TsvLocation::kCenter) ir *= 1.6;
+  if (cfg.bonding == pdn::BondingStyle::kF2F) ir *= 0.65;
+  if (cfg.wire_bonding) ir *= 0.85;
+  return ir;
+}
+
+DesignSpace small_space() {
+  DesignSpace s;
+  s.tsv_locations = {pdn::TsvLocation::kCenter, pdn::TsvLocation::kEdge};
+  s.dedicated_options = {false};
+  s.rdl_options = {pdn::RdlMode::kNone};
+  return s;
+}
+
+TEST(Pareto, DominatesSemantics) {
+  Optimum a;
+  a.measured_ir_mv = 10.0;
+  a.cost = 0.3;
+  Optimum b;
+  b.measured_ir_mv = 12.0;
+  b.cost = 0.4;
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+  EXPECT_FALSE(dominates(a, a));  // equal does not dominate
+
+  Optimum c;  // trade-off point: cheaper but hotter
+  c.measured_ir_mv = 15.0;
+  c.cost = 0.2;
+  EXPECT_FALSE(dominates(a, c));
+  EXPECT_FALSE(dominates(c, a));
+}
+
+TEST(Pareto, FrontIsMonotone) {
+  CoOptimizer opt(small_space(), fake_ir);
+  const auto front = pareto_front(opt, 9);
+  ASSERT_GE(front.size(), 3u);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    // Ascending cost, descending IR along the frontier.
+    EXPECT_GE(front[i].optimum.cost, front[i - 1].optimum.cost);
+    EXPECT_LE(front[i].optimum.measured_ir_mv, front[i - 1].optimum.measured_ir_mv + 1e-9);
+  }
+}
+
+TEST(Pareto, NoPointDominatesAnother) {
+  CoOptimizer opt(small_space(), fake_ir);
+  const auto front = pareto_front(opt, 7);
+  for (const auto& a : front) {
+    for (const auto& b : front) {
+      if (&a == &b) continue;
+      EXPECT_FALSE(dominates(a.optimum, b.optimum));
+    }
+  }
+}
+
+TEST(Pareto, EndpointsAnchorTheFront) {
+  CoOptimizer opt(small_space(), fake_ir);
+  const auto front = pareto_front(opt, 9);
+  const auto cheapest = opt.optimize(0.0);
+  const auto quietest = opt.optimize(1.0);
+  EXPECT_NEAR(front.front().optimum.cost, cheapest.cost, 1e-9);
+  EXPECT_NEAR(front.back().optimum.measured_ir_mv, quietest.measured_ir_mv, 1e-9);
+}
+
+TEST(Pareto, RejectsTooFewSteps) {
+  CoOptimizer opt(small_space(), fake_ir);
+  EXPECT_THROW(pareto_front(opt, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pdn3d::opt

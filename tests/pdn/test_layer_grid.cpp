@@ -1,0 +1,72 @@
+#include "pdn/layer_grid.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdn3d::pdn {
+namespace {
+
+LayerGrid make_test_grid() {
+  LayerGrid g;
+  g.die = 0;
+  g.layer = 0;
+  g.nx = 4;
+  g.ny = 3;
+  g.x0 = 1.0;
+  g.y0 = 2.0;
+  g.dx = 0.5;
+  g.dy = 0.5;
+  g.base = 100;
+  return g;
+}
+
+TEST(LayerGrid, NodeIdsRowMajorFromBase) {
+  const LayerGrid g = make_test_grid();
+  EXPECT_EQ(g.node(0, 0), 100u);
+  EXPECT_EQ(g.node(3, 0), 103u);
+  EXPECT_EQ(g.node(0, 1), 104u);
+  EXPECT_EQ(g.node(3, 2), 111u);
+  EXPECT_EQ(g.size(), 12u);
+}
+
+TEST(LayerGrid, NodeRangeChecked) {
+  const LayerGrid g = make_test_grid();
+  EXPECT_THROW(g.node(4, 0), std::out_of_range);
+  EXPECT_THROW(g.node(0, 3), std::out_of_range);
+  EXPECT_THROW(g.node(-1, 0), std::out_of_range);
+}
+
+TEST(LayerGrid, PositionsAreCellCentered) {
+  const LayerGrid g = make_test_grid();
+  const auto p = g.position(0, 0);
+  EXPECT_DOUBLE_EQ(p.x, 1.25);
+  EXPECT_DOUBLE_EQ(p.y, 2.25);
+}
+
+TEST(LayerGrid, NearestClampsOutside) {
+  const LayerGrid g = make_test_grid();
+  EXPECT_EQ(g.nearest(-100.0, -100.0), g.node(0, 0));
+  EXPECT_EQ(g.nearest(100.0, 100.0), g.node(3, 2));
+}
+
+TEST(LayerGrid, NearestFindsContainingCell) {
+  const LayerGrid g = make_test_grid();
+  EXPECT_EQ(g.nearest(1.3, 2.3), g.node(0, 0));
+  EXPECT_EQ(g.nearest(1.8, 2.8), g.node(1, 1));
+}
+
+TEST(LayerGrid, NodesInRect) {
+  const LayerGrid g = make_test_grid();
+  // Rect covering the first two columns of the bottom row.
+  const auto nodes = g.nodes_in({1.0, 2.0, 2.0, 2.5});
+  EXPECT_EQ(nodes.size(), 2u);
+}
+
+TEST(LayerGrid, NodesInTinyRectFallsBackToNearest) {
+  const LayerGrid g = make_test_grid();
+  const auto nodes = g.nodes_in({1.26, 2.26, 1.27, 2.27});  // contains no center
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_EQ(nodes[0], g.node(0, 0));
+}
+
+}  // namespace
+}  // namespace pdn3d::pdn

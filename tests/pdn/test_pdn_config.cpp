@@ -1,0 +1,49 @@
+#include "pdn/pdn_config.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdn3d::pdn {
+namespace {
+
+TEST(PdnConfig, DefaultsMatchPaperBaseline) {
+  const PdnConfig c;
+  EXPECT_DOUBLE_EQ(c.m2_usage, 0.10);
+  EXPECT_DOUBLE_EQ(c.m3_usage, 0.20);
+  EXPECT_EQ(c.tsv_count, 33);
+  EXPECT_EQ(c.tsv_location, TsvLocation::kEdge);
+  EXPECT_EQ(c.bonding, BondingStyle::kF2B);
+  EXPECT_FALSE(c.wire_bonding);
+}
+
+TEST(PdnConfig, EffectiveUsageAppliesScale) {
+  PdnConfig c;
+  c.metal_usage_scale = 1.5;
+  EXPECT_DOUBLE_EQ(c.effective_m2(), 0.15);
+  EXPECT_DOUBLE_EQ(c.effective_m3(), 0.30);
+}
+
+TEST(PdnConfig, SummaryMentionsEveryKnob) {
+  PdnConfig c;
+  c.dedicated_tsvs = true;
+  c.wire_bonding = true;
+  c.rdl = RdlMode::kBottomOnly;
+  const std::string s = c.summary();
+  EXPECT_NE(s.find("M2=10"), std::string::npos);
+  EXPECT_NE(s.find("TC=33"), std::string::npos);
+  EXPECT_NE(s.find("TD=Y"), std::string::npos);
+  EXPECT_NE(s.find("WB=Y"), std::string::npos);
+  EXPECT_NE(s.find("RL=bottom"), std::string::npos);
+}
+
+TEST(PdnConfig, EnumToString) {
+  EXPECT_EQ(to_string(TsvLocation::kCenter), "C");
+  EXPECT_EQ(to_string(TsvLocation::kEdge), "E");
+  EXPECT_EQ(to_string(TsvLocation::kDistributed), "D");
+  EXPECT_EQ(to_string(BondingStyle::kF2B), "F2B");
+  EXPECT_EQ(to_string(BondingStyle::kF2F), "F2F");
+  EXPECT_EQ(to_string(Mounting::kOffChip), "off-chip");
+  EXPECT_EQ(to_string(RdlMode::kAllDies), "all");
+}
+
+}  // namespace
+}  // namespace pdn3d::pdn

@@ -1,0 +1,124 @@
+#include "pdn/tsv_planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "floorplan/dram_floorplan.hpp"
+
+namespace pdn3d::pdn {
+namespace {
+
+floorplan::Floorplan ddr3_fp() {
+  floorplan::DramFloorplanSpec s;
+  s.width_mm = 6.8;
+  s.height_mm = 6.7;
+  s.bank_cols = 4;
+  s.bank_rows = 2;
+  return floorplan::make_dram_floorplan(s);
+}
+
+class TsvCounts : public ::testing::TestWithParam<int> {};
+
+TEST_P(TsvCounts, EveryPolicyPlacesExactlyCountSites) {
+  const auto fp = ddr3_fp();
+  for (const auto loc : {TsvLocation::kEdge, TsvLocation::kCenter, TsvLocation::kDistributed}) {
+    const auto sites = plan_tsv_sites(fp, loc, GetParam());
+    EXPECT_EQ(sites.size(), static_cast<std::size_t>(GetParam()));
+    for (const auto& p : sites) {
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, fp.width());
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, fp.height());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperRange, TsvCounts, ::testing::Values(15, 33, 160, 384, 480));
+
+TEST(TsvPlanner, EdgeSitesHugTopAndBottom) {
+  const auto fp = ddr3_fp();
+  const auto sites = plan_tsv_sites(fp, TsvLocation::kEdge, 33);
+  for (const auto& p : sites) {
+    const bool near_bottom = p.y < 0.2;
+    const bool near_top = p.y > fp.height() - 0.2;
+    EXPECT_TRUE(near_bottom || near_top);
+  }
+}
+
+TEST(TsvPlanner, CenterSitesInsideCenterBand) {
+  const auto fp = ddr3_fp();
+  const auto sites = plan_tsv_sites(fp, TsvLocation::kCenter, 33);
+  for (const auto& p : sites) {
+    EXPECT_GT(p.y, fp.height() * 0.35);
+    EXPECT_LT(p.y, fp.height() * 0.65);
+  }
+}
+
+TEST(TsvPlanner, DistributedSitesCoverTheDie) {
+  const auto fp = ddr3_fp();
+  const auto sites = plan_tsv_sites(fp, TsvLocation::kDistributed, 100);
+  int quadrant_count[4] = {0, 0, 0, 0};
+  for (const auto& p : sites) {
+    const int q = (p.x > fp.width() / 2 ? 1 : 0) + (p.y > fp.height() / 2 ? 2 : 0);
+    ++quadrant_count[q];
+  }
+  for (int q = 0; q < 4; ++q) EXPECT_GT(quadrant_count[q], 10);
+}
+
+TEST(TsvPlanner, RejectsNonPositiveCount) {
+  EXPECT_THROW(plan_tsv_sites(ddr3_fp(), TsvLocation::kEdge, 0), std::invalid_argument);
+}
+
+TEST(C4Grid, UniformPitchCentered) {
+  const auto grid = c4_grid(9.0, 8.0, 1.0);
+  EXPECT_EQ(grid.size(), 72u);  // 9 x 8
+  for (const auto& p : grid) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 9.0);
+  }
+}
+
+TEST(C4Grid, RejectsBadPitch) {
+  EXPECT_THROW(c4_grid(9.0, 8.0, 0.0), std::invalid_argument);
+}
+
+TEST(AlignToC4, SnapsToNearestBump) {
+  const std::vector<floorplan::Point> c4 = {{0.0, 0.0}, {2.0, 0.0}};
+  const std::vector<floorplan::Point> sites = {{0.4, 0.1}, {1.8, -0.1}};
+  const auto snapped = align_to_c4(sites, c4);
+  EXPECT_DOUBLE_EQ(snapped[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(snapped[1].x, 2.0);
+}
+
+TEST(AlignToC4, EmptyC4IsIdentity) {
+  const std::vector<floorplan::Point> sites = {{1.0, 1.0}};
+  const auto out = align_to_c4(sites, {});
+  EXPECT_DOUBLE_EQ(out[0].x, 1.0);
+}
+
+TEST(AverageC4Distance, ZeroWhenCoincident) {
+  const std::vector<floorplan::Point> pts = {{1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(average_c4_distance(pts, pts), 0.0);
+}
+
+TEST(AverageC4Distance, KnownValue) {
+  const std::vector<floorplan::Point> sites = {{0.0, 0.0}, {0.0, 4.0}};
+  const std::vector<floorplan::Point> c4 = {{3.0, 0.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(average_c4_distance(sites, c4), 3.0);
+}
+
+TEST(EdgePadRing, PadsOnBothSides) {
+  const auto fp = ddr3_fp();
+  const auto pads = edge_pad_ring(fp, 4);
+  EXPECT_EQ(pads.size(), 8u);
+  int left = 0;
+  int right = 0;
+  for (const auto& p : pads) {
+    if (p.x < 1.0) ++left;
+    if (p.x > fp.width() - 1.0) ++right;
+  }
+  EXPECT_EQ(left, 4);
+  EXPECT_EQ(right, 4);
+}
+
+}  // namespace
+}  // namespace pdn3d::pdn

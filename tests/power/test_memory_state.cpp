@@ -1,0 +1,88 @@
+#include "power/memory_state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdn3d::power {
+namespace {
+
+floorplan::DramFloorplanSpec ddr3_spec() {
+  floorplan::DramFloorplanSpec s;
+  s.width_mm = 6.8;
+  s.height_mm = 6.7;
+  s.bank_cols = 4;
+  s.bank_rows = 2;
+  return s;
+}
+
+TEST(MemoryState, ParsesDefaultState) {
+  const auto st = parse_memory_state("0-0-0-2", ddr3_spec());
+  ASSERT_EQ(st.die_count(), 4);
+  EXPECT_EQ(st.counts(), (std::vector<int>{0, 0, 0, 2}));
+  EXPECT_EQ(st.active_die_count(), 1);
+  EXPECT_EQ(st.total_active_banks(), 2);
+  EXPECT_DOUBLE_EQ(st.io_activity, 1.0);
+  // Default location is the worst-case edge column: interleave pair {0, 1}.
+  EXPECT_EQ(st.dies[3].active_banks, (std::vector<int>{0, 1}));
+}
+
+TEST(MemoryState, LocationLettersSelectColumns) {
+  const auto st = parse_memory_state("0-0-2b-2a", ddr3_spec());
+  EXPECT_EQ(st.dies[2].active_banks, (std::vector<int>{2, 3}));  // column b = 1
+  EXPECT_EQ(st.dies[3].active_banks, (std::vector<int>{0, 1}));  // column a = 0
+}
+
+TEST(MemoryState, SharedBandwidthActivityConvention) {
+  EXPECT_DOUBLE_EQ(parse_memory_state("2-0-0-0", ddr3_spec()).io_activity, 1.0);
+  EXPECT_DOUBLE_EQ(parse_memory_state("0-0-2-2", ddr3_spec()).io_activity, 0.5);
+  EXPECT_DOUBLE_EQ(parse_memory_state("2-2-2-2", ddr3_spec()).io_activity, 0.25);
+  EXPECT_DOUBLE_EQ(parse_memory_state("0-0-0-0", ddr3_spec()).io_activity, 0.0);
+}
+
+TEST(MemoryState, ExplicitActivityOverride) {
+  const auto st = parse_memory_state("0-0-0-2", ddr3_spec(), 0.25);
+  EXPECT_DOUBLE_EQ(st.io_activity, 0.25);
+}
+
+TEST(MemoryState, RoundTripToString) {
+  const auto st = parse_memory_state("1-0-2-0", ddr3_spec());
+  EXPECT_EQ(st.to_string(), "1-0-2-0");
+}
+
+TEST(MemoryState, RejectsMalformedInput) {
+  const auto spec = ddr3_spec();
+  EXPECT_THROW(parse_memory_state("", spec), std::invalid_argument);
+  EXPECT_THROW(parse_memory_state("x-0-0-0", spec), std::invalid_argument);
+  EXPECT_THROW(parse_memory_state("2aa-0-0-0", spec), std::invalid_argument);
+  EXPECT_THROW(parse_memory_state("0-0-0-2z", spec), std::invalid_argument);  // column 25
+  EXPECT_THROW(parse_memory_state("0--0-2", spec), std::invalid_argument);
+}
+
+TEST(MemoryState, RejectsTooManyBanks) {
+  EXPECT_THROW(parse_memory_state("9-0-0-0", ddr3_spec()), std::invalid_argument);
+}
+
+TEST(MemoryState, CountsAboveTwoFillColumnMajor) {
+  const auto st = parse_memory_state("4-0-0-0", ddr3_spec());
+  EXPECT_EQ(st.dies[0].active_banks, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(MemoryState, MakeStateFromCounts) {
+  const auto st = make_state_from_counts({0, 1, 0, 2}, ddr3_spec());
+  EXPECT_EQ(st.counts(), (std::vector<int>{0, 1, 0, 2}));
+  EXPECT_DOUBLE_EQ(st.io_activity, 0.5);
+  EXPECT_EQ(st.dies[3].active_banks.size(), 2u);
+}
+
+TEST(MemoryState, MakeStateHonorsActivity) {
+  const auto st = make_state_from_counts({2, 0, 0, 0}, ddr3_spec(), 0.8);
+  EXPECT_DOUBLE_EQ(st.io_activity, 0.8);
+}
+
+TEST(MemoryState, ArbitraryDieCount) {
+  const auto st = parse_memory_state("1-1", ddr3_spec());
+  EXPECT_EQ(st.die_count(), 2);
+  EXPECT_DOUBLE_EQ(st.io_activity, 0.5);
+}
+
+}  // namespace
+}  // namespace pdn3d::power

@@ -1,0 +1,116 @@
+#include "power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "floorplan/dram_floorplan.hpp"
+#include "floorplan/logic_floorplan.hpp"
+#include "util/units.hpp"
+
+namespace pdn3d::power {
+namespace {
+
+floorplan::DramFloorplanSpec ddr3_spec() {
+  floorplan::DramFloorplanSpec s;
+  s.width_mm = 6.8;
+  s.height_mm = 6.7;
+  s.bank_cols = 4;
+  s.bank_rows = 2;
+  return s;
+}
+
+TEST(DiePower, CalibratedToPaperTable5) {
+  // The polynomial is calibrated to the paper's published per-die numbers at
+  // the reference interleave depth (2 banks).
+  const DiePowerSpec spec;
+  EXPECT_NEAR(spec.active_die_mw(1.00, 2), 220.5, 1e-9);
+  EXPECT_NEAR(spec.active_die_mw(0.50, 2), 175.5, 1e-9);
+  EXPECT_NEAR(spec.active_die_mw(0.25, 2), 126.0, 1e-9);
+}
+
+TEST(DiePower, MonotoneInActivity) {
+  const DiePowerSpec spec;
+  double prev = 0.0;
+  for (double act = 0.05; act <= 1.0; act += 0.05) {
+    const double p = spec.active_die_mw(act, 2);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(DiePower, SingleBankDrawsLessThanPair) {
+  const DiePowerSpec spec;
+  EXPECT_LT(spec.active_die_mw(1.0, 1), spec.active_die_mw(1.0, 2));
+  EXPECT_GT(spec.active_die_mw(1.0, 1), spec.idle_mw);
+}
+
+TEST(DiePower, ActivityClamped) {
+  const DiePowerSpec spec;
+  EXPECT_DOUBLE_EQ(spec.active_die_mw(1.5, 2), spec.active_die_mw(1.0, 2));
+  EXPECT_DOUBLE_EQ(spec.active_die_mw(-0.2, 2), spec.active_die_mw(0.0, 2));
+}
+
+TEST(DramDiePower, IdleDieSpreadsIdlePowerOnly) {
+  const auto fp = floorplan::make_dram_floorplan(ddr3_spec());
+  const DiePowerSpec spec;
+  const auto blocks = dram_die_power(fp, DieActivity{}, 0.0, spec);
+  EXPECT_NEAR(util::to_mW(total_power_w(blocks)), spec.idle_mw, 1e-9);
+}
+
+TEST(DramDiePower, ActiveDieTotalMatchesModel) {
+  const auto fp = floorplan::make_dram_floorplan(ddr3_spec());
+  const DiePowerSpec spec;
+  DieActivity act;
+  act.active_banks = {0, 1};
+  const auto blocks = dram_die_power(fp, act, 1.0, spec);
+  EXPECT_NEAR(util::to_mW(total_power_w(blocks)), spec.active_die_mw(1.0, 2), 1e-9);
+}
+
+TEST(DramDiePower, ActiveBanksReceiveConcentratedPower) {
+  const auto fp = floorplan::make_dram_floorplan(ddr3_spec());
+  const DiePowerSpec spec;
+  DieActivity act;
+  act.active_banks = {0, 1};
+  const auto blocks = dram_die_power(fp, act, 1.0, spec);
+
+  double active_bank_power = 0.0;
+  for (const auto& bp : blocks) {
+    if (bp.block->type == floorplan::BlockType::kBankArray &&
+        (bp.block->bank_index == 0 || bp.block->bank_index == 1)) {
+      active_bank_power += bp.power_w;
+    }
+  }
+  // Bank share of the activity-dependent power plus their slice of idle.
+  EXPECT_GT(util::to_mW(active_bank_power), 0.4 * (spec.active_die_mw(1.0, 2) - spec.idle_mw));
+}
+
+TEST(DramDiePower, ScaleMultipliesEverything) {
+  const auto fp = floorplan::make_dram_floorplan(ddr3_spec());
+  const DiePowerSpec spec;
+  DieActivity act;
+  act.active_banks = {0, 1};
+  const double p1 = total_power_w(dram_die_power(fp, act, 1.0, spec, 1.0));
+  const double p2 = total_power_w(dram_die_power(fp, act, 1.0, spec, 2.0));
+  EXPECT_NEAR(p2, 2.0 * p1, 1e-12);
+}
+
+TEST(LogicPower, TotalsMatchSpec) {
+  const auto fp = floorplan::make_t2_floorplan();
+  LogicPowerSpec spec;
+  spec.total_w = 10.0;
+  const auto blocks = logic_die_power(fp, spec);
+  EXPECT_NEAR(total_power_w(blocks), 10.0, 1e-9);
+}
+
+TEST(LogicPower, CoreShareDominates) {
+  const auto fp = floorplan::make_t2_floorplan();
+  const LogicPowerSpec spec;
+  const auto blocks = logic_die_power(fp, spec);
+  double cores = 0.0;
+  for (const auto& bp : blocks) {
+    if (bp.block->type == floorplan::BlockType::kCore) cores += bp.power_w;
+  }
+  EXPECT_NEAR(cores, spec.total_w * spec.core_share, 1e-9);
+}
+
+}  // namespace
+}  // namespace pdn3d::power

@@ -1,0 +1,103 @@
+#include "tech/tech_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tech/presets.hpp"
+
+namespace pdn3d::tech {
+namespace {
+
+TEST(TechFile, ParsesFullFile) {
+  const std::string text = R"(
+# test technology
+[dram]
+vdd = 1.2
+via_resistance = 0.04
+layer MA sheet=0.5 dir=horizontal usage=0.15
+layer MB sheet=0.2 dir=vertical usage=0.25
+
+[logic]
+vdd = 0.9
+layer G1 sheet=0.06 dir=h usage=0.3
+layer G2 sheet=0.03 dir=v usage=0.4
+
+[interconnect]
+tsv_resistance = 0.2
+wirebond_resistance = 0.5
+)";
+  const Technology t = read_technology_string(text);
+  EXPECT_DOUBLE_EQ(t.dram.vdd, 1.2);
+  EXPECT_DOUBLE_EQ(t.dram.via_resistance, 0.04);
+  ASSERT_EQ(t.dram.layer_count(), 2u);
+  EXPECT_EQ(t.dram.layer(0).name, "MA");
+  EXPECT_DOUBLE_EQ(t.dram.layer(0).sheet_resistance, 0.5);
+  EXPECT_EQ(t.dram.layer(0).direction, RouteDirection::kHorizontal);
+  EXPECT_DOUBLE_EQ(t.dram.layer(1).default_vdd_usage, 0.25);
+  EXPECT_DOUBLE_EQ(t.logic.vdd, 0.9);
+  EXPECT_EQ(t.logic.layer(1).name, "G2");
+  EXPECT_DOUBLE_EQ(t.interconnect.tsv_resistance, 0.2);
+  EXPECT_DOUBLE_EQ(t.interconnect.wirebond_resistance, 0.5);
+  // Untouched keys keep the library defaults.
+  EXPECT_DOUBLE_EQ(t.interconnect.c4_resistance, default_interconnect().c4_resistance);
+}
+
+TEST(TechFile, PartialOverrideKeepsDefaults) {
+  const Technology t = read_technology_string("[interconnect]\ntsv_resistance = 0.33\n");
+  const Technology d = ddr3_technology();
+  EXPECT_DOUBLE_EQ(t.interconnect.tsv_resistance, 0.33);
+  EXPECT_EQ(t.dram.layer_count(), d.dram.layer_count());
+  EXPECT_DOUBLE_EQ(t.dram.layer(0).sheet_resistance, d.dram.layer(0).sheet_resistance);
+}
+
+TEST(TechFile, RoundTripsThroughWriter) {
+  Technology original = low_voltage_technology();
+  original.interconnect.tsv_resistance = 0.271828;
+  original.dram.pdn_layers[0].default_vdd_usage = 0.137;
+
+  std::ostringstream os;
+  write_technology(os, original);
+  const Technology back = read_technology_string(os.str());
+
+  EXPECT_DOUBLE_EQ(back.dram.vdd, original.dram.vdd);
+  EXPECT_DOUBLE_EQ(back.interconnect.tsv_resistance, 0.271828);
+  ASSERT_EQ(back.dram.layer_count(), original.dram.layer_count());
+  for (std::size_t l = 0; l < original.dram.layer_count(); ++l) {
+    EXPECT_EQ(back.dram.layer(l).name, original.dram.layer(l).name);
+    EXPECT_DOUBLE_EQ(back.dram.layer(l).sheet_resistance,
+                     original.dram.layer(l).sheet_resistance);
+    EXPECT_EQ(back.dram.layer(l).direction, original.dram.layer(l).direction);
+    EXPECT_DOUBLE_EQ(back.dram.layer(l).default_vdd_usage,
+                     original.dram.layer(l).default_vdd_usage);
+  }
+}
+
+TEST(TechFile, RejectsMalformedInput) {
+  EXPECT_THROW(read_technology_string("vdd = 1.0\n"), std::runtime_error);  // before section
+  EXPECT_THROW(read_technology_string("[bogus]\n"), std::runtime_error);
+  EXPECT_THROW(read_technology_string("[dram]\nnot_a_key = 1\n"), std::runtime_error);
+  EXPECT_THROW(read_technology_string("[dram]\nvdd = abc\n"), std::runtime_error);
+  EXPECT_THROW(read_technology_string("[dram]\nlayer M sheet=0.1 dir=diagonal\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_technology_string("[dram]\nlayer M dir=h usage=0.1\n"),
+               std::runtime_error);  // no sheet
+  EXPECT_THROW(read_technology_string("[interconnect]\nlayer M sheet=0.1\n"),
+               std::runtime_error);  // layer outside die section
+  EXPECT_THROW(read_technology_string("[dram]\nvdd 1.0\n"), std::runtime_error);  // no '='
+  // Replacing the stack with a single layer is rejected.
+  EXPECT_THROW(read_technology_string("[dram]\nlayer M sheet=0.1 dir=h usage=0.1\n"),
+               std::runtime_error);
+}
+
+TEST(TechFile, ErrorsCarryLineNumbers) {
+  try {
+    read_technology_string("[dram]\nvdd = 1.0\nbroken line here\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pdn3d::tech

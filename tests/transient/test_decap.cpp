@@ -1,0 +1,48 @@
+#include "transient/decap.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/benchmarks.hpp"
+#include "pdn/stack_builder.hpp"
+
+namespace pdn3d::transient {
+namespace {
+
+TEST(Decap, EveryNodeReceivesCapacitance) {
+  const auto bench = core::make_benchmark(core::BenchmarkKind::kStackedDdr3OffChip);
+  const auto built = pdn::build_stack(bench.stack, bench.baseline);
+  const auto caps = assign_node_capacitance(built.model);
+  ASSERT_EQ(caps.size(), built.model.node_count());
+  for (double c : caps) EXPECT_GT(c, 0.0);
+}
+
+TEST(Decap, TotalsTrackDieArea) {
+  const auto bench = core::make_benchmark(core::BenchmarkKind::kStackedDdr3OffChip);
+  const auto built = pdn::build_stack(bench.stack, bench.baseline);
+  DecapConfig cfg;
+  cfg.tap_decap_nf = 0.0;  // isolate the area terms
+  const auto caps = assign_node_capacitance(built.model, cfg);
+  const double total_nf = total_capacitance(caps) * 1e9;
+
+  // 4 DRAM dies at 6.8 x 6.7 mm plus the package plane.
+  const double dram_area = 4.0 * 6.8 * 6.7;
+  const double pkg_area = (6.8 + 2.0) * (6.7 + 2.0);
+  const double expected_nf = cfg.die_nf_per_mm2 * dram_area + cfg.package_nf_per_mm2 * pkg_area;
+  EXPECT_NEAR(total_nf, expected_nf, 0.05 * expected_nf);
+}
+
+TEST(Decap, TapDecapAdds) {
+  const auto bench = core::make_benchmark(core::BenchmarkKind::kStackedDdr3OffChip);
+  const auto built = pdn::build_stack(bench.stack, bench.baseline);
+  DecapConfig none;
+  none.tap_decap_nf = 0.0;
+  DecapConfig some;
+  some.tap_decap_nf = 5.0;
+  const double delta_nf = (total_capacitance(assign_node_capacitance(built.model, some)) -
+                           total_capacitance(assign_node_capacitance(built.model, none))) *
+                          1e9;
+  EXPECT_NEAR(delta_nf, 5.0 * static_cast<double>(built.model.taps().size()), 1e-6);
+}
+
+}  // namespace
+}  // namespace pdn3d::transient

@@ -1,0 +1,110 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace pdn3d::util {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint32_t bound : {1u, 2u, 3u, 10u, 1000u}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneIsZero) {
+  Rng rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BoolProbabilityRoughlyRespected) {
+  Rng rng(13);
+  int yes = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.next_bool(0.3)) ++yes;
+  }
+  EXPECT_NEAR(static_cast<double>(yes) / n, 0.3, 0.02);
+}
+
+TEST(Rng, BoolExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, IntInclusiveRange) {
+  Rng rng(19);
+  std::set<int> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int v = rng.next_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, IntDegenerateRange) {
+  Rng rng(23);
+  EXPECT_EQ(rng.next_int(5, 5), 5);
+  EXPECT_EQ(rng.next_int(5, 4), 5);  // clamps to lo
+}
+
+TEST(Rng, GeometricMeanApproximatelyCorrect) {
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.next_geometric(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.25);
+}
+
+TEST(Rng, GeometricZeroMean) {
+  Rng rng(31);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_geometric(0.0), 0);
+}
+
+}  // namespace
+}  // namespace pdn3d::util

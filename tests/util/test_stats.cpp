@@ -1,0 +1,79 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace pdn3d::util {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs = {3.0, -1.0, 7.5, 2.0};
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.5);
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+}
+
+TEST(Stats, Rms) {
+  const std::vector<double> xs = {3.0, 4.0};
+  EXPECT_NEAR(rms(xs), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Stats, RmseIdenticalIsZero) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(rmse(a, a), 0.0);
+}
+
+TEST(Stats, RmseKnownValue) {
+  const std::vector<double> a = {0.0, 0.0};
+  const std::vector<double> b = {3.0, 4.0};
+  EXPECT_NEAR(rmse(a, b), std::sqrt(12.5), 1e-12);
+}
+
+TEST(Stats, RmseSizeMismatchThrows) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(rmse(a, b), std::invalid_argument);
+}
+
+TEST(Stats, RSquaredPerfectFit) {
+  const std::vector<double> t = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(r_squared(t, t), 1.0);
+}
+
+TEST(Stats, RSquaredMeanPredictorIsZero) {
+  const std::vector<double> t = {1.0, 2.0, 3.0};
+  const std::vector<double> p = {2.0, 2.0, 2.0};
+  EXPECT_NEAR(r_squared(t, p), 0.0, 1e-12);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  std::vector<double> xs = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Stats, SummaryConsistent) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+}  // namespace
+}  // namespace pdn3d::util

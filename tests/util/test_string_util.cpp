@@ -1,0 +1,52 @@
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdn3d::util {
+namespace {
+
+TEST(StringUtil, FmtFixed) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(30.03, 2), "30.03");
+  EXPECT_EQ(fmt_fixed(-1.5, 0), "-2");  // round-half-even via printf
+}
+
+TEST(StringUtil, FmtPercent) {
+  EXPECT_EQ(fmt_percent(-0.428), "-42.8%");
+  EXPECT_EQ(fmt_percent(0.306), "+30.6%");
+  EXPECT_EQ(fmt_percent(0.0, 2), "+0.00%");
+}
+
+TEST(StringUtil, SplitBasic) {
+  const auto parts = split("0-0-2a-2a", '-');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "0");
+  EXPECT_EQ(parts[3], "2a");
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  const auto parts = split("a--b", '-');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringUtil, SplitNoSeparator) {
+  const auto parts = split("plain", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "plain");
+}
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringUtil, ToLower) {
+  EXPECT_EQ(to_lower("F2B"), "f2b");
+  EXPECT_EQ(to_lower("already"), "already");
+}
+
+}  // namespace
+}  // namespace pdn3d::util

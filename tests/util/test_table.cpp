@@ -1,0 +1,55 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdn3d::util {
+namespace {
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("| bb "), std::string::npos);
+  EXPECT_NE(out.find("| 1 "), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"x"});
+  t.add_row({"wide-cell"});
+  const std::string out = t.render();
+  // Header row must be padded to the widest cell's width.
+  EXPECT_NE(out.find("| x         |"), std::string::npos);
+}
+
+TEST(Table, HandlesRaggedRows) {
+  Table t({"a", "b"});
+  t.add_row({"only-one"});
+  t.add_row({"1", "2", "3"});  // extra column
+  const std::string out = t.render();
+  EXPECT_FALSE(out.empty());
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, SeparatorInsertedBetweenGroups) {
+  Table t({"h"});
+  t.add_row({"a"});
+  t.add_separator();
+  t.add_row({"b"});
+  const std::string out = t.render();
+  // header sep + top + bottom + one group separator = 4 '+--' lines
+  int seps = 0;
+  for (std::size_t pos = out.find("+-"); pos != std::string::npos; pos = out.find("+-", pos + 1)) {
+    ++seps;
+  }
+  EXPECT_GE(seps, 4);
+}
+
+TEST(Table, EmptyTableStillRenders) {
+  Table t({"only-header"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("only-header"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdn3d::util

@@ -1,0 +1,29 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdn3d::util {
+namespace {
+
+TEST(Units, VoltageConversions) {
+  EXPECT_DOUBLE_EQ(to_mV(0.03003), 30.03);
+  EXPECT_DOUBLE_EQ(from_mV(30.03), 0.03003);
+  EXPECT_DOUBLE_EQ(from_mV(to_mV(1.234)), 1.234);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(to_us(109.3e-6), 109.3);
+}
+
+TEST(Units, PowerConversions) {
+  EXPECT_DOUBLE_EQ(to_mW(0.2205), 220.5);
+  EXPECT_DOUBLE_EQ(from_mW(220.5), 0.2205);
+}
+
+TEST(Units, ResistanceConversions) {
+  EXPECT_DOUBLE_EQ(to_mOhm(0.15), 150.0);
+  EXPECT_DOUBLE_EQ(from_mOhm(150.0), 0.15);
+}
+
+}  // namespace
+}  // namespace pdn3d::util

@@ -1,0 +1,468 @@
+// pdn3d command-line driver.
+//
+//   pdn3d info      <benchmark>
+//   pdn3d analyze   <benchmark> [--state S] [--activity A] [design flags]
+//   pdn3d lut       <benchmark> [design flags]
+//   pdn3d simulate  <benchmark> [--policy standard|fcfs|distr] [--limit mV] [design flags]
+//   pdn3d cooptimize <benchmark> [--alpha A]
+//   pdn3d export    <benchmark> --out DIR [--state S] [design flags]
+//
+// Benchmarks: off-chip | on-chip | wide-io | hmc
+// Design flags: --m2 PCT --m3 PCT --tc N --tl C|E|D --bd f2b|f2f
+//               --rdl none|bottom|all --wb --dedicated --no-align --scale X
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/platform.hpp"
+#include "cost/cost_model.hpp"
+#include "irdrop/montecarlo.hpp"
+#include "memctrl/trace.hpp"
+#include "tech/tech_file.hpp"
+#include "transient/decap.hpp"
+#include "transient/simulator.hpp"
+#include "io/floorplan_writer.hpp"
+#include "io/ir_map_writer.hpp"
+#include "io/spice_writer.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace pdn3d;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: pdn3d <command> <benchmark> [options]\n"
+      "\n"
+      "commands:\n"
+      "  info        print the benchmark's configuration and baseline design\n"
+      "  analyze     IR-drop analysis of one memory state\n"
+      "  lut         print the memory-state IR look-up table\n"
+      "  simulate    run the memory-controller simulation\n"
+      "  cooptimize  co-optimize design+packaging at an alpha\n"
+      "  report      per-block hotspot report for one die\n"
+      "  montecarlo  IR-drop distribution over random memory states\n"
+      "  droop       transient (RC) droop of a memory-state step\n"
+      "  export      write SPICE deck, IR maps, and floorplans to a directory\n"
+      "\n"
+      "benchmarks: off-chip | on-chip | wide-io | hmc\n"
+      "\n"
+      "options:\n"
+      "  --state S        memory state, e.g. 0-0-0-2 or 0-0-2b-2a\n"
+      "  --activity A     I/O activity in [0,1] (default: 1/active dies)\n"
+      "  --policy P       standard | fcfs | distr   (simulate)\n"
+      "  --limit MV       IR constraint in mV        (simulate, default 24)\n"
+      "  --alpha A        objective exponent in [0,1] (cooptimize, default 0.3)\n"
+      "  --out DIR        output directory            (export)\n"
+      "  --tech FILE      load a technology file (any command)\n"
+      "  --trace FILE     replay a request trace      (simulate)\n"
+      "  --samples N      Monte Carlo samples          (montecarlo, default 200)\n"
+      "  --die N          die to report (1-based)      (report, default top die)\n"
+      "  --decap NF       per-tap decap in nF          (droop, default 2)\n"
+      "  --m2 PCT --m3 PCT --tc N --tl C|E|D --bd f2b|f2f\n"
+      "  --rdl none|bottom|all --wb --dedicated --no-align --scale X\n";
+  std::exit(2);
+}
+
+core::BenchmarkKind parse_benchmark(const std::string& name) {
+  if (name == "off-chip") return core::BenchmarkKind::kStackedDdr3OffChip;
+  if (name == "on-chip") return core::BenchmarkKind::kStackedDdr3OnChip;
+  if (name == "wide-io") return core::BenchmarkKind::kWideIo;
+  if (name == "hmc") return core::BenchmarkKind::kHmc;
+  usage("unknown benchmark '" + name + "'");
+}
+
+struct Args {
+  std::string command;
+  std::string benchmark;
+  std::map<std::string, std::string> options;  // --key value
+  std::vector<std::string> flags;              // --key (no value)
+
+  [[nodiscard]] bool has_flag(const std::string& f) const {
+    for (const auto& x : flags) {
+      if (x == f) return true;
+    }
+    return options.count(f) > 0;
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
+    const auto v = get(key);
+    return v ? std::atof(v->c_str()) : fallback;
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  if (argc < 3) usage();
+  Args a;
+  a.command = argv[1];
+  a.benchmark = argv[2];
+  const std::vector<std::string> value_opts = {"--state", "--activity", "--policy", "--limit",
+                                               "--alpha", "--out",      "--m2",     "--m3",
+                                               "--tc",    "--tl",       "--bd",     "--rdl",
+                                               "--scale", "--tech",     "--trace",  "--samples",
+                                               "--decap", "--die"};
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool takes_value =
+        std::find(value_opts.begin(), value_opts.end(), arg) != value_opts.end();
+    if (takes_value) {
+      if (i + 1 >= argc) usage("missing value for " + arg);
+      a.options[arg] = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      a.flags.push_back(arg);
+    } else {
+      usage("unexpected argument '" + arg + "'");
+    }
+  }
+  return a;
+}
+
+pdn::PdnConfig apply_design_flags(pdn::PdnConfig cfg, const Args& a) {
+  if (const auto v = a.get("--m2")) cfg.m2_usage = std::atof(v->c_str()) / 100.0;
+  if (const auto v = a.get("--m3")) cfg.m3_usage = std::atof(v->c_str()) / 100.0;
+  if (const auto v = a.get("--tc")) cfg.tsv_count = std::atoi(v->c_str());
+  if (const auto v = a.get("--tl")) {
+    const std::string tl = util::to_lower(*v);
+    if (tl == "c") cfg.tsv_location = pdn::TsvLocation::kCenter;
+    else if (tl == "e") cfg.tsv_location = pdn::TsvLocation::kEdge;
+    else if (tl == "d") cfg.tsv_location = pdn::TsvLocation::kDistributed;
+    else usage("bad --tl");
+    if (cfg.rdl == pdn::RdlMode::kNone) cfg.logic_tsv_location = cfg.tsv_location;
+  }
+  if (const auto v = a.get("--bd")) {
+    const std::string bd = util::to_lower(*v);
+    if (bd == "f2b") cfg.bonding = pdn::BondingStyle::kF2B;
+    else if (bd == "f2f") cfg.bonding = pdn::BondingStyle::kF2F;
+    else usage("bad --bd");
+  }
+  if (const auto v = a.get("--rdl")) {
+    const std::string r = util::to_lower(*v);
+    if (r == "none") cfg.rdl = pdn::RdlMode::kNone;
+    else if (r == "bottom") cfg.rdl = pdn::RdlMode::kBottomOnly;
+    else if (r == "all") cfg.rdl = pdn::RdlMode::kAllDies;
+    else usage("bad --rdl");
+  }
+  if (a.has_flag("--wb")) cfg.wire_bonding = true;
+  if (a.has_flag("--dedicated")) cfg.dedicated_tsvs = true;
+  if (a.has_flag("--no-align")) cfg.align_tsvs_to_c4 = false;
+  if (const auto v = a.get("--scale")) cfg.metal_usage_scale = std::atof(v->c_str());
+  return cfg;
+}
+
+int cmd_info(core::Platform& p) {
+  const auto& b = p.benchmark();
+  std::cout << b.name << "\n";
+  std::cout << "  DRAM die       : " << b.stack.dram_fp.width() << " x "
+            << b.stack.dram_fp.height() << " mm, " << b.stack.dram_fp.bank_count()
+            << " banks, " << b.stack.num_dram_dies << " dies\n";
+  std::cout << "  logic die      : " << b.stack.logic_fp.width() << " x "
+            << b.stack.logic_fp.height() << " mm (" << pdn::to_string(b.baseline.mounting)
+            << ")\n";
+  std::cout << "  channels       : " << b.sim.channels << ", tCK " << b.sim.timing.tck_ns
+            << " ns, VDD " << b.stack.tech.dram.vdd << " V\n";
+  std::cout << "  default state  : " << b.default_state << "\n";
+  std::cout << "  baseline       : " << b.baseline.summary() << "\n";
+  std::cout << "  baseline cost  : " << util::fmt_fixed(cost::total_cost(b.baseline), 3) << "\n";
+  std::cout << "  paper baseline : " << b.paper_baseline_ir_mv << " mV\n";
+  return 0;
+}
+
+int cmd_analyze(core::Platform& p, const Args& a) {
+  const auto cfg = apply_design_flags(p.benchmark().baseline, a);
+  const std::string state = a.get("--state").value_or(p.benchmark().default_state);
+  const double act = a.get_double("--activity", -1.0);
+  const auto r = p.analyze(cfg, state, act);
+  std::cout << "design : " << cfg.summary() << "\n";
+  std::cout << "state  : " << state << " @ activity "
+            << util::fmt_fixed(p.parse_state(state, act).io_activity, 2) << "\n";
+  std::cout << "cost   : " << util::fmt_fixed(cost::total_cost(cfg), 3) << "\n";
+  util::Table t({"die", "max IR (mV)", "avg IR (mV)"});
+  for (std::size_t d = 0; d < r.dram_dies.size(); ++d) {
+    t.add_row({"DRAM" + std::to_string(d + 1), util::fmt_fixed(r.dram_dies[d].max_mv, 2),
+               util::fmt_fixed(r.dram_dies[d].avg_mv, 2)});
+  }
+  std::cout << t.render();
+  std::cout << "max DRAM IR drop : " << util::fmt_fixed(r.dram_max_mv, 2) << " mV\n";
+  if (r.logic_max_mv > 0.0) {
+    std::cout << "logic self-noise : " << util::fmt_fixed(r.logic_max_mv, 2) << " mV\n";
+  }
+  std::cout << "stack power      : " << util::fmt_fixed(r.total_power_mw, 1) << " mW\n";
+  return 0;
+}
+
+int cmd_lut(core::Platform& p, const Args& a) {
+  const auto cfg = apply_design_flags(p.benchmark().baseline, a);
+  const auto& lut = p.lut(cfg);
+  std::cout << "IR LUT for " << cfg.summary() << " (" << lut.size() << " states)\n";
+  util::Table t({"state", "max IR (mV)"});
+  std::vector<int> counts(static_cast<std::size_t>(lut.die_count()), 0);
+  const int radix = lut.max_per_die() + 1;
+  const std::size_t total = lut.size();
+  for (std::size_t key = 0; key < total; ++key) {
+    std::size_t k = key;
+    std::string name;
+    for (int d = 0; d < lut.die_count(); ++d) {
+      counts[static_cast<std::size_t>(d)] = static_cast<int>(k % radix);
+      k /= static_cast<std::size_t>(radix);
+      if (d > 0) name += '-';
+      name += std::to_string(counts[static_cast<std::size_t>(d)]);
+    }
+    t.add_row({name, util::fmt_fixed(lut.max_ir_mv(counts), 2)});
+  }
+  std::cout << t.render();
+  const auto worst = lut.worst_case_state();
+  std::cout << "worst state: ";
+  for (std::size_t i = 0; i < worst.size(); ++i) {
+    std::cout << (i ? "-" : "") << worst[i];
+  }
+  std::cout << " = " << util::fmt_fixed(lut.worst_case_mv(), 2) << " mV\n";
+  return 0;
+}
+
+int cmd_simulate(core::Platform& p, const Args& a) {
+  const auto cfg = apply_design_flags(p.benchmark().baseline, a);
+  const std::string policy = a.get("--policy").value_or("distr");
+  const double limit = a.get_double("--limit", 24.0);
+  memctrl::PolicyConfig pc;
+  if (policy == "standard") {
+    pc = memctrl::standard_policy();
+  } else if (policy == "fcfs") {
+    pc = memctrl::ir_aware_policy(limit, memctrl::SchedulingKind::kFcfs);
+  } else if (policy == "distr") {
+    pc = memctrl::ir_aware_policy(limit, memctrl::SchedulingKind::kDistR);
+  } else {
+    usage("bad --policy");
+  }
+  memctrl::SimResult r;
+  if (const auto trace_path = a.get("--trace")) {
+    std::ifstream tf(*trace_path);
+    if (!tf) {
+      std::cerr << "error: cannot open trace '" << *trace_path << "'\n";
+      return 1;
+    }
+    auto reqs = memctrl::read_trace(tf);
+    const auto& sim_cfg = p.benchmark().sim;
+    const std::string problem =
+        memctrl::validate_trace(reqs, sim_cfg.dies, sim_cfg.banks_per_die);
+    if (!problem.empty()) {
+      std::cerr << "error: trace invalid: " << problem << "\n";
+      return 1;
+    }
+    r = p.simulate(cfg, pc, std::move(reqs));
+  } else {
+    r = p.simulate(cfg, pc);
+  }
+  std::cout << "design    : " << cfg.summary() << "\n";
+  std::cout << "policy    : " << policy << (policy != "standard" ? " @ " + util::fmt_fixed(limit, 1) + " mV" : "")
+            << "\n";
+  if (!r.feasible) {
+    std::cout << "INFEASIBLE: the IR constraint admits no memory state\n";
+    return 1;
+  }
+  std::cout << "runtime   : " << util::fmt_fixed(r.runtime_us, 2) << " us (" << r.cycles
+            << " cycles)\n";
+  std::cout << "bandwidth : " << util::fmt_fixed(r.bandwidth_reads_per_clk, 3) << " reads/clk\n";
+  std::cout << "max IR    : " << util::fmt_fixed(r.max_ir_mv, 2) << " mV\n";
+  std::cout << "row hits  : " << util::fmt_percent(r.row_hit_fraction, 1) << ", avg active banks "
+            << util::fmt_fixed(r.avg_active_banks, 2) << "\n";
+  return 0;
+}
+
+int cmd_cooptimize(core::Platform& p, const Args& a) {
+  const double alpha = a.get_double("--alpha", 0.3);
+  auto opt = p.make_cooptimizer();
+  std::cout << "sampling the design space with the R-Mesh...\n";
+  const auto best = opt.optimize(alpha);
+  std::cout << "alpha " << alpha << " optimum:\n";
+  std::cout << "  design  : " << best.config.summary() << "\n";
+  std::cout << "  model IR: " << util::fmt_fixed(best.predicted_ir_mv, 2) << " mV\n";
+  std::cout << "  R-Mesh  : " << util::fmt_fixed(best.measured_ir_mv, 2) << " mV\n";
+  std::cout << "  cost    : " << util::fmt_fixed(best.cost, 3) << "\n";
+  std::cout << "  fit     : worst RMSE " << util::fmt_fixed(opt.worst_rmse(), 3) << " mV, R^2 "
+            << util::fmt_fixed(opt.worst_r_squared(), 4) << "\n";
+  return 0;
+}
+
+int cmd_report(core::Platform& p, const Args& a) {
+  const auto cfg = apply_design_flags(p.benchmark().baseline, a);
+  const auto& bench = p.benchmark();
+  const std::string state_text = a.get("--state").value_or(bench.default_state);
+  const auto state = p.parse_state(state_text, a.get_double("--activity", -1.0));
+  const int die =
+      static_cast<int>(a.get_double("--die", bench.stack.num_dram_dies)) - 1;  // 1-based
+
+  const auto built = pdn::build_stack(bench.stack, cfg);
+  irdrop::PowerBinding power;
+  power.dram = bench.dram_power;
+  power.logic = bench.logic_power;
+  power.dram_scale = bench.power_scale;
+  const irdrop::IrAnalyzer analyzer(built.model, bench.stack.dram_fp, bench.stack.logic_fp,
+                                    power);
+  const auto report = analyzer.block_report(state, die);
+
+  std::cout << "design : " << cfg.summary() << "\n";
+  std::cout << "state  : " << state_text << ", DRAM die " << die + 1 << " (hotspots first)\n";
+  util::Table t({"block", "type", "max IR (mV)", "avg IR (mV)"});
+  for (const auto& entry : report) {
+    t.add_row({entry.block->name, floorplan::to_string(entry.block->type),
+               util::fmt_fixed(entry.max_mv, 2), util::fmt_fixed(entry.avg_mv, 2)});
+  }
+  std::cout << t.render();
+  return 0;
+}
+
+int cmd_montecarlo(core::Platform& p, const Args& a) {
+  const auto cfg = apply_design_flags(p.benchmark().baseline, a);
+  const auto& bench = p.benchmark();
+  const auto built = pdn::build_stack(bench.stack, cfg);
+  irdrop::PowerBinding power;
+  power.dram = bench.dram_power;
+  power.logic = bench.logic_power;
+  power.dram_scale = bench.power_scale;
+  const irdrop::IrAnalyzer analyzer(built.model, bench.stack.dram_fp, bench.stack.logic_fp,
+                                    power);
+  irdrop::MonteCarloConfig mc;
+  mc.samples = static_cast<int>(a.get_double("--samples", 200));
+  const auto r = irdrop::sample_ir_distribution(analyzer, bench.stack.dram_spec, mc);
+  const double worst = p.measure_ir_mv(cfg);
+  std::cout << "design : " << cfg.summary() << "\n";
+  std::cout << "samples: " << r.samples << "\n";
+  util::Table t({"statistic", "IR drop (mV)"});
+  t.add_row({"mean", util::fmt_fixed(r.mean_mv, 2)});
+  t.add_row({"p50", util::fmt_fixed(r.p50_mv, 2)});
+  t.add_row({"p95", util::fmt_fixed(r.p95_mv, 2)});
+  t.add_row({"p99", util::fmt_fixed(r.p99_mv, 2)});
+  t.add_row({"sampled max", util::fmt_fixed(r.max_mv, 2)});
+  t.add_row({"design worst case", util::fmt_fixed(worst, 2)});
+  std::cout << t.render();
+  return 0;
+}
+
+int cmd_droop(core::Platform& p, const Args& a) {
+  const auto cfg = apply_design_flags(p.benchmark().baseline, a);
+  const auto& bench = p.benchmark();
+  const auto built = pdn::build_stack(bench.stack, cfg);
+  irdrop::PowerBinding power;
+  power.dram = bench.dram_power;
+  power.logic = bench.logic_power;
+  power.dram_scale = bench.power_scale;
+  const irdrop::IrAnalyzer analyzer(built.model, bench.stack.dram_fp, bench.stack.logic_fp,
+                                    power);
+  const std::string state_text = a.get("--state").value_or(bench.default_state);
+  const auto state = p.parse_state(state_text, a.get_double("--activity", -1.0));
+  const auto sinks = analyzer.injection(state);
+
+  transient::DecapConfig decap;
+  decap.tap_decap_nf = a.get_double("--decap", 2.0);
+  const transient::TransientSimulator sim(
+      built.model, transient::assign_node_capacitance(built.model, decap), 1e-9);
+  const auto r = sim.step_response(sinks, 400e-9);
+  std::cout << "design : " << cfg.summary() << "\n";
+  std::cout << "state  : " << state_text << ", tap decap " << decap.tap_decap_nf << " nF\n";
+  std::cout << "DC IR  : " << util::fmt_fixed(r.dc_ir_mv, 2) << " mV\n";
+  std::cout << "peak   : " << util::fmt_fixed(r.peak_ir_mv, 2) << " mV\n";
+  std::cout << "settle : " << util::fmt_fixed(r.settle_ns, 1) << " ns (to 2% of DC)\n";
+  util::Table t({"t (ns)", "worst DRAM droop (mV)"});
+  for (std::size_t k = 0; k < r.time_ns.size(); k += std::max<std::size_t>(1, r.time_ns.size() / 12)) {
+    t.add_row({util::fmt_fixed(r.time_ns[k], 1), util::fmt_fixed(r.worst_ir_mv[k], 2)});
+  }
+  std::cout << t.render();
+  return 0;
+}
+
+int cmd_export(core::Platform& p, const Args& a) {
+  const auto out_opt = a.get("--out");
+  if (!out_opt) usage("export requires --out DIR");
+  const std::filesystem::path out = *out_opt;
+  std::filesystem::create_directories(out);
+
+  const auto cfg = apply_design_flags(p.benchmark().baseline, a);
+  const std::string state_text = a.get("--state").value_or(p.benchmark().default_state);
+  const auto state = p.parse_state(state_text, a.get_double("--activity", -1.0));
+
+  const auto& bench = p.benchmark();
+  const auto built = pdn::build_stack(bench.stack, cfg);
+  irdrop::PowerBinding power;
+  power.dram = bench.dram_power;
+  power.logic = bench.logic_power;
+  power.dram_scale = bench.power_scale;
+  const irdrop::IrAnalyzer analyzer(built.model, bench.stack.dram_fp, bench.stack.logic_fp,
+                                    power);
+  const auto sinks = analyzer.injection(state);
+  const auto ir = analyzer.ir_map(state);
+
+  {
+    std::ofstream os(out / "stack.sp");
+    io::write_spice_netlist(os, built.model, sinks, {bench.name + " " + cfg.summary()});
+  }
+  {
+    std::ofstream os(out / "ir_map.csv");
+    io::write_ir_csv(os, built.model, ir);
+  }
+  for (int d = 0; d < built.model.dram_die_count(); ++d) {
+    std::ofstream os(out / ("dram" + std::to_string(d + 1) + "_ir.pgm"), std::ios::binary);
+    io::write_ir_pgm(os, built.model, ir, d, 0);
+  }
+  {
+    std::ofstream os(out / "dram_die.csv");
+    io::write_floorplan_csv(os, bench.stack.dram_fp);
+  }
+  {
+    std::ofstream os(out / "dram_die.def");
+    io::write_floorplan_def(os, bench.stack.dram_fp);
+  }
+  std::cout << "wrote " << out.string()
+            << "/{stack.sp, ir_map.csv, dram*_ir.pgm, dram_die.csv, dram_die.def}\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  core::Benchmark benchmark = core::make_benchmark(parse_benchmark(args.benchmark));
+  if (const auto tech_path = args.get("--tech")) {
+    std::ifstream tf(*tech_path);
+    if (!tf) {
+      std::cerr << "error: cannot open technology file '" << *tech_path << "'\n";
+      return 1;
+    }
+    try {
+      benchmark.stack.tech = tech::read_technology(tf);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  core::Platform platform(std::move(benchmark));
+
+  try {
+    if (args.command == "info") return cmd_info(platform);
+    if (args.command == "analyze") return cmd_analyze(platform, args);
+    if (args.command == "lut") return cmd_lut(platform, args);
+    if (args.command == "simulate") return cmd_simulate(platform, args);
+    if (args.command == "cooptimize") return cmd_cooptimize(platform, args);
+    if (args.command == "report") return cmd_report(platform, args);
+    if (args.command == "montecarlo") return cmd_montecarlo(platform, args);
+    if (args.command == "droop") return cmd_droop(platform, args);
+    if (args.command == "export") return cmd_export(platform, args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  usage("unknown command '" + args.command + "'");
+}
