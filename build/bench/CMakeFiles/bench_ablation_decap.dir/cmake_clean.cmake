@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_decap.dir/bench_ablation_decap.cpp.o"
+  "CMakeFiles/bench_ablation_decap.dir/bench_ablation_decap.cpp.o.d"
+  "bench_ablation_decap"
+  "bench_ablation_decap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

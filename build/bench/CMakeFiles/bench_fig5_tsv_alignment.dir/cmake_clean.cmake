@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_tsv_alignment.dir/bench_fig5_tsv_alignment.cpp.o"
+  "CMakeFiles/bench_fig5_tsv_alignment.dir/bench_fig5_tsv_alignment.cpp.o.d"
+  "bench_fig5_tsv_alignment"
+  "bench_fig5_tsv_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_tsv_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_regression_quality.dir/bench_regression_quality.cpp.o"
+  "CMakeFiles/bench_regression_quality.dir/bench_regression_quality.cpp.o.d"
+  "bench_regression_quality"
+  "bench_regression_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regression_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3_metal_usage.dir/bench_sec3_metal_usage.cpp.o"
+  "CMakeFiles/bench_sec3_metal_usage.dir/bench_sec3_metal_usage.cpp.o.d"
+  "bench_sec3_metal_usage"
+  "bench_sec3_metal_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3_metal_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_tsv_rdl.dir/bench_table2_tsv_rdl.cpp.o"
+  "CMakeFiles/bench_table2_tsv_rdl.dir/bench_table2_tsv_rdl.cpp.o.d"
+  "bench_table2_tsv_rdl"
+  "bench_table2_tsv_rdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_tsv_rdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

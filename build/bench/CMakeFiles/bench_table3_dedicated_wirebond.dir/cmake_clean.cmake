@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_dedicated_wirebond.dir/bench_table3_dedicated_wirebond.cpp.o"
+  "CMakeFiles/bench_table3_dedicated_wirebond.dir/bench_table3_dedicated_wirebond.cpp.o.d"
+  "bench_table3_dedicated_wirebond"
+  "bench_table3_dedicated_wirebond.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_dedicated_wirebond.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_intra_pair.dir/bench_table4_intra_pair.cpp.o"
+  "CMakeFiles/bench_table4_intra_pair.dir/bench_table4_intra_pair.cpp.o.d"
+  "bench_table4_intra_pair"
+  "bench_table4_intra_pair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_intra_pair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

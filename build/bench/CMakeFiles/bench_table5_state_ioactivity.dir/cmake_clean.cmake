@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_state_ioactivity.dir/bench_table5_state_ioactivity.cpp.o"
+  "CMakeFiles/bench_table5_state_ioactivity.dir/bench_table5_state_ioactivity.cpp.o.d"
+  "bench_table5_state_ioactivity"
+  "bench_table5_state_ioactivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_state_ioactivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_cooptimization.dir/bench_table9_cooptimization.cpp.o"
+  "CMakeFiles/bench_table9_cooptimization.dir/bench_table9_cooptimization.cpp.o.d"
+  "bench_table9_cooptimization"
+  "bench_table9_cooptimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_cooptimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_stack.dir/custom_stack.cpp.o"
+  "CMakeFiles/custom_stack.dir/custom_stack.cpp.o.d"
+  "custom_stack"
+  "custom_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/benchmarks.cpp" "src/CMakeFiles/pdn3d.dir/core/benchmarks.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/core/benchmarks.cpp.o.d"
+  "/root/repo/src/core/platform.cpp" "src/CMakeFiles/pdn3d.dir/core/platform.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/core/platform.cpp.o.d"
+  "/root/repo/src/cost/cost_model.cpp" "src/CMakeFiles/pdn3d.dir/cost/cost_model.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/cost/cost_model.cpp.o.d"
+  "/root/repo/src/dram/bank.cpp" "src/CMakeFiles/pdn3d.dir/dram/bank.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/dram/bank.cpp.o.d"
+  "/root/repo/src/fit/features.cpp" "src/CMakeFiles/pdn3d.dir/fit/features.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/fit/features.cpp.o.d"
+  "/root/repo/src/fit/regression.cpp" "src/CMakeFiles/pdn3d.dir/fit/regression.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/fit/regression.cpp.o.d"
+  "/root/repo/src/floorplan/block.cpp" "src/CMakeFiles/pdn3d.dir/floorplan/block.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/floorplan/block.cpp.o.d"
+  "/root/repo/src/floorplan/dram_floorplan.cpp" "src/CMakeFiles/pdn3d.dir/floorplan/dram_floorplan.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/floorplan/dram_floorplan.cpp.o.d"
+  "/root/repo/src/floorplan/floorplan.cpp" "src/CMakeFiles/pdn3d.dir/floorplan/floorplan.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/floorplan/floorplan.cpp.o.d"
+  "/root/repo/src/floorplan/logic_floorplan.cpp" "src/CMakeFiles/pdn3d.dir/floorplan/logic_floorplan.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/floorplan/logic_floorplan.cpp.o.d"
+  "/root/repo/src/io/floorplan_writer.cpp" "src/CMakeFiles/pdn3d.dir/io/floorplan_writer.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/io/floorplan_writer.cpp.o.d"
+  "/root/repo/src/io/ir_map_writer.cpp" "src/CMakeFiles/pdn3d.dir/io/ir_map_writer.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/io/ir_map_writer.cpp.o.d"
+  "/root/repo/src/io/spice_writer.cpp" "src/CMakeFiles/pdn3d.dir/io/spice_writer.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/io/spice_writer.cpp.o.d"
+  "/root/repo/src/irdrop/analysis.cpp" "src/CMakeFiles/pdn3d.dir/irdrop/analysis.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/irdrop/analysis.cpp.o.d"
+  "/root/repo/src/irdrop/crowding.cpp" "src/CMakeFiles/pdn3d.dir/irdrop/crowding.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/irdrop/crowding.cpp.o.d"
+  "/root/repo/src/irdrop/lut.cpp" "src/CMakeFiles/pdn3d.dir/irdrop/lut.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/irdrop/lut.cpp.o.d"
+  "/root/repo/src/irdrop/montecarlo.cpp" "src/CMakeFiles/pdn3d.dir/irdrop/montecarlo.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/irdrop/montecarlo.cpp.o.d"
+  "/root/repo/src/irdrop/solver.cpp" "src/CMakeFiles/pdn3d.dir/irdrop/solver.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/irdrop/solver.cpp.o.d"
+  "/root/repo/src/linalg/banded.cpp" "src/CMakeFiles/pdn3d.dir/linalg/banded.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/linalg/banded.cpp.o.d"
+  "/root/repo/src/linalg/cg.cpp" "src/CMakeFiles/pdn3d.dir/linalg/cg.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/linalg/cg.cpp.o.d"
+  "/root/repo/src/linalg/coo.cpp" "src/CMakeFiles/pdn3d.dir/linalg/coo.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/linalg/coo.cpp.o.d"
+  "/root/repo/src/linalg/csr.cpp" "src/CMakeFiles/pdn3d.dir/linalg/csr.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/linalg/csr.cpp.o.d"
+  "/root/repo/src/linalg/dense.cpp" "src/CMakeFiles/pdn3d.dir/linalg/dense.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/linalg/dense.cpp.o.d"
+  "/root/repo/src/linalg/ichol.cpp" "src/CMakeFiles/pdn3d.dir/linalg/ichol.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/linalg/ichol.cpp.o.d"
+  "/root/repo/src/linalg/least_squares.cpp" "src/CMakeFiles/pdn3d.dir/linalg/least_squares.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/linalg/least_squares.cpp.o.d"
+  "/root/repo/src/linalg/reorder.cpp" "src/CMakeFiles/pdn3d.dir/linalg/reorder.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/linalg/reorder.cpp.o.d"
+  "/root/repo/src/memctrl/controller.cpp" "src/CMakeFiles/pdn3d.dir/memctrl/controller.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/memctrl/controller.cpp.o.d"
+  "/root/repo/src/memctrl/policy.cpp" "src/CMakeFiles/pdn3d.dir/memctrl/policy.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/memctrl/policy.cpp.o.d"
+  "/root/repo/src/memctrl/trace.cpp" "src/CMakeFiles/pdn3d.dir/memctrl/trace.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/memctrl/trace.cpp.o.d"
+  "/root/repo/src/memctrl/workload.cpp" "src/CMakeFiles/pdn3d.dir/memctrl/workload.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/memctrl/workload.cpp.o.d"
+  "/root/repo/src/opt/cooptimizer.cpp" "src/CMakeFiles/pdn3d.dir/opt/cooptimizer.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/opt/cooptimizer.cpp.o.d"
+  "/root/repo/src/opt/design_space.cpp" "src/CMakeFiles/pdn3d.dir/opt/design_space.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/opt/design_space.cpp.o.d"
+  "/root/repo/src/opt/pareto.cpp" "src/CMakeFiles/pdn3d.dir/opt/pareto.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/opt/pareto.cpp.o.d"
+  "/root/repo/src/pdn/layer_grid.cpp" "src/CMakeFiles/pdn3d.dir/pdn/layer_grid.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/pdn/layer_grid.cpp.o.d"
+  "/root/repo/src/pdn/pdn_config.cpp" "src/CMakeFiles/pdn3d.dir/pdn/pdn_config.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/pdn/pdn_config.cpp.o.d"
+  "/root/repo/src/pdn/stack_builder.cpp" "src/CMakeFiles/pdn3d.dir/pdn/stack_builder.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/pdn/stack_builder.cpp.o.d"
+  "/root/repo/src/pdn/stack_model.cpp" "src/CMakeFiles/pdn3d.dir/pdn/stack_model.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/pdn/stack_model.cpp.o.d"
+  "/root/repo/src/pdn/tsv_planner.cpp" "src/CMakeFiles/pdn3d.dir/pdn/tsv_planner.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/pdn/tsv_planner.cpp.o.d"
+  "/root/repo/src/power/memory_state.cpp" "src/CMakeFiles/pdn3d.dir/power/memory_state.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/power/memory_state.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/CMakeFiles/pdn3d.dir/power/power_model.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/power/power_model.cpp.o.d"
+  "/root/repo/src/tech/presets.cpp" "src/CMakeFiles/pdn3d.dir/tech/presets.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/tech/presets.cpp.o.d"
+  "/root/repo/src/tech/tech_file.cpp" "src/CMakeFiles/pdn3d.dir/tech/tech_file.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/tech/tech_file.cpp.o.d"
+  "/root/repo/src/tech/technology.cpp" "src/CMakeFiles/pdn3d.dir/tech/technology.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/tech/technology.cpp.o.d"
+  "/root/repo/src/transient/decap.cpp" "src/CMakeFiles/pdn3d.dir/transient/decap.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/transient/decap.cpp.o.d"
+  "/root/repo/src/transient/simulator.cpp" "src/CMakeFiles/pdn3d.dir/transient/simulator.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/transient/simulator.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/pdn3d.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/pdn3d.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/pdn3d.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/string_util.cpp" "src/CMakeFiles/pdn3d.dir/util/string_util.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/util/string_util.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/pdn3d.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/pdn3d.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/pdn3d.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpdn3d.a"
+)

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("linalg")
+subdirs("tech")
+subdirs("floorplan")
+subdirs("power")
+subdirs("pdn")
+subdirs("irdrop")
+subdirs("dram")
+subdirs("memctrl")
+subdirs("cost")
+subdirs("fit")
+subdirs("opt")
+subdirs("core")
+subdirs("io")
+subdirs("transient")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_floorplan.dir/floorplan/test_dram_floorplan.cpp.o"
+  "CMakeFiles/test_floorplan.dir/floorplan/test_dram_floorplan.cpp.o.d"
+  "CMakeFiles/test_floorplan.dir/floorplan/test_geometry.cpp.o"
+  "CMakeFiles/test_floorplan.dir/floorplan/test_geometry.cpp.o.d"
+  "CMakeFiles/test_floorplan.dir/floorplan/test_logic_floorplan.cpp.o"
+  "CMakeFiles/test_floorplan.dir/floorplan/test_logic_floorplan.cpp.o.d"
+  "test_floorplan"
+  "test_floorplan.pdb"
+  "test_floorplan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_irdrop.dir/irdrop/test_analysis.cpp.o"
+  "CMakeFiles/test_irdrop.dir/irdrop/test_analysis.cpp.o.d"
+  "CMakeFiles/test_irdrop.dir/irdrop/test_crowding.cpp.o"
+  "CMakeFiles/test_irdrop.dir/irdrop/test_crowding.cpp.o.d"
+  "CMakeFiles/test_irdrop.dir/irdrop/test_lut.cpp.o"
+  "CMakeFiles/test_irdrop.dir/irdrop/test_lut.cpp.o.d"
+  "CMakeFiles/test_irdrop.dir/irdrop/test_montecarlo.cpp.o"
+  "CMakeFiles/test_irdrop.dir/irdrop/test_montecarlo.cpp.o.d"
+  "CMakeFiles/test_irdrop.dir/irdrop/test_solver.cpp.o"
+  "CMakeFiles/test_irdrop.dir/irdrop/test_solver.cpp.o.d"
+  "test_irdrop"
+  "test_irdrop.pdb"
+  "test_irdrop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_irdrop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

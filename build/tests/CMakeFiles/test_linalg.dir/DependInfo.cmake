@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/linalg/test_banded.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_banded.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_banded.cpp.o.d"
+  "/root/repo/tests/linalg/test_cg.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_cg.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_cg.cpp.o.d"
+  "/root/repo/tests/linalg/test_coo_csr.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_coo_csr.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_coo_csr.cpp.o.d"
+  "/root/repo/tests/linalg/test_dense.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_dense.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_dense.cpp.o.d"
+  "/root/repo/tests/linalg/test_ichol.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_ichol.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_ichol.cpp.o.d"
+  "/root/repo/tests/linalg/test_least_squares.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/test_least_squares.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/test_least_squares.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdn3d.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linalg.dir/linalg/test_banded.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_banded.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_cg.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_cg.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_coo_csr.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_coo_csr.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_dense.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_dense.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_ichol.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_ichol.cpp.o.d"
+  "CMakeFiles/test_linalg.dir/linalg/test_least_squares.cpp.o"
+  "CMakeFiles/test_linalg.dir/linalg/test_least_squares.cpp.o.d"
+  "test_linalg"
+  "test_linalg.pdb"
+  "test_linalg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

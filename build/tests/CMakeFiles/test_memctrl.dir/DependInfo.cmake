@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/memctrl/test_controller.cpp" "tests/CMakeFiles/test_memctrl.dir/memctrl/test_controller.cpp.o" "gcc" "tests/CMakeFiles/test_memctrl.dir/memctrl/test_controller.cpp.o.d"
+  "/root/repo/tests/memctrl/test_controller_fuzz.cpp" "tests/CMakeFiles/test_memctrl.dir/memctrl/test_controller_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_memctrl.dir/memctrl/test_controller_fuzz.cpp.o.d"
+  "/root/repo/tests/memctrl/test_policy.cpp" "tests/CMakeFiles/test_memctrl.dir/memctrl/test_policy.cpp.o" "gcc" "tests/CMakeFiles/test_memctrl.dir/memctrl/test_policy.cpp.o.d"
+  "/root/repo/tests/memctrl/test_trace.cpp" "tests/CMakeFiles/test_memctrl.dir/memctrl/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_memctrl.dir/memctrl/test_trace.cpp.o.d"
+  "/root/repo/tests/memctrl/test_workload.cpp" "tests/CMakeFiles/test_memctrl.dir/memctrl/test_workload.cpp.o" "gcc" "tests/CMakeFiles/test_memctrl.dir/memctrl/test_workload.cpp.o.d"
+  "/root/repo/tests/memctrl/test_writes_refresh.cpp" "tests/CMakeFiles/test_memctrl.dir/memctrl/test_writes_refresh.cpp.o" "gcc" "tests/CMakeFiles/test_memctrl.dir/memctrl/test_writes_refresh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdn3d.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

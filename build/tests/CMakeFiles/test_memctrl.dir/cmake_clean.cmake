@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memctrl.dir/memctrl/test_controller.cpp.o"
+  "CMakeFiles/test_memctrl.dir/memctrl/test_controller.cpp.o.d"
+  "CMakeFiles/test_memctrl.dir/memctrl/test_controller_fuzz.cpp.o"
+  "CMakeFiles/test_memctrl.dir/memctrl/test_controller_fuzz.cpp.o.d"
+  "CMakeFiles/test_memctrl.dir/memctrl/test_policy.cpp.o"
+  "CMakeFiles/test_memctrl.dir/memctrl/test_policy.cpp.o.d"
+  "CMakeFiles/test_memctrl.dir/memctrl/test_trace.cpp.o"
+  "CMakeFiles/test_memctrl.dir/memctrl/test_trace.cpp.o.d"
+  "CMakeFiles/test_memctrl.dir/memctrl/test_workload.cpp.o"
+  "CMakeFiles/test_memctrl.dir/memctrl/test_workload.cpp.o.d"
+  "CMakeFiles/test_memctrl.dir/memctrl/test_writes_refresh.cpp.o"
+  "CMakeFiles/test_memctrl.dir/memctrl/test_writes_refresh.cpp.o.d"
+  "test_memctrl"
+  "test_memctrl.pdb"
+  "test_memctrl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pdn/test_builder_combos.cpp" "tests/CMakeFiles/test_pdn.dir/pdn/test_builder_combos.cpp.o" "gcc" "tests/CMakeFiles/test_pdn.dir/pdn/test_builder_combos.cpp.o.d"
+  "/root/repo/tests/pdn/test_layer_grid.cpp" "tests/CMakeFiles/test_pdn.dir/pdn/test_layer_grid.cpp.o" "gcc" "tests/CMakeFiles/test_pdn.dir/pdn/test_layer_grid.cpp.o.d"
+  "/root/repo/tests/pdn/test_pdn_config.cpp" "tests/CMakeFiles/test_pdn.dir/pdn/test_pdn_config.cpp.o" "gcc" "tests/CMakeFiles/test_pdn.dir/pdn/test_pdn_config.cpp.o.d"
+  "/root/repo/tests/pdn/test_stack_builder.cpp" "tests/CMakeFiles/test_pdn.dir/pdn/test_stack_builder.cpp.o" "gcc" "tests/CMakeFiles/test_pdn.dir/pdn/test_stack_builder.cpp.o.d"
+  "/root/repo/tests/pdn/test_tsv_planner.cpp" "tests/CMakeFiles/test_pdn.dir/pdn/test_tsv_planner.cpp.o" "gcc" "tests/CMakeFiles/test_pdn.dir/pdn/test_tsv_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pdn3d.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdn.dir/pdn/test_builder_combos.cpp.o"
+  "CMakeFiles/test_pdn.dir/pdn/test_builder_combos.cpp.o.d"
+  "CMakeFiles/test_pdn.dir/pdn/test_layer_grid.cpp.o"
+  "CMakeFiles/test_pdn.dir/pdn/test_layer_grid.cpp.o.d"
+  "CMakeFiles/test_pdn.dir/pdn/test_pdn_config.cpp.o"
+  "CMakeFiles/test_pdn.dir/pdn/test_pdn_config.cpp.o.d"
+  "CMakeFiles/test_pdn.dir/pdn/test_stack_builder.cpp.o"
+  "CMakeFiles/test_pdn.dir/pdn/test_stack_builder.cpp.o.d"
+  "CMakeFiles/test_pdn.dir/pdn/test_tsv_planner.cpp.o"
+  "CMakeFiles/test_pdn.dir/pdn/test_tsv_planner.cpp.o.d"
+  "test_pdn"
+  "test_pdn.pdb"
+  "test_pdn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech.dir/tech/test_tech_file.cpp.o"
+  "CMakeFiles/test_tech.dir/tech/test_tech_file.cpp.o.d"
+  "CMakeFiles/test_tech.dir/tech/test_technology.cpp.o"
+  "CMakeFiles/test_tech.dir/tech/test_technology.cpp.o.d"
+  "test_tech"
+  "test_tech.pdb"
+  "test_tech[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

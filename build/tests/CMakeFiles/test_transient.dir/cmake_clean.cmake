@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transient.dir/transient/test_decap.cpp.o"
+  "CMakeFiles/test_transient.dir/transient/test_decap.cpp.o.d"
+  "CMakeFiles/test_transient.dir/transient/test_simulator.cpp.o"
+  "CMakeFiles/test_transient.dir/transient/test_simulator.cpp.o.d"
+  "test_transient"
+  "test_transient.pdb"
+  "test_transient[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

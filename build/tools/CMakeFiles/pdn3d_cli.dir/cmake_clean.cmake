@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdn3d_cli.dir/pdn3d_cli.cpp.o"
+  "CMakeFiles/pdn3d_cli.dir/pdn3d_cli.cpp.o.d"
+  "pdn3d"
+  "pdn3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdn3d_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
