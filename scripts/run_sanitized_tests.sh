@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full test suite under AddressSanitizer +
+# UndefinedBehaviorSanitizer (the PDN3D_SANITIZE CMake option). Intended for
+# CI and pre-release checks; see docs/ROBUSTNESS.md.
+#
+# Usage: scripts/run_sanitized_tests.sh [build-dir] [-- extra ctest args]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build-sanitize}"
+shift $(( $# > 0 ? 1 : 0 )) || true
+
+# Abort on the first sanitizer report instead of trying to continue, and make
+# UBSan print stacks so CI logs are actionable.
+export ASAN_OPTIONS="${ASAN_OPTIONS:-abort_on_error=1:strict_string_checks=1:detect_stack_use_after_return=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+
+cmake -B "$build_dir" -S "$repo_root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DPDN3D_SANITIZE=ON
+cmake --build "$build_dir" -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc 2>/dev/null || sysctl -n hw.ncpu)" "$@"

@@ -1,0 +1,77 @@
+#include "core/status.hpp"
+
+#include <sstream>
+
+namespace pdn3d::core {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kInputError: return "input-error";
+    case StatusCode::kNumericalFailure: return "numerical-failure";
+  }
+  return "?";
+}
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "ok";
+  return std::string(core::to_string(code_)) + ": " + message_;
+}
+
+void ValidationReport::add_error(std::string check, std::string message, std::size_t node) {
+  issues_.push_back({Severity::kError, std::move(check), std::move(message), node});
+  ++error_count_;
+}
+
+void ValidationReport::add_warning(std::string check, std::string message, std::size_t node) {
+  issues_.push_back({Severity::kWarning, std::move(check), std::move(message), node});
+}
+
+bool ValidationReport::has_check(std::string_view check) const {
+  for (const auto& issue : issues_) {
+    if (issue.check == check) return true;
+  }
+  return false;
+}
+
+std::string ValidationReport::to_string() const {
+  if (issues_.empty()) return "validation ok";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < issues_.size(); ++i) {
+    const auto& issue = issues_[i];
+    if (i > 0) os << '\n';
+    os << core::to_string(issue.severity) << " [" << issue.check << "] " << issue.message;
+    if (issue.node != ValidationIssue::kNoNode) os << " (node " << issue.node << ")";
+  }
+  return os.str();
+}
+
+Status ValidationReport::to_status() const {
+  if (ok()) return Status::ok();
+  std::ostringstream os;
+  os << error_count_ << " validation error" << (error_count_ == 1 ? "" : "s");
+  // Name the first error so a one-line status is still actionable.
+  for (const auto& issue : issues_) {
+    if (issue.severity == Severity::kError) {
+      os << "; first: [" << issue.check << "] " << issue.message;
+      break;
+    }
+  }
+  return Status::input_error(os.str());
+}
+
+void ValidationReport::merge(const ValidationReport& other) {
+  issues_.insert(issues_.end(), other.issues_.begin(), other.issues_.end());
+  error_count_ += other.error_count_;
+}
+
+}  // namespace pdn3d::core

@@ -1,0 +1,147 @@
+#pragma once
+
+/// @file status.hpp
+/// @brief Structured error reporting for the numerical-health layer.
+///
+/// The co-optimization loop samples hundreds of R-Mesh design points per
+/// benchmark; a single ill-conditioned point must not kill the sweep, and a
+/// degenerate mesh must never produce plausible-looking garbage. Every solve
+/// is therefore either *verified-correct* or ends in one of two structured
+/// outcomes:
+///
+///  - a ValidationReport full of errors (defective input, caught before the
+///    matrix reaches a solver), carried by ValidationError, or
+///  - a Status with StatusCode::kNumericalFailure (every rung of the solver
+///    escalation ladder failed), carried by NumericalError.
+///
+/// Sweeping callers (co-optimizer, Monte Carlo, LUT builders) catch these two
+/// exception types, record the failure, and move on; see docs/ROBUSTNESS.md
+/// for the conventions and the CLI exit-code table.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdn3d::core {
+
+/// Coarse failure class. Mirrors the CLI exit codes (docs/ROBUSTNESS.md).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    ///< caller bug: bad sizes, out-of-range parameters
+  kInputError,         ///< defective input data: mesh/tech-file/trace defects
+  kNumericalFailure,   ///< all solver rungs failed or produced garbage
+};
+
+[[nodiscard]] const char* to_string(StatusCode code);
+
+/// Cheap value type for "did it work, and if not, why". Functions that can
+/// fail for data-dependent reasons return Status (or a result struct holding
+/// one) instead of throwing, so sweeps can skip-and-report.
+class Status {
+ public:
+  Status() = default;  ///< OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() { return {}; }
+  [[nodiscard]] static Status invalid_argument(std::string message) {
+    return {StatusCode::kInvalidArgument, std::move(message)};
+  }
+  [[nodiscard]] static Status input_error(std::string message) {
+    return {StatusCode::kInputError, std::move(message)};
+  }
+  [[nodiscard]] static Status numerical_failure(std::string message) {
+    return {StatusCode::kNumericalFailure, std::move(message)};
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// "<code>: <message>" (or "ok").
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+enum class Severity { kWarning, kError };
+
+[[nodiscard]] const char* to_string(Severity severity);
+
+/// One finding of a validation pass. @p check is a stable short slug
+/// ("floating-node", "non-positive-conductance", ...) tests and tools can
+/// match on without parsing prose.
+struct ValidationIssue {
+  Severity severity = Severity::kError;
+  std::string check;
+  std::string message;
+  /// Context: offending node id, or kNoNode when not node-specific.
+  static constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+  std::size_t node = kNoNode;
+};
+
+/// Accumulates findings instead of throwing on the first one, so a defective
+/// mesh yields one report naming every problem (the CLI prints it verbatim).
+class ValidationReport {
+ public:
+  void add_error(std::string check, std::string message,
+                 std::size_t node = ValidationIssue::kNoNode);
+  void add_warning(std::string check, std::string message,
+                   std::size_t node = ValidationIssue::kNoNode);
+
+  /// True when no *errors* were recorded (warnings do not fail validation).
+  [[nodiscard]] bool ok() const { return error_count_ == 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] std::size_t warning_count() const { return issues_.size() - error_count_; }
+  [[nodiscard]] const std::vector<ValidationIssue>& issues() const { return issues_; }
+
+  /// True when some issue (any severity) carries the given check slug.
+  [[nodiscard]] bool has_check(std::string_view check) const;
+
+  /// Multi-line human-readable report, one issue per line.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Collapse into a Status: OK, or kInputError summarizing the errors.
+  [[nodiscard]] Status to_status() const;
+
+  /// Append all of @p other's issues (for staged validation passes).
+  void merge(const ValidationReport& other);
+
+ private:
+  std::vector<ValidationIssue> issues_;
+  std::size_t error_count_ = 0;
+};
+
+/// Thrown when defective *input* reaches an API that cannot return Status
+/// (constructors). Derives from std::invalid_argument so pre-existing callers
+/// that expected the old ad-hoc throws keep working.
+class ValidationError : public std::invalid_argument {
+ public:
+  explicit ValidationError(ValidationReport report)
+      : std::invalid_argument(report.to_string()), report_(std::move(report)) {}
+
+  [[nodiscard]] const ValidationReport& report() const { return report_; }
+
+ private:
+  ValidationReport report_;
+};
+
+/// Thrown when a solve exhausted the escalation ladder (or a throwing wrapper
+/// around a Status-returning API is used). Sweeping callers catch this to
+/// skip-and-report the design point.
+class NumericalError : public std::runtime_error {
+ public:
+  explicit NumericalError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+
+  [[nodiscard]] const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+}  // namespace pdn3d::core

@@ -109,9 +109,13 @@ std::vector<IrAnalyzer::BlockIr> IrAnalyzer::block_report(const power::MemorySta
 }
 
 IrResult IrAnalyzer::analyze(const power::MemoryState& state) const {
+  const std::size_t escalations_before = solver_.telemetry().escalations;
   const std::vector<double> ir = ir_map(state);
 
   IrResult out;
+  out.solver_kind = solver_.last_kind_used();
+  out.solver_iterations = solver_.last_iterations();
+  out.solver_escalations = solver_.telemetry().escalations - escalations_before;
   out.dram_dies.resize(static_cast<std::size_t>(model_.dram_die_count()));
   for (int d = 0; d < model_.dram_die_count(); ++d) {
     const pdn::LayerGrid& g = model_.device_grid(d);

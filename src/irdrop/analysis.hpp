@@ -30,6 +30,11 @@ struct IrResult {
   double logic_max_mv = 0.0;          ///< host logic self-noise (0 off-chip)
   double total_power_mw = 0.0;        ///< stack total (DRAM dies only)
   double active_die_power_mw = 0.0;   ///< max per-die power among active dies
+
+  // Numerical-health telemetry of the solve behind this result.
+  SolverKind solver_kind = SolverKind::kPcgIc;  ///< rung that produced it
+  std::size_t solver_iterations = 0;            ///< CG iterations (0 direct)
+  std::size_t solver_escalations = 0;           ///< rungs that failed first
 };
 
 /// Power configuration for the analyzer.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
+#include "core/status.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -21,6 +23,9 @@ MonteCarloResult sample_ir_distribution(const IrAnalyzer& analyzer,
   util::Rng rng(config.seed);
   std::vector<double> values;
   values.reserve(static_cast<std::size_t>(config.samples));
+  int skipped = 0;
+  std::string last_failure;
+  const std::size_t escalations_before = analyzer.solver().telemetry().escalations;
 
   for (int s = 0; s < config.samples; ++s) {
     power::MemoryState state;
@@ -45,11 +50,22 @@ MonteCarloResult sample_ir_distribution(const IrAnalyzer& analyzer,
       continue;
     }
     state.io_activity = std::min(1.0, config.io_demand / static_cast<double>(active_dies));
-    values.push_back(analyzer.analyze(state).dram_max_mv);
+    try {
+      values.push_back(analyzer.analyze(state).dram_max_mv);
+    } catch (const core::NumericalError& e) {
+      // Skip-and-report: one unsolvable state must not kill the whole
+      // distribution run.
+      ++skipped;
+      last_failure = e.status().to_string();
+    }
   }
 
   MonteCarloResult out;
-  out.samples = config.samples;
+  out.samples = config.samples - skipped;
+  out.skipped_samples = skipped;
+  out.last_failure = std::move(last_failure);
+  out.solver_escalations = analyzer.solver().telemetry().escalations - escalations_before;
+  if (values.empty()) return out;
   out.mean_mv = util::mean(values);
   out.p50_mv = util::percentile(values, 50.0);
   out.p95_mv = util::percentile(values, 95.0);

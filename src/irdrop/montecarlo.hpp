@@ -10,6 +10,7 @@
 /// IR-drop percentiles.
 
 #include <cstdint>
+#include <string>
 
 #include "irdrop/analysis.hpp"
 
@@ -26,12 +27,18 @@ struct MonteCarloConfig {
 };
 
 struct MonteCarloResult {
-  int samples = 0;
+  int samples = 0;  ///< samples that produced a verified solve
   double mean_mv = 0.0;
   double p50_mv = 0.0;
   double p95_mv = 0.0;
   double p99_mv = 0.0;
   double max_mv = 0.0;  ///< worst sampled state (not the analytic worst case)
+
+  // Numerical-health telemetry: states the solver could not handle are
+  // skipped (and counted) instead of aborting the whole distribution run.
+  int skipped_samples = 0;            ///< solves that exhausted the ladder
+  std::size_t solver_escalations = 0; ///< rung retries across the whole run
+  std::string last_failure;           ///< reason of the most recent skip
 };
 
 /// Run the sampler. The analyzer's stack determines die/bank counts.

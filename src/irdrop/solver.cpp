@@ -1,21 +1,42 @@
 #include "irdrop/solver.hpp"
 
+#include <cmath>
+#include <sstream>
 #include <stdexcept>
 
 #include "linalg/coo.hpp"
 #include "linalg/dense.hpp"
 #include "linalg/reorder.hpp"
+#include "pdn/mesh_validator.hpp"
+#include "util/log.hpp"
 
 namespace pdn3d::irdrop {
 
-IrSolver::IrSolver(const pdn::StackModel& model, SolverKind kind)
-    : kind_(kind), vdd_(model.vdd()) {
-  const std::size_t n = model.node_count();
-  if (n == 0) throw std::invalid_argument("IrSolver: empty model");
-  if (model.taps().empty()) {
-    throw std::invalid_argument("IrSolver: no supply taps -- the system would be singular");
+const char* to_string(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kPcgIc: return "ic-pcg";
+    case SolverKind::kPcgJacobi: return "jacobi-pcg";
+    case SolverKind::kBandedDirect: return "banded-direct";
+    case SolverKind::kDense: return "dense-cholesky";
+  }
+  return "?";
+}
+
+IrSolver::IrSolver(const pdn::StackModel& model, SolverKind kind, IrSolverOptions options)
+    : kind_(kind), options_(options), vdd_(model.vdd()) {
+  if (options_.validate) {
+    core::ValidationReport report = pdn::validate_stack_model(model);
+    if (!report.ok()) throw core::ValidationError(std::move(report));
+  } else {
+    // Minimal invariants even when the caller opted out of full validation:
+    // without them the matrix assembly below is undefined.
+    if (model.node_count() == 0) throw std::invalid_argument("IrSolver: empty model");
+    if (model.taps().empty()) {
+      throw std::invalid_argument("IrSolver: no supply taps -- the system would be singular");
+    }
   }
 
+  const std::size_t n = model.node_count();
   linalg::CooBuilder builder(n);
   for (const auto& r : model.resistors()) {
     builder.stamp_conductance(r.a, r.b, 1.0 / r.ohms);
@@ -30,83 +51,186 @@ IrSolver::IrSolver(const pdn::StackModel& model, SolverKind kind)
 
   if (kind_ == SolverKind::kPcgIc) {
     ic_ = std::make_unique<linalg::IncompleteCholesky>(g_);
-  } else if (kind_ == SolverKind::kBandedDirect) {
-    banded_ = std::make_unique<linalg::BandedCholesky>(g_, linalg::rcm_ordering(g_));
   }
+  // The banded factorization is built lazily (see banded()) so that a
+  // starting rung of kBandedDirect and an escalation into it share one path,
+  // and a factorization failure becomes a rung failure instead of a
+  // constructor throw.
 }
 
-std::vector<double> IrSolver::solve(std::span<const double> sinks) const {
+const linalg::BandedCholesky* IrSolver::banded(std::string* error) const {
+  if (!banded_tried_) {
+    banded_tried_ = true;
+    try {
+      banded_ = std::make_unique<linalg::BandedCholesky>(g_, linalg::rcm_ordering(g_));
+    } catch (const std::exception& e) {
+      banded_error_ = e.what();
+    }
+  }
+  if (!banded_ && error != nullptr) *error = banded_error_;
+  return banded_.get();
+}
+
+IrSolver::RungResult IrSolver::run_rung(SolverKind kind, std::span<const double> rhs) const {
+  RungResult out;
+  const std::size_t n = g_.dimension();
+  try {
+    switch (kind) {
+      case SolverKind::kPcgIc:
+      case SolverKind::kPcgJacobi: {
+        linalg::CgOptions opts;
+        opts.rel_tolerance = options_.cg_rel_tolerance;
+        opts.max_iterations = options_.cg_max_iterations;
+        if (kind == SolverKind::kPcgIc) {
+          opts.preconditioner = linalg::Preconditioner::kIncompleteCholesky;
+          // Reuse the factor built at construction; per-state re-solves are
+          // the hot path of LUT construction and co-optimization sweeps.
+          if (!ic_) ic_ = std::make_unique<linalg::IncompleteCholesky>(g_);
+          opts.cached_ic = ic_.get();
+        } else {
+          opts.preconditioner = linalg::Preconditioner::kJacobi;
+        }
+        auto result = linalg::solve_cg(g_, rhs, opts);
+        out.iterations = result.iterations;
+        if (!result.converged) {
+          out.detail = std::string(linalg::to_string(result.failure)) +
+                       (result.detail.empty() ? "" : ": " + result.detail);
+          return out;
+        }
+        out.x = std::move(result.x);
+        out.produced = true;
+        return out;
+      }
+      case SolverKind::kBandedDirect: {
+        std::string error;
+        const linalg::BandedCholesky* fac = banded(&error);
+        if (fac == nullptr) {
+          out.detail = "banded factorization failed: " + error;
+          return out;
+        }
+        out.x = fac->solve(rhs);
+        out.produced = true;
+        return out;
+      }
+      case SolverKind::kDense: {
+        if (kind_ != SolverKind::kDense && n > options_.dense_escalation_limit) {
+          out.detail = "matrix dimension " + std::to_string(n) +
+                       " exceeds the dense escalation limit " +
+                       std::to_string(options_.dense_escalation_limit);
+          return out;
+        }
+        linalg::DenseMatrix a(n, n);
+        const auto rp = g_.row_ptr();
+        const auto ci = g_.col_idx();
+        const auto vals = g_.values();
+        for (std::size_t r = 0; r < n; ++r) {
+          for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) a(r, ci[k]) = vals[k];
+        }
+        out.x = linalg::solve_cholesky(std::move(a), rhs);
+        out.produced = true;
+        return out;
+      }
+    }
+  } catch (const std::exception& e) {
+    out.produced = false;
+    out.x.clear();
+    out.detail = e.what();
+  }
+  return out;
+}
+
+SolveOutcome IrSolver::try_solve(std::span<const double> sinks) const {
   const std::size_t n = g_.dimension();
   if (sinks.size() != n) throw std::invalid_argument("IrSolver::solve: sink vector size mismatch");
 
+  SolveOutcome outcome;
+
+  // Pre-solve injection health: a NaN load current poisons every inner
+  // product, so catch it here with the offending node instead of letting CG
+  // spin.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(sinks[i])) {
+      outcome.status = core::Status::input_error(
+          "non-finite sink current at node " + std::to_string(i));
+      ++telemetry_.failures;
+      return outcome;
+    }
+  }
+
   std::vector<double> rhs(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) rhs[i] = supply_rhs_[i] - sinks[i];
-
-  if (kind_ == SolverKind::kBandedDirect) {
-    last_iterations_ = 0;
-    return banded_->solve(rhs);
-  }
-
-  if (kind_ == SolverKind::kDense) {
-    last_iterations_ = 0;
-    linalg::DenseMatrix a(n, n);
-    const auto rp = g_.row_ptr();
-    const auto ci = g_.col_idx();
-    const auto vals = g_.values();
-    for (std::size_t r = 0; r < n; ++r) {
-      for (std::size_t k = rp[r]; k < rp[r + 1]; ++k) a(r, ci[k]) = vals[k];
-    }
-    return linalg::solve_cholesky(std::move(a), rhs);
-  }
-
-  linalg::CgOptions opts;
-  opts.preconditioner = kind_ == SolverKind::kPcgIc ? linalg::Preconditioner::kIncompleteCholesky
-                                                    : linalg::Preconditioner::kJacobi;
-  // Reuse the cached IC factor by inlining the CG loop? solve_cg refactors it
-  // internally; for the IC path we bypass solve_cg and run PCG here with the
-  // cached preconditioner to avoid re-factorizing per state.
-  if (kind_ == SolverKind::kPcgJacobi) {
-    auto result = linalg::solve_cg(g_, rhs, opts);
-    if (!result.converged) throw std::runtime_error("IrSolver: CG did not converge");
-    last_iterations_ = result.iterations;
-    return std::move(result.x);
-  }
-
-  // IC-PCG with the cached factorization.
-  std::vector<double> x(n, 0.0);
-  std::vector<double> r(rhs);
-  std::vector<double> z(n, 0.0);
-  std::vector<double> p(n, 0.0);
-  std::vector<double> ap(n, 0.0);
   const double bnorm = linalg::norm2(rhs);
-  if (bnorm == 0.0) return x;
-  const double target = 1e-10 * bnorm;
 
-  ic_->apply(r, z);
-  p = z;
-  double rz = linalg::dot(r, z);
-  const std::size_t max_it = 20000;
-  bool converged = false;
-  for (std::size_t it = 0; it < max_it; ++it) {
-    g_.multiply(p, ap);
-    const double pap = linalg::dot(p, ap);
-    if (pap <= 0.0) break;
-    const double alpha = rz / pap;
-    linalg::axpy(alpha, p, x);
-    linalg::axpy(-alpha, ap, r);
-    last_iterations_ = it + 1;
-    if (linalg::norm2(r) <= target) {
-      converged = true;
-      break;
+  std::ostringstream trail;  // per-rung failure reasons for the final status
+  const std::size_t first = static_cast<std::size_t>(kind_);
+  const std::size_t last =
+      options_.escalate ? kSolverKindCount - 1 : first;
+
+  for (std::size_t k = first; k <= last; ++k) {
+    const SolverKind kind = static_cast<SolverKind>(k);
+    ++telemetry_.rung_attempts[k];
+    RungResult rung = run_rung(kind, rhs);
+
+    std::string reject;
+    if (!rung.produced) {
+      reject = rung.detail.empty() ? "no solution produced" : rung.detail;
+    } else {
+      // Verify the true residual before trusting any rung; a factorization
+      // of a near-singular system can "succeed" and still return garbage.
+      std::vector<double> ax(n, 0.0);
+      g_.multiply(rung.x, ax);
+      double res = 0.0;
+      bool finite = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double d = rhs[i] - ax[i];
+        res += d * d;
+        if (!std::isfinite(rung.x[i])) finite = false;
+      }
+      res = std::sqrt(res);
+      const double rel = bnorm > 0.0 ? res / bnorm : res;
+      if (!finite || !std::isfinite(rel)) {
+        reject = "solution contains non-finite entries";
+      } else if (rel > options_.verify_rel_tol) {
+        std::ostringstream os;
+        os << "residual check failed: ||b-Gx||/||b|| = " << rel << " > "
+           << options_.verify_rel_tol;
+        reject = os.str();
+      } else {
+        // Verified-correct: accept this rung.
+        outcome.x = std::move(rung.x);
+        outcome.kind_used = kind;
+        outcome.iterations = rung.iterations;
+        outcome.rel_residual = rel;
+        last_iterations_ = rung.iterations;
+        last_kind_used_ = kind;
+        ++telemetry_.solves;
+        if (outcome.escalations > 0) {
+          util::log_warn("IrSolver: ", to_string(kind_), " failed, recovered by ",
+                         to_string(kind), " after ", outcome.escalations, " escalation(s)");
+        }
+        return outcome;
+      }
     }
-    ic_->apply(r, z);
-    const double rz_new = linalg::dot(r, z);
-    const double beta = rz_new / rz;
-    rz = rz_new;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+
+    ++telemetry_.rung_failures[k];
+    if (trail.tellp() > 0) trail << "; ";
+    trail << to_string(kind) << ": " << reject;
+    if (k < last) {
+      ++outcome.escalations;
+      ++telemetry_.escalations;
+    }
   }
-  if (!converged) throw std::runtime_error("IrSolver: IC-PCG did not converge");
-  return x;
+
+  ++telemetry_.failures;
+  outcome.status = core::Status::numerical_failure(
+      "all solver rungs failed [" + trail.str() + "]");
+  return outcome;
+}
+
+std::vector<double> IrSolver::solve(std::span<const double> sinks) const {
+  SolveOutcome outcome = try_solve(sinks);
+  if (!outcome.ok()) throw core::NumericalError(std::move(outcome.status));
+  return std::move(outcome.x);
 }
 
 std::vector<double> IrSolver::solve_ir(std::span<const double> sinks) const {

@@ -9,11 +9,23 @@
 /// with IC(0)-preconditioned CG. The matrix and preconditioner are built once
 /// per design point and reused across memory states (only the RHS changes),
 /// which is what makes LUT construction and co-optimization sweeps cheap.
+///
+/// Numerical health: construction runs the pdn mesh validator (floating
+/// nodes, non-positive conductances, zero-tap dies) and throws a structured
+/// core::ValidationError on defects. Each solve climbs an escalation ladder
+/// -- IC-PCG -> Jacobi-PCG -> RCM banded direct -> dense Cholesky -- starting
+/// at the configured kind, and accepts a rung's answer only after verifying
+/// the true residual. The result is that every solve is either
+/// verified-correct or a structured, recoverable error (SolveOutcome /
+/// core::NumericalError); never silent garbage.
 
+#include <array>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "core/status.hpp"
 #include "linalg/banded.hpp"
 #include "linalg/cg.hpp"
 #include "linalg/csr.hpp"
@@ -29,12 +41,65 @@ enum class SolverKind {
   kDense,         ///< dense Cholesky -- exact reference ("signoff") path
 };
 
+inline constexpr std::size_t kSolverKindCount = 4;
+
+[[nodiscard]] const char* to_string(SolverKind kind);
+
+struct IrSolverOptions {
+  double cg_rel_tolerance = 1e-10;
+  std::size_t cg_max_iterations = 20000;
+  /// A rung's answer is accepted only if ||b - Gx|| / ||b|| is finite and at
+  /// most this; otherwise the rung counts as failed and the ladder escalates.
+  double verify_rel_tol = 1e-7;
+  /// Climb to sturdier rungs on failure. Off = fail fast on the configured
+  /// kind only (used by tests that probe a single rung).
+  bool escalate = true;
+  /// Run the mesh validator at construction (throws core::ValidationError on
+  /// defects). Off only for callers that already validated.
+  bool validate = true;
+  /// Escalating *into* the dense rung is capped at this dimension (the O(n^2)
+  /// memory and O(n^3) factor are hopeless on full stacks). An explicitly
+  /// requested kDense start rung is always honored.
+  std::size_t dense_escalation_limit = 4096;
+};
+
+/// Per-rung retry counters, accumulated across all solves of this solver.
+/// Surfaced through IrAnalyzer / Monte Carlo so sweeps can report how often
+/// the ladder saved a design point.
+struct SolveTelemetry {
+  std::size_t solves = 0;       ///< successful solves
+  std::size_t failures = 0;     ///< solves that exhausted the ladder
+  std::size_t escalations = 0;  ///< rung failures that moved down the ladder
+  std::array<std::size_t, kSolverKindCount> rung_attempts{};
+  std::array<std::size_t, kSolverKindCount> rung_failures{};
+};
+
+/// Structured result of one solve attempt.
+struct SolveOutcome {
+  core::Status status;     ///< ok, or kInputError / kNumericalFailure
+  std::vector<double> x;   ///< node voltages; empty when !status.is_ok()
+  SolverKind kind_used = SolverKind::kPcgIc;  ///< rung that produced x
+  std::size_t iterations = 0;                 ///< CG iterations (0 for direct)
+  double rel_residual = 0.0;                  ///< verified ||b - Gx|| / ||b||
+  std::size_t escalations = 0;                ///< rungs that failed first
+
+  [[nodiscard]] bool ok() const { return status.is_ok(); }
+};
+
 class IrSolver {
  public:
-  explicit IrSolver(const pdn::StackModel& model, SolverKind kind = SolverKind::kPcgIc);
+  /// @throws core::ValidationError (a std::invalid_argument) when the mesh
+  /// fails pre-solve validation.
+  explicit IrSolver(const pdn::StackModel& model, SolverKind kind = SolverKind::kPcgIc,
+                    IrSolverOptions options = {});
 
   /// Node voltages for the given per-node sink currents (amps, >= 0 draws
-  /// current). @p sinks must have model.node_count() entries.
+  /// current). @p sinks must have model.node_count() entries. Never throws
+  /// for data-dependent reasons: failures come back in SolveOutcome::status.
+  [[nodiscard]] SolveOutcome try_solve(std::span<const double> sinks) const;
+
+  /// Throwing wrapper around try_solve: returns the voltages or throws
+  /// core::NumericalError with the structured status.
   [[nodiscard]] std::vector<double> solve(std::span<const double> sinks) const;
 
   /// IR drop per node (VDD - v), volts.
@@ -44,17 +109,37 @@ class IrSolver {
   [[nodiscard]] double vdd() const { return vdd_; }
   [[nodiscard]] const linalg::Csr& conductance_matrix() const { return g_; }
 
-  /// Iterations used by the last CG solve (0 for the dense path).
+  /// Iterations used by the last solve (0 for direct rungs).
   [[nodiscard]] std::size_t last_iterations() const { return last_iterations_; }
+  /// Rung that produced the last successful solve.
+  [[nodiscard]] SolverKind last_kind_used() const { return last_kind_used_; }
+
+  /// Cumulative per-rung retry counters for this solver instance.
+  [[nodiscard]] const SolveTelemetry& telemetry() const { return telemetry_; }
 
  private:
+  struct RungResult {
+    bool produced = false;   ///< rung ran and returned an x to verify
+    std::vector<double> x;
+    std::size_t iterations = 0;
+    std::string detail;      ///< failure context when rejected
+  };
+
+  [[nodiscard]] RungResult run_rung(SolverKind kind, std::span<const double> rhs) const;
+  [[nodiscard]] const linalg::BandedCholesky* banded(std::string* error) const;
+
   SolverKind kind_;
+  IrSolverOptions options_;
   double vdd_;
   linalg::Csr g_;
   std::vector<double> supply_rhs_;  ///< sum of g*VDD per node
-  std::unique_ptr<linalg::IncompleteCholesky> ic_;
-  std::unique_ptr<linalg::BandedCholesky> banded_;
+  mutable std::unique_ptr<linalg::IncompleteCholesky> ic_;
+  mutable std::unique_ptr<linalg::BandedCholesky> banded_;
+  mutable std::string banded_error_;   ///< sticky factorization failure
+  mutable bool banded_tried_ = false;
   mutable std::size_t last_iterations_ = 0;
+  mutable SolverKind last_kind_used_ = SolverKind::kPcgIc;
+  mutable SolveTelemetry telemetry_;
 };
 
 }  // namespace pdn3d::irdrop

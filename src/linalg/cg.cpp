@@ -8,6 +8,18 @@
 
 namespace pdn3d::linalg {
 
+const char* to_string(CgFailure failure) {
+  switch (failure) {
+    case CgFailure::kNone: return "none";
+    case CgFailure::kMaxIterations: return "max-iterations";
+    case CgFailure::kDivergedNonFinite: return "diverged-non-finite";
+    case CgFailure::kStagnated: return "stagnated";
+    case CgFailure::kIndefinite: return "indefinite";
+    case CgFailure::kBadPreconditioner: return "bad-preconditioner";
+  }
+  return "?";
+}
+
 CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& options) {
   const std::size_t n = a.dimension();
   if (b.size() != n) throw std::invalid_argument("solve_cg: rhs size mismatch");
@@ -20,6 +32,14 @@ CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& opti
   }
 
   const double bnorm = norm2(b);
+  if (!std::isfinite(bnorm)) {
+    // A NaN/Inf rhs would otherwise burn max_iterations before "converging"
+    // false -- every dot product is poisoned. Diagnose and bail immediately.
+    result.failure = CgFailure::kDivergedNonFinite;
+    result.detail = "right-hand side contains NaN/Inf entries";
+    result.residual_norm = bnorm;
+    return result;
+  }
   if (bnorm == 0.0) {
     result.converged = true;
     return result;
@@ -32,17 +52,40 @@ CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& opti
   std::vector<double> ap(n, 0.0);
 
   std::vector<double> inv_diag;
-  std::unique_ptr<IncompleteCholesky> ic;
+  std::unique_ptr<IncompleteCholesky> owned_ic;
+  const IncompleteCholesky* ic = nullptr;
   switch (options.preconditioner) {
     case Preconditioner::kNone:
       break;
     case Preconditioner::kJacobi: {
       inv_diag = a.diagonal();
-      for (double& d : inv_diag) d = (d > 0.0) ? 1.0 / d : 1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        // A non-positive (or non-finite) diagonal entry on a system that is
+        // supposed to be SPD is a mesh defect (floating node, negative
+        // conductance). Report it -- substituting 1.0 here would mask the
+        // defect and let CG return plausible-looking garbage.
+        if (!(inv_diag[i] > 0.0) || !std::isfinite(inv_diag[i])) {
+          result.failure = CgFailure::kBadPreconditioner;
+          result.detail = "Jacobi preconditioner: non-positive diagonal at row " +
+                          std::to_string(i) + " (value " + std::to_string(inv_diag[i]) +
+                          "); the system is not SPD";
+          result.residual_norm = bnorm;
+          return result;
+        }
+        inv_diag[i] = 1.0 / inv_diag[i];
+      }
       break;
     }
     case Preconditioner::kIncompleteCholesky:
-      ic = std::make_unique<IncompleteCholesky>(a);
+      if (options.cached_ic != nullptr) {
+        if (options.cached_ic->dimension() != n) {
+          throw std::invalid_argument("solve_cg: cached IC dimension mismatch");
+        }
+        ic = options.cached_ic;
+      } else {
+        owned_ic = std::make_unique<IncompleteCholesky>(a);
+        ic = owned_ic.get();
+      }
       break;
   }
 
@@ -64,19 +107,57 @@ CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& opti
   p = z;
   double rz = dot(r, z);
 
+  // Stagnation watchdog state: best residual seen before/within the current
+  // window. CG's residual norm is not monotone, so we compare window bests
+  // rather than point values.
+  double best_before_window = bnorm;
+  double best_in_window = bnorm;
+  std::size_t window_start = 0;
+
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     a.multiply(p, ap);
     const double pap = dot(p, ap);
-    if (pap <= 0.0) break;  // matrix not SPD on this subspace; bail out
+    if (!std::isfinite(pap)) {
+      result.failure = CgFailure::kDivergedNonFinite;
+      result.detail = "curvature p'Ap became non-finite at iteration " + std::to_string(it);
+      break;
+    }
+    if (pap <= 0.0) {
+      // The matrix is not SPD on this subspace -- CG's update is undefined.
+      result.failure = CgFailure::kIndefinite;
+      result.detail = "non-positive curvature p'Ap = " + std::to_string(pap) +
+                      " at iteration " + std::to_string(it);
+      break;
+    }
     const double alpha = rz / pap;
     axpy(alpha, p, result.x);
     axpy(-alpha, ap, r);
     result.iterations = it + 1;
 
     const double rnorm = norm2(r);
+    if (!std::isfinite(rnorm)) {
+      result.failure = CgFailure::kDivergedNonFinite;
+      result.detail = "residual norm became non-finite at iteration " + std::to_string(it);
+      break;
+    }
     if (rnorm <= target) {
       result.converged = true;
       break;
+    }
+
+    if (options.stagnation_window > 0) {
+      best_in_window = std::min(best_in_window, rnorm);
+      if (it + 1 - window_start >= options.stagnation_window) {
+        if (best_in_window > best_before_window * (1.0 - options.stagnation_improvement)) {
+          result.failure = CgFailure::kStagnated;
+          result.detail = "residual stalled at " + std::to_string(best_in_window) +
+                          " (target " + std::to_string(target) + ") over " +
+                          std::to_string(options.stagnation_window) + " iterations";
+          break;
+        }
+        best_before_window = best_in_window;
+        window_start = it + 1;
+      }
     }
 
     apply_precond(r, z);
@@ -90,7 +171,18 @@ CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& opti
   a.multiply(result.x, ap);
   for (std::size_t i = 0; i < n; ++i) ap[i] = b[i] - ap[i];
   result.residual_norm = norm2(ap);
-  if (result.residual_norm <= target * 10.0) result.converged = true;
+  if (std::isfinite(result.residual_norm) && result.residual_norm <= target * 10.0) {
+    result.converged = true;
+  }
+  if (result.converged) {
+    result.failure = CgFailure::kNone;
+    result.detail.clear();
+  } else if (result.failure == CgFailure::kNone) {
+    result.failure = CgFailure::kMaxIterations;
+    result.detail = "residual " + std::to_string(result.residual_norm) + " above target " +
+                    std::to_string(target) + " after " + std::to_string(result.iterations) +
+                    " iterations";
+  }
   return result;
 }
 

@@ -3,15 +3,25 @@
 /// @file cg.hpp
 /// @brief Preconditioned conjugate gradient for the SPD nodal systems the
 /// R-Mesh engine produces (this is our HSPICE substitute).
+///
+/// solve_cg never throws for data-dependent reasons: every failure mode --
+/// non-finite right-hand side, divergence to NaN/Inf, stagnation, an
+/// indefinite matrix, a defective preconditioner -- is reported through
+/// CgResult::failure with a human-readable detail string, so the solver
+/// escalation ladder (irdrop::IrSolver) can retry on a sturdier rung instead
+/// of the sweep dying or silently consuming garbage.
 
 #include <cstddef>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "linalg/csr.hpp"
 
 namespace pdn3d::linalg {
+
+class IncompleteCholesky;
 
 /// Identity / Jacobi / incomplete-Cholesky preconditioner choice.
 enum class Preconditioner { kNone, kJacobi, kIncompleteCholesky };
@@ -20,16 +30,40 @@ struct CgOptions {
   double rel_tolerance = 1e-10;  ///< stop when ||r|| <= rel_tolerance * ||b||
   std::size_t max_iterations = 20000;
   Preconditioner preconditioner = Preconditioner::kIncompleteCholesky;
+  /// Reuse an already-built IC(0) factor (non-owning; must outlive the call).
+  /// Only consulted when preconditioner == kIncompleteCholesky; when null a
+  /// fresh factorization is computed.
+  const IncompleteCholesky* cached_ic = nullptr;
+  /// Stagnation watchdog: fail if the best residual norm improves by less
+  /// than stagnation_improvement over a window of stagnation_window
+  /// iterations. 0 disables the check.
+  std::size_t stagnation_window = 500;
+  double stagnation_improvement = 1e-3;  ///< required fractional improvement
 };
+
+/// Why a CG solve did not produce a verified answer.
+enum class CgFailure {
+  kNone,               ///< converged
+  kMaxIterations,      ///< hit max_iterations with residual above target
+  kDivergedNonFinite,  ///< residual (or rhs) went NaN/Inf -- bail immediately
+  kStagnated,          ///< residual stopped improving (watchdog window)
+  kIndefinite,         ///< p'Ap <= 0: matrix not SPD on the Krylov subspace
+  kBadPreconditioner,  ///< preconditioner unusable (e.g. non-positive diagonal)
+};
+
+[[nodiscard]] const char* to_string(CgFailure failure);
 
 struct CgResult {
   std::vector<double> x;
   std::size_t iterations = 0;
   double residual_norm = 0.0;  ///< final ||b - Ax||
   bool converged = false;
+  CgFailure failure = CgFailure::kNone;  ///< kNone iff converged (or trivial)
+  std::string detail;                    ///< human-readable failure context
 };
 
-/// Solve A x = b for SPD A. Throws std::invalid_argument on size mismatch.
+/// Solve A x = b for SPD A. Throws std::invalid_argument only on caller bugs
+/// (size mismatch); data-dependent failures come back in CgResult.
 CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& options = {});
 
 }  // namespace pdn3d::linalg

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <set>
 #include <stdexcept>
 
+#include "core/status.hpp"
 #include "cost/cost_model.hpp"
 #include "util/log.hpp"
 
@@ -12,6 +14,21 @@ namespace pdn3d::opt {
 CoOptimizer::CoOptimizer(DesignSpace space, IrEvaluator evaluate)
     : space_(std::move(space)), evaluate_(std::move(evaluate)) {
   if (!evaluate_) throw std::invalid_argument("CoOptimizer: evaluator required");
+}
+
+bool CoOptimizer::sample_point(const pdn::PdnConfig& config, double* ir_mv) {
+  ++total_samples_;
+  try {
+    *ir_mv = evaluate_(config);
+    return true;
+  } catch (const core::NumericalError& e) {
+    skipped_.push_back({config, e.status().to_string()});
+  } catch (const core::ValidationError& e) {
+    skipped_.push_back({config, e.report().to_status().to_string()});
+  }
+  util::log_warn("co-optimizer: skipping unsolvable point ", config.summary(), " -- ",
+                 skipped_.back().reason);
+  return false;
 }
 
 const std::vector<FittedChoice>& CoOptimizer::fit_models() {
@@ -31,23 +48,18 @@ const std::vector<FittedChoice>& CoOptimizer::fit_models() {
       for (const double m3 : m3s) {
         for (const int tc : tcs) {
           const auto cfg = make_config(space_, choice, m2, m3, tc);
+          double ir_mv = 0.0;
+          if (!sample_point(cfg, &ir_mv)) continue;
           fit::Sample s;
           s.vars = {m2, m3, static_cast<double>(cfg.tsv_count)};
-          s.ir_mv = evaluate_(cfg);
+          s.ir_mv = ir_mv;
           samples.push_back(s);
-          ++total_samples_;
         }
       }
     }
-    FittedChoice fc;
-    fc.choice = choice;
-    fc.sample_count = samples.size();
-    if (samples.size() >= fit::ir_feature_count()) {
-      fc.model = fit::IrModel::fit(samples);
-    } else {
-      // TC-fixed spaces can produce fewer samples than features; fall back
-      // to a reduced grid by densifying the usage axes.
-      std::vector<fit::Sample> dense = samples;
+    if (samples.size() < fit::ir_feature_count()) {
+      // TC-fixed spaces can produce fewer samples than features (and skipped
+      // unsolvable points shrink the set further); densify the usage axes.
       const double m2_mid = (space_.m2_min + space_.m2_max) * 0.5;
       const double m3_lo = space_.m3_min + 0.25 * (space_.m3_max - space_.m3_min);
       const double m3_hi = space_.m3_min + 0.75 * (space_.m3_max - space_.m3_min);
@@ -55,22 +67,38 @@ const std::vector<FittedChoice>& CoOptimizer::fit_models() {
         for (const double m3 : {m3_lo, m3_hi}) {
           for (const int tc : tcs) {
             const auto cfg = make_config(space_, choice, m2, m3, tc);
+            double ir_mv = 0.0;
+            if (!sample_point(cfg, &ir_mv)) continue;
             fit::Sample s;
             s.vars = {m2, m3, static_cast<double>(cfg.tsv_count)};
-            s.ir_mv = evaluate_(cfg);
-            dense.push_back(s);
-            ++total_samples_;
+            s.ir_mv = ir_mv;
+            samples.push_back(s);
           }
         }
       }
-      fc.sample_count = dense.size();
-      fc.model = fit::IrModel::fit(dense);
     }
+    if (samples.size() < fit::ir_feature_count()) {
+      // Not enough solvable samples to constrain the regression: skip the
+      // whole discrete choice rather than fit an underdetermined model.
+      util::log_warn("co-optimizer: dropping choice TL=", to_string(choice.tsv_location),
+                     " BD=", to_string(choice.bonding),
+                     " -- only ", samples.size(), " solvable sample(s)");
+      continue;
+    }
+    FittedChoice fc;
+    fc.choice = choice;
+    fc.sample_count = samples.size();
+    fc.model = fit::IrModel::fit(samples);
     util::log_info("fitted choice TL=", to_string(choice.tsv_location),
                    " TD=", choice.dedicated ? "Y" : "N", " BD=", to_string(choice.bonding),
                    " RL=", to_string(choice.rdl), " WB=", choice.wire_bonding ? "Y" : "N",
                    " rmse=", fc.model.rmse(), " r2=", fc.model.r_squared());
     fits_.push_back(std::move(fc));
+  }
+  if (fits_.empty()) {
+    throw core::NumericalError(core::Status::numerical_failure(
+        "co-optimizer: no discrete choice had enough solvable sample points (" +
+        std::to_string(skipped_.size()) + " skipped)"));
   }
   fitted_ = true;
   return fits_;
@@ -80,44 +108,54 @@ Optimum CoOptimizer::optimize(double alpha) {
   if (alpha < 0.0 || alpha > 1.0) throw std::invalid_argument("CoOptimizer: alpha outside [0,1]");
   fit_models();
 
-  Optimum best;
-  best.objective = std::numeric_limits<double>::max();
+  // Winners whose R-Mesh re-measurement failed; excluded from later rounds so
+  // the sweep returns the best point among the remaining candidates.
+  std::set<std::string> banned;
+  constexpr int kMaxRemeasureRetries = 8;
 
-  // Fine grid over the continuous box, evaluated on the cheap fitted models.
-  constexpr int kM2Steps = 11;
-  constexpr int kM3Steps = 31;
-  for (const auto& fc : fits_) {
-    const int tc_lo = space_.effective_tc_min();
-    const int tc_hi = space_.effective_tc_max();
-    const int tc_step = std::max(1, (tc_hi - tc_lo) / 156);
-    for (int i = 0; i < kM2Steps; ++i) {
-      const double m2 =
-          space_.m2_min + (space_.m2_max - space_.m2_min) * i / double(kM2Steps - 1);
-      for (int j = 0; j < kM3Steps; ++j) {
-        const double m3 =
-            space_.m3_min + (space_.m3_max - space_.m3_min) * j / double(kM3Steps - 1);
-        for (int tc = tc_lo; tc <= tc_hi; tc += tc_step) {
-          const double ir = fc.model.predict({m2, m3, static_cast<double>(tc)});
-          if (ir <= 0.0) continue;  // extrapolation artifact; physical IR > 0
-          const auto cfg = make_config(space_, fc.choice, m2, m3, tc);
-          const double c = cost::total_cost(cfg);
-          const double obj = cost::ir_cost(ir, c, alpha);
-          if (obj < best.objective) {
-            best.objective = obj;
-            best.config = cfg;
-            best.predicted_ir_mv = ir;
-            best.cost = c;
+  for (int round = 0; round <= kMaxRemeasureRetries; ++round) {
+    Optimum best;
+    best.objective = std::numeric_limits<double>::max();
+
+    // Fine grid over the continuous box, evaluated on the cheap fitted models.
+    constexpr int kM2Steps = 11;
+    constexpr int kM3Steps = 31;
+    for (const auto& fc : fits_) {
+      const int tc_lo = space_.effective_tc_min();
+      const int tc_hi = space_.effective_tc_max();
+      const int tc_step = std::max(1, (tc_hi - tc_lo) / 156);
+      for (int i = 0; i < kM2Steps; ++i) {
+        const double m2 =
+            space_.m2_min + (space_.m2_max - space_.m2_min) * i / double(kM2Steps - 1);
+        for (int j = 0; j < kM3Steps; ++j) {
+          const double m3 =
+              space_.m3_min + (space_.m3_max - space_.m3_min) * j / double(kM3Steps - 1);
+          for (int tc = tc_lo; tc <= tc_hi; tc += tc_step) {
+            const double ir = fc.model.predict({m2, m3, static_cast<double>(tc)});
+            if (ir <= 0.0) continue;  // extrapolation artifact; physical IR > 0
+            const auto cfg = make_config(space_, fc.choice, m2, m3, tc);
+            if (!banned.empty() && banned.count(cfg.summary()) > 0) continue;
+            const double c = cost::total_cost(cfg);
+            const double obj = cost::ir_cost(ir, c, alpha);
+            if (obj < best.objective) {
+              best.objective = obj;
+              best.config = cfg;
+              best.predicted_ir_mv = ir;
+              best.cost = c;
+            }
           }
         }
       }
     }
-  }
 
-  if (best.objective == std::numeric_limits<double>::max()) {
-    throw std::runtime_error("CoOptimizer: empty design space");
+    if (best.objective == std::numeric_limits<double>::max()) {
+      throw std::runtime_error("CoOptimizer: empty design space");
+    }
+    if (sample_point(best.config, &best.measured_ir_mv)) return best;
+    banned.insert(best.config.summary());
   }
-  best.measured_ir_mv = evaluate_(best.config);
-  return best;
+  throw core::NumericalError(core::Status::numerical_failure(
+      "co-optimizer: every candidate optimum failed R-Mesh re-measurement"));
 }
 
 double CoOptimizer::worst_rmse() const {

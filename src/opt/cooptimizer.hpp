@@ -12,6 +12,7 @@
 /// both the model's and the R-Mesh's IR drop for the optimum).
 
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "fit/regression.hpp"
@@ -21,8 +22,16 @@
 namespace pdn3d::opt {
 
 /// Callback that measures the true IR drop (mV) of a configuration with the
-/// R-Mesh engine.
+/// R-Mesh engine. May throw core::NumericalError or core::ValidationError to
+/// signal an unsolvable/degenerate design point; the optimizer records the
+/// point (see skipped_points()) and continues instead of aborting the sweep.
 using IrEvaluator = std::function<double(const pdn::PdnConfig&)>;
+
+/// A design point the sweep could not evaluate, with its structured reason.
+struct SkippedPoint {
+  pdn::PdnConfig config;
+  std::string reason;
+};
 
 struct FittedChoice {
   DiscreteChoice choice;
@@ -60,10 +69,20 @@ class CoOptimizer {
   [[nodiscard]] std::size_t total_samples() const { return total_samples_; }
   [[nodiscard]] const DesignSpace& space() const { return space_; }
 
+  /// Design points the R-Mesh could not solve during sampling or winner
+  /// re-measurement, with their failure reasons. The sweep completes and
+  /// optimizes over the remaining candidates.
+  [[nodiscard]] const std::vector<SkippedPoint>& skipped_points() const { return skipped_; }
+
  private:
+  /// Evaluate one sample; records a SkippedPoint and returns false on a
+  /// structured solver failure.
+  bool sample_point(const pdn::PdnConfig& config, double* ir_mv);
+
   DesignSpace space_;
   IrEvaluator evaluate_;
   std::vector<FittedChoice> fits_;
+  std::vector<SkippedPoint> skipped_;
   std::size_t total_samples_ = 0;
   bool fitted_ = false;
 };

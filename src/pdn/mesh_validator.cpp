@@ -1,0 +1,188 @@
+#include "pdn/mesh_validator.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <vector>
+
+namespace pdn3d::pdn {
+
+namespace {
+
+/// Union-find over node ids (path halving + union by size).
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+std::string fmt_value(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+/// "nodes 5, 9, 12 (+17 more)" -- keep reports short on large meshes.
+std::string fmt_node_list(const std::vector<std::size_t>& nodes, std::size_t limit = 3) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < nodes.size() && i < limit; ++i) {
+    if (i > 0) os << ", ";
+    os << nodes[i];
+  }
+  if (nodes.size() > limit) os << " (+" << nodes.size() - limit << " more)";
+  return os.str();
+}
+
+}  // namespace
+
+core::ValidationReport validate_stack_model(const StackModel& model) {
+  core::ValidationReport report;
+  const std::size_t n = model.node_count();
+  if (n == 0) {
+    report.add_error("empty-model", "stack model has no nodes");
+    return report;
+  }
+
+  // Element-value checks. The add_* methods reject these at insertion time,
+  // but meshes can also arrive perturbed (fault injection, future file
+  // loaders), so validation re-checks everything it depends on.
+  for (std::size_t i = 0; i < model.resistors().size(); ++i) {
+    const Resistor& r = model.resistors()[i];
+    if (r.a >= n || r.b >= n) {
+      report.add_error("resistor-node-range",
+                       "resistor " + std::to_string(i) + " references node out of range");
+      continue;
+    }
+    if (!std::isfinite(r.ohms)) {
+      report.add_error("non-finite-conductance",
+                       "resistor " + std::to_string(i) + " has non-finite resistance " +
+                           fmt_value(r.ohms), r.a);
+    } else if (r.ohms <= 0.0) {
+      report.add_error("non-positive-conductance",
+                       "resistor " + std::to_string(i) + " has non-positive resistance " +
+                           fmt_value(r.ohms) + " ohm", r.a);
+    }
+  }
+
+  if (model.taps().empty()) {
+    report.add_error("no-supply-taps", "no supply taps -- the nodal system is singular");
+  }
+  for (std::size_t i = 0; i < model.taps().size(); ++i) {
+    const SupplyTap& t = model.taps()[i];
+    if (t.node >= n) {
+      report.add_error("tap-node-range",
+                       "tap " + std::to_string(i) + " references node out of range");
+      continue;
+    }
+    if (!std::isfinite(t.ohms)) {
+      report.add_error("non-finite-tap", "tap " + std::to_string(i) +
+                           " has non-finite resistance " + fmt_value(t.ohms), t.node);
+    } else if (t.ohms <= 0.0) {
+      report.add_error("non-positive-tap", "tap " + std::to_string(i) +
+                           " has non-positive resistance " + fmt_value(t.ohms) + " ohm",
+                       t.node);
+    }
+  }
+
+  if (!std::isfinite(model.vdd()) || model.vdd() <= 0.0) {
+    report.add_error("non-positive-vdd", "VDD is " + fmt_value(model.vdd()));
+  }
+
+  // Connectivity: every node must have a resistive path to some supply tap,
+  // or its row of the conductance matrix is decoupled from the boundary
+  // condition and the system is singular. Resistors connect topologically
+  // regardless of their (possibly defective) value -- a bad value is already
+  // reported above; here we only ask "is there a path at all".
+  DisjointSets components(n);
+  for (const Resistor& r : model.resistors()) {
+    if (r.a < n && r.b < n) components.unite(r.a, r.b);
+  }
+  std::vector<char> tapped(n, 0);
+  for (const SupplyTap& t : model.taps()) {
+    if (t.node < n) tapped[components.find(t.node)] = 1;
+  }
+  std::vector<std::size_t> floating;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!tapped[components.find(i)]) floating.push_back(i);
+  }
+  if (!floating.empty() && !model.taps().empty()) {
+    report.add_error("floating-node",
+                     std::to_string(floating.size()) + " node(s) have no path to any supply "
+                         "tap: nodes " + fmt_node_list(floating),
+                     floating.front());
+  }
+
+  // Per-die check: a die whose device grid is entirely floating (zero-tap
+  // die) deserves a dedicated, design-level message on top of the node ids.
+  for (const LayerGrid& g : model.grids()) {
+    if (g.layer != 0 || g.size() == 0) continue;
+    bool any_supplied = model.taps().empty() ? false : true;
+    if (!floating.empty()) {
+      any_supplied = false;
+      for (std::size_t k = 0; k < g.size() && !any_supplied; ++k) {
+        if (tapped[components.find(g.base + k)]) any_supplied = true;
+      }
+    }
+    if (!any_supplied && !model.taps().empty()) {
+      report.add_error("floating-die",
+                       "device grid of die " + std::to_string(g.die) +
+                           " has no path to the supply (zero-tap die)");
+    }
+  }
+
+  return report;
+}
+
+core::ValidationReport validate_injection(const StackModel& model,
+                                          std::span<const double> sinks) {
+  core::ValidationReport report;
+  if (sinks.size() != model.node_count()) {
+    report.add_error("injection-size",
+                     "sink vector has " + std::to_string(sinks.size()) + " entries, model has " +
+                         std::to_string(model.node_count()) + " nodes");
+    return report;
+  }
+  std::vector<std::size_t> non_finite;
+  std::vector<std::size_t> negative;
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    if (!std::isfinite(sinks[i])) non_finite.push_back(i);
+    else if (sinks[i] < 0.0) negative.push_back(i);
+  }
+  if (!non_finite.empty()) {
+    report.add_error("non-finite-injection",
+                     std::to_string(non_finite.size()) + " sink current(s) are NaN/Inf: nodes " +
+                         fmt_node_list(non_finite),
+                     non_finite.front());
+  }
+  if (!negative.empty()) {
+    report.add_warning("negative-injection",
+                       std::to_string(negative.size()) + " sink current(s) are negative "
+                           "(current injected into the rail): nodes " + fmt_node_list(negative),
+                       negative.front());
+  }
+  return report;
+}
+
+}  // namespace pdn3d::pdn

@@ -1,0 +1,43 @@
+#pragma once
+
+/// @file mesh_validator.hpp
+/// @brief Pre-solve validation of a StackModel R-Mesh.
+///
+/// Degenerate grid configurations -- floating nodes, non-positive or
+/// non-finite conductances, dies with no path to the supply -- make the nodal
+/// system singular or indefinite. CG then either diverges or, worse,
+/// "converges" to plausible-looking garbage. This pass catches every such
+/// defect before the matrix is ever assembled, accumulating all findings into
+/// one core::ValidationReport (never throw-on-first), so a sweep can skip the
+/// design point with a complete diagnosis.
+
+#include <span>
+
+#include "core/status.hpp"
+#include "pdn/stack_model.hpp"
+
+namespace pdn3d::pdn {
+
+/// Validate mesh topology and element values. Checks (slugs in brackets):
+///  - [empty-model]                no nodes at all
+///  - [no-supply-taps]             singular system: nothing ties the mesh to VDD
+///  - [non-positive-conductance]   resistor with ohms <= 0
+///  - [non-finite-conductance]     resistor with NaN/Inf ohms
+///  - [non-positive-tap]           supply tap with ohms <= 0
+///  - [non-finite-tap]             supply tap with NaN/Inf ohms
+///  - [resistor-node-range]        resistor endpoint >= node_count
+///  - [tap-node-range]             tap node >= node_count
+///  - [floating-node]              node with no resistive path to any tap
+///  - [floating-die]               a die's device grid is entirely floating
+///  - [non-positive-vdd]           VDD <= 0 or non-finite (warning if merely odd)
+[[nodiscard]] core::ValidationReport validate_stack_model(const StackModel& model);
+
+/// Validate a per-node sink-current vector against @p model:
+///  - [injection-size]        size != node_count
+///  - [non-finite-injection]  NaN/Inf entry
+///  - [negative-injection]    negative sink (warning: superposition allows it,
+///                            but power maps should not produce it)
+[[nodiscard]] core::ValidationReport validate_injection(const StackModel& model,
+                                                        std::span<const double> sinks);
+
+}  // namespace pdn3d::pdn

@@ -22,6 +22,16 @@ void StackModel::add_tap(std::size_t node, double ohms) {
   taps_.push_back({node, ohms});
 }
 
+void StackModel::perturb_resistor(std::size_t index, double ohms) {
+  if (index >= resistors_.size()) throw std::out_of_range("StackModel::perturb_resistor");
+  resistors_[index].ohms = ohms;
+}
+
+void StackModel::perturb_tap(std::size_t index, double ohms) {
+  if (index >= taps_.size()) throw std::out_of_range("StackModel::perturb_tap");
+  taps_[index].ohms = ohms;
+}
+
 bool StackModel::has_grid(int die, int layer) const {
   for (const auto& g : grids_) {
     if (g.die == die && g.layer == layer) return true;

@@ -58,6 +58,14 @@ class StackModel {
   [[nodiscard]] std::span<const SupplyTap> taps() const { return taps_; }
   [[nodiscard]] const std::vector<LayerGrid>& grids() const { return grids_; }
 
+  /// Overwrite element values *without* the add-time checks. These exist for
+  /// the fault-injection test suite (and defect studies): they let a test
+  /// plant a negative via resistance or NaN tap that add_resistor/add_tap
+  /// reject, so the downstream validation/solver path can prove it catches
+  /// the defect. Not for production model construction.
+  void perturb_resistor(std::size_t index, double ohms);
+  void perturb_tap(std::size_t index, double ohms);
+
   [[nodiscard]] bool has_grid(int die, int layer) const;
 
   /// Grid for (die, layer); throws std::out_of_range when absent.

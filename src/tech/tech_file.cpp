@@ -133,6 +133,11 @@ Technology read_technology(std::istream& is) {
         die.pdn_layers.clear();  // a file that lists layers replaces the stack
         cleared = true;
       }
+      for (const auto& existing : die.pdn_layers) {
+        if (existing.name == lname) {
+          fail(line, "duplicate layer '" + lname + "' in [" + die.name + "]");
+        }
+      }
       die.pdn_layers.push_back(layer);
       continue;
     }
@@ -166,8 +171,11 @@ Technology read_technology(std::istream& is) {
 
   for (const DieTechnology* die : {&tech.dram, &tech.logic}) {
     if (die->pdn_layers.size() < 2) {
-      throw std::runtime_error("technology file: '" + die->name +
-                               "' needs at least two PDN layers");
+      // Typical cause: the file was truncated mid-stack, so name the line the
+      // input ended on to point at the cut.
+      throw std::runtime_error("technology file, line " + std::to_string(line) + ": '" +
+                               die->name + "' has " + std::to_string(die->pdn_layers.size()) +
+                               " PDN layer(s), needs at least two (truncated file?)");
     }
   }
   return tech;

@@ -1,0 +1,119 @@
+#include "core/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdn3d::core {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, FactoriesSetCodeAndMessage) {
+  const Status a = Status::invalid_argument("bad size");
+  EXPECT_FALSE(a.is_ok());
+  EXPECT_EQ(a.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(a.message(), "bad size");
+
+  const Status b = Status::input_error("NaN sink");
+  EXPECT_EQ(b.code(), StatusCode::kInputError);
+
+  const Status c = Status::numerical_failure("all rungs failed");
+  EXPECT_EQ(c.code(), StatusCode::kNumericalFailure);
+  // to_string carries both the code name and the message.
+  EXPECT_NE(c.to_string().find("numerical"), std::string::npos);
+  EXPECT_NE(c.to_string().find("all rungs failed"), std::string::npos);
+}
+
+TEST(ValidationReport, EmptyReportIsOk) {
+  const ValidationReport r;
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.error_count(), 0u);
+  EXPECT_EQ(r.warning_count(), 0u);
+  EXPECT_TRUE(r.to_status().is_ok());
+}
+
+TEST(ValidationReport, AccumulatesInsteadOfThrowing) {
+  ValidationReport r;
+  r.add_error("floating-node", "node 3 floats", 3);
+  r.add_error("non-positive-conductance", "resistor 0 is -1 ohm");
+  r.add_warning("negative-injection", "node 7 injects", 7);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.error_count(), 2u);
+  EXPECT_EQ(r.warning_count(), 1u);
+  ASSERT_EQ(r.issues().size(), 3u);
+  EXPECT_EQ(r.issues()[0].node, 3u);
+  EXPECT_EQ(r.issues()[1].node, ValidationIssue::kNoNode);
+  EXPECT_EQ(r.issues()[2].severity, Severity::kWarning);
+}
+
+TEST(ValidationReport, WarningsDoNotFailValidation) {
+  ValidationReport r;
+  r.add_warning("negative-injection", "odd but legal");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.to_status().is_ok());
+  EXPECT_EQ(r.warning_count(), 1u);
+}
+
+TEST(ValidationReport, HasCheckMatchesSlugs) {
+  ValidationReport r;
+  r.add_error("floating-node", "node 3 floats", 3);
+  r.add_warning("negative-injection", "node 7");
+  EXPECT_TRUE(r.has_check("floating-node"));
+  EXPECT_TRUE(r.has_check("negative-injection"));  // any severity
+  EXPECT_FALSE(r.has_check("no-supply-taps"));
+}
+
+TEST(ValidationReport, ToStatusSummarizesErrors) {
+  ValidationReport r;
+  r.add_error("floating-node", "node 3 has no path to any supply tap", 3);
+  const Status s = r.to_status();
+  EXPECT_EQ(s.code(), StatusCode::kInputError);
+  EXPECT_NE(s.message().find("floating-node"), std::string::npos);
+}
+
+TEST(ValidationReport, ToStringOneLinePerIssue) {
+  ValidationReport r;
+  r.add_error("a-check", "first");
+  r.add_warning("b-check", "second");
+  const std::string text = r.to_string();
+  EXPECT_NE(text.find("first"), std::string::npos);
+  EXPECT_NE(text.find("second"), std::string::npos);
+  EXPECT_NE(text.find("a-check"), std::string::npos);
+}
+
+TEST(ValidationReport, MergeAppendsIssues) {
+  ValidationReport a;
+  a.add_error("x", "one");
+  ValidationReport b;
+  b.add_warning("y", "two");
+  b.add_error("z", "three");
+  a.merge(b);
+  EXPECT_EQ(a.error_count(), 2u);
+  EXPECT_EQ(a.warning_count(), 1u);
+  EXPECT_TRUE(a.has_check("y"));
+}
+
+TEST(ValidationError, DerivesFromInvalidArgument) {
+  ValidationReport r;
+  r.add_error("no-supply-taps", "no taps");
+  const ValidationError e(r);
+  // Pre-existing callers catch std::invalid_argument; the structured report
+  // rides along for new callers.
+  const std::invalid_argument& base = e;
+  EXPECT_NE(std::string(base.what()).find("no-supply-taps"), std::string::npos);
+  EXPECT_TRUE(e.report().has_check("no-supply-taps"));
+}
+
+TEST(NumericalError, CarriesStatus) {
+  const NumericalError e(Status::numerical_failure("ladder exhausted"));
+  EXPECT_EQ(e.status().code(), StatusCode::kNumericalFailure);
+  EXPECT_NE(std::string(e.what()).find("ladder exhausted"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pdn3d::core

@@ -5,6 +5,26 @@
 namespace pdn3d::irdrop {
 namespace {
 
+/// 8x3 mesh with one corner tap: IC(0) is inexact here, so a starved CG
+/// (max_iterations = 1) genuinely fails and exercises the escalation ladder.
+pdn::StackModel starvable_mesh() {
+  pdn::StackModel m(1.2);
+  pdn::LayerGrid g;
+  g.nx = 8;
+  g.ny = 3;
+  g.dx = g.dy = 1.0;
+  m.add_grid(g);
+  m.set_dram_die_count(1);
+  for (int j = 0; j < 3; ++j) {
+    for (int i = 0; i + 1 < 8; ++i) m.add_resistor(g.node(i, j), g.node(i + 1, j), 0.4);
+  }
+  for (int j = 0; j + 1 < 3; ++j) {
+    for (int i = 0; i < 8; ++i) m.add_resistor(g.node(i, j), g.node(i, j + 1), 0.7);
+  }
+  m.add_tap(g.node(0, 0), 0.2);
+  return m;
+}
+
 /// Hand-built models with analytically known solutions.
 pdn::StackModel two_node_divider() {
   // VDD --1ohm-- n0 --2ohm-- n1, 1A drawn at n1.
@@ -125,6 +145,105 @@ TEST(IrSolver, ConductanceMatrixSymmetric) {
   const auto m = two_node_divider();
   IrSolver solver(m);
   EXPECT_TRUE(solver.conductance_matrix().is_symmetric());
+}
+
+TEST(IrSolver, ValidationErrorCarriesStructuredReport) {
+  pdn::StackModel m(1.0);
+  pdn::LayerGrid g;
+  g.nx = 2;
+  g.ny = 1;
+  g.dx = g.dy = 1.0;
+  m.add_grid(g);
+  m.add_resistor(0, 1, 1.0);  // no taps
+  try {
+    IrSolver solver(m);
+    FAIL() << "expected ValidationError";
+  } catch (const core::ValidationError& e) {
+    EXPECT_TRUE(e.report().has_check("no-supply-taps"));
+  }
+}
+
+TEST(IrSolver, MinimalChecksSurviveValidateOptOut) {
+  pdn::StackModel m(1.0);
+  pdn::LayerGrid g;
+  g.nx = 2;
+  g.ny = 1;
+  g.dx = g.dy = 1.0;
+  m.add_grid(g);
+  m.add_resistor(0, 1, 1.0);
+  IrSolverOptions opts;
+  opts.validate = false;
+  EXPECT_THROW(IrSolver(m, SolverKind::kPcgIc, opts), std::invalid_argument);
+}
+
+TEST(IrSolver, EscalationLadderRecoversStarvedPcg) {
+  const auto m = starvable_mesh();
+  IrSolverOptions starved;
+  starved.cg_max_iterations = 1;
+  IrSolver solver(m, SolverKind::kPcgIc, starved);
+  std::vector<double> sinks(m.node_count(), 0.01);
+  const auto outcome = solver.try_solve(sinks);
+  ASSERT_TRUE(outcome.ok()) << outcome.status.to_string();
+  // Both PCG rungs starve; a direct rung produces the verified answer.
+  EXPECT_GE(outcome.escalations, 2u);
+  EXPECT_TRUE(outcome.kind_used == SolverKind::kBandedDirect ||
+              outcome.kind_used == SolverKind::kDense);
+  EXPECT_EQ(solver.last_kind_used(), outcome.kind_used);
+
+  // And the recovered answer matches an unstarved reference solve.
+  const auto reference = IrSolver(m).solve(sinks);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_NEAR(outcome.x[i], reference[i], 1e-8);
+  }
+}
+
+TEST(IrSolver, EscalationCanBeDisabled) {
+  const auto m = starvable_mesh();
+  IrSolverOptions opts;
+  opts.cg_max_iterations = 1;
+  opts.escalate = false;
+  IrSolver solver(m, SolverKind::kPcgIc, opts);
+  const auto outcome = solver.try_solve(std::vector<double>(m.node_count(), 0.01));
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status.code(), core::StatusCode::kNumericalFailure);
+  // Only the configured rung was tried.
+  const auto& t = solver.telemetry();
+  EXPECT_EQ(t.rung_attempts[static_cast<std::size_t>(SolverKind::kPcgIc)], 1u);
+  EXPECT_EQ(t.rung_attempts[static_cast<std::size_t>(SolverKind::kPcgJacobi)], 0u);
+  EXPECT_EQ(t.failures, 1u);
+}
+
+TEST(IrSolver, TelemetryAccumulatesAcrossSolves) {
+  const auto m = two_node_divider();
+  IrSolver solver(m);
+  (void)solver.solve(std::vector<double>{0.0, 1.0});
+  (void)solver.solve(std::vector<double>{0.5, 0.0});
+  const auto& t = solver.telemetry();
+  EXPECT_EQ(t.solves, 2u);
+  EXPECT_EQ(t.failures, 0u);
+  EXPECT_EQ(t.escalations, 0u);
+  EXPECT_EQ(t.rung_attempts[static_cast<std::size_t>(SolverKind::kPcgIc)], 2u);
+}
+
+TEST(IrSolver, ExplicitDenseStartIgnoresEscalationLimit) {
+  // The dense cap only guards *escalation into* the dense rung; a caller who
+  // asked for the signoff path gets it regardless of dimension.
+  const auto m = two_node_divider();
+  IrSolverOptions opts;
+  opts.dense_escalation_limit = 1;  // smaller than the model
+  IrSolver solver(m, SolverKind::kDense, opts);
+  const auto outcome = solver.try_solve(std::vector<double>{0.0, 1.0});
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.kind_used, SolverKind::kDense);
+  EXPECT_EQ(outcome.iterations, 0u);  // direct rungs report no iterations
+}
+
+TEST(IrSolver, SolverKindNamesStable) {
+  // The rung names appear in failure trails and CLI output; keep them fixed.
+  EXPECT_STREQ(to_string(SolverKind::kPcgIc), "ic-pcg");
+  EXPECT_STREQ(to_string(SolverKind::kPcgJacobi), "jacobi-pcg");
+  EXPECT_STREQ(to_string(SolverKind::kBandedDirect), "banded-direct");
+  EXPECT_STREQ(to_string(SolverKind::kDense), "dense-cholesky");
 }
 
 }  // namespace

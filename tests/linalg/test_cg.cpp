@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "linalg/coo.hpp"
 #include "linalg/dense.hpp"
+#include "linalg/ichol.hpp"
 #include "util/rng.hpp"
 
 namespace pdn3d::linalg {
@@ -98,6 +101,120 @@ TEST(Cg, IcPreconditionerConvergesFasterThanNone) {
   ASSERT_TRUE(r_none.converged);
   ASSERT_TRUE(r_ic.converged);
   EXPECT_LT(r_ic.iterations, r_none.iterations);
+}
+
+TEST(Cg, NanRhsBailsImmediately) {
+  // A poisoned rhs must be diagnosed up front, not burn max_iterations on
+  // NaN arithmetic.
+  const Csr a = make_chain(10, 1.0, 1.0);
+  std::vector<double> b(10, 1.0);
+  b[3] = std::numeric_limits<double>::quiet_NaN();
+  const CgResult r = solve_cg(a, b);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.failure, CgFailure::kDivergedNonFinite);
+  EXPECT_EQ(r.iterations, 0u);
+  EXPECT_NE(r.detail.find("NaN"), std::string::npos);
+}
+
+TEST(Cg, InfRhsBailsImmediately) {
+  const Csr a = make_chain(10, 1.0, 1.0);
+  std::vector<double> b(10, 1.0);
+  b[0] = std::numeric_limits<double>::infinity();
+  const CgResult r = solve_cg(a, b);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.failure, CgFailure::kDivergedNonFinite);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(Cg, JacobiReportsNonPositiveDiagonal) {
+  // Push row 0's diagonal negative: the old behavior silently substituted
+  // 1.0 and let CG chew on an indefinite system; now the defect is named.
+  CooBuilder builder(3);
+  builder.stamp_conductance(0, 1, 1.0);
+  builder.stamp_conductance(1, 2, 1.0);
+  builder.stamp_to_ground(2, 1.0);
+  builder.add(0, 0, -3.0);  // defect: diagonal 0 becomes -2
+  const Csr a = builder.compress();
+  const std::vector<double> b = {1.0, 0.0, 0.0};
+  CgOptions opts;
+  opts.preconditioner = Preconditioner::kJacobi;
+  const CgResult r = solve_cg(a, b, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.failure, CgFailure::kBadPreconditioner);
+  EXPECT_EQ(r.iterations, 0u);
+  EXPECT_NE(r.detail.find("row 0"), std::string::npos);
+}
+
+TEST(Cg, IndefiniteMatrixDetected) {
+  CooBuilder builder(2);
+  builder.stamp_conductance(0, 1, 1.0);
+  builder.add(0, 0, -4.0);  // diagonal 0: 1 - 4 = -3 -> not SPD
+  builder.stamp_to_ground(1, 1.0);
+  const Csr a = builder.compress();
+  const std::vector<double> b = {1.0, 0.0};
+  CgOptions opts;
+  opts.preconditioner = Preconditioner::kNone;
+  const CgResult r = solve_cg(a, b, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.failure, CgFailure::kIndefinite);
+  EXPECT_NE(r.detail.find("p'Ap"), std::string::npos);
+}
+
+TEST(Cg, StagnationWatchdogFires) {
+  // An impossible improvement requirement makes the watchdog trip at the end
+  // of the first window, proving the mechanism (real stalls come from
+  // near-singular systems, which are not deterministic to construct).
+  const Csr a = make_chain(50, 2.0, 1.0);
+  std::vector<double> b(50, 0.0);
+  b[25] = 1.0;
+  CgOptions opts;
+  opts.preconditioner = Preconditioner::kNone;
+  opts.rel_tolerance = 1e-14;
+  opts.stagnation_window = 3;
+  opts.stagnation_improvement = 1.0;  // demand the residual hit exactly zero
+  const CgResult r = solve_cg(a, b, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.failure, CgFailure::kStagnated);
+  EXPECT_LE(r.iterations, 4u);
+}
+
+TEST(Cg, StagnationCheckCanBeDisabled) {
+  const Csr a = make_chain(50, 2.0, 1.0);
+  std::vector<double> b(50, 0.0);
+  b[25] = 1.0;
+  CgOptions opts;
+  opts.preconditioner = Preconditioner::kNone;
+  opts.stagnation_window = 0;  // off
+  const CgResult r = solve_cg(a, b, opts);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.failure, CgFailure::kNone);
+}
+
+TEST(Cg, CachedIcFactorReused) {
+  const Csr a = make_chain(40, 2.0, 1.0);
+  std::vector<double> b(40, 0.0);
+  b[11] = 1.0;
+  const IncompleteCholesky ic(a);
+  CgOptions opts;
+  opts.preconditioner = Preconditioner::kIncompleteCholesky;
+  opts.cached_ic = &ic;
+  const CgResult cached = solve_cg(a, b, opts);
+  opts.cached_ic = nullptr;
+  const CgResult fresh = solve_cg(a, b, opts);
+  ASSERT_TRUE(cached.converged);
+  EXPECT_EQ(cached.iterations, fresh.iterations);
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_NEAR(cached.x[i], fresh.x[i], 1e-12);
+}
+
+TEST(Cg, CachedIcDimensionMismatchIsCallerBug) {
+  const Csr a = make_chain(40, 2.0, 1.0);
+  const Csr small = make_chain(10, 2.0, 1.0);
+  const IncompleteCholesky ic(small);
+  CgOptions opts;
+  opts.preconditioner = Preconditioner::kIncompleteCholesky;
+  opts.cached_ic = &ic;
+  const std::vector<double> b(40, 1.0);
+  EXPECT_THROW(solve_cg(a, b, opts), std::invalid_argument);
 }
 
 TEST(Cg, ResidualReported) {

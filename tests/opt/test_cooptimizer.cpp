@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/status.hpp"
 #include "cost/cost_model.hpp"
 
 namespace pdn3d::opt {
@@ -99,6 +100,74 @@ TEST(CoOptimizer, SampleCountAccounted) {
   CoOptimizer opt(small_space(), fake_ir);
   opt.fit_models();
   EXPECT_GT(opt.total_samples(), 100u);
+  EXPECT_TRUE(opt.skipped_points().empty());  // healthy evaluator: no skips
+}
+
+TEST(CoOptimizer, SweepSurvivesUnsolvableRegion) {
+  // R-Mesh failures in a whole slice of the space (center TSVs at low M3)
+  // must be skipped and reported, not abort the sweep.
+  const auto failing = [](const pdn::PdnConfig& cfg) {
+    return cfg.tsv_location == pdn::TsvLocation::kCenter && cfg.m3_usage < 0.2;
+  };
+  const auto evaluate = [&](const pdn::PdnConfig& cfg) {
+    if (failing(cfg)) {
+      throw core::NumericalError(core::Status::numerical_failure(
+          "all solver rungs failed [synthetic fault for test]"));
+    }
+    return fake_ir(cfg);
+  };
+  CoOptimizer opt(small_space(), evaluate);
+  const auto& fits = opt.fit_models();
+  // Every choice keeps enough solvable samples to stay fitted.
+  EXPECT_EQ(fits.size(), 16u);
+  EXPECT_FALSE(opt.skipped_points().empty());
+  for (const auto& skip : opt.skipped_points()) {
+    EXPECT_TRUE(failing(skip.config)) << skip.config.summary();
+    EXPECT_NE(skip.reason.find("numerical-failure"), std::string::npos) << skip.reason;
+  }
+
+  // The optimum completes and lands outside the failing region.
+  const auto best = opt.optimize(1.0);
+  EXPECT_FALSE(failing(best.config));
+  EXPECT_GT(best.measured_ir_mv, 0.0);
+}
+
+TEST(CoOptimizer, BannedWinnerTriggersRetry) {
+  // The alpha=0 winner (cheapest corner of the space, see
+  // AlphaZeroPicksCheapestDesign) fails only at re-measurement time; the
+  // optimizer must ban it and return the best remaining candidate.
+  const auto is_cheapest_corner = [](const pdn::PdnConfig& cfg) {
+    return cfg.tsv_count == 15 && cfg.m2_usage < 0.105 && cfg.m3_usage < 0.105 &&
+           cfg.tsv_location == pdn::TsvLocation::kCenter &&
+           cfg.bonding == pdn::BondingStyle::kF2B && !cfg.wire_bonding &&
+           cfg.rdl == pdn::RdlMode::kNone;
+  };
+  const auto evaluate = [&](const pdn::PdnConfig& cfg) {
+    if (is_cheapest_corner(cfg)) {
+      throw core::NumericalError(
+          core::Status::numerical_failure("synthetic failure at the cheapest corner"));
+    }
+    return fake_ir(cfg);
+  };
+  CoOptimizer opt(small_space(), evaluate);
+  const auto best = opt.optimize(0.0);
+  EXPECT_FALSE(is_cheapest_corner(best.config));
+  EXPECT_GT(best.measured_ir_mv, 0.0);
+  // The failed winner is on record.
+  bool recorded = false;
+  for (const auto& skip : opt.skipped_points()) {
+    if (is_cheapest_corner(skip.config)) recorded = true;
+  }
+  EXPECT_TRUE(recorded);
+}
+
+TEST(CoOptimizer, AllPointsUnsolvableIsStructuredFailure) {
+  const auto evaluate = [](const pdn::PdnConfig&) -> double {
+    throw core::NumericalError(core::Status::numerical_failure("nothing solves"));
+  };
+  CoOptimizer opt(small_space(), evaluate);
+  EXPECT_THROW(opt.fit_models(), core::NumericalError);
+  EXPECT_FALSE(opt.skipped_points().empty());
 }
 
 }  // namespace

@@ -1,0 +1,196 @@
+#include "pdn/mesh_validator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace pdn3d::pdn {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// VDD --1ohm-- n0 --2ohm-- n1: the smallest healthy mesh.
+StackModel healthy_two_node() {
+  StackModel m(1.5);
+  LayerGrid g;
+  g.nx = 2;
+  g.ny = 1;
+  g.dx = g.dy = 1.0;
+  m.add_grid(g);
+  m.set_dram_die_count(1);
+  m.add_tap(0, 1.0);
+  m.add_resistor(0, 1, 2.0);
+  return m;
+}
+
+TEST(MeshValidator, HealthyModelPasses) {
+  const auto report = validate_stack_model(healthy_two_node());
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.error_count(), 0u);
+}
+
+TEST(MeshValidator, EmptyModelRejected) {
+  const StackModel m(1.0);
+  const auto report = validate_stack_model(m);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_check("empty-model"));
+}
+
+TEST(MeshValidator, NoTapsMakesSystemSingular) {
+  StackModel m(1.0);
+  LayerGrid g;
+  g.nx = 2;
+  g.ny = 1;
+  g.dx = g.dy = 1.0;
+  m.add_grid(g);
+  m.add_resistor(0, 1, 1.0);
+  const auto report = validate_stack_model(m);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_check("no-supply-taps"));
+  // Without any tap the floating-node check would flag everything; the
+  // singular-system message already covers it, so no duplicate noise.
+  EXPECT_FALSE(report.has_check("floating-node"));
+}
+
+TEST(MeshValidator, FloatingNodesDetected) {
+  // 4-node grid, but only nodes 0-1 are wired to the tap; 2-3 float.
+  StackModel m(1.0);
+  LayerGrid g;
+  g.nx = 4;
+  g.ny = 1;
+  g.dx = g.dy = 1.0;
+  m.add_grid(g);
+  m.set_dram_die_count(1);
+  m.add_tap(0, 1.0);
+  m.add_resistor(0, 1, 1.0);
+  m.add_resistor(2, 3, 1.0);  // island
+  const auto report = validate_stack_model(m);
+  EXPECT_FALSE(report.ok());
+  ASSERT_TRUE(report.has_check("floating-node"));
+  for (const auto& issue : report.issues()) {
+    if (issue.check == "floating-node") {
+      EXPECT_EQ(issue.node, 2u);  // first floating node named as context
+      EXPECT_NE(issue.message.find('2'), std::string::npos);
+    }
+  }
+}
+
+TEST(MeshValidator, ZeroTapDieReported) {
+  // Two dies; die 1's device grid has no path to the supply.
+  StackModel m(1.0);
+  LayerGrid g0;
+  g0.die = 0;
+  g0.nx = 2;
+  g0.ny = 1;
+  g0.dx = g0.dy = 1.0;
+  m.add_grid(g0);
+  LayerGrid g1 = g0;
+  g1.die = 1;
+  m.add_grid(g1);
+  m.set_dram_die_count(2);
+  m.add_tap(0, 1.0);
+  m.add_resistor(0, 1, 1.0);
+  m.add_resistor(2, 3, 1.0);  // die 1 internally connected, but never tapped
+  const auto report = validate_stack_model(m);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_check("floating-node"));
+  ASSERT_TRUE(report.has_check("floating-die"));
+  bool found = false;
+  for (const auto& issue : report.issues()) {
+    if (issue.check == "floating-die" &&
+        issue.message.find("die 1") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << report.to_string();
+}
+
+TEST(MeshValidator, NegativeResistanceDetected) {
+  auto m = healthy_two_node();
+  m.perturb_resistor(0, -0.5);
+  const auto report = validate_stack_model(m);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_check("non-positive-conductance"));
+}
+
+TEST(MeshValidator, NanResistanceDetected) {
+  auto m = healthy_two_node();
+  m.perturb_resistor(0, kNan);
+  const auto report = validate_stack_model(m);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_check("non-finite-conductance"));
+}
+
+TEST(MeshValidator, DefectiveTapDetected) {
+  auto neg = healthy_two_node();
+  neg.perturb_tap(0, 0.0);
+  EXPECT_TRUE(validate_stack_model(neg).has_check("non-positive-tap"));
+
+  auto nan = healthy_two_node();
+  nan.perturb_tap(0, kNan);
+  EXPECT_TRUE(validate_stack_model(nan).has_check("non-finite-tap"));
+}
+
+TEST(MeshValidator, PerturbChecksIndices) {
+  auto m = healthy_two_node();
+  EXPECT_THROW(m.perturb_resistor(99, 1.0), std::out_of_range);
+  EXPECT_THROW(m.perturb_tap(99, 1.0), std::out_of_range);
+}
+
+TEST(MeshValidator, AccumulatesMultipleDefects) {
+  // One defective mesh, one report naming every problem.
+  StackModel m(-1.0);  // bad VDD
+  LayerGrid g;
+  g.nx = 3;
+  g.ny = 1;
+  g.dx = g.dy = 1.0;
+  m.add_grid(g);
+  m.set_dram_die_count(1);
+  m.add_tap(0, 1.0);
+  m.add_resistor(0, 1, 1.0);  // node 2 floats
+  m.perturb_resistor(0, kNan);
+  const auto report = validate_stack_model(m);
+  EXPECT_FALSE(report.ok());
+  EXPECT_GE(report.error_count(), 3u);
+  EXPECT_TRUE(report.has_check("non-positive-vdd"));
+  EXPECT_TRUE(report.has_check("non-finite-conductance"));
+  EXPECT_TRUE(report.has_check("floating-node"));
+}
+
+TEST(InjectionValidator, SizeMismatchRejected) {
+  const auto m = healthy_two_node();
+  const std::vector<double> sinks = {1.0};
+  const auto report = validate_injection(m, sinks);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.has_check("injection-size"));
+}
+
+TEST(InjectionValidator, NanSinkRejected) {
+  const auto m = healthy_two_node();
+  const std::vector<double> sinks = {0.0, kNan};
+  const auto report = validate_injection(m, sinks);
+  EXPECT_FALSE(report.ok());
+  ASSERT_TRUE(report.has_check("non-finite-injection"));
+  EXPECT_EQ(report.issues().front().node, 1u);
+}
+
+TEST(InjectionValidator, NegativeSinkIsOnlyAWarning) {
+  const auto m = healthy_two_node();
+  const std::vector<double> sinks = {-0.1, 0.2};
+  const auto report = validate_injection(m, sinks);
+  EXPECT_TRUE(report.ok());  // warnings do not fail validation
+  EXPECT_TRUE(report.has_check("negative-injection"));
+  EXPECT_EQ(report.warning_count(), 1u);
+}
+
+TEST(InjectionValidator, CleanVectorPasses) {
+  const auto m = healthy_two_node();
+  const std::vector<double> sinks = {0.0, 0.5};
+  const auto report = validate_injection(m, sinks);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.issues().size(), 0u);
+}
+
+}  // namespace
+}  // namespace pdn3d::pdn

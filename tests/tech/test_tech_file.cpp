@@ -90,6 +90,57 @@ TEST(TechFile, RejectsMalformedInput) {
                std::runtime_error);
 }
 
+/// Parse @p text, expect a throw, and return the message for inspection.
+std::string parse_error(const std::string& text) {
+  try {
+    read_technology_string(text);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected parse of <<" << text << ">> to throw";
+  return {};
+}
+
+TEST(TechFile, TruncatedFileNamesLastLine) {
+  // File cut off mid-stack: only one layer of the replaced stack survives.
+  const std::string msg =
+      parse_error("[dram]\nvdd = 1.2\nlayer MA sheet=0.5 dir=h usage=0.1\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("at least two"), std::string::npos) << msg;
+}
+
+TEST(TechFile, TrailingJunkInNumberRejectedWithLine) {
+  const std::string msg = parse_error("[dram]\nvdd = 1.2volts\n");
+  EXPECT_NE(msg.find("line 2"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("trailing junk"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("1.2volts"), std::string::npos) << msg;
+}
+
+TEST(TechFile, DuplicateLayerNameRejectedWithLine) {
+  const std::string msg = parse_error(
+      "[dram]\n"
+      "layer MA sheet=0.5 dir=h usage=0.1\n"
+      "layer MB sheet=0.2 dir=v usage=0.2\n"
+      "layer MA sheet=0.3 dir=h usage=0.3\n");
+  EXPECT_NE(msg.find("line 4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("duplicate layer 'MA'"), std::string::npos) << msg;
+}
+
+TEST(TechFile, UnknownDirectionRejectedWithLine) {
+  const std::string msg = parse_error(
+      "[logic]\n"
+      "layer G1 sheet=0.06 dir=h usage=0.3\n"
+      "layer G2 sheet=0.03 dir=diagonal usage=0.4\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("diagonal"), std::string::npos) << msg;
+}
+
+TEST(TechFile, UnterminatedSectionHeaderRejectedWithLine) {
+  const std::string msg = parse_error("[dram]\nvdd = 1.2\n[interconnect\n");
+  EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("unterminated"), std::string::npos) << msg;
+}
+
 TEST(TechFile, ErrorsCarryLineNumbers) {
   try {
     read_technology_string("[dram]\nvdd = 1.0\nbroken line here\n");

@@ -5,11 +5,19 @@
 //   pdn3d lut       <benchmark> [design flags]
 //   pdn3d simulate  <benchmark> [--policy standard|fcfs|distr] [--limit mV] [design flags]
 //   pdn3d cooptimize <benchmark> [--alpha A]
+//   pdn3d validate  <benchmark> [design flags]
 //   pdn3d export    <benchmark> --out DIR [--state S] [design flags]
 //
 // Benchmarks: off-chip | on-chip | wide-io | hmc
 // Design flags: --m2 PCT --m3 PCT --tc N --tl C|E|D --bd f2b|f2f
 //               --rdl none|bottom|all --wb --dedicated --no-align --scale X
+//
+// Exit codes (see docs/ROBUSTNESS.md):
+//   0  success
+//   1  usage error (unknown command/benchmark/option)
+//   2  input error (unreadable/corrupt tech file or trace, bad state string)
+//   3  numerical failure (mesh validation errors, solver ladder exhausted)
+//   4  infeasible (simulate: the IR constraint admits no memory state)
 
 #include <cstdlib>
 #include <filesystem>
@@ -21,9 +29,11 @@
 #include <vector>
 
 #include "core/platform.hpp"
+#include "core/status.hpp"
 #include "cost/cost_model.hpp"
 #include "irdrop/montecarlo.hpp"
 #include "memctrl/trace.hpp"
+#include "pdn/mesh_validator.hpp"
 #include "tech/tech_file.hpp"
 #include "transient/decap.hpp"
 #include "transient/simulator.hpp"
@@ -37,6 +47,13 @@ namespace {
 
 using namespace pdn3d;
 
+// Structured exit codes, documented in docs/ROBUSTNESS.md.
+constexpr int kExitOk = 0;
+constexpr int kExitUsage = 1;
+constexpr int kExitInputError = 2;
+constexpr int kExitNumerical = 3;
+constexpr int kExitInfeasible = 4;
+
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
@@ -48,10 +65,14 @@ using namespace pdn3d;
       "  lut         print the memory-state IR look-up table\n"
       "  simulate    run the memory-controller simulation\n"
       "  cooptimize  co-optimize design+packaging at an alpha\n"
+      "  validate    numerical-health check of the R-Mesh (exit 0 = healthy)\n"
       "  report      per-block hotspot report for one die\n"
       "  montecarlo  IR-drop distribution over random memory states\n"
       "  droop       transient (RC) droop of a memory-state step\n"
       "  export      write SPICE deck, IR maps, and floorplans to a directory\n"
+      "\n"
+      "exit codes: 0 ok | 1 usage | 2 input error | 3 numerical failure |\n"
+      "            4 infeasible constraint (simulate)\n"
       "\n"
       "benchmarks: off-chip | on-chip | wide-io | hmc\n"
       "\n"
@@ -69,7 +90,7 @@ using namespace pdn3d;
       "  --decap NF       per-tap decap in nF          (droop, default 2)\n"
       "  --m2 PCT --m3 PCT --tc N --tl C|E|D --bd f2b|f2f\n"
       "  --rdl none|bottom|all --wb --dedicated --no-align --scale X\n";
-  std::exit(2);
+  std::exit(kExitUsage);
 }
 
 core::BenchmarkKind parse_benchmark(const std::string& name) {
@@ -252,7 +273,7 @@ int cmd_simulate(core::Platform& p, const Args& a) {
     std::ifstream tf(*trace_path);
     if (!tf) {
       std::cerr << "error: cannot open trace '" << *trace_path << "'\n";
-      return 1;
+      return kExitInputError;
     }
     auto reqs = memctrl::read_trace(tf);
     const auto& sim_cfg = p.benchmark().sim;
@@ -260,7 +281,7 @@ int cmd_simulate(core::Platform& p, const Args& a) {
         memctrl::validate_trace(reqs, sim_cfg.dies, sim_cfg.banks_per_die);
     if (!problem.empty()) {
       std::cerr << "error: trace invalid: " << problem << "\n";
-      return 1;
+      return kExitInputError;
     }
     r = p.simulate(cfg, pc, std::move(reqs));
   } else {
@@ -271,7 +292,7 @@ int cmd_simulate(core::Platform& p, const Args& a) {
             << "\n";
   if (!r.feasible) {
     std::cout << "INFEASIBLE: the IR constraint admits no memory state\n";
-    return 1;
+    return kExitInfeasible;
   }
   std::cout << "runtime   : " << util::fmt_fixed(r.runtime_us, 2) << " us (" << r.cycles
             << " cycles)\n";
@@ -294,7 +315,71 @@ int cmd_cooptimize(core::Platform& p, const Args& a) {
   std::cout << "  cost    : " << util::fmt_fixed(best.cost, 3) << "\n";
   std::cout << "  fit     : worst RMSE " << util::fmt_fixed(opt.worst_rmse(), 3) << " mV, R^2 "
             << util::fmt_fixed(opt.worst_r_squared(), 4) << "\n";
+  for (const auto& s : opt.skipped_points()) {
+    std::cout << "  skipped : " << s.config.summary() << " -- " << s.reason << "\n";
+  }
   return 0;
+}
+
+int cmd_validate(core::Platform& p, const Args& a) {
+  const auto cfg = apply_design_flags(p.benchmark().baseline, a);
+  const auto& bench = p.benchmark();
+  std::cout << "design : " << cfg.summary() << "\n";
+
+  pdn::BuiltStack built;
+  try {
+    built = pdn::build_stack(bench.stack, cfg);
+  } catch (const std::exception& e) {
+    std::cerr << "error: stack build failed: " << e.what() << "\n";
+    return kExitInputError;
+  }
+  std::cout << "mesh   : " << built.model.node_count() << " nodes, "
+            << built.model.resistors().size() << " resistors, " << built.model.taps().size()
+            << " supply taps\n";
+
+  core::ValidationReport report = pdn::validate_stack_model(built.model);
+  if (report.ok()) {
+    // Mesh is sound; check the default state's injection and run a verified
+    // probe solve through the escalation ladder.
+    irdrop::PowerBinding power;
+    power.dram = bench.dram_power;
+    power.logic = bench.logic_power;
+    power.dram_scale = bench.power_scale;
+    const irdrop::IrAnalyzer analyzer(built.model, bench.stack.dram_fp, bench.stack.logic_fp,
+                                      power);
+    const auto state = p.parse_state(bench.default_state, bench.default_io_activity);
+    const auto sinks = analyzer.injection(state);
+    report.merge(pdn::validate_injection(built.model, sinks));
+    if (report.ok()) {
+      const auto outcome = analyzer.solver().try_solve(sinks);
+      if (outcome.ok()) {
+        std::cout << "solve  : " << irdrop::to_string(outcome.kind_used) << ", "
+                  << outcome.iterations << " iterations, relative residual "
+                  << outcome.rel_residual;
+        if (outcome.escalations > 0) {
+          std::cout << " (" << outcome.escalations << " rung escalation(s))";
+        }
+        std::cout << "\n";
+      } else {
+        std::cerr << "error: probe solve failed: " << outcome.status.to_string() << "\n";
+        return kExitNumerical;
+      }
+    }
+  }
+
+  for (const auto& issue : report.issues()) {
+    std::cerr << core::to_string(issue.severity) << " [" << issue.check << "] " << issue.message
+              << "\n";
+  }
+  if (!report.ok()) {
+    std::cerr << "validation FAILED: " << report.error_count() << " error(s), "
+              << report.warning_count() << " warning(s)\n";
+    return kExitNumerical;
+  }
+  std::cout << "validation passed";
+  if (report.warning_count() > 0) std::cout << " (" << report.warning_count() << " warning(s))";
+  std::cout << "\n";
+  return kExitOk;
 }
 
 int cmd_report(core::Platform& p, const Args& a) {
@@ -439,13 +524,13 @@ int main(int argc, char** argv) {
     std::ifstream tf(*tech_path);
     if (!tf) {
       std::cerr << "error: cannot open technology file '" << *tech_path << "'\n";
-      return 1;
+      return kExitInputError;
     }
     try {
       benchmark.stack.tech = tech::read_technology(tf);
     } catch (const std::exception& e) {
       std::cerr << "error: " << e.what() << "\n";
-      return 1;
+      return kExitInputError;
     }
   }
   core::Platform platform(std::move(benchmark));
@@ -456,13 +541,20 @@ int main(int argc, char** argv) {
     if (args.command == "lut") return cmd_lut(platform, args);
     if (args.command == "simulate") return cmd_simulate(platform, args);
     if (args.command == "cooptimize") return cmd_cooptimize(platform, args);
+    if (args.command == "validate") return cmd_validate(platform, args);
     if (args.command == "report") return cmd_report(platform, args);
     if (args.command == "montecarlo") return cmd_montecarlo(platform, args);
     if (args.command == "droop") return cmd_droop(platform, args);
     if (args.command == "export") return cmd_export(platform, args);
+  } catch (const core::ValidationError& e) {
+    std::cerr << "error: mesh validation failed:\n" << e.report().to_string() << "\n";
+    return kExitNumerical;
+  } catch (const core::NumericalError& e) {
+    std::cerr << "error: " << e.status().to_string() << "\n";
+    return kExitNumerical;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return kExitInputError;
   }
   usage("unknown command '" + args.command + "'");
 }
