@@ -24,15 +24,14 @@ int main() {
   for (double pitch : {0.60, 0.45, 0.30, 0.24, 0.20, 0.15}) {
     auto spec = bench_cfg.stack;
     spec.grid_pitch = pitch;
-    util::Timer setup;
+    util::Timer timer;
     const auto built = pdn::build_stack(spec, bench_cfg.baseline);
     const irdrop::IrAnalyzer analyzer(built.model, spec.dram_fp, spec.logic_fp, power);
-    const double setup_ms = setup.elapsed_seconds() * 1e3;
+    const double setup_ms = bench::lap_ms(timer);
 
     const auto state = power::parse_memory_state("0-0-0-2", spec.dram_spec);
-    util::Timer solve;
     const auto r = analyzer.analyze(state);
-    const double solve_ms = solve.elapsed_seconds() * 1e3;
+    const double solve_ms = bench::lap_ms(timer);
 
     t.add_row({util::fmt_fixed(pitch, 2), std::to_string(built.model.node_count()),
                util::fmt_fixed(r.dram_max_mv, 2), util::fmt_fixed(setup_ms, 1),

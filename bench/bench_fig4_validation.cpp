@@ -33,24 +33,22 @@ int main() {
   //      reference (the analogue of the paper's reduced resistor count).
   const auto fine = pdn::build_single_die(spec, bench_cfg.baseline, 2);
 
-  util::Timer t_ref;
+  util::Timer timer;
   const irdrop::IrAnalyzer reference(fine, spec.dram_fp, spec.logic_fp, power,
                                      irdrop::SolverKind::kDense);
   const double ir_ref = reference.analyze(state).dram_max_mv;
-  const double secs_ref = t_ref.elapsed_seconds();
+  const double secs_ref = bench::lap_s(timer);
 
-  util::Timer t_pcg;
   const irdrop::IrAnalyzer pcg_fine(fine, spec.dram_fp, spec.logic_fp, power,
                                     irdrop::SolverKind::kPcgIc);
   const double ir_pcg = pcg_fine.analyze(state).dram_max_mv;
-  const double secs_pcg = t_pcg.elapsed_seconds();
+  const double secs_pcg = bench::lap_s(timer);
 
-  util::Timer t_coarse;
   const auto coarse = pdn::build_single_die(spec, bench_cfg.baseline, 1);
   const irdrop::IrAnalyzer fast(coarse, spec.dram_fp, spec.logic_fp, power,
                                 irdrop::SolverKind::kPcgIc);
   const double ir_fast = fast.analyze(state).dram_max_mv;
-  const double secs_fast = t_coarse.elapsed_seconds();
+  const double secs_fast = bench::lap_s(timer);
 
   util::Table t({"solver", "mesh nodes", "max IR (mV)", "runtime (s)"});
   t.add_row({"reference: dense direct, 2x mesh", std::to_string(fine.node_count()),

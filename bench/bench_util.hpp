@@ -8,8 +8,14 @@
 
 #include "util/string_util.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace pdn3d::bench {
+
+/// Per-phase timings off one util::Timer stopwatch -- the same steady clock
+/// the observability layer uses, so bench numbers and trace spans agree.
+inline double lap_ms(util::Timer& timer) { return timer.lap_seconds() * 1e3; }
+inline double lap_s(util::Timer& timer) { return timer.lap_seconds(); }
 
 inline void print_header(const std::string& experiment, const std::string& description) {
   std::cout << "==========================================================================\n"

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validate a pdn3d --report JSON file against run-report schema v1.
+
+Stdlib-only so it can run anywhere the repo builds. Exits 0 when the report
+conforms, 1 with a list of problems otherwise. The schema is documented in
+docs/OBSERVABILITY.md; bump SCHEMA_VERSION there and here together.
+
+Usage: check_report_schema.py report.json [report2.json ...]
+"""
+
+import json
+import numbers
+import sys
+
+SCHEMA_VERSION = 1
+
+# key -> allowed python types for the documented top-level fields.
+TOP_LEVEL = {
+    "schema": numbers.Number,
+    "tool": str,
+    "version": str,
+    "command": str,
+    "benchmark": str,
+    "provenance": dict,
+    "metrics": dict,
+    "spans": list,
+    "solver": dict,
+    "trace_dropped_events": numbers.Number,
+    "trace_unbalanced_spans": numbers.Number,
+}
+
+PROVENANCE_KEYS = {
+    "git_revision": str,
+    "build_type": str,
+    "compiler": str,
+    "timestamp_utc": str,
+    "argv": list,
+}
+
+METRICS_KEYS = {"counters": dict, "gauges": dict, "histograms": dict}
+
+SPAN_ROW_KEYS = {
+    "path": str,
+    "count": numbers.Number,
+    "total_s": numbers.Number,
+    "self_s": numbers.Number,
+    "min_s": numbers.Number,
+    "max_s": numbers.Number,
+}
+
+SOLVER_KEYS = {
+    "solves": numbers.Number,
+    "failures": numbers.Number,
+    "escalations": numbers.Number,
+    "rung_attempts": dict,
+    "rung_failures": dict,
+}
+
+
+def check_block(errors, block, spec, where):
+    if not isinstance(block, dict):
+        errors.append(f"{where}: expected object, got {type(block).__name__}")
+        return
+    for key, expected in spec.items():
+        if key not in block:
+            errors.append(f"{where}: missing key '{key}'")
+        elif not isinstance(block[key], expected) or isinstance(block[key], bool):
+            errors.append(
+                f"{where}.{key}: expected {expected.__name__}, "
+                f"got {type(block[key]).__name__}"
+            )
+
+
+def check_report(report):
+    errors = []
+    if not isinstance(report, dict):
+        return [f"top level: expected object, got {type(report).__name__}"]
+
+    check_block(errors, report, TOP_LEVEL, "top level")
+    if errors:
+        return errors
+
+    if report["schema"] != SCHEMA_VERSION:
+        errors.append(f"schema: expected {SCHEMA_VERSION}, got {report['schema']}")
+    if report["tool"] != "pdn3d":
+        errors.append(f"tool: expected 'pdn3d', got {report['tool']!r}")
+
+    check_block(errors, report["provenance"], PROVENANCE_KEYS, "provenance")
+    check_block(errors, report["metrics"], METRICS_KEYS, "metrics")
+    check_block(errors, report["solver"], SOLVER_KEYS, "solver")
+
+    for i, row in enumerate(report["spans"]):
+        check_block(errors, row, SPAN_ROW_KEYS, f"spans[{i}]")
+
+    # trace_events is optional (--report without raw events omits it).
+    if "trace_events" in report and not isinstance(report["trace_events"], list):
+        errors.append("trace_events: expected array")
+
+    counters = report["metrics"].get("counters")
+    if isinstance(counters, dict):
+        for name, value in counters.items():
+            if isinstance(value, bool) or not isinstance(value, numbers.Number):
+                errors.append(f"metrics.counters[{name!r}]: expected number")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    status = 0
+    for path in argv[1:]:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                report = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: FAIL: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        errors = check_report(report)
+        if errors:
+            for err in errors:
+                print(f"{path}: FAIL: {err}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"{path}: OK (schema v{SCHEMA_VERSION})")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

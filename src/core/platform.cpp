@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace pdn3d::core {
 
 Platform::Platform(Benchmark benchmark) : bench_(std::move(benchmark)) {}
@@ -27,10 +30,17 @@ std::string Platform::cache_key(const pdn::PdnConfig& config) const {
 }
 
 Platform::CachedDesign& Platform::design(const pdn::PdnConfig& config) const {
+  static auto& m_hits = obs::counter("platform.design_cache_hits");
+  static auto& m_misses = obs::counter("platform.design_cache_misses");
   const std::string key = cache_key(config);
   auto it = cache_.find(key);
-  if (it != cache_.end()) return *it->second;
+  if (it != cache_.end()) {
+    m_hits.add(1);
+    return *it->second;
+  }
+  m_misses.add(1);
 
+  PDN3D_TRACE_SPAN("platform/build_design");
   auto cd = std::make_unique<CachedDesign>();
   cd->built = pdn::build_stack(bench_.stack, config);
   // Cached designs serve many states (LUT construction, controller runs),
@@ -84,8 +94,13 @@ Platform::RailPairResult Platform::analyze_rail_pair(const pdn::PdnConfig& confi
 }
 
 const irdrop::IrLut& Platform::lut(const pdn::PdnConfig& config) const {
+  static auto& m_hits = obs::counter("lut.hit");
+  static auto& m_misses = obs::counter("lut.miss");
   CachedDesign& cd = design(config);
-  if (!cd.lut) {
+  if (cd.lut) {
+    m_hits.add(1);
+  } else {
+    m_misses.add(1);
     cd.lut = std::make_unique<irdrop::IrLut>(
         irdrop::IrLut::build(*cd.analyzer, bench_.stack.dram_spec, bench_.sim.max_active_per_die,
                              bench_.sim.io_demand_factor));

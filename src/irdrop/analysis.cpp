@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/units.hpp"
 
 namespace pdn3d::irdrop {
@@ -109,6 +111,9 @@ std::vector<IrAnalyzer::BlockIr> IrAnalyzer::block_report(const power::MemorySta
 }
 
 IrResult IrAnalyzer::analyze(const power::MemoryState& state) const {
+  PDN3D_TRACE_SPAN("irdrop/analyze");
+  static auto& m_states = obs::counter("analysis.states_analyzed");
+  m_states.add(1);
   const std::size_t escalations_before = solver_.telemetry().escalations;
   const std::vector<double> ir = ir_map(state);
 

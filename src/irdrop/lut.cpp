@@ -4,16 +4,25 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/string_util.hpp"
+#include "util/timer.hpp"
 
 namespace pdn3d::irdrop {
 
 IrLut IrLut::build(const IrAnalyzer& analyzer, const floorplan::DramFloorplanSpec& spec,
                    int max_per_die, double io_demand) {
+  PDN3D_TRACE_SPAN_NAMED(span, "lut/build");
+  const util::ScopedTimer build_timer("lut.build_seconds");
+  static auto& m_states = obs::counter("lut.states_evaluated");
+
   const int dies = analyzer.model().dram_die_count();
   const int radix = max_per_die + 1;
   std::size_t total = 1;
   for (int d = 0; d < dies; ++d) total *= static_cast<std::size_t>(radix);
+  m_states.add(total);
+  span.attribute("states", static_cast<std::uint64_t>(total));
 
   std::vector<double> table(total, 0.0);
   std::vector<int> counts(static_cast<std::size_t>(dies), 0);

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "core/status.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -17,6 +19,10 @@ MonteCarloResult sample_ir_distribution(const IrAnalyzer& analyzer,
   if (config.max_banks_per_die < 1) {
     throw std::invalid_argument("montecarlo: max_banks_per_die must be >= 1");
   }
+  PDN3D_TRACE_SPAN_NAMED(span, "montecarlo/run");
+  static auto& m_samples = obs::counter("montecarlo.samples");
+  static auto& m_skipped = obs::counter("montecarlo.samples_skipped");
+
   const int dies = analyzer.model().dram_die_count();
   const int banks = spec.bank_cols * spec.bank_rows;
 
@@ -59,6 +65,10 @@ MonteCarloResult sample_ir_distribution(const IrAnalyzer& analyzer,
       last_failure = e.status().to_string();
     }
   }
+
+  m_samples.add(static_cast<std::uint64_t>(config.samples));
+  m_skipped.add(static_cast<std::uint64_t>(skipped));
+  span.attribute("samples", static_cast<std::uint64_t>(config.samples));
 
   MonteCarloResult out;
   out.samples = config.samples - skipped;

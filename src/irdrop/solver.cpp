@@ -7,10 +7,43 @@
 #include "linalg/coo.hpp"
 #include "linalg/dense.hpp"
 #include "linalg/reorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pdn/mesh_validator.hpp"
 #include "util/log.hpp"
+#include "util/timer.hpp"
 
 namespace pdn3d::irdrop {
+
+namespace {
+
+/// Process-wide mirrors of the per-instance SolveTelemetry counters, named
+/// `solver.<noun_verb>[.<rung>]` per the metric naming convention.
+obs::Counter& rung_attempt_counter(SolverKind kind) {
+  static std::array<obs::Counter*, kSolverKindCount> counters = [] {
+    std::array<obs::Counter*, kSolverKindCount> out{};
+    for (std::size_t k = 0; k < kSolverKindCount; ++k) {
+      out[k] = &obs::counter(std::string("solver.rung_attempts.") +
+                             to_string(static_cast<SolverKind>(k)));
+    }
+    return out;
+  }();
+  return *counters[static_cast<std::size_t>(kind)];
+}
+
+obs::Counter& rung_failure_counter(SolverKind kind) {
+  static std::array<obs::Counter*, kSolverKindCount> counters = [] {
+    std::array<obs::Counter*, kSolverKindCount> out{};
+    for (std::size_t k = 0; k < kSolverKindCount; ++k) {
+      out[k] = &obs::counter(std::string("solver.rung_failures.") +
+                             to_string(static_cast<SolverKind>(k)));
+    }
+    return out;
+  }();
+  return *counters[static_cast<std::size_t>(kind)];
+}
+
+}  // namespace
 
 const char* to_string(SolverKind kind) {
   switch (kind) {
@@ -50,6 +83,8 @@ IrSolver::IrSolver(const pdn::StackModel& model, SolverKind kind, IrSolverOption
   g_ = builder.compress();
 
   if (kind_ == SolverKind::kPcgIc) {
+    PDN3D_TRACE_SPAN("solver/precond_build");
+    const util::ScopedTimer build_timer("solver.precond_build_seconds");
     ic_ = std::make_unique<linalg::IncompleteCholesky>(g_);
   }
   // The banded factorization is built lazily (see banded()) so that a
@@ -143,6 +178,14 @@ SolveOutcome IrSolver::try_solve(std::span<const double> sinks) const {
   const std::size_t n = g_.dimension();
   if (sinks.size() != n) throw std::invalid_argument("IrSolver::solve: sink vector size mismatch");
 
+  PDN3D_TRACE_SPAN_NAMED(span, "solver/solve");
+  static auto& m_solves = obs::counter("solver.solves");
+  static auto& m_failures = obs::counter("solver.failures");
+  static auto& m_escalations = obs::counter("ladder.escalations");
+  static auto& m_iters_hist =
+      obs::histogram("solver.iterations_per_solve", obs::exponential_buckets(1.0, 2.0, 16));
+  static auto& m_rung_used = obs::gauge("solver.rung_used");
+
   SolveOutcome outcome;
 
   // Pre-solve injection health: a NaN load current poisons every inner
@@ -153,6 +196,7 @@ SolveOutcome IrSolver::try_solve(std::span<const double> sinks) const {
       outcome.status = core::Status::input_error(
           "non-finite sink current at node " + std::to_string(i));
       ++telemetry_.failures;
+      m_failures.add(1);
       return outcome;
     }
   }
@@ -169,6 +213,7 @@ SolveOutcome IrSolver::try_solve(std::span<const double> sinks) const {
   for (std::size_t k = first; k <= last; ++k) {
     const SolverKind kind = static_cast<SolverKind>(k);
     ++telemetry_.rung_attempts[k];
+    rung_attempt_counter(kind).add(1);
     RungResult rung = run_rung(kind, rhs);
 
     std::string reject;
@@ -204,6 +249,11 @@ SolveOutcome IrSolver::try_solve(std::span<const double> sinks) const {
         last_iterations_ = rung.iterations;
         last_kind_used_ = kind;
         ++telemetry_.solves;
+        m_solves.add(1);
+        m_iters_hist.observe(static_cast<double>(rung.iterations));
+        m_rung_used.set(static_cast<double>(k));
+        span.attribute("rung", to_string(kind));
+        span.attribute("iterations", static_cast<std::uint64_t>(rung.iterations));
         if (outcome.escalations > 0) {
           util::log_warn("IrSolver: ", to_string(kind_), " failed, recovered by ",
                          to_string(kind), " after ", outcome.escalations, " escalation(s)");
@@ -213,15 +263,18 @@ SolveOutcome IrSolver::try_solve(std::span<const double> sinks) const {
     }
 
     ++telemetry_.rung_failures[k];
+    rung_failure_counter(kind).add(1);
     if (trail.tellp() > 0) trail << "; ";
     trail << to_string(kind) << ": " << reject;
     if (k < last) {
       ++outcome.escalations;
       ++telemetry_.escalations;
+      m_escalations.add(1);
     }
   }
 
   ++telemetry_.failures;
+  m_failures.add(1);
   outcome.status = core::Status::numerical_failure(
       "all solver rungs failed [" + trail.str() + "]");
   return outcome;

@@ -20,6 +20,8 @@
 /// core::NumericalError); never silent garbage.
 
 #include <array>
+#include <atomic>
+#include <cstddef>
 #include <memory>
 #include <span>
 #include <string>
@@ -63,15 +65,19 @@ struct IrSolverOptions {
   std::size_t dense_escalation_limit = 4096;
 };
 
-/// Per-rung retry counters, accumulated across all solves of this solver.
-/// Surfaced through IrAnalyzer / Monte Carlo so sweeps can report how often
-/// the ladder saved a design point.
+/// Per-rung retry counters, accumulated across all solves of this solver
+/// instance. Surfaced through IrAnalyzer / Monte Carlo so sweeps can report
+/// how often the ladder saved a design point. Counters are atomic: try_solve
+/// is const and updates them from concurrent sweeps (Monte Carlo, future
+/// threaded co-optimization), which used to tear under the plain mutable
+/// size_t fields. Process-wide aggregates of the same events live in the
+/// metrics registry under `solver.*` (see docs/OBSERVABILITY.md).
 struct SolveTelemetry {
-  std::size_t solves = 0;       ///< successful solves
-  std::size_t failures = 0;     ///< solves that exhausted the ladder
-  std::size_t escalations = 0;  ///< rung failures that moved down the ladder
-  std::array<std::size_t, kSolverKindCount> rung_attempts{};
-  std::array<std::size_t, kSolverKindCount> rung_failures{};
+  std::atomic<std::size_t> solves{0};       ///< successful solves
+  std::atomic<std::size_t> failures{0};     ///< solves that exhausted the ladder
+  std::atomic<std::size_t> escalations{0};  ///< rung failures that moved down the ladder
+  std::array<std::atomic<std::size_t>, kSolverKindCount> rung_attempts{};
+  std::array<std::atomic<std::size_t>, kSolverKindCount> rung_failures{};
 };
 
 /// Structured result of one solve attempt.

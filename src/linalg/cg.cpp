@@ -5,6 +5,9 @@
 #include <stdexcept>
 
 #include "linalg/ichol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
 
 namespace pdn3d::linalg {
 
@@ -24,6 +27,15 @@ CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& opti
   const std::size_t n = a.dimension();
   if (b.size() != n) throw std::invalid_argument("solve_cg: rhs size mismatch");
 
+  PDN3D_TRACE_SPAN_NAMED(span, "cg/solve");
+  static auto& m_solves = obs::counter("cg.solves");
+  static auto& m_iterations = obs::counter("cg.iterations");
+  static auto& m_failures = obs::counter("cg.failures");
+  static auto& m_iters_hist =
+      obs::histogram("cg.iterations_per_solve", obs::exponential_buckets(1.0, 2.0, 16));
+  static auto& m_exit_residual = obs::gauge("cg.exit_relative_residual");
+  m_solves.add(1);
+
   CgResult result;
   result.x.assign(n, 0.0);
   if (n == 0) {
@@ -38,6 +50,7 @@ CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& opti
     result.failure = CgFailure::kDivergedNonFinite;
     result.detail = "right-hand side contains NaN/Inf entries";
     result.residual_norm = bnorm;
+    m_failures.add(1);
     return result;
   }
   if (bnorm == 0.0) {
@@ -70,6 +83,7 @@ CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& opti
                           std::to_string(i) + " (value " + std::to_string(inv_diag[i]) +
                           "); the system is not SPD";
           result.residual_norm = bnorm;
+          m_failures.add(1);
           return result;
         }
         inv_diag[i] = 1.0 / inv_diag[i];
@@ -83,6 +97,8 @@ CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& opti
         }
         ic = options.cached_ic;
       } else {
+        PDN3D_TRACE_SPAN("cg/precond_build");
+        const util::ScopedTimer build_timer("cg.precond_build_seconds");
         owned_ic = std::make_unique<IncompleteCholesky>(a);
         ic = owned_ic.get();
       }
@@ -183,6 +199,13 @@ CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& opti
                     std::to_string(target) + " after " + std::to_string(result.iterations) +
                     " iterations";
   }
+
+  m_iterations.add(result.iterations);
+  m_iters_hist.observe(static_cast<double>(result.iterations));
+  m_exit_residual.set(bnorm > 0.0 ? result.residual_norm / bnorm : result.residual_norm);
+  if (!result.converged) m_failures.add(1);
+  span.attribute("iterations", static_cast<std::uint64_t>(result.iterations));
+  span.attribute("converged", result.converged ? "true" : "false");
   return result;
 }
 

@@ -2,8 +2,24 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace pdn3d::memctrl {
+
+namespace {
+
+const char* to_label(IrPolicyKind kind) {
+  return kind == IrPolicyKind::kIrAware ? "ir-aware" : "standard";
+}
+
+const char* to_label(SchedulingKind kind) {
+  return kind == SchedulingKind::kDistR ? "distr" : "fcfs";
+}
+
+}  // namespace
 
 MemoryController::MemoryController(const SimConfig& config, const PolicyConfig& policy)
     : config_(config), policy_config_(policy) {
@@ -21,6 +37,19 @@ int MemoryController::channel_of(int die, int bank) const {
 }
 
 SimResult MemoryController::run(std::vector<Request> requests) {
+  PDN3D_TRACE_SPAN_NAMED(span, "memctrl/run");
+  static auto& m_requests = obs::counter("memctrl.requests_completed");
+  static auto& m_queue_depth =
+      obs::histogram("memctrl.queue_depth", obs::linear_buckets(0.0, 4.0, 16));
+  // Per-policy stall counters (cycles spent with no forward progress); the
+  // label pair identifies the IR policy x scheduler combination under test.
+  obs::Counter& m_stalls =
+      obs::counter(std::string("memctrl.stall_cycles.") + to_label(policy_config_.ir_policy) +
+                   "." + to_label(policy_config_.scheduling));
+  span.attribute("ir_policy", to_label(policy_config_.ir_policy));
+  span.attribute("scheduling", to_label(policy_config_.scheduling));
+  std::uint64_t stall_cycles = 0;
+
   std::sort(requests.begin(), requests.end(),
             [](const Request& a, const Request& b) { return a.arrival < b.arrival; });
 
@@ -75,6 +104,7 @@ SimResult MemoryController::run(std::vector<Request> requests) {
       ++next_arrival;
       last_progress = now;
     }
+    m_queue_depth.observe(static_cast<double>(queue.size()));
 
     // --- Current memory state. ---------------------------------------------
     std::fill(active_per_die.begin(), active_per_die.end(), 0);
@@ -224,12 +254,17 @@ SimResult MemoryController::run(std::vector<Request> requests) {
     }
 
     // --- Stall detection (IR constraint may admit no state at all). --------
+    if (last_progress != now) ++stall_cycles;
     if (now - last_progress > config_.stall_limit) {
       result.feasible = false;
       break;
     }
     ++now;
   }
+  m_stalls.add(stall_cycles);
+  m_requests.add(static_cast<std::uint64_t>(completed));
+  span.attribute("requests", static_cast<std::uint64_t>(completed));
+  span.attribute("feasible", result.feasible ? "true" : "false");
 
   result.cycles = result.feasible ? last_completion : now;
   result.runtime_us = t.cycles_to_us(result.cycles);

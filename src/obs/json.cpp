@@ -1,0 +1,311 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace pdn3d::obs::json {
+
+Value Value::array() {
+  Value v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+Value Value::object() {
+  Value v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+void Value::push_back(Value v) {
+  if (kind_ != Kind::kArray) throw std::logic_error("json::Value::push_back on non-array");
+  items_.push_back(std::move(v));
+}
+
+void Value::set(std::string_view key, Value v) {
+  if (kind_ != Kind::kObject) throw std::logic_error("json::Value::set on non-object");
+  for (auto& m : members_) {
+    if (m.first == key) {
+      m.second = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(std::string(key), std::move(v));
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void format_number(std::ostream& os, double d) {
+  if (!std::isfinite(d)) {
+    // JSON has no NaN/Inf; null is the conventional stand-in.
+    os << "null";
+    return;
+  }
+  if (d == std::floor(d) && std::abs(d) < 9.007199254740992e15) {
+    os << static_cast<long long>(d);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  os << buf;
+}
+
+void dump_value(std::ostream& os, const Value& v, int indent, int depth) {
+  const auto newline = [&](int d) {
+    if (indent > 0) {
+      os << '\n';
+      for (int i = 0; i < indent * d; ++i) os << ' ';
+    }
+  };
+  switch (v.kind()) {
+    case Value::Kind::kNull: os << "null"; break;
+    case Value::Kind::kBool: os << (v.as_bool() ? "true" : "false"); break;
+    case Value::Kind::kNumber: format_number(os, v.as_number()); break;
+    case Value::Kind::kString: os << '"' << escape(v.as_string()) << '"'; break;
+    case Value::Kind::kArray: {
+      os << '[';
+      bool first = true;
+      for (const auto& item : v.items()) {
+        if (!first) os << ',';
+        first = false;
+        newline(depth + 1);
+        dump_value(os, item, indent, depth + 1);
+      }
+      if (!v.items().empty()) newline(depth);
+      os << ']';
+      break;
+    }
+    case Value::Kind::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, member] : v.members()) {
+        if (!first) os << ',';
+        first = false;
+        newline(depth + 1);
+        os << '"' << escape(key) << "\":";
+        if (indent > 0) os << ' ';
+        dump_value(os, member, indent, depth + 1);
+      }
+      if (!v.members().empty()) newline(depth);
+      os << '}';
+      break;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value run() {
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json parse error at offset " + std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad hex digit in \\u escape");
+            }
+            // UTF-8 encode the BMP code point (surrogate pairs are passed
+            // through as-is; trace/report content is ASCII in practice).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("unknown escape sequence");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') fail("malformed number '" + token + "'");
+    return Value(d);
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      ++pos_;
+      Value obj = Value::object();
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return obj;
+      }
+      while (true) {
+        skip_ws();
+        std::string key = parse_string();
+        skip_ws();
+        expect(':');
+        obj.set(key, parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return obj;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      Value arr = Value::array();
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return arr;
+      }
+      while (true) {
+        arr.push_back(parse_value(depth + 1));
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return arr;
+      }
+    }
+    if (c == '"') return Value(parse_string());
+    if (consume_literal("true")) return Value(true);
+    if (consume_literal("false")) return Value(false);
+    if (consume_literal("null")) return Value();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) return parse_number();
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Value::dump(int indent) const {
+  std::ostringstream os;
+  dump_value(os, *this, indent, 0);
+  return os.str();
+}
+
+Value parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace pdn3d::obs::json

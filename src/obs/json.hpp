@@ -1,0 +1,85 @@
+#pragma once
+
+/// @file json.hpp
+/// @brief Minimal JSON document model, serializer, and parser.
+///
+/// Just enough JSON for the observability layer: run reports and Chrome
+/// trace_event files are emitted through Value, and the tests parse them back
+/// to verify the schema round-trips. Objects preserve insertion order so
+/// reports are byte-stable for a given run (diffable); lookup is linear,
+/// which is fine at report sizes.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pdn3d::obs::json {
+
+class Value;
+
+using Member = std::pair<std::string, Value>;
+
+/// One JSON value: null, bool, number, string, array, or object.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;  // null
+  Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  Value(double d) : kind_(Kind::kNumber), number_(d) {}
+  Value(int i) : kind_(Kind::kNumber), number_(i) {}
+  Value(std::int64_t i) : kind_(Kind::kNumber), number_(static_cast<double>(i)) {}
+  Value(std::uint64_t u) : kind_(Kind::kNumber), number_(static_cast<double>(u)) {}
+  Value(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+  Value(std::string_view s) : kind_(Kind::kString), string_(s) {}
+  Value(const char* s) : kind_(Kind::kString), string_(s) {}
+
+  [[nodiscard]] static Value array();
+  [[nodiscard]] static Value object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+  [[nodiscard]] const std::vector<Value>& items() const { return items_; }
+  [[nodiscard]] const std::vector<Member>& members() const { return members_; }
+
+  /// Array append. @throws std::logic_error when not an array.
+  void push_back(Value v);
+
+  /// Object insert-or-overwrite. @throws std::logic_error when not an object.
+  void set(std::string_view key, Value v);
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Serialize. @p indent 0 = compact single line; > 0 = pretty-printed.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> items_;
+  std::vector<Member> members_;
+};
+
+/// JSON-escape @p text (no surrounding quotes).
+[[nodiscard]] std::string escape(std::string_view text);
+
+/// Parse a complete JSON document. @throws std::runtime_error with the
+/// offending byte offset on malformed input or trailing garbage.
+[[nodiscard]] Value parse(std::string_view text);
+
+}  // namespace pdn3d::obs::json

@@ -1,0 +1,132 @@
+#pragma once
+
+/// @file metrics.hpp
+/// @brief Process-wide metrics registry: named counters, gauges, and
+/// fixed-bucket histograms.
+///
+/// Designed to stay on in hot loops: every update is a relaxed atomic
+/// operation on pre-registered storage, and the registry lookup is paid once
+/// per call site via a function-local static reference:
+///
+///   static auto& iters = obs::counter("cg.iterations");
+///   iters.add(result.iterations);
+///
+/// Naming convention (docs/OBSERVABILITY.md): `subsystem.noun_verb`, with an
+/// optional trailing label segment for per-variant counters
+/// (`solver.rung_attempts.ic-pcg`). Snapshots are sorted by name, so two
+/// snapshots of the same state serialize identically (diffable run reports).
+///
+/// All mutators are thread-safe; Monte Carlo and future threaded sweeps can
+/// bump the same counter without tearing (the bug the old mutable
+/// SolveTelemetry struct had).
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pdn3d::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= upper_bounds[i];
+/// one implicit overflow bucket counts the rest. Bounds are fixed at
+/// registration, so observe() is two relaxed atomic adds plus a small scan.
+class Histogram {
+ public:
+  /// @p upper_bounds must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == upper_bounds().size() + 1 (overflow last).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  [[nodiscard]] double sum() const { return sum_.load(std::memory_order_relaxed); }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> upper_bounds;
+    std::vector<std::uint64_t> bucket_counts;  ///< overflow bucket last
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+};
+
+/// Owns every metric for the process. References returned by
+/// counter()/gauge()/histogram() are stable for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Find-or-create by name. A name permanently binds to its first-seen
+  /// metric kind; re-registering a histogram name keeps the original bounds.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name, std::vector<double> upper_bounds);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every metric's value; registered names (and references) survive.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Shorthands for the process-wide registry.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name, std::vector<double> upper_bounds);
+
+/// Bucket helpers. exponential_buckets(1, 2, 10) = {1, 2, 4, ..., 512}.
+[[nodiscard]] std::vector<double> linear_buckets(double start, double step, std::size_t count);
+[[nodiscard]] std::vector<double> exponential_buckets(double start, double factor,
+                                                      std::size_t count);
+/// Default wall-time buckets in seconds: 1 us .. ~100 s, quarter-decade steps.
+[[nodiscard]] std::vector<double> time_buckets();
+
+}  // namespace pdn3d::obs

@@ -1,0 +1,42 @@
+#pragma once
+
+/// @file report.hpp
+/// @brief Machine-readable run reports: one JSON file bundling the metrics
+/// snapshot, the span tree, solver telemetry, and build/config provenance.
+///
+/// Every `pdn3d <cmd> ... --report out.json` invocation ends by writing one
+/// of these; scripts/check_report_schema.py validates the schema (versioned
+/// as "schema": 1) and docs/OBSERVABILITY.md documents every key. Reports are
+/// the diff baseline for performance PRs: two runs of the same command can be
+/// compared span-by-span and counter-by-counter.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "obs/json.hpp"
+
+namespace pdn3d::obs {
+
+/// Current report schema version; bump on breaking key changes.
+inline constexpr int kReportSchemaVersion = 1;
+
+struct RunReportOptions {
+  std::string command;            ///< CLI command ("analyze", "profile", ...)
+  std::string benchmark;          ///< benchmark name, empty when N/A
+  std::vector<std::string> argv;  ///< full command line for reproducibility
+  /// Include the raw Chrome trace_event array (can be large); the aggregated
+  /// span table is always included.
+  bool include_trace_events = true;
+};
+
+/// Assemble the report document from the current process-wide metrics
+/// registry and trace store.
+[[nodiscard]] json::Value build_run_report(const RunReportOptions& options);
+
+/// build_run_report + write to @p path. Returns ok or an input error with the
+/// failing path in the message. Never throws for I/O reasons.
+core::Status write_run_report(const std::filesystem::path& path, const RunReportOptions& options);
+
+}  // namespace pdn3d::obs

@@ -7,6 +7,8 @@
 
 #include "core/status.hpp"
 #include "cost/cost_model.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace pdn3d::opt {
@@ -17,7 +19,11 @@ CoOptimizer::CoOptimizer(DesignSpace space, IrEvaluator evaluate)
 }
 
 bool CoOptimizer::sample_point(const pdn::PdnConfig& config, double* ir_mv) {
+  PDN3D_TRACE_SPAN("cooptimize/solve_point");
+  static auto& m_evaluated = obs::counter("cooptimizer.points_evaluated");
+  static auto& m_skipped = obs::counter("cooptimizer.points_skipped");
   ++total_samples_;
+  m_evaluated.add(1);
   try {
     *ir_mv = evaluate_(config);
     return true;
@@ -26,6 +32,7 @@ bool CoOptimizer::sample_point(const pdn::PdnConfig& config, double* ir_mv) {
   } catch (const core::ValidationError& e) {
     skipped_.push_back({config, e.report().to_status().to_string()});
   }
+  m_skipped.add(1);
   util::log_warn("co-optimizer: skipping unsolvable point ", config.summary(), " -- ",
                  skipped_.back().reason);
   return false;
@@ -34,6 +41,7 @@ bool CoOptimizer::sample_point(const pdn::PdnConfig& config, double* ir_mv) {
 const std::vector<FittedChoice>& CoOptimizer::fit_models() {
   if (fitted_) return fits_;
 
+  PDN3D_TRACE_SPAN("cooptimize/fit_models");
   const auto choices = enumerate_choices(space_);
   const auto m2s = default_m2_samples(space_);
   const auto m3s = default_m3_samples(space_);
@@ -101,12 +109,18 @@ const std::vector<FittedChoice>& CoOptimizer::fit_models() {
         std::to_string(skipped_.size()) + " skipped)"));
   }
   fitted_ = true;
+  obs::gauge("cooptimizer.fit_worst_rmse_mv").set(worst_rmse());
+  obs::gauge("cooptimizer.fit_worst_r_squared").set(worst_r_squared());
+  obs::gauge("cooptimizer.fitted_choices").set(static_cast<double>(fits_.size()));
   return fits_;
 }
 
 Optimum CoOptimizer::optimize(double alpha) {
   if (alpha < 0.0 || alpha > 1.0) throw std::invalid_argument("CoOptimizer: alpha outside [0,1]");
   fit_models();
+
+  PDN3D_TRACE_SPAN("cooptimize/optimize");
+  static auto& m_banned = obs::counter("cooptimizer.points_banned");
 
   // Winners whose R-Mesh re-measurement failed; excluded from later rounds so
   // the sweep returns the best point among the remaining candidates.
@@ -153,6 +167,7 @@ Optimum CoOptimizer::optimize(double alpha) {
     }
     if (sample_point(best.config, &best.measured_ir_mv)) return best;
     banned.insert(best.config.summary());
+    m_banned.add(1);
   }
   throw core::NumericalError(core::Status::numerical_failure(
       "co-optimizer: every candidate optimum failed R-Mesh re-measurement"));

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pdn/tsv_planner.hpp"
 
 namespace pdn3d::pdn {
@@ -79,6 +81,10 @@ std::vector<floorplan::Point> to_global(const std::vector<floorplan::Point>& pts
 BuiltStack build_stack(const StackSpec& spec, const PdnConfig& config) {
   if (config.tsv_count < 1) throw std::invalid_argument("build_stack: tsv_count must be >= 1");
   if (spec.num_dram_dies < 1) throw std::invalid_argument("build_stack: need at least one die");
+
+  PDN3D_TRACE_SPAN_NAMED(span, "pdn/build_stack");
+  static auto& m_builds = obs::counter("pdn.stacks_built");
+  m_builds.add(1);
 
   const bool on_chip = config.mounting == Mounting::kOnChip;
   const tech::Technology& tech = spec.tech;
@@ -321,6 +327,11 @@ BuiltStack build_stack(const StackSpec& spec, const PdnConfig& config) {
 
   info.node_count = model.node_count();
   info.resistor_count = model.resistors().size();
+  obs::gauge("pdn.node_count").set(static_cast<double>(info.node_count));
+  obs::gauge("pdn.resistor_count").set(static_cast<double>(info.resistor_count));
+  obs::gauge("pdn.tap_count").set(static_cast<double>(model.taps().size()));
+  span.attribute("nodes", static_cast<std::uint64_t>(info.node_count));
+  span.attribute("resistors", static_cast<std::uint64_t>(info.resistor_count));
   return BuiltStack{std::move(model), info};
 }
 

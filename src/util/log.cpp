@@ -1,13 +1,16 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cstdlib>
 #include <iostream>
 #include <mutex>
+
+#include "util/string_util.hpp"
 
 namespace pdn3d::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
 std::mutex g_io_mutex;
 
 std::string_view level_tag(LogLevel level) {
@@ -20,11 +23,42 @@ std::string_view level_tag(LogLevel level) {
   }
   return "?????";
 }
+
+/// Initial threshold: PDN3D_LOG_LEVEL when set and parseable, else kWarn.
+LogLevel initial_level() {
+  if (const char* env = std::getenv("PDN3D_LOG_LEVEL")) {
+    LogLevel parsed = LogLevel::kWarn;
+    if (parse_log_level(env, &parsed)) return parsed;
+    // Parsing failures must be visible (the user asked for a level) but must
+    // not recurse into the logger being initialized here.
+    std::cerr << "[pdn3d WARN ] ignoring unrecognized PDN3D_LOG_LEVEL='" << env << "'\n";
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> level{initial_level()};
+  return level;
+}
+
 }  // namespace
 
-LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+bool parse_log_level(std::string_view text, LogLevel* out) {
+  const std::string t = to_lower(trim(text));
+  if (t == "debug" || t == "0") *out = LogLevel::kDebug;
+  else if (t == "info" || t == "1") *out = LogLevel::kInfo;
+  else if (t == "warn" || t == "warning" || t == "2") *out = LogLevel::kWarn;
+  else if (t == "error" || t == "3") *out = LogLevel::kError;
+  else if (t == "off" || t == "none" || t == "4") *out = LogLevel::kOff;
+  else return false;
+  return true;
+}
 
-void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return level_storage().load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(level, std::memory_order_relaxed);
+}
 
 void log_message(LogLevel level, std::string_view message) {
   if (level < log_level()) return;

@@ -15,9 +15,17 @@ namespace pdn3d::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global log threshold; messages below it are dropped.
+/// Global log threshold; messages below it are dropped. The initial level
+/// comes from the PDN3D_LOG_LEVEL environment variable when set
+/// ("debug" | "info" | "warn" | "error" | "off", case-insensitive), and
+/// defaults to kWarn otherwise; set_log_level() overrides either.
 LogLevel log_level();
 void set_log_level(LogLevel level);
+
+/// Parse a level name ("debug", "info", "warn"/"warning", "error", "off",
+/// case-insensitive, or a digit 0-4). Returns false on unknown input, leaving
+/// @p out untouched.
+bool parse_log_level(std::string_view text, LogLevel* out);
 
 /// Emit one message at @p level (no trailing newline needed).
 void log_message(LogLevel level, std::string_view message);

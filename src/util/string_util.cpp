@@ -39,6 +39,12 @@ std::string_view trim(std::string_view s) {
   return s;
 }
 
+std::string pad(std::string_view s, std::size_t width) {
+  std::string out(s);
+  out.append(out.size() < width ? width - out.size() : 1, ' ');
+  return out;
+}
+
 std::string to_lower(std::string_view s) {
   std::string out(s);
   std::transform(out.begin(), out.end(), out.begin(),

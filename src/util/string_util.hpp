@@ -24,4 +24,8 @@ std::string_view trim(std::string_view s);
 /// Lower-case ASCII copy.
 std::string to_lower(std::string_view s);
 
+/// Left-justify @p s in a field of @p width (always at least one trailing
+/// space, so adjacent columns never fuse).
+std::string pad(std::string_view s, std::size_t width);
+
 }  // namespace pdn3d::util

@@ -1,5 +1,7 @@
 #include "util/timer.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace pdn3d::util {
 
 double Timer::elapsed_seconds() const {
@@ -7,6 +9,24 @@ double Timer::elapsed_seconds() const {
   return std::chrono::duration<double>(dt).count();
 }
 
-void Timer::reset() { start_ = Clock::now(); }
+double Timer::lap_seconds() {
+  const auto now = Clock::now();
+  const double dt = std::chrono::duration<double>(now - lap_).count();
+  lap_ = now;
+  return dt;
+}
+
+void Timer::reset() {
+  start_ = Clock::now();
+  lap_ = start_;
+}
+
+ScopedTimer::ScopedTimer(std::string_view metric_name) : metric_name_(metric_name) {}
+
+ScopedTimer::~ScopedTimer() {
+  const double seconds = timer_.elapsed_seconds();
+  obs::histogram(metric_name_, obs::time_buckets()).observe(seconds);
+  obs::counter(metric_name_ + ".count").add(1);
+}
 
 }  // namespace pdn3d::util

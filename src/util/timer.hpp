@@ -1,24 +1,52 @@
 #pragma once
 
 /// @file timer.hpp
-/// @brief Wall-clock stopwatch used by validation benches to report runtimes.
+/// @brief Wall-clock stopwatch shared by the benches and the observability
+/// layer (one clock path for bench timings and trace timings).
 
 #include <chrono>
+#include <string>
+#include <string_view>
 
 namespace pdn3d::util {
 
 class Timer {
  public:
-  Timer() : start_(Clock::now()) {}
+  Timer() : start_(Clock::now()), lap_(start_) {}
 
   /// Seconds since construction or the last reset().
   [[nodiscard]] double elapsed_seconds() const;
+
+  /// Seconds since the last lap_seconds() call (or construction/reset), and
+  /// start a new lap. Use for per-phase timings off one stopwatch.
+  [[nodiscard]] double lap_seconds();
 
   void reset();
 
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
+};
+
+/// Scope guard that feeds its lifetime (seconds) into the metrics registry:
+/// an obs histogram named @p metric_name (time_buckets) plus a
+/// `<metric_name>.count` counter. Same steady clock as Timer and the trace
+/// spans, so timings from all three agree.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view metric_name);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Seconds elapsed so far (the destructor records the final value).
+  [[nodiscard]] double elapsed_seconds() const { return timer_.elapsed_seconds(); }
+
+ private:
+  std::string metric_name_;
+  Timer timer_;
 };
 
 }  // namespace pdn3d::util

@@ -1,0 +1,92 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace pdn3d::obs {
+namespace {
+
+TEST(Json, ScalarKindsAndDump) {
+  EXPECT_EQ(json::Value().dump(), "null");
+  EXPECT_EQ(json::Value(true).dump(), "true");
+  EXPECT_EQ(json::Value(false).dump(), "false");
+  EXPECT_EQ(json::Value(42).dump(), "42");
+  EXPECT_EQ(json::Value(2.5).dump(), "2.5");
+  EXPECT_EQ(json::Value("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  json::Value o = json::Value::object();
+  o.set("zebra", 1);
+  o.set("alpha", 2);
+  o.set("mid", 3);
+  EXPECT_EQ(o.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(Json, SetOverwritesExistingKeyInPlace) {
+  json::Value o = json::Value::object();
+  o.set("a", 1);
+  o.set("b", 2);
+  o.set("a", 9);
+  EXPECT_EQ(o.dump(), "{\"a\":9,\"b\":2}");
+  ASSERT_NE(o.find("a"), nullptr);
+  EXPECT_DOUBLE_EQ(o.find("a")->as_number(), 9.0);
+  EXPECT_EQ(o.find("missing"), nullptr);
+}
+
+TEST(Json, EscapeSpecialCharacters) {
+  EXPECT_EQ(json::escape("a\"b\\c\n\t"), "a\\\"b\\\\c\\n\\t");
+  // Control characters get \u00XX form.
+  EXPECT_EQ(json::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+  EXPECT_EQ(json::Value(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(json::Value(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, ParseRoundTripsADocument) {
+  json::Value root = json::Value::object();
+  root.set("name", "pdn3d");
+  root.set("ok", true);
+  root.set("nothing", json::Value());
+  json::Value arr = json::Value::array();
+  arr.push_back(1);
+  arr.push_back(2.5);
+  arr.push_back("three");
+  root.set("list", std::move(arr));
+  json::Value nested = json::Value::object();
+  nested.set("depth", 2);
+  root.set("child", std::move(nested));
+
+  const json::Value parsed = json::parse(root.dump());
+  EXPECT_EQ(parsed.dump(), root.dump());
+  // Pretty-printed output parses back to the same document too.
+  EXPECT_EQ(json::parse(root.dump(2)).dump(), root.dump());
+}
+
+TEST(Json, ParseHandlesEscapesAndUnicode) {
+  const json::Value v = json::parse(R"("a\"b\\c\nA")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nA");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)json::parse(""), std::runtime_error);
+  EXPECT_THROW((void)json::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)json::parse("{\"a\":1} trailing"), std::runtime_error);
+  EXPECT_THROW((void)json::parse("nul"), std::runtime_error);
+}
+
+TEST(Json, TypeMisuseThrows) {
+  json::Value arr = json::Value::array();
+  EXPECT_THROW(arr.set("k", 1), std::logic_error);
+  json::Value obj = json::Value::object();
+  EXPECT_THROW(obj.push_back(1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pdn3d::obs

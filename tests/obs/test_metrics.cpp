@@ -1,0 +1,121 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace pdn3d::obs {
+namespace {
+
+// Metric names are process-global; every test uses its own prefix so the
+// cases stay independent however the runner batches them.
+
+TEST(Metrics, CounterAddsAndResets) {
+  Counter& c = counter("test_metrics.counter_basic");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, RegistryReturnsSameInstanceByName) {
+  Counter& a = counter("test_metrics.same_name");
+  Counter& b = counter("test_metrics.same_name");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  Gauge& g = gauge("test_metrics.gauge_basic");
+  g.set(1.5);
+  g.set(-2.25);
+  EXPECT_DOUBLE_EQ(g.value(), -2.25);
+}
+
+TEST(Metrics, HistogramBucketSemantics) {
+  Histogram& h = histogram("test_metrics.hist_buckets", {1.0, 2.0, 4.0});
+  h.observe(0.5);   // <= 1        -> bucket 0
+  h.observe(1.0);   // <= 1 (incl) -> bucket 0
+  h.observe(1.5);   // <= 2        -> bucket 1
+  h.observe(4.0);   // <= 4        -> bucket 2
+  h.observe(99.0);  // overflow    -> bucket 3
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // bounds + overflow
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 99.0);
+}
+
+TEST(Metrics, HistogramFirstRegistrationWinsBounds) {
+  Histogram& a = histogram("test_metrics.hist_bounds", {1.0, 10.0});
+  Histogram& b = histogram("test_metrics.hist_bounds", {5.0});  // ignored
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.upper_bounds(), (std::vector<double>{1.0, 10.0}));
+}
+
+TEST(Metrics, ConcurrentIncrementsDoNotTear) {
+  Counter& c = counter("test_metrics.concurrent");
+  Histogram& h = histogram("test_metrics.concurrent_hist", {0.5});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add(1);
+        h.observe(1.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.bucket_counts().back(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(Metrics, SnapshotIsSortedAndDeterministic) {
+  counter("test_metrics.snap_z").add(1);
+  counter("test_metrics.snap_a").add(2);
+  gauge("test_metrics.snap_g").set(7.0);
+  histogram("test_metrics.snap_h", {1.0}).observe(0.5);
+
+  const MetricsSnapshot s1 = MetricsRegistry::instance().snapshot();
+  const MetricsSnapshot s2 = MetricsRegistry::instance().snapshot();
+
+  // std::map keys iterate in sorted order -> byte-stable reports.
+  EXPECT_TRUE(s1.counters.find("test_metrics.snap_a") != s1.counters.end());
+  EXPECT_EQ(s1.counters.at("test_metrics.snap_z"), 1u);
+  EXPECT_EQ(s1.counters.at("test_metrics.snap_a"), 2u);
+  EXPECT_DOUBLE_EQ(s1.gauges.at("test_metrics.snap_g"), 7.0);
+  EXPECT_EQ(s1.histograms.at("test_metrics.snap_h").count, 1u);
+  EXPECT_EQ(s1.counters, s2.counters);
+  EXPECT_EQ(s1.gauges, s2.gauges);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsReferencesValid) {
+  Counter& c = counter("test_metrics.reset_ref");
+  c.add(5);
+  MetricsRegistry::instance().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);  // the reference must still point at live storage
+  EXPECT_EQ(counter("test_metrics.reset_ref").value(), 2u);
+}
+
+TEST(Metrics, BucketHelpers) {
+  EXPECT_EQ(linear_buckets(0.0, 2.0, 3), (std::vector<double>{0.0, 2.0, 4.0}));
+  EXPECT_EQ(exponential_buckets(1.0, 2.0, 4), (std::vector<double>{1.0, 2.0, 4.0, 8.0}));
+  const auto tb = time_buckets();
+  ASSERT_GT(tb.size(), 2u);
+  for (std::size_t i = 1; i < tb.size(); ++i) EXPECT_GT(tb[i], tb[i - 1]);
+}
+
+}  // namespace
+}  // namespace pdn3d::obs

@@ -1,0 +1,161 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "obs/json.hpp"
+
+namespace pdn3d::obs {
+namespace {
+
+/// The store is process-global: reset it before and restore defaults after
+/// every case so the tests are independent of run order.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceStore::instance().set_enabled(true);
+    TraceStore::instance().set_event_capacity(65536);
+    TraceStore::instance().clear();
+  }
+  void TearDown() override {
+    TraceStore::instance().set_enabled(true);
+    TraceStore::instance().set_event_capacity(65536);
+    TraceStore::instance().clear();
+  }
+};
+
+TEST_F(TraceTest, NestedSpansBuildSlashPaths) {
+  {
+    TraceSpan outer("outer");
+    {
+      TraceSpan inner("inner");
+      { TraceSpan leaf("leaf"); }
+    }
+    { TraceSpan inner2("inner"); }
+  }
+  const auto stats = TraceStore::instance().stats();
+  ASSERT_EQ(stats.count("outer"), 1u);
+  ASSERT_EQ(stats.count("outer/inner"), 1u);
+  ASSERT_EQ(stats.count("outer/inner/leaf"), 1u);
+  EXPECT_EQ(stats.at("outer").count, 1u);
+  EXPECT_EQ(stats.at("outer/inner").count, 2u);
+  EXPECT_EQ(stats.at("outer/inner/leaf").count, 1u);
+  EXPECT_EQ(TraceStore::instance().unbalanced_spans(), 0u);
+
+  const auto events = TraceStore::instance().events();
+  ASSERT_EQ(events.size(), 4u);
+  // Children close before parents, so the parent is the last event.
+  EXPECT_EQ(events.back().path, "outer");
+  EXPECT_EQ(events.back().depth, 0);
+  EXPECT_EQ(events.front().path, "outer/inner/leaf");
+  EXPECT_EQ(events.front().depth, 2);
+}
+
+TEST_F(TraceTest, SelfTimeExcludesChildren) {
+  {
+    TraceSpan outer("outer");
+    volatile double sink = 0.0;
+    for (int i = 0; i < 200000; ++i) sink = sink + 1.0;
+    {
+      TraceSpan inner("inner");
+      for (int i = 0; i < 200000; ++i) sink = sink + 1.0;
+    }
+  }
+  const auto stats = TraceStore::instance().stats();
+  const SpanStats& outer = stats.at("outer");
+  const SpanStats& inner = stats.at("outer/inner");
+  EXPECT_GE(outer.total_s, inner.total_s);
+  // self = total - direct children (clamped at zero).
+  EXPECT_NEAR(outer.self_s, outer.total_s - inner.total_s, 1e-9);
+  EXPECT_GE(outer.min_s, 0.0);
+  EXPECT_GE(outer.max_s, outer.min_s);
+}
+
+TEST_F(TraceTest, OutOfOrderDestructionIsCountedNotFatal) {
+  auto outer = std::make_unique<TraceSpan>("bad_outer");
+  auto inner = std::make_unique<TraceSpan>("bad_child");  // still open when outer dies
+  outer.reset();  // pops the child frame as unbalanced, then closes itself
+  inner.reset();  // its frame is already gone -> counted too
+  EXPECT_EQ(TraceStore::instance().unbalanced_spans(), 2u);
+  // The outer span still recorded; subsequent spans are unaffected.
+  EXPECT_EQ(TraceStore::instance().stats().count("bad_outer"), 1u);
+  { TraceSpan ok("after_unbalanced"); }
+  EXPECT_EQ(TraceStore::instance().stats().count("after_unbalanced"), 1u);
+}
+
+TEST_F(TraceTest, ChromeTraceJsonRoundTrips) {
+  {
+    TraceSpan span("chrome_parent");
+    span.attribute("k", "v");
+    span.attribute("n", std::uint64_t{7});
+    { TraceSpan child("child"); }
+  }
+  const std::string text = TraceStore::instance().chrome_trace().dump(2);
+  const json::Value parsed = json::parse(text);
+
+  ASSERT_NE(parsed.find("traceEvents"), nullptr);
+  const json::Value& events = *parsed.find("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.items().size(), 2u);
+  for (const json::Value& ev : events.items()) {
+    ASSERT_NE(ev.find("name"), nullptr);
+    ASSERT_NE(ev.find("ph"), nullptr);
+    EXPECT_EQ(ev.find("ph")->as_string(), "X");
+    EXPECT_TRUE(ev.find("ts")->is_number());
+    EXPECT_TRUE(ev.find("dur")->is_number());
+    EXPECT_TRUE(ev.find("pid")->is_number());
+    EXPECT_TRUE(ev.find("tid")->is_number());
+  }
+  // The parent event carries the attributes as Chrome "args".
+  const json::Value& parent = events.items().back();
+  EXPECT_EQ(parent.find("name")->as_string(), "chrome_parent");
+  ASSERT_NE(parent.find("args"), nullptr);
+  EXPECT_EQ(parent.find("args")->find("k")->as_string(), "v");
+  EXPECT_EQ(parent.find("args")->find("n")->as_string(), "7");
+}
+
+TEST_F(TraceTest, CapacityCapDropsRawEventsButKeepsExactStats) {
+  TraceStore::instance().set_event_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span("capped");
+  }
+  EXPECT_EQ(TraceStore::instance().events().size(), 2u);
+  EXPECT_EQ(TraceStore::instance().dropped_events(), 3u);
+  EXPECT_EQ(TraceStore::instance().stats().at("capped").count, 5u);  // aggregates stay exact
+}
+
+TEST_F(TraceTest, DisabledStoreRecordsNothing) {
+  TraceStore::instance().set_enabled(false);
+  {
+    TraceSpan span("invisible");
+    span.attribute("k", "v");  // must be a harmless no-op
+  }
+  EXPECT_TRUE(TraceStore::instance().events().empty());
+  EXPECT_TRUE(TraceStore::instance().stats().empty());
+}
+
+TEST_F(TraceTest, ProfileTableListsHeaviestSpans) {
+  { TraceSpan span("tabled_span"); }
+  const std::string table = TraceStore::instance().profile_table(5);
+  EXPECT_NE(table.find("tabled_span"), std::string::npos);
+  EXPECT_NE(table.find("self (ms)"), std::string::npos);
+
+  TraceStore::instance().clear();
+  EXPECT_NE(TraceStore::instance().profile_table(5).find("(no spans recorded)"),
+            std::string::npos);
+}
+
+TEST_F(TraceTest, MacroExpandsToScopedSpan) {
+  {
+    PDN3D_TRACE_SPAN("macro_span");
+    PDN3D_TRACE_SPAN_NAMED(named, "macro_named");
+    named.attribute("via", "macro");
+  }
+  const auto stats = TraceStore::instance().stats();
+  EXPECT_EQ(stats.count("macro_span"), 1u);
+  EXPECT_EQ(stats.count("macro_span/macro_named"), 1u);
+}
+
+}  // namespace
+}  // namespace pdn3d::obs

@@ -1,0 +1,42 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pdn3d::util {
+namespace {
+
+TEST(Log, ParseLogLevelNamesAndDigits) {
+  LogLevel level = LogLevel::kWarn;
+  EXPECT_TRUE(parse_log_level("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(parse_log_level("INFO", &level));  // case-insensitive
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(parse_log_level("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(parse_log_level(" error ", &level));  // trimmed
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(parse_log_level("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_TRUE(parse_log_level("0", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(parse_log_level("4", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+}
+
+TEST(Log, ParseLogLevelRejectsUnknownInputUntouched) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_FALSE(parse_log_level("loud", &level));
+  EXPECT_FALSE(parse_log_level("", &level));
+  EXPECT_FALSE(parse_log_level("7", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+}
+
+TEST(Log, SetLogLevelRoundTrips) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  set_log_level(before);
+}
+
+}  // namespace
+}  // namespace pdn3d::util

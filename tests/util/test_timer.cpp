@@ -1,0 +1,49 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace pdn3d::util {
+namespace {
+
+TEST(Timer, ElapsedIsMonotone) {
+  Timer t;
+  const double a = t.elapsed_seconds();
+  const double b = t.elapsed_seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(Timer, LapRestartsTheLapClockButNotElapsed) {
+  Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  const double lap1 = t.lap_seconds();
+  const double lap2 = t.lap_seconds();  // immediately after: near-zero fresh lap
+  EXPECT_GE(lap1, 0.0);
+  EXPECT_GE(lap2, 0.0);
+  EXPECT_LE(lap2, lap1 + 1e-3);
+  EXPECT_GE(t.elapsed_seconds(), lap1);  // total keeps accumulating across laps
+}
+
+TEST(Timer, ResetClearsBothClocks) {
+  Timer t;
+  (void)t.lap_seconds();
+  t.reset();
+  EXPECT_LT(t.elapsed_seconds(), 1.0);
+  EXPECT_LT(t.lap_seconds(), 1.0);
+}
+
+TEST(ScopedTimer, FeedsHistogramAndCountIntoRegistry) {
+  const auto before = obs::counter("test_timer.scope.count").value();
+  {
+    ScopedTimer scope("test_timer.scope");
+    EXPECT_GE(scope.elapsed_seconds(), 0.0);
+  }
+  EXPECT_EQ(obs::counter("test_timer.scope.count").value(), before + 1);
+  EXPECT_GE(obs::histogram("test_timer.scope", obs::time_buckets()).count(), 1u);
+}
+
+}  // namespace
+}  // namespace pdn3d::util

@@ -33,6 +33,9 @@
 #include "cost/cost_model.hpp"
 #include "irdrop/montecarlo.hpp"
 #include "memctrl/trace.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/log.hpp"
 #include "pdn/mesh_validator.hpp"
 #include "tech/tech_file.hpp"
 #include "transient/decap.hpp"
@@ -66,6 +69,7 @@ constexpr int kExitInfeasible = 4;
       "  simulate    run the memory-controller simulation\n"
       "  cooptimize  co-optimize design+packaging at an alpha\n"
       "  validate    numerical-health check of the R-Mesh (exit 0 = healthy)\n"
+      "  profile     run analyze/lut/simulate/cooptimize and print hot spans\n"
       "  report      per-block hotspot report for one die\n"
       "  montecarlo  IR-drop distribution over random memory states\n"
       "  droop       transient (RC) droop of a memory-state step\n"
@@ -88,6 +92,11 @@ constexpr int kExitInfeasible = 4;
       "  --samples N      Monte Carlo samples          (montecarlo, default 200)\n"
       "  --die N          die to report (1-based)      (report, default top die)\n"
       "  --decap NF       per-tap decap in nF          (droop, default 2)\n"
+      "  --top N          hot spans to print           (profile, default 15)\n"
+      "  --report FILE    write a machine-readable JSON run report (any command;\n"
+      "                   see docs/OBSERVABILITY.md for the schema)\n"
+      "  --verbose        log at debug level (also: PDN3D_LOG_LEVEL env var)\n"
+      "  --quiet          log errors only\n"
       "  --m2 PCT --m3 PCT --tc N --tl C|E|D --bd f2b|f2f\n"
       "  --rdl none|bottom|all --wb --dedicated --no-align --scale X\n";
   std::exit(kExitUsage);
@@ -135,7 +144,7 @@ Args parse_args(int argc, char** argv) {
                                                "--alpha", "--out",      "--m2",     "--m3",
                                                "--tc",    "--tl",       "--bd",     "--rdl",
                                                "--scale", "--tech",     "--trace",  "--samples",
-                                               "--decap", "--die"};
+                                               "--decap", "--die",      "--report", "--top"};
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool takes_value =
@@ -206,7 +215,18 @@ int cmd_analyze(core::Platform& p, const Args& a) {
   const auto cfg = apply_design_flags(p.benchmark().baseline, a);
   const std::string state = a.get("--state").value_or(p.benchmark().default_state);
   const double act = a.get_double("--activity", -1.0);
-  const auto r = p.analyze(cfg, state, act);
+  // One-shot command: build a fresh analyzer on the paper's IC-PCG R-Mesh
+  // path rather than Platform's many-state cache (whose factor-once banded
+  // solver only pays off across LUT/controller sweeps).
+  const auto& bench = p.benchmark();
+  const auto built = pdn::build_stack(bench.stack, cfg);
+  irdrop::PowerBinding power;
+  power.dram = bench.dram_power;
+  power.logic = bench.logic_power;
+  power.dram_scale = bench.power_scale;
+  const irdrop::IrAnalyzer analyzer(built.model, bench.stack.dram_fp, bench.stack.logic_fp,
+                                    power);
+  const auto r = analyzer.analyze(p.parse_state(state, act));
   std::cout << "design : " << cfg.summary() << "\n";
   std::cout << "state  : " << state << " @ activity "
             << util::fmt_fixed(p.parse_state(state, act).io_activity, 2) << "\n";
@@ -469,6 +489,42 @@ int cmd_droop(core::Platform& p, const Args& a) {
   return 0;
 }
 
+int cmd_profile(core::Platform& p, const Args& a) {
+  // Exercise the full pipeline on the baseline design, then print where the
+  // wall time went. Each stage gets a top-level span so the table groups the
+  // library's internal spans under a readable root.
+  const auto cfg = apply_design_flags(p.benchmark().baseline, a);
+  const std::size_t top_n = static_cast<std::size_t>(a.get_double("--top", 15.0));
+
+  std::cout << "profiling " << p.benchmark().name << " (analyze, lut, simulate, cooptimize)\n";
+  {
+    PDN3D_TRACE_SPAN("profile/analyze");
+    const auto r = p.analyze(cfg, p.benchmark().default_state, -1.0);
+    std::cout << "  analyze    : max IR " << util::fmt_fixed(r.dram_max_mv, 2) << " mV\n";
+  }
+  {
+    PDN3D_TRACE_SPAN("profile/lut");
+    const auto& lut = p.lut(cfg);
+    std::cout << "  lut        : " << lut.size() << " states, worst "
+              << util::fmt_fixed(lut.worst_case_mv(), 2) << " mV\n";
+  }
+  {
+    PDN3D_TRACE_SPAN("profile/simulate");
+    const auto r = p.simulate(cfg, memctrl::ir_aware_policy(24.0, memctrl::SchedulingKind::kDistR));
+    std::cout << "  simulate   : " << util::fmt_fixed(r.runtime_us, 2) << " us, "
+              << (r.feasible ? "feasible" : "INFEASIBLE") << "\n";
+  }
+  {
+    PDN3D_TRACE_SPAN("profile/cooptimize");
+    auto opt = p.make_cooptimizer();
+    const auto best = opt.optimize(0.3);
+    std::cout << "  cooptimize : " << best.config.summary() << " @ "
+              << util::fmt_fixed(best.measured_ir_mv, 2) << " mV\n";
+  }
+  std::cout << "\n" << obs::TraceStore::instance().profile_table(top_n);
+  return 0;
+}
+
 int cmd_export(core::Platform& p, const Args& a) {
   const auto out_opt = a.get("--out");
   if (!out_opt) usage("export requires --out DIR");
@@ -515,46 +571,73 @@ int cmd_export(core::Platform& p, const Args& a) {
   return 0;
 }
 
+int dispatch(core::Platform& platform, const Args& args) {
+  if (args.command == "info") return cmd_info(platform);
+  if (args.command == "analyze") return cmd_analyze(platform, args);
+  if (args.command == "lut") return cmd_lut(platform, args);
+  if (args.command == "simulate") return cmd_simulate(platform, args);
+  if (args.command == "cooptimize") return cmd_cooptimize(platform, args);
+  if (args.command == "validate") return cmd_validate(platform, args);
+  if (args.command == "profile") return cmd_profile(platform, args);
+  if (args.command == "report") return cmd_report(platform, args);
+  if (args.command == "montecarlo") return cmd_montecarlo(platform, args);
+  if (args.command == "droop") return cmd_droop(platform, args);
+  if (args.command == "export") return cmd_export(platform, args);
+  usage("unknown command '" + args.command + "'");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
+  if (args.has_flag("--verbose")) util::set_log_level(util::LogLevel::kDebug);
+  if (args.has_flag("--quiet")) util::set_log_level(util::LogLevel::kError);
   core::Benchmark benchmark = core::make_benchmark(parse_benchmark(args.benchmark));
+
+  int rc = kExitOk;
   if (const auto tech_path = args.get("--tech")) {
     std::ifstream tf(*tech_path);
     if (!tf) {
       std::cerr << "error: cannot open technology file '" << *tech_path << "'\n";
-      return kExitInputError;
+      rc = kExitInputError;
+    } else {
+      try {
+        benchmark.stack.tech = tech::read_technology(tf);
+      } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        rc = kExitInputError;
+      }
     }
+  }
+
+  if (rc == kExitOk) {
+    core::Platform platform(std::move(benchmark));
     try {
-      benchmark.stack.tech = tech::read_technology(tf);
+      rc = dispatch(platform, args);
+    } catch (const core::ValidationError& e) {
+      std::cerr << "error: mesh validation failed:\n" << e.report().to_string() << "\n";
+      rc = kExitNumerical;
+    } catch (const core::NumericalError& e) {
+      std::cerr << "error: " << e.status().to_string() << "\n";
+      rc = kExitNumerical;
     } catch (const std::exception& e) {
       std::cerr << "error: " << e.what() << "\n";
-      return kExitInputError;
+      rc = kExitInputError;
     }
   }
-  core::Platform platform(std::move(benchmark));
 
-  try {
-    if (args.command == "info") return cmd_info(platform);
-    if (args.command == "analyze") return cmd_analyze(platform, args);
-    if (args.command == "lut") return cmd_lut(platform, args);
-    if (args.command == "simulate") return cmd_simulate(platform, args);
-    if (args.command == "cooptimize") return cmd_cooptimize(platform, args);
-    if (args.command == "validate") return cmd_validate(platform, args);
-    if (args.command == "report") return cmd_report(platform, args);
-    if (args.command == "montecarlo") return cmd_montecarlo(platform, args);
-    if (args.command == "droop") return cmd_droop(platform, args);
-    if (args.command == "export") return cmd_export(platform, args);
-  } catch (const core::ValidationError& e) {
-    std::cerr << "error: mesh validation failed:\n" << e.report().to_string() << "\n";
-    return kExitNumerical;
-  } catch (const core::NumericalError& e) {
-    std::cerr << "error: " << e.status().to_string() << "\n";
-    return kExitNumerical;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
-    return kExitInputError;
+  // The report is written even after a failed command: a run that escalated
+  // or exhausted the ladder is exactly the run worth dissecting.
+  if (const auto report_path = args.get("--report")) {
+    obs::RunReportOptions opts;
+    opts.command = args.command;
+    opts.benchmark = args.benchmark;
+    opts.argv.assign(argv, argv + argc);
+    const core::Status st = obs::write_run_report(*report_path, opts);
+    if (!st.is_ok()) {
+      std::cerr << "error: " << st.to_string() << "\n";
+      if (rc == kExitOk) rc = kExitInputError;
+    }
   }
-  usage("unknown command '" + args.command + "'");
+  return rc;
 }
