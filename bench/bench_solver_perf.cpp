@@ -6,7 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include "core/benchmarks.hpp"
+#include "exec/thread_pool.hpp"
 #include "irdrop/analysis.hpp"
+#include "irdrop/eval_context.hpp"
+#include "irdrop/lut.hpp"
+#include "irdrop/montecarlo.hpp"
 #include "pdn/stack_builder.hpp"
 
 namespace {
@@ -79,6 +83,78 @@ void BM_SingleDieSolve(benchmark::State& state) {
   state.SetLabel(std::to_string(die.node_count()) + " nodes");
 }
 BENCHMARK(BM_SingleDieSolve)->Arg(1)->Arg(2)->Arg(3);
+
+// --- Parallel sweep engine -------------------------------------------------
+// The multi-threaded series: the same sweep at 1/2/4 workers. Results are
+// bitwise identical across the series (the determinism contract); only the
+// wall clock moves. On a multi-core host the speedup at 4 workers documents
+// the sweep-engine scaling; on a single-core CI box the threads>1 rows mostly
+// measure oversubscription and the threads=1 row doubles as the pool-overhead
+// baseline (inline path, no workers spawned).
+
+void BM_MonteCarloSweep(benchmark::State& state) {
+  const auto& b = ddr3();
+  const auto built = pdn::build_stack(b.stack, b.baseline);
+  irdrop::PowerBinding power;
+  power.dram = b.dram_power;
+  power.logic = b.logic_power;
+  const irdrop::IrAnalyzer analyzer(built.model, b.stack.dram_fp, b.stack.logic_fp, power);
+  irdrop::MonteCarloConfig cfg;
+  cfg.samples = 32;
+  cfg.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        irdrop::sample_ir_distribution(analyzer, b.stack.dram_spec, cfg).mean_mv);
+  }
+  state.SetLabel(std::to_string(cfg.threads) + " threads");
+}
+BENCHMARK(BM_MonteCarloSweep)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_LutBuild(benchmark::State& state) {
+  const auto& b = ddr3();
+  const auto built = pdn::build_stack(b.stack, b.baseline);
+  irdrop::PowerBinding power;
+  power.dram = b.dram_power;
+  power.logic = b.logic_power;
+  const irdrop::IrAnalyzer analyzer(built.model, b.stack.dram_fp, b.stack.logic_fp, power);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        irdrop::IrLut::build(analyzer, b.stack.dram_spec, 2, 1.0, threads).worst_case_mv());
+  }
+  state.SetLabel(std::to_string(threads) + " threads");
+}
+BENCHMARK(BM_LutBuild)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_PoolDispatchOverhead(benchmark::State& state) {
+  // Per-region cost of the single-thread inline path against the same solve
+  // loop written as a plain for: the <= 5% single-thread overhead budget.
+  const auto& b = ddr3();
+  const auto built = pdn::build_stack(b.stack, b.baseline);
+  irdrop::PowerBinding power;
+  power.dram = b.dram_power;
+  power.logic = b.logic_power;
+  const irdrop::IrAnalyzer analyzer(built.model, b.stack.dram_fp, b.stack.logic_fp, power);
+  const auto st = power::parse_memory_state("0-0-0-2", b.stack.dram_spec);
+  const bool pooled = state.range(0) != 0;
+  exec::ThreadPool pool(1);
+  irdrop::EvalContext root(analyzer);
+  for (auto _ : state) {
+    double sum = 0.0;
+    if (pooled) {
+      pool.parallel_chunks(8, [&](std::size_t, std::size_t begin, std::size_t end) {
+        irdrop::EvalContext ctx = root.fork();
+        for (std::size_t i = begin; i < end; ++i) sum += ctx.analyze(st).dram_max_mv;
+      });
+    } else {
+      irdrop::EvalContext ctx = root.fork();
+      for (std::size_t i = 0; i < 8; ++i) sum += ctx.analyze(st).dram_max_mv;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetLabel(pooled ? "pool(1) inline path" : "plain loop");
+}
+BENCHMARK(BM_PoolDispatchOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
-"""Validate a pdn3d --report JSON file against run-report schema v1.
+"""Validate a pdn3d --report JSON file against run-report schema v2.
 
 Stdlib-only so it can run anywhere the repo builds. Exits 0 when the report
 conforms, 1 with a list of problems otherwise. The schema is documented in
 docs/OBSERVABILITY.md; bump SCHEMA_VERSION there and here together.
+
+v2 added the top-level "threads" key: the effective worker-thread count
+(--threads / PDN3D_THREADS / hardware concurrency) the run resolved.
 
 Usage: check_report_schema.py report.json [report2.json ...]
 """
@@ -12,7 +15,7 @@ import json
 import numbers
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 # key -> allowed python types for the documented top-level fields.
 TOP_LEVEL = {
@@ -21,6 +24,7 @@ TOP_LEVEL = {
     "version": str,
     "command": str,
     "benchmark": str,
+    "threads": numbers.Number,
     "provenance": dict,
     "metrics": dict,
     "spans": list,
@@ -82,6 +86,8 @@ def check_report(report):
 
     if report["schema"] != SCHEMA_VERSION:
         errors.append(f"schema: expected {SCHEMA_VERSION}, got {report['schema']}")
+    if isinstance(report.get("threads"), numbers.Number) and report["threads"] < 1:
+        errors.append(f"threads: expected >= 1, got {report['threads']}")
     if report["tool"] != "pdn3d":
         errors.append(f"tool: expected 'pdn3d', got {report['tool']!r}")
 

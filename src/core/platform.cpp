@@ -32,14 +32,22 @@ std::string Platform::cache_key(const pdn::PdnConfig& config) const {
 Platform::CachedDesign& Platform::design(const pdn::PdnConfig& config) const {
   static auto& m_hits = obs::counter("platform.design_cache_hits");
   static auto& m_misses = obs::counter("platform.design_cache_misses");
+  static auto& m_inserts = obs::counter("platform.design_cache_inserts");
   const std::string key = cache_key(config);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    m_hits.add(1);
-    return *it->second;
+  {
+    const std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      m_hits.add(1);
+      return *it->second;
+    }
   }
   m_misses.add(1);
 
+  // Build outside any lock: stack construction + factorization dominate, and
+  // concurrent readers of other designs must not stall behind them. Two
+  // threads racing on the same key both build; emplace keeps the first and
+  // the loser's copy is discarded (counted as a miss but not an insert).
   PDN3D_TRACE_SPAN("platform/build_design");
   auto cd = std::make_unique<CachedDesign>();
   cd->built = pdn::build_stack(bench_.stack, config);
@@ -48,7 +56,9 @@ Platform::CachedDesign& Platform::design(const pdn::PdnConfig& config) const {
   cd->analyzer = std::make_unique<irdrop::IrAnalyzer>(cd->built.model, bench_.stack.dram_fp,
                                                       bench_.stack.logic_fp, power_binding(),
                                                       irdrop::SolverKind::kBandedDirect);
+  const std::unique_lock<std::shared_mutex> lock(cache_mutex_);
   auto [pos, inserted] = cache_.emplace(key, std::move(cd));
+  if (inserted) m_inserts.add(1);
   return *pos->second;
 }
 
@@ -97,6 +107,9 @@ const irdrop::IrLut& Platform::lut(const pdn::PdnConfig& config) const {
   static auto& m_hits = obs::counter("lut.hit");
   static auto& m_misses = obs::counter("lut.miss");
   CachedDesign& cd = design(config);
+  // Per-design mutex (not call_once): a failed build must stay retryable,
+  // and concurrent callers of *different* designs must not serialize.
+  const std::lock_guard<std::mutex> lock(cd.lut_mutex);
   if (cd.lut) {
     m_hits.add(1);
   } else {
@@ -120,9 +133,9 @@ memctrl::SimResult Platform::simulate(const pdn::PdnConfig& config, memctrl::Pol
   return controller.run(std::move(requests));
 }
 
-opt::CoOptimizer Platform::make_cooptimizer() const {
-  return opt::CoOptimizer(bench_.design_space,
-                          [this](const pdn::PdnConfig& cfg) { return measure_ir_mv(cfg); });
+opt::CoOptimizer Platform::make_cooptimizer(int threads) const {
+  return opt::CoOptimizer(bench_.design_space, std::make_unique<PlatformEvaluator>(*this),
+                          threads);
 }
 
 }  // namespace pdn3d::core

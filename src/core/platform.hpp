@@ -7,6 +7,8 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 
@@ -69,16 +71,22 @@ class Platform {
                                             memctrl::PolicyConfig policy,
                                             std::vector<memctrl::Request> requests) const;
 
-  /// Co-optimizer bound to this benchmark's design space + R-Mesh evaluator.
-  [[nodiscard]] opt::CoOptimizer make_cooptimizer() const;
+  /// Co-optimizer bound to this benchmark's design space + R-Mesh evaluator
+  /// (a PlatformEvaluator). @p threads = 0 resolves
+  /// exec::default_thread_count() for the sampling sweep.
+  [[nodiscard]] opt::CoOptimizer make_cooptimizer(int threads = 0) const;
 
   /// Number of distinct design points currently cached.
-  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] std::size_t cache_size() const {
+    const std::shared_lock<std::shared_mutex> lock(cache_mutex_);
+    return cache_.size();
+  }
 
  private:
   struct CachedDesign {
     pdn::BuiltStack built;
     std::unique_ptr<irdrop::IrAnalyzer> analyzer;
+    std::mutex lut_mutex;  ///< guards the lazy LUT build below
     std::unique_ptr<irdrop::IrLut> lut;
   };
 
@@ -87,7 +95,29 @@ class Platform {
   [[nodiscard]] irdrop::PowerBinding power_binding() const;
 
   Benchmark bench_;
+  /// Guards cache_ only. CachedDesign entries are heap-allocated, so the
+  /// references design() hands out stay valid while the map grows; the
+  /// analyzer inside is safe for concurrent const use by construction.
+  mutable std::shared_mutex cache_mutex_;
   mutable std::map<std::string, std::unique_ptr<CachedDesign>> cache_;
+};
+
+/// opt::Evaluator over a Platform's one-shot R-Mesh measurement. fork()ed
+/// siblings share the (const) platform; measure_ir_mv builds and discards
+/// everything per call, so siblings never contend on mutable state.
+class PlatformEvaluator final : public opt::Evaluator {
+ public:
+  /// @param platform must outlive the evaluator and all of its forks.
+  explicit PlatformEvaluator(const Platform& platform) : platform_(&platform) {}
+  [[nodiscard]] double measure(const pdn::PdnConfig& config) override {
+    return platform_->measure_ir_mv(config);
+  }
+  [[nodiscard]] std::unique_ptr<opt::Evaluator> fork() const override {
+    return std::make_unique<PlatformEvaluator>(*platform_);
+  }
+
+ private:
+  const Platform* platform_;
 };
 
 }  // namespace pdn3d::core

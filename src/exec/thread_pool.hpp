@@ -1,0 +1,95 @@
+#pragma once
+
+/// @file thread_pool.hpp
+/// @brief Fixed-size thread pool for embarrassingly-parallel sweeps.
+///
+/// Every paper-facing result is a loop over independent R-Mesh solves (Monte
+/// Carlo samples, co-optimizer grid points, LUT memory states). This pool
+/// runs such loops across a fixed set of worker threads with a deliberately
+/// simple, work-stealing-free design: one shared atomic claim counter per
+/// region, claimed in index order. The properties the sweep engines rely on:
+///
+///  - **Ordered results.** parallel_map writes result i into slot i; callers
+///    observe exactly the serial output regardless of thread count.
+///  - **Per-task exception capture.** A throwing task never tears down the
+///    region; every task runs, and afterwards the *lowest-index* captured
+///    exception is rethrown -- the same exception a serial loop would have
+///    surfaced first.
+///  - **Serial fast path.** With one thread (or one task) the body runs
+///    inline on the calling thread, no locks, no allocation beyond the
+///    result vector -- the single-thread overhead budget is <= 5% vs a plain
+///    loop.
+///  - **Determinism is the caller's contract.** The pool guarantees order of
+///    results, not order of execution; callers must derive any randomness
+///    from the task index (see util::Rng::split), never from thread identity.
+///
+/// The process-wide default thread count resolves, in priority order:
+/// set_default_thread_count() (the CLI's --threads), the PDN3D_THREADS
+/// environment variable, std::thread::hardware_concurrency().
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <vector>
+
+namespace pdn3d::exec {
+
+/// Process-wide default worker count used by ThreadPool(0) and shared().
+/// Resolution order: explicit override > PDN3D_THREADS env > hardware
+/// concurrency; always >= 1.
+[[nodiscard]] std::size_t default_thread_count();
+
+/// Override the process-wide default (0 clears the override back to
+/// env/hardware resolution). Takes effect for pools constructed afterwards;
+/// shared() is re-sized lazily only if it has not been created yet.
+void set_default_thread_count(std::size_t threads);
+
+class ThreadPool {
+ public:
+  /// @param threads worker count; 0 resolves default_thread_count(). A pool
+  /// of 1 spawns no threads at all -- every region runs inline.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const { return thread_count_; }
+
+  /// Run body(i) for every i in [0, n), distributed over the pool (the
+  /// calling thread participates). Blocks until all n tasks finished. If any
+  /// tasks threw, the exception of the lowest index is rethrown after the
+  /// region completes.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Run chunk(c, begin, end) for every contiguous chunk of [0, n), one
+  /// chunk per participating worker (c in [0, chunks)). This is the hook for
+  /// per-thread state: fork an EvalContext per chunk and reuse it across the
+  /// chunk's items. Chunk boundaries depend only on n and thread_count(); use
+  /// index-derived randomness to stay deterministic across thread counts.
+  void parallel_chunks(std::size_t n,
+                       const std::function<void(std::size_t, std::size_t, std::size_t)>& chunk);
+
+  /// parallel_for that collects f(i) into slot i of the result vector. T must
+  /// be default-constructible and movable.
+  template <typename F>
+  auto parallel_map(std::size_t n, F&& f) -> std::vector<decltype(f(std::size_t{}))> {
+    std::vector<decltype(f(std::size_t{}))> out(n);
+    parallel_for(n, [&](std::size_t i) { out[i] = f(i); });
+    return out;
+  }
+
+  /// Process-wide pool sized by default_thread_count() at first use.
+  static ThreadPool& shared();
+
+ private:
+  struct Region;
+  struct Impl;
+
+  void run_region(Region& region) const;
+
+  std::size_t thread_count_ = 1;
+  Impl* impl_ = nullptr;  ///< null for a single-thread pool
+};
+
+}  // namespace pdn3d::exec

@@ -42,10 +42,17 @@ IrAnalyzer::IrAnalyzer(const pdn::StackModel& model, const floorplan::Floorplan&
 }
 
 std::vector<double> IrAnalyzer::injection(const power::MemoryState& state) const {
+  std::vector<double> sinks;
+  injection_into(state, sinks);
+  return sinks;
+}
+
+void IrAnalyzer::injection_into(const power::MemoryState& state,
+                                std::vector<double>& sinks) const {
   if (state.die_count() != model_.dram_die_count()) {
     throw std::invalid_argument("IrAnalyzer: memory state die count mismatch");
   }
-  std::vector<double> sinks(model_.node_count(), 0.0);
+  sinks.assign(model_.node_count(), 0.0);
   const double vdd = model_.vdd();
 
   const auto add_block_power = [&](const std::vector<std::size_t>& nodes, double watts) {
@@ -73,7 +80,6 @@ std::vector<double> IrAnalyzer::injection(const power::MemoryState& state) const
       add_block_power(logic_block_nodes_[idx], bp.power_w);
     }
   }
-  return sinks;
 }
 
 std::vector<double> IrAnalyzer::ir_map(const power::MemoryState& state) const {
@@ -111,16 +117,29 @@ std::vector<IrAnalyzer::BlockIr> IrAnalyzer::block_report(const power::MemorySta
 }
 
 IrResult IrAnalyzer::analyze(const power::MemoryState& state) const {
+  return analyze(state, nullptr, nullptr);
+}
+
+IrResult IrAnalyzer::analyze(const power::MemoryState& state, SolveScratch* scratch,
+                             std::vector<double>* sinks_buffer) const {
   PDN3D_TRACE_SPAN("irdrop/analyze");
   static auto& m_states = obs::counter("analysis.states_analyzed");
   m_states.add(1);
-  const std::size_t escalations_before = solver_.telemetry().escalations;
-  const std::vector<double> ir = ir_map(state);
+
+  std::vector<double> local_sinks;
+  std::vector<double>& sinks = sinks_buffer != nullptr ? *sinks_buffer : local_sinks;
+  injection_into(state, sinks);
+  SolveOutcome outcome = solver_.solve({.sinks = sinks, .want_ir = true}, scratch);
+  if (!outcome.ok()) throw core::NumericalError(std::move(outcome.status));
+  const std::vector<double>& ir = outcome.x;
 
   IrResult out;
-  out.solver_kind = solver_.last_kind_used();
-  out.solver_iterations = solver_.last_iterations();
-  out.solver_escalations = solver_.telemetry().escalations - escalations_before;
+  // Telemetry comes from the outcome of *this* request -- the deprecated
+  // last_* accessors would report some concurrent solve's rung under a
+  // threaded sweep.
+  out.solver_kind = outcome.kind_used;
+  out.solver_iterations = outcome.iterations;
+  out.solver_escalations = outcome.escalations;
   out.dram_dies.resize(static_cast<std::size_t>(model_.dram_die_count()));
   for (int d = 0; d < model_.dram_die_count(); ++d) {
     const pdn::LayerGrid& g = model_.device_grid(d);

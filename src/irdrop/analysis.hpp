@@ -57,8 +57,17 @@ class IrAnalyzer {
   /// Full IR analysis of one memory state.
   [[nodiscard]] IrResult analyze(const power::MemoryState& state) const;
 
+  /// analyze() with caller-owned work buffers -- the EvalContext hot path.
+  /// @p scratch / @p sinks_buffer may be null (allocates locally). Thread-safe
+  /// when each concurrent caller passes its own buffers.
+  [[nodiscard]] IrResult analyze(const power::MemoryState& state, SolveScratch* scratch,
+                                 std::vector<double>* sinks_buffer) const;
+
   /// The per-node sink-current vector for a state (exposed for validation).
   [[nodiscard]] std::vector<double> injection(const power::MemoryState& state) const;
+
+  /// injection() into a caller-owned buffer (resized and zeroed here).
+  void injection_into(const power::MemoryState& state, std::vector<double>& sinks) const;
 
   /// Per-node IR drop (volts) over the whole stack for one state.
   [[nodiscard]] std::vector<double> ir_map(const power::MemoryState& state) const;

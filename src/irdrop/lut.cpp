@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "exec/thread_pool.hpp"
+#include "irdrop/eval_context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/string_util.hpp"
@@ -12,7 +14,8 @@
 namespace pdn3d::irdrop {
 
 IrLut IrLut::build(const IrAnalyzer& analyzer, const floorplan::DramFloorplanSpec& spec,
-                   int max_per_die, double io_demand) {
+                   int max_per_die, double io_demand, int threads) {
+  if (threads < 0) throw std::invalid_argument("IrLut::build: threads must be >= 0");
   PDN3D_TRACE_SPAN_NAMED(span, "lut/build");
   const util::ScopedTimer build_timer("lut.build_seconds");
   static auto& m_states = obs::counter("lut.states_evaluated");
@@ -24,23 +27,33 @@ IrLut IrLut::build(const IrAnalyzer& analyzer, const floorplan::DramFloorplanSpe
   m_states.add(total);
   span.attribute("states", static_cast<std::uint64_t>(total));
 
+  // Each table entry is a pure function of its key (mixed-radix decode ->
+  // worst-case state -> verified solve), so the sweep parallelizes with no
+  // cross-entry state; an unsolvable state throws exactly as it would
+  // serially (the pool surfaces the lowest-key failure).
   std::vector<double> table(total, 0.0);
-  std::vector<int> counts(static_cast<std::size_t>(dies), 0);
-  for (std::size_t key = 0; key < total; ++key) {
-    std::size_t k = key;
-    for (int d = 0; d < dies; ++d) {
-      counts[static_cast<std::size_t>(d)] = static_cast<int>(k % static_cast<std::size_t>(radix));
-      k /= static_cast<std::size_t>(radix);
+  exec::ThreadPool pool(static_cast<std::size_t>(threads));
+  EvalContext root(analyzer);
+  pool.parallel_chunks(total, [&](std::size_t, std::size_t begin, std::size_t end) {
+    EvalContext ctx = root.fork();
+    std::vector<int> counts(static_cast<std::size_t>(dies), 0);
+    for (std::size_t key = begin; key < end; ++key) {
+      std::size_t k = key;
+      for (int d = 0; d < dies; ++d) {
+        counts[static_cast<std::size_t>(d)] =
+            static_cast<int>(k % static_cast<std::size_t>(radix));
+        k /= static_cast<std::size_t>(radix);
+      }
+      int active_dies = 0;
+      for (int c : counts) {
+        if (c > 0) ++active_dies;
+      }
+      const double act =
+          active_dies > 0 ? std::min(1.0, io_demand / static_cast<double>(active_dies)) : 0.0;
+      const auto state = power::make_state_from_counts(counts, spec, act);
+      table[key] = ctx.analyze(state).dram_max_mv;
     }
-    int active_dies = 0;
-    for (int c : counts) {
-      if (c > 0) ++active_dies;
-    }
-    const double act =
-        active_dies > 0 ? std::min(1.0, io_demand / static_cast<double>(active_dies)) : 0.0;
-    const auto state = power::make_state_from_counts(counts, spec, act);
-    table[key] = analyzer.analyze(state).dram_max_mv;
-  }
+  });
   return IrLut(dies, max_per_die, std::move(table));
 }
 

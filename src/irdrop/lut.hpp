@@ -28,8 +28,11 @@ class IrLut {
   /// channel's peak; active dies share it, so a state with k active dies is
   /// evaluated at activity min(1, io_demand / k). io_demand = 1 reproduces
   /// the paper's zero-bubble convention.
+  /// @param threads worker threads for the state sweep; 0 =
+  /// exec::default_thread_count(). Entry `key` is computed from state `key`
+  /// alone, so the table is identical at any thread count.
   static IrLut build(const IrAnalyzer& analyzer, const floorplan::DramFloorplanSpec& spec,
-                     int max_per_die = 2, double io_demand = 1.0);
+                     int max_per_die = 2, double io_demand = 1.0, int threads = 0);
 
   /// Max IR drop (mV) of the state with the given per-die active-bank counts.
   [[nodiscard]] double max_ir_mv(const std::vector<int>& counts) const;

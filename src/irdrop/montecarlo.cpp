@@ -1,10 +1,13 @@
 #include "irdrop/montecarlo.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
 #include "core/status.hpp"
+#include "exec/thread_pool.hpp"
+#include "irdrop/eval_context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/rng.hpp"
@@ -12,30 +15,17 @@
 
 namespace pdn3d::irdrop {
 
-MonteCarloResult sample_ir_distribution(const IrAnalyzer& analyzer,
-                                        const floorplan::DramFloorplanSpec& spec,
-                                        const MonteCarloConfig& config) {
-  if (config.samples <= 0) throw std::invalid_argument("montecarlo: samples must be positive");
-  if (config.max_banks_per_die < 1) {
-    throw std::invalid_argument("montecarlo: max_banks_per_die must be >= 1");
-  }
-  PDN3D_TRACE_SPAN_NAMED(span, "montecarlo/run");
-  static auto& m_samples = obs::counter("montecarlo.samples");
-  static auto& m_skipped = obs::counter("montecarlo.samples_skipped");
+namespace {
 
-  const int dies = analyzer.model().dram_die_count();
-  const int banks = spec.bank_cols * spec.bank_rows;
-
-  util::Rng rng(config.seed);
-  std::vector<double> values;
-  values.reserve(static_cast<std::size_t>(config.samples));
-  int skipped = 0;
-  std::string last_failure;
-  const std::size_t escalations_before = analyzer.solver().telemetry().escalations;
-
-  for (int s = 0; s < config.samples; ++s) {
+/// Draw one non-all-idle memory state from this sample's private stream. An
+/// all-idle draw carries no information for the margin study, so we redraw
+/// within the same stream (the stream advanced, so this terminates) -- the
+/// parallel analogue of the old serial `--s; continue` resample.
+power::MemoryState draw_state(util::Rng& rng, int dies, int banks,
+                              const MonteCarloConfig& config) {
+  for (;;) {
     power::MemoryState state;
-    state.dies.resize(static_cast<std::size_t>(dies));
+    state.dies.assign(static_cast<std::size_t>(dies), {});
     int active_dies = 0;
     for (int d = 0; d < dies; ++d) {
       if (!rng.next_bool(config.die_active_probability)) continue;
@@ -50,19 +40,66 @@ MonteCarloResult sample_ir_distribution(const IrAnalyzer& analyzer,
         }
       }
     }
-    if (active_dies == 0) {
-      // An all-idle sample carries no information for the margin study.
-      --s;  // resample; next_bool advanced the stream so this terminates
-      continue;
-    }
+    if (active_dies == 0) continue;
     state.io_activity = std::min(1.0, config.io_demand / static_cast<double>(active_dies));
-    try {
-      values.push_back(analyzer.analyze(state).dram_max_mv);
-    } catch (const core::NumericalError& e) {
-      // Skip-and-report: one unsolvable state must not kill the whole
-      // distribution run.
+    return state;
+  }
+}
+
+}  // namespace
+
+MonteCarloResult sample_ir_distribution(const IrAnalyzer& analyzer,
+                                        const floorplan::DramFloorplanSpec& spec,
+                                        const MonteCarloConfig& config) {
+  if (config.samples <= 0) throw std::invalid_argument("montecarlo: samples must be positive");
+  if (config.max_banks_per_die < 1) {
+    throw std::invalid_argument("montecarlo: max_banks_per_die must be >= 1");
+  }
+  if (config.threads < 0) throw std::invalid_argument("montecarlo: threads must be >= 0");
+  PDN3D_TRACE_SPAN_NAMED(span, "montecarlo/run");
+  static auto& m_samples = obs::counter("montecarlo.samples");
+  static auto& m_skipped = obs::counter("montecarlo.samples_skipped");
+
+  const int dies = analyzer.model().dram_die_count();
+  const int banks = spec.bank_cols * spec.bank_rows;
+  const std::size_t n = static_cast<std::size_t>(config.samples);
+  const std::size_t escalations_before = analyzer.solver().telemetry().escalations;
+
+  // Per-sample result slots: the pool guarantees slot i is written by the
+  // worker that claimed sample i, and every statistic below is computed from
+  // the slots in index order -- thread count never changes the answer.
+  std::vector<double> values(n, 0.0);
+  std::vector<unsigned char> solved(n, 0);
+  std::vector<std::string> failures(n);
+
+  exec::ThreadPool pool(static_cast<std::size_t>(config.threads));
+  EvalContext root(analyzer);
+  pool.parallel_chunks(n, [&](std::size_t, std::size_t begin, std::size_t end) {
+    EvalContext ctx = root.fork();
+    for (std::size_t s = begin; s < end; ++s) {
+      util::Rng rng = util::Rng::split(config.seed, s);
+      const power::MemoryState state = draw_state(rng, dies, banks, config);
+      try {
+        values[s] = ctx.analyze(state).dram_max_mv;
+        solved[s] = 1;
+      } catch (const core::NumericalError& e) {
+        // Skip-and-report: one unsolvable state must not kill the whole
+        // distribution run.
+        failures[s] = e.status().to_string();
+      }
+    }
+  });
+
+  std::vector<double> kept;
+  kept.reserve(n);
+  int skipped = 0;
+  std::string last_failure;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (solved[s]) {
+      kept.push_back(values[s]);
+    } else {
       ++skipped;
-      last_failure = e.status().to_string();
+      last_failure = failures[s];  // highest-index skip, as a serial run reports
     }
   }
 
@@ -74,13 +111,15 @@ MonteCarloResult sample_ir_distribution(const IrAnalyzer& analyzer,
   out.samples = config.samples - skipped;
   out.skipped_samples = skipped;
   out.last_failure = std::move(last_failure);
+  // The telemetry counters are atomic and the same solves run at any thread
+  // count, so this delta is exact even when the run was concurrent.
   out.solver_escalations = analyzer.solver().telemetry().escalations - escalations_before;
-  if (values.empty()) return out;
-  out.mean_mv = util::mean(values);
-  out.p50_mv = util::percentile(values, 50.0);
-  out.p95_mv = util::percentile(values, 95.0);
-  out.p99_mv = util::percentile(values, 99.0);
-  out.max_mv = util::max_value(values);
+  if (kept.empty()) return out;
+  out.mean_mv = util::mean(kept);
+  out.p50_mv = util::percentile(kept, 50.0);
+  out.p95_mv = util::percentile(kept, 95.0);
+  out.p99_mv = util::percentile(kept, 99.0);
+  out.max_mv = util::max_value(kept);
   return out;
 }
 

@@ -24,6 +24,11 @@ struct MonteCarloConfig {
   /// Probability a die has any active banks in a sample.
   double die_active_probability = 0.5;
   std::uint64_t seed = 0xd1ce5eedULL;
+  /// Worker threads for the sweep; 0 = exec::default_thread_count(). Each
+  /// sample draws from its own counter-derived RNG stream
+  /// (util::Rng::split(seed, sample)), so the distribution -- and every
+  /// reported statistic -- is bitwise identical at any thread count.
+  int threads = 0;
 };
 
 struct MonteCarloResult {

@@ -83,9 +83,11 @@ IrSolver::IrSolver(const pdn::StackModel& model, SolverKind kind, IrSolverOption
   g_ = builder.compress();
 
   if (kind_ == SolverKind::kPcgIc) {
-    PDN3D_TRACE_SPAN("solver/precond_build");
-    const util::ScopedTimer build_timer("solver.precond_build_seconds");
-    ic_ = std::make_unique<linalg::IncompleteCholesky>(g_);
+    std::call_once(ic_once_, [&] {
+      PDN3D_TRACE_SPAN("solver/precond_build");
+      const util::ScopedTimer build_timer("solver.precond_build_seconds");
+      ic_ = std::make_unique<linalg::IncompleteCholesky>(g_);
+    });
   }
   // The banded factorization is built lazily (see banded()) so that a
   // starting rung of kBandedDirect and an escalation into it share one path,
@@ -94,19 +96,21 @@ IrSolver::IrSolver(const pdn::StackModel& model, SolverKind kind, IrSolverOption
 }
 
 const linalg::BandedCholesky* IrSolver::banded(std::string* error) const {
-  if (!banded_tried_) {
-    banded_tried_ = true;
+  // call_once so concurrent solves escalating into this rung race neither on
+  // the build nor on the sticky error string.
+  std::call_once(banded_once_, [&] {
     try {
       banded_ = std::make_unique<linalg::BandedCholesky>(g_, linalg::rcm_ordering(g_));
     } catch (const std::exception& e) {
       banded_error_ = e.what();
     }
-  }
+  });
   if (!banded_ && error != nullptr) *error = banded_error_;
   return banded_.get();
 }
 
-IrSolver::RungResult IrSolver::run_rung(SolverKind kind, std::span<const double> rhs) const {
+IrSolver::RungResult IrSolver::run_rung(SolverKind kind, std::span<const double> rhs,
+                                        linalg::CgScratch* cg) const {
   RungResult out;
   const std::size_t n = g_.dimension();
   try {
@@ -120,12 +124,12 @@ IrSolver::RungResult IrSolver::run_rung(SolverKind kind, std::span<const double>
           opts.preconditioner = linalg::Preconditioner::kIncompleteCholesky;
           // Reuse the factor built at construction; per-state re-solves are
           // the hot path of LUT construction and co-optimization sweeps.
-          if (!ic_) ic_ = std::make_unique<linalg::IncompleteCholesky>(g_);
+          std::call_once(ic_once_, [&] { ic_ = std::make_unique<linalg::IncompleteCholesky>(g_); });
           opts.cached_ic = ic_.get();
         } else {
           opts.preconditioner = linalg::Preconditioner::kJacobi;
         }
-        auto result = linalg::solve_cg(g_, rhs, opts);
+        auto result = linalg::solve_cg(g_, rhs, opts, cg);
         out.iterations = result.iterations;
         if (!result.converged) {
           out.detail = std::string(linalg::to_string(result.failure)) +
@@ -174,9 +178,13 @@ IrSolver::RungResult IrSolver::run_rung(SolverKind kind, std::span<const double>
   return out;
 }
 
-SolveOutcome IrSolver::try_solve(std::span<const double> sinks) const {
+SolveOutcome IrSolver::solve(const SolveRequest& request, SolveScratch* scratch) const {
+  const std::span<const double> sinks = request.sinks;
   const std::size_t n = g_.dimension();
   if (sinks.size() != n) throw std::invalid_argument("IrSolver::solve: sink vector size mismatch");
+
+  SolveScratch local;
+  SolveScratch& ws = scratch != nullptr ? *scratch : local;
 
   PDN3D_TRACE_SPAN_NAMED(span, "solver/solve");
   static auto& m_solves = obs::counter("solver.solves");
@@ -201,7 +209,8 @@ SolveOutcome IrSolver::try_solve(std::span<const double> sinks) const {
     }
   }
 
-  std::vector<double> rhs(n, 0.0);
+  std::vector<double>& rhs = ws.rhs;
+  rhs.assign(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) rhs[i] = supply_rhs_[i] - sinks[i];
   const double bnorm = linalg::norm2(rhs);
 
@@ -214,7 +223,7 @@ SolveOutcome IrSolver::try_solve(std::span<const double> sinks) const {
     const SolverKind kind = static_cast<SolverKind>(k);
     ++telemetry_.rung_attempts[k];
     rung_attempt_counter(kind).add(1);
-    RungResult rung = run_rung(kind, rhs);
+    RungResult rung = run_rung(kind, rhs, &ws.cg);
 
     std::string reject;
     if (!rung.produced) {
@@ -222,7 +231,8 @@ SolveOutcome IrSolver::try_solve(std::span<const double> sinks) const {
     } else {
       // Verify the true residual before trusting any rung; a factorization
       // of a near-singular system can "succeed" and still return garbage.
-      std::vector<double> ax(n, 0.0);
+      std::vector<double>& ax = ws.ax;
+      ax.assign(n, 0.0);
       g_.multiply(rung.x, ax);
       double res = 0.0;
       bool finite = true;
@@ -243,11 +253,14 @@ SolveOutcome IrSolver::try_solve(std::span<const double> sinks) const {
       } else {
         // Verified-correct: accept this rung.
         outcome.x = std::move(rung.x);
+        if (request.want_ir) {
+          for (double& v : outcome.x) v = vdd_ - v;
+        }
         outcome.kind_used = kind;
         outcome.iterations = rung.iterations;
         outcome.rel_residual = rel;
-        last_iterations_ = rung.iterations;
-        last_kind_used_ = kind;
+        last_iterations_.store(rung.iterations, std::memory_order_relaxed);
+        last_kind_used_.store(kind, std::memory_order_relaxed);
         ++telemetry_.solves;
         m_solves.add(1);
         m_iters_hist.observe(static_cast<double>(rung.iterations));
@@ -280,16 +293,20 @@ SolveOutcome IrSolver::try_solve(std::span<const double> sinks) const {
   return outcome;
 }
 
+SolveOutcome IrSolver::try_solve(std::span<const double> sinks) const {
+  return solve(SolveRequest{.sinks = sinks});
+}
+
 std::vector<double> IrSolver::solve(std::span<const double> sinks) const {
-  SolveOutcome outcome = try_solve(sinks);
+  SolveOutcome outcome = solve(SolveRequest{.sinks = sinks});
   if (!outcome.ok()) throw core::NumericalError(std::move(outcome.status));
   return std::move(outcome.x);
 }
 
 std::vector<double> IrSolver::solve_ir(std::span<const double> sinks) const {
-  std::vector<double> v = solve(sinks);
-  for (double& x : v) x = vdd_ - x;
-  return v;
+  SolveOutcome outcome = solve(SolveRequest{.sinks = sinks, .want_ir = true});
+  if (!outcome.ok()) throw core::NumericalError(std::move(outcome.status));
+  return std::move(outcome.x);
 }
 
 }  // namespace pdn3d::irdrop

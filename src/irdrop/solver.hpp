@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -80,16 +81,38 @@ struct SolveTelemetry {
   std::array<std::atomic<std::size_t>, kSolverKindCount> rung_failures{};
 };
 
-/// Structured result of one solve attempt.
+/// One solve, fully specified. This is the single entry shape: the historical
+/// try_solve / solve / solve_ir trio are thin shims over
+/// solve(SolveRequest). @ref sinks is non-owning and must stay alive for the
+/// duration of the call.
+struct SolveRequest {
+  std::span<const double> sinks;  ///< per-node sink currents (amps, >= 0 draws)
+  bool want_ir = false;           ///< return VDD - v (IR drop) instead of v
+};
+
+/// Structured result of one solve attempt. `x` is written only after residual
+/// verification succeeds on some rung -- callers can never observe a
+/// partially-written or unverified solution, no matter how many rungs the
+/// escalation ladder burned through first.
 struct SolveOutcome {
   core::Status status;     ///< ok, or kInputError / kNumericalFailure
-  std::vector<double> x;   ///< node voltages; empty when !status.is_ok()
+  std::vector<double> x;   ///< node voltages (or IR drops); empty when !status.is_ok()
   SolverKind kind_used = SolverKind::kPcgIc;  ///< rung that produced x
   std::size_t iterations = 0;                 ///< CG iterations (0 for direct)
   double rel_residual = 0.0;                  ///< verified ||b - Gx|| / ||b||
   std::size_t escalations = 0;                ///< rungs that failed first
 
   [[nodiscard]] bool ok() const { return status.is_ok(); }
+};
+
+/// Per-solve work buffers (assembled RHS, verification product, CG vectors).
+/// Solving allocates these fresh when none is supplied; a sweep keeps one
+/// SolveScratch per evaluation context (see EvalContext) and reuses it across
+/// thousands of same-sized solves. Never share one across concurrent solves.
+struct SolveScratch {
+  std::vector<double> rhs;  ///< supply_rhs - sinks
+  std::vector<double> ax;   ///< G*x for residual verification
+  linalg::CgScratch cg;
 };
 
 class IrSolver {
@@ -99,26 +122,40 @@ class IrSolver {
   explicit IrSolver(const pdn::StackModel& model, SolverKind kind = SolverKind::kPcgIc,
                     IrSolverOptions options = {});
 
-  /// Node voltages for the given per-node sink currents (amps, >= 0 draws
-  /// current). @p sinks must have model.node_count() entries. Never throws
-  /// for data-dependent reasons: failures come back in SolveOutcome::status.
+  /// The unified entry point. request.sinks must have model.node_count()
+  /// entries (std::invalid_argument otherwise -- a caller bug); every
+  /// data-dependent failure comes back in SolveOutcome::status. Thread-safe:
+  /// concurrent solves on one IrSolver are supported as long as each caller
+  /// passes its own @p scratch (or none).
+  [[nodiscard]] SolveOutcome solve(const SolveRequest& request,
+                                   SolveScratch* scratch = nullptr) const;
+
+  /// @deprecated Shim over solve(SolveRequest). Prefer the unified entry.
   [[nodiscard]] SolveOutcome try_solve(std::span<const double> sinks) const;
 
-  /// Throwing wrapper around try_solve: returns the voltages or throws
-  /// core::NumericalError with the structured status.
+  /// @deprecated Throwing shim over solve(SolveRequest): returns the voltages
+  /// or throws core::NumericalError with the structured status.
   [[nodiscard]] std::vector<double> solve(std::span<const double> sinks) const;
 
-  /// IR drop per node (VDD - v), volts.
+  /// @deprecated Throwing shim over solve({.sinks, .want_ir = true}): IR drop
+  /// per node (VDD - v), volts.
   [[nodiscard]] std::vector<double> solve_ir(std::span<const double> sinks) const;
 
   [[nodiscard]] std::size_t node_count() const { return g_.dimension(); }
   [[nodiscard]] double vdd() const { return vdd_; }
   [[nodiscard]] const linalg::Csr& conductance_matrix() const { return g_; }
 
-  /// Iterations used by the last solve (0 for direct rungs).
-  [[nodiscard]] std::size_t last_iterations() const { return last_iterations_; }
-  /// Rung that produced the last successful solve.
-  [[nodiscard]] SolverKind last_kind_used() const { return last_kind_used_; }
+  /// @deprecated Iterations used by the last successful solve (0 for direct
+  /// rungs). Under concurrency this is "some recent solve" -- prefer
+  /// SolveOutcome::iterations, which is per-request.
+  [[nodiscard]] std::size_t last_iterations() const {
+    return last_iterations_.load(std::memory_order_relaxed);
+  }
+  /// @deprecated Rung of the last successful solve; same caveat as
+  /// last_iterations(). Prefer SolveOutcome::kind_used.
+  [[nodiscard]] SolverKind last_kind_used() const {
+    return last_kind_used_.load(std::memory_order_relaxed);
+  }
 
   /// Cumulative per-rung retry counters for this solver instance.
   [[nodiscard]] const SolveTelemetry& telemetry() const { return telemetry_; }
@@ -131,7 +168,8 @@ class IrSolver {
     std::string detail;      ///< failure context when rejected
   };
 
-  [[nodiscard]] RungResult run_rung(SolverKind kind, std::span<const double> rhs) const;
+  [[nodiscard]] RungResult run_rung(SolverKind kind, std::span<const double> rhs,
+                                    linalg::CgScratch* cg) const;
   [[nodiscard]] const linalg::BandedCholesky* banded(std::string* error) const;
 
   SolverKind kind_;
@@ -139,12 +177,16 @@ class IrSolver {
   double vdd_;
   linalg::Csr g_;
   std::vector<double> supply_rhs_;  ///< sum of g*VDD per node
+  // The factors are immutable once built; call_once makes the lazy builds
+  // safe under concurrent solves (the factors themselves are applied through
+  // const, buffer-free-or-caller-buffered paths).
+  mutable std::once_flag ic_once_;
   mutable std::unique_ptr<linalg::IncompleteCholesky> ic_;
+  mutable std::once_flag banded_once_;
   mutable std::unique_ptr<linalg::BandedCholesky> banded_;
-  mutable std::string banded_error_;   ///< sticky factorization failure
-  mutable bool banded_tried_ = false;
-  mutable std::size_t last_iterations_ = 0;
-  mutable SolverKind last_kind_used_ = SolverKind::kPcgIc;
+  mutable std::string banded_error_;  ///< sticky factorization failure
+  mutable std::atomic<std::size_t> last_iterations_{0};
+  mutable std::atomic<SolverKind> last_kind_used_{SolverKind::kPcgIc};
   mutable SolveTelemetry telemetry_;
 };
 

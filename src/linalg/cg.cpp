@@ -23,7 +23,8 @@ const char* to_string(CgFailure failure) {
   return "?";
 }
 
-CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& options) {
+CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& options,
+                  CgScratch* scratch) {
   const std::size_t n = a.dimension();
   if (b.size() != n) throw std::invalid_argument("solve_cg: rhs size mismatch");
 
@@ -59,12 +60,18 @@ CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& opti
   }
   const double target = options.rel_tolerance * bnorm;
 
-  std::vector<double> r(b.begin(), b.end());  // r = b - A*0
-  std::vector<double> z(n, 0.0);
-  std::vector<double> p(n, 0.0);
-  std::vector<double> ap(n, 0.0);
-
-  std::vector<double> inv_diag;
+  CgScratch local;
+  CgScratch& ws = scratch != nullptr ? *scratch : local;
+  std::vector<double>& r = ws.r;
+  std::vector<double>& z = ws.z;
+  std::vector<double>& p = ws.p;
+  std::vector<double>& ap = ws.ap;
+  std::vector<double>& inv_diag = ws.inv_diag;
+  r.assign(b.begin(), b.end());  // r = b - A*0
+  z.assign(n, 0.0);
+  p.assign(n, 0.0);
+  ap.assign(n, 0.0);
+  inv_diag.clear();
   std::unique_ptr<IncompleteCholesky> owned_ic;
   const IncompleteCholesky* ic = nullptr;
   switch (options.preconditioner) {

@@ -62,8 +62,23 @@ struct CgResult {
   std::string detail;                    ///< human-readable failure context
 };
 
+/// Reusable CG work vectors. A plain solve_cg call allocates four (or five,
+/// with Jacobi) n-vectors; a sweep of thousands of same-sized solves can
+/// instead keep one CgScratch per evaluation context and amortize the
+/// allocations. Never share one CgScratch between concurrent solves.
+struct CgScratch {
+  std::vector<double> r;
+  std::vector<double> z;
+  std::vector<double> p;
+  std::vector<double> ap;
+  std::vector<double> inv_diag;
+};
+
 /// Solve A x = b for SPD A. Throws std::invalid_argument only on caller bugs
-/// (size mismatch); data-dependent failures come back in CgResult.
-CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& options = {});
+/// (size mismatch); data-dependent failures come back in CgResult. When
+/// @p scratch is non-null its buffers are (re)used for the solve's work
+/// vectors instead of allocating fresh ones.
+CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& options = {},
+                  CgScratch* scratch = nullptr);
 
 }  // namespace pdn3d::linalg

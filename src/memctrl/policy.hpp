@@ -33,7 +33,11 @@ struct PolicyConfig {
   IrPolicyKind ir_policy = IrPolicyKind::kStandard;
   SchedulingKind scheduling = SchedulingKind::kFcfs;
   double ir_constraint_mv = 24.0;        ///< used by kIrAware
-  const irdrop::IrLut* lut = nullptr;    ///< required for kIrAware and IR reporting
+  /// Required for kIrAware and IR reporting. Read-only here: one LUT
+  /// (precomputed in parallel by irdrop::IrLut::build, cached per design by
+  /// core::Platform) can back any number of concurrent controller
+  /// simulations without locking.
+  const irdrop::IrLut* lut = nullptr;
   /// A 3D-aware controller scans the whole priority queue each cycle; the
   /// baseline JEDEC controller serves strictly in order (head-of-line).
   bool out_of_order = false;

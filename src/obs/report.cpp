@@ -5,6 +5,7 @@
 #include <ctime>
 #include <fstream>
 
+#include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -134,6 +135,10 @@ json::Value build_run_report(const RunReportOptions& options) {
   report.set("version", PDN3D_VERSION_STRING);
   report.set("command", options.command);
   report.set("benchmark", options.benchmark);
+  // Effective worker-thread count (--threads / PDN3D_THREADS / hardware):
+  // reports from the same command are only comparable span-by-span when this
+  // matches, so it is provenance, not just a metric.
+  report.set("threads", static_cast<std::uint64_t>(exec::default_thread_count()));
   report.set("provenance", provenance_block(options));
   report.set("metrics", metrics_block(snap));
   report.set("spans", spans_block());

@@ -6,7 +6,7 @@
 ///
 /// Every `pdn3d <cmd> ... --report out.json` invocation ends by writing one
 /// of these; scripts/check_report_schema.py validates the schema (versioned
-/// as "schema": 1) and docs/OBSERVABILITY.md documents every key. Reports are
+/// as "schema": 2) and docs/OBSERVABILITY.md documents every key. Reports are
 /// the diff baseline for performance PRs: two runs of the same command can be
 /// compared span-by-span and counter-by-counter.
 
@@ -20,7 +20,8 @@
 namespace pdn3d::obs {
 
 /// Current report schema version; bump on breaking key changes.
-inline constexpr int kReportSchemaVersion = 1;
+/// v2: added the top-level "threads" key (effective worker-thread count).
+inline constexpr int kReportSchemaVersion = 2;
 
 struct RunReportOptions {
   std::string command;            ///< CLI command ("analyze", "profile", ...)

@@ -1,5 +1,6 @@
 #include "opt/cooptimizer.hpp"
 
+#include <array>
 #include <cmath>
 #include <limits>
 #include <set>
@@ -7,15 +8,60 @@
 
 #include "core/status.hpp"
 #include "cost/cost_model.hpp"
+#include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace pdn3d::opt {
 
-CoOptimizer::CoOptimizer(DesignSpace space, IrEvaluator evaluate)
-    : space_(std::move(space)), evaluate_(std::move(evaluate)) {
+CoOptimizer::CoOptimizer(DesignSpace space, std::unique_ptr<Evaluator> evaluate, int threads)
+    : space_(std::move(space)), evaluate_(std::move(evaluate)), threads_(threads) {
   if (!evaluate_) throw std::invalid_argument("CoOptimizer: evaluator required");
+  if (threads_ < 0) throw std::invalid_argument("CoOptimizer: threads must be >= 0");
+}
+
+CoOptimizer::CoOptimizer(DesignSpace space, IrEvaluator evaluate)
+    : CoOptimizer(std::move(space), evaluate
+                                        ? std::make_unique<FunctionEvaluator>(std::move(evaluate))
+                                        : nullptr) {}
+
+std::vector<CoOptimizer::PointResult> CoOptimizer::evaluate_batch(
+    const std::vector<pdn::PdnConfig>& configs) {
+  PDN3D_TRACE_SPAN("cooptimize/evaluate_batch");
+  static auto& m_evaluated = obs::counter("cooptimizer.points_evaluated");
+  static auto& m_skipped = obs::counter("cooptimizer.points_skipped");
+
+  std::vector<PointResult> results(configs.size());
+  exec::ThreadPool pool(static_cast<std::size_t>(threads_));
+  pool.parallel_chunks(configs.size(), [&](std::size_t, std::size_t begin, std::size_t end) {
+    const std::unique_ptr<Evaluator> ev = evaluate_->fork();
+    for (std::size_t i = begin; i < end; ++i) {
+      PDN3D_TRACE_SPAN("cooptimize/solve_point");
+      PointResult& r = results[i];
+      try {
+        r.ir_mv = ev->measure(configs[i]);
+        r.ok = true;
+      } catch (const core::NumericalError& e) {
+        r.reason = e.status().to_string();
+      } catch (const core::ValidationError& e) {
+        r.reason = e.report().to_status().to_string();
+      }
+    }
+  });
+
+  // Bookkeeping after the region completes, in index order: skipped_ and the
+  // counters come out identical at any thread count.
+  total_samples_ += configs.size();
+  m_evaluated.add(configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (results[i].ok) continue;
+    skipped_.push_back({configs[i], results[i].reason});
+    m_skipped.add(1);
+    util::log_warn("co-optimizer: skipping unsolvable point ", configs[i].summary(), " -- ",
+                   results[i].reason);
+  }
+  return results;
 }
 
 bool CoOptimizer::sample_point(const pdn::PdnConfig& config, double* ir_mv) {
@@ -25,7 +71,7 @@ bool CoOptimizer::sample_point(const pdn::PdnConfig& config, double* ir_mv) {
   ++total_samples_;
   m_evaluated.add(1);
   try {
-    *ir_mv = evaluate_(config);
+    *ir_mv = evaluate_->measure(config);
     return true;
   } catch (const core::NumericalError& e) {
     skipped_.push_back({config, e.status().to_string()});
@@ -47,43 +93,56 @@ const std::vector<FittedChoice>& CoOptimizer::fit_models() {
   const auto m3s = default_m3_samples(space_);
   const auto tcs = default_tc_samples(space_);
 
+  // The sampling sweep is the expensive phase (one R-Mesh build + solve per
+  // point); each discrete choice's grid goes through evaluate_batch so the
+  // points run across the pool while samples/fits keep their serial order.
   fits_.clear();
   fits_.reserve(choices.size());
   for (const auto& choice : choices) {
-    std::vector<fit::Sample> samples;
-    samples.reserve(m2s.size() * m3s.size() * tcs.size());
+    std::vector<pdn::PdnConfig> configs;
+    std::vector<std::array<double, 2>> usages;  ///< (m2, m3) per config
+    configs.reserve(m2s.size() * m3s.size() * tcs.size());
+    usages.reserve(configs.capacity());
     for (const double m2 : m2s) {
       for (const double m3 : m3s) {
         for (const int tc : tcs) {
-          const auto cfg = make_config(space_, choice, m2, m3, tc);
-          double ir_mv = 0.0;
-          if (!sample_point(cfg, &ir_mv)) continue;
-          fit::Sample s;
-          s.vars = {m2, m3, static_cast<double>(cfg.tsv_count)};
-          s.ir_mv = ir_mv;
-          samples.push_back(s);
+          configs.push_back(make_config(space_, choice, m2, m3, tc));
+          usages.push_back({m2, m3});
         }
       }
     }
+    std::vector<PointResult> results = evaluate_batch(configs);
+
+    std::vector<fit::Sample> samples;
+    samples.reserve(configs.size());
+    const auto collect = [&] {
+      for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (!results[i].ok) continue;
+        fit::Sample s;
+        s.vars = {usages[i][0], usages[i][1], static_cast<double>(configs[i].tsv_count)};
+        s.ir_mv = results[i].ir_mv;
+        samples.push_back(s);
+      }
+    };
+    collect();
     if (samples.size() < fit::ir_feature_count()) {
       // TC-fixed spaces can produce fewer samples than features (and skipped
       // unsolvable points shrink the set further); densify the usage axes.
       const double m2_mid = (space_.m2_min + space_.m2_max) * 0.5;
       const double m3_lo = space_.m3_min + 0.25 * (space_.m3_max - space_.m3_min);
       const double m3_hi = space_.m3_min + 0.75 * (space_.m3_max - space_.m3_min);
+      configs.clear();
+      usages.clear();
       for (const double m2 : {m2_mid}) {
         for (const double m3 : {m3_lo, m3_hi}) {
           for (const int tc : tcs) {
-            const auto cfg = make_config(space_, choice, m2, m3, tc);
-            double ir_mv = 0.0;
-            if (!sample_point(cfg, &ir_mv)) continue;
-            fit::Sample s;
-            s.vars = {m2, m3, static_cast<double>(cfg.tsv_count)};
-            s.ir_mv = ir_mv;
-            samples.push_back(s);
+            configs.push_back(make_config(space_, choice, m2, m3, tc));
+            usages.push_back({m2, m3});
           }
         }
       }
+      results = evaluate_batch(configs);
+      collect();
     }
     if (samples.size() < fit::ir_feature_count()) {
       // Not enough solvable samples to constrain the regression: skip the

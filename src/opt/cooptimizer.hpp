@@ -12,6 +12,7 @@
 /// both the model's and the R-Mesh's IR drop for the optimum).
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -21,11 +22,44 @@
 
 namespace pdn3d::opt {
 
-/// Callback that measures the true IR drop (mV) of a configuration with the
-/// R-Mesh engine. May throw core::NumericalError or core::ValidationError to
-/// signal an unsolvable/degenerate design point; the optimizer records the
-/// point (see skipped_points()) and continues instead of aborting the sweep.
+/// @deprecated Callback shape of the original single-threaded API; kept for
+/// the legacy CoOptimizer ctor. Prefer implementing Evaluator.
 using IrEvaluator = std::function<double(const pdn::PdnConfig&)>;
+
+/// Measures the true IR drop of design configurations with the R-Mesh
+/// engine. The co-optimizer parallelizes its sample sweep by fork()ing one
+/// evaluator per worker chunk: measure() may keep per-instance scratch
+/// without any locking, as long as fork()ed siblings are independent (shared
+/// data immutable or internally synchronized -- see irdrop::EvalContext for
+/// the canonical layering).
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// True IR drop (mV) of @p config. May throw core::NumericalError or
+  /// core::ValidationError to signal an unsolvable/degenerate design point;
+  /// the optimizer records the point (see skipped_points()) and continues
+  /// instead of aborting the sweep.
+  [[nodiscard]] virtual double measure(const pdn::PdnConfig& config) = 0;
+
+  /// A sibling safe to run concurrently with this one.
+  [[nodiscard]] virtual std::unique_ptr<Evaluator> fork() const = 0;
+};
+
+/// Adapter over the legacy free-callback shape. fork() copies the callback,
+/// so it must be self-contained or internally synchronized to benefit from
+/// threads (a copy of a lambda shares whatever it captured by reference).
+class FunctionEvaluator final : public Evaluator {
+ public:
+  explicit FunctionEvaluator(IrEvaluator fn) : fn_(std::move(fn)) {}
+  [[nodiscard]] double measure(const pdn::PdnConfig& config) override { return fn_(config); }
+  [[nodiscard]] std::unique_ptr<Evaluator> fork() const override {
+    return std::make_unique<FunctionEvaluator>(fn_);
+  }
+
+ private:
+  IrEvaluator fn_;
+};
 
 /// A design point the sweep could not evaluate, with its structured reason.
 struct SkippedPoint {
@@ -49,6 +83,12 @@ struct Optimum {
 
 class CoOptimizer {
  public:
+  /// @param threads workers for the sampling sweep; 0 =
+  /// exec::default_thread_count(). Sampling results, skipped-point order,
+  /// fits, and the optimum are identical at any thread count.
+  CoOptimizer(DesignSpace space, std::unique_ptr<Evaluator> evaluate, int threads = 0);
+
+  /// @deprecated Legacy shim: wraps the callback in a FunctionEvaluator.
   CoOptimizer(DesignSpace space, IrEvaluator evaluate);
 
   /// Phase 1: run the R-Mesh on the sample grid of every discrete choice and
@@ -75,12 +115,25 @@ class CoOptimizer {
   [[nodiscard]] const std::vector<SkippedPoint>& skipped_points() const { return skipped_; }
 
  private:
-  /// Evaluate one sample; records a SkippedPoint and returns false on a
-  /// structured solver failure.
+  struct PointResult {
+    bool ok = false;
+    double ir_mv = 0.0;
+    std::string reason;  ///< structured failure when !ok
+  };
+
+  /// Measure every config across the pool (one fork()ed evaluator per
+  /// chunk). Results come back in input order; skipped-point bookkeeping
+  /// happens afterwards in index order, so the sweep's observable state is
+  /// independent of the thread count.
+  std::vector<PointResult> evaluate_batch(const std::vector<pdn::PdnConfig>& configs);
+
+  /// Evaluate one sample serially; records a SkippedPoint and returns false
+  /// on a structured solver failure.
   bool sample_point(const pdn::PdnConfig& config, double* ir_mv);
 
   DesignSpace space_;
-  IrEvaluator evaluate_;
+  std::unique_ptr<Evaluator> evaluate_;
+  int threads_ = 0;
   std::vector<FittedChoice> fits_;
   std::vector<SkippedPoint> skipped_;
   std::size_t total_samples_ = 0;

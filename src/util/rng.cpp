@@ -10,6 +10,16 @@ Rng::Rng(std::uint64_t seed, std::uint64_t stream) : state_(0), inc_((stream << 
   next_u32();
 }
 
+Rng Rng::split(std::uint64_t seed, std::uint64_t stream_id) {
+  // splitmix64 finalizer: bijective, so distinct stream ids stay distinct
+  // after mixing (and therefore select distinct PCG32 streams).
+  std::uint64_t z = stream_id + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30u)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27u)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31u;
+  return Rng(seed, z);
+}
+
 std::uint32_t Rng::next_u32() {
   const std::uint64_t old = state_;
   state_ = old * 6364136223846793005ULL + inc_;

@@ -17,6 +17,13 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
                std::uint64_t stream = 0xda3e39cb94b95bdbULL);
 
+  /// Independent generator for (seed, stream_id). PCG32 streams with distinct
+  /// increments never share a sequence, so deriving one stream per *task
+  /// index* (never per thread) makes a parallel sweep bitwise identical to
+  /// its serial run at any thread count. The stream id is mixed
+  /// (splitmix64-style) so adjacent ids do not yield correlated increments.
+  [[nodiscard]] static Rng split(std::uint64_t seed, std::uint64_t stream_id);
+
   /// Uniform 32-bit value.
   std::uint32_t next_u32();
 

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
 namespace pdn3d::core {
 namespace {
 
@@ -48,6 +54,72 @@ TEST(Platform, MeasureDoesNotGrowCache) {
   cfg.tsv_count = 99;
   (void)p.measure_ir_mv(cfg);
   EXPECT_EQ(p.cache_size(), 0u);
+}
+
+TEST(Platform, CacheMetricsCountHitsMissesInserts) {
+  auto& hits = obs::counter("platform.design_cache_hits");
+  auto& misses = obs::counter("platform.design_cache_misses");
+  auto& inserts = obs::counter("platform.design_cache_inserts");
+
+  Platform p(make_benchmark(BenchmarkKind::kStackedDdr3OffChip));
+  const auto base = p.benchmark().baseline;
+
+  const auto h0 = hits.value(), m0 = misses.value(), i0 = inserts.value();
+  (void)p.analyze(base, "0-0-0-2");  // cold: miss + insert
+  EXPECT_EQ(hits.value(), h0);
+  EXPECT_EQ(misses.value(), m0 + 1);
+  EXPECT_EQ(inserts.value(), i0 + 1);
+
+  (void)p.analyze(base, "2-0-0-0");  // warm: hit, no insert
+  EXPECT_EQ(hits.value(), h0 + 1);
+  EXPECT_EQ(misses.value(), m0 + 1);
+  EXPECT_EQ(inserts.value(), i0 + 1);
+}
+
+TEST(ConcurrentPlatformCache, ParallelCheckoutBuildsEachDesignOnce) {
+  // Many threads race to check out the same two designs. The shared_mutex
+  // cache must end with exactly two entries, every thread must see a fully
+  // built design (no partially-published state), and the insert counter must
+  // show duplicate builds were discarded, not cached twice.
+  auto& inserts = obs::counter("platform.design_cache_inserts");
+  Platform p(make_benchmark(BenchmarkKind::kStackedDdr3OffChip));
+  const auto base = p.benchmark().baseline;
+  pdn::PdnConfig other = base;
+  other.tsv_count = 64;
+
+  const auto i0 = inserts.value();
+  const double expected_base = p.analyze(base, "0-0-0-2").dram_max_mv;
+  const double expected_other = p.analyze(other, "0-0-0-2").dram_max_mv;
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      const auto& cfg = (t % 2 == 0) ? base : other;
+      const double expected = (t % 2 == 0) ? expected_base : expected_other;
+      for (int rep = 0; rep < 3; ++rep) {
+        if (p.analyze(cfg, "0-0-0-2").dram_max_mv != expected) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(p.cache_size(), 2u);
+  EXPECT_EQ(inserts.value(), i0 + 2);  // losers' duplicate builds discarded
+}
+
+TEST(ConcurrentPlatformCache, ParallelLutAccessReturnsOneInstance) {
+  Platform p(make_benchmark(BenchmarkKind::kStackedDdr3OffChip));
+  const auto base = p.benchmark().baseline;
+  std::vector<const irdrop::IrLut*> seen(6, nullptr);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < seen.size(); ++t) {
+    threads.emplace_back([&, t] { seen[t] = &p.lut(base); });
+  }
+  for (auto& th : threads) th.join();
+  for (const auto* lut : seen) EXPECT_EQ(lut, seen[0]);
+  EXPECT_EQ(seen[0]->size(), 81u);
 }
 
 TEST(Platform, LutIsCachedPerConfig) {

@@ -1,0 +1,128 @@
+#include "irdrop/eval_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/benchmarks.hpp"
+#include "exec/thread_pool.hpp"
+#include "pdn/stack_builder.hpp"
+
+namespace pdn3d::irdrop {
+namespace {
+
+struct CtxFixture {
+  core::Benchmark bench = core::make_benchmark(core::BenchmarkKind::kStackedDdr3OffChip);
+  pdn::BuiltStack built = pdn::build_stack(bench.stack, bench.baseline);
+  PowerBinding power;
+  IrAnalyzer analyzer{built.model, bench.stack.dram_fp, bench.stack.logic_fp, power};
+
+  power::MemoryState state(const std::string& s) const {
+    return power::parse_memory_state(s, bench.stack.dram_spec, 1.0);
+  }
+};
+
+TEST(EvalContext, AnalyzeMatchesAnalyzer) {
+  const CtxFixture f;
+  EvalContext ctx(f.analyzer);
+  const auto st = f.state("0-0-0-2");
+  const auto direct = f.analyzer.analyze(st);
+  const auto via_ctx = ctx.analyze(st);
+  EXPECT_EQ(via_ctx.dram_max_mv, direct.dram_max_mv);  // same solve, bitwise
+  EXPECT_EQ(via_ctx.solver_iterations, direct.solver_iterations);
+  EXPECT_EQ(via_ctx.solver_kind, direct.solver_kind);
+}
+
+TEST(EvalContext, ScratchReuseDoesNotChangeResults) {
+  // Repeated analyses through one context reuse its buffers; the answers
+  // must stay bitwise identical to fresh-context analyses.
+  const CtxFixture f;
+  EvalContext ctx(f.analyzer);
+  const std::vector<std::string> states = {"0-0-0-2", "2-0-0-0", "1-1-0-0", "0-0-0-2"};
+  for (const auto& s : states) {
+    EvalContext fresh(f.analyzer);
+    EXPECT_EQ(ctx.analyze(f.state(s)).dram_max_mv, fresh.analyze(f.state(s)).dram_max_mv)
+        << s;
+  }
+}
+
+TEST(EvalContext, ForkSharesAnalyzerButNotStats) {
+  const CtxFixture f;
+  EvalContext root(f.analyzer);
+  (void)root.analyze(f.state("0-0-0-2"));
+  EvalContext child = root.fork();
+  EXPECT_EQ(&child.analyzer(), &root.analyzer());
+  EXPECT_EQ(child.stats().analyses, 0u);  // forks start with zeroed tallies
+  EXPECT_EQ(root.stats().analyses, 1u);
+  (void)child.analyze(f.state("2-0-0-0"));
+  EXPECT_EQ(child.stats().analyses, 1u);
+  EXPECT_EQ(root.stats().analyses, 1u);
+}
+
+TEST(EvalContext, StatsCountAnalysesAndSolves) {
+  const CtxFixture f;
+  EvalContext ctx(f.analyzer);
+  (void)ctx.analyze(f.state("0-0-0-2"));
+  (void)ctx.analyze(f.state("2-0-0-0"));
+  EXPECT_EQ(ctx.stats().analyses, 2u);
+  EXPECT_GE(ctx.stats().solves, 2u);
+}
+
+TEST(EvalContext, RawSolveMatchesUnifiedSolverApi) {
+  const CtxFixture f;
+  EvalContext ctx(f.analyzer);
+  const auto sinks = f.analyzer.injection(f.state("0-0-0-2"));
+  const auto via_ctx = ctx.solve(SolveRequest{.sinks = sinks, .want_ir = true});
+  const auto direct = f.analyzer.solver().solve(SolveRequest{.sinks = sinks, .want_ir = true});
+  ASSERT_TRUE(via_ctx.ok());
+  ASSERT_TRUE(direct.ok());
+  ASSERT_EQ(via_ctx.x.size(), direct.x.size());
+  for (std::size_t i = 0; i < via_ctx.x.size(); ++i) EXPECT_EQ(via_ctx.x[i], direct.x[i]);
+}
+
+TEST(ConcurrentEvalContext, ForkedContextsAgreeAcrossThreads) {
+  // One forked context per chunk, all sharing the analyzer: results must be
+  // bitwise identical to the serial pass (the sweep-engine contract).
+  const CtxFixture f;
+  const std::vector<std::string> names = {"0-0-0-2", "2-0-0-0", "1-1-0-0",
+                                          "0-2-0-0", "0-0-2-0", "0-0-0-1"};
+  std::vector<power::MemoryState> states;
+  for (const auto& s : names) states.push_back(f.state(s));
+
+  EvalContext serial(f.analyzer);
+  std::vector<double> expected;
+  for (const auto& st : states) expected.push_back(serial.analyze(st).dram_max_mv);
+
+  exec::ThreadPool pool(4);
+  EvalContext root(f.analyzer);
+  std::vector<double> got(states.size(), 0.0);
+  pool.parallel_chunks(states.size(), [&](std::size_t, std::size_t begin, std::size_t end) {
+    EvalContext ctx = root.fork();
+    for (std::size_t i = begin; i < end; ++i) got[i] = ctx.analyze(states[i]).dram_max_mv;
+  });
+  for (std::size_t i = 0; i < states.size(); ++i) EXPECT_EQ(got[i], expected[i]) << names[i];
+}
+
+TEST(ConcurrentEvalContext, SharedSolverIsRaceFreeUnderTsan) {
+  // Hammer one analyzer from many threads, each through its own context.
+  // The assertions are light; the value of this test is running under
+  // PDN3D_SANITIZE=thread (scripts/run_sanitized_tests.sh).
+  const CtxFixture f;
+  const auto st = f.state("0-0-0-2");
+  const double expected = f.analyzer.analyze(st).dram_max_mv;
+  EvalContext root(f.analyzer);
+  std::vector<std::thread> threads;
+  std::vector<double> results(4, 0.0);
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    threads.emplace_back([&, t] {
+      EvalContext ctx = root.fork();
+      for (int rep = 0; rep < 3; ++rep) results[t] = ctx.analyze(st).dram_max_mv;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const double r : results) EXPECT_EQ(r, expected);
+}
+
+}  // namespace
+}  // namespace pdn3d::irdrop

@@ -107,6 +107,33 @@ TEST(IrLut, LoadRejectsMalformedInput) {
   expect_throw("pdn3d-lut v1 dies=2 max=1\n0-0\n");              // missing value
 }
 
+TEST(ParallelLut, BuildIsBitwiseIdenticalAcrossThreadCounts) {
+  // Every LUT entry derives from its state key alone, so the parallel build
+  // must reproduce the serial table exactly.
+  const LutFixture f;
+  const auto serial = IrLut::build(*f.analyzer, f.spec.dram_spec, 2, 1.0, 1);
+  for (const int threads : {2, 8}) {
+    const auto lut = IrLut::build(*f.analyzer, f.spec.dram_spec, 2, 1.0, threads);
+    ASSERT_EQ(lut.size(), serial.size()) << threads;
+    for (int a = 0; a <= 2; ++a) {
+      for (int b = 0; b <= 2; ++b) {
+        for (int c = 0; c <= 2; ++c) {
+          for (int d = 0; d <= 2; ++d) {
+            const std::vector<int> key = {a, b, c, d};
+            EXPECT_EQ(lut.max_ir_mv(key), serial.max_ir_mv(key)) << threads;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelLut, RejectsNegativeThreads) {
+  const LutFixture f;
+  EXPECT_THROW(IrLut::build(*f.analyzer, f.spec.dram_spec, 2, 1.0, -1),
+               std::invalid_argument);
+}
+
 TEST(IrLut, BalancedStatesBeatConcentratedOnes) {
   // The architectural insight of Section 5.1: distributing the same number
   // of active banks across dies lowers the worst-case IR drop.

@@ -65,6 +65,39 @@ TEST(MonteCarlo, LowerDemandLowersDistribution) {
   EXPECT_LT(rl.mean_mv, rh.mean_mv);
 }
 
+TEST(ParallelMonteCarlo, BitwiseIdenticalAcrossThreadCounts) {
+  // The determinism contract: per-sample counter-derived RNG streams and
+  // index-slotted results make every statistic bitwise identical at any
+  // thread count. EXPECT_EQ on doubles is deliberate.
+  const McFixture f;
+  MonteCarloConfig cfg;
+  cfg.samples = 48;
+  cfg.threads = 1;
+  const auto base = sample_ir_distribution(f.analyzer, f.bench.stack.dram_spec, cfg);
+  for (const int threads : {2, 8}) {
+    cfg.threads = threads;
+    const auto r = sample_ir_distribution(f.analyzer, f.bench.stack.dram_spec, cfg);
+    EXPECT_EQ(r.samples, base.samples) << threads;
+    EXPECT_EQ(r.mean_mv, base.mean_mv) << threads;
+    EXPECT_EQ(r.p50_mv, base.p50_mv) << threads;
+    EXPECT_EQ(r.p95_mv, base.p95_mv) << threads;
+    EXPECT_EQ(r.p99_mv, base.p99_mv) << threads;
+    EXPECT_EQ(r.max_mv, base.max_mv) << threads;
+    EXPECT_EQ(r.skipped_samples, base.skipped_samples) << threads;
+    EXPECT_EQ(r.solver_escalations, base.solver_escalations) << threads;
+    EXPECT_EQ(r.last_failure, base.last_failure) << threads;
+  }
+}
+
+TEST(ParallelMonteCarlo, RejectsNegativeThreads) {
+  const McFixture f;
+  MonteCarloConfig cfg;
+  cfg.samples = 4;
+  cfg.threads = -1;
+  EXPECT_THROW(sample_ir_distribution(f.analyzer, f.bench.stack.dram_spec, cfg),
+               std::invalid_argument);
+}
+
 TEST(MonteCarlo, RejectsBadConfig) {
   const McFixture f;
   MonteCarloConfig cfg;

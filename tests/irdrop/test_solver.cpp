@@ -238,6 +238,57 @@ TEST(IrSolver, ExplicitDenseStartIgnoresEscalationLimit) {
   EXPECT_EQ(outcome.iterations, 0u);  // direct rungs report no iterations
 }
 
+TEST(IrSolver, UnifiedSolveMatchesShims) {
+  // The one true entry point: the deprecated shapes are thin shims over
+  // solve(SolveRequest) and must agree bitwise.
+  const auto m = two_node_divider();
+  IrSolver solver(m);
+  const std::vector<double> sinks = {0.0, 1.0};
+
+  const auto outcome = solver.solve(SolveRequest{.sinks = sinks});
+  ASSERT_TRUE(outcome.ok());
+  const auto via_shim = solver.solve(sinks);
+  ASSERT_EQ(outcome.x.size(), via_shim.size());
+  for (std::size_t i = 0; i < via_shim.size(); ++i) EXPECT_EQ(outcome.x[i], via_shim[i]);
+
+  const auto ir = solver.solve(SolveRequest{.sinks = sinks, .want_ir = true});
+  ASSERT_TRUE(ir.ok());
+  const auto ir_shim = solver.solve_ir(sinks);
+  for (std::size_t i = 0; i < ir_shim.size(); ++i) {
+    EXPECT_EQ(ir.x[i], ir_shim[i]);
+    EXPECT_EQ(ir.x[i], m.vdd() - outcome.x[i]);  // want_ir is vdd - v
+  }
+}
+
+TEST(IrSolver, FailedSolveLeavesNoPartialResult) {
+  // Callers must never observe partially-written results: a failed outcome
+  // carries an empty solution vector, not a half-filled one.
+  const auto m = starvable_mesh();
+  IrSolverOptions opts;
+  opts.cg_max_iterations = 1;
+  opts.escalate = false;
+  IrSolver solver(m, SolverKind::kPcgIc, opts);
+  const auto outcome = solver.solve(
+      SolveRequest{.sinks = std::vector<double>(m.node_count(), 0.01), .want_ir = true});
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.x.empty());
+}
+
+TEST(IrSolver, CallerScratchReuseIsBitwiseStable) {
+  const auto m = starvable_mesh();
+  IrSolver solver(m);
+  const std::vector<double> sinks(m.node_count(), 0.01);
+  const auto fresh = solver.solve(SolveRequest{.sinks = sinks});
+  ASSERT_TRUE(fresh.ok());
+  SolveScratch scratch;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto reused = solver.solve(SolveRequest{.sinks = sinks}, &scratch);
+    ASSERT_TRUE(reused.ok());
+    ASSERT_EQ(reused.x.size(), fresh.x.size());
+    for (std::size_t i = 0; i < fresh.x.size(); ++i) EXPECT_EQ(reused.x[i], fresh.x[i]);
+  }
+}
+
 TEST(IrSolver, SolverKindNamesStable) {
   // The rung names appear in failure trails and CLI output; keep them fixed.
   EXPECT_STREQ(to_string(SolverKind::kPcgIc), "ic-pcg");

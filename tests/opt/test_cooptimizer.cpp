@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+
 #include "core/status.hpp"
 #include "cost/cost_model.hpp"
 
@@ -159,6 +162,84 @@ TEST(CoOptimizer, BannedWinnerTriggersRetry) {
     if (is_cheapest_corner(skip.config)) recorded = true;
   }
   EXPECT_TRUE(recorded);
+}
+
+/// Evaluator that tracks how many siblings were forked and how many
+/// measurements ran, shared across forks via atomics.
+class CountingEvaluator final : public Evaluator {
+ public:
+  CountingEvaluator(std::atomic<int>* forks, std::atomic<int>* measures)
+      : forks_(forks), measures_(measures) {}
+  [[nodiscard]] double measure(const pdn::PdnConfig& cfg) override {
+    measures_->fetch_add(1);
+    return fake_ir(cfg);
+  }
+  [[nodiscard]] std::unique_ptr<Evaluator> fork() const override {
+    forks_->fetch_add(1);
+    return std::make_unique<CountingEvaluator>(forks_, measures_);
+  }
+
+ private:
+  std::atomic<int>* forks_;
+  std::atomic<int>* measures_;
+};
+
+TEST(ParallelCoOptimizer, ThreadCountDoesNotChangeTheOptimum) {
+  // The sampling sweep runs on forked evaluators; fits, sample accounting,
+  // and the optimum must be bitwise identical at any thread count.
+  CoOptimizer serial(small_space(), std::make_unique<FunctionEvaluator>(fake_ir), 1);
+  const auto best1 = serial.optimize(0.3);
+  for (const int threads : {2, 8}) {
+    CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(fake_ir), threads);
+    const auto best = opt.optimize(0.3);
+    EXPECT_EQ(best.config.summary(), best1.config.summary()) << threads;
+    EXPECT_EQ(best.predicted_ir_mv, best1.predicted_ir_mv) << threads;
+    EXPECT_EQ(best.measured_ir_mv, best1.measured_ir_mv) << threads;
+    EXPECT_EQ(best.cost, best1.cost) << threads;
+    EXPECT_EQ(opt.total_samples(), serial.total_samples()) << threads;
+    EXPECT_EQ(opt.worst_rmse(), serial.worst_rmse()) << threads;
+  }
+}
+
+TEST(ParallelCoOptimizer, SkippedPointsKeepSerialOrder) {
+  // Failures land in skipped_points() in sample-index order regardless of
+  // which worker hit them.
+  const auto failing = [](const pdn::PdnConfig& cfg) {
+    return cfg.tsv_location == pdn::TsvLocation::kCenter && cfg.m3_usage < 0.2;
+  };
+  const auto evaluate = [&](const pdn::PdnConfig& cfg) {
+    if (failing(cfg)) {
+      throw core::NumericalError(core::Status::numerical_failure("synthetic fault"));
+    }
+    return fake_ir(cfg);
+  };
+  CoOptimizer serial(small_space(), std::make_unique<FunctionEvaluator>(evaluate), 1);
+  serial.fit_models();
+  CoOptimizer threaded(small_space(), std::make_unique<FunctionEvaluator>(evaluate), 8);
+  threaded.fit_models();
+  ASSERT_EQ(threaded.skipped_points().size(), serial.skipped_points().size());
+  for (std::size_t i = 0; i < serial.skipped_points().size(); ++i) {
+    EXPECT_EQ(threaded.skipped_points()[i].config.summary(),
+              serial.skipped_points()[i].config.summary())
+        << i;
+    EXPECT_EQ(threaded.skipped_points()[i].reason, serial.skipped_points()[i].reason) << i;
+  }
+}
+
+TEST(ParallelCoOptimizer, ForksOneEvaluatorPerChunkAndMeasuresEverything) {
+  std::atomic<int> forks{0};
+  std::atomic<int> measures{0};
+  CoOptimizer opt(small_space(), std::make_unique<CountingEvaluator>(&forks, &measures), 4);
+  opt.fit_models();
+  EXPECT_GT(forks.load(), 0);  // the sweep went through fork(), not the root
+  EXPECT_GE(static_cast<std::size_t>(measures.load()), opt.total_samples());
+}
+
+TEST(CoOptimizer, EvaluatorCtorRejectsBadArguments) {
+  EXPECT_THROW(CoOptimizer(small_space(), std::unique_ptr<Evaluator>{}),
+               std::invalid_argument);
+  EXPECT_THROW(CoOptimizer(small_space(), std::make_unique<FunctionEvaluator>(fake_ir), -1),
+               std::invalid_argument);
 }
 
 TEST(CoOptimizer, AllPointsUnsolvableIsStructuredFailure) {

@@ -31,6 +31,7 @@
 #include "core/platform.hpp"
 #include "core/status.hpp"
 #include "cost/cost_model.hpp"
+#include "exec/thread_pool.hpp"
 #include "irdrop/montecarlo.hpp"
 #include "memctrl/trace.hpp"
 #include "obs/report.hpp"
@@ -93,6 +94,10 @@ constexpr int kExitInfeasible = 4;
       "  --die N          die to report (1-based)      (report, default top die)\n"
       "  --decap NF       per-tap decap in nF          (droop, default 2)\n"
       "  --top N          hot spans to print           (profile, default 15)\n"
+      "  --threads N      worker threads for parallel sweeps (montecarlo, lut,\n"
+      "                   cooptimize, profile; also: PDN3D_THREADS env var;\n"
+      "                   default: hardware concurrency). Results are identical\n"
+      "                   at any thread count.\n"
       "  --report FILE    write a machine-readable JSON run report (any command;\n"
       "                   see docs/OBSERVABILITY.md for the schema)\n"
       "  --verbose        log at debug level (also: PDN3D_LOG_LEVEL env var)\n"
@@ -144,7 +149,8 @@ Args parse_args(int argc, char** argv) {
                                                "--alpha", "--out",      "--m2",     "--m3",
                                                "--tc",    "--tl",       "--bd",     "--rdl",
                                                "--scale", "--tech",     "--trace",  "--samples",
-                                               "--decap", "--die",      "--report", "--top"};
+                                               "--decap", "--die",      "--report", "--top",
+                                               "--threads"};
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool takes_value =
@@ -592,6 +598,12 @@ int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   if (args.has_flag("--verbose")) util::set_log_level(util::LogLevel::kDebug);
   if (args.has_flag("--quiet")) util::set_log_level(util::LogLevel::kError);
+  if (const auto v = args.get("--threads")) {
+    const int n = std::atoi(v->c_str());
+    if (n < 1) usage("--threads requires a positive integer");
+    // Overrides PDN3D_THREADS; every sweep below sizes its pool from this.
+    exec::set_default_thread_count(static_cast<std::size_t>(n));
+  }
   core::Benchmark benchmark = core::make_benchmark(parse_benchmark(args.benchmark));
 
   int rc = kExitOk;
