@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a pdn3d --report JSON file against run-report schema v2.
+"""Validate a pdn3d --report JSON file against run-report schema v3.
 
 Stdlib-only so it can run anywhere the repo builds. Exits 0 when the report
 conforms, 1 with a list of problems otherwise. The schema is documented in
@@ -7,6 +7,9 @@ docs/OBSERVABILITY.md; bump SCHEMA_VERSION there and here together.
 
 v2 added the top-level "threads" key: the effective worker-thread count
 (--threads / PDN3D_THREADS / hardware concurrency) the run resolved.
+v3 added the "factor" sub-object to "solver": cached sparse-direct
+factorization statistics (builds, build_failures, cache_hits, fill_ratio,
+nnz).
 
 Usage: check_report_schema.py report.json [report2.json ...]
 """
@@ -15,7 +18,7 @@ import json
 import numbers
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 # key -> allowed python types for the documented top-level fields.
 TOP_LEVEL = {
@@ -58,6 +61,15 @@ SOLVER_KEYS = {
     "escalations": numbers.Number,
     "rung_attempts": dict,
     "rung_failures": dict,
+    "factor": dict,
+}
+
+FACTOR_KEYS = {
+    "builds": numbers.Number,
+    "build_failures": numbers.Number,
+    "cache_hits": numbers.Number,
+    "fill_ratio": numbers.Number,
+    "nnz": numbers.Number,
 }
 
 
@@ -94,6 +106,8 @@ def check_report(report):
     check_block(errors, report["provenance"], PROVENANCE_KEYS, "provenance")
     check_block(errors, report["metrics"], METRICS_KEYS, "metrics")
     check_block(errors, report["solver"], SOLVER_KEYS, "solver")
+    if isinstance(report["solver"], dict) and isinstance(report["solver"].get("factor"), dict):
+        check_block(errors, report["solver"]["factor"], FACTOR_KEYS, "solver.factor")
 
     for i, row in enumerate(report["spans"]):
         check_block(errors, row, SPAN_ROW_KEYS, f"spans[{i}]")

@@ -83,11 +83,17 @@ void IrAnalyzer::injection_into(const power::MemoryState& state,
 }
 
 std::vector<double> IrAnalyzer::ir_map(const power::MemoryState& state) const {
-  return solver_.solve_ir(injection(state));
+  const std::vector<double> sinks = injection(state);
+  SolveOutcome outcome = solver_.solve({.sinks = sinks, .want_ir = true});
+  if (!outcome.ok()) throw core::NumericalError(std::move(outcome.status));
+  return std::move(outcome.x);
 }
 
 std::vector<double> IrAnalyzer::node_voltages(const power::MemoryState& state) const {
-  return solver_.solve(injection(state));
+  const std::vector<double> sinks = injection(state);
+  SolveOutcome outcome = solver_.solve({.sinks = sinks});
+  if (!outcome.ok()) throw core::NumericalError(std::move(outcome.status));
+  return std::move(outcome.x);
 }
 
 std::vector<IrAnalyzer::BlockIr> IrAnalyzer::block_report(const power::MemoryState& state,

@@ -47,6 +47,13 @@ class EvalContext {
   /// Raw solve through this context's scratch (the non-analysis entry).
   [[nodiscard]] SolveOutcome solve(const SolveRequest& request);
 
+  /// Opt in to CG warm starts: subsequent solves through this context seed CG
+  /// from the previous solve's voltages. Only meaningful on fallback paths
+  /// where the sparse-direct factor was declined, and only safe where the
+  /// solve order is not part of a determinism contract (the warm-started bits
+  /// depend on it) -- see docs/SOLVER.md. Direct rungs are unaffected.
+  void set_warm_start(bool on);
+
   [[nodiscard]] const IrAnalyzer& analyzer() const { return *analyzer_; }
 
   /// Context-local solve telemetry, merged by the sweep owner in a

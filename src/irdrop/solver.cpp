@@ -43,16 +43,29 @@ obs::Counter& rung_failure_counter(SolverKind kind) {
   return *counters[static_cast<std::size_t>(kind)];
 }
 
+void deprecation_note_once(std::once_flag& flag, const char* what, const char* instead) {
+  std::call_once(flag, [&] {
+    util::log_warn("deprecated: ", what, " -- use ", instead,
+                   " (this shim will be removed in a future release)");
+  });
+}
+
 }  // namespace
 
 const char* to_string(SolverKind kind) {
   switch (kind) {
+    case SolverKind::kSparseDirect: return "sparse-direct";
     case SolverKind::kPcgIc: return "ic-pcg";
     case SolverKind::kPcgJacobi: return "jacobi-pcg";
     case SolverKind::kBandedDirect: return "banded-direct";
     case SolverKind::kDense: return "dense-cholesky";
   }
   return "?";
+}
+
+SolverKind select_solver_kind(std::size_t expected_solves) {
+  return expected_solves >= kSparseDirectMinSolves ? SolverKind::kSparseDirect
+                                                   : SolverKind::kPcgIc;
 }
 
 IrSolver::IrSolver(const pdn::StackModel& model, SolverKind kind, IrSolverOptions options)
@@ -89,10 +102,10 @@ IrSolver::IrSolver(const pdn::StackModel& model, SolverKind kind, IrSolverOption
       ic_ = std::make_unique<linalg::IncompleteCholesky>(g_);
     });
   }
-  // The banded factorization is built lazily (see banded()) so that a
-  // starting rung of kBandedDirect and an escalation into it share one path,
-  // and a factorization failure becomes a rung failure instead of a
-  // constructor throw.
+  // The direct factorizations (sparse, banded) are built lazily (see
+  // sparse() / banded()) so that a starting rung and an escalation into it
+  // share one path, and a factorization failure becomes a rung failure
+  // instead of a constructor throw.
 }
 
 const linalg::BandedCholesky* IrSolver::banded(std::string* error) const {
@@ -109,12 +122,55 @@ const linalg::BandedCholesky* IrSolver::banded(std::string* error) const {
   return banded_.get();
 }
 
+const linalg::SparseCholesky* IrSolver::sparse(std::string* error) const {
+  static auto& m_builds = obs::counter("solver.factor_builds");
+  static auto& m_build_failures = obs::counter("solver.factor_build_failures");
+  static auto& m_cache_hits = obs::counter("solver.factor_cache_hits");
+  static auto& m_fill_ratio = obs::gauge("solver.factor_fill_ratio");
+  static auto& m_factor_nnz = obs::gauge("solver.factor_nnz");
+
+  bool built_now = false;
+  std::call_once(sparse_once_, [&] {
+    built_now = true;
+    PDN3D_TRACE_SPAN("solver/factor_build");
+    const util::ScopedTimer build_timer("solver.factor_build_seconds");
+    try {
+      linalg::SparseCholeskyOptions opts;
+      opts.max_fill_ratio = options_.max_fill_ratio;
+      sparse_ = std::make_unique<linalg::SparseCholesky>(g_, linalg::rcm_ordering(g_), opts);
+      m_builds.add(1);
+      m_fill_ratio.set(sparse_->fill_ratio());
+      m_factor_nnz.set(static_cast<double>(sparse_->factor_nnz()));
+    } catch (const std::exception& e) {
+      sparse_error_ = e.what();
+      m_build_failures.add(1);
+    }
+  });
+  if (sparse_ && !built_now) m_cache_hits.add(1);
+  if (!sparse_ && error != nullptr) *error = sparse_error_;
+  return sparse_.get();
+}
+
+bool IrSolver::sparse_factor_available() const { return sparse(nullptr) != nullptr; }
+
 IrSolver::RungResult IrSolver::run_rung(SolverKind kind, std::span<const double> rhs,
-                                        linalg::CgScratch* cg) const {
+                                        SolveScratch& ws) const {
   RungResult out;
   const std::size_t n = g_.dimension();
   try {
     switch (kind) {
+      case SolverKind::kSparseDirect: {
+        std::string error;
+        const linalg::SparseCholesky* fac = sparse(&error);
+        if (fac == nullptr) {
+          out.detail = "sparse factorization declined: " + error;
+          return out;
+        }
+        out.x.assign(n, 0.0);
+        fac->solve(rhs, out.x, ws.direct);
+        out.produced = true;
+        return out;
+      }
       case SolverKind::kPcgIc:
       case SolverKind::kPcgJacobi: {
         linalg::CgOptions opts;
@@ -129,7 +185,8 @@ IrSolver::RungResult IrSolver::run_rung(SolverKind kind, std::span<const double>
         } else {
           opts.preconditioner = linalg::Preconditioner::kJacobi;
         }
-        auto result = linalg::solve_cg(g_, rhs, opts, cg);
+        if (ws.warm_start && ws.warm.size() == n) opts.x0 = ws.warm;
+        auto result = linalg::solve_cg(g_, rhs, opts, &ws.cg);
         out.iterations = result.iterations;
         if (!result.converged) {
           out.detail = std::string(linalg::to_string(result.failure)) +
@@ -178,13 +235,9 @@ IrSolver::RungResult IrSolver::run_rung(SolverKind kind, std::span<const double>
   return out;
 }
 
-SolveOutcome IrSolver::solve(const SolveRequest& request, SolveScratch* scratch) const {
-  const std::span<const double> sinks = request.sinks;
+SolveOutcome IrSolver::solve_one(std::span<const double> sinks, bool want_ir,
+                                 SolveScratch& ws) const {
   const std::size_t n = g_.dimension();
-  if (sinks.size() != n) throw std::invalid_argument("IrSolver::solve: sink vector size mismatch");
-
-  SolveScratch local;
-  SolveScratch& ws = scratch != nullptr ? *scratch : local;
 
   PDN3D_TRACE_SPAN_NAMED(span, "solver/solve");
   static auto& m_solves = obs::counter("solver.solves");
@@ -195,19 +248,6 @@ SolveOutcome IrSolver::solve(const SolveRequest& request, SolveScratch* scratch)
   static auto& m_rung_used = obs::gauge("solver.rung_used");
 
   SolveOutcome outcome;
-
-  // Pre-solve injection health: a NaN load current poisons every inner
-  // product, so catch it here with the offending node instead of letting CG
-  // spin.
-  for (std::size_t i = 0; i < n; ++i) {
-    if (!std::isfinite(sinks[i])) {
-      outcome.status = core::Status::input_error(
-          "non-finite sink current at node " + std::to_string(i));
-      ++telemetry_.failures;
-      m_failures.add(1);
-      return outcome;
-    }
-  }
 
   std::vector<double>& rhs = ws.rhs;
   rhs.assign(n, 0.0);
@@ -223,7 +263,7 @@ SolveOutcome IrSolver::solve(const SolveRequest& request, SolveScratch* scratch)
     const SolverKind kind = static_cast<SolverKind>(k);
     ++telemetry_.rung_attempts[k];
     rung_attempt_counter(kind).add(1);
-    RungResult rung = run_rung(kind, rhs, &ws.cg);
+    RungResult rung = run_rung(kind, rhs, ws);
 
     std::string reject;
     if (!rung.produced) {
@@ -253,7 +293,8 @@ SolveOutcome IrSolver::solve(const SolveRequest& request, SolveScratch* scratch)
       } else {
         // Verified-correct: accept this rung.
         outcome.x = std::move(rung.x);
-        if (request.want_ir) {
+        if (ws.warm_start) ws.warm = outcome.x;  // voltages, pre-IR-conversion
+        if (want_ir) {
           for (double& v : outcome.x) v = vdd_ - v;
         }
         outcome.kind_used = kind;
@@ -293,17 +334,145 @@ SolveOutcome IrSolver::solve(const SolveRequest& request, SolveScratch* scratch)
   return outcome;
 }
 
+SolveOutcome IrSolver::solve_batch(const SolveRequest& request, SolveScratch& ws) const {
+  const std::size_t n = g_.dimension();
+  const std::size_t count = request.batch_count;
+
+  PDN3D_TRACE_SPAN_NAMED(span, "solver/solve_batch");
+  span.attribute("batch", static_cast<std::uint64_t>(count));
+  static auto& m_solves = obs::counter("solver.solves");
+  static auto& m_iters_hist =
+      obs::histogram("solver.iterations_per_solve", obs::exponential_buckets(1.0, 2.0, 16));
+  static auto& m_rung_used = obs::gauge("solver.rung_used");
+
+  SolveOutcome out;
+  out.x.assign(n * count, 0.0);
+  std::vector<char> done(count, 0);
+
+  // Fast path: one batched pair of triangular sweeps covers every right-hand
+  // side, then each slice is residual-verified exactly as a scalar solve
+  // would be. Slices the verification rejects (and everything, when the
+  // factor was declined) fall through to the scalar escalation ladder below.
+  if (kind_ == SolverKind::kSparseDirect) {
+    const linalg::SparseCholesky* fac = sparse(nullptr);
+    if (fac != nullptr) {
+      std::vector<double>& rhs = ws.batch_rhs;
+      rhs.assign(n * count, 0.0);
+      for (std::size_t r = 0; r < count; ++r) {
+        for (std::size_t i = 0; i < n; ++i) {
+          rhs[r * n + i] = supply_rhs_[i] - request.sinks[r * n + i];
+        }
+      }
+      ws.batch_x.assign(n * count, 0.0);
+      fac->solve_batch(rhs, ws.batch_x, count, ws.direct);
+
+      for (std::size_t r = 0; r < count; ++r) {
+        const std::span<const double> brhs(rhs.data() + r * n, n);
+        const std::span<const double> bx(ws.batch_x.data() + r * n, n);
+        std::vector<double>& ax = ws.ax;
+        ax.assign(n, 0.0);
+        g_.multiply(bx, ax);
+        double res = 0.0;
+        bool finite = true;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double d = brhs[i] - ax[i];
+          res += d * d;
+          if (!std::isfinite(bx[i])) finite = false;
+        }
+        res = std::sqrt(res);
+        const double bnorm = linalg::norm2(brhs);
+        const double rel = bnorm > 0.0 ? res / bnorm : res;
+        if (!finite || !std::isfinite(rel) || rel > options_.verify_rel_tol) continue;
+
+        ++telemetry_.rung_attempts[static_cast<std::size_t>(SolverKind::kSparseDirect)];
+        rung_attempt_counter(SolverKind::kSparseDirect).add(1);
+        for (std::size_t i = 0; i < n; ++i) {
+          out.x[r * n + i] = request.want_ir ? vdd_ - bx[i] : bx[i];
+        }
+        out.kind_used = SolverKind::kSparseDirect;
+        out.rel_residual = std::max(out.rel_residual, rel);
+        last_iterations_.store(0, std::memory_order_relaxed);
+        last_kind_used_.store(SolverKind::kSparseDirect, std::memory_order_relaxed);
+        ++telemetry_.solves;
+        m_solves.add(1);
+        m_iters_hist.observe(0.0);
+        m_rung_used.set(static_cast<double>(static_cast<std::size_t>(SolverKind::kSparseDirect)));
+        done[r] = 1;
+      }
+    }
+  }
+
+  for (std::size_t r = 0; r < count; ++r) {
+    if (done[r]) continue;
+    const std::span<const double> sinks(request.sinks.data() + r * n, n);
+    SolveOutcome one = solve_one(sinks, request.want_ir, ws);
+    if (!one.ok()) {
+      // All-or-nothing: a partially-solved batch must not look like success.
+      out.x.clear();
+      out.status = core::Status(one.status.code(),
+                                "batch slice " + std::to_string(r) + ": " + one.status.message());
+      out.escalations += one.escalations;
+      return out;
+    }
+    std::copy(one.x.begin(), one.x.end(), out.x.begin() + static_cast<std::ptrdiff_t>(r * n));
+    out.kind_used = one.kind_used;
+    out.iterations += one.iterations;
+    out.rel_residual = std::max(out.rel_residual, one.rel_residual);
+    out.escalations += one.escalations;
+  }
+  return out;
+}
+
+SolveOutcome IrSolver::solve(const SolveRequest& request, SolveScratch* scratch) const {
+  const std::size_t n = g_.dimension();
+  if (request.batch_count == 0) {
+    throw std::invalid_argument("IrSolver::solve: batch_count must be >= 1");
+  }
+  if (request.sinks.size() != n * request.batch_count) {
+    throw std::invalid_argument("IrSolver::solve: sink vector size mismatch");
+  }
+
+  SolveScratch local;
+  SolveScratch& ws = scratch != nullptr ? *scratch : local;
+
+  // Pre-solve injection health: a NaN load current poisons every inner
+  // product, so catch it here with the offending node instead of letting CG
+  // spin.
+  static auto& m_failures = obs::counter("solver.failures");
+  for (std::size_t i = 0; i < request.sinks.size(); ++i) {
+    if (!std::isfinite(request.sinks[i])) {
+      SolveOutcome outcome;
+      outcome.status = core::Status::input_error(
+          "non-finite sink current at node " + std::to_string(i % n) +
+          (request.batch_count > 1 ? " (batch slice " + std::to_string(i / n) + ")" : ""));
+      ++telemetry_.failures;
+      m_failures.add(1);
+      return outcome;
+    }
+  }
+
+  if (request.batch_count == 1) return solve_one(request.sinks, request.want_ir, ws);
+  return solve_batch(request, ws);
+}
+
 SolveOutcome IrSolver::try_solve(std::span<const double> sinks) const {
+  static std::once_flag note;
+  deprecation_note_once(note, "IrSolver::try_solve(sinks)", "solve(SolveRequest)");
   return solve(SolveRequest{.sinks = sinks});
 }
 
 std::vector<double> IrSolver::solve(std::span<const double> sinks) const {
+  static std::once_flag note;
+  deprecation_note_once(note, "IrSolver::solve(sinks)", "solve(SolveRequest)");
   SolveOutcome outcome = solve(SolveRequest{.sinks = sinks});
   if (!outcome.ok()) throw core::NumericalError(std::move(outcome.status));
   return std::move(outcome.x);
 }
 
 std::vector<double> IrSolver::solve_ir(std::span<const double> sinks) const {
+  static std::once_flag note;
+  deprecation_note_once(note, "IrSolver::solve_ir(sinks)",
+                        "solve(SolveRequest{.sinks, .want_ir = true})");
   SolveOutcome outcome = solve(SolveRequest{.sinks = sinks, .want_ir = true});
   if (!outcome.ok()) throw core::NumericalError(std::move(outcome.status));
   return std::move(outcome.x);

@@ -13,11 +13,18 @@
 /// Numerical health: construction runs the pdn mesh validator (floating
 /// nodes, non-positive conductances, zero-tap dies) and throws a structured
 /// core::ValidationError on defects. Each solve climbs an escalation ladder
-/// -- IC-PCG -> Jacobi-PCG -> RCM banded direct -> dense Cholesky -- starting
-/// at the configured kind, and accepts a rung's answer only after verifying
-/// the true residual. The result is that every solve is either
-/// verified-correct or a structured, recoverable error (SolveOutcome /
+/// -- sparse direct -> IC-PCG -> Jacobi-PCG -> RCM banded direct -> dense
+/// Cholesky -- starting at the configured kind, and accepts a rung's answer
+/// only after verifying the true residual. The result is that every solve is
+/// either verified-correct or a structured, recoverable error (SolveOutcome /
 /// core::NumericalError); never silent garbage.
+///
+/// The sparse-direct rung is the same-matrix/many-RHS fast path: a cached
+/// sparse Cholesky factor built once per solver instance (once_flag), after
+/// which every solve is two triangular sweeps. Sweeps declare their access
+/// pattern through select_solver_kind(expected_solves); one-shot callers keep
+/// ic-pcg. A factorization the fill-ratio guard declines simply fails the
+/// rung and the ladder escalates as usual (see docs/SOLVER.md).
 
 #include <array>
 #include <atomic>
@@ -33,20 +40,32 @@
 #include "linalg/cg.hpp"
 #include "linalg/csr.hpp"
 #include "linalg/ichol.hpp"
+#include "linalg/sparse_chol.hpp"
 #include "pdn/stack_model.hpp"
 
 namespace pdn3d::irdrop {
 
 enum class SolverKind {
+  kSparseDirect,  ///< RCM + sparse Cholesky: factor once, two sweeps per RHS
   kPcgIc,         ///< IC(0)-preconditioned CG (default, fast)
   kPcgJacobi,     ///< Jacobi-preconditioned CG
   kBandedDirect,  ///< RCM + banded Cholesky: factor once, O(n*b) per state
   kDense,         ///< dense Cholesky -- exact reference ("signoff") path
 };
 
-inline constexpr std::size_t kSolverKindCount = 4;
+inline constexpr std::size_t kSolverKindCount = 5;
 
 [[nodiscard]] const char* to_string(SolverKind kind);
+
+/// Method auto-selection: callers that know how many same-matrix solves they
+/// are about to run (LUT builds, Monte Carlo sweeps, co-optimizer sampling)
+/// declare it and get the cached-factor sparse-direct path once the
+/// factorization amortizes; one-shot solves keep ic-pcg.
+[[nodiscard]] SolverKind select_solver_kind(std::size_t expected_solves);
+
+/// Expected solve count at which select_solver_kind switches to the cached
+/// sparse-direct factor (factorization ~ a handful of PCG solves).
+inline constexpr std::size_t kSparseDirectMinSolves = 8;
 
 struct IrSolverOptions {
   double cg_rel_tolerance = 1e-10;
@@ -64,6 +83,11 @@ struct IrSolverOptions {
   /// memory and O(n^3) factor are hopeless on full stacks). An explicitly
   /// requested kDense start rung is always honored.
   std::size_t dense_escalation_limit = 4096;
+  /// Fill guard for the sparse-direct factor: the factorization is declined
+  /// (rung fails, ladder escalates) when nnz(L) would exceed this multiple of
+  /// the lower triangle of G. The paper's 3D stack meshes factor at fill
+  /// 40-65 under RCM; the default admits them (see SparseCholeskyOptions).
+  double max_fill_ratio = 96.0;
 };
 
 /// Per-rung retry counters, accumulated across all solves of this solver
@@ -88,12 +112,20 @@ struct SolveTelemetry {
 struct SolveRequest {
   std::span<const double> sinks;  ///< per-node sink currents (amps, >= 0 draws)
   bool want_ir = false;           ///< return VDD - v (IR drop) instead of v
+  /// Multi-RHS batch: @ref sinks holds batch_count sink vectors back to back
+  /// (each node_count() long, RHS-major). SolveOutcome::x comes back in the
+  /// same index order, each solution bitwise identical to a stand-alone solve
+  /// of that slice. A batch succeeds only as a whole: if any right-hand side
+  /// exhausts the ladder the outcome is the failure and x stays empty.
+  std::size_t batch_count = 1;
 };
 
 /// Structured result of one solve attempt. `x` is written only after residual
 /// verification succeeds on some rung -- callers can never observe a
 /// partially-written or unverified solution, no matter how many rungs the
-/// escalation ladder burned through first.
+/// escalation ladder burned through first. For batched requests the scalar
+/// telemetry aggregates across the batch (iterations and escalations sum,
+/// rel_residual is the worst slice, kind_used is the last slice's rung).
 struct SolveOutcome {
   core::Status status;     ///< ok, or kInputError / kNumericalFailure
   std::vector<double> x;   ///< node voltages (or IR drops); empty when !status.is_ok()
@@ -113,6 +145,17 @@ struct SolveScratch {
   std::vector<double> rhs;  ///< supply_rhs - sinks
   std::vector<double> ax;   ///< G*x for residual verification
   linalg::CgScratch cg;
+  /// Warm-start opt-in: when true, CG rungs start from `warm` (the previous
+  /// successful solve's voltages through this scratch) instead of zero.
+  /// Direct rungs are exact and ignore it. Off by default because a warm
+  /// start makes the converged bits depend on solve order -- only enable it
+  /// on paths exempt from the cross-thread-count determinism contract (the
+  /// sequential LUT fallback when the sparse factor was declined).
+  bool warm_start = false;
+  std::vector<double> warm;       ///< previous voltages (never IR-converted)
+  std::vector<double> batch_rhs;  ///< batched fast-path right-hand sides
+  std::vector<double> batch_x;    ///< batched fast-path solutions
+  std::vector<double> direct;     ///< triangular-sweep workspace
 };
 
 class IrSolver {
@@ -144,6 +187,13 @@ class IrSolver {
   [[nodiscard]] std::size_t node_count() const { return g_.dimension(); }
   [[nodiscard]] double vdd() const { return vdd_; }
   [[nodiscard]] const linalg::Csr& conductance_matrix() const { return g_; }
+  /// The configured starting rung (the ladder may still escalate past it).
+  [[nodiscard]] SolverKind kind() const { return kind_; }
+
+  /// True when the cached sparse-direct factor exists, building it on first
+  /// call (once_flag; concurrent callers race safely). Sweeps use this to
+  /// decide whether the sequential warm-start fallback is worth enabling.
+  [[nodiscard]] bool sparse_factor_available() const;
 
   /// @deprecated Iterations used by the last successful solve (0 for direct
   /// rungs). Under concurrency this is "some recent solve" -- prefer
@@ -169,8 +219,12 @@ class IrSolver {
   };
 
   [[nodiscard]] RungResult run_rung(SolverKind kind, std::span<const double> rhs,
-                                    linalg::CgScratch* cg) const;
+                                    SolveScratch& ws) const;
   [[nodiscard]] const linalg::BandedCholesky* banded(std::string* error) const;
+  [[nodiscard]] const linalg::SparseCholesky* sparse(std::string* error) const;
+  [[nodiscard]] SolveOutcome solve_one(std::span<const double> sinks, bool want_ir,
+                                       SolveScratch& ws) const;
+  [[nodiscard]] SolveOutcome solve_batch(const SolveRequest& request, SolveScratch& ws) const;
 
   SolverKind kind_;
   IrSolverOptions options_;
@@ -185,6 +239,9 @@ class IrSolver {
   mutable std::once_flag banded_once_;
   mutable std::unique_ptr<linalg::BandedCholesky> banded_;
   mutable std::string banded_error_;  ///< sticky factorization failure
+  mutable std::once_flag sparse_once_;
+  mutable std::unique_ptr<linalg::SparseCholesky> sparse_;
+  mutable std::string sparse_error_;  ///< sticky decline reason (fill guard, not SPD)
   mutable std::atomic<std::size_t> last_iterations_{0};
   mutable std::atomic<SolverKind> last_kind_used_{SolverKind::kPcgIc};
   mutable SolveTelemetry telemetry_;

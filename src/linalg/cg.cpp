@@ -67,7 +67,31 @@ CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& opti
   std::vector<double>& p = ws.p;
   std::vector<double>& ap = ws.ap;
   std::vector<double>& inv_diag = ws.inv_diag;
-  r.assign(b.begin(), b.end());  // r = b - A*0
+  if (!options.x0.empty() && options.x0.size() != n) {
+    throw std::invalid_argument("solve_cg: x0 size mismatch");
+  }
+  bool warm = options.x0.size() == n;
+  if (warm) {
+    for (const double v : options.x0) {
+      if (!std::isfinite(v)) {
+        warm = false;  // a poisoned guess must not poison the solve
+        break;
+      }
+    }
+  }
+  if (warm) {
+    std::copy(options.x0.begin(), options.x0.end(), result.x.begin());
+    r.resize(n);
+    a.multiply(result.x, r);  // r = b - A*x0
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+    if (norm2(r) <= target) {
+      result.converged = true;
+      result.residual_norm = norm2(r);
+      return result;
+    }
+  } else {
+    r.assign(b.begin(), b.end());  // r = b - A*0
+  }
   z.assign(n, 0.0);
   p.assign(n, 0.0);
   ap.assign(n, 0.0);

@@ -39,6 +39,15 @@ struct CgOptions {
   /// iterations. 0 disables the check.
   std::size_t stagnation_window = 500;
   double stagnation_improvement = 1e-3;  ///< required fractional improvement
+  /// Optional warm start (non-owning; must stay alive for the call). When it
+  /// has dimension() finite entries, CG starts from it instead of zero --
+  /// worth hundreds of iterations when consecutive right-hand sides are
+  /// similar (sequential LUT entries). A non-finite x0 silently falls back to
+  /// the zero start. Determinism caveat: the converged solution depends
+  /// (bitwise) on x0, so sweep paths with cross-thread-count determinism
+  /// contracts must only enable this where x0 cannot depend on chunk layout
+  /// (see docs/SOLVER.md).
+  std::span<const double> x0;
 };
 
 /// Why a CG solve did not produce a verified answer.

@@ -121,6 +121,20 @@ json::Value solver_block(const MetricsSnapshot& snap) {
   }
   solver.set("rung_attempts", std::move(attempts));
   solver.set("rung_failures", std::move(failures));
+
+  // Schema v3: cached sparse-direct factorization statistics. Zeros when the
+  // run never touched the sparse-direct rung.
+  const auto gauge_or_zero = [&](const std::string& name) -> double {
+    const auto it = snap.gauges.find(name);
+    return it != snap.gauges.end() ? it->second : 0.0;
+  };
+  json::Value factor = json::Value::object();
+  factor.set("builds", counter_or_zero("solver.factor_builds"));
+  factor.set("build_failures", counter_or_zero("solver.factor_build_failures"));
+  factor.set("cache_hits", counter_or_zero("solver.factor_cache_hits"));
+  factor.set("fill_ratio", gauge_or_zero("solver.factor_fill_ratio"));
+  factor.set("nnz", gauge_or_zero("solver.factor_nnz"));
+  solver.set("factor", std::move(factor));
   return solver;
 }
 

@@ -6,7 +6,7 @@
 ///
 /// Every `pdn3d <cmd> ... --report out.json` invocation ends by writing one
 /// of these; scripts/check_report_schema.py validates the schema (versioned
-/// as "schema": 2) and docs/OBSERVABILITY.md documents every key. Reports are
+/// as "schema": 3) and docs/OBSERVABILITY.md documents every key. Reports are
 /// the diff baseline for performance PRs: two runs of the same command can be
 /// compared span-by-span and counter-by-counter.
 
@@ -21,7 +21,9 @@ namespace pdn3d::obs {
 
 /// Current report schema version; bump on breaking key changes.
 /// v2: added the top-level "threads" key (effective worker-thread count).
-inline constexpr int kReportSchemaVersion = 2;
+/// v3: added the "factor" sub-object to the "solver" block (cached
+///     sparse-direct factorization statistics).
+inline constexpr int kReportSchemaVersion = 3;
 
 struct RunReportOptions {
   std::string command;            ///< CLI command ("analyze", "profile", ...)

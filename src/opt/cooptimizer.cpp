@@ -3,6 +3,7 @@
 #include <array>
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 
@@ -22,9 +23,17 @@ CoOptimizer::CoOptimizer(DesignSpace space, std::unique_ptr<Evaluator> evaluate,
 }
 
 CoOptimizer::CoOptimizer(DesignSpace space, IrEvaluator evaluate)
-    : CoOptimizer(std::move(space), evaluate
-                                        ? std::make_unique<FunctionEvaluator>(std::move(evaluate))
-                                        : nullptr) {}
+    : CoOptimizer(std::move(space), [&]() -> std::unique_ptr<Evaluator> {
+        static std::once_flag note;
+        std::call_once(note, [] {
+          util::log_warn(
+              "deprecated: CoOptimizer(DesignSpace, IrEvaluator) -- pass a "
+              "std::unique_ptr<Evaluator> (e.g. FunctionEvaluator) instead "
+              "(this shim will be removed in a future release)");
+        });
+        if (!evaluate) return nullptr;
+        return std::make_unique<FunctionEvaluator>(std::move(evaluate));
+      }()) {}
 
 std::vector<CoOptimizer::PointResult> CoOptimizer::evaluate_batch(
     const std::vector<pdn::PdnConfig>& configs) {

@@ -94,7 +94,7 @@ TEST(FaultInjection, NanSinkReportedWithNode) {
   IrSolver solver(m);
   std::vector<double> sinks(m.node_count(), 0.01);
   sinks[7] = kNan;
-  const auto outcome = solver.try_solve(sinks);
+  const auto outcome = solver.solve(SolveRequest{.sinks = sinks});
   EXPECT_FALSE(outcome.ok());
   EXPECT_EQ(outcome.status.code(), core::StatusCode::kInputError);
   EXPECT_NE(outcome.status.message().find("node 7"), std::string::npos);
@@ -119,7 +119,8 @@ TEST(FaultInjection, SingularSystemNeverSilent) {
   opts.validate = false;  // sneak past the front door
   opts.cg_max_iterations = 200;
   IrSolver solver(m, SolverKind::kPcgIc, opts);
-  const auto outcome = solver.try_solve(std::vector<double>{0.0, 0.0, 1.0, 0.0});
+  const std::vector<double> island_load = {0.0, 0.0, 1.0, 0.0};
+  const auto outcome = solver.solve(SolveRequest{.sinks = island_load});
   EXPECT_FALSE(outcome.ok());
   EXPECT_EQ(outcome.status.code(), core::StatusCode::kNumericalFailure);
   EXPECT_GE(solver.telemetry().failures, 1u);
@@ -133,7 +134,7 @@ TEST(FaultInjection, LadderRecoversWhenPcgIsStarved) {
   starved.cg_max_iterations = 1;
   IrSolver solver(m, SolverKind::kPcgIc, starved);
   const std::vector<double> sinks(m.node_count(), 0.01);
-  const auto outcome = solver.try_solve(sinks);
+  const auto outcome = solver.solve(SolveRequest{.sinks = sinks});
   ASSERT_TRUE(outcome.ok()) << outcome.status.to_string();
   EXPECT_GE(outcome.escalations, 2u);
   EXPECT_TRUE(outcome.kind_used == SolverKind::kBandedDirect ||
@@ -154,6 +155,66 @@ TEST(FaultInjection, LadderRecoversWhenPcgIsStarved) {
   EXPECT_GE(t.escalations, 2u);
   EXPECT_GE(t.rung_failures[static_cast<std::size_t>(SolverKind::kPcgIc)], 1u);
   EXPECT_GE(t.rung_failures[static_cast<std::size_t>(SolverKind::kPcgJacobi)], 1u);
+}
+
+TEST(FaultInjection, FillRatioGuardDeclinesFactorAndLadderRecovers) {
+  // A near-zero fill budget makes the sparse-direct factorization decline
+  // every mesh; the configured sparse-direct start must fall through the
+  // ladder and still deliver a dense-verified answer, with the declined rung
+  // visible in telemetry.
+  const auto m = ladder_mesh();
+  IrSolverOptions opts;
+  opts.max_fill_ratio = 1e-9;
+  IrSolver solver(m, SolverKind::kSparseDirect, opts);
+  EXPECT_FALSE(solver.sparse_factor_available());
+
+  const std::vector<double> sinks(m.node_count(), 0.01);
+  const auto outcome = solver.solve(SolveRequest{.sinks = sinks});
+  ASSERT_TRUE(outcome.ok()) << outcome.status.to_string();
+  EXPECT_GE(outcome.escalations, 1u);
+  EXPECT_NE(outcome.kind_used, SolverKind::kSparseDirect);
+
+  const auto reference = IrSolver(m, SolverKind::kDense).solve(sinks);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_NEAR(outcome.x[i], reference[i], 1e-8);
+  }
+
+  const auto& t = solver.telemetry();
+  EXPECT_GE(t.rung_failures[static_cast<std::size_t>(SolverKind::kSparseDirect)], 1u);
+  EXPECT_GE(t.escalations, 1u);
+  EXPECT_EQ(t.failures, 0u);
+}
+
+TEST(FaultInjection, SingularSubmatrixFailsSparseFactorAndFallsThrough) {
+  // A loaded floating island sneaked past validation: the sparse Cholesky
+  // factor build hits a non-positive pivot and the rung fails over to the
+  // ladder, which (correctly) cannot solve the inconsistent system either --
+  // the outcome is a structured numerical failure, never silent garbage.
+  pdn::StackModel m(1.0);
+  pdn::LayerGrid g;
+  g.nx = 4;
+  g.ny = 1;
+  g.dx = g.dy = 1.0;
+  m.add_grid(g);
+  m.set_dram_die_count(1);
+  m.add_tap(0, 1.0);
+  m.add_resistor(0, 1, 1.0);
+  m.add_resistor(2, 3, 1.0);  // island: its 2x2 submatrix is singular
+  IrSolverOptions opts;
+  opts.validate = false;  // sneak past the front door
+  opts.cg_max_iterations = 200;
+  IrSolver solver(m, SolverKind::kSparseDirect, opts);
+  EXPECT_FALSE(solver.sparse_factor_available());
+
+  const std::vector<double> island_load = {0.0, 0.0, 1.0, 0.0};
+  const auto outcome = solver.solve(SolveRequest{.sinks = island_load});
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status.code(), core::StatusCode::kNumericalFailure);
+  EXPECT_TRUE(outcome.x.empty());
+
+  const auto& t = solver.telemetry();
+  EXPECT_GE(t.rung_failures[static_cast<std::size_t>(SolverKind::kSparseDirect)], 1u);
+  EXPECT_GE(t.failures, 1u);
 }
 
 TEST(FaultInjection, PerturbedBenchmarkStackIsCaught) {
@@ -184,7 +245,7 @@ TEST(FaultInjection, HealthyBenchmarkStillValidates) {
   EXPECT_TRUE(pdn::validate_stack_model(built.model).ok());
   IrSolver solver(built.model);
   const std::vector<double> sinks(built.model.node_count(), 0.0);
-  const auto outcome = solver.try_solve(sinks);
+  const auto outcome = solver.solve(SolveRequest{.sinks = sinks});
   ASSERT_TRUE(outcome.ok());
   EXPECT_EQ(outcome.escalations, 0u);
   EXPECT_EQ(outcome.kind_used, SolverKind::kPcgIc);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace pdn3d::irdrop {
 namespace {
 
@@ -76,8 +78,9 @@ TEST_P(SolverKinds, ParallelPathsShareCurrent) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, SolverKinds,
-                         ::testing::Values(SolverKind::kPcgIc, SolverKind::kPcgJacobi,
-                                           SolverKind::kBandedDirect, SolverKind::kDense));
+                         ::testing::Values(SolverKind::kSparseDirect, SolverKind::kPcgIc,
+                                           SolverKind::kPcgJacobi, SolverKind::kBandedDirect,
+                                           SolverKind::kDense));
 
 TEST(IrSolver, NoTapsRejected) {
   pdn::StackModel m(1.0);
@@ -291,10 +294,163 @@ TEST(IrSolver, CallerScratchReuseIsBitwiseStable) {
 
 TEST(IrSolver, SolverKindNamesStable) {
   // The rung names appear in failure trails and CLI output; keep them fixed.
+  EXPECT_STREQ(to_string(SolverKind::kSparseDirect), "sparse-direct");
   EXPECT_STREQ(to_string(SolverKind::kPcgIc), "ic-pcg");
   EXPECT_STREQ(to_string(SolverKind::kPcgJacobi), "jacobi-pcg");
   EXPECT_STREQ(to_string(SolverKind::kBandedDirect), "banded-direct");
   EXPECT_STREQ(to_string(SolverKind::kDense), "dense-cholesky");
+}
+
+TEST(IrSolver, SelectSolverKindThreshold) {
+  // The heuristic contract sweeps rely on: one-shot callers keep ic-pcg,
+  // many-solve callers get the cached sparse-direct factor.
+  EXPECT_EQ(select_solver_kind(0), SolverKind::kPcgIc);
+  EXPECT_EQ(select_solver_kind(1), SolverKind::kPcgIc);
+  EXPECT_EQ(select_solver_kind(kSparseDirectMinSolves - 1), SolverKind::kPcgIc);
+  EXPECT_EQ(select_solver_kind(kSparseDirectMinSolves), SolverKind::kSparseDirect);
+  EXPECT_EQ(select_solver_kind(100000), SolverKind::kSparseDirect);
+}
+
+TEST(IrSolver, SparseDirectMatchesIterativeOnLadderNetwork) {
+  pdn::StackModel m(1.2);
+  pdn::LayerGrid g;
+  g.nx = 6;
+  g.ny = 2;
+  g.dx = g.dy = 1.0;
+  m.add_grid(g);
+  m.set_dram_die_count(1);
+  for (int j = 0; j < 2; ++j) {
+    for (int i = 0; i + 1 < 6; ++i) {
+      m.add_resistor(g.node(i, j), g.node(i + 1, j), 0.5 + 0.1 * i);
+    }
+  }
+  for (int i = 0; i < 6; ++i) m.add_resistor(g.node(i, 0), g.node(i, 1), 0.3);
+  m.add_tap(g.node(0, 0), 0.2);
+  m.add_tap(g.node(5, 1), 0.4);
+
+  IrSolver sparse(m, SolverKind::kSparseDirect);
+  EXPECT_EQ(sparse.kind(), SolverKind::kSparseDirect);
+  EXPECT_TRUE(sparse.sparse_factor_available());
+
+  std::vector<double> sinks(m.node_count(), 0.01);
+  const auto outcome = sparse.solve(SolveRequest{.sinks = sinks});
+  ASSERT_TRUE(outcome.ok()) << outcome.status.to_string();
+  EXPECT_EQ(outcome.kind_used, SolverKind::kSparseDirect);
+  EXPECT_EQ(outcome.iterations, 0u);  // direct rungs report no iterations
+
+  const auto vi = IrSolver(m, SolverKind::kPcgIc).solve(sinks);
+  for (std::size_t i = 0; i < vi.size(); ++i) {
+    EXPECT_NEAR(outcome.x[i], vi[i], 1e-8);
+  }
+}
+
+TEST(IrSolver, BatchedSolveBitwiseMatchesIndividualSolvesInIndexOrder) {
+  const auto m = starvable_mesh();
+  IrSolver solver(m, SolverKind::kSparseDirect);
+  const std::size_t n = m.node_count();
+
+  constexpr std::size_t kBatch = 4;
+  std::vector<double> sinks(n * kBatch, 0.0);
+  for (std::size_t r = 0; r < kBatch; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      sinks[r * n + i] = 0.001 * static_cast<double>(r * 7 + i % 5);
+    }
+  }
+
+  const auto batch = solver.solve(SolveRequest{.sinks = sinks, .batch_count = kBatch});
+  ASSERT_TRUE(batch.ok()) << batch.status.to_string();
+  ASSERT_EQ(batch.x.size(), n * kBatch);
+  EXPECT_EQ(batch.kind_used, SolverKind::kSparseDirect);
+
+  for (std::size_t r = 0; r < kBatch; ++r) {
+    const auto one = solver.solve(
+        SolveRequest{.sinks = std::span<const double>(sinks.data() + r * n, n)});
+    ASSERT_TRUE(one.ok());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(batch.x[r * n + i], one.x[i]) << "slice " << r << " node " << i;
+    }
+  }
+}
+
+TEST(IrSolver, BatchedIrConversionPerSlice) {
+  const auto m = two_node_divider();
+  IrSolver solver(m, SolverKind::kSparseDirect);
+  const std::vector<double> sinks = {0.0, 1.0, 0.0, 0.5};  // two 2-node slices
+  const auto v = solver.solve(SolveRequest{.sinks = sinks, .batch_count = 2});
+  const auto ir = solver.solve(SolveRequest{.sinks = sinks, .want_ir = true, .batch_count = 2});
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(ir.ok());
+  ASSERT_EQ(ir.x.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(ir.x[i], m.vdd() - v.x[i]);
+  }
+}
+
+TEST(IrSolver, BatchRequestValidation) {
+  const auto m = two_node_divider();
+  IrSolver solver(m);
+  const std::vector<double> sinks = {0.0, 1.0, 0.0};  // not a multiple of n=2
+  EXPECT_THROW((void)solver.solve(SolveRequest{.sinks = sinks, .batch_count = 2}),
+               std::invalid_argument);
+  EXPECT_THROW((void)solver.solve(SolveRequest{.sinks = sinks, .batch_count = 0}),
+               std::invalid_argument);
+}
+
+TEST(IrSolver, BatchFailsAsAWhole) {
+  // All-or-nothing: one bad slice fails the batch, and the failure names it.
+  const auto m = two_node_divider();
+  IrSolver solver(m, SolverKind::kSparseDirect);
+  std::vector<double> sinks = {0.0, 1.0, 0.0, 1.0, 0.0, 1.0};
+  sinks[2 * 2 + 1] = std::numeric_limits<double>::quiet_NaN();  // slice 2
+  const auto outcome = solver.solve(SolveRequest{.sinks = sinks, .batch_count = 3});
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_TRUE(outcome.x.empty());
+  EXPECT_EQ(outcome.status.code(), core::StatusCode::kInputError);
+  EXPECT_NE(outcome.status.message().find("slice 2"), std::string::npos)
+      << outcome.status.message();
+}
+
+TEST(IrSolver, DeclinedSparseFactorFallsDownLadder) {
+  // A fill guard of ~zero declines the factorization; the configured
+  // sparse-direct start must escalate and still return a verified answer.
+  const auto m = starvable_mesh();
+  IrSolverOptions opts;
+  opts.max_fill_ratio = 1e-9;
+  IrSolver solver(m, SolverKind::kSparseDirect, opts);
+  EXPECT_FALSE(solver.sparse_factor_available());
+
+  const std::vector<double> sinks(m.node_count(), 0.01);
+  const auto outcome = solver.solve(SolveRequest{.sinks = sinks});
+  ASSERT_TRUE(outcome.ok()) << outcome.status.to_string();
+  EXPECT_GE(outcome.escalations, 1u);
+  EXPECT_NE(outcome.kind_used, SolverKind::kSparseDirect);
+
+  const auto reference = IrSolver(m).solve(sinks);
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_NEAR(outcome.x[i], reference[i], 1e-8);
+  }
+}
+
+TEST(IrSolver, WarmStartScratchStaysCorrect) {
+  // Warm starts change the CG trajectory, never the answer (verified against
+  // the residual tolerance like every other solve).
+  const auto m = starvable_mesh();
+  IrSolver solver(m);
+  const std::size_t n = m.node_count();
+  SolveScratch scratch;
+  scratch.warm_start = true;
+  std::vector<double> sinks(n, 0.005);
+  for (int rep = 0; rep < 3; ++rep) {
+    sinks[3] = 0.005 + 0.001 * rep;
+    const auto outcome = solver.solve(SolveRequest{.sinks = sinks}, &scratch);
+    ASSERT_TRUE(outcome.ok());
+    const auto reference = IrSolver(m).solve(sinks);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(outcome.x[i], reference[i], 1e-8);
+    }
+  }
+  // The scratch retained the previous voltages for the next warm start.
+  EXPECT_EQ(scratch.warm.size(), n);
 }
 
 }  // namespace

@@ -217,6 +217,81 @@ TEST(Cg, CachedIcDimensionMismatchIsCallerBug) {
   EXPECT_THROW(solve_cg(a, b, opts), std::invalid_argument);
 }
 
+TEST(Cg, WarmStartFromExactSolutionConvergesInZeroIterations) {
+  const Csr a = make_chain(40, 2.0, 1.0);
+  std::vector<double> b(40, 0.0);
+  b[11] = 1.0;
+  const CgResult cold = solve_cg(a, b);
+  ASSERT_TRUE(cold.converged);
+
+  CgOptions opts;
+  opts.x0 = cold.x;
+  const CgResult warm = solve_cg(a, b, opts);
+  EXPECT_TRUE(warm.converged);
+  EXPECT_EQ(warm.iterations, 0u);
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_EQ(warm.x[i], cold.x[i]);
+}
+
+TEST(Cg, WarmStartFromNearbySolutionReducesIterations) {
+  // The sequential-LUT use case: consecutive right-hand sides differ a
+  // little, so the previous solution is a good initial guess. A 2D grid is
+  // used because its iteration count is tolerance-driven (a 1D chain always
+  // terminates exactly at n steps, warm start or not).
+  const int n = 16;
+  CooBuilder builder(static_cast<std::size_t>(n * n));
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i < n; ++i) {
+      const std::size_t k = static_cast<std::size_t>(j * n + i);
+      if (i + 1 < n) builder.stamp_conductance(k, k + 1, 1.0);
+      if (j + 1 < n) builder.stamp_conductance(k, k + static_cast<std::size_t>(n), 1.0);
+    }
+  }
+  builder.stamp_to_ground(0, 1.0);
+  const Csr a = builder.compress();
+  std::vector<double> b(static_cast<std::size_t>(n * n), 0.0);
+  b[static_cast<std::size_t>(n * n / 2)] = 1.0;
+
+  CgOptions base;
+  base.preconditioner = Preconditioner::kNone;  // enough iterations to compare
+  const CgResult first = solve_cg(a, b, base);
+  ASSERT_TRUE(first.converged);
+
+  b[static_cast<std::size_t>(n * n / 2)] = 1.0 + 1e-4;  // perturbed load
+  const CgResult cold = solve_cg(a, b, base);
+  CgOptions warm_opts = base;
+  warm_opts.x0 = first.x;
+  const CgResult warm = solve_cg(a, b, warm_opts);
+  ASSERT_TRUE(cold.converged);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_LT(warm.iterations, cold.iterations);
+}
+
+TEST(Cg, WarmStartSizeMismatchIsCallerBug) {
+  const Csr a = make_chain(10, 1.0, 1.0);
+  const std::vector<double> b(10, 1.0);
+  const std::vector<double> wrong(9, 0.0);
+  CgOptions opts;
+  opts.x0 = wrong;
+  EXPECT_THROW(solve_cg(a, b, opts), std::invalid_argument);
+}
+
+TEST(Cg, NonFiniteWarmStartFallsBackToColdStart) {
+  // A poisoned guess is a data problem, not a caller bug: the solve must
+  // proceed from zero and produce the cold-start answer.
+  const Csr a = make_chain(20, 1.0, 1.0);
+  std::vector<double> b(20, 0.0);
+  b[5] = 1.0;
+  const CgResult cold = solve_cg(a, b);
+  std::vector<double> bad(20, 0.0);
+  bad[3] = std::numeric_limits<double>::quiet_NaN();
+  CgOptions opts;
+  opts.x0 = bad;
+  const CgResult r = solve_cg(a, b, opts);
+  ASSERT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, cold.iterations);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(r.x[i], cold.x[i]);
+}
+
 TEST(Cg, ResidualReported) {
   const Csr a = make_chain(40, 1.0, 1.0);
   std::vector<double> b(40, 1.0);

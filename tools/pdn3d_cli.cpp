@@ -19,6 +19,7 @@
 //   3  numerical failure (mesh validation errors, solver ladder exhausted)
 //   4  infeasible (simulate: the IR constraint admits no memory state)
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -377,7 +378,7 @@ int cmd_validate(core::Platform& p, const Args& a) {
     const auto sinks = analyzer.injection(state);
     report.merge(pdn::validate_injection(built.model, sinks));
     if (report.ok()) {
-      const auto outcome = analyzer.solver().try_solve(sinks);
+      const auto outcome = analyzer.solver().solve(irdrop::SolveRequest{.sinks = sinks});
       if (outcome.ok()) {
         std::cout << "solve  : " << irdrop::to_string(outcome.kind_used) << ", "
                   << outcome.iterations << " iterations, relative residual "
@@ -444,10 +445,13 @@ int cmd_montecarlo(core::Platform& p, const Args& a) {
   power.dram = bench.dram_power;
   power.logic = bench.logic_power;
   power.dram_scale = bench.power_scale;
-  const irdrop::IrAnalyzer analyzer(built.model, bench.stack.dram_fp, bench.stack.logic_fp,
-                                    power);
   irdrop::MonteCarloConfig mc;
   mc.samples = static_cast<int>(a.get_double("--samples", 200));
+  // The sweep re-solves one matrix --samples times: declare the access
+  // pattern so the analyzer gets the cached sparse-direct factor.
+  const irdrop::IrAnalyzer analyzer(
+      built.model, bench.stack.dram_fp, bench.stack.logic_fp, power,
+      irdrop::select_solver_kind(static_cast<std::size_t>(std::max(mc.samples, 0))));
   const auto r = irdrop::sample_ir_distribution(analyzer, bench.stack.dram_spec, mc);
   const double worst = p.measure_ir_mv(cfg);
   std::cout << "design : " << cfg.summary() << "\n";
