@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""Soak + throughput benchmark for `pdn3d serve` (bench/BENCH_service.json).
+
+Three measurements, stdlib-only:
+
+1. **Parity.** A set of evaluation requests is run through the one-shot CLI
+   (at --threads 1 and --threads 8) and through a served session; the served
+   `output` field must be byte-identical to the CLI's stdout in every case.
+2. **Soak.** `pdn3d serve --socket` under N concurrent Unix-socket clients
+   for the soak duration. Every submitted request must be answered exactly
+   once: completed + backpressured (queue_full) == submitted, zero dropped.
+3. **Throughput.** Served requests/second over the soak vs a cold-CLI
+   baseline (fresh `pdn3d analyze wide-io` process per request). Serving
+   amortizes process start, platform build, and solver factorization across
+   requests, which is where the speedup comes from.
+
+Usage: bench_service.py /path/to/pdn3d [--duration 60] [--clients 4]
+                        [--out bench/BENCH_service.json]
+"""
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+PARITY_CASES = [
+    {
+        "cli": ["analyze", "wide-io"],
+        "req": {"op": "evaluate", "benchmark": "wide-io"},
+    },
+    {
+        "cli": ["analyze", "wide-io", "--m2", "15", "--tl", "d"],
+        "req": {"op": "evaluate", "benchmark": "wide-io",
+                "design": {"m2": 15, "tl": "d"}},
+    },
+    {
+        "cli": ["validate", "wide-io"],
+        "req": {"op": "validate", "benchmark": "wide-io"},
+    },
+]
+
+# The soak's request mix: repeated designs so the session caches amortize,
+# exactly like a sweep driver hammering the service would behave.
+SOAK_REQUESTS = [
+    {"op": "evaluate", "benchmark": "wide-io"},
+    {"op": "evaluate", "benchmark": "wide-io", "design": {"m2": 15, "tl": "d"}},
+    {"op": "evaluate", "benchmark": "wide-io", "design": {"bd": "f2f"}},
+    {"op": "validate", "benchmark": "wide-io"},
+]
+
+
+def run_cli(binary, args):
+    proc = subprocess.run([binary] + args, stdout=subprocess.PIPE,
+                          stderr=subprocess.PIPE, text=True, check=False)
+    if proc.returncode != 0:
+        raise RuntimeError(f"cli {args} failed: {proc.stderr}")
+    return proc.stdout
+
+
+def start_server(binary, sock_path, report_path):
+    proc = subprocess.Popen(
+        [binary, "serve", "--socket", sock_path, "--queue", "64",
+         "--report", report_path],
+        stdin=subprocess.DEVNULL, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True)
+    deadline = time.time() + 30
+    while not os.path.exists(sock_path):
+        if proc.poll() is not None or time.time() > deadline:
+            raise RuntimeError(f"server did not come up: {proc.stderr.read()}")
+        time.sleep(0.05)
+    return proc
+
+
+def stop_server(proc):
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.wait(timeout=120)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        raise RuntimeError("server did not drain on SIGTERM")
+
+
+def request_line(req_id, payload):
+    body = dict(payload)
+    body["id"] = req_id
+    return (json.dumps(body) + "\n").encode()
+
+
+def connect(sock_path):
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(sock_path)
+    return sock
+
+
+def roundtrip(sock, rfile, req_id, payload):
+    sock.sendall(request_line(req_id, payload))
+    line = rfile.readline()
+    if not line:
+        raise RuntimeError("server closed the connection")
+    return json.loads(line)
+
+
+def parity_check(binary, sock_path):
+    """CLI output at --threads 1 and 8 vs the served output field, per case."""
+    results = []
+    with connect(sock_path) as sock:
+        rfile = sock.makefile("r")
+        for i, case in enumerate(PARITY_CASES):
+            served = roundtrip(sock, rfile, 1000 + i, case["req"])
+            if not served.get("ok"):
+                raise RuntimeError(f"served request failed: {served}")
+            for threads in (1, 8):
+                cli_out = run_cli(binary, case["cli"] + ["--threads", str(threads)])
+                results.append({
+                    "case": " ".join(case["cli"]),
+                    "cli_threads": threads,
+                    "byte_identical": cli_out == served["output"],
+                })
+    bad = [r for r in results if not r["byte_identical"]]
+    if bad:
+        raise RuntimeError(f"parity violations: {bad}")
+    return results
+
+
+def soak(sock_path, clients, duration):
+    """N clients hammer the service; count every response by kind."""
+    stop_at = time.time() + duration
+    lock = threading.Lock()
+    totals = {"submitted": 0, "ok": 0, "queue_full": 0, "other_error": 0}
+    errors = []
+
+    def client_loop(client_idx):
+        next_id = client_idx * 1_000_000
+        try:
+            with connect(sock_path) as sock:
+                rfile = sock.makefile("r")
+                while time.time() < stop_at:
+                    payload = SOAK_REQUESTS[next_id % len(SOAK_REQUESTS)]
+                    resp = roundtrip(sock, rfile, next_id, payload)
+                    next_id += 1
+                    with lock:
+                        totals["submitted"] += 1
+                        if resp.get("ok"):
+                            totals["ok"] += 1
+                        elif resp.get("error", {}).get("kind") == "queue_full":
+                            totals["queue_full"] += 1
+                        else:
+                            totals["other_error"] += 1
+                            errors.append(resp)
+        except Exception as exc:  # noqa: BLE001 - surfaced in main
+            errors.append({"client": client_idx, "exception": repr(exc)})
+
+    threads = [threading.Thread(target=client_loop, args=(c,))
+               for c in range(clients)]
+    started = time.time()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.time() - started
+    if errors:
+        raise RuntimeError(f"soak errors: {errors[:5]}")
+    if totals["ok"] + totals["queue_full"] != totals["submitted"]:
+        raise RuntimeError(f"dropped responses: {totals}")
+    totals["elapsed_s"] = round(elapsed, 3)
+    totals["requests_per_s"] = round(totals["ok"] / elapsed, 3)
+    return totals
+
+
+def cold_cli_baseline(binary, budget_s=15.0, max_runs=40):
+    """Fresh process per request: what serving replaces."""
+    runs = 0
+    started = time.time()
+    while runs < max_runs and time.time() - started < budget_s:
+        run_cli(binary, ["analyze", "wide-io"])
+        runs += 1
+    elapsed = time.time() - started
+    return {"runs": runs, "elapsed_s": round(elapsed, 3),
+            "requests_per_s": round(runs / elapsed, 3)}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("binary", help="path to the pdn3d executable")
+    ap.add_argument("--duration", type=float, default=60.0,
+                    help="soak duration in seconds (default 60)")
+    ap.add_argument("--clients", type=int, default=4,
+                    help="concurrent Unix-socket clients (default 4)")
+    ap.add_argument("--out", default="bench/BENCH_service.json")
+    args = ap.parse_args()
+
+    scratch = tempfile.mkdtemp(prefix="pdn3d_serve_")
+    sock_path = os.path.join(scratch, "pdn3d.sock")
+    report_path = os.path.join(scratch, "serve_report.json")
+
+    server = start_server(args.binary, sock_path, report_path)
+    try:
+        print("parity: CLI vs served ...", flush=True)
+        parity = parity_check(args.binary, sock_path)
+        print(f"soak: {args.clients} clients x {args.duration:.0f}s ...", flush=True)
+        soak_totals = soak(sock_path, args.clients, args.duration)
+    finally:
+        stop_server(server)
+
+    with open(report_path, encoding="utf-8") as fh:
+        session = json.load(fh).get("session", {})
+
+    print("cold CLI baseline ...", flush=True)
+    cold = cold_cli_baseline(args.binary)
+
+    speedup = (soak_totals["requests_per_s"] / cold["requests_per_s"]
+               if cold["requests_per_s"] > 0 else None)
+    result = {
+        "bench": "service",
+        "binary": os.path.abspath(args.binary),
+        "soak": {
+            "clients": args.clients,
+            "duration_s": args.duration,
+            **soak_totals,
+            "dropped": soak_totals["submitted"] - soak_totals["ok"]
+            - soak_totals["queue_full"],
+        },
+        "server_session": {k: session.get(k) for k in
+                           ("workers", "queue_capacity", "submitted", "completed",
+                            "rejected_queue_full", "deadline_expired", "cancelled",
+                            "bad_requests")},
+        "parity": parity,
+        "cold_cli": cold,
+        "throughput_speedup_vs_cold_cli": round(speedup, 2) if speedup else None,
+    }
+
+    os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps({k: result[k] for k in
+                      ("soak", "cold_cli", "throughput_speedup_vs_cold_cli")},
+                     indent=2))
+    print(f"wrote {args.out}")
+    if speedup is not None and speedup < 2.0:
+        print(f"WARNING: speedup {speedup:.2f}x below the 2x target",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a pdn3d --report JSON file against run-report schema v3.
+"""Validate a pdn3d --report JSON file against run-report schema v4.
 
 Stdlib-only so it can run anywhere the repo builds. Exits 0 when the report
 conforms, 1 with a list of problems otherwise. The schema is documented in
@@ -10,6 +10,8 @@ v2 added the top-level "threads" key: the effective worker-thread count
 v3 added the "factor" sub-object to "solver": cached sparse-direct
 factorization statistics (builds, build_failures, cache_hits, fill_ratio,
 nnz).
+v4 added the optional top-level "session" block emitted by `pdn3d serve`:
+service aggregates plus one record per evaluated request.
 
 Usage: check_report_schema.py report.json [report2.json ...]
 """
@@ -18,7 +20,7 @@ import json
 import numbers
 import sys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 # key -> allowed python types for the documented top-level fields.
 TOP_LEVEL = {
@@ -72,6 +74,31 @@ FACTOR_KEYS = {
     "nnz": numbers.Number,
 }
 
+# v4: the `pdn3d serve` session block (optional; one-shot commands omit it).
+SESSION_KEYS = {
+    "workers": numbers.Number,
+    "queue_capacity": numbers.Number,
+    "submitted": numbers.Number,
+    "completed": numbers.Number,
+    "rejected_queue_full": numbers.Number,
+    "rejected_shutdown": numbers.Number,
+    "bad_requests": numbers.Number,
+    "deadline_expired": numbers.Number,
+    "cancelled": numbers.Number,
+    "requests": list,
+    "requests_dropped_from_report": numbers.Number,
+}
+
+SESSION_REQUEST_KEYS = {
+    "id": numbers.Number,
+    "op": str,
+    "benchmark": str,
+    "ok": bool,
+    "queue_ms": numbers.Number,
+    "run_ms": numbers.Number,
+    "headline_mv": numbers.Number,
+}
+
 
 def check_block(errors, block, spec, where):
     if not isinstance(block, dict):
@@ -80,6 +107,11 @@ def check_block(errors, block, spec, where):
     for key, expected in spec.items():
         if key not in block:
             errors.append(f"{where}: missing key '{key}'")
+        elif expected is bool:
+            if not isinstance(block[key], bool):
+                errors.append(
+                    f"{where}.{key}: expected bool, got {type(block[key]).__name__}"
+                )
         elif not isinstance(block[key], expected) or isinstance(block[key], bool):
             errors.append(
                 f"{where}.{key}: expected {expected.__name__}, "
@@ -115,6 +147,17 @@ def check_report(report):
     # trace_events is optional (--report without raw events omits it).
     if "trace_events" in report and not isinstance(report["trace_events"], list):
         errors.append("trace_events: expected array")
+
+    # session is optional (only `pdn3d serve` runs emit it).
+    if "session" in report:
+        check_block(errors, report["session"], SESSION_KEYS, "session")
+        if isinstance(report["session"], dict) and isinstance(
+            report["session"].get("requests"), list
+        ):
+            for i, row in enumerate(report["session"]["requests"]):
+                check_block(
+                    errors, row, SESSION_REQUEST_KEYS, f"session.requests[{i}]"
+                )
 
     counters = report["metrics"].get("counters")
     if isinstance(counters, dict):

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Smoke test for `pdn3d serve` (wired into ctest as cli_serve_smoke).
+#
+# Pipes a small NDJSON request mix -- evaluate, ping, a bad line, validate --
+# through the stdin transport and asserts the exactly-one-response-per-request
+# contract plus a schema-v4 run report with the session block.
+#
+# Usage: serve_smoke.sh /path/to/pdn3d scratch-dir
+set -euo pipefail
+
+bin="$1"
+scratch="$2"
+mkdir -p "$scratch"
+out="$scratch/serve_out.ndjson"
+report="$scratch/serve_report.json"
+
+printf '%s\n' \
+  '{"id":1,"op":"evaluate","benchmark":"off-chip","state":"0-0-0-2","design":{"bd":"f2f"}}' \
+  '{"id":2,"op":"ping"}' \
+  'this line is not json' \
+  '{"id":4,"op":"validate","benchmark":"wide-io"}' \
+  | "$bin" serve --queue 8 --report "$report" > "$out"
+
+fail() { echo "serve_smoke: FAIL: $1" >&2; cat "$out" >&2; exit 1; }
+
+[[ "$(wc -l < "$out")" -eq 4 ]] || fail "expected 4 response lines"
+grep -q '"id":1.*"ok":true.*"op":"evaluate"' "$out" || fail "missing evaluate response"
+grep -q '"id":2,"ok":true,"op":"ping"' "$out"       || fail "missing ping response"
+grep -q '"kind":"bad_request"' "$out"               || fail "missing bad_request response"
+grep -q '"id":4.*validation passed' "$out"          || fail "missing validate response"
+grep -q '"session"' "$report"                       || fail "report lacks session block"
+
+echo "serve_smoke: OK ($out)"

@@ -1,0 +1,314 @@
+#include "api/api.hpp"
+
+#include <sstream>
+
+#include "cost/cost_model.hpp"
+#include "irdrop/montecarlo.hpp"
+#include "pdn/mesh_validator.hpp"
+#include "pdn/stack_builder.hpp"
+#include "util/string_util.hpp"
+#include "util/table.hpp"
+
+namespace pdn3d::api {
+
+namespace {
+
+// CLI exit-code mapping (docs/ROBUSTNESS.md): 1 usage, 2 input, 3 numerical.
+int exit_code_for(const core::Status& status) {
+  switch (status.code()) {
+    case core::StatusCode::kOk: return 0;
+    case core::StatusCode::kInvalidArgument: return 1;
+    case core::StatusCode::kInputError: return 2;
+    case core::StatusCode::kNumericalFailure: return 3;
+  }
+  return 2;
+}
+
+void render_evaluate(const core::Platform& p, const EvaluateRequest& request, std::ostream& os,
+                     EvaluateResult* result) {
+  const auto cfg = request.design.apply(p.benchmark().baseline);
+  const std::string state =
+      request.state.empty() ? p.benchmark().default_state : request.state;
+  const auto parsed = p.parse_state(state, request.activity);
+  const auto r = p.analyze(cfg, parsed);
+  os << "design : " << cfg.summary() << "\n";
+  os << "state  : " << state << " @ activity " << util::fmt_fixed(parsed.io_activity, 2)
+     << "\n";
+  os << "cost   : " << util::fmt_fixed(cost::total_cost(cfg), 3) << "\n";
+  util::Table t({"die", "max IR (mV)", "avg IR (mV)"});
+  for (std::size_t d = 0; d < r.dram_dies.size(); ++d) {
+    t.add_row({"DRAM" + std::to_string(d + 1), util::fmt_fixed(r.dram_dies[d].max_mv, 2),
+               util::fmt_fixed(r.dram_dies[d].avg_mv, 2)});
+  }
+  os << t.render();
+  os << "max DRAM IR drop : " << util::fmt_fixed(r.dram_max_mv, 2) << " mV\n";
+  if (r.logic_max_mv > 0.0) {
+    os << "logic self-noise : " << util::fmt_fixed(r.logic_max_mv, 2) << " mV\n";
+  }
+  os << "stack power      : " << util::fmt_fixed(r.total_power_mw, 1) << " mW\n";
+  result->headline_mv = r.dram_max_mv;
+}
+
+void render_lut(const core::Platform& p, const EvaluateRequest& request, std::ostream& os,
+                EvaluateResult* result) {
+  const auto cfg = request.design.apply(p.benchmark().baseline);
+  const auto& lut = p.lut(cfg);
+  os << "IR LUT for " << cfg.summary() << " (" << lut.size() << " states)\n";
+  util::Table t({"state", "max IR (mV)"});
+  std::vector<int> counts(static_cast<std::size_t>(lut.die_count()), 0);
+  const int radix = lut.max_per_die() + 1;
+  const std::size_t total = lut.size();
+  for (std::size_t key = 0; key < total; ++key) {
+    std::size_t k = key;
+    std::string name;
+    for (int d = 0; d < lut.die_count(); ++d) {
+      counts[static_cast<std::size_t>(d)] = static_cast<int>(k % radix);
+      k /= static_cast<std::size_t>(radix);
+      if (d > 0) name += '-';
+      name += std::to_string(counts[static_cast<std::size_t>(d)]);
+    }
+    t.add_row({name, util::fmt_fixed(lut.max_ir_mv(counts), 2)});
+  }
+  os << t.render();
+  const auto worst = lut.worst_case_state();
+  os << "worst state: ";
+  for (std::size_t i = 0; i < worst.size(); ++i) {
+    os << (i ? "-" : "") << worst[i];
+  }
+  os << " = " << util::fmt_fixed(lut.worst_case_mv(), 2) << " mV\n";
+  result->headline_mv = lut.worst_case_mv();
+}
+
+void render_montecarlo(const core::Platform& p, const EvaluateRequest& request,
+                       std::ostream& os, EvaluateResult* result) {
+  const auto cfg = request.design.apply(p.benchmark().baseline);
+  irdrop::MonteCarloConfig mc;
+  mc.samples = static_cast<int>(request.samples);
+  // The cached design analyzer already declares the many-solves access
+  // pattern (sparse-direct factor), so repeated montecarlo requests on one
+  // design reuse both the mesh and the factorization.
+  const auto& analyzer = p.analyzer(cfg);
+  const auto r = irdrop::sample_ir_distribution(analyzer, p.benchmark().stack.dram_spec, mc);
+  const double worst = p.measure_ir_mv(cfg);
+  os << "design : " << cfg.summary() << "\n";
+  os << "samples: " << r.samples << "\n";
+  util::Table t({"statistic", "IR drop (mV)"});
+  t.add_row({"mean", util::fmt_fixed(r.mean_mv, 2)});
+  t.add_row({"p50", util::fmt_fixed(r.p50_mv, 2)});
+  t.add_row({"p95", util::fmt_fixed(r.p95_mv, 2)});
+  t.add_row({"p99", util::fmt_fixed(r.p99_mv, 2)});
+  t.add_row({"sampled max", util::fmt_fixed(r.max_mv, 2)});
+  t.add_row({"design worst case", util::fmt_fixed(worst, 2)});
+  os << t.render();
+  result->headline_mv = r.p99_mv;
+}
+
+void render_cooptimize(const core::Platform& p, const EvaluateRequest& request,
+                       std::ostream& os, EvaluateResult* result) {
+  const double alpha = request.alpha;
+  auto opt = p.make_cooptimizer();
+  os << "sampling the design space with the R-Mesh...\n";
+  const auto best = opt.optimize(alpha);
+  os << "alpha " << alpha << " optimum:\n";
+  os << "  design  : " << best.config.summary() << "\n";
+  os << "  model IR: " << util::fmt_fixed(best.predicted_ir_mv, 2) << " mV\n";
+  os << "  R-Mesh  : " << util::fmt_fixed(best.measured_ir_mv, 2) << " mV\n";
+  os << "  cost    : " << util::fmt_fixed(best.cost, 3) << "\n";
+  os << "  fit     : worst RMSE " << util::fmt_fixed(opt.worst_rmse(), 3) << " mV, R^2 "
+     << util::fmt_fixed(opt.worst_r_squared(), 4) << "\n";
+  for (const auto& s : opt.skipped_points()) {
+    os << "  skipped : " << s.config.summary() << " -- " << s.reason << "\n";
+  }
+  result->headline_mv = best.measured_ir_mv;
+}
+
+void render_validate(const core::Platform& p, const EvaluateRequest& request, std::ostream& os,
+                     EvaluateResult* result) {
+  const auto& bench = p.benchmark();
+  const auto cfg = request.design.apply(bench.baseline);
+  os << "design : " << cfg.summary() << "\n";
+
+  pdn::BuiltStack built;
+  try {
+    built = pdn::build_stack(bench.stack, cfg);
+  } catch (const std::exception& e) {
+    os << "error: stack build failed: " << e.what() << "\n";
+    result->status = core::Status::input_error(std::string("stack build failed: ") + e.what());
+    return;
+  }
+  os << "mesh   : " << built.model.node_count() << " nodes, "
+     << built.model.resistors().size() << " resistors, " << built.model.taps().size()
+     << " supply taps\n";
+
+  core::ValidationReport report = pdn::validate_stack_model(built.model);
+  if (report.ok()) {
+    // Mesh is sound; check the default state's injection and run a verified
+    // probe solve through the escalation ladder.
+    irdrop::PowerBinding power;
+    power.dram = bench.dram_power;
+    power.logic = bench.logic_power;
+    power.dram_scale = bench.power_scale;
+    const irdrop::IrAnalyzer analyzer(built.model, bench.stack.dram_fp, bench.stack.logic_fp,
+                                      power);
+    const auto state = p.parse_state(bench.default_state, bench.default_io_activity);
+    const auto sinks = analyzer.injection(state);
+    report.merge(pdn::validate_injection(built.model, sinks));
+    if (report.ok()) {
+      const auto outcome = analyzer.solver().solve(irdrop::SolveRequest{.sinks = sinks});
+      if (outcome.ok()) {
+        os << "solve  : " << irdrop::to_string(outcome.kind_used) << ", "
+           << outcome.iterations << " iterations, relative residual " << outcome.rel_residual;
+        if (outcome.escalations > 0) {
+          os << " (" << outcome.escalations << " rung escalation(s))";
+        }
+        os << "\n";
+      } else {
+        os << "error: probe solve failed: " << outcome.status.to_string() << "\n";
+        result->status = core::Status::numerical_failure("probe solve failed: " +
+                                                         outcome.status.message());
+        return;
+      }
+    }
+  }
+
+  for (const auto& issue : report.issues()) {
+    os << core::to_string(issue.severity) << " [" << issue.check << "] " << issue.message
+       << "\n";
+  }
+  if (!report.ok()) {
+    os << "validation FAILED: " << report.error_count() << " error(s), "
+       << report.warning_count() << " warning(s)\n";
+    result->status = core::Status::numerical_failure(report.to_status().message());
+    return;
+  }
+  os << "validation passed";
+  if (report.warning_count() > 0) os << " (" << report.warning_count() << " warning(s))";
+  os << "\n";
+}
+
+}  // namespace
+
+const char* to_string(Operation op) {
+  switch (op) {
+    case Operation::kEvaluate: return "evaluate";
+    case Operation::kMonteCarlo: return "montecarlo";
+    case Operation::kLut: return "lut";
+    case Operation::kCoOptimize: return "cooptimize";
+    case Operation::kValidate: return "validate";
+  }
+  return "?";
+}
+
+core::Status parse_operation(std::string_view text, Operation* out) {
+  if (text == "evaluate" || text == "analyze") {
+    *out = Operation::kEvaluate;
+  } else if (text == "montecarlo") {
+    *out = Operation::kMonteCarlo;
+  } else if (text == "lut") {
+    *out = Operation::kLut;
+  } else if (text == "cooptimize") {
+    *out = Operation::kCoOptimize;
+  } else if (text == "validate") {
+    *out = Operation::kValidate;
+  } else {
+    return core::Status::invalid_argument(
+        "unknown operation '" + std::string(text) +
+        "' (want evaluate | montecarlo | lut | cooptimize | validate)");
+  }
+  return core::Status::ok();
+}
+
+core::Status parse_benchmark(std::string_view text, core::BenchmarkKind* out) {
+  if (text == "off-chip") {
+    *out = core::BenchmarkKind::kStackedDdr3OffChip;
+  } else if (text == "on-chip") {
+    *out = core::BenchmarkKind::kStackedDdr3OnChip;
+  } else if (text == "wide-io") {
+    *out = core::BenchmarkKind::kWideIo;
+  } else if (text == "hmc") {
+    *out = core::BenchmarkKind::kHmc;
+  } else {
+    return core::Status::invalid_argument("unknown benchmark '" + std::string(text) +
+                                          "' (want off-chip | on-chip | wide-io | hmc)");
+  }
+  return core::Status::ok();
+}
+
+const char* benchmark_token(core::BenchmarkKind kind) {
+  switch (kind) {
+    case core::BenchmarkKind::kStackedDdr3OffChip: return "off-chip";
+    case core::BenchmarkKind::kStackedDdr3OnChip: return "on-chip";
+    case core::BenchmarkKind::kWideIo: return "wide-io";
+    case core::BenchmarkKind::kHmc: return "hmc";
+  }
+  return "?";
+}
+
+core::Status EvaluateRequest::validate() const {
+  const core::Status act = check_activity(activity);
+  if (!act.is_ok()) return act;
+  if (op == Operation::kMonteCarlo) {
+    const core::Status s = check_samples(samples);
+    if (!s.is_ok()) return s;
+  }
+  if (op == Operation::kCoOptimize) {
+    const core::Status a = check_alpha(alpha);
+    if (!a.is_ok()) return a;
+  }
+  return core::Status::ok();
+}
+
+void Session::install(core::BenchmarkKind kind, core::Benchmark benchmark) {
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  platforms_[kind] = std::make_unique<core::Platform>(std::move(benchmark));
+}
+
+const core::Platform& Session::platform(core::BenchmarkKind kind) const {
+  {
+    const std::shared_lock<std::shared_mutex> lock(mutex_);
+    const auto it = platforms_.find(kind);
+    if (it != platforms_.end()) return *it->second;
+  }
+  // Build outside the lock; racing builders both construct and the first
+  // emplace wins (same convention as the Platform design cache).
+  auto built = std::make_unique<core::Platform>(core::make_benchmark(kind));
+  const std::unique_lock<std::shared_mutex> lock(mutex_);
+  const auto [pos, inserted] = platforms_.emplace(kind, std::move(built));
+  return *pos->second;
+}
+
+EvaluateResult Session::evaluate(const EvaluateRequest& request) const {
+  EvaluateResult result;
+  result.status = request.validate();
+  if (!result.status.is_ok()) {
+    result.exit_code = exit_code_for(result.status);
+    result.output = "error: " + result.status.message() + "\n";
+    return result;
+  }
+
+  std::ostringstream os;
+  try {
+    const core::Platform& p = platform(request.benchmark);
+    switch (request.op) {
+      case Operation::kEvaluate: render_evaluate(p, request, os, &result); break;
+      case Operation::kMonteCarlo: render_montecarlo(p, request, os, &result); break;
+      case Operation::kLut: render_lut(p, request, os, &result); break;
+      case Operation::kCoOptimize: render_cooptimize(p, request, os, &result); break;
+      case Operation::kValidate: render_validate(p, request, os, &result); break;
+    }
+  } catch (const core::ValidationError& e) {
+    os << "error: mesh validation failed:\n" << e.report().to_string() << "\n";
+    result.status = core::Status::numerical_failure("mesh validation failed");
+  } catch (const core::NumericalError& e) {
+    os << "error: " << e.status().to_string() << "\n";
+    result.status = e.status();
+  } catch (const std::exception& e) {
+    os << "error: " << e.what() << "\n";
+    result.status = core::Status::input_error(e.what());
+  }
+  result.output = os.str();
+  result.exit_code = exit_code_for(result.status);
+  return result;
+}
+
+}  // namespace pdn3d::api

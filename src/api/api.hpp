@@ -1,0 +1,114 @@
+#pragma once
+
+/// @file api.hpp
+/// @brief The stable evaluation facade: EvaluateRequest -> EvaluateResult.
+///
+/// Both front ends -- the one-shot CLI (`tools/pdn3d_cli.cpp`) and the batch
+/// evaluation service (`pdn3d serve`, `src/service/`) -- are thin shells over
+/// this facade. A request fully describes one evaluation: a benchmark, a
+/// design point (typed DesignOptions, see options.hpp), an operation, and the
+/// operation's parameters. The result carries a structured status, the CLI
+/// exit code, and the rendered text output. Because the rendering lives here
+/// rather than in the CLI, a served request is byte-identical to the
+/// equivalent one-shot CLI run by construction.
+///
+/// A Session owns the per-benchmark Platform instances and therefore all the
+/// caches worth amortizing across requests: the shared_mutex design cache
+/// (built stacks + analyzers with their sparse Cholesky factors) and the
+/// per-design LUTs. The CLI creates one Session per process; the service
+/// keeps one alive for thousands of requests -- that cache reuse is the whole
+/// point of serving (see docs/SERVICE.md for the measured speedup).
+///
+/// Stability contract (docs/API.md): the request/result structs and the
+/// operation set only grow -- new optional fields with compatible defaults.
+/// Renamed or removed fields require a major version bump and a deprecation
+/// cycle, like the solver's SolveRequest/SolveOutcome redesign in PR 3/4.
+/// evaluate() is const and thread-safe; concurrent callers share the caches.
+
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+
+#include "api/options.hpp"
+#include "core/benchmarks.hpp"
+#include "core/platform.hpp"
+#include "core/status.hpp"
+
+namespace pdn3d::api {
+
+/// The operations a request can name. These are exactly the CLI subcommands
+/// whose output is a pure function of the request (streaming/simulation
+/// commands keep their own CLI paths).
+enum class Operation {
+  kEvaluate,    ///< IR-drop analysis of one memory state (CLI: analyze)
+  kMonteCarlo,  ///< IR distribution over random states (CLI: montecarlo)
+  kLut,         ///< memory-state IR look-up table (CLI: lut)
+  kCoOptimize,  ///< design+packaging co-optimization (CLI: cooptimize)
+  kValidate,    ///< numerical-health check of the R-Mesh (CLI: validate)
+};
+
+[[nodiscard]] const char* to_string(Operation op);
+[[nodiscard]] core::Status parse_operation(std::string_view text, Operation* out);
+
+/// Benchmark lookup by CLI token: off-chip | on-chip | wide-io | hmc.
+[[nodiscard]] core::Status parse_benchmark(std::string_view text, core::BenchmarkKind* out);
+/// The CLI token for a kind (inverse of parse_benchmark).
+[[nodiscard]] const char* benchmark_token(core::BenchmarkKind kind);
+
+/// One fully-specified evaluation.
+struct EvaluateRequest {
+  core::BenchmarkKind benchmark = core::BenchmarkKind::kStackedDdr3OffChip;
+  Operation op = Operation::kEvaluate;
+  DesignOptions design;
+
+  std::string state;       ///< memory state, empty = benchmark default (evaluate)
+  double activity = -1.0;  ///< I/O activity [0,1], -1 = auto (evaluate)
+  long long samples = 200; ///< Monte Carlo sample count (montecarlo)
+  double alpha = 0.3;      ///< objective exponent [0,1] (cooptimize)
+
+  /// Validate the operation parameters (design knobs are validated as they
+  /// are set). Front ends call this before dispatching.
+  [[nodiscard]] core::Status validate() const;
+};
+
+/// Structured outcome plus the rendered text the front end prints verbatim.
+struct EvaluateResult {
+  core::Status status;      ///< ok, or the structured failure
+  int exit_code = 0;        ///< CLI exit-code mapping (docs/ROBUSTNESS.md)
+  std::string output;       ///< rendered text; identical CLI vs served
+  double headline_mv = 0.0; ///< op headline: max/worst/p99/optimum IR (mV)
+
+  [[nodiscard]] bool ok() const { return status.is_ok(); }
+};
+
+/// A long-lived evaluation context: lazily builds one core::Platform per
+/// benchmark and serves evaluate() calls against them. Thread-safe for
+/// concurrent evaluate() calls (the platform map is behind a shared_mutex and
+/// Platform itself is const-thread-safe).
+class Session {
+ public:
+  Session() = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Pre-seed (or replace) the platform for @p kind with a customized
+  /// benchmark -- the CLI's `--tech FILE` override path. Not thread-safe
+  /// against concurrent evaluate(); install before serving.
+  void install(core::BenchmarkKind kind, core::Benchmark benchmark);
+
+  /// The (lazily built) platform for a benchmark.
+  [[nodiscard]] const core::Platform& platform(core::BenchmarkKind kind) const;
+
+  /// Run one request. Never throws for data-dependent reasons: validation
+  /// and numerical failures come back as status + exit_code, exactly as the
+  /// CLI would have reported them.
+  [[nodiscard]] EvaluateResult evaluate(const EvaluateRequest& request) const;
+
+ private:
+  mutable std::shared_mutex mutex_;
+  mutable std::map<core::BenchmarkKind, std::unique_ptr<core::Platform>> platforms_;
+};
+
+}  // namespace pdn3d::api

@@ -1,0 +1,227 @@
+#include "api/options.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "util/string_util.hpp"
+
+namespace pdn3d::api {
+
+namespace {
+
+std::string range_text(double min_value, double max_value) {
+  std::ostringstream os;
+  os << "[" << min_value << ", " << max_value << "]";
+  return os.str();
+}
+
+core::Status bad_option(std::string_view name, std::string_view text, std::string_view why) {
+  return core::Status::invalid_argument(std::string(name) + ": '" + std::string(text) + "' " +
+                                        std::string(why));
+}
+
+}  // namespace
+
+core::Status parse_double(std::string_view name, std::string_view text, double min_value,
+                          double max_value, double* out) {
+  const std::string trimmed{util::trim(text)};
+  if (trimmed.empty()) return bad_option(name, text, "is not a number");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(trimmed.c_str(), &end);
+  if (end != trimmed.c_str() + trimmed.size() || errno == ERANGE || !std::isfinite(value)) {
+    return bad_option(name, text, "is not a finite number");
+  }
+  const core::Status range = check_range(name, value, min_value, max_value);
+  if (!range.is_ok()) return range;
+  *out = value;
+  return core::Status::ok();
+}
+
+core::Status parse_int(std::string_view name, std::string_view text, long long min_value,
+                       long long max_value, long long* out) {
+  const std::string trimmed{util::trim(text)};
+  if (trimmed.empty()) return bad_option(name, text, "is not an integer");
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(trimmed.c_str(), &end, 10);
+  if (end != trimmed.c_str() + trimmed.size() || errno == ERANGE) {
+    return bad_option(name, text, "is not an integer");
+  }
+  if (value < min_value || value > max_value) {
+    return core::Status::invalid_argument(
+        std::string(name) + ": " + std::to_string(value) + " is outside " +
+        range_text(static_cast<double>(min_value), static_cast<double>(max_value)));
+  }
+  *out = value;
+  return core::Status::ok();
+}
+
+core::Status check_range(std::string_view name, double value, double min_value,
+                         double max_value) {
+  if (!std::isfinite(value) || value < min_value || value > max_value) {
+    std::ostringstream os;
+    os << name << ": " << value << " is outside " << range_text(min_value, max_value);
+    return core::Status::invalid_argument(os.str());
+  }
+  return core::Status::ok();
+}
+
+core::Status parse_tsv_location(std::string_view text, pdn::TsvLocation* out) {
+  const std::string t = util::to_lower(text);
+  if (t == "c") {
+    *out = pdn::TsvLocation::kCenter;
+  } else if (t == "e") {
+    *out = pdn::TsvLocation::kEdge;
+  } else if (t == "d") {
+    *out = pdn::TsvLocation::kDistributed;
+  } else {
+    return bad_option("tl", text, "is not a TSV location (want c | e | d)");
+  }
+  return core::Status::ok();
+}
+
+core::Status parse_bonding(std::string_view text, pdn::BondingStyle* out) {
+  const std::string t = util::to_lower(text);
+  if (t == "f2b") {
+    *out = pdn::BondingStyle::kF2B;
+  } else if (t == "f2f") {
+    *out = pdn::BondingStyle::kF2F;
+  } else {
+    return bad_option("bd", text, "is not a bonding style (want f2b | f2f)");
+  }
+  return core::Status::ok();
+}
+
+core::Status parse_rdl(std::string_view text, pdn::RdlMode* out) {
+  const std::string t = util::to_lower(text);
+  if (t == "none") {
+    *out = pdn::RdlMode::kNone;
+  } else if (t == "bottom") {
+    *out = pdn::RdlMode::kBottomOnly;
+  } else if (t == "all") {
+    *out = pdn::RdlMode::kAllDies;
+  } else {
+    return bad_option("rdl", text, "is not an RDL mode (want none | bottom | all)");
+  }
+  return core::Status::ok();
+}
+
+core::Status DesignOptions::set(std::string_view key, double value) {
+  if (key == "m2" || key == "m3") {
+    const core::Status st = check_range(key, value, 0.0, 100.0);
+    if (!st.is_ok()) return st;
+    (key == "m2" ? m2_pct : m3_pct) = value;
+    return core::Status::ok();
+  }
+  if (key == "tc") {
+    const core::Status st = check_range(key, value, 1.0, 1e6);
+    if (!st.is_ok()) return st;
+    if (value != std::floor(value)) {
+      return core::Status::invalid_argument("tc: TSV count must be an integer");
+    }
+    tsv_count = static_cast<long long>(value);
+    return core::Status::ok();
+  }
+  if (key == "scale") {
+    const core::Status st = check_range(key, value, 1e-6, 100.0);
+    if (!st.is_ok()) return st;
+    metal_usage_scale = value;
+    return core::Status::ok();
+  }
+  return core::Status::invalid_argument("unknown numeric design option '" + std::string(key) +
+                                        "'");
+}
+
+core::Status DesignOptions::set(std::string_view key, std::string_view text) {
+  if (key == "m2" || key == "m3" || key == "scale") {
+    double value = 0.0;
+    // Syntax check here; the numeric setter applies the range contract.
+    const core::Status st =
+        parse_double(key, text, -1e300, 1e300, &value);
+    if (!st.is_ok()) return st;
+    return set(key, value);
+  }
+  if (key == "tc") {
+    long long value = 0;
+    const core::Status st = parse_int(key, text, 1, 1000000, &value);
+    if (!st.is_ok()) return st;
+    tsv_count = value;
+    return core::Status::ok();
+  }
+  if (key == "tl") {
+    pdn::TsvLocation loc{};
+    const core::Status st = parse_tsv_location(text, &loc);
+    if (!st.is_ok()) return st;
+    tsv_location = loc;
+    return core::Status::ok();
+  }
+  if (key == "bd") {
+    pdn::BondingStyle bd{};
+    const core::Status st = parse_bonding(text, &bd);
+    if (!st.is_ok()) return st;
+    bonding = bd;
+    return core::Status::ok();
+  }
+  if (key == "rdl") {
+    pdn::RdlMode mode{};
+    const core::Status st = parse_rdl(text, &mode);
+    if (!st.is_ok()) return st;
+    rdl = mode;
+    return core::Status::ok();
+  }
+  return core::Status::invalid_argument("unknown design option '" + std::string(key) + "'");
+}
+
+core::Status DesignOptions::set_flag(std::string_view key) {
+  if (key == "wb") {
+    wire_bonding = true;
+  } else if (key == "dedicated") {
+    dedicated_tsvs = true;
+  } else if (key == "no-align" || key == "no_align") {
+    no_align = true;
+  } else {
+    return core::Status::invalid_argument("unknown design flag '" + std::string(key) + "'");
+  }
+  return core::Status::ok();
+}
+
+pdn::PdnConfig DesignOptions::apply(pdn::PdnConfig base) const {
+  if (m2_pct) base.m2_usage = *m2_pct / 100.0;
+  if (m3_pct) base.m3_usage = *m3_pct / 100.0;
+  if (tsv_count) base.tsv_count = static_cast<int>(*tsv_count);
+  if (tsv_location) {
+    base.tsv_location = *tsv_location;
+    // Historical CLI semantics: without an RDL (judged against the *base*
+    // config, before any rdl override below) the logic die mirrors the DRAM
+    // TSV pattern, because nothing can reroute between mismatched patterns.
+    if (base.rdl == pdn::RdlMode::kNone) base.logic_tsv_location = *tsv_location;
+  }
+  if (bonding) base.bonding = *bonding;
+  if (rdl) base.rdl = *rdl;
+  if (wire_bonding) base.wire_bonding = true;
+  if (dedicated_tsvs) base.dedicated_tsvs = true;
+  if (no_align) base.align_tsvs_to_c4 = false;
+  if (metal_usage_scale) base.metal_usage_scale = *metal_usage_scale;
+  return base;
+}
+
+core::Status check_activity(double activity) {
+  if (activity == -1.0) return core::Status::ok();  // auto: 1 / active dies
+  return check_range("activity", activity, 0.0, 1.0);
+}
+
+core::Status check_samples(long long samples) {
+  if (samples < 1 || samples > 10000000) {
+    return core::Status::invalid_argument("samples: " + std::to_string(samples) +
+                                          " is outside [1, 10000000]");
+  }
+  return core::Status::ok();
+}
+
+core::Status check_alpha(double alpha) { return check_range("alpha", alpha, 0.0, 1.0); }
+
+}  // namespace pdn3d::api

@@ -1,0 +1,76 @@
+#pragma once
+
+/// @file options.hpp
+/// @brief Typed, validated option parsing for the stable evaluation API.
+///
+/// Every knob that used to travel through the CLI's ad-hoc string map (and
+/// silently fell back to 0 through std::atof on garbage) is parsed here with
+/// strict syntax and range checks. Both front ends share these parsers: the
+/// CLI turns `--m2 15` into DesignOptions the same way the batch service
+/// turns `{"design":{"m2":15}}` into them, so a request is rejected with the
+/// same message no matter which door it came in through.
+///
+/// Contract: parsers either fully consume the text and land inside the
+/// documented range, or return a core::Status naming the option, the offered
+/// value, and the accepted range. No partial parses, no silent zeros.
+
+#include <optional>
+#include <string_view>
+
+#include "core/status.hpp"
+#include "pdn/pdn_config.hpp"
+
+namespace pdn3d::api {
+
+/// Strict double parse: the whole of @p text must be a finite number within
+/// [min_value, max_value]. @p name labels the option in error messages.
+[[nodiscard]] core::Status parse_double(std::string_view name, std::string_view text,
+                                        double min_value, double max_value, double* out);
+
+/// Strict integer parse with the same full-consumption + range contract.
+[[nodiscard]] core::Status parse_int(std::string_view name, std::string_view text,
+                                     long long min_value, long long max_value, long long* out);
+
+/// Range check for values that arrive already numeric (JSON requests).
+[[nodiscard]] core::Status check_range(std::string_view name, double value, double min_value,
+                                       double max_value);
+
+[[nodiscard]] core::Status parse_tsv_location(std::string_view text, pdn::TsvLocation* out);
+[[nodiscard]] core::Status parse_bonding(std::string_view text, pdn::BondingStyle* out);
+[[nodiscard]] core::Status parse_rdl(std::string_view text, pdn::RdlMode* out);
+
+/// The design/packaging knobs of one evaluation request -- the typed
+/// replacement for the CLI's string map. Unset fields keep the benchmark's
+/// baseline value; apply() layers the overrides onto a base config in the
+/// same order the CLI historically did (so `--tl` still decides the
+/// logic-side TSV location against the *base* RDL mode).
+struct DesignOptions {
+  std::optional<double> m2_pct;             ///< [0, 100], percent of die area
+  std::optional<double> m3_pct;             ///< [0, 100]
+  std::optional<long long> tsv_count;       ///< >= 1 per die-to-die interface
+  std::optional<pdn::TsvLocation> tsv_location;
+  std::optional<pdn::BondingStyle> bonding;
+  std::optional<pdn::RdlMode> rdl;
+  bool wire_bonding = false;
+  bool dedicated_tsvs = false;
+  bool no_align = false;
+  std::optional<double> metal_usage_scale;  ///< (0, 100]
+
+  /// Set a numeric knob by key: "m2" | "m3" | "tc" | "scale". Range-checked.
+  [[nodiscard]] core::Status set(std::string_view key, double value);
+  /// Set any knob by key from text: the numeric keys above plus
+  /// "tl" | "bd" | "rdl". Numeric text goes through the strict parsers.
+  [[nodiscard]] core::Status set(std::string_view key, std::string_view text);
+  /// Set a boolean knob: "wb" | "dedicated" | "no-align".
+  [[nodiscard]] core::Status set_flag(std::string_view key);
+
+  /// Layer the set knobs onto @p base.
+  [[nodiscard]] pdn::PdnConfig apply(pdn::PdnConfig base) const;
+};
+
+/// Shared range validators for the non-design request options.
+[[nodiscard]] core::Status check_activity(double activity);  ///< [0,1] or -1 (auto)
+[[nodiscard]] core::Status check_samples(long long samples); ///< [1, 10'000'000]
+[[nodiscard]] core::Status check_alpha(double alpha);        ///< [0, 1]
+
+}  // namespace pdn3d::api

@@ -132,6 +132,10 @@ const irdrop::IrLut& Platform::lut(const pdn::PdnConfig& config) const {
   return *cd.lut;
 }
 
+const irdrop::IrAnalyzer& Platform::analyzer(const pdn::PdnConfig& config) const {
+  return *design(config).analyzer;
+}
+
 memctrl::SimResult Platform::simulate(const pdn::PdnConfig& config,
                                       memctrl::PolicyConfig policy) const {
   return simulate(config, policy, memctrl::generate_workload(bench_.workload));

@@ -61,6 +61,10 @@ class Platform {
   /// IR look-up table over memory states (cached per config).
   [[nodiscard]] const irdrop::IrLut& lut(const pdn::PdnConfig& config) const;
 
+  /// The cached design's analyzer (built with the many-solves sparse-direct
+  /// hint). Valid for the Platform's lifetime; safe for concurrent const use.
+  [[nodiscard]] const irdrop::IrAnalyzer& analyzer(const pdn::PdnConfig& config) const;
+
   /// Run the memory-controller simulation on this benchmark's workload with
   /// the given policy. The LUT for @p config is built (or fetched) first.
   [[nodiscard]] memctrl::SimResult simulate(const pdn::PdnConfig& config,

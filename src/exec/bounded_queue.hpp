@@ -1,0 +1,109 @@
+#pragma once
+
+/// @file bounded_queue.hpp
+/// @brief Bounded multi-producer/multi-consumer queue with explicit
+/// backpressure -- the admission queue of the batch evaluation service.
+///
+/// Design choices, driven by the service's needs (docs/SERVICE.md):
+///
+///  - **try_push, never block the producer.** A full queue is a *signal*
+///    (the caller turns it into a `queue_full` error response), not a place
+///    to park the connection thread. There is deliberately no blocking push.
+///  - **pop blocks, close() drains.** Consumers block until an item or until
+///    the queue is closed *and* empty -- so closing performs a graceful
+///    drain: everything admitted before close() is still delivered.
+///  - **remove_if for cancellation.** A queued-but-not-started request can be
+///    plucked back out; once a consumer popped it, cancellation is too late
+///    (the service documents this admission-to-start granularity).
+///
+/// All methods are thread-safe. The queue is a plain mutex + two condition
+/// variables; at service request rates (milliseconds of solve per item) lock
+/// contention is unmeasurable, so no lock-free cleverness is warranted.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace pdn3d::exec {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  /// @param capacity maximum queued (admitted, not yet popped) items; >= 1.
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity < 1 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Admit @p item. Returns false -- without blocking -- when the queue is
+  /// full or closed; the item is untouched (moved only on success).
+  [[nodiscard]] bool try_push(T&& item) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available (returned) or the queue is closed and
+  /// empty (nullopt -- the consumer's signal to exit).
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Remove the first queued item matching @p pred, returning it. Items a
+  /// consumer already popped are out of reach.
+  template <typename Pred>
+  [[nodiscard]] std::optional<T> remove_if(Pred pred) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      if (pred(*it)) {
+        T item = std::move(*it);
+        items_.erase(it);
+        return item;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Stop admitting; wake every blocked consumer. Already-admitted items are
+  /// still delivered (graceful drain). Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace pdn3d::exec

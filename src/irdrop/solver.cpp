@@ -43,13 +43,6 @@ obs::Counter& rung_failure_counter(SolverKind kind) {
   return *counters[static_cast<std::size_t>(kind)];
 }
 
-void deprecation_note_once(std::once_flag& flag, const char* what, const char* instead) {
-  std::call_once(flag, [&] {
-    util::log_warn("deprecated: ", what, " -- use ", instead,
-                   " (this shim will be removed in a future release)");
-  });
-}
-
 }  // namespace
 
 const char* to_string(SolverKind kind) {
@@ -453,29 +446,6 @@ SolveOutcome IrSolver::solve(const SolveRequest& request, SolveScratch* scratch)
 
   if (request.batch_count == 1) return solve_one(request.sinks, request.want_ir, ws);
   return solve_batch(request, ws);
-}
-
-SolveOutcome IrSolver::try_solve(std::span<const double> sinks) const {
-  static std::once_flag note;
-  deprecation_note_once(note, "IrSolver::try_solve(sinks)", "solve(SolveRequest)");
-  return solve(SolveRequest{.sinks = sinks});
-}
-
-std::vector<double> IrSolver::solve(std::span<const double> sinks) const {
-  static std::once_flag note;
-  deprecation_note_once(note, "IrSolver::solve(sinks)", "solve(SolveRequest)");
-  SolveOutcome outcome = solve(SolveRequest{.sinks = sinks});
-  if (!outcome.ok()) throw core::NumericalError(std::move(outcome.status));
-  return std::move(outcome.x);
-}
-
-std::vector<double> IrSolver::solve_ir(std::span<const double> sinks) const {
-  static std::once_flag note;
-  deprecation_note_once(note, "IrSolver::solve_ir(sinks)",
-                        "solve(SolveRequest{.sinks, .want_ir = true})");
-  SolveOutcome outcome = solve(SolveRequest{.sinks = sinks, .want_ir = true});
-  if (!outcome.ok()) throw core::NumericalError(std::move(outcome.status));
-  return std::move(outcome.x);
 }
 
 }  // namespace pdn3d::irdrop

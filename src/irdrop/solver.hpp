@@ -92,7 +92,7 @@ struct IrSolverOptions {
 
 /// Per-rung retry counters, accumulated across all solves of this solver
 /// instance. Surfaced through IrAnalyzer / Monte Carlo so sweeps can report
-/// how often the ladder saved a design point. Counters are atomic: try_solve
+/// how often the ladder saved a design point. Counters are atomic: solving
 /// is const and updates them from concurrent sweeps (Monte Carlo, future
 /// threaded co-optimization), which used to tear under the plain mutable
 /// size_t fields. Process-wide aggregates of the same events live in the
@@ -105,10 +105,9 @@ struct SolveTelemetry {
   std::array<std::atomic<std::size_t>, kSolverKindCount> rung_failures{};
 };
 
-/// One solve, fully specified. This is the single entry shape: the historical
-/// try_solve / solve / solve_ir trio are thin shims over
-/// solve(SolveRequest). @ref sinks is non-owning and must stay alive for the
-/// duration of the call.
+/// One solve, fully specified. This is the single entry shape (the historical
+/// span-based convenience trio was removed after its deprecation cycle).
+/// @ref sinks is non-owning and must stay alive for the duration of the call.
 struct SolveRequest {
   std::span<const double> sinks;  ///< per-node sink currents (amps, >= 0 draws)
   bool want_ir = false;           ///< return VDD - v (IR drop) instead of v
@@ -172,17 +171,6 @@ class IrSolver {
   /// passes its own @p scratch (or none).
   [[nodiscard]] SolveOutcome solve(const SolveRequest& request,
                                    SolveScratch* scratch = nullptr) const;
-
-  /// @deprecated Shim over solve(SolveRequest). Prefer the unified entry.
-  [[nodiscard]] SolveOutcome try_solve(std::span<const double> sinks) const;
-
-  /// @deprecated Throwing shim over solve(SolveRequest): returns the voltages
-  /// or throws core::NumericalError with the structured status.
-  [[nodiscard]] std::vector<double> solve(std::span<const double> sinks) const;
-
-  /// @deprecated Throwing shim over solve({.sinks, .want_ir = true}): IR drop
-  /// per node (VDD - v), volts.
-  [[nodiscard]] std::vector<double> solve_ir(std::span<const double> sinks) const;
 
   [[nodiscard]] std::size_t node_count() const { return g_.dimension(); }
   [[nodiscard]] double vdd() const { return vdd_; }

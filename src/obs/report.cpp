@@ -157,6 +157,7 @@ json::Value build_run_report(const RunReportOptions& options) {
   report.set("metrics", metrics_block(snap));
   report.set("spans", spans_block());
   report.set("solver", solver_block(snap));
+  if (options.session.is_object()) report.set("session", options.session);
 
   TraceStore& store = TraceStore::instance();
   report.set("trace_dropped_events", store.dropped_events());

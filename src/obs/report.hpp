@@ -23,7 +23,9 @@ namespace pdn3d::obs {
 /// v2: added the top-level "threads" key (effective worker-thread count).
 /// v3: added the "factor" sub-object to the "solver" block (cached
 ///     sparse-direct factorization statistics).
-inline constexpr int kReportSchemaVersion = 3;
+/// v4: added the optional top-level "session" block (batch evaluation
+///     service aggregates plus per-request records; `pdn3d serve` only).
+inline constexpr int kReportSchemaVersion = 4;
 
 struct RunReportOptions {
   std::string command;            ///< CLI command ("analyze", "profile", ...)
@@ -32,6 +34,9 @@ struct RunReportOptions {
   /// Include the raw Chrome trace_event array (can be large); the aggregated
   /// span table is always included.
   bool include_trace_events = true;
+  /// Schema v4: the service's session block (BatchService::session_block()).
+  /// Emitted only when it is a JSON object; one-shot commands leave it null.
+  json::Value session;
 };
 
 /// Assemble the report document from the current process-wide metrics

@@ -3,7 +3,6 @@
 #include <array>
 #include <cmath>
 #include <limits>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 
@@ -21,19 +20,6 @@ CoOptimizer::CoOptimizer(DesignSpace space, std::unique_ptr<Evaluator> evaluate,
   if (!evaluate_) throw std::invalid_argument("CoOptimizer: evaluator required");
   if (threads_ < 0) throw std::invalid_argument("CoOptimizer: threads must be >= 0");
 }
-
-CoOptimizer::CoOptimizer(DesignSpace space, IrEvaluator evaluate)
-    : CoOptimizer(std::move(space), [&]() -> std::unique_ptr<Evaluator> {
-        static std::once_flag note;
-        std::call_once(note, [] {
-          util::log_warn(
-              "deprecated: CoOptimizer(DesignSpace, IrEvaluator) -- pass a "
-              "std::unique_ptr<Evaluator> (e.g. FunctionEvaluator) instead "
-              "(this shim will be removed in a future release)");
-        });
-        if (!evaluate) return nullptr;
-        return std::make_unique<FunctionEvaluator>(std::move(evaluate));
-      }()) {}
 
 std::vector<CoOptimizer::PointResult> CoOptimizer::evaluate_batch(
     const std::vector<pdn::PdnConfig>& configs) {

@@ -22,10 +22,6 @@
 
 namespace pdn3d::opt {
 
-/// @deprecated Callback shape of the original single-threaded API; kept for
-/// the legacy CoOptimizer ctor. Prefer implementing Evaluator.
-using IrEvaluator = std::function<double(const pdn::PdnConfig&)>;
-
 /// Measures the true IR drop of design configurations with the R-Mesh
 /// engine. The co-optimizer parallelizes its sample sweep by fork()ing one
 /// evaluator per worker chunk: measure() may keep per-instance scratch
@@ -46,19 +42,20 @@ class Evaluator {
   [[nodiscard]] virtual std::unique_ptr<Evaluator> fork() const = 0;
 };
 
-/// Adapter over the legacy free-callback shape. fork() copies the callback,
-/// so it must be self-contained or internally synchronized to benefit from
-/// threads (a copy of a lambda shares whatever it captured by reference).
+/// Adapter over a free callback. fork() copies the callback, so it must be
+/// self-contained or internally synchronized to benefit from threads (a copy
+/// of a lambda shares whatever it captured by reference).
 class FunctionEvaluator final : public Evaluator {
  public:
-  explicit FunctionEvaluator(IrEvaluator fn) : fn_(std::move(fn)) {}
+  explicit FunctionEvaluator(std::function<double(const pdn::PdnConfig&)> fn)
+      : fn_(std::move(fn)) {}
   [[nodiscard]] double measure(const pdn::PdnConfig& config) override { return fn_(config); }
   [[nodiscard]] std::unique_ptr<Evaluator> fork() const override {
     return std::make_unique<FunctionEvaluator>(fn_);
   }
 
  private:
-  IrEvaluator fn_;
+  std::function<double(const pdn::PdnConfig&)> fn_;
 };
 
 /// A design point the sweep could not evaluate, with its structured reason.
@@ -87,9 +84,6 @@ class CoOptimizer {
   /// exec::default_thread_count(). Sampling results, skipped-point order,
   /// fits, and the optimum are identical at any thread count.
   CoOptimizer(DesignSpace space, std::unique_ptr<Evaluator> evaluate, int threads = 0);
-
-  /// @deprecated Legacy shim: wraps the callback in a FunctionEvaluator.
-  CoOptimizer(DesignSpace space, IrEvaluator evaluate);
 
   /// Phase 1: run the R-Mesh on the sample grid of every discrete choice and
   /// fit the per-choice regression models. Returns the fits (also cached

@@ -1,0 +1,205 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace pdn3d::service {
+
+namespace obsjson = pdn3d::obs::json;
+
+namespace {
+
+core::Status bad(std::string message) {
+  return core::Status::invalid_argument(std::move(message));
+}
+
+/// Fetch an optional member, enforcing its JSON type when present.
+const obsjson::Value* member(const obsjson::Value& object, std::string_view key,
+                             obsjson::Value::Kind kind, core::Status* status,
+                             const char* type_name) {
+  const obsjson::Value* v = object.find(key);
+  if (v == nullptr) return nullptr;
+  if (v->kind() != kind) {
+    *status = bad("field '" + std::string(key) + "' must be a " + type_name);
+    return nullptr;
+  }
+  return v;
+}
+
+core::Status decode_design(const obsjson::Value& design, api::DesignOptions* out) {
+  for (const auto& [key, value] : design.members()) {
+    if (key == "wb" || key == "dedicated" || key == "no_align" || key == "no-align") {
+      if (!value.is_bool()) return bad("design." + key + " must be a boolean");
+      if (value.as_bool()) {
+        const core::Status st = out->set_flag(key == "no_align" ? "no-align" : key);
+        if (!st.is_ok()) return st;
+      }
+      continue;
+    }
+    core::Status st;
+    if (value.is_number()) {
+      st = out->set(key, value.as_number());
+    } else if (value.is_string()) {
+      st = out->set(key, std::string_view(value.as_string()));
+    } else {
+      return bad("design." + key + " must be a number or a string");
+    }
+    if (!st.is_ok()) return st;
+  }
+  return core::Status::ok();
+}
+
+void escape_into(std::string_view text, std::string* out) {
+  out->append(obsjson::escape(text));
+}
+
+}  // namespace
+
+const char* to_string(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kNone: return "none";
+    case ErrorKind::kBadRequest: return "bad_request";
+    case ErrorKind::kQueueFull: return "queue_full";
+    case ErrorKind::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorKind::kCancelled: return "cancelled";
+    case ErrorKind::kShutdown: return "shutdown";
+    case ErrorKind::kNotFound: return "not_found";
+    case ErrorKind::kEvaluationFailed: return "evaluation_failed";
+  }
+  return "?";
+}
+
+core::Status parse_request(std::string_view line, Request* out) {
+  obsjson::Value doc;
+  try {
+    doc = obsjson::parse(line);
+  } catch (const std::exception& e) {
+    return bad(std::string("malformed JSON: ") + e.what());
+  }
+  if (!doc.is_object()) return bad("request must be a JSON object");
+
+  core::Status status;
+  if (const auto* id = member(doc, "id", obsjson::Value::Kind::kNumber, &status, "number")) {
+    out->id = static_cast<std::int64_t>(id->as_number());
+  }
+  if (!status.is_ok()) return status;
+
+  const auto* op = member(doc, "op", obsjson::Value::Kind::kString, &status, "string");
+  if (!status.is_ok()) return status;
+  if (op == nullptr) return bad("missing required field 'op'");
+
+  if (op->as_string() == "cancel") {
+    out->kind = Request::Kind::kCancel;
+    const auto* target =
+        member(doc, "target", obsjson::Value::Kind::kNumber, &status, "number");
+    if (!status.is_ok()) return status;
+    if (target == nullptr) return bad("cancel requires a numeric 'target' id");
+    out->cancel_target = static_cast<std::int64_t>(target->as_number());
+    return core::Status::ok();
+  }
+  if (op->as_string() == "ping") {
+    out->kind = Request::Kind::kPing;
+    return core::Status::ok();
+  }
+
+  out->kind = Request::Kind::kEvaluate;
+  {
+    const core::Status st = api::parse_operation(op->as_string(), &out->eval.op);
+    if (!st.is_ok()) return st;
+  }
+
+  const auto* bench =
+      member(doc, "benchmark", obsjson::Value::Kind::kString, &status, "string");
+  if (!status.is_ok()) return status;
+  if (bench == nullptr) return bad("missing required field 'benchmark'");
+  {
+    const core::Status st = api::parse_benchmark(bench->as_string(), &out->eval.benchmark);
+    if (!st.is_ok()) return st;
+  }
+
+  if (const auto* design =
+          member(doc, "design", obsjson::Value::Kind::kObject, &status, "object")) {
+    const core::Status st = decode_design(*design, &out->eval.design);
+    if (!st.is_ok()) return st;
+  }
+  if (!status.is_ok()) return status;
+
+  if (const auto* state = member(doc, "state", obsjson::Value::Kind::kString, &status,
+                                 "string")) {
+    out->eval.state = state->as_string();
+  }
+  if (const auto* activity =
+          member(doc, "activity", obsjson::Value::Kind::kNumber, &status, "number")) {
+    out->eval.activity = activity->as_number();
+  }
+  if (const auto* samples =
+          member(doc, "samples", obsjson::Value::Kind::kNumber, &status, "number")) {
+    const double v = samples->as_number();
+    if (v != std::floor(v)) return bad("samples must be an integer");
+    out->eval.samples = static_cast<long long>(v);
+  }
+  if (const auto* alpha =
+          member(doc, "alpha", obsjson::Value::Kind::kNumber, &status, "number")) {
+    out->eval.alpha = alpha->as_number();
+  }
+  if (const auto* deadline =
+          member(doc, "deadline_ms", obsjson::Value::Kind::kNumber, &status, "number")) {
+    const core::Status st = api::check_range("deadline_ms", deadline->as_number(), 0.0, 1e9);
+    if (!st.is_ok()) return st;
+    out->deadline_ms = deadline->as_number();
+  }
+  if (const auto* sleep =
+          member(doc, "test_sleep_ms", obsjson::Value::Kind::kNumber, &status, "number")) {
+    out->test_sleep_ms = sleep->as_number();
+  }
+  if (!status.is_ok()) return status;
+
+  return out->eval.validate();
+}
+
+std::string ok_response(const Request& request, const api::EvaluateResult& result,
+                        double queue_ms, double run_ms) {
+  // Hand-rolled compact JSON: responses are hot-path (one per request) and
+  // the shape is fixed, so we skip the Value tree. Numbers use the document
+  // model's formatting via Value::dump for doubles.
+  std::string line = "{\"id\":" + std::to_string(request.id);
+  line += ",\"ok\":";
+  line += result.ok() ? "true" : "false";
+  line += ",\"op\":\"";
+  line += api::to_string(request.eval.op);
+  line += "\",\"benchmark\":\"";
+  line += api::benchmark_token(request.eval.benchmark);
+  line += "\",\"exit_code\":" + std::to_string(result.exit_code);
+  if (!result.ok()) {
+    line += ",\"error\":{\"kind\":\"";
+    line += to_string(ErrorKind::kEvaluationFailed);
+    line += "\",\"message\":\"";
+    escape_into(result.status.message(), &line);
+    line += "\"}";
+  }
+  line += ",\"headline_mv\":" + obsjson::Value(result.headline_mv).dump();
+  line += ",\"queue_ms\":" + obsjson::Value(queue_ms).dump();
+  line += ",\"run_ms\":" + obsjson::Value(run_ms).dump();
+  line += ",\"output\":\"";
+  escape_into(result.output, &line);
+  line += "\"}";
+  return line;
+}
+
+std::string error_response(std::int64_t id, ErrorKind kind, std::string_view message) {
+  std::string line = "{\"id\":" + std::to_string(id);
+  line += ",\"ok\":false,\"error\":{\"kind\":\"";
+  line += to_string(kind);
+  line += "\",\"message\":\"";
+  escape_into(message, &line);
+  line += "\"}}";
+  return line;
+}
+
+std::string ping_response(std::int64_t id) {
+  return "{\"id\":" + std::to_string(id) + ",\"ok\":true,\"op\":\"ping\"}";
+}
+
+}  // namespace pdn3d::service

@@ -1,0 +1,76 @@
+#pragma once
+
+/// @file protocol.hpp
+/// @brief The batch evaluation service's wire protocol: newline-delimited
+/// JSON, one request object per line in, one response object per line out.
+///
+/// Request shape (docs/SERVICE.md documents every field):
+///
+///   {"id": 7, "op": "evaluate", "benchmark": "wide-io",
+///    "design": {"m2": 15, "m3": 30, "tc": 128, "tl": "d", "bd": "f2b",
+///               "rdl": "none", "wb": false, "dedicated": false,
+///               "no_align": false, "scale": 1.0},
+///    "state": "0-0-0-2", "activity": 0.5,      // evaluate
+///    "samples": 200,                            // montecarlo
+///    "alpha": 0.3,                              // cooptimize
+///    "deadline_ms": 500}                        // optional, admission->start
+///
+/// Control requests: {"op": "cancel", "id": 9, "target": 7} removes a
+/// still-queued request; {"op": "ping", "id": 0} answers immediately (a
+/// liveness probe that bypasses the queue).
+///
+/// Every submitted line produces exactly one response, matched by `id`.
+/// Responses arrive in completion order, not submission order.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "api/api.hpp"
+#include "core/status.hpp"
+
+namespace pdn3d::service {
+
+/// Why a request was answered with an error instead of a result.
+enum class ErrorKind {
+  kNone,
+  kBadRequest,        ///< malformed JSON / unknown op / out-of-range option
+  kQueueFull,         ///< backpressure: admission queue at capacity
+  kDeadlineExceeded,  ///< deadline passed while queued
+  kCancelled,         ///< removed from the queue by a cancel request
+  kShutdown,          ///< submitted after drain began
+  kNotFound,          ///< cancel target not queued (finished or unknown)
+  kEvaluationFailed,  ///< request ran; the evaluation itself failed
+};
+
+[[nodiscard]] const char* to_string(ErrorKind kind);
+
+/// One decoded request line.
+struct Request {
+  enum class Kind { kEvaluate, kCancel, kPing };
+
+  std::int64_t id = -1;  ///< echoed in the response; -1 when absent
+  Kind kind = Kind::kEvaluate;
+  api::EvaluateRequest eval;    ///< kEvaluate payload
+  std::int64_t cancel_target = -1;  ///< kCancel payload
+  double deadline_ms = 0.0;     ///< 0 = no deadline
+  double test_sleep_ms = 0.0;   ///< fault-injection hold (test builds only)
+};
+
+/// Decode one NDJSON line. On failure the returned status message is what
+/// the bad_request response carries.
+[[nodiscard]] core::Status parse_request(std::string_view line, Request* out);
+
+/// Render the success response for an evaluated request (single line, no
+/// trailing newline).
+[[nodiscard]] std::string ok_response(const Request& request, const api::EvaluateResult& result,
+                                      double queue_ms, double run_ms);
+
+/// Render an error response (single line, no trailing newline).
+[[nodiscard]] std::string error_response(std::int64_t id, ErrorKind kind,
+                                         std::string_view message);
+
+/// Render the ping response.
+[[nodiscard]] std::string ping_response(std::int64_t id);
+
+}  // namespace pdn3d::service

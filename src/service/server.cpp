@@ -1,0 +1,408 @@
+#include "service/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pdn3d::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// Keep this many per-request records for the session report; beyond it only
+/// the aggregates grow (a soak would otherwise make reports unbounded).
+constexpr std::size_t kMaxRequestRecords = 1024;
+
+std::string cancel_ok_response(std::int64_t id, std::int64_t target) {
+  return "{\"id\":" + std::to_string(id) + ",\"ok\":true,\"op\":\"cancel\",\"target\":" +
+         std::to_string(target) + "}";
+}
+
+}  // namespace
+
+struct BatchService::Pending {
+  Request req;
+  ResponseSink sink;
+  Clock::time_point enqueued;
+  Clock::time_point deadline;  ///< Clock::time_point::max() = none
+};
+
+struct BatchService::RequestRecord {
+  std::int64_t id = -1;
+  std::string op;
+  std::string benchmark;
+  bool ok = false;
+  std::string error;  ///< ErrorKind token, empty when the evaluation ran ok
+  double queue_ms = 0.0;
+  double run_ms = 0.0;
+  double headline_mv = 0.0;
+};
+
+BatchService::BatchService(const api::Session& session, ServiceConfig config)
+    : session_(session), config_(config) {
+  if (config_.workers == 0) config_.workers = exec::default_thread_count();
+}
+
+BatchService::~BatchService() { drain(); }
+
+void BatchService::start() {
+  if (started_) throw std::logic_error("BatchService::start called twice");
+  started_ = true;
+  queue_ = std::make_unique<exec::BoundedQueue<Pending>>(config_.queue_capacity);
+  pool_ = std::make_unique<exec::ThreadPool>(config_.workers);
+  obs::gauge("service.workers").set(static_cast<double>(config_.workers));
+  obs::gauge("service.queue_capacity").set(static_cast<double>(config_.queue_capacity));
+  // The worker loops occupy one pool region for the service's whole life; the
+  // orchestrator thread is region participant #0 (parallel_for's caller).
+  const std::size_t n = config_.workers;
+  orchestrator_ = std::thread([this, n] {
+    PDN3D_TRACE_SPAN("serve/region");
+    pool_->parallel_for(n, [this](std::size_t) { worker_loop(); });
+  });
+}
+
+void BatchService::submit_line(std::string_view line, ResponseSink sink) {
+  static auto& m_requests = obs::counter("service.requests");
+  static auto& m_bad = obs::counter("service.bad_requests");
+  static auto& m_full = obs::counter("service.queue_full");
+  static auto& m_cancelled = obs::counter("service.cancelled");
+  m_requests.add(1);
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.submitted;
+  }
+
+  Request req;
+  if (const core::Status st = parse_request(line, &req); !st.is_ok()) {
+    m_bad.add(1);
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.bad_requests;
+    }
+    sink(error_response(req.id, ErrorKind::kBadRequest, st.message()));
+    return;
+  }
+
+  if (req.kind == Request::Kind::kPing) {
+    sink(ping_response(req.id));
+    return;
+  }
+
+  if (req.kind == Request::Kind::kCancel) {
+    std::optional<Pending> removed;
+    if (queue_ != nullptr) {
+      removed = queue_->remove_if(
+          [&](const Pending& p) { return p.req.id == req.cancel_target; });
+    }
+    if (removed.has_value()) {
+      m_cancelled.add(1);
+      removed->sink(error_response(removed->req.id, ErrorKind::kCancelled,
+                                   "cancelled while queued"));
+      RequestRecord rec;
+      rec.id = removed->req.id;
+      rec.op = api::to_string(removed->req.eval.op);
+      rec.benchmark = api::benchmark_token(removed->req.eval.benchmark);
+      rec.error = to_string(ErrorKind::kCancelled);
+      rec.queue_ms = ms_between(removed->enqueued, Clock::now());
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.cancelled;
+      }
+      record(std::move(rec));
+      sink(cancel_ok_response(req.id, req.cancel_target));
+    } else {
+      sink(error_response(req.id, ErrorKind::kNotFound,
+                          "target not queued (already started, finished, or unknown)"));
+    }
+    return;
+  }
+
+  if (!started_ || queue_ == nullptr || queue_->closed()) {
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected_shutdown;
+    }
+    sink(error_response(req.id, ErrorKind::kShutdown, "service is draining"));
+    return;
+  }
+
+  Pending pending;
+  pending.req = std::move(req);
+  pending.sink = std::move(sink);
+  pending.enqueued = Clock::now();
+  double deadline_ms = pending.req.deadline_ms;
+  if (deadline_ms <= 0.0) deadline_ms = config_.default_deadline_ms;
+  pending.deadline =
+      deadline_ms > 0.0
+          ? pending.enqueued + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double, std::milli>(deadline_ms))
+          : Clock::time_point::max();
+
+  if (!queue_->try_push(std::move(pending))) {
+    // try_push leaves the item untouched on failure, so pending (and its
+    // sink) are still ours. Distinguish drain from backpressure for the
+    // client's retry policy.
+    if (queue_->closed()) {
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.rejected_shutdown;
+      }
+      pending.sink(error_response(pending.req.id, ErrorKind::kShutdown, "service is draining"));
+    } else {
+      m_full.add(1);
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.rejected_full;
+      }
+      pending.sink(error_response(pending.req.id, ErrorKind::kQueueFull,
+                                  "admission queue full (capacity " +
+                                      std::to_string(queue_->capacity()) + "); retry later"));
+    }
+  }
+}
+
+void BatchService::worker_loop() {
+  while (auto pending = queue_->pop()) {
+    finish(std::move(*pending));
+  }
+}
+
+void BatchService::finish(Pending&& pending) {
+  static auto& m_completed = obs::counter("service.completed");
+  static auto& m_deadline = obs::counter("service.deadline_expired");
+  static auto& h_queue = obs::histogram("service.queue_ms", {1, 10, 100, 1000, 10000});
+  static auto& h_run = obs::histogram("service.run_ms", {1, 10, 100, 1000, 10000});
+
+  const Clock::time_point start = Clock::now();
+  const double queue_ms = ms_between(pending.enqueued, start);
+  h_queue.observe(queue_ms);
+
+  RequestRecord rec;
+  rec.id = pending.req.id;
+  rec.op = api::to_string(pending.req.eval.op);
+  rec.benchmark = api::benchmark_token(pending.req.eval.benchmark);
+  rec.queue_ms = queue_ms;
+
+  if (start > pending.deadline) {
+    m_deadline.add(1);
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.deadline_expired;
+    }
+    rec.error = to_string(ErrorKind::kDeadlineExceeded);
+    record(std::move(rec));
+    pending.sink(error_response(pending.req.id, ErrorKind::kDeadlineExceeded,
+                                "deadline expired after " + std::to_string(queue_ms) +
+                                    " ms in queue"));
+    return;
+  }
+
+  PDN3D_TRACE_SPAN_NAMED(span, "serve/request");
+  span.attribute("op", rec.op);
+  span.attribute("benchmark", rec.benchmark);
+
+  if (config_.enable_test_ops && pending.req.test_sleep_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(pending.req.test_sleep_ms));
+  }
+
+  const api::EvaluateResult result = session_.evaluate(pending.req.eval);
+  const double run_ms = ms_between(start, Clock::now());
+  h_run.observe(run_ms);
+  m_completed.add(1);
+
+  rec.ok = result.ok();
+  if (!result.ok()) rec.error = to_string(ErrorKind::kEvaluationFailed);
+  rec.run_ms = run_ms;
+  rec.headline_mv = result.headline_mv;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.completed;
+  }
+  record(std::move(rec));
+  pending.sink(ok_response(pending.req, result, queue_ms, run_ms));
+}
+
+void BatchService::record(RequestRecord rec) {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (records_.size() >= kMaxRequestRecords) {
+    ++records_dropped_;
+    return;
+  }
+  records_.push_back(std::move(rec));
+}
+
+void BatchService::drain() {
+  if (!started_ || drained_) return;
+  drained_ = true;
+  queue_->close();
+  orchestrator_.join();
+}
+
+BatchService::Stats BatchService::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+std::size_t BatchService::queued() const { return queue_ != nullptr ? queue_->size() : 0; }
+
+obs::json::Value BatchService::session_block() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  auto block = obs::json::Value::object();
+  block.set("workers", obs::json::Value(static_cast<std::uint64_t>(config_.workers)));
+  block.set("queue_capacity",
+            obs::json::Value(static_cast<std::uint64_t>(config_.queue_capacity)));
+  block.set("submitted", obs::json::Value(stats_.submitted));
+  block.set("completed", obs::json::Value(stats_.completed));
+  block.set("rejected_queue_full", obs::json::Value(stats_.rejected_full));
+  block.set("rejected_shutdown", obs::json::Value(stats_.rejected_shutdown));
+  block.set("bad_requests", obs::json::Value(stats_.bad_requests));
+  block.set("deadline_expired", obs::json::Value(stats_.deadline_expired));
+  block.set("cancelled", obs::json::Value(stats_.cancelled));
+  auto requests = obs::json::Value::array();
+  for (const auto& rec : records_) {
+    auto r = obs::json::Value::object();
+    r.set("id", obs::json::Value(static_cast<std::int64_t>(rec.id)));
+    r.set("op", obs::json::Value(rec.op));
+    r.set("benchmark", obs::json::Value(rec.benchmark));
+    r.set("ok", obs::json::Value(rec.ok));
+    if (!rec.error.empty()) r.set("error", obs::json::Value(rec.error));
+    r.set("queue_ms", obs::json::Value(rec.queue_ms));
+    r.set("run_ms", obs::json::Value(rec.run_ms));
+    r.set("headline_mv", obs::json::Value(rec.headline_mv));
+    requests.push_back(std::move(r));
+  }
+  block.set("requests", std::move(requests));
+  block.set("requests_dropped_from_report", obs::json::Value(records_dropped_));
+  return block;
+}
+
+// ---------------------------------------------------------------------------
+// SocketServer
+// ---------------------------------------------------------------------------
+
+SocketServer::SocketServer(BatchService& service, std::string socket_path)
+    : service_(service), path_(std::move(socket_path)) {}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::start() {
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path_.size() >= sizeof(addr.sun_path)) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("socket path too long: " + path_);
+  }
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+  ::unlink(path_.c_str());  // stale socket from a crashed run
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind(" + path_ + "): " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("listen(" + path_ + "): " + std::strerror(err));
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void SocketServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int rc = ::poll(&pfd, 1, 100 /*ms*/);
+    if (rc <= 0) continue;  // timeout (re-check stop flag) or EINTR
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    connections_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+}
+
+void SocketServer::connection_loop(int fd) {
+  static auto& m_conns = obs::counter("service.connections");
+  m_conns.add(1);
+  // Responses complete on worker threads while the reader is mid-line; the
+  // shared_ptr keeps the write mutex alive until the last in-flight response
+  // for this connection lands, even after the reader closed the fd.
+  struct Writer {
+    int fd;
+    std::mutex mutex;
+    ~Writer() { ::close(fd); }
+  };
+  auto writer = std::make_shared<Writer>();
+  writer->fd = fd;
+  ResponseSink sink = [writer](const std::string& line) {
+    const std::lock_guard<std::mutex> lock(writer->mutex);
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = ::write(writer->fd, out.data() + off, out.size() - off);
+      if (n <= 0) return;  // client went away; drop the response
+      off += static_cast<std::size_t>(n);
+    }
+  };
+
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;  // EOF or error: client is done
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos = 0;
+    for (std::size_t nl = buffer.find('\n', pos); nl != std::string::npos;
+         nl = buffer.find('\n', pos)) {
+      const std::string_view line(buffer.data() + pos, nl - pos);
+      if (!line.empty()) service_.submit_line(line, sink);
+      pos = nl + 1;
+    }
+    buffer.erase(0, pos);
+  }
+  if (!buffer.empty()) service_.submit_line(buffer, sink);
+}
+
+void SocketServer::stop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Readers exit on client EOF; nudge lingering ones by shutting the sockets
+  // down for reading would require tracking fds -- instead connections are
+  // short-lived by protocol (clients close when done), so join them all.
+  std::vector<std::thread> conns;
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    conns.swap(connections_);
+  }
+  for (auto& t : conns) t.join();
+  ::unlink(path_.c_str());
+}
+
+}  // namespace pdn3d::service

@@ -1,0 +1,163 @@
+#pragma once
+
+/// @file server.hpp
+/// @brief The batch evaluation service behind `pdn3d serve`.
+///
+/// A BatchService owns a bounded admission queue and a set of worker loops
+/// dispatched onto an exec::ThreadPool. Front ends (the stdin NDJSON loop and
+/// the Unix-domain-socket server below) feed it request lines; every line
+/// produces exactly one response through the sink the caller supplied.
+///
+/// Lifecycle:  start() -> submit_line()* -> drain().
+///
+///  - **Backpressure.** Admission never blocks: a full queue answers
+///    `queue_full` immediately and the request is dropped before it costs
+///    anything. Clients retry with their own policy.
+///  - **Deadline.** `deadline_ms` (or the config default) is enforced at
+///    dequeue: a request whose deadline passed while queued answers
+///    `deadline_exceeded` instead of running. Granularity is admission->start;
+///    a request that began evaluating always runs to completion.
+///  - **Cancellation.** `cancel` plucks a still-queued request out of the
+///    admission queue. Same granularity: once a worker popped it, the cancel
+///    answers `not_found`.
+///  - **Graceful drain.** drain() stops admission (`shutdown` responses) and
+///    waits for every already-admitted request to finish; no admitted request
+///    is ever dropped without a response.
+///
+/// Request-level parallelism only: worker loops occupy the pool's region, so
+/// per-request sweeps (Monte Carlo, co-optimizer) run inline on their worker
+/// (exec's nested-region rule). Throughput comes from concurrent requests
+/// plus the api::Session caches shared across them.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "api/api.hpp"
+#include "exec/bounded_queue.hpp"
+#include "exec/thread_pool.hpp"
+#include "obs/json.hpp"
+#include "service/protocol.hpp"
+
+namespace pdn3d::service {
+
+struct ServiceConfig {
+  std::size_t workers = 0;         ///< 0 = exec::default_thread_count()
+  std::size_t queue_capacity = 64; ///< admission queue slots (backpressure point)
+  double default_deadline_ms = 0.0; ///< applied when a request names none; 0 = off
+  bool enable_test_ops = false;    ///< honor `test_sleep_ms` (fault-injection tests)
+};
+
+/// Delivery callback for one response line (no trailing newline). Invoked
+/// from worker threads and from submit_line's caller; implementations
+/// serialize their own writes (see SocketServer's per-connection mutex).
+using ResponseSink = std::function<void(const std::string&)>;
+
+class BatchService {
+ public:
+  /// @param session must outlive the service; shared across all requests so
+  /// design/LUT/factor caches amortize (the point of serving).
+  BatchService(const api::Session& session, ServiceConfig config);
+
+  /// Drains if the owner forgot to.
+  ~BatchService();
+
+  BatchService(const BatchService&) = delete;
+  BatchService& operator=(const BatchService&) = delete;
+
+  /// Spawn the worker loops. Call once, before the first submit_line.
+  void start();
+
+  /// Decode and dispatch one NDJSON line. Exactly one response reaches
+  /// @p sink: immediately for ping/cancel/bad-request/queue-full/shutdown,
+  /// or from a worker thread when the evaluation finishes.
+  void submit_line(std::string_view line, ResponseSink sink);
+
+  /// Stop admission, answer the backlog, join the workers. Idempotent;
+  /// returns when every admitted request has been responded to.
+  void drain();
+
+  /// Point-in-time counters (exact once drain() returned).
+  struct Stats {
+    std::uint64_t submitted = 0;      ///< lines received
+    std::uint64_t completed = 0;      ///< evaluations that ran (ok or failed)
+    std::uint64_t rejected_full = 0;  ///< queue_full backpressure responses
+    std::uint64_t rejected_shutdown = 0;
+    std::uint64_t bad_requests = 0;
+    std::uint64_t deadline_expired = 0;
+    std::uint64_t cancelled = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Requests admitted but not yet popped by a worker. A test/diagnostic
+  /// aid: polling for 0 after a submit proves the worker picked it up.
+  [[nodiscard]] std::size_t queued() const;
+
+  /// The run report's "session" block (schema v4): aggregate counters plus
+  /// one record per evaluated request (docs/OBSERVABILITY.md).
+  [[nodiscard]] obs::json::Value session_block() const;
+
+ private:
+  struct Pending;
+  struct RequestRecord;
+
+  void worker_loop();
+  void finish(Pending&& pending);
+  void record(RequestRecord rec);
+
+  const api::Session& session_;
+  ServiceConfig config_;
+  std::unique_ptr<exec::ThreadPool> pool_;
+  std::unique_ptr<exec::BoundedQueue<Pending>> queue_;
+  std::thread orchestrator_;  ///< runs the pool's worker region
+  bool started_ = false;
+  bool drained_ = false;
+
+  mutable std::mutex stats_mutex_;  ///< guards stats_ + records_
+  Stats stats_;
+  std::vector<RequestRecord> records_;
+  std::uint64_t records_dropped_ = 0;
+};
+
+/// Unix-domain-socket front end: accepts connections, reads NDJSON lines,
+/// writes responses back on the same connection (interleaved in completion
+/// order, matched by id). One reader thread per connection; writes are
+/// serialized per connection.
+class SocketServer {
+ public:
+  SocketServer(BatchService& service, std::string socket_path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Bind + listen + spawn the accept loop. Throws std::runtime_error with
+  /// errno context on bind/listen failure.
+  void start();
+
+  /// Stop accepting, wait for connection readers to finish their current
+  /// lines, close everything, unlink the socket path. Idempotent. (Requests
+  /// already admitted keep running; BatchService::drain handles those.)
+  void stop();
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd);
+
+  BatchService& service_;
+  std::string path_;
+  int listen_fd_ = -1;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  std::mutex conn_mutex_;
+  std::vector<std::thread> connections_;
+};
+
+}  // namespace pdn3d::service

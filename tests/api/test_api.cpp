@@ -1,0 +1,136 @@
+// The stable evaluation facade (api/api.hpp): request validation, the
+// Session's platform cache, and the byte-identity contract between the two
+// front ends (one-shot CLI vs `pdn3d serve`) that both render through it.
+
+#include "api/api.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace pdn3d::api {
+namespace {
+
+TEST(OperationTokens, RoundTripAndAnalyzeAlias) {
+  for (const Operation op : {Operation::kEvaluate, Operation::kMonteCarlo, Operation::kLut,
+                             Operation::kCoOptimize, Operation::kValidate}) {
+    Operation parsed{};
+    ASSERT_TRUE(parse_operation(to_string(op), &parsed).is_ok()) << to_string(op);
+    EXPECT_EQ(parsed, op);
+  }
+  Operation parsed{};
+  ASSERT_TRUE(parse_operation("analyze", &parsed).is_ok());
+  EXPECT_EQ(parsed, Operation::kEvaluate);
+  EXPECT_FALSE(parse_operation("simulate", &parsed).is_ok());
+}
+
+TEST(BenchmarkTokens, RoundTrip) {
+  for (const auto kind :
+       {core::BenchmarkKind::kStackedDdr3OffChip, core::BenchmarkKind::kStackedDdr3OnChip,
+        core::BenchmarkKind::kWideIo, core::BenchmarkKind::kHmc}) {
+    core::BenchmarkKind parsed{};
+    ASSERT_TRUE(parse_benchmark(benchmark_token(kind), &parsed).is_ok());
+    EXPECT_EQ(parsed, kind);
+  }
+  core::BenchmarkKind parsed{};
+  EXPECT_FALSE(parse_benchmark("ddr5", &parsed).is_ok());
+}
+
+TEST(EvaluateRequest, ValidateRejectsBadParameters) {
+  EvaluateRequest req;
+  req.activity = 1.5;
+  EXPECT_FALSE(req.validate().is_ok());
+
+  req = EvaluateRequest{};
+  req.op = Operation::kMonteCarlo;
+  req.samples = 0;
+  EXPECT_FALSE(req.validate().is_ok());
+
+  req = EvaluateRequest{};
+  req.op = Operation::kCoOptimize;
+  req.alpha = 2.0;
+  EXPECT_FALSE(req.validate().is_ok());
+
+  EXPECT_TRUE(EvaluateRequest{}.validate().is_ok());
+}
+
+TEST(SessionTest, EvaluateNeverThrowsOnInvalidParameters) {
+  const Session session;
+  EvaluateRequest req;
+  req.activity = 7.0;
+  const EvaluateResult result = session.evaluate(req);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.exit_code, 1);  // kInvalidArgument -> usage exit code
+  EXPECT_EQ(result.output.rfind("error: ", 0), 0u) << result.output;
+}
+
+TEST(SessionTest, PlatformIsCachedPerBenchmark) {
+  const Session session;
+  const core::Platform& a = session.platform(core::BenchmarkKind::kWideIo);
+  const core::Platform& b = session.platform(core::BenchmarkKind::kWideIo);
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(SessionTest, RepeatedEvaluationsAreByteIdentical) {
+  const Session session;
+  EvaluateRequest req;
+  req.benchmark = core::BenchmarkKind::kWideIo;
+  req.op = Operation::kEvaluate;
+  ASSERT_TRUE(req.design.set("bd", "f2f").is_ok());
+
+  const EvaluateResult cold = session.evaluate(req);  // builds every cache
+  const EvaluateResult warm = session.evaluate(req);  // hits every cache
+  ASSERT_TRUE(cold.ok()) << cold.output;
+  EXPECT_EQ(cold.output, warm.output);
+  EXPECT_EQ(cold.exit_code, warm.exit_code);
+  EXPECT_DOUBLE_EQ(cold.headline_mv, warm.headline_mv);
+}
+
+TEST(SessionTest, ValidateOperationReportsHealthy) {
+  const Session session;
+  EvaluateRequest req;
+  req.benchmark = core::BenchmarkKind::kWideIo;
+  req.op = Operation::kValidate;
+  const EvaluateResult result = session.evaluate(req);
+  ASSERT_TRUE(result.ok()) << result.output;
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.output.find("validation passed"), std::string::npos) << result.output;
+}
+
+// Golden round trip: the same evaluation specified the CLI way (typed
+// DesignOptions built from flag text) and the served way (an NDJSON request
+// through the wire-protocol decoder) must render byte-identical output --
+// the tentpole's core contract (docs/API.md).
+TEST(CliServedParity, WireDecodedRequestRendersIdenticalBytes) {
+  const Session session;
+
+  // "CLI" side: what `pdn3d analyze off-chip --state 0-0-0-2 --bd f2f
+  //              --m2 15 --tl d` builds.
+  EvaluateRequest cli;
+  cli.benchmark = core::BenchmarkKind::kStackedDdr3OffChip;
+  cli.op = Operation::kEvaluate;
+  cli.state = "0-0-0-2";
+  ASSERT_TRUE(cli.design.set("bd", "f2f").is_ok());
+  ASSERT_TRUE(cli.design.set("m2", "15").is_ok());
+  ASSERT_TRUE(cli.design.set("tl", "d").is_ok());
+
+  // "served" side: the same request as one NDJSON line.
+  service::Request wire;
+  ASSERT_TRUE(service::parse_request(
+                  R"({"id":1,"op":"evaluate","benchmark":"off-chip","state":"0-0-0-2",)"
+                  R"("design":{"bd":"f2f","m2":15,"tl":"d"}})",
+                  &wire)
+                  .is_ok());
+
+  const EvaluateResult from_cli = session.evaluate(cli);
+  const EvaluateResult from_wire = session.evaluate(wire.eval);
+  ASSERT_TRUE(from_cli.ok()) << from_cli.output;
+  EXPECT_EQ(from_cli.output, from_wire.output);
+  EXPECT_EQ(from_cli.exit_code, from_wire.exit_code);
+  EXPECT_DOUBLE_EQ(from_cli.headline_mv, from_wire.headline_mv);
+}
+
+}  // namespace
+}  // namespace pdn3d::api

@@ -1,0 +1,131 @@
+// Typed option parsing for the stable evaluation API (api/options.hpp).
+//
+// These parsers are the CLI's single path for every option value, so the
+// rejection cases double as the CLI's bad-input contract: a malformed value
+// is a structured kInvalidArgument, never a silently-parsed 0 (the old
+// std::atof behavior this layer replaced).
+
+#include "api/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pdn/pdn_config.hpp"
+
+namespace pdn3d::api {
+namespace {
+
+TEST(ParseDouble, AcceptsPlainAndScientific) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("x", "1.5", 0.0, 10.0, &v).is_ok());
+  EXPECT_DOUBLE_EQ(v, 1.5);
+  EXPECT_TRUE(parse_double("x", "2e-1", 0.0, 10.0, &v).is_ok());
+  EXPECT_DOUBLE_EQ(v, 0.2);
+  EXPECT_TRUE(parse_double("x", "  3.25  ", 0.0, 10.0, &v).is_ok());
+  EXPECT_DOUBLE_EQ(v, 3.25);
+}
+
+TEST(ParseDouble, RejectsGarbageTrailersAndNonFinite) {
+  double v = 42.0;
+  EXPECT_FALSE(parse_double("x", "abc", 0.0, 10.0, &v).is_ok());
+  EXPECT_FALSE(parse_double("x", "1.5zz", 0.0, 10.0, &v).is_ok());
+  EXPECT_FALSE(parse_double("x", "", 0.0, 10.0, &v).is_ok());
+  EXPECT_FALSE(parse_double("x", "nan", 0.0, 10.0, &v).is_ok());
+  EXPECT_FALSE(parse_double("x", "1e400", 0.0, 10.0, &v).is_ok());
+  EXPECT_DOUBLE_EQ(v, 42.0);  // out untouched on failure
+}
+
+TEST(ParseDouble, EnforcesRangeAndNamesTheOption) {
+  double v = 0.0;
+  const core::Status st = parse_double("activity", "1.5", 0.0, 1.0, &v);
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("activity"), std::string::npos);
+}
+
+TEST(ParseInt, AcceptsAndRejects) {
+  long long v = 0;
+  EXPECT_TRUE(parse_int("n", "42", 1, 100, &v).is_ok());
+  EXPECT_EQ(v, 42);
+  EXPECT_FALSE(parse_int("n", "4.5", 1, 100, &v).is_ok());
+  EXPECT_FALSE(parse_int("n", "abc", 1, 100, &v).is_ok());
+  EXPECT_FALSE(parse_int("n", "", 1, 100, &v).is_ok());
+  EXPECT_FALSE(parse_int("n", "0", 1, 100, &v).is_ok());
+  EXPECT_FALSE(parse_int("n", "101", 1, 100, &v).is_ok());
+  EXPECT_EQ(v, 42);
+}
+
+TEST(DesignOptions, NumericSettersEnforceContracts) {
+  DesignOptions d;
+  EXPECT_TRUE(d.set("m2", 15.0).is_ok());
+  EXPECT_TRUE(d.set("m3", 30.0).is_ok());
+  EXPECT_FALSE(d.set("m2", 101.0).is_ok());
+  EXPECT_FALSE(d.set("m2", -1.0).is_ok());
+  EXPECT_FALSE(d.set("tc", 2.5).is_ok());  // TSV count must be integral
+  EXPECT_TRUE(d.set("tc", 64.0).is_ok());
+  EXPECT_FALSE(d.set("scale", 0.0).is_ok());
+  EXPECT_FALSE(d.set("bogus", 1.0).is_ok());
+}
+
+TEST(DesignOptions, TextSettersParseEveryCliKnob) {
+  DesignOptions d;
+  EXPECT_TRUE(d.set("m2", "15").is_ok());
+  EXPECT_TRUE(d.set("tc", "128").is_ok());
+  EXPECT_TRUE(d.set("tl", "d").is_ok());
+  EXPECT_TRUE(d.set("bd", "f2f").is_ok());
+  EXPECT_TRUE(d.set("rdl", "bottom").is_ok());
+  EXPECT_TRUE(d.set("scale", "0.5").is_ok());
+  EXPECT_FALSE(d.set("m2", "abc").is_ok());
+  EXPECT_FALSE(d.set("tc", "12.5").is_ok());
+  EXPECT_FALSE(d.set("tl", "x").is_ok());
+  EXPECT_FALSE(d.set("bd", "f2x").is_ok());
+  EXPECT_FALSE(d.set("rdl", "everywhere").is_ok());
+  EXPECT_FALSE(d.set("unknown", "1").is_ok());
+  EXPECT_TRUE(d.set_flag("wb").is_ok());
+  EXPECT_TRUE(d.set_flag("no-align").is_ok());
+  EXPECT_FALSE(d.set_flag("bogus").is_ok());
+}
+
+TEST(DesignOptions, ApplyPreservesHistoricalCliSemantics) {
+  pdn::PdnConfig base;
+  base.rdl = pdn::RdlMode::kNone;
+  base.tsv_location = pdn::TsvLocation::kEdge;
+  base.logic_tsv_location = pdn::TsvLocation::kEdge;
+  base.align_tsvs_to_c4 = true;
+
+  DesignOptions d;
+  ASSERT_TRUE(d.set("tl", "c").is_ok());
+  ASSERT_TRUE(d.set("rdl", "bottom").is_ok());
+  ASSERT_TRUE(d.set_flag("no-align").is_ok());
+  const pdn::PdnConfig cfg = d.apply(base);
+
+  // tl mirrors onto the logic die when the *base* had no RDL -- even though
+  // this request also switches the RDL on (the historical flag ordering).
+  EXPECT_EQ(cfg.tsv_location, pdn::TsvLocation::kCenter);
+  EXPECT_EQ(cfg.logic_tsv_location, pdn::TsvLocation::kCenter);
+  EXPECT_EQ(cfg.rdl, pdn::RdlMode::kBottomOnly);
+  EXPECT_FALSE(cfg.align_tsvs_to_c4);
+}
+
+TEST(DesignOptions, ApplyLeavesUnsetKnobsAlone) {
+  pdn::PdnConfig base;
+  base.m2_usage = 0.1;
+  base.tsv_count = 33;
+  const pdn::PdnConfig cfg = DesignOptions{}.apply(base);
+  EXPECT_DOUBLE_EQ(cfg.m2_usage, 0.1);
+  EXPECT_EQ(cfg.tsv_count, 33);
+}
+
+TEST(ParameterChecks, ActivitySamplesAlpha) {
+  EXPECT_TRUE(check_activity(-1.0).is_ok());  // auto
+  EXPECT_TRUE(check_activity(0.0).is_ok());
+  EXPECT_TRUE(check_activity(1.0).is_ok());
+  EXPECT_FALSE(check_activity(-0.5).is_ok());
+  EXPECT_FALSE(check_activity(1.5).is_ok());
+  EXPECT_TRUE(check_samples(1).is_ok());
+  EXPECT_FALSE(check_samples(0).is_ok());
+  EXPECT_FALSE(check_samples(10000001).is_ok());
+  EXPECT_TRUE(check_alpha(0.3).is_ok());
+  EXPECT_FALSE(check_alpha(1.1).is_ok());
+}
+
+}  // namespace
+}  // namespace pdn3d::api

@@ -3,9 +3,26 @@
 #include <gtest/gtest.h>
 
 #include <limits>
+#include <span>
+#include <vector>
 
 namespace pdn3d::irdrop {
 namespace {
+
+/// Test conveniences over the unified entry point: solve and return the
+/// voltages (or IR drops), throwing on data-dependent failure like the CLI's
+/// error path would.
+std::vector<double> solve_voltages(const IrSolver& solver, std::span<const double> sinks) {
+  SolveOutcome outcome = solver.solve(SolveRequest{.sinks = sinks});
+  if (!outcome.ok()) throw core::NumericalError(std::move(outcome.status));
+  return std::move(outcome.x);
+}
+
+std::vector<double> solve_drops(const IrSolver& solver, std::span<const double> sinks) {
+  SolveOutcome outcome = solver.solve(SolveRequest{.sinks = sinks, .want_ir = true});
+  if (!outcome.ok()) throw core::NumericalError(std::move(outcome.status));
+  return std::move(outcome.x);
+}
 
 /// 8x3 mesh with one corner tap: IC(0) is inexact here, so a starved CG
 /// (max_iterations = 1) genuinely fails and exercises the escalation ladder.
@@ -48,11 +65,11 @@ TEST_P(SolverKinds, SeriesDividerExact) {
   const auto m = two_node_divider();
   IrSolver solver(m, GetParam());
   std::vector<double> sinks = {0.0, 1.0};  // 1 A at the far node
-  const auto v = solver.solve(sinks);
+  const auto v = solve_voltages(solver, sinks);
   // All current flows through both resistors: v0 = 1.5 - 1*1, v1 = v0 - 2*1.
   EXPECT_NEAR(v[0], 0.5, 1e-9);
   EXPECT_NEAR(v[1], -1.5, 1e-9);
-  const auto ir = solver.solve_ir(sinks);
+  const auto ir = solve_drops(solver, sinks);
   EXPECT_NEAR(ir[1], 3.0, 1e-9);
 }
 
@@ -70,7 +87,7 @@ TEST_P(SolverKinds, ParallelPathsShareCurrent) {
   m.add_resistor(0, 1, 1.0);
   m.add_resistor(1, 2, 1.0);
   IrSolver solver(m, GetParam());
-  const auto ir = solver.solve_ir(std::vector<double>{0.0, 1.0, 0.0});
+  const auto ir = solve_drops(solver, std::vector<double>{0.0, 1.0, 0.0});
   // Symmetric: each branch carries 0.5 A through 2 ohm total.
   EXPECT_NEAR(ir[1], 1.0, 1e-9);
   EXPECT_NEAR(ir[0], 0.5, 1e-9);
@@ -96,13 +113,14 @@ TEST(IrSolver, NoTapsRejected) {
 TEST(IrSolver, SinkSizeMismatchThrows) {
   const auto m = two_node_divider();
   IrSolver solver(m);
-  EXPECT_THROW(solver.solve(std::vector<double>{1.0}), std::invalid_argument);
+  EXPECT_THROW((void)solver.solve(SolveRequest{.sinks = std::vector<double>{1.0}}),
+               std::invalid_argument);
 }
 
 TEST(IrSolver, ZeroCurrentMeansNoDrop) {
   const auto m = two_node_divider();
   IrSolver solver(m);
-  const auto ir = solver.solve_ir(std::vector<double>{0.0, 0.0});
+  const auto ir = solve_drops(solver, std::vector<double>{0.0, 0.0});
   EXPECT_NEAR(ir[0], 0.0, 1e-12);
   EXPECT_NEAR(ir[1], 0.0, 1e-12);
 }
@@ -110,9 +128,9 @@ TEST(IrSolver, ZeroCurrentMeansNoDrop) {
 TEST(IrSolver, SuperpositionHolds) {
   const auto m = two_node_divider();
   IrSolver solver(m);
-  const auto a = solver.solve_ir(std::vector<double>{0.5, 0.0});
-  const auto b = solver.solve_ir(std::vector<double>{0.0, 0.25});
-  const auto ab = solver.solve_ir(std::vector<double>{0.5, 0.25});
+  const auto a = solve_drops(solver, std::vector<double>{0.5, 0.0});
+  const auto b = solve_drops(solver, std::vector<double>{0.0, 0.25});
+  const auto ab = solve_drops(solver, std::vector<double>{0.5, 0.25});
   for (std::size_t i = 0; i < 2; ++i) {
     EXPECT_NEAR(ab[i], a[i] + b[i], 1e-10);
   }
@@ -137,8 +155,8 @@ TEST(IrSolver, DensePathMatchesIterative) {
   m.add_tap(g.node(5, 1), 0.4);
 
   std::vector<double> sinks(m.node_count(), 0.01);
-  const auto vi = IrSolver(m, SolverKind::kPcgIc).solve(sinks);
-  const auto vd = IrSolver(m, SolverKind::kDense).solve(sinks);
+  const auto vi = solve_voltages(IrSolver(m, SolverKind::kPcgIc), sinks);
+  const auto vd = solve_voltages(IrSolver(m, SolverKind::kDense), sinks);
   for (std::size_t i = 0; i < vi.size(); ++i) {
     EXPECT_NEAR(vi[i], vd[i], 1e-8);
   }
@@ -185,7 +203,7 @@ TEST(IrSolver, EscalationLadderRecoversStarvedPcg) {
   starved.cg_max_iterations = 1;
   IrSolver solver(m, SolverKind::kPcgIc, starved);
   std::vector<double> sinks(m.node_count(), 0.01);
-  const auto outcome = solver.try_solve(sinks);
+  const auto outcome = solver.solve(SolveRequest{.sinks = sinks});
   ASSERT_TRUE(outcome.ok()) << outcome.status.to_string();
   // Both PCG rungs starve; a direct rung produces the verified answer.
   EXPECT_GE(outcome.escalations, 2u);
@@ -194,7 +212,7 @@ TEST(IrSolver, EscalationLadderRecoversStarvedPcg) {
   EXPECT_EQ(solver.last_kind_used(), outcome.kind_used);
 
   // And the recovered answer matches an unstarved reference solve.
-  const auto reference = IrSolver(m).solve(sinks);
+  const auto reference = solve_voltages(IrSolver(m), sinks);
   for (std::size_t i = 0; i < reference.size(); ++i) {
     EXPECT_NEAR(outcome.x[i], reference[i], 1e-8);
   }
@@ -206,7 +224,8 @@ TEST(IrSolver, EscalationCanBeDisabled) {
   opts.cg_max_iterations = 1;
   opts.escalate = false;
   IrSolver solver(m, SolverKind::kPcgIc, opts);
-  const auto outcome = solver.try_solve(std::vector<double>(m.node_count(), 0.01));
+  const auto outcome =
+      solver.solve(SolveRequest{.sinks = std::vector<double>(m.node_count(), 0.01)});
   EXPECT_FALSE(outcome.ok());
   EXPECT_EQ(outcome.status.code(), core::StatusCode::kNumericalFailure);
   // Only the configured rung was tried.
@@ -219,8 +238,8 @@ TEST(IrSolver, EscalationCanBeDisabled) {
 TEST(IrSolver, TelemetryAccumulatesAcrossSolves) {
   const auto m = two_node_divider();
   IrSolver solver(m);
-  (void)solver.solve(std::vector<double>{0.0, 1.0});
-  (void)solver.solve(std::vector<double>{0.5, 0.0});
+  (void)solver.solve(SolveRequest{.sinks = std::vector<double>{0.0, 1.0}});
+  (void)solver.solve(SolveRequest{.sinks = std::vector<double>{0.5, 0.0}});
   const auto& t = solver.telemetry();
   EXPECT_EQ(t.solves, 2u);
   EXPECT_EQ(t.failures, 0u);
@@ -235,31 +254,26 @@ TEST(IrSolver, ExplicitDenseStartIgnoresEscalationLimit) {
   IrSolverOptions opts;
   opts.dense_escalation_limit = 1;  // smaller than the model
   IrSolver solver(m, SolverKind::kDense, opts);
-  const auto outcome = solver.try_solve(std::vector<double>{0.0, 1.0});
+  const auto outcome = solver.solve(SolveRequest{.sinks = std::vector<double>{0.0, 1.0}});
   ASSERT_TRUE(outcome.ok());
   EXPECT_EQ(outcome.kind_used, SolverKind::kDense);
   EXPECT_EQ(outcome.iterations, 0u);  // direct rungs report no iterations
 }
 
-TEST(IrSolver, UnifiedSolveMatchesShims) {
-  // The one true entry point: the deprecated shapes are thin shims over
-  // solve(SolveRequest) and must agree bitwise.
+TEST(IrSolver, WantIrIsExactVoltageComplement) {
+  // want_ir must be a pure post-processing of the same solve: ir = vdd - v,
+  // bitwise, never a second (possibly differently-converged) solve.
   const auto m = two_node_divider();
   IrSolver solver(m);
   const std::vector<double> sinks = {0.0, 1.0};
 
   const auto outcome = solver.solve(SolveRequest{.sinks = sinks});
   ASSERT_TRUE(outcome.ok());
-  const auto via_shim = solver.solve(sinks);
-  ASSERT_EQ(outcome.x.size(), via_shim.size());
-  for (std::size_t i = 0; i < via_shim.size(); ++i) EXPECT_EQ(outcome.x[i], via_shim[i]);
-
   const auto ir = solver.solve(SolveRequest{.sinks = sinks, .want_ir = true});
   ASSERT_TRUE(ir.ok());
-  const auto ir_shim = solver.solve_ir(sinks);
-  for (std::size_t i = 0; i < ir_shim.size(); ++i) {
-    EXPECT_EQ(ir.x[i], ir_shim[i]);
-    EXPECT_EQ(ir.x[i], m.vdd() - outcome.x[i]);  // want_ir is vdd - v
+  ASSERT_EQ(ir.x.size(), outcome.x.size());
+  for (std::size_t i = 0; i < ir.x.size(); ++i) {
+    EXPECT_EQ(ir.x[i], m.vdd() - outcome.x[i]);
   }
 }
 
@@ -338,7 +352,7 @@ TEST(IrSolver, SparseDirectMatchesIterativeOnLadderNetwork) {
   EXPECT_EQ(outcome.kind_used, SolverKind::kSparseDirect);
   EXPECT_EQ(outcome.iterations, 0u);  // direct rungs report no iterations
 
-  const auto vi = IrSolver(m, SolverKind::kPcgIc).solve(sinks);
+  const auto vi = solve_voltages(IrSolver(m, SolverKind::kPcgIc), sinks);
   for (std::size_t i = 0; i < vi.size(); ++i) {
     EXPECT_NEAR(outcome.x[i], vi[i], 1e-8);
   }
@@ -425,7 +439,7 @@ TEST(IrSolver, DeclinedSparseFactorFallsDownLadder) {
   EXPECT_GE(outcome.escalations, 1u);
   EXPECT_NE(outcome.kind_used, SolverKind::kSparseDirect);
 
-  const auto reference = IrSolver(m).solve(sinks);
+  const auto reference = solve_voltages(IrSolver(m), sinks);
   for (std::size_t i = 0; i < reference.size(); ++i) {
     EXPECT_NEAR(outcome.x[i], reference[i], 1e-8);
   }
@@ -444,7 +458,7 @@ TEST(IrSolver, WarmStartScratchStaysCorrect) {
     sinks[3] = 0.005 + 0.001 * rep;
     const auto outcome = solver.solve(SolveRequest{.sinks = sinks}, &scratch);
     ASSERT_TRUE(outcome.ok());
-    const auto reference = IrSolver(m).solve(sinks);
+    const auto reference = solve_voltages(IrSolver(m), sinks);
     for (std::size_t i = 0; i < n; ++i) {
       EXPECT_NEAR(outcome.x[i], reference[i], 1e-8);
     }

@@ -32,7 +32,7 @@ DesignSpace small_space() {
 }
 
 TEST(CoOptimizer, FitsEveryChoiceWell) {
-  CoOptimizer opt(small_space(), fake_ir);
+  CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(fake_ir));
   const auto& fits = opt.fit_models();
   EXPECT_EQ(fits.size(), 16u);
   EXPECT_LT(opt.worst_rmse(), 0.135);     // the paper's bound
@@ -40,7 +40,7 @@ TEST(CoOptimizer, FitsEveryChoiceWell) {
 }
 
 TEST(CoOptimizer, AlphaZeroPicksCheapestDesign) {
-  CoOptimizer opt(small_space(), fake_ir);
+  CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(fake_ir));
   const auto best = opt.optimize(0.0);
   // Cheapest knobs: minimum metal, minimum TSVs, center location, F2B, no
   // extras.
@@ -54,7 +54,7 @@ TEST(CoOptimizer, AlphaZeroPicksCheapestDesign) {
 }
 
 TEST(CoOptimizer, AlphaOnePicksLowestIr) {
-  CoOptimizer opt(small_space(), fake_ir);
+  CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(fake_ir));
   const auto best = opt.optimize(1.0);
   EXPECT_NEAR(best.config.m2_usage, 0.20, 1e-9);
   EXPECT_NEAR(best.config.m3_usage, 0.40, 1e-9);
@@ -64,7 +64,7 @@ TEST(CoOptimizer, AlphaOnePicksLowestIr) {
 }
 
 TEST(CoOptimizer, IntermediateAlphaBetweenExtremes) {
-  CoOptimizer opt(small_space(), fake_ir);
+  CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(fake_ir));
   const auto lo = opt.optimize(0.0);
   const auto mid = opt.optimize(0.3);
   const auto hi = opt.optimize(1.0);
@@ -75,7 +75,7 @@ TEST(CoOptimizer, IntermediateAlphaBetweenExtremes) {
 }
 
 TEST(CoOptimizer, PredictionMatchesMeasurementAtOptimum) {
-  CoOptimizer opt(small_space(), fake_ir);
+  CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(fake_ir));
   const auto best = opt.optimize(0.3);
   // Table 9 reports both columns agreeing closely.
   EXPECT_NEAR(best.predicted_ir_mv, best.measured_ir_mv,
@@ -84,23 +84,22 @@ TEST(CoOptimizer, PredictionMatchesMeasurementAtOptimum) {
 }
 
 TEST(CoOptimizer, InvalidArgumentsRejected) {
-  CoOptimizer opt(small_space(), fake_ir);
+  CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(fake_ir));
   EXPECT_THROW(opt.optimize(-0.1), std::invalid_argument);
   EXPECT_THROW(opt.optimize(1.1), std::invalid_argument);
-  EXPECT_THROW(CoOptimizer(small_space(), IrEvaluator{}), std::invalid_argument);
 }
 
 TEST(CoOptimizer, FixedTcSpace) {
   DesignSpace s = small_space();
   s.tc_fixed = true;
   s.tc_fixed_value = 160;
-  CoOptimizer opt(s, fake_ir);
+  CoOptimizer opt(s, std::make_unique<FunctionEvaluator>(fake_ir));
   const auto best = opt.optimize(0.5);
   EXPECT_EQ(best.config.tsv_count, 160);
 }
 
 TEST(CoOptimizer, SampleCountAccounted) {
-  CoOptimizer opt(small_space(), fake_ir);
+  CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(fake_ir));
   opt.fit_models();
   EXPECT_GT(opt.total_samples(), 100u);
   EXPECT_TRUE(opt.skipped_points().empty());  // healthy evaluator: no skips
@@ -119,7 +118,7 @@ TEST(CoOptimizer, SweepSurvivesUnsolvableRegion) {
     }
     return fake_ir(cfg);
   };
-  CoOptimizer opt(small_space(), evaluate);
+  CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(evaluate));
   const auto& fits = opt.fit_models();
   // Every choice keeps enough solvable samples to stay fitted.
   EXPECT_EQ(fits.size(), 16u);
@@ -152,7 +151,7 @@ TEST(CoOptimizer, BannedWinnerTriggersRetry) {
     }
     return fake_ir(cfg);
   };
-  CoOptimizer opt(small_space(), evaluate);
+  CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(evaluate));
   const auto best = opt.optimize(0.0);
   EXPECT_FALSE(is_cheapest_corner(best.config));
   EXPECT_GT(best.measured_ir_mv, 0.0);
@@ -246,7 +245,7 @@ TEST(CoOptimizer, AllPointsUnsolvableIsStructuredFailure) {
   const auto evaluate = [](const pdn::PdnConfig&) -> double {
     throw core::NumericalError(core::Status::numerical_failure("nothing solves"));
   };
-  CoOptimizer opt(small_space(), evaluate);
+  CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(evaluate));
   EXPECT_THROW(opt.fit_models(), core::NumericalError);
   EXPECT_FALSE(opt.skipped_points().empty());
 }

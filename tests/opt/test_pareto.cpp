@@ -40,7 +40,7 @@ TEST(Pareto, DominatesSemantics) {
 }
 
 TEST(Pareto, FrontIsMonotone) {
-  CoOptimizer opt(small_space(), fake_ir);
+  CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(fake_ir));
   const auto front = pareto_front(opt, 9);
   ASSERT_GE(front.size(), 3u);
   for (std::size_t i = 1; i < front.size(); ++i) {
@@ -51,7 +51,7 @@ TEST(Pareto, FrontIsMonotone) {
 }
 
 TEST(Pareto, NoPointDominatesAnother) {
-  CoOptimizer opt(small_space(), fake_ir);
+  CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(fake_ir));
   const auto front = pareto_front(opt, 7);
   for (const auto& a : front) {
     for (const auto& b : front) {
@@ -62,7 +62,7 @@ TEST(Pareto, NoPointDominatesAnother) {
 }
 
 TEST(Pareto, EndpointsAnchorTheFront) {
-  CoOptimizer opt(small_space(), fake_ir);
+  CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(fake_ir));
   const auto front = pareto_front(opt, 9);
   const auto cheapest = opt.optimize(0.0);
   const auto quietest = opt.optimize(1.0);
@@ -71,7 +71,7 @@ TEST(Pareto, EndpointsAnchorTheFront) {
 }
 
 TEST(Pareto, RejectsTooFewSteps) {
-  CoOptimizer opt(small_space(), fake_ir);
+  CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(fake_ir));
   EXPECT_THROW(pareto_front(opt, 1), std::invalid_argument);
 }
 

@@ -1,0 +1,355 @@
+// The batch evaluation service (src/service/): wire-protocol round trips and
+// the BatchService's backpressure / deadline / cancellation / drain fault
+// paths, driven through submit_line exactly as the `pdn3d serve` front ends
+// drive it. The concurrent-clients test follows the Concurrent* naming
+// convention so the TSan suite (scripts/run_sanitized_tests.sh) picks it up.
+
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <fstream>
+#include <iterator>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "service/protocol.hpp"
+
+namespace pdn3d::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+// Thread-safe response collector; one per logical client.
+class Collector {
+ public:
+  ResponseSink sink() {
+    return [this](const std::string& line) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        lines_.push_back(line);
+      }
+      cv_.notify_all();
+    };
+  }
+
+  std::vector<std::string> wait_for(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, 30s, [&] { return lines_.size() >= n; });
+    return lines_;
+  }
+
+  std::vector<std::string> lines() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return lines_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::string> lines_;
+};
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// Block until the worker pulled everything submitted so far off the queue.
+void wait_drained_queue(const BatchService& service) {
+  for (int i = 0; i < 2000 && service.queued() > 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(service.queued(), 0u);
+}
+
+TEST(Protocol, ParseEvaluateRequestDecodesEveryField) {
+  Request req;
+  const core::Status st = parse_request(
+      R"({"id":7,"op":"montecarlo","benchmark":"wide-io","samples":64,"activity":0.5,)"
+      R"("design":{"m2":15,"tl":"d","wb":true},"deadline_ms":250,"test_sleep_ms":5})",
+      &req);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  EXPECT_EQ(req.id, 7);
+  EXPECT_EQ(req.kind, Request::Kind::kEvaluate);
+  EXPECT_EQ(req.eval.op, api::Operation::kMonteCarlo);
+  EXPECT_EQ(req.eval.benchmark, core::BenchmarkKind::kWideIo);
+  EXPECT_EQ(req.eval.samples, 64);
+  EXPECT_DOUBLE_EQ(req.eval.activity, 0.5);
+  EXPECT_DOUBLE_EQ(req.deadline_ms, 250.0);
+  EXPECT_DOUBLE_EQ(req.test_sleep_ms, 5.0);
+}
+
+TEST(Protocol, ParseRejectsMalformedRequests) {
+  Request req;
+  EXPECT_FALSE(parse_request("not json", &req).is_ok());
+  EXPECT_FALSE(parse_request("[1,2,3]", &req).is_ok());
+  EXPECT_FALSE(parse_request(R"({"id":1})", &req).is_ok());  // missing op
+  EXPECT_FALSE(parse_request(R"({"id":1,"op":"explode","benchmark":"hmc"})", &req).is_ok());
+  EXPECT_FALSE(parse_request(R"({"id":1,"op":"evaluate"})", &req).is_ok());  // no benchmark
+  EXPECT_FALSE(
+      parse_request(R"({"id":1,"op":"evaluate","benchmark":"ddr9"})", &req).is_ok());
+  EXPECT_FALSE(parse_request(
+                   R"({"id":1,"op":"evaluate","benchmark":"hmc","design":{"m2":"abc"}})",
+                   &req)
+                   .is_ok());
+  EXPECT_FALSE(parse_request(
+                   R"({"id":1,"op":"montecarlo","benchmark":"hmc","samples":2.5})", &req)
+                   .is_ok());
+  EXPECT_FALSE(parse_request(
+                   R"({"id":1,"op":"cooptimize","benchmark":"hmc","alpha":3})", &req)
+                   .is_ok());
+  EXPECT_FALSE(parse_request(R"({"id":1,"op":"cancel"})", &req).is_ok());  // no target
+}
+
+TEST(Protocol, ControlRequestsAndResponses) {
+  Request req;
+  ASSERT_TRUE(parse_request(R"({"id":9,"op":"cancel","target":7})", &req).is_ok());
+  EXPECT_EQ(req.kind, Request::Kind::kCancel);
+  EXPECT_EQ(req.cancel_target, 7);
+
+  Request ping_req;
+  ASSERT_TRUE(parse_request(R"({"op":"ping"})", &ping_req).is_ok());
+  EXPECT_EQ(ping_req.kind, Request::Kind::kPing);
+  EXPECT_EQ(ping_req.id, -1);  // absent id is echoed as -1
+
+  EXPECT_EQ(ping_response(3), R"({"id":3,"ok":true,"op":"ping"})");
+  const std::string err = error_response(5, ErrorKind::kQueueFull, "a \"quoted\" reason");
+  EXPECT_TRUE(contains(err, R"("id":5)")) << err;
+  EXPECT_TRUE(contains(err, R"("kind":"queue_full")")) << err;
+  EXPECT_TRUE(contains(err, R"(a \"quoted\" reason)")) << err;
+}
+
+TEST(ServiceTest, EvaluatesAndAnswersBadLines) {
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  BatchService service(session, cfg);
+  service.start();
+
+  Collector client;
+  service.submit_line("this is not json", client.sink());
+  service.submit_line(R"({"id":1,"op":"validate","benchmark":"wide-io"})", client.sink());
+  service.drain();
+
+  const auto lines = client.lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(contains(lines[0], R"("kind":"bad_request")")) << lines[0];
+  EXPECT_TRUE(contains(lines[1], R"("id":1)")) << lines[1];
+  EXPECT_TRUE(contains(lines[1], R"("ok":true)")) << lines[1];
+  EXPECT_TRUE(contains(lines[1], "validation passed")) << lines[1];
+
+  const auto s = service.stats();
+  EXPECT_EQ(s.submitted, 2u);
+  EXPECT_EQ(s.bad_requests, 1u);
+  EXPECT_EQ(s.completed, 1u);
+}
+
+TEST(ServiceTest, QueueFullBackpressureAndCancel) {
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  cfg.enable_test_ops = true;
+  BatchService service(session, cfg);
+  service.start();
+
+  Collector c1, c2, c3, canceller;
+  // r1 occupies the single worker (test hold), leaving the 1-slot queue free.
+  service.submit_line(
+      R"({"id":1,"op":"validate","benchmark":"wide-io","test_sleep_ms":700})", c1.sink());
+  wait_drained_queue(service);
+  // r2 fills the queue; r3 must bounce with queue_full immediately.
+  service.submit_line(R"({"id":2,"op":"validate","benchmark":"wide-io"})", c2.sink());
+  service.submit_line(R"({"id":3,"op":"validate","benchmark":"wide-io"})", c3.sink());
+  const auto rejected = c3.wait_for(1);
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_TRUE(contains(rejected[0], R"("id":3)")) << rejected[0];
+  EXPECT_TRUE(contains(rejected[0], R"("kind":"queue_full")")) << rejected[0];
+
+  // Cancel the still-queued r2: its own sink gets the cancelled response, the
+  // canceller gets an ack; a second cancel finds nothing.
+  service.submit_line(R"({"id":4,"op":"cancel","target":2})", canceller.sink());
+  const auto cancelled = c2.wait_for(1);
+  ASSERT_EQ(cancelled.size(), 1u);
+  EXPECT_TRUE(contains(cancelled[0], R"("id":2)")) << cancelled[0];
+  EXPECT_TRUE(contains(cancelled[0], R"("kind":"cancelled")")) << cancelled[0];
+  service.submit_line(R"({"id":5,"op":"cancel","target":2})", canceller.sink());
+  const auto acks = canceller.wait_for(2);
+  ASSERT_EQ(acks.size(), 2u);
+  EXPECT_TRUE(contains(acks[0], R"("target":2)")) << acks[0];
+  EXPECT_TRUE(contains(acks[0], R"("ok":true)")) << acks[0];
+  EXPECT_TRUE(contains(acks[1], R"("kind":"not_found")")) << acks[1];
+
+  service.drain();
+  ASSERT_EQ(c1.lines().size(), 1u);
+  EXPECT_TRUE(contains(c1.lines()[0], R"("ok":true)")) << c1.lines()[0];
+
+  const auto s = service.stats();
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.rejected_full, 1u);
+  EXPECT_EQ(s.cancelled, 1u);
+}
+
+TEST(ServiceTest, DeadlineExpiresWhileQueued) {
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.enable_test_ops = true;
+  BatchService service(session, cfg);
+  service.start();
+
+  Collector c1, c2;
+  service.submit_line(
+      R"({"id":1,"op":"validate","benchmark":"wide-io","test_sleep_ms":300})", c1.sink());
+  wait_drained_queue(service);
+  // r2's 20 ms deadline cannot survive 300 ms behind r1 on the only worker.
+  service.submit_line(R"({"id":2,"op":"validate","benchmark":"wide-io","deadline_ms":20})",
+                      c2.sink());
+  service.drain();
+
+  const auto lines = c2.lines();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(contains(lines[0], R"("id":2)")) << lines[0];
+  EXPECT_TRUE(contains(lines[0], R"("kind":"deadline_exceeded")")) << lines[0];
+  EXPECT_EQ(service.stats().deadline_expired, 1u);
+  EXPECT_EQ(service.stats().completed, 1u);
+}
+
+TEST(ServiceTest, DrainAnswersShutdownAndEveryAdmittedRequest) {
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  BatchService service(session, cfg);
+  service.start();
+
+  Collector before, after;
+  for (int i = 1; i <= 3; ++i) {
+    service.submit_line(
+        R"({"id":)" + std::to_string(i) + R"(,"op":"validate","benchmark":"wide-io"})",
+        before.sink());
+  }
+  service.drain();
+  ASSERT_EQ(before.lines().size(), 3u);  // nothing admitted is ever dropped
+  for (const auto& line : before.lines()) {
+    EXPECT_TRUE(contains(line, R"("ok":true)")) << line;
+  }
+
+  service.submit_line(R"({"id":9,"op":"validate","benchmark":"wide-io"})", after.sink());
+  ASSERT_EQ(after.lines().size(), 1u);
+  EXPECT_TRUE(contains(after.lines()[0], R"("kind":"shutdown")")) << after.lines()[0];
+  EXPECT_EQ(service.stats().rejected_shutdown, 1u);
+}
+
+TEST(ServiceTest, PingBypassesBusyWorkers) {
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.enable_test_ops = true;
+  BatchService service(session, cfg);
+  service.start();
+
+  Collector busy, ping;
+  service.submit_line(
+      R"({"id":1,"op":"validate","benchmark":"wide-io","test_sleep_ms":300})", busy.sink());
+  service.submit_line(R"({"op":"ping","id":2})", ping.sink());
+  // The ping answered synchronously even though the only worker is held.
+  ASSERT_EQ(ping.lines().size(), 1u);
+  EXPECT_EQ(ping.lines()[0], R"({"id":2,"ok":true,"op":"ping"})");
+  service.drain();
+}
+
+// Byte-identity under concurrency: several clients issue the same request
+// mix against one service; every client must read back identical rendered
+// output for identical requests (the shared Session caches may not leak
+// cross-request state). Runs under TSan via the Concurrent* name.
+TEST(ServiceTest, ConcurrentClientsGetIdenticalResponses) {
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 64;
+  BatchService service(session, cfg);
+  service.start();
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 3;
+  std::vector<Collector> clients(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        service.submit_line(R"({"id":)" + std::to_string(c * kPerClient + i) +
+                                R"(,"op":"validate","benchmark":"wide-io"})",
+                            clients[static_cast<std::size_t>(c)].sink());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  service.drain();
+
+  // Every admitted request answered, all ok, all rendering identical bytes.
+  std::string reference;
+  for (auto& client : clients) {
+    const auto lines = client.lines();
+    ASSERT_EQ(lines.size(), static_cast<std::size_t>(kPerClient));
+    for (const auto& line : lines) {
+      EXPECT_TRUE(contains(line, R"("ok":true)")) << line;
+      const std::size_t pos = line.find(R"("output":")");
+      ASSERT_NE(pos, std::string::npos) << line;
+      const std::string output = line.substr(pos);
+      if (reference.empty()) reference = output;
+      EXPECT_EQ(output, reference);
+    }
+  }
+  EXPECT_EQ(service.stats().completed, static_cast<std::uint64_t>(kClients * kPerClient));
+}
+
+TEST(ServiceTest, SessionBlockFeedsSchemaV4Report) {
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  BatchService service(session, cfg);
+  service.start();
+
+  Collector client;
+  service.submit_line(R"({"id":1,"op":"validate","benchmark":"wide-io"})", client.sink());
+  service.submit_line("garbage", client.sink());
+  service.drain();
+
+  const obs::json::Value block = service.session_block();
+  ASSERT_TRUE(block.is_object());
+  EXPECT_DOUBLE_EQ(block.find("submitted")->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(block.find("completed")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(block.find("bad_requests")->as_number(), 1.0);
+  const obs::json::Value* requests = block.find("requests");
+  ASSERT_NE(requests, nullptr);
+  ASSERT_EQ(requests->items().size(), 1u);  // only evaluated requests get records
+  EXPECT_EQ(requests->items()[0].find("op")->as_string(), "validate");
+  EXPECT_TRUE(requests->items()[0].find("ok")->as_bool());
+
+  // End to end through the report writer: the session block lands under the
+  // top-level "session" key of a schema-v4 run report.
+  const std::string path = testing::TempDir() + "pdn3d_service_report.json";
+  obs::RunReportOptions opts;
+  opts.command = "serve";
+  opts.session = block;
+  ASSERT_TRUE(obs::write_run_report(path, opts).is_ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const obs::json::Value report = obs::json::parse(text);
+  EXPECT_DOUBLE_EQ(report.find("schema")->as_number(),
+                   static_cast<double>(obs::kReportSchemaVersion));
+  ASSERT_NE(report.find("session"), nullptr);
+  EXPECT_DOUBLE_EQ(report.find("session")->find("submitted")->as_number(), 2.0);
+}
+
+}  // namespace
+}  // namespace pdn3d::service

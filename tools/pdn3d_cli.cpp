@@ -7,38 +7,54 @@
 //   pdn3d cooptimize <benchmark> [--alpha A]
 //   pdn3d validate  <benchmark> [design flags]
 //   pdn3d export    <benchmark> --out DIR [--state S] [design flags]
+//   pdn3d serve     [--socket PATH] [--queue N] [--deadline MS] [--threads N]
 //
 // Benchmarks: off-chip | on-chip | wide-io | hmc
 // Design flags: --m2 PCT --m3 PCT --tc N --tl C|E|D --bd f2b|f2f
 //               --rdl none|bottom|all --wb --dedicated --no-align --scale X
 //
+// The pure-evaluation commands (analyze, lut, montecarlo, cooptimize,
+// validate) are thin shells over the pdn3d::api facade: they build an
+// EvaluateRequest and print EvaluateResult::output verbatim, so their output
+// is byte-identical to the same request served by `pdn3d serve`
+// (docs/API.md). The streaming/simulation commands keep their own CLI paths.
+//
+// Every option goes through a typed parser with a range check; a malformed
+// value (e.g. `--m2 abc`) is a usage error, exit code 1.
+//
 // Exit codes (see docs/ROBUSTNESS.md):
 //   0  success
-//   1  usage error (unknown command/benchmark/option)
+//   1  usage error (unknown command/benchmark/option, malformed option value)
 //   2  input error (unreadable/corrupt tech file or trace, bad state string)
 //   3  numerical failure (mesh validation errors, solver ladder exhausted)
 //   4  infeasible (simulate: the IR constraint admits no memory state)
 
 #include <algorithm>
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "api/api.hpp"
+#include "api/options.hpp"
 #include "core/platform.hpp"
 #include "core/status.hpp"
 #include "cost/cost_model.hpp"
 #include "exec/thread_pool.hpp"
-#include "irdrop/montecarlo.hpp"
 #include "memctrl/trace.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "service/server.hpp"
 #include "util/log.hpp"
-#include "pdn/mesh_validator.hpp"
 #include "tech/tech_file.hpp"
 #include "transient/decap.hpp"
 #include "transient/simulator.hpp"
@@ -63,6 +79,7 @@ constexpr int kExitInfeasible = 4;
   if (!error.empty()) std::cerr << "error: " << error << "\n\n";
   std::cerr <<
       "usage: pdn3d <command> <benchmark> [options]\n"
+      "       pdn3d serve [options]\n"
       "\n"
       "commands:\n"
       "  info        print the benchmark's configuration and baseline design\n"
@@ -76,6 +93,8 @@ constexpr int kExitInfeasible = 4;
       "  montecarlo  IR-drop distribution over random memory states\n"
       "  droop       transient (RC) droop of a memory-state step\n"
       "  export      write SPICE deck, IR maps, and floorplans to a directory\n"
+      "  serve       batch evaluation service: NDJSON requests on stdin (or a\n"
+      "              Unix socket), one JSON response per line (docs/SERVICE.md)\n"
       "\n"
       "exit codes: 0 ok | 1 usage | 2 input error | 3 numerical failure |\n"
       "            4 infeasible constraint (simulate)\n"
@@ -89,16 +108,20 @@ constexpr int kExitInfeasible = 4;
       "  --limit MV       IR constraint in mV        (simulate, default 24)\n"
       "  --alpha A        objective exponent in [0,1] (cooptimize, default 0.3)\n"
       "  --out DIR        output directory            (export)\n"
-      "  --tech FILE      load a technology file (any command)\n"
+      "  --tech FILE      load a technology file (any command; serve: with --bench)\n"
       "  --trace FILE     replay a request trace      (simulate)\n"
       "  --samples N      Monte Carlo samples          (montecarlo, default 200)\n"
       "  --die N          die to report (1-based)      (report, default top die)\n"
       "  --decap NF       per-tap decap in nF          (droop, default 2)\n"
       "  --top N          hot spans to print           (profile, default 15)\n"
       "  --threads N      worker threads for parallel sweeps (montecarlo, lut,\n"
-      "                   cooptimize, profile; also: PDN3D_THREADS env var;\n"
-      "                   default: hardware concurrency). Results are identical\n"
-      "                   at any thread count.\n"
+      "                   cooptimize, profile; serve: worker count; also the\n"
+      "                   PDN3D_THREADS env var; default: hardware concurrency).\n"
+      "                   Results are identical at any thread count.\n"
+      "  --socket PATH    serve: also listen on a Unix-domain socket\n"
+      "  --queue N        serve: admission queue capacity (default 64)\n"
+      "  --deadline MS    serve: default per-request deadline (0 = none)\n"
+      "  --bench B        serve: benchmark the --tech override applies to\n"
       "  --report FILE    write a machine-readable JSON run report (any command;\n"
       "                   see docs/OBSERVABILITY.md for the schema)\n"
       "  --verbose        log at debug level (also: PDN3D_LOG_LEVEL env var)\n"
@@ -106,14 +129,6 @@ constexpr int kExitInfeasible = 4;
       "  --m2 PCT --m3 PCT --tc N --tl C|E|D --bd f2b|f2f\n"
       "  --rdl none|bottom|all --wb --dedicated --no-align --scale X\n";
   std::exit(kExitUsage);
-}
-
-core::BenchmarkKind parse_benchmark(const std::string& name) {
-  if (name == "off-chip") return core::BenchmarkKind::kStackedDdr3OffChip;
-  if (name == "on-chip") return core::BenchmarkKind::kStackedDdr3OnChip;
-  if (name == "wide-io") return core::BenchmarkKind::kWideIo;
-  if (name == "hmc") return core::BenchmarkKind::kHmc;
-  usage("unknown benchmark '" + name + "'");
 }
 
 struct Args {
@@ -134,33 +149,39 @@ struct Args {
     if (it == options.end()) return std::nullopt;
     return it->second;
   }
-
-  [[nodiscard]] double get_double(const std::string& key, double fallback) const {
-    const auto v = get(key);
-    return v ? std::atof(v->c_str()) : fallback;
-  }
 };
 
 Args parse_args(int argc, char** argv) {
-  if (argc < 3) usage();
+  if (argc < 2) usage();
   Args a;
   a.command = argv[1];
-  a.benchmark = argv[2];
-  const std::vector<std::string> value_opts = {"--state", "--activity", "--policy", "--limit",
-                                               "--alpha", "--out",      "--m2",     "--m3",
-                                               "--tc",    "--tl",       "--bd",     "--rdl",
-                                               "--scale", "--tech",     "--trace",  "--samples",
-                                               "--decap", "--die",      "--report", "--top",
-                                               "--threads"};
-  for (int i = 3; i < argc; ++i) {
+  int first_opt = 3;
+  if (a.command == "serve") {
+    first_opt = 2;  // serve takes options only, no benchmark positional
+  } else if (argc < 3) {
+    usage();
+  } else {
+    a.benchmark = argv[2];
+  }
+  const std::vector<std::string> value_opts = {
+      "--state", "--activity", "--policy", "--limit",  "--alpha",   "--out",
+      "--m2",    "--m3",       "--tc",     "--tl",     "--bd",      "--rdl",
+      "--scale", "--tech",     "--trace",  "--samples", "--decap",  "--die",
+      "--report", "--top",     "--threads", "--socket", "--queue",  "--deadline",
+      "--bench"};
+  const std::vector<std::string> known_flags = {"--wb",      "--dedicated", "--no-align",
+                                               "--verbose", "--quiet",     "--test-ops"};
+  for (int i = first_opt; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool takes_value =
         std::find(value_opts.begin(), value_opts.end(), arg) != value_opts.end();
     if (takes_value) {
       if (i + 1 >= argc) usage("missing value for " + arg);
       a.options[arg] = argv[++i];
-    } else if (arg.rfind("--", 0) == 0) {
+    } else if (std::find(known_flags.begin(), known_flags.end(), arg) != known_flags.end()) {
       a.flags.push_back(arg);
+    } else if (arg.rfind("--", 0) == 0) {
+      usage("unknown option '" + arg + "'");
     } else {
       usage("unexpected argument '" + arg + "'");
     }
@@ -168,36 +189,40 @@ Args parse_args(int argc, char** argv) {
   return a;
 }
 
-pdn::PdnConfig apply_design_flags(pdn::PdnConfig cfg, const Args& a) {
-  if (const auto v = a.get("--m2")) cfg.m2_usage = std::atof(v->c_str()) / 100.0;
-  if (const auto v = a.get("--m3")) cfg.m3_usage = std::atof(v->c_str()) / 100.0;
-  if (const auto v = a.get("--tc")) cfg.tsv_count = std::atoi(v->c_str());
-  if (const auto v = a.get("--tl")) {
-    const std::string tl = util::to_lower(*v);
-    if (tl == "c") cfg.tsv_location = pdn::TsvLocation::kCenter;
-    else if (tl == "e") cfg.tsv_location = pdn::TsvLocation::kEdge;
-    else if (tl == "d") cfg.tsv_location = pdn::TsvLocation::kDistributed;
-    else usage("bad --tl");
-    if (cfg.rdl == pdn::RdlMode::kNone) cfg.logic_tsv_location = cfg.tsv_location;
+// Typed option accessors: every value goes through the api parsers; a
+// malformed or out-of-range value is a usage error (exit 1), never a silent 0.
+double get_double(const Args& a, const std::string& key, double fallback, double lo, double hi) {
+  const auto v = a.get(key);
+  if (!v) return fallback;
+  double out = fallback;
+  const core::Status st = api::parse_double(key, *v, lo, hi, &out);
+  if (!st.is_ok()) usage(st.message());
+  return out;
+}
+
+long long get_int(const Args& a, const std::string& key, long long fallback, long long lo,
+                  long long hi) {
+  const auto v = a.get(key);
+  if (!v) return fallback;
+  long long out = fallback;
+  const core::Status st = api::parse_int(key, *v, lo, hi, &out);
+  if (!st.is_ok()) usage(st.message());
+  return out;
+}
+
+// The design knobs, parsed and range-checked into the facade's typed options.
+api::DesignOptions design_options(const Args& a) {
+  api::DesignOptions d;
+  for (const char* key : {"m2", "m3", "tc", "tl", "bd", "rdl", "scale"}) {
+    if (const auto v = a.get(std::string("--") + key)) {
+      const core::Status st = d.set(key, std::string_view(*v));
+      if (!st.is_ok()) usage(st.message());
+    }
   }
-  if (const auto v = a.get("--bd")) {
-    const std::string bd = util::to_lower(*v);
-    if (bd == "f2b") cfg.bonding = pdn::BondingStyle::kF2B;
-    else if (bd == "f2f") cfg.bonding = pdn::BondingStyle::kF2F;
-    else usage("bad --bd");
-  }
-  if (const auto v = a.get("--rdl")) {
-    const std::string r = util::to_lower(*v);
-    if (r == "none") cfg.rdl = pdn::RdlMode::kNone;
-    else if (r == "bottom") cfg.rdl = pdn::RdlMode::kBottomOnly;
-    else if (r == "all") cfg.rdl = pdn::RdlMode::kAllDies;
-    else usage("bad --rdl");
-  }
-  if (a.has_flag("--wb")) cfg.wire_bonding = true;
-  if (a.has_flag("--dedicated")) cfg.dedicated_tsvs = true;
-  if (a.has_flag("--no-align")) cfg.align_tsvs_to_c4 = false;
-  if (const auto v = a.get("--scale")) cfg.metal_usage_scale = std::atof(v->c_str());
-  return cfg;
+  if (a.has_flag("--wb")) (void)d.set_flag("wb");
+  if (a.has_flag("--dedicated")) (void)d.set_flag("dedicated");
+  if (a.has_flag("--no-align")) (void)d.set_flag("no-align");
+  return d;
 }
 
 int cmd_info(core::Platform& p) {
@@ -218,73 +243,10 @@ int cmd_info(core::Platform& p) {
   return 0;
 }
 
-int cmd_analyze(core::Platform& p, const Args& a) {
-  const auto cfg = apply_design_flags(p.benchmark().baseline, a);
-  const std::string state = a.get("--state").value_or(p.benchmark().default_state);
-  const double act = a.get_double("--activity", -1.0);
-  // One-shot command: build a fresh analyzer on the paper's IC-PCG R-Mesh
-  // path rather than Platform's many-state cache (whose factor-once banded
-  // solver only pays off across LUT/controller sweeps).
-  const auto& bench = p.benchmark();
-  const auto built = pdn::build_stack(bench.stack, cfg);
-  irdrop::PowerBinding power;
-  power.dram = bench.dram_power;
-  power.logic = bench.logic_power;
-  power.dram_scale = bench.power_scale;
-  const irdrop::IrAnalyzer analyzer(built.model, bench.stack.dram_fp, bench.stack.logic_fp,
-                                    power);
-  const auto r = analyzer.analyze(p.parse_state(state, act));
-  std::cout << "design : " << cfg.summary() << "\n";
-  std::cout << "state  : " << state << " @ activity "
-            << util::fmt_fixed(p.parse_state(state, act).io_activity, 2) << "\n";
-  std::cout << "cost   : " << util::fmt_fixed(cost::total_cost(cfg), 3) << "\n";
-  util::Table t({"die", "max IR (mV)", "avg IR (mV)"});
-  for (std::size_t d = 0; d < r.dram_dies.size(); ++d) {
-    t.add_row({"DRAM" + std::to_string(d + 1), util::fmt_fixed(r.dram_dies[d].max_mv, 2),
-               util::fmt_fixed(r.dram_dies[d].avg_mv, 2)});
-  }
-  std::cout << t.render();
-  std::cout << "max DRAM IR drop : " << util::fmt_fixed(r.dram_max_mv, 2) << " mV\n";
-  if (r.logic_max_mv > 0.0) {
-    std::cout << "logic self-noise : " << util::fmt_fixed(r.logic_max_mv, 2) << " mV\n";
-  }
-  std::cout << "stack power      : " << util::fmt_fixed(r.total_power_mw, 1) << " mW\n";
-  return 0;
-}
-
-int cmd_lut(core::Platform& p, const Args& a) {
-  const auto cfg = apply_design_flags(p.benchmark().baseline, a);
-  const auto& lut = p.lut(cfg);
-  std::cout << "IR LUT for " << cfg.summary() << " (" << lut.size() << " states)\n";
-  util::Table t({"state", "max IR (mV)"});
-  std::vector<int> counts(static_cast<std::size_t>(lut.die_count()), 0);
-  const int radix = lut.max_per_die() + 1;
-  const std::size_t total = lut.size();
-  for (std::size_t key = 0; key < total; ++key) {
-    std::size_t k = key;
-    std::string name;
-    for (int d = 0; d < lut.die_count(); ++d) {
-      counts[static_cast<std::size_t>(d)] = static_cast<int>(k % radix);
-      k /= static_cast<std::size_t>(radix);
-      if (d > 0) name += '-';
-      name += std::to_string(counts[static_cast<std::size_t>(d)]);
-    }
-    t.add_row({name, util::fmt_fixed(lut.max_ir_mv(counts), 2)});
-  }
-  std::cout << t.render();
-  const auto worst = lut.worst_case_state();
-  std::cout << "worst state: ";
-  for (std::size_t i = 0; i < worst.size(); ++i) {
-    std::cout << (i ? "-" : "") << worst[i];
-  }
-  std::cout << " = " << util::fmt_fixed(lut.worst_case_mv(), 2) << " mV\n";
-  return 0;
-}
-
 int cmd_simulate(core::Platform& p, const Args& a) {
-  const auto cfg = apply_design_flags(p.benchmark().baseline, a);
+  const auto cfg = design_options(a).apply(p.benchmark().baseline);
   const std::string policy = a.get("--policy").value_or("distr");
-  const double limit = a.get_double("--limit", 24.0);
+  const double limit = get_double(a, "--limit", 24.0, 0.001, 1e6);
   memctrl::PolicyConfig pc;
   if (policy == "standard") {
     pc = memctrl::standard_policy();
@@ -293,7 +255,7 @@ int cmd_simulate(core::Platform& p, const Args& a) {
   } else if (policy == "distr") {
     pc = memctrl::ir_aware_policy(limit, memctrl::SchedulingKind::kDistR);
   } else {
-    usage("bad --policy");
+    usage("--policy: '" + policy + "' is not a policy (want standard | fcfs | distr)");
   }
   memctrl::SimResult r;
   if (const auto trace_path = a.get("--trace")) {
@@ -330,92 +292,15 @@ int cmd_simulate(core::Platform& p, const Args& a) {
   return 0;
 }
 
-int cmd_cooptimize(core::Platform& p, const Args& a) {
-  const double alpha = a.get_double("--alpha", 0.3);
-  auto opt = p.make_cooptimizer();
-  std::cout << "sampling the design space with the R-Mesh...\n";
-  const auto best = opt.optimize(alpha);
-  std::cout << "alpha " << alpha << " optimum:\n";
-  std::cout << "  design  : " << best.config.summary() << "\n";
-  std::cout << "  model IR: " << util::fmt_fixed(best.predicted_ir_mv, 2) << " mV\n";
-  std::cout << "  R-Mesh  : " << util::fmt_fixed(best.measured_ir_mv, 2) << " mV\n";
-  std::cout << "  cost    : " << util::fmt_fixed(best.cost, 3) << "\n";
-  std::cout << "  fit     : worst RMSE " << util::fmt_fixed(opt.worst_rmse(), 3) << " mV, R^2 "
-            << util::fmt_fixed(opt.worst_r_squared(), 4) << "\n";
-  for (const auto& s : opt.skipped_points()) {
-    std::cout << "  skipped : " << s.config.summary() << " -- " << s.reason << "\n";
-  }
-  return 0;
-}
-
-int cmd_validate(core::Platform& p, const Args& a) {
-  const auto cfg = apply_design_flags(p.benchmark().baseline, a);
-  const auto& bench = p.benchmark();
-  std::cout << "design : " << cfg.summary() << "\n";
-
-  pdn::BuiltStack built;
-  try {
-    built = pdn::build_stack(bench.stack, cfg);
-  } catch (const std::exception& e) {
-    std::cerr << "error: stack build failed: " << e.what() << "\n";
-    return kExitInputError;
-  }
-  std::cout << "mesh   : " << built.model.node_count() << " nodes, "
-            << built.model.resistors().size() << " resistors, " << built.model.taps().size()
-            << " supply taps\n";
-
-  core::ValidationReport report = pdn::validate_stack_model(built.model);
-  if (report.ok()) {
-    // Mesh is sound; check the default state's injection and run a verified
-    // probe solve through the escalation ladder.
-    irdrop::PowerBinding power;
-    power.dram = bench.dram_power;
-    power.logic = bench.logic_power;
-    power.dram_scale = bench.power_scale;
-    const irdrop::IrAnalyzer analyzer(built.model, bench.stack.dram_fp, bench.stack.logic_fp,
-                                      power);
-    const auto state = p.parse_state(bench.default_state, bench.default_io_activity);
-    const auto sinks = analyzer.injection(state);
-    report.merge(pdn::validate_injection(built.model, sinks));
-    if (report.ok()) {
-      const auto outcome = analyzer.solver().solve(irdrop::SolveRequest{.sinks = sinks});
-      if (outcome.ok()) {
-        std::cout << "solve  : " << irdrop::to_string(outcome.kind_used) << ", "
-                  << outcome.iterations << " iterations, relative residual "
-                  << outcome.rel_residual;
-        if (outcome.escalations > 0) {
-          std::cout << " (" << outcome.escalations << " rung escalation(s))";
-        }
-        std::cout << "\n";
-      } else {
-        std::cerr << "error: probe solve failed: " << outcome.status.to_string() << "\n";
-        return kExitNumerical;
-      }
-    }
-  }
-
-  for (const auto& issue : report.issues()) {
-    std::cerr << core::to_string(issue.severity) << " [" << issue.check << "] " << issue.message
-              << "\n";
-  }
-  if (!report.ok()) {
-    std::cerr << "validation FAILED: " << report.error_count() << " error(s), "
-              << report.warning_count() << " warning(s)\n";
-    return kExitNumerical;
-  }
-  std::cout << "validation passed";
-  if (report.warning_count() > 0) std::cout << " (" << report.warning_count() << " warning(s))";
-  std::cout << "\n";
-  return kExitOk;
-}
-
 int cmd_report(core::Platform& p, const Args& a) {
-  const auto cfg = apply_design_flags(p.benchmark().baseline, a);
+  const auto cfg = design_options(a).apply(p.benchmark().baseline);
   const auto& bench = p.benchmark();
   const std::string state_text = a.get("--state").value_or(bench.default_state);
-  const auto state = p.parse_state(state_text, a.get_double("--activity", -1.0));
+  const double activity = get_double(a, "--activity", -1.0, -1.0, 1.0);
+  const auto state = p.parse_state(state_text, activity);
   const int die =
-      static_cast<int>(a.get_double("--die", bench.stack.num_dram_dies)) - 1;  // 1-based
+      static_cast<int>(get_int(a, "--die", bench.stack.num_dram_dies, 1,
+                               bench.stack.num_dram_dies)) - 1;  // 1-based
 
   const auto built = pdn::build_stack(bench.stack, cfg);
   irdrop::PowerBinding power;
@@ -437,38 +322,8 @@ int cmd_report(core::Platform& p, const Args& a) {
   return 0;
 }
 
-int cmd_montecarlo(core::Platform& p, const Args& a) {
-  const auto cfg = apply_design_flags(p.benchmark().baseline, a);
-  const auto& bench = p.benchmark();
-  const auto built = pdn::build_stack(bench.stack, cfg);
-  irdrop::PowerBinding power;
-  power.dram = bench.dram_power;
-  power.logic = bench.logic_power;
-  power.dram_scale = bench.power_scale;
-  irdrop::MonteCarloConfig mc;
-  mc.samples = static_cast<int>(a.get_double("--samples", 200));
-  // The sweep re-solves one matrix --samples times: declare the access
-  // pattern so the analyzer gets the cached sparse-direct factor.
-  const irdrop::IrAnalyzer analyzer(
-      built.model, bench.stack.dram_fp, bench.stack.logic_fp, power,
-      irdrop::select_solver_kind(static_cast<std::size_t>(std::max(mc.samples, 0))));
-  const auto r = irdrop::sample_ir_distribution(analyzer, bench.stack.dram_spec, mc);
-  const double worst = p.measure_ir_mv(cfg);
-  std::cout << "design : " << cfg.summary() << "\n";
-  std::cout << "samples: " << r.samples << "\n";
-  util::Table t({"statistic", "IR drop (mV)"});
-  t.add_row({"mean", util::fmt_fixed(r.mean_mv, 2)});
-  t.add_row({"p50", util::fmt_fixed(r.p50_mv, 2)});
-  t.add_row({"p95", util::fmt_fixed(r.p95_mv, 2)});
-  t.add_row({"p99", util::fmt_fixed(r.p99_mv, 2)});
-  t.add_row({"sampled max", util::fmt_fixed(r.max_mv, 2)});
-  t.add_row({"design worst case", util::fmt_fixed(worst, 2)});
-  std::cout << t.render();
-  return 0;
-}
-
 int cmd_droop(core::Platform& p, const Args& a) {
-  const auto cfg = apply_design_flags(p.benchmark().baseline, a);
+  const auto cfg = design_options(a).apply(p.benchmark().baseline);
   const auto& bench = p.benchmark();
   const auto built = pdn::build_stack(bench.stack, cfg);
   irdrop::PowerBinding power;
@@ -478,11 +333,11 @@ int cmd_droop(core::Platform& p, const Args& a) {
   const irdrop::IrAnalyzer analyzer(built.model, bench.stack.dram_fp, bench.stack.logic_fp,
                                     power);
   const std::string state_text = a.get("--state").value_or(bench.default_state);
-  const auto state = p.parse_state(state_text, a.get_double("--activity", -1.0));
+  const auto state = p.parse_state(state_text, get_double(a, "--activity", -1.0, -1.0, 1.0));
   const auto sinks = analyzer.injection(state);
 
   transient::DecapConfig decap;
-  decap.tap_decap_nf = a.get_double("--decap", 2.0);
+  decap.tap_decap_nf = get_double(a, "--decap", 2.0, 0.0, 1e6);
   const transient::TransientSimulator sim(
       built.model, transient::assign_node_capacitance(built.model, decap), 1e-9);
   const auto r = sim.step_response(sinks, 400e-9);
@@ -503,8 +358,8 @@ int cmd_profile(core::Platform& p, const Args& a) {
   // Exercise the full pipeline on the baseline design, then print where the
   // wall time went. Each stage gets a top-level span so the table groups the
   // library's internal spans under a readable root.
-  const auto cfg = apply_design_flags(p.benchmark().baseline, a);
-  const std::size_t top_n = static_cast<std::size_t>(a.get_double("--top", 15.0));
+  const auto cfg = design_options(a).apply(p.benchmark().baseline);
+  const std::size_t top_n = static_cast<std::size_t>(get_int(a, "--top", 15, 1, 100000));
 
   std::cout << "profiling " << p.benchmark().name << " (analyze, lut, simulate, cooptimize)\n";
   {
@@ -541,9 +396,9 @@ int cmd_export(core::Platform& p, const Args& a) {
   const std::filesystem::path out = *out_opt;
   std::filesystem::create_directories(out);
 
-  const auto cfg = apply_design_flags(p.benchmark().baseline, a);
+  const auto cfg = design_options(a).apply(p.benchmark().baseline);
   const std::string state_text = a.get("--state").value_or(p.benchmark().default_state);
-  const auto state = p.parse_state(state_text, a.get_double("--activity", -1.0));
+  const auto state = p.parse_state(state_text, get_double(a, "--activity", -1.0, -1.0, 1.0));
 
   const auto& bench = p.benchmark();
   const auto built = pdn::build_stack(bench.stack, cfg);
@@ -581,16 +436,135 @@ int cmd_export(core::Platform& p, const Args& a) {
   return 0;
 }
 
+// The pure-evaluation commands go through the facade: one EvaluateRequest in,
+// the rendered output printed verbatim. `pdn3d serve` runs the exact same
+// path, which is what makes served responses byte-identical to the CLI.
+bool facade_operation(const std::string& command, api::Operation* out) {
+  if (command == "analyze") *out = api::Operation::kEvaluate;
+  else if (command == "lut") *out = api::Operation::kLut;
+  else if (command == "montecarlo") *out = api::Operation::kMonteCarlo;
+  else if (command == "cooptimize") *out = api::Operation::kCoOptimize;
+  else if (command == "validate") *out = api::Operation::kValidate;
+  else return false;
+  return true;
+}
+
+int run_facade(const Args& a, api::Operation op, core::BenchmarkKind kind,
+               core::Benchmark benchmark) {
+  api::EvaluateRequest req;
+  req.benchmark = kind;
+  req.op = op;
+  req.design = design_options(a);
+  if (const auto v = a.get("--state")) req.state = *v;
+  req.activity = get_double(a, "--activity", -1.0, -1.0, 1.0);
+  req.samples = get_int(a, "--samples", 200, 1, 10000000);
+  req.alpha = get_double(a, "--alpha", 0.3, 0.0, 1.0);
+  const core::Status st = req.validate();
+  if (!st.is_ok()) usage(st.message());
+
+  api::Session session;
+  session.install(kind, std::move(benchmark));
+  const api::EvaluateResult result = session.evaluate(req);
+  std::cout << result.output;
+  return result.exit_code;
+}
+
+// ---------------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------------
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop(int) { g_stop = 1; }
+
+int cmd_serve(const Args& a, obs::RunReportOptions* report_opts) {
+  service::ServiceConfig cfg;
+  cfg.queue_capacity = static_cast<std::size_t>(get_int(a, "--queue", 64, 1, 1000000));
+  cfg.default_deadline_ms = get_double(a, "--deadline", 0.0, 0.0, 1e9);
+  cfg.enable_test_ops = a.has_flag("--test-ops");
+
+  api::Session session;
+  if (const auto tech_path = a.get("--tech")) {
+    const auto bench_tok = a.get("--bench");
+    if (!bench_tok) usage("serve: --tech requires --bench BENCHMARK");
+    core::BenchmarkKind kind{};
+    const core::Status st = api::parse_benchmark(*bench_tok, &kind);
+    if (!st.is_ok()) usage(st.message());
+    std::ifstream tf(*tech_path);
+    if (!tf) {
+      std::cerr << "error: cannot open technology file '" << *tech_path << "'\n";
+      return kExitInputError;
+    }
+    core::Benchmark bench = core::make_benchmark(kind);
+    try {
+      bench.stack.tech = tech::read_technology(tf);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return kExitInputError;
+    }
+    session.install(kind, std::move(bench));
+  }
+
+  // Declared before the service so response sinks (which reference it) stay
+  // valid for as long as any worker can still call them.
+  std::mutex stdout_mutex;
+
+  service::BatchService service(session, cfg);
+  service.start();
+
+  // Graceful drain on SIGTERM/SIGINT. No SA_RESTART: a blocked stdin read
+  // returns with EINTR so the loop below observes g_stop promptly.
+  struct sigaction sa = {};
+  sa.sa_handler = handle_stop;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  std::unique_ptr<service::SocketServer> socket_server;
+  if (const auto path = a.get("--socket")) {
+    socket_server = std::make_unique<service::SocketServer>(service, *path);
+    try {
+      socket_server->start();
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      service.drain();
+      return kExitInputError;
+    }
+    std::cerr << "pdn3d serve: listening on " << *path << "\n";
+  }
+
+  // stdin NDJSON loop; stdout carries only response lines. With a socket the
+  // server outlives stdin EOF and stops on a signal instead.
+  std::string line;
+  while (g_stop == 0 && std::getline(std::cin, line)) {
+    if (util::trim(line).empty()) continue;
+    service.submit_line(line, [&stdout_mutex](const std::string& response) {
+      const std::lock_guard<std::mutex> lock(stdout_mutex);
+      std::cout << response << "\n" << std::flush;
+    });
+  }
+  if (socket_server) {
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    socket_server->stop();
+  }
+  service.drain();
+
+  const auto s = service.stats();
+  std::cerr << "pdn3d serve: drained; " << s.completed << "/" << s.submitted
+            << " evaluated (" << s.rejected_full << " queue_full, " << s.deadline_expired
+            << " deadline_exceeded, " << s.cancelled << " cancelled, " << s.bad_requests
+            << " bad)\n";
+  report_opts->session = service.session_block();
+  return kExitOk;
+}
+
 int dispatch(core::Platform& platform, const Args& args) {
   if (args.command == "info") return cmd_info(platform);
-  if (args.command == "analyze") return cmd_analyze(platform, args);
-  if (args.command == "lut") return cmd_lut(platform, args);
   if (args.command == "simulate") return cmd_simulate(platform, args);
-  if (args.command == "cooptimize") return cmd_cooptimize(platform, args);
-  if (args.command == "validate") return cmd_validate(platform, args);
   if (args.command == "profile") return cmd_profile(platform, args);
   if (args.command == "report") return cmd_report(platform, args);
-  if (args.command == "montecarlo") return cmd_montecarlo(platform, args);
   if (args.command == "droop") return cmd_droop(platform, args);
   if (args.command == "export") return cmd_export(platform, args);
   usage("unknown command '" + args.command + "'");
@@ -602,54 +576,70 @@ int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   if (args.has_flag("--verbose")) util::set_log_level(util::LogLevel::kDebug);
   if (args.has_flag("--quiet")) util::set_log_level(util::LogLevel::kError);
-  if (const auto v = args.get("--threads")) {
-    const int n = std::atoi(v->c_str());
-    if (n < 1) usage("--threads requires a positive integer");
-    // Overrides PDN3D_THREADS; every sweep below sizes its pool from this.
+  if (args.get("--threads")) {
+    const long long n = get_int(args, "--threads", 0, 1, 4096);
+    // Overrides PDN3D_THREADS; every sweep (and the serve worker pool) sizes
+    // itself from this.
     exec::set_default_thread_count(static_cast<std::size_t>(n));
   }
-  core::Benchmark benchmark = core::make_benchmark(parse_benchmark(args.benchmark));
 
   int rc = kExitOk;
-  if (const auto tech_path = args.get("--tech")) {
-    std::ifstream tf(*tech_path);
-    if (!tf) {
-      std::cerr << "error: cannot open technology file '" << *tech_path << "'\n";
-      rc = kExitInputError;
-    } else {
-      try {
-        benchmark.stack.tech = tech::read_technology(tf);
-      } catch (const std::exception& e) {
-        std::cerr << "error: " << e.what() << "\n";
+  obs::RunReportOptions report_opts;  // .session stays null for one-shot runs
+
+  if (args.command == "serve") {
+    rc = cmd_serve(args, &report_opts);
+  } else {
+    core::BenchmarkKind kind{};
+    {
+      const core::Status st = api::parse_benchmark(args.benchmark, &kind);
+      if (!st.is_ok()) usage(st.message());
+    }
+    core::Benchmark benchmark = core::make_benchmark(kind);
+
+    if (const auto tech_path = args.get("--tech")) {
+      std::ifstream tf(*tech_path);
+      if (!tf) {
+        std::cerr << "error: cannot open technology file '" << *tech_path << "'\n";
         rc = kExitInputError;
+      } else {
+        try {
+          benchmark.stack.tech = tech::read_technology(tf);
+        } catch (const std::exception& e) {
+          std::cerr << "error: " << e.what() << "\n";
+          rc = kExitInputError;
+        }
       }
     }
-  }
 
-  if (rc == kExitOk) {
-    core::Platform platform(std::move(benchmark));
-    try {
-      rc = dispatch(platform, args);
-    } catch (const core::ValidationError& e) {
-      std::cerr << "error: mesh validation failed:\n" << e.report().to_string() << "\n";
-      rc = kExitNumerical;
-    } catch (const core::NumericalError& e) {
-      std::cerr << "error: " << e.status().to_string() << "\n";
-      rc = kExitNumerical;
-    } catch (const std::exception& e) {
-      std::cerr << "error: " << e.what() << "\n";
-      rc = kExitInputError;
+    if (rc == kExitOk) {
+      api::Operation op{};
+      if (facade_operation(args.command, &op)) {
+        rc = run_facade(args, op, kind, std::move(benchmark));
+      } else {
+        core::Platform platform(std::move(benchmark));
+        try {
+          rc = dispatch(platform, args);
+        } catch (const core::ValidationError& e) {
+          std::cerr << "error: mesh validation failed:\n" << e.report().to_string() << "\n";
+          rc = kExitNumerical;
+        } catch (const core::NumericalError& e) {
+          std::cerr << "error: " << e.status().to_string() << "\n";
+          rc = kExitNumerical;
+        } catch (const std::exception& e) {
+          std::cerr << "error: " << e.what() << "\n";
+          rc = kExitInputError;
+        }
+      }
     }
   }
 
   // The report is written even after a failed command: a run that escalated
   // or exhausted the ladder is exactly the run worth dissecting.
   if (const auto report_path = args.get("--report")) {
-    obs::RunReportOptions opts;
-    opts.command = args.command;
-    opts.benchmark = args.benchmark;
-    opts.argv.assign(argv, argv + argc);
-    const core::Status st = obs::write_run_report(*report_path, opts);
+    report_opts.command = args.command;
+    report_opts.benchmark = args.benchmark;
+    report_opts.argv.assign(argv, argv + argc);
+    const core::Status st = obs::write_run_report(*report_path, report_opts);
     if (!st.is_ok()) {
       std::cerr << "error: " << st.to_string() << "\n";
       if (rc == kExitOk) rc = kExitInputError;
