@@ -29,6 +29,11 @@
 
 namespace pdn3d::exec {
 
+/// Outcome of BoundedQueue::try_push, decided atomically under the queue
+/// lock. Callers need the full/closed distinction (backpressure vs. drain)
+/// and re-querying closed() after a failed push would race with close().
+enum class PushResult { kOk, kFull, kClosed };
+
 template <typename T>
 class BoundedQueue {
  public:
@@ -38,16 +43,17 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Admit @p item. Returns false -- without blocking -- when the queue is
-  /// full or closed; the item is untouched (moved only on success).
-  [[nodiscard]] bool try_push(T&& item) {
+  /// Admit @p item. Never blocks: reports kFull or kClosed instead, with the
+  /// item untouched (moved only on kOk).
+  [[nodiscard]] PushResult try_push(T&& item) {
     {
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (closed_ || items_.size() >= capacity_) return false;
+      if (closed_) return PushResult::kClosed;
+      if (items_.size() >= capacity_) return PushResult::kFull;
       items_.push_back(std::move(item));
     }
     ready_.notify_one();
-    return true;
+    return PushResult::kOk;
   }
 
   /// Block until an item is available (returned) or the queue is closed and

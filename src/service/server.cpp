@@ -152,17 +152,21 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
                                    std::chrono::duration<double, std::milli>(deadline_ms))
           : Clock::time_point::max();
 
-  if (!queue_->try_push(std::move(pending))) {
-    // try_push leaves the item untouched on failure, so pending (and its
-    // sink) are still ours. Distinguish drain from backpressure for the
-    // client's retry policy.
-    if (queue_->closed()) {
+  // try_push leaves the item untouched on failure, so pending (and its sink)
+  // are still ours. The result carries the drain-vs-backpressure distinction
+  // (decided under the queue lock) for the client's retry policy.
+  switch (queue_->try_push(std::move(pending))) {
+    case exec::PushResult::kOk:
+      break;
+    case exec::PushResult::kClosed: {
       {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.rejected_shutdown;
       }
       pending.sink(error_response(pending.req.id, ErrorKind::kShutdown, "service is draining"));
-    } else {
+      break;
+    }
+    case exec::PushResult::kFull: {
       m_full.add(1);
       {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -171,6 +175,7 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
       pending.sink(error_response(pending.req.id, ErrorKind::kQueueFull,
                                   "admission queue full (capacity " +
                                       std::to_string(queue_->capacity()) + "); retry later"));
+      break;
     }
   }
 }
@@ -329,6 +334,31 @@ void SocketServer::start() {
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
+/// Shared connection state: the reader thread, every in-flight response
+/// sink, and stop() each hold a shared_ptr, so the fd stays valid (not
+/// closed, hence never recycled) until the last of them lets go. stop() may
+/// therefore shutdown() the fd of a reader that already exited without
+/// racing a close().
+struct SocketServer::ConnState {
+  int fd = -1;
+  std::mutex write_mutex;        ///< serializes response writes
+  std::atomic<bool> reader_done{false};
+  ~ConnState() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+void SocketServer::reap_finished_locked() {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (it->state->reader_done.load(std::memory_order_acquire)) {
+      it->reader.join();  // done flag is the reader's last store; join is brief
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void SocketServer::accept_loop() {
   while (!stopping_.load(std::memory_order_acquire)) {
     pollfd pfd{};
@@ -338,31 +368,32 @@ void SocketServer::accept_loop() {
     if (rc <= 0) continue;  // timeout (re-check stop flag) or EINTR
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    auto state = std::make_shared<ConnState>();
+    state->fd = fd;
     const std::lock_guard<std::mutex> lock(conn_mutex_);
-    connections_.emplace_back([this, fd] { connection_loop(fd); });
+    reap_finished_locked();  // bound the list under many short-lived clients
+    connections_.push_back(
+        {std::thread([this, state] { connection_loop(state); }), state});
   }
 }
 
-void SocketServer::connection_loop(int fd) {
+void SocketServer::connection_loop(std::shared_ptr<ConnState> state) {
   static auto& m_conns = obs::counter("service.connections");
   m_conns.add(1);
-  // Responses complete on worker threads while the reader is mid-line; the
-  // shared_ptr keeps the write mutex alive until the last in-flight response
-  // for this connection lands, even after the reader closed the fd.
-  struct Writer {
-    int fd;
-    std::mutex mutex;
-    ~Writer() { ::close(fd); }
-  };
-  auto writer = std::make_shared<Writer>();
-  writer->fd = fd;
-  ResponseSink sink = [writer](const std::string& line) {
-    const std::lock_guard<std::mutex> lock(writer->mutex);
+  // Responses complete on worker threads while the reader is mid-line (or
+  // after it exited); the shared state keeps the fd and write mutex alive
+  // until the last in-flight response for this connection lands.
+  ResponseSink sink = [state](const std::string& line) {
+    const std::lock_guard<std::mutex> lock(state->write_mutex);
     std::string out = line;
     out.push_back('\n');
     std::size_t off = 0;
     while (off < out.size()) {
-      const ssize_t n = ::write(writer->fd, out.data() + off, out.size() - off);
+      // MSG_NOSIGNAL: a vanished client must yield EPIPE here, not a
+      // process-killing SIGPIPE.
+      const ssize_t n =
+          ::send(state->fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) return;  // client went away; drop the response
       off += static_cast<std::size_t>(n);
     }
@@ -371,8 +402,9 @@ void SocketServer::connection_loop(int fd) {
   std::string buffer;
   char chunk[4096];
   for (;;) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n <= 0) break;  // EOF or error: client is done
+    const ssize_t n = ::read(state->fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF (or stop()'s shutdown) or error: client is done
     buffer.append(chunk, static_cast<std::size_t>(n));
     std::size_t pos = 0;
     for (std::size_t nl = buffer.find('\n', pos); nl != std::string::npos;
@@ -384,6 +416,7 @@ void SocketServer::connection_loop(int fd) {
     buffer.erase(0, pos);
   }
   if (!buffer.empty()) service_.submit_line(buffer, sink);
+  state->reader_done.store(true, std::memory_order_release);
 }
 
 void SocketServer::stop() {
@@ -393,15 +426,17 @@ void SocketServer::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  // Readers exit on client EOF; nudge lingering ones by shutting the sockets
-  // down for reading would require tracking fds -- instead connections are
-  // short-lived by protocol (clients close when done), so join them all.
-  std::vector<std::thread> conns;
+  std::vector<Connection> conns;
   {
     const std::lock_guard<std::mutex> lock(conn_mutex_);
     conns.swap(connections_);
   }
-  for (auto& t : conns) t.join();
+  // Unblock readers parked in read() on connections the client never closed:
+  // SHUT_RD makes their read() return 0 without cutting the write side, so
+  // responses still in flight keep delivering through the caller's
+  // BatchService::drain. The shared state guarantees the fd is still ours.
+  for (auto& c : conns) ::shutdown(c.state->fd, SHUT_RD);
+  for (auto& c : conns) c.reader.join();
   ::unlink(path_.c_str());
 }
 

@@ -142,14 +142,26 @@ class SocketServer {
   /// errno context on bind/listen failure.
   void start();
 
-  /// Stop accepting, wait for connection readers to finish their current
-  /// lines, close everything, unlink the socket path. Idempotent. (Requests
-  /// already admitted keep running; BatchService::drain handles those.)
+  /// Stop accepting, unblock idle readers (shutdown the read side of every
+  /// live connection, so a client that never closes cannot hang shutdown),
+  /// join them, unlink the socket path. Idempotent. Write sides stay open:
+  /// requests already admitted keep running and their responses are still
+  /// delivered during the BatchService::drain that follows.
   void stop();
 
  private:
+  /// Shared between the reader thread, every in-flight response sink, and
+  /// stop(); owns the fd (closed when the last holder lets go). Defined in
+  /// server.cpp.
+  struct ConnState;
+  struct Connection {
+    std::thread reader;
+    std::shared_ptr<ConnState> state;
+  };
+
   void accept_loop();
-  void connection_loop(int fd);
+  void connection_loop(std::shared_ptr<ConnState> state);
+  void reap_finished_locked();  ///< joins done readers; needs conn_mutex_
 
   BatchService& service_;
   std::string path_;
@@ -157,7 +169,7 @@ class SocketServer {
   std::thread acceptor_;
   std::atomic<bool> stopping_{false};
   std::mutex conn_mutex_;
-  std::vector<std::thread> connections_;
+  std::vector<Connection> connections_;
 };
 
 }  // namespace pdn3d::service

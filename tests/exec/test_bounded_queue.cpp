@@ -17,24 +17,24 @@ namespace {
 
 TEST(BoundedQueue, TryPushBackpressuresWhenFull) {
   BoundedQueue<int> q(2);
-  EXPECT_TRUE(q.try_push(1));
-  EXPECT_TRUE(q.try_push(2));
-  EXPECT_FALSE(q.try_push(3));  // full: signal, not block
+  EXPECT_EQ(PushResult::kOk, q.try_push(1));
+  EXPECT_EQ(PushResult::kOk, q.try_push(2));
+  EXPECT_EQ(PushResult::kFull, q.try_push(3));  // full: signal, not block
   EXPECT_EQ(q.size(), 2u);
 
   const auto popped = q.pop();
   ASSERT_TRUE(popped.has_value());
   EXPECT_EQ(*popped, 1);       // FIFO
-  EXPECT_TRUE(q.try_push(3));  // slot freed
+  EXPECT_EQ(PushResult::kOk, q.try_push(3));  // slot freed
 }
 
 TEST(BoundedQueue, CloseDrainsBacklogThenSignalsConsumers) {
   BoundedQueue<int> q(4);
-  EXPECT_TRUE(q.try_push(10));
-  EXPECT_TRUE(q.try_push(11));
+  EXPECT_EQ(PushResult::kOk, q.try_push(10));
+  EXPECT_EQ(PushResult::kOk, q.try_push(11));
   q.close();
   EXPECT_TRUE(q.closed());
-  EXPECT_FALSE(q.try_push(12));  // no admission after close
+  EXPECT_EQ(PushResult::kClosed, q.try_push(12));  // no admission after close
 
   // Already-admitted items still come out (graceful drain)...
   EXPECT_EQ(q.pop().value(), 10);
@@ -46,9 +46,9 @@ TEST(BoundedQueue, CloseDrainsBacklogThenSignalsConsumers) {
 
 TEST(BoundedQueue, RemoveIfPlucksOnlyQueuedItems) {
   BoundedQueue<int> q(4);
-  EXPECT_TRUE(q.try_push(1));
-  EXPECT_TRUE(q.try_push(2));
-  EXPECT_TRUE(q.try_push(3));
+  EXPECT_EQ(PushResult::kOk, q.try_push(1));
+  EXPECT_EQ(PushResult::kOk, q.try_push(2));
+  EXPECT_EQ(PushResult::kOk, q.try_push(3));
 
   const auto removed = q.remove_if([](int v) { return v == 2; });
   ASSERT_TRUE(removed.has_value());
@@ -95,7 +95,7 @@ TEST(BoundedQueue, ConcurrentProducersConsumersDeliverEverythingOnce) {
         int value = p * kPerProducer + i;
         // Producers spin on backpressure; the service instead answers
         // queue_full, but the queue itself must stay correct under retries.
-        while (!q.try_push(std::move(value))) std::this_thread::yield();
+        while (q.try_push(std::move(value)) != PushResult::kOk) std::this_thread::yield();
       }
     });
   }

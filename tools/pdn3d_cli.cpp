@@ -519,6 +519,13 @@ int cmd_serve(const Args& a, obs::RunReportOptions* report_opts) {
   sigemptyset(&sa.sa_mask);
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
+  // A client that disconnects with a response in flight must surface as an
+  // EPIPE write error (the sink drops the response), not as a SIGPIPE that
+  // kills the server and every other client's work.
+  struct sigaction ign = {};
+  ign.sa_handler = SIG_IGN;
+  sigemptyset(&ign.sa_mask);
+  sigaction(SIGPIPE, &ign, nullptr);
 
   std::unique_ptr<service::SocketServer> socket_server;
   if (const auto path = a.get("--socket")) {
