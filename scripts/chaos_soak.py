@@ -1,0 +1,261 @@
+#!/usr/bin/env python3
+"""Chaos soak for `pdn3d serve`: hammer the socket front end while the
+fault-injection framework (PDN3D_FAULTS, docs/ROBUSTNESS.md) fires solver
+stalls, allocation failures, queue delays, and connection resets.
+
+Invariant under test: every request the server admits is answered exactly
+once -- with a result or a *typed* error -- no hangs, no duplicate ids, no
+crashes, and SIGTERM still drains cleanly at the end.
+
+Connections killed by the injected `service.socket.reset` fault lose their
+in-flight responses by design (the server wrote into a dead socket); those
+requests are forgiven, everything else must be answered.
+
+Exit 0 on a clean soak, 1 on any violation. Stdlib only.
+
+Usage:
+  chaos_soak.py --binary build/tools/pdn3d [--duration 60] [--clients 4]
+"""
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+KNOWN_ERROR_KINDS = {
+    "bad_request", "queue_full", "deadline_exceeded", "cancelled", "shutdown",
+    "not_found", "evaluation_failed", "overloaded", "timeout",
+    "request_too_large", "internal",
+}
+
+DEFAULT_FAULTS = ",".join([
+    "linalg.cg.stall=0.05:20",
+    "irdrop.solve.alloc=0.05",
+    "service.queue.delay=0.10:30",
+    "service.socket.reset=0.05",
+    "seed=1234",
+])
+
+REQUEST_MIX = [
+    '{"id":%d,"op":"ping"}',
+    '{"id":%d,"op":"health"}',
+    '{"id":%d,"op":"validate","benchmark":"wide-io"}',
+    '{"id":%d,"op":"evaluate","benchmark":"wide-io"}',
+    '{"id":%d,"op":"evaluate","benchmark":"off-chip"}',
+    '{"id":%d,"op":"montecarlo","benchmark":"wide-io","samples":4}',
+    '{"id":%d,"op":"validate","benchmark":"hmc"}',
+    'this is not json (id %d)',  # must come back as a typed bad_request
+]
+
+
+class Violation(Exception):
+    pass
+
+
+class ClientStats:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.sent = 0
+        self.answered = 0
+        self.forgiven_on_reset = 0
+        self.resets = 0
+        self.error_kinds = {}
+        self.violations = []
+
+    def violation(self, msg):
+        with self.lock:
+            self.violations.append(msg)
+
+    def count_error(self, kind):
+        with self.lock:
+            self.error_kinds[kind] = self.error_kinds.get(kind, 0) + 1
+
+
+def recv_lines(sock, buf, deadline):
+    """Yield complete lines; raise ConnectionError on EOF/reset."""
+    while b"\n" not in buf[0]:
+        sock.settimeout(max(0.1, deadline - time.monotonic()))
+        chunk = sock.recv(65536)
+        if not chunk:
+            raise ConnectionError("EOF")
+        buf[0] += chunk
+    line, _, rest = buf[0].partition(b"\n")
+    buf[0] = rest
+    return line.decode("utf-8", errors="replace")
+
+
+def run_batch(path, ids, stats):
+    """One connection, one batch: send every request, then collect responses
+    until each id was answered exactly once. Returns False if the connection
+    was reset (those unanswered requests are forgiven)."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(10.0)
+    try:
+        sock.connect(path)
+    except OSError:
+        sock.close()
+        stats.resets += 1
+        return False
+    pending = {}
+    buf = [b""]
+    reset = False
+    try:
+        for req_id, template in ids:
+            line = template % req_id
+            sock.sendall(line.encode() + b"\n")
+            stats.sent += 1
+            # The malformed line is answered with id -1.
+            pending[-1 if "not json" in template else req_id] = \
+                pending.get(-1 if "not json" in template else req_id, 0) + 1
+        deadline = time.monotonic() + 60.0  # generous: watchdog bounds each eval
+        while pending:
+            if time.monotonic() > deadline:
+                raise Violation("hang: %d requests unanswered after 60 s: %s"
+                                % (sum(pending.values()), sorted(pending)))
+            line = recv_lines(sock, buf, deadline)
+            check_response(line, pending, stats)
+    except (ConnectionError, BrokenPipeError, socket.timeout) as exc:
+        if isinstance(exc, socket.timeout):
+            raise Violation("recv timeout with %s pending" % sorted(pending))
+        # Injected socket reset: the server dropped this connection. Responses
+        # for its in-flight requests are lost with it -- forgiven.
+        reset = True
+        stats.resets += 1
+        stats.forgiven_on_reset += sum(pending.values())
+    finally:
+        sock.close()
+    return not reset
+
+
+def check_response(line, pending, stats):
+    try:
+        resp = json.loads(line)
+    except json.JSONDecodeError:
+        raise Violation("unparseable response: %r" % line[:200])
+    if not isinstance(resp, dict) or "id" not in resp or "ok" not in resp:
+        raise Violation("response missing id/ok: %r" % line[:200])
+    rid = resp["id"]
+    if rid not in pending:
+        raise Violation("unexpected or duplicate response id %r" % rid)
+    pending[rid] -= 1
+    if pending[rid] == 0:
+        del pending[rid]
+    stats.answered += 1
+    if not resp["ok"]:
+        kind = (resp.get("error") or {}).get("kind")
+        if kind not in KNOWN_ERROR_KINDS:
+            raise Violation("untyped error response: %r" % line[:200])
+        stats.count_error(kind)
+
+
+def client_loop(path, client_idx, stop_at, stats):
+    rid = client_idx * 1_000_000 + 1
+    batch_no = 0
+    try:
+        while time.monotonic() < stop_at:
+            ids = []
+            for i in range(8):
+                template = REQUEST_MIX[(batch_no + i + client_idx) % len(REQUEST_MIX)]
+                ids.append((rid, template))
+                rid += 1
+            run_batch(path, ids, stats)
+            batch_no += 1
+    except Violation as v:
+        stats.violation("client %d: %s" % (client_idx, v))
+    except Exception as exc:  # noqa: BLE001 -- any escape is a soak failure
+        stats.violation("client %d: unexpected %r" % (client_idx, exc))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--binary", required=True, help="path to the pdn3d CLI")
+    ap.add_argument("--duration", type=float, default=60.0,
+                    help="soak duration in seconds (default 60)")
+    ap.add_argument("--clients", type=int, default=4)
+    ap.add_argument("--socket", default=None, help="socket path (default: temp)")
+    ap.add_argument("--faults", default=DEFAULT_FAULTS,
+                    help="PDN3D_FAULTS spec (default: >=5%% on four sites)")
+    args = ap.parse_args()
+
+    path = args.socket or os.path.join(
+        tempfile.mkdtemp(prefix="pdn3d_chaos_"), "chaos.sock")
+    if os.path.exists(path):
+        os.unlink(path)
+
+    env = dict(os.environ)
+    env["PDN3D_FAULTS"] = args.faults
+    server = subprocess.Popen(
+        [args.binary, "serve", "--socket", path, "--queue", "16",
+         "--threads", "2", "--watchdog", "2000", "--max-cost", "64"],
+        stdin=subprocess.DEVNULL, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, env=env)
+
+    ok = False
+    stats = ClientStats()
+    try:
+        for _ in range(150):  # wait for the socket to come up
+            if os.path.exists(path):
+                break
+            if server.poll() is not None:
+                break
+            time.sleep(0.1)
+        if server.poll() is not None or not os.path.exists(path):
+            print("FAIL: server did not come up", file=sys.stderr)
+            return 1
+
+        stop_at = time.monotonic() + args.duration
+        threads = [threading.Thread(target=client_loop,
+                                    args=(path, i, stop_at, stats))
+                   for i in range(args.clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if server.poll() is not None:
+            stats.violation("server died mid-soak (exit %s)" % server.returncode)
+
+        # Clean shutdown: SIGTERM must drain and exit 0.
+        if server.poll() is None:
+            server.send_signal(signal.SIGTERM)
+        try:
+            _, err = server.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            stats.violation("server hung on SIGTERM (no drain within 60 s)")
+            server.kill()
+            _, err = server.communicate()
+        if server.returncode != 0:
+            stats.violation("server exit code %s after SIGTERM" % server.returncode)
+        if b"drained" not in err:
+            stats.violation("no drain summary on stderr: %r" % err[-300:])
+
+        print("chaos soak: sent=%d answered=%d forgiven_on_reset=%d resets=%d"
+              % (stats.sent, stats.answered, stats.forgiven_on_reset, stats.resets))
+        print("  error kinds: %s" % (stats.error_kinds or "{}"))
+        if stats.answered == 0:
+            stats.violation("no request was ever answered")
+        if stats.violations:
+            for v in stats.violations:
+                print("VIOLATION: %s" % v, file=sys.stderr)
+            return 1
+        print("chaos soak: PASS")
+        ok = True
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+        if os.path.exists(path):
+            os.unlink(path)
+        if not ok:
+            sys.stderr.flush()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

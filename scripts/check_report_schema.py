@@ -82,9 +82,13 @@ SESSION_KEYS = {
     "completed": numbers.Number,
     "rejected_queue_full": numbers.Number,
     "rejected_shutdown": numbers.Number,
+    "rejected_overload": numbers.Number,
+    "rejected_too_large": numbers.Number,
     "bad_requests": numbers.Number,
     "deadline_expired": numbers.Number,
     "cancelled": numbers.Number,
+    "timeouts": numbers.Number,
+    "internal_errors": numbers.Number,
     "requests": list,
     "requests_dropped_from_report": numbers.Number,
 }

@@ -41,11 +41,12 @@ if [[ "$preset" == thread ]]; then
     -DPDN3D_SANITIZE=thread
   cmake --build "$build_dir" -j "$jobs"
   # The concurrency suites: the thread-pool unit tests plus every test that
-  # drives a multi-threaded sweep or hammers a shared cache. The naming
-  # convention (ThreadPool.*, Concurrent*, Parallel*) is what this regex keys
-  # on -- new concurrency tests should follow it to be picked up here.
+  # drives a multi-threaded sweep, hammers a shared cache, or exercises the
+  # batch service / fault registry across threads. The naming convention
+  # (ThreadPool.*, Concurrent*, Parallel*, Service*, Faults*) is what this
+  # regex keys on -- new concurrency tests should follow it to be picked up.
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" \
-    -R '(ThreadPool|Concurrent|Parallel)' "$@"
+    -R '(ThreadPool|Concurrent|Parallel|Service|Faults)' "$@"
 else
   # Abort on the first sanitizer report instead of trying to continue, and
   # make UBSan print stacks so CI logs are actionable.

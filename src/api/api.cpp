@@ -1,11 +1,17 @@
 #include "api/api.hpp"
 
+#include <cstdint>
+#include <memory>
+#include <optional>
 #include <sstream>
 
 #include "cost/cost_model.hpp"
+#include "irdrop/lut.hpp"
 #include "irdrop/montecarlo.hpp"
+#include "opt/cooptimizer.hpp"
 #include "pdn/mesh_validator.hpp"
 #include "pdn/stack_builder.hpp"
+#include "util/checkpoint.hpp"
 #include "util/string_util.hpp"
 #include "util/table.hpp"
 
@@ -20,8 +26,23 @@ int exit_code_for(const core::Status& status) {
     case core::StatusCode::kInvalidArgument: return 1;
     case core::StatusCode::kInputError: return 2;
     case core::StatusCode::kNumericalFailure: return 3;
+    case core::StatusCode::kCancelled: return 3;
   }
   return 2;
+}
+
+/// Open the request's sweep checkpoint, fingerprinted so a resume against a
+/// different benchmark/op/parameter set is refused instead of silently mixing
+/// results. Returns nullptr when checkpointing is off; throws
+/// std::runtime_error (-> input error) on a mismatched or corrupt file.
+std::unique_ptr<util::SweepCheckpoint> open_checkpoint(const EvaluateRequest& request,
+                                                       const std::string& fingerprint,
+                                                       std::uint64_t total) {
+  if (request.checkpoint_path.empty()) return nullptr;
+  const std::uint64_t key = util::checkpoint_key(
+      std::string(benchmark_token(request.benchmark)) + "|" + fingerprint);
+  return std::make_unique<util::SweepCheckpoint>(
+      util::SweepCheckpoint::open(request.checkpoint_path, key, total, request.resume));
 }
 
 void render_evaluate(const core::Platform& p, const EvaluateRequest& request, std::ostream& os,
@@ -52,7 +73,27 @@ void render_evaluate(const core::Platform& p, const EvaluateRequest& request, st
 void render_lut(const core::Platform& p, const EvaluateRequest& request, std::ostream& os,
                 EvaluateResult* result) {
   const auto cfg = request.design.apply(p.benchmark().baseline);
-  const auto& lut = p.lut(cfg);
+  // With checkpointing the build bypasses the Platform's LUT cache (the cache
+  // cannot resume a partial table) but uses the exact same build parameters,
+  // so the rendered table is identical either way.
+  std::unique_ptr<util::SweepCheckpoint> ckpt;
+  std::optional<irdrop::IrLut> local;
+  if (!request.checkpoint_path.empty()) {
+    const auto& bench = p.benchmark();
+    const auto& analyzer = p.analyzer(cfg);
+    const int dies = analyzer.model().dram_die_count();
+    const auto radix = static_cast<std::uint64_t>(bench.sim.max_active_per_die + 1);
+    std::uint64_t total = 1;
+    for (int d = 0; d < dies; ++d) total *= radix;
+    ckpt = open_checkpoint(request,
+                           "lut|" + cfg.summary() +
+                               "|max=" + std::to_string(bench.sim.max_active_per_die) +
+                               "|io=" + std::to_string(bench.sim.io_demand_factor),
+                           total);
+    local = irdrop::IrLut::build(analyzer, bench.stack.dram_spec, bench.sim.max_active_per_die,
+                                 bench.sim.io_demand_factor, 0, ckpt.get());
+  }
+  const auto& lut = local.has_value() ? *local : p.lut(cfg);
   os << "IR LUT for " << cfg.summary() << " (" << lut.size() << " states)\n";
   util::Table t({"state", "max IR (mV)"});
   std::vector<int> counts(static_cast<std::size_t>(lut.die_count()), 0);
@@ -84,6 +125,12 @@ void render_montecarlo(const core::Platform& p, const EvaluateRequest& request,
   const auto cfg = request.design.apply(p.benchmark().baseline);
   irdrop::MonteCarloConfig mc;
   mc.samples = static_cast<int>(request.samples);
+  const auto ckpt = open_checkpoint(request,
+                                    "montecarlo|" + cfg.summary() +
+                                        "|samples=" + std::to_string(mc.samples) +
+                                        "|seed=" + std::to_string(mc.seed),
+                                    static_cast<std::uint64_t>(mc.samples));
+  mc.checkpoint = ckpt.get();
   // The cached design analyzer already declares the many-solves access
   // pattern (sparse-direct factor), so repeated montecarlo requests on one
   // design reuse both the mesh and the factorization.
@@ -107,6 +154,13 @@ void render_cooptimize(const core::Platform& p, const EvaluateRequest& request,
                        std::ostream& os, EvaluateResult* result) {
   const double alpha = request.alpha;
   auto opt = p.make_cooptimizer();
+  // total=0: the measurement count is open-ended (adaptive densify rounds and
+  // re-measure retries), but the enumeration order is deterministic.
+  const auto ckpt = open_checkpoint(request,
+                                    "cooptimize|" + p.benchmark().baseline.summary() +
+                                        "|alpha=" + std::to_string(alpha),
+                                    0);
+  if (ckpt != nullptr) opt.set_checkpoint(ckpt.get());
   os << "sampling the design space with the R-Mesh...\n";
   const auto best = opt.optimize(alpha);
   os << "alpha " << alpha << " optimum:\n";
@@ -254,6 +308,14 @@ core::Status EvaluateRequest::validate() const {
   if (op == Operation::kCoOptimize) {
     const core::Status a = check_alpha(alpha);
     if (!a.is_ok()) return a;
+  }
+  if (resume && checkpoint_path.empty()) {
+    return core::Status::invalid_argument("resume requires a checkpoint file");
+  }
+  if (!checkpoint_path.empty() && op != Operation::kMonteCarlo && op != Operation::kLut &&
+      op != Operation::kCoOptimize) {
+    return core::Status::invalid_argument(
+        "checkpointing applies only to montecarlo | lut | cooptimize");
   }
   return core::Status::ok();
 }

@@ -68,6 +68,17 @@ struct EvaluateRequest {
   long long samples = 200; ///< Monte Carlo sample count (montecarlo)
   double alpha = 0.3;      ///< objective exponent [0,1] (cooptimize)
 
+  /// Crash-safe sweep checkpoint file (montecarlo/lut/cooptimize; CLI
+  /// `--checkpoint FILE`). Empty = no checkpointing. The file is keyed by a
+  /// fingerprint of the request; it persists after a successful run (a
+  /// re-run with `resume` replays it instantly). See docs/ROBUSTNESS.md.
+  std::string checkpoint_path;
+  /// Load completed entries from checkpoint_path before sweeping (CLI
+  /// `--resume`). A missing file is a fresh start; a fingerprint mismatch is
+  /// an input error. Resumed output is bitwise identical to an uninterrupted
+  /// run.
+  bool resume = false;
+
   /// Validate the operation parameters (design knobs are validated as they
   /// are set). Front ends call this before dispatching.
   [[nodiscard]] core::Status validate() const;

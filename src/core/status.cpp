@@ -10,6 +10,7 @@ const char* to_string(StatusCode code) {
     case StatusCode::kInvalidArgument: return "invalid-argument";
     case StatusCode::kInputError: return "input-error";
     case StatusCode::kNumericalFailure: return "numerical-failure";
+    case StatusCode::kCancelled: return "cancelled";
   }
   return "?";
 }

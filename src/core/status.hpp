@@ -32,6 +32,7 @@ enum class StatusCode {
   kInvalidArgument,    ///< caller bug: bad sizes, out-of-range parameters
   kInputError,         ///< defective input data: mesh/tech-file/trace defects
   kNumericalFailure,   ///< all solver rungs failed or produced garbage
+  kCancelled,          ///< work abandoned on a cooperative cancellation request
 };
 
 [[nodiscard]] const char* to_string(StatusCode code);
@@ -54,6 +55,9 @@ class Status {
   }
   [[nodiscard]] static Status numerical_failure(std::string message) {
     return {StatusCode::kNumericalFailure, std::move(message)};
+  }
+  [[nodiscard]] static Status cancelled(std::string message) {
+    return {StatusCode::kCancelled, std::move(message)};
   }
 
   [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,21 @@
+#include "exec/cancel.hpp"
+
+namespace pdn3d::exec {
+
+namespace {
+
+thread_local const CancelToken* tls_token = nullptr;
+
+}  // namespace
+
+CancelScope::CancelScope(const CancelToken& token) noexcept : previous_(tls_token) {
+  tls_token = &token;
+}
+
+CancelScope::~CancelScope() { tls_token = previous_; }
+
+bool cancellation_requested() noexcept {
+  return tls_token != nullptr && tls_token->cancelled();
+}
+
+}  // namespace pdn3d::exec

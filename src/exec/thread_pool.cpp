@@ -8,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "faults/faults.hpp"
 #include "obs/metrics.hpp"
 
 namespace pdn3d::exec {
@@ -148,6 +149,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   static auto& m_utilization = obs::gauge("exec.region_utilization");
   m_regions.add(1);
   m_tasks.add(n);
+  PDN3D_FAULT_STALL("exec.region.stall", 20.0);
 
   if (impl_ == nullptr || n == 1 || tls_in_region) {
     // Inline path (single-thread pool, trivial region, or nested call): same

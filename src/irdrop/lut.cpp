@@ -8,13 +8,15 @@
 #include "irdrop/eval_context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/checkpoint.hpp"
 #include "util/string_util.hpp"
 #include "util/timer.hpp"
 
 namespace pdn3d::irdrop {
 
 IrLut IrLut::build(const IrAnalyzer& analyzer, const floorplan::DramFloorplanSpec& spec,
-                   int max_per_die, double io_demand, int threads) {
+                   int max_per_die, double io_demand, int threads,
+                   util::SweepCheckpoint* checkpoint) {
   if (threads < 0) throw std::invalid_argument("IrLut::build: threads must be >= 0");
   PDN3D_TRACE_SPAN_NAMED(span, "lut/build");
   const util::ScopedTimer build_timer("lut.build_seconds");
@@ -38,7 +40,11 @@ IrLut IrLut::build(const IrAnalyzer& analyzer, const floorplan::DramFloorplanSpe
   // solution saves most iterations. On the default paths (exact direct
   // solves, or plain PCG analyzers) warm start stays off, which is what keeps
   // the table bitwise identical at any thread count.
-  const bool warm_start = analyzer.solver().kind() == SolverKind::kSparseDirect &&
+  // Warm starts make an entry depend on its chunk predecessors, which would
+  // break the checkpoint contract (each entry a pure function of its key), so
+  // they stay off while checkpointing.
+  const bool warm_start = checkpoint == nullptr &&
+                          analyzer.solver().kind() == SolverKind::kSparseDirect &&
                           !analyzer.solver().sparse_factor_available();
   std::vector<double> table(total, 0.0);
   exec::ThreadPool pool(static_cast<std::size_t>(threads));
@@ -48,6 +54,16 @@ IrLut IrLut::build(const IrAnalyzer& analyzer, const floorplan::DramFloorplanSpe
     ctx.set_warm_start(warm_start);
     std::vector<int> counts(static_cast<std::size_t>(dies), 0);
     for (std::size_t key = begin; key < end; ++key) {
+      if (checkpoint != nullptr) {
+        if (const util::CheckpointEntry* entry = checkpoint->find(key)) {
+          if (entry->ok) {
+            table[key] = entry->value;
+            continue;
+          }
+          // A recorded failure is recomputed: the build aborts on unsolvable
+          // states, so a fail entry only exists if semantics change later.
+        }
+      }
       std::size_t k = key;
       for (int d = 0; d < dies; ++d) {
         counts[static_cast<std::size_t>(d)] =
@@ -62,8 +78,10 @@ IrLut IrLut::build(const IrAnalyzer& analyzer, const floorplan::DramFloorplanSpe
           active_dies > 0 ? std::min(1.0, io_demand / static_cast<double>(active_dies)) : 0.0;
       const auto state = power::make_state_from_counts(counts, spec, act);
       table[key] = ctx.analyze(state).dram_max_mv;
+      if (checkpoint != nullptr) checkpoint->record(key, {true, table[key], {}});
     }
   });
+  if (checkpoint != nullptr) checkpoint->flush();
   return IrLut(dies, max_per_die, std::move(table));
 }
 

@@ -15,6 +15,10 @@
 
 #include "irdrop/analysis.hpp"
 
+namespace pdn3d::util {
+class SweepCheckpoint;
+}
+
 namespace pdn3d::irdrop {
 
 class IrLut {
@@ -31,8 +35,14 @@ class IrLut {
   /// @param threads worker threads for the state sweep; 0 =
   /// exec::default_thread_count(). Entry `key` is computed from state `key`
   /// alone, so the table is identical at any thread count.
+  /// @param checkpoint optional crash-safe checkpoint (non-owning): entries
+  /// found in it are loaded instead of recomputed, fresh entries are
+  /// recorded, and a resumed build is bitwise identical to an uninterrupted
+  /// one (warm starts are disabled while checkpointing so every entry stays a
+  /// pure function of its key).
   static IrLut build(const IrAnalyzer& analyzer, const floorplan::DramFloorplanSpec& spec,
-                     int max_per_die = 2, double io_demand = 1.0, int threads = 0);
+                     int max_per_die = 2, double io_demand = 1.0, int threads = 0,
+                     util::SweepCheckpoint* checkpoint = nullptr);
 
   /// Max IR drop (mV) of the state with the given per-die active-bank counts.
   [[nodiscard]] double max_ir_mv(const std::vector<int>& counts) const;

@@ -10,6 +10,7 @@
 #include "irdrop/eval_context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/checkpoint.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -77,18 +78,35 @@ MonteCarloResult sample_ir_distribution(const IrAnalyzer& analyzer,
   pool.parallel_chunks(n, [&](std::size_t, std::size_t begin, std::size_t end) {
     EvalContext ctx = root.fork();
     for (std::size_t s = begin; s < end; ++s) {
+      if (config.checkpoint != nullptr) {
+        if (const util::CheckpointEntry* entry = config.checkpoint->find(s)) {
+          if (entry->ok) {
+            values[s] = entry->value;
+            solved[s] = 1;
+          } else {
+            failures[s] = entry->message;
+          }
+          continue;
+        }
+      }
       util::Rng rng = util::Rng::split(config.seed, s);
       const power::MemoryState state = draw_state(rng, dies, banks, config);
       try {
         values[s] = ctx.analyze(state).dram_max_mv;
         solved[s] = 1;
       } catch (const core::NumericalError& e) {
+        // A cancellation must abort the sweep, not be skipped as a sample.
+        if (e.status().code() == core::StatusCode::kCancelled) throw;
         // Skip-and-report: one unsolvable state must not kill the whole
         // distribution run.
         failures[s] = e.status().to_string();
       }
+      if (config.checkpoint != nullptr) {
+        config.checkpoint->record(s, {solved[s] != 0, values[s], failures[s]});
+      }
     }
   });
+  if (config.checkpoint != nullptr) config.checkpoint->flush();
 
   std::vector<double> kept;
   kept.reserve(n);

@@ -14,6 +14,10 @@
 
 #include "irdrop/analysis.hpp"
 
+namespace pdn3d::util {
+class SweepCheckpoint;
+}
+
 namespace pdn3d::irdrop {
 
 struct MonteCarloConfig {
@@ -29,6 +33,11 @@ struct MonteCarloConfig {
   /// (util::Rng::split(seed, sample)), so the distribution -- and every
   /// reported statistic -- is bitwise identical at any thread count.
   int threads = 0;
+  /// Optional crash-safe checkpoint (non-owning). Samples found in it are
+  /// loaded instead of recomputed; freshly computed samples are recorded.
+  /// Because each sample's RNG stream is independent, a resumed run is
+  /// bitwise identical to an uninterrupted one (docs/ROBUSTNESS.md).
+  util::SweepCheckpoint* checkpoint = nullptr;
 };
 
 struct MonteCarloResult {

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "exec/cancel.hpp"
+#include "faults/faults.hpp"
 #include "linalg/coo.hpp"
 #include "linalg/dense.hpp"
 #include "linalg/reorder.hpp"
@@ -253,6 +255,15 @@ SolveOutcome IrSolver::solve_one(std::span<const double> sinks, bool want_ir,
       options_.escalate ? kSolverKindCount - 1 : first;
 
   for (std::size_t k = first; k <= last; ++k) {
+    // Cooperative cancellation (service watchdog): stop climbing the ladder
+    // and report kCancelled instead of escalating into ever-pricier rungs.
+    if (exec::cancellation_requested()) {
+      ++telemetry_.failures;
+      m_failures.add(1);
+      outcome.status = core::Status::cancelled(
+          trail.tellp() > 0 ? "solve cancelled [" + trail.str() + "]" : "solve cancelled");
+      return outcome;
+    }
     const SolverKind kind = static_cast<SolverKind>(k);
     ++telemetry_.rung_attempts[k];
     rung_attempt_counter(kind).add(1);
@@ -424,6 +435,8 @@ SolveOutcome IrSolver::solve(const SolveRequest& request, SolveScratch* scratch)
   if (request.sinks.size() != n * request.batch_count) {
     throw std::invalid_argument("IrSolver::solve: sink vector size mismatch");
   }
+
+  PDN3D_FAULT_ALLOC("irdrop.solve.alloc");
 
   SolveScratch local;
   SolveScratch& ws = scratch != nullptr ? *scratch : local;

@@ -1,9 +1,12 @@
 #include "linalg/cg.hpp"
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 
+#include "exec/cancel.hpp"
+#include "faults/faults.hpp"
 #include "linalg/ichol.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -19,6 +22,7 @@ const char* to_string(CgFailure failure) {
     case CgFailure::kStagnated: return "stagnated";
     case CgFailure::kIndefinite: return "indefinite";
     case CgFailure::kBadPreconditioner: return "bad-preconditioner";
+    case CgFailure::kCancelled: return "cancelled";
   }
   return "?";
 }
@@ -36,6 +40,7 @@ CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& opti
       obs::histogram("cg.iterations_per_solve", obs::exponential_buckets(1.0, 2.0, 16));
   static auto& m_exit_residual = obs::gauge("cg.exit_relative_residual");
   m_solves.add(1);
+  PDN3D_FAULT_STALL("linalg.cg.stall", 50.0);
 
   CgResult result;
   result.x.assign(n, 0.0);
@@ -150,6 +155,12 @@ CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& opti
     }
   };
 
+  if (PDN3D_FAULT_POINT("linalg.cg.nan")) {
+    // Poison the residual: first iteration's curvature goes NaN and the solve
+    // reports kDivergedNonFinite, exercising the escalation ladder.
+    r[0] = std::numeric_limits<double>::quiet_NaN();
+  }
+
   apply_precond(r, z);
   p = z;
   double rz = dot(r, z);
@@ -162,6 +173,11 @@ CgResult solve_cg(const Csr& a, std::span<const double> b, const CgOptions& opti
   std::size_t window_start = 0;
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    if (exec::cancellation_requested()) {
+      result.failure = CgFailure::kCancelled;
+      result.detail = "cancelled by caller at iteration " + std::to_string(it);
+      break;
+    }
     a.multiply(p, ap);
     const double pap = dot(p, ap);
     if (!std::isfinite(pap)) {

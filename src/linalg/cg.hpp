@@ -58,6 +58,7 @@ enum class CgFailure {
   kStagnated,          ///< residual stopped improving (watchdog window)
   kIndefinite,         ///< p'Ap <= 0: matrix not SPD on the Krylov subspace
   kBadPreconditioner,  ///< preconditioner unusable (e.g. non-positive diagonal)
+  kCancelled,          ///< an exec::CancelScope on this thread requested a stop
 };
 
 [[nodiscard]] const char* to_string(CgFailure failure);

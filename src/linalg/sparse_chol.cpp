@@ -5,6 +5,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "exec/cancel.hpp"
+#include "faults/faults.hpp"
+
 namespace pdn3d::linalg {
 
 namespace {
@@ -16,6 +19,7 @@ constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
 SparseCholesky::SparseCholesky(const Csr& a, std::vector<std::size_t> perm,
                                const SparseCholeskyOptions& options)
     : n_(a.dimension()), perm_(std::move(perm)) {
+  PDN3D_FAULT_STALL("linalg.chol.stall", 50.0);
   if (perm_.size() != n_) throw std::invalid_argument("SparseCholesky: permutation size");
   pos_.assign(n_, kNone);
   for (std::size_t k = 0; k < n_; ++k) {
@@ -126,6 +130,13 @@ SparseCholesky::SparseCholesky(const Csr& a, std::vector<std::size_t> perm,
   std::vector<std::size_t> next_free(col_ptr_.begin(), col_ptr_.end() - 1);
   std::vector<double> x(n_, 0.0);
   for (std::size_t k = 0; k < n_; ++k) {
+    // Factorization can dominate a solve's wall time; poll the cooperative
+    // cancellation flag every few hundred columns. The throw surfaces as a
+    // rung failure, and the ladder's own poll converts it to kCancelled.
+    if ((k & 0x1ffU) == 0 && exec::cancellation_requested()) {
+      throw std::runtime_error("SparseCholesky: factorization cancelled at elimination step " +
+                               std::to_string(k));
+    }
     const std::size_t top = ereach(k, n_ + k);
     double d = 0.0;
     for (std::size_t p = low_ptr[k]; p < low_ptr[k + 1]; ++p) {

@@ -11,6 +11,7 @@
 #include "exec/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/checkpoint.hpp"
 #include "util/log.hpp"
 
 namespace pdn3d::opt {
@@ -28,20 +29,34 @@ std::vector<CoOptimizer::PointResult> CoOptimizer::evaluate_batch(
   static auto& m_skipped = obs::counter("cooptimizer.points_skipped");
 
   std::vector<PointResult> results(configs.size());
+  // Checkpoint indices are the global running measurement count: the sweep
+  // enumerates points deterministically, so index base+i names the same
+  // config in the original and the resumed run.
+  const std::uint64_t base = static_cast<std::uint64_t>(total_samples_);
   exec::ThreadPool pool(static_cast<std::size_t>(threads_));
   pool.parallel_chunks(configs.size(), [&](std::size_t, std::size_t begin, std::size_t end) {
     const std::unique_ptr<Evaluator> ev = evaluate_->fork();
     for (std::size_t i = begin; i < end; ++i) {
       PDN3D_TRACE_SPAN("cooptimize/solve_point");
       PointResult& r = results[i];
+      if (checkpoint_ != nullptr) {
+        if (const util::CheckpointEntry* entry = checkpoint_->find(base + i)) {
+          r.ok = entry->ok;
+          r.ir_mv = entry->value;
+          r.reason = entry->message;
+          continue;
+        }
+      }
       try {
         r.ir_mv = ev->measure(configs[i]);
         r.ok = true;
       } catch (const core::NumericalError& e) {
+        if (e.status().code() == core::StatusCode::kCancelled) throw;
         r.reason = e.status().to_string();
       } catch (const core::ValidationError& e) {
         r.reason = e.report().to_status().to_string();
       }
+      if (checkpoint_ != nullptr) checkpoint_->record(base + i, {r.ok, r.ir_mv, r.reason});
     }
   });
 
@@ -63,16 +78,31 @@ bool CoOptimizer::sample_point(const pdn::PdnConfig& config, double* ir_mv) {
   PDN3D_TRACE_SPAN("cooptimize/solve_point");
   static auto& m_evaluated = obs::counter("cooptimizer.points_evaluated");
   static auto& m_skipped = obs::counter("cooptimizer.points_skipped");
+  const std::uint64_t index = static_cast<std::uint64_t>(total_samples_);
   ++total_samples_;
   m_evaluated.add(1);
+  if (checkpoint_ != nullptr) {
+    if (const util::CheckpointEntry* entry = checkpoint_->find(index)) {
+      if (entry->ok) {
+        *ir_mv = entry->value;
+        return true;
+      }
+      skipped_.push_back({config, entry->message});
+      m_skipped.add(1);
+      return false;
+    }
+  }
   try {
     *ir_mv = evaluate_->measure(config);
+    if (checkpoint_ != nullptr) checkpoint_->record(index, {true, *ir_mv, {}});
     return true;
   } catch (const core::NumericalError& e) {
+    if (e.status().code() == core::StatusCode::kCancelled) throw;
     skipped_.push_back({config, e.status().to_string()});
   } catch (const core::ValidationError& e) {
     skipped_.push_back({config, e.report().to_status().to_string()});
   }
+  if (checkpoint_ != nullptr) checkpoint_->record(index, {false, 0.0, skipped_.back().reason});
   m_skipped.add(1);
   util::log_warn("co-optimizer: skipping unsolvable point ", config.summary(), " -- ",
                  skipped_.back().reason);
@@ -163,6 +193,7 @@ const std::vector<FittedChoice>& CoOptimizer::fit_models() {
         std::to_string(skipped_.size()) + " skipped)"));
   }
   fitted_ = true;
+  if (checkpoint_ != nullptr) checkpoint_->flush();
   obs::gauge("cooptimizer.fit_worst_rmse_mv").set(worst_rmse());
   obs::gauge("cooptimizer.fit_worst_r_squared").set(worst_r_squared());
   obs::gauge("cooptimizer.fitted_choices").set(static_cast<double>(fits_.size()));
@@ -219,7 +250,10 @@ Optimum CoOptimizer::optimize(double alpha) {
     if (best.objective == std::numeric_limits<double>::max()) {
       throw std::runtime_error("CoOptimizer: empty design space");
     }
-    if (sample_point(best.config, &best.measured_ir_mv)) return best;
+    if (sample_point(best.config, &best.measured_ir_mv)) {
+      if (checkpoint_ != nullptr) checkpoint_->flush();
+      return best;
+    }
     banned.insert(best.config.summary());
     m_banned.add(1);
   }

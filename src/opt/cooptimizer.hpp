@@ -20,6 +20,10 @@
 #include "opt/design_space.hpp"
 #include "pdn/pdn_config.hpp"
 
+namespace pdn3d::util {
+class SweepCheckpoint;
+}
+
 namespace pdn3d::opt {
 
 /// Measures the true IR drop of design configurations with the R-Mesh
@@ -108,6 +112,13 @@ class CoOptimizer {
   /// optimizes over the remaining candidates.
   [[nodiscard]] const std::vector<SkippedPoint>& skipped_points() const { return skipped_; }
 
+  /// Attach a crash-safe checkpoint (non-owning; must outlive the optimizer).
+  /// Measurements are keyed by their global running index: the sweep order is
+  /// deterministic, so a resumed fit/optimize replays recorded measurements
+  /// and recomputes only the missing tail, bitwise identical to an
+  /// uninterrupted run. Attach before the first fit_models()/optimize() call.
+  void set_checkpoint(util::SweepCheckpoint* checkpoint) { checkpoint_ = checkpoint; }
+
  private:
   struct PointResult {
     bool ok = false;
@@ -128,6 +139,7 @@ class CoOptimizer {
   DesignSpace space_;
   std::unique_ptr<Evaluator> evaluate_;
   int threads_ = 0;
+  util::SweepCheckpoint* checkpoint_ = nullptr;
   std::vector<FittedChoice> fits_;
   std::vector<SkippedPoint> skipped_;
   std::size_t total_samples_ = 0;

@@ -15,6 +15,56 @@ core::Status bad(std::string message) {
   return core::Status::invalid_argument(std::move(message));
 }
 
+/// Guarded double->int64 conversion: JSON numbers arrive as doubles, and a
+/// huge or non-finite value (1e999 parses to +inf) must be rejected before
+/// the cast -- casting an out-of-range double to an integer is undefined
+/// behaviour.
+bool to_int64(double v, std::int64_t* out) {
+  if (!std::isfinite(v) || v != std::floor(v) || v < -9.2e18 || v > 9.2e18) return false;
+  *out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+/// Strict UTF-8 scan (rejects overlong encodings, surrogates, > U+10FFFF).
+/// Garbage bytes on the wire must become a typed bad_request, not reach the
+/// evaluation layer or get echoed raw into a response.
+bool valid_utf8(std::string_view text) {
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const auto b0 = static_cast<unsigned char>(text[i]);
+    std::size_t len = 0;
+    std::uint32_t cp = 0;
+    if (b0 < 0x80) {
+      ++i;
+      continue;
+    } else if ((b0 & 0xe0) == 0xc0) {
+      len = 2;
+      cp = b0 & 0x1fU;
+    } else if ((b0 & 0xf0) == 0xe0) {
+      len = 3;
+      cp = b0 & 0x0fU;
+    } else if ((b0 & 0xf8) == 0xf0) {
+      len = 4;
+      cp = b0 & 0x07U;
+    } else {
+      return false;
+    }
+    if (i + len > n) return false;
+    for (std::size_t k = 1; k < len; ++k) {
+      const auto bk = static_cast<unsigned char>(text[i + k]);
+      if ((bk & 0xc0) != 0x80) return false;
+      cp = (cp << 6) | (bk & 0x3fU);
+    }
+    if ((len == 2 && cp < 0x80) || (len == 3 && cp < 0x800) || (len == 4 && cp < 0x10000)) {
+      return false;  // overlong encoding
+    }
+    if (cp > 0x10ffff || (cp >= 0xd800 && cp <= 0xdfff)) return false;
+    i += len;
+  }
+  return true;
+}
+
 /// Fetch an optional member, enforcing its JSON type when present.
 const obsjson::Value* member(const obsjson::Value& object, std::string_view key,
                              obsjson::Value::Kind kind, core::Status* status,
@@ -67,11 +117,25 @@ const char* to_string(ErrorKind kind) {
     case ErrorKind::kShutdown: return "shutdown";
     case ErrorKind::kNotFound: return "not_found";
     case ErrorKind::kEvaluationFailed: return "evaluation_failed";
+    case ErrorKind::kOverloaded: return "overloaded";
+    case ErrorKind::kTimeout: return "timeout";
+    case ErrorKind::kRequestTooLarge: return "request_too_large";
+    case ErrorKind::kInternal: return "internal";
   }
   return "?";
 }
 
 core::Status parse_request(std::string_view line, Request* out) {
+  if (line.size() > kMaxRequestBytes) {
+    // Callers normally answer this with kRequestTooLarge before parsing; the
+    // check here is defense in depth for direct parse_request users.
+    return bad("request line exceeds " + std::to_string(kMaxRequestBytes) + " bytes");
+  }
+  if (line.find('\0') != std::string_view::npos) {
+    return bad("request contains a NUL byte");
+  }
+  if (!valid_utf8(line)) return bad("request is not valid UTF-8");
+
   obsjson::Value doc;
   try {
     doc = obsjson::parse(line);
@@ -82,7 +146,7 @@ core::Status parse_request(std::string_view line, Request* out) {
 
   core::Status status;
   if (const auto* id = member(doc, "id", obsjson::Value::Kind::kNumber, &status, "number")) {
-    out->id = static_cast<std::int64_t>(id->as_number());
+    if (!to_int64(id->as_number(), &out->id)) return bad("id must be a finite integer");
   }
   if (!status.is_ok()) return status;
 
@@ -96,11 +160,17 @@ core::Status parse_request(std::string_view line, Request* out) {
         member(doc, "target", obsjson::Value::Kind::kNumber, &status, "number");
     if (!status.is_ok()) return status;
     if (target == nullptr) return bad("cancel requires a numeric 'target' id");
-    out->cancel_target = static_cast<std::int64_t>(target->as_number());
+    if (!to_int64(target->as_number(), &out->cancel_target)) {
+      return bad("target must be a finite integer");
+    }
     return core::Status::ok();
   }
   if (op->as_string() == "ping") {
     out->kind = Request::Kind::kPing;
+    return core::Status::ok();
+  }
+  if (op->as_string() == "health") {
+    out->kind = Request::Kind::kHealth;
     return core::Status::ok();
   }
 
@@ -136,9 +206,9 @@ core::Status parse_request(std::string_view line, Request* out) {
   }
   if (const auto* samples =
           member(doc, "samples", obsjson::Value::Kind::kNumber, &status, "number")) {
-    const double v = samples->as_number();
-    if (v != std::floor(v)) return bad("samples must be an integer");
-    out->eval.samples = static_cast<long long>(v);
+    std::int64_t v = 0;
+    if (!to_int64(samples->as_number(), &v)) return bad("samples must be a finite integer");
+    out->eval.samples = v;
   }
   if (const auto* alpha =
           member(doc, "alpha", obsjson::Value::Kind::kNumber, &status, "number")) {

@@ -17,11 +17,14 @@
 ///
 /// Control requests: {"op": "cancel", "id": 9, "target": 7} removes a
 /// still-queued request; {"op": "ping", "id": 0} answers immediately (a
-/// liveness probe that bypasses the queue).
+/// liveness probe that bypasses the queue); {"op": "health", "id": 0}
+/// answers immediately with queue depth, in-flight count, and drain state
+/// (docs/SERVICE.md).
 ///
 /// Every submitted line produces exactly one response, matched by `id`.
 /// Responses arrive in completion order, not submission order.
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -41,13 +44,22 @@ enum class ErrorKind {
   kShutdown,          ///< submitted after drain began
   kNotFound,          ///< cancel target not queued (finished or unknown)
   kEvaluationFailed,  ///< request ran; the evaluation itself failed
+  kOverloaded,        ///< shed by cost-based admission control (overload)
+  kTimeout,           ///< evaluation cancelled by the per-request watchdog
+  kRequestTooLarge,   ///< request line exceeded kMaxRequestBytes
+  kInternal,          ///< unexpected exception escaped the evaluation
 };
 
 [[nodiscard]] const char* to_string(ErrorKind kind);
 
+/// Upper bound on one NDJSON request line (bytes). Longer lines are answered
+/// with a typed `request_too_large` error instead of being buffered without
+/// bound or parsed.
+inline constexpr std::size_t kMaxRequestBytes = 64 * 1024;
+
 /// One decoded request line.
 struct Request {
-  enum class Kind { kEvaluate, kCancel, kPing };
+  enum class Kind { kEvaluate, kCancel, kPing, kHealth };
 
   std::int64_t id = -1;  ///< echoed in the response; -1 when absent
   Kind kind = Kind::kEvaluate;

@@ -2,14 +2,18 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
 
+#include "exec/cancel.hpp"
+#include "faults/faults.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -32,6 +36,26 @@ std::string cancel_ok_response(std::int64_t id, std::int64_t target) {
          std::to_string(target) + "}";
 }
 
+/// Relative weight of a request for cost-based admission control. Units are
+/// arbitrary; what matters is the ratio (a co-optimization sweep is ~dozens
+/// of solves, one analyze is one).
+std::uint64_t estimate_cost(const Request& req) {
+  if (req.kind != Request::Kind::kEvaluate) return 1;
+  switch (req.eval.op) {
+    case api::Operation::kEvaluate:
+    case api::Operation::kValidate:
+      return 1;
+    case api::Operation::kLut:
+      return 16;
+    case api::Operation::kMonteCarlo:
+      return std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(std::max<long long>(1, req.eval.samples)) / 16);
+    case api::Operation::kCoOptimize:
+      return 64;
+  }
+  return 1;
+}
+
 }  // namespace
 
 struct BatchService::Pending {
@@ -39,6 +63,13 @@ struct BatchService::Pending {
   ResponseSink sink;
   Clock::time_point enqueued;
   Clock::time_point deadline;  ///< Clock::time_point::max() = none
+  std::uint64_t cost = 1;      ///< released from outstanding_cost_ at every exit
+};
+
+/// One watched evaluation: the watchdog cancels token once cancel_at passes.
+struct BatchService::InFlight {
+  exec::CancelToken* token = nullptr;
+  Clock::time_point cancel_at;
 };
 
 struct BatchService::RequestRecord {
@@ -73,6 +104,55 @@ void BatchService::start() {
     PDN3D_TRACE_SPAN("serve/region");
     pool_->parallel_for(n, [this](std::size_t) { worker_loop(); });
   });
+  if (config_.watchdog_ms > 0.0) {
+    watchdog_ = std::thread([this] { watchdog_loop(); });
+  }
+}
+
+void BatchService::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  while (!watchdog_stop_) {
+    const Clock::time_point now = Clock::now();
+    Clock::time_point next = Clock::time_point::max();
+    for (auto& [ticket, watched] : inflight_) {
+      if (watched.cancel_at <= now) {
+        // Cooperative: the worker notices at its next poll point (CG
+        // iteration / Cholesky column / solver rung). The entry stays until
+        // finish() erases it; cancel() is idempotent so re-firing is fine.
+        watched.token->cancel();
+      } else {
+        next = std::min(next, watched.cancel_at);
+      }
+    }
+    if (next == Clock::time_point::max()) {
+      watchdog_cv_.wait(lock);
+    } else {
+      watchdog_cv_.wait_until(lock, next);
+    }
+  }
+}
+
+std::string BatchService::health_response(std::int64_t id) const {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    submitted = stats_.submitted;
+    completed = stats_.completed;
+  }
+  std::string line = "{\"id\":" + std::to_string(id) + ",\"ok\":true,\"op\":\"health\"";
+  line += ",\"draining\":";
+  line += draining_.load(std::memory_order_acquire) ? "true" : "false";
+  line += ",\"queue_depth\":" + std::to_string(queued());
+  line += ",\"in_flight\":" + std::to_string(in_flight_.load(std::memory_order_relaxed));
+  line += ",\"outstanding_cost\":" +
+          std::to_string(outstanding_cost_.load(std::memory_order_relaxed));
+  line += ",\"max_outstanding_cost\":" + std::to_string(config_.max_outstanding_cost);
+  line += ",\"workers\":" + std::to_string(config_.workers);
+  line += ",\"submitted\":" + std::to_string(submitted);
+  line += ",\"completed\":" + std::to_string(completed);
+  line += "}";
+  return line;
 }
 
 void BatchService::submit_line(std::string_view line, ResponseSink sink) {
@@ -84,6 +164,21 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.submitted;
+  }
+
+  if (line.size() > kMaxRequestBytes) {
+    // Answer before parsing: an oversized line is rejected on length alone,
+    // never buffered into the JSON parser.
+    static auto& m_too_large = obs::counter("service.request_too_large");
+    m_too_large.add(1);
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected_too_large;
+    }
+    sink(error_response(-1, ErrorKind::kRequestTooLarge,
+                        "request line exceeds " + std::to_string(kMaxRequestBytes) +
+                            " bytes"));
+    return;
   }
 
   Request req;
@@ -102,6 +197,13 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
     return;
   }
 
+  if (req.kind == Request::Kind::kHealth) {
+    // Answered inline, even while draining: health is how an operator tells
+    // "draining" from "hung".
+    sink(health_response(req.id));
+    return;
+  }
+
   if (req.kind == Request::Kind::kCancel) {
     std::optional<Pending> removed;
     if (queue_ != nullptr) {
@@ -110,6 +212,7 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
     }
     if (removed.has_value()) {
       m_cancelled.add(1);
+      outstanding_cost_.fetch_sub(removed->cost, std::memory_order_relaxed);
       removed->sink(error_response(removed->req.id, ErrorKind::kCancelled,
                                    "cancelled while queued"));
       RequestRecord rec;
@@ -140,10 +243,33 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
     return;
   }
 
+  const std::uint64_t cost = estimate_cost(req);
+  if (config_.max_outstanding_cost > 0) {
+    // Approximate check-then-add: concurrent submitters can overshoot by at
+    // most one request each, and an idle service always admits (cur == 0).
+    const std::uint64_t cur = outstanding_cost_.load(std::memory_order_relaxed);
+    if (cur > 0 && cur + cost > config_.max_outstanding_cost) {
+      static auto& m_overload = obs::counter("service.rejected_overload");
+      m_overload.add(1);
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.rejected_overload;
+      }
+      sink(error_response(req.id, ErrorKind::kOverloaded,
+                          "outstanding cost " + std::to_string(cur) + " + " +
+                              std::to_string(cost) + " exceeds limit " +
+                              std::to_string(config_.max_outstanding_cost) +
+                              "; retry later"));
+      return;
+    }
+  }
+  outstanding_cost_.fetch_add(cost, std::memory_order_relaxed);
+
   Pending pending;
   pending.req = std::move(req);
   pending.sink = std::move(sink);
   pending.enqueued = Clock::now();
+  pending.cost = cost;
   double deadline_ms = pending.req.deadline_ms;
   if (deadline_ms <= 0.0) deadline_ms = config_.default_deadline_ms;
   pending.deadline =
@@ -159,6 +285,7 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
     case exec::PushResult::kOk:
       break;
     case exec::PushResult::kClosed: {
+      outstanding_cost_.fetch_sub(cost, std::memory_order_relaxed);
       {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.rejected_shutdown;
@@ -168,6 +295,7 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
     }
     case exec::PushResult::kFull: {
       m_full.add(1);
+      outstanding_cost_.fetch_sub(cost, std::memory_order_relaxed);
       {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.rejected_full;
@@ -182,6 +310,7 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
 
 void BatchService::worker_loop() {
   while (auto pending = queue_->pop()) {
+    PDN3D_FAULT_STALL("service.queue.delay", 50.0);
     finish(std::move(*pending));
   }
 }
@@ -189,6 +318,8 @@ void BatchService::worker_loop() {
 void BatchService::finish(Pending&& pending) {
   static auto& m_completed = obs::counter("service.completed");
   static auto& m_deadline = obs::counter("service.deadline_expired");
+  static auto& m_timeouts = obs::counter("service.timeouts");
+  static auto& m_internal = obs::counter("service.internal_errors");
   static auto& h_queue = obs::histogram("service.queue_ms", {1, 10, 100, 1000, 10000});
   static auto& h_run = obs::histogram("service.run_ms", {1, 10, 100, 1000, 10000});
 
@@ -204,6 +335,7 @@ void BatchService::finish(Pending&& pending) {
 
   if (start > pending.deadline) {
     m_deadline.add(1);
+    outstanding_cost_.fetch_sub(pending.cost, std::memory_order_relaxed);
     {
       const std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.deadline_expired;
@@ -225,14 +357,89 @@ void BatchService::finish(Pending&& pending) {
         std::chrono::duration<double, std::milli>(pending.req.test_sleep_ms));
   }
 
-  const api::EvaluateResult result = session_.evaluate(pending.req.eval);
+  // Register with the watchdog before evaluating. The per-request sweep runs
+  // inline on this worker (exec's nested-region rule), so installing the
+  // token here covers every CG/Cholesky poll point the request will hit.
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  exec::CancelToken cancel;
+  std::uint64_t ticket = 0;
+  const bool watched = config_.watchdog_ms > 0.0;
+  if (watched) {
+    ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const Clock::time_point cancel_at =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(config_.watchdog_ms));
+    {
+      const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+      inflight_[ticket] = {&cancel, cancel_at};
+    }
+    watchdog_cv_.notify_one();
+  }
+
+  api::EvaluateResult result;
+  bool internal_error = false;
+  std::string internal_message;
+  {
+    const exec::CancelScope scope(cancel);
+    PDN3D_FAULT_STALL("service.worker.stall", 100.0);
+    try {
+      result = session_.evaluate(pending.req.eval);
+    } catch (const std::exception& e) {
+      // evaluate() is documented never to throw for data-dependent reasons;
+      // anything escaping (fault-injected bad_alloc included) is answered
+      // with a typed `internal` error rather than torn down with the worker.
+      internal_error = true;
+      internal_message = e.what();
+    } catch (...) {
+      internal_error = true;
+      internal_message = "unknown exception";
+    }
+  }
+  if (watched) {
+    const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    inflight_.erase(ticket);
+  }
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  outstanding_cost_.fetch_sub(pending.cost, std::memory_order_relaxed);
+
   const double run_ms = ms_between(start, Clock::now());
   h_run.observe(run_ms);
   m_completed.add(1);
+  rec.run_ms = run_ms;
+
+  if (internal_error) {
+    m_internal.add(1);
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.completed;
+      ++stats_.internal_errors;
+    }
+    rec.error = to_string(ErrorKind::kInternal);
+    record(std::move(rec));
+    pending.sink(error_response(pending.req.id, ErrorKind::kInternal, internal_message));
+    return;
+  }
+
+  // Cancelled AND failed = the watchdog stopped it mid-solve. A request that
+  // finished ok despite a late cancel still delivers its result.
+  if (cancel.cancelled() && !result.ok()) {
+    m_timeouts.add(1);
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.completed;
+      ++stats_.timeouts;
+    }
+    rec.error = to_string(ErrorKind::kTimeout);
+    record(std::move(rec));
+    pending.sink(error_response(pending.req.id, ErrorKind::kTimeout,
+                                "evaluation exceeded watchdog (" +
+                                    std::to_string(static_cast<long long>(config_.watchdog_ms)) +
+                                    " ms): " + std::string(result.status.message())));
+    return;
+  }
 
   rec.ok = result.ok();
   if (!result.ok()) rec.error = to_string(ErrorKind::kEvaluationFailed);
-  rec.run_ms = run_ms;
   rec.headline_mv = result.headline_mv;
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -254,8 +461,17 @@ void BatchService::record(RequestRecord rec) {
 void BatchService::drain() {
   if (!started_ || drained_) return;
   drained_ = true;
+  draining_.store(true, std::memory_order_release);
   queue_->close();
   orchestrator_.join();
+  if (watchdog_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.notify_one();
+    watchdog_.join();
+  }
 }
 
 BatchService::Stats BatchService::stats() const {
@@ -275,9 +491,13 @@ obs::json::Value BatchService::session_block() const {
   block.set("completed", obs::json::Value(stats_.completed));
   block.set("rejected_queue_full", obs::json::Value(stats_.rejected_full));
   block.set("rejected_shutdown", obs::json::Value(stats_.rejected_shutdown));
+  block.set("rejected_overload", obs::json::Value(stats_.rejected_overload));
+  block.set("rejected_too_large", obs::json::Value(stats_.rejected_too_large));
   block.set("bad_requests", obs::json::Value(stats_.bad_requests));
   block.set("deadline_expired", obs::json::Value(stats_.deadline_expired));
   block.set("cancelled", obs::json::Value(stats_.cancelled));
+  block.set("timeouts", obs::json::Value(stats_.timeouts));
+  block.set("internal_errors", obs::json::Value(stats_.internal_errors));
   auto requests = obs::json::Value::array();
   for (const auto& rec : records_) {
     auto r = obs::json::Value::object();
@@ -318,7 +538,29 @@ void SocketServer::start() {
     throw std::runtime_error("socket path too long: " + path_);
   }
   std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
-  ::unlink(path_.c_str());  // stale socket from a crashed run
+  // A leftover path is only reclaimed when it is provably a stale socket: a
+  // non-socket file is never deleted, and a socket with a live listener keeps
+  // refusing a second server instead of hijacking its address.
+  struct stat st {};
+  if (::lstat(path_.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw std::runtime_error("refusing to replace " + path_ + ": exists and is not a socket");
+    }
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe >= 0) {
+      const int rc = ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      ::close(probe);
+      if (rc == 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("refusing to replace " + path_ +
+                                 ": a live server is already listening");
+      }
+    }
+    ::unlink(path_.c_str());  // stale socket from a crashed run
+  }
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     const int err = errno;
     ::close(listen_fd_);
@@ -405,6 +647,14 @@ void SocketServer::connection_loop(std::shared_ptr<ConnState> state) {
     const ssize_t n = ::read(state->fd, chunk, sizeof(chunk));
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // EOF (or stop()'s shutdown) or error: client is done
+    if (PDN3D_FAULT_POINT("service.socket.reset")) {
+      // Injected connection reset: drop the link mid-stream the way a
+      // crashed client would. Already-admitted requests still run; their
+      // responses fail to send and are dropped, which is exactly the real
+      // failure mode the soak harness must tolerate.
+      ::shutdown(state->fd, SHUT_RDWR);
+      break;
+    }
     buffer.append(chunk, static_cast<std::size_t>(n));
     std::size_t pos = 0;
     for (std::size_t nl = buffer.find('\n', pos); nl != std::string::npos;
@@ -414,6 +664,15 @@ void SocketServer::connection_loop(std::shared_ptr<ConnState> state) {
       pos = nl + 1;
     }
     buffer.erase(0, pos);
+    if (buffer.size() > kMaxRequestBytes) {
+      // A line this long is rejected on length alone; close rather than
+      // buffer an unbounded stream waiting for its newline.
+      sink(error_response(-1, ErrorKind::kRequestTooLarge,
+                          "request line exceeds " + std::to_string(kMaxRequestBytes) +
+                              " bytes"));
+      ::shutdown(state->fd, SHUT_RDWR);
+      break;
+    }
   }
   if (!buffer.empty()) service_.submit_line(buffer, sink);
   state->reader_done.store(true, std::memory_order_release);

@@ -13,6 +13,17 @@
 ///  - **Backpressure.** Admission never blocks: a full queue answers
 ///    `queue_full` immediately and the request is dropped before it costs
 ///    anything. Clients retry with their own policy.
+///  - **Overload control.** Beyond slot-count backpressure, admission tracks
+///    the estimated cost of everything admitted-but-unfinished (a montecarlo
+///    with 10k samples is not one ping). When `max_outstanding_cost` is set
+///    and the new request would push past it, the request is shed with a
+///    typed `overloaded` error before it is queued. The `health` op reports
+///    queue depth, in-flight count, outstanding cost, and drain state, and is
+///    answered inline even while draining.
+///  - **Watchdog.** When `watchdog_ms` is set, an evaluation that runs past
+///    it is cancelled cooperatively (exec::CancelToken polled inside the CG /
+///    Cholesky inner loops) and answered with a typed `timeout` error. A
+///    request that completes despite the cancel still delivers its result.
 ///  - **Deadline.** `deadline_ms` (or the config default) is enforced at
 ///    dequeue: a request whose deadline passed while queued answers
 ///    `deadline_exceeded` instead of running. Granularity is admission->start;
@@ -30,9 +41,11 @@
 /// plus the api::Session caches shared across them.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -53,6 +66,16 @@ struct ServiceConfig {
   std::size_t queue_capacity = 64; ///< admission queue slots (backpressure point)
   double default_deadline_ms = 0.0; ///< applied when a request names none; 0 = off
   bool enable_test_ops = false;    ///< honor `test_sleep_ms` (fault-injection tests)
+  /// Cost-based admission ceiling: the sum of estimated costs of every
+  /// admitted-but-unfinished request may not exceed this (0 = unlimited).
+  /// A request that would push past it is shed with a typed `overloaded`
+  /// error. The check is approximate (check-then-add, bounded overshoot of
+  /// one request) and at least one request is always admitted when idle.
+  std::uint64_t max_outstanding_cost = 0;
+  /// Per-request watchdog: an evaluation running longer than this is
+  /// cancelled cooperatively and answered `timeout` (0 = off). Measured from
+  /// evaluation start, not admission (deadline_ms covers queue time).
+  double watchdog_ms = 0.0;
 };
 
 /// Delivery callback for one response line (no trailing newline). Invoked
@@ -90,9 +113,13 @@ class BatchService {
     std::uint64_t completed = 0;      ///< evaluations that ran (ok or failed)
     std::uint64_t rejected_full = 0;  ///< queue_full backpressure responses
     std::uint64_t rejected_shutdown = 0;
+    std::uint64_t rejected_overload = 0;  ///< shed by cost-based admission
+    std::uint64_t rejected_too_large = 0; ///< request_too_large responses
     std::uint64_t bad_requests = 0;
     std::uint64_t deadline_expired = 0;
     std::uint64_t cancelled = 0;
+    std::uint64_t timeouts = 0;        ///< watchdog-cancelled evaluations
+    std::uint64_t internal_errors = 0; ///< exceptions escaping an evaluation
   };
   [[nodiscard]] Stats stats() const;
 
@@ -107,10 +134,13 @@ class BatchService {
  private:
   struct Pending;
   struct RequestRecord;
+  struct InFlight;
 
   void worker_loop();
+  void watchdog_loop();
   void finish(Pending&& pending);
   void record(RequestRecord rec);
+  [[nodiscard]] std::string health_response(std::int64_t id) const;
 
   const api::Session& session_;
   ServiceConfig config_;
@@ -119,6 +149,17 @@ class BatchService {
   std::thread orchestrator_;  ///< runs the pool's worker region
   bool started_ = false;
   bool drained_ = false;
+
+  std::atomic<bool> draining_{false};  ///< set at drain() start (health op)
+  std::atomic<std::uint64_t> outstanding_cost_{0};  ///< admitted, unfinished
+  std::atomic<std::uint64_t> in_flight_{0};  ///< popped by a worker, running
+  std::atomic<std::uint64_t> next_ticket_{0};
+
+  std::mutex watchdog_mutex_;  ///< guards inflight_ + watchdog_stop_
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
+  std::map<std::uint64_t, InFlight> inflight_;  ///< ticket -> watched request
+  std::thread watchdog_;
 
   mutable std::mutex stats_mutex_;  ///< guards stats_ + records_
   Stats stats_;

@@ -1,0 +1,209 @@
+#include "util/checkpoint.hpp"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace pdn3d::util {
+
+namespace {
+
+constexpr std::string_view kMagic = "pdn3d-ckpt v1";
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+bool parse_hex16(std::string_view s, std::uint64_t* out) {
+  if (s.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& why) {
+  throw std::runtime_error("checkpoint " + path + ": " + why);
+}
+
+// Failure messages are stored one per line; fold any embedded newline so the
+// record stays parseable (montecarlo/cooptimizer reasons are single-line).
+std::string one_line(std::string message) {
+  for (char& c : message) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return message;
+}
+
+}  // namespace
+
+std::uint64_t checkpoint_key(std::string_view canonical) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : canonical) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+SweepCheckpoint::SweepCheckpoint(std::string path, std::uint64_t key, std::uint64_t total)
+    : path_(std::move(path)), key_(key), total_(total) {}
+
+SweepCheckpoint::SweepCheckpoint(SweepCheckpoint&& other) noexcept
+    : path_(std::move(other.path_)),
+      key_(other.key_),
+      total_(other.total_),
+      flush_interval_(other.flush_interval_),
+      loaded_(std::move(other.loaded_)),
+      recorded_(std::move(other.recorded_)),
+      unflushed_(other.unflushed_) {}
+
+SweepCheckpoint SweepCheckpoint::open(std::string path, std::uint64_t key, std::uint64_t total,
+                                      bool resume) {
+  SweepCheckpoint ckpt(std::move(path), key, total);
+  if (!resume) return ckpt;
+
+  std::ifstream in(ckpt.path_);
+  if (!in.is_open()) return ckpt;  // missing file: fresh start
+
+  std::string header;
+  if (!std::getline(in, header)) corrupt(ckpt.path_, "empty file");
+  std::istringstream hs(header);
+  std::string magic, version, key_field, total_field;
+  hs >> magic >> version >> key_field >> total_field;
+  if (magic + " " + version != kMagic) corrupt(ckpt.path_, "unrecognized header '" + header + "'");
+  std::uint64_t file_key = 0;
+  if (key_field.rfind("key=", 0) != 0 || !parse_hex16(key_field.substr(4), &file_key)) {
+    corrupt(ckpt.path_, "bad key field '" + key_field + "'");
+  }
+  if (file_key != key) {
+    corrupt(ckpt.path_, "key mismatch (file " + key_field.substr(4) + ", run " + hex16(key) +
+                            ") — the checkpoint was written by a different configuration");
+  }
+  std::uint64_t file_total = 0;
+  if (total_field.rfind("total=", 0) != 0 ||
+      std::sscanf(total_field.c_str() + 6, "%" SCNu64, &file_total) != 1) {
+    corrupt(ckpt.path_, "bad total field '" + total_field + "'");
+  }
+  if (total != 0 && file_total != 0 && file_total != total) {
+    corrupt(ckpt.path_, "sweep size mismatch (file total=" + std::to_string(file_total) +
+                            ", run total=" + std::to_string(total) + ")");
+  }
+
+  std::string line;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::uint64_t index = 0;
+    std::string tag;
+    if (!(ls >> index >> tag)) corrupt(ckpt.path_, "bad entry at line " + std::to_string(line_no));
+    if (total != 0 && index >= total) {
+      corrupt(ckpt.path_, "entry index " + std::to_string(index) + " out of range at line " +
+                              std::to_string(line_no));
+    }
+    CheckpointEntry entry;
+    if (tag == "ok") {
+      std::string bits;
+      std::uint64_t raw = 0;
+      if (!(ls >> bits) || !parse_hex16(bits, &raw)) {
+        corrupt(ckpt.path_, "bad ok entry at line " + std::to_string(line_no));
+      }
+      entry.ok = true;
+      entry.value = std::bit_cast<double>(raw);
+    } else if (tag == "fail") {
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      entry.message = rest;
+    } else {
+      corrupt(ckpt.path_, "unknown entry tag '" + tag + "' at line " + std::to_string(line_no));
+    }
+    ckpt.loaded_[index] = std::move(entry);
+  }
+  return ckpt;
+}
+
+const CheckpointEntry* SweepCheckpoint::find(std::uint64_t index) const {
+  const auto it = loaded_.find(index);
+  return it == loaded_.end() ? nullptr : &it->second;
+}
+
+void SweepCheckpoint::record(std::uint64_t index, CheckpointEntry entry) {
+  if (!entry.ok) entry.message = one_line(std::move(entry.message));
+  std::lock_guard<std::mutex> lock(mutex_);
+  recorded_[index] = std::move(entry);
+  if (++unflushed_ >= flush_interval_) flush_locked();
+}
+
+void SweepCheckpoint::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flush_locked();
+}
+
+void SweepCheckpoint::flush_locked() {
+  unflushed_ = 0;
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) throw std::runtime_error("checkpoint: cannot write " + tmp);
+    out << kMagic << " key=" << hex16(key_) << " total=" << total_ << "\n";
+    const auto dump = [&out](const std::map<std::uint64_t, CheckpointEntry>& entries,
+                             const std::map<std::uint64_t, CheckpointEntry>* skip) {
+      for (const auto& [index, entry] : entries) {
+        if (skip != nullptr && skip->count(index) != 0) continue;
+        if (entry.ok) {
+          out << index << " ok " << hex16(std::bit_cast<std::uint64_t>(entry.value)) << "\n";
+        } else {
+          out << index << " fail " << entry.message << "\n";
+        }
+      }
+    };
+    dump(loaded_, &recorded_);  // recorded entries win over resumed ones
+    dump(recorded_, nullptr);
+    out.flush();
+    if (!out.good()) throw std::runtime_error("checkpoint: write to " + tmp + " failed");
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: rename " + tmp + " -> " + path_ + " failed");
+  }
+}
+
+void SweepCheckpoint::remove_file() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::remove(path_.c_str());
+  std::remove((path_ + ".tmp").c_str());
+}
+
+void SweepCheckpoint::set_flush_interval(std::uint64_t interval) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flush_interval_ = interval == 0 ? 1 : interval;
+}
+
+std::uint64_t SweepCheckpoint::completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t count = static_cast<std::uint64_t>(loaded_.size() + recorded_.size());
+  for (const auto& [index, entry] : recorded_) {
+    if (loaded_.count(index) != 0) --count;
+  }
+  return count;
+}
+
+}  // namespace pdn3d::util

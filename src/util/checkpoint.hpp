@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file
+/// Crash-safe sweep checkpointing (docs/ROBUSTNESS.md).
+///
+/// A SweepCheckpoint records, per completed sweep index (Monte Carlo sample,
+/// LUT entry, co-optimizer measurement), the bitwise-exact result so an
+/// interrupted run can resume and finish byte-identical to an uninterrupted
+/// one. Entries are valid independent of thread count or completion order
+/// because every sweep derives its per-index state from split RNG streams.
+///
+/// File format (plain text, one record per line):
+///
+///   pdn3d-ckpt v1 key=<16-hex> total=<N>
+///   <index> ok <16-hex IEEE-754 bits of the value>
+///   <index> fail <single-line failure message>
+///
+/// `key` fingerprints the configuration that produced the file (benchmark,
+/// operation, design, sweep parameters, seed); a resume against a different
+/// configuration is refused. `total` is the sweep size, or 0 for open-ended
+/// sweeps (co-optimizer). The file is only ever replaced whole via
+/// write-temp-then-rename, so a crash leaves either the previous complete
+/// snapshot or none at all — never a torn file.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace pdn3d::util {
+
+/// FNV-1a 64-bit hash of a canonical configuration string, used as the
+/// checkpoint `key` fingerprint.
+std::uint64_t checkpoint_key(std::string_view canonical);
+
+/// One completed sweep index.
+struct CheckpointEntry {
+  bool ok = false;      ///< true: `value` holds the result; false: `message` the failure
+  double value = 0.0;   ///< bitwise-exact result (ok entries)
+  std::string message;  ///< single-line failure reason (fail entries)
+};
+
+/// Thread-safe store of completed sweep indices with periodic atomic flushes.
+class SweepCheckpoint {
+ public:
+  /// Open `path` for a sweep fingerprinted by `key` with `total` indices
+  /// (0 = open-ended). With `resume` true an existing file is loaded (and a
+  /// key/total mismatch or corrupt file throws std::runtime_error); a missing
+  /// file starts fresh. With `resume` false any existing file is discarded.
+  static SweepCheckpoint open(std::string path, std::uint64_t key, std::uint64_t total,
+                              bool resume);
+
+  SweepCheckpoint(SweepCheckpoint&&) noexcept;
+  SweepCheckpoint& operator=(SweepCheckpoint&&) = delete;
+  SweepCheckpoint(const SweepCheckpoint&) = delete;
+
+  /// Entry loaded for `index` at open(), or nullptr if it must be computed.
+  /// Only resumed entries are returned; indices recorded during this run are
+  /// never handed back. Safe to call concurrently.
+  const CheckpointEntry* find(std::uint64_t index) const;
+
+  /// Record a freshly computed index. Flushes the file every
+  /// `flush_interval()` records. Safe to call concurrently.
+  void record(std::uint64_t index, CheckpointEntry entry);
+
+  /// Write the current snapshot (header + every entry) to a temp file and
+  /// rename it over `path`. Throws std::runtime_error on I/O failure.
+  void flush();
+
+  /// Delete the checkpoint file (e.g. after the caller decides the sweep
+  /// output is no longer needed). Missing file is not an error.
+  void remove_file();
+
+  /// Records between automatic flushes (default 16; minimum 1).
+  void set_flush_interval(std::uint64_t interval);
+  std::uint64_t flush_interval() const { return flush_interval_; }
+
+  std::uint64_t completed() const;  ///< loaded + recorded entry count
+  std::uint64_t resumed() const { return static_cast<std::uint64_t>(loaded_.size()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  SweepCheckpoint(std::string path, std::uint64_t key, std::uint64_t total);
+  void flush_locked();
+
+  std::string path_;
+  std::uint64_t key_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t flush_interval_ = 16;
+  std::map<std::uint64_t, CheckpointEntry> loaded_;  // immutable after open()
+
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, CheckpointEntry> recorded_;
+  std::uint64_t unflushed_ = 0;
+};
+
+}  // namespace pdn3d::util

@@ -1,0 +1,236 @@
+// Deterministic fault injection (src/faults/): the registry's spec grammar,
+// the pure-function fault schedule, per-site trigger caps, and the solver
+// sites' observable failure modes. Parameterized over every known site so a
+// new site cannot ship without the trigger-count contract holding for it.
+//
+// The registry is process-global; every test configures it explicitly and
+// resets it on exit so ordering between tests cannot matter.
+
+#include "faults/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/cancel.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/coo.hpp"
+
+namespace pdn3d::faults {
+namespace {
+
+class FaultsRegistryGuard : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::instance().reset(); }
+  void TearDown() override { Registry::instance().reset(); }
+};
+
+using FaultsTest = FaultsRegistryGuard;
+
+TEST_F(FaultsTest, UnconfiguredRegistryIsInert) {
+  auto& reg = Registry::instance();
+  EXPECT_FALSE(reg.enabled());
+  EXPECT_FALSE(reg.should_fire("linalg.cg.stall"));
+  EXPECT_FALSE(PDN3D_FAULT_POINT("linalg.cg.stall"));
+  EXPECT_EQ(reg.triggers("linalg.cg.stall"), 0u);
+  EXPECT_TRUE(reg.stats().empty());
+}
+
+TEST_F(FaultsTest, EmptySpecDisablesInjection) {
+  auto& reg = Registry::instance();
+  ASSERT_EQ(reg.configure("linalg.cg.nan=1.0"), "");
+  EXPECT_TRUE(reg.enabled());
+  ASSERT_EQ(reg.configure(""), "");
+  EXPECT_FALSE(reg.enabled());
+  EXPECT_FALSE(reg.should_fire("linalg.cg.nan"));
+}
+
+TEST_F(FaultsTest, RateOneAlwaysFiresRateZeroNever) {
+  auto& reg = Registry::instance();
+  ASSERT_EQ(reg.configure("a.site=1.0,b.site=0.0,seed=3"), "");
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_TRUE(reg.should_fire("a.site"));
+    EXPECT_FALSE(reg.should_fire("b.site"));
+  }
+  EXPECT_EQ(reg.triggers("a.site"), 16u);
+  EXPECT_EQ(reg.triggers("b.site"), 0u);
+}
+
+TEST_F(FaultsTest, ProbabilisticScheduleReplaysExactly) {
+  auto& reg = Registry::instance();
+  const auto run = [&reg](const std::string& spec) {
+    EXPECT_EQ(reg.configure(spec), "");
+    std::vector<bool> decisions;
+    decisions.reserve(64);
+    for (int i = 0; i < 64; ++i) decisions.push_back(reg.should_fire("x.site"));
+    return decisions;
+  };
+  const auto first = run("x.site=0.5,seed=42");
+  const auto replay = run("x.site=0.5,seed=42");
+  EXPECT_EQ(first, replay);  // decisions are pure functions of (seed, site, call)
+  const auto other_seed = run("x.site=0.5,seed=43");
+  EXPECT_NE(first, other_seed);
+}
+
+// Every known site obeys the same spec semantics: 1/3 fires on calls 3, 6,
+// 9, ... and #2 caps the run at two triggers.
+class FaultsEverySite : public ::testing::TestWithParam<std::string_view> {
+ protected:
+  void SetUp() override { Registry::instance().reset(); }
+  void TearDown() override { Registry::instance().reset(); }
+};
+
+TEST_P(FaultsEverySite, EveryNthWithCapFiresExactlyTwiceInNineCalls) {
+  auto& reg = Registry::instance();
+  const std::string site(GetParam());
+  ASSERT_EQ(reg.configure(site + "=1/3#2,seed=7"), "");
+  std::vector<int> fired_at;
+  for (int call = 1; call <= 9; ++call) {
+    if (reg.should_fire(site)) fired_at.push_back(call);
+  }
+  EXPECT_EQ(fired_at, (std::vector<int>{3, 6}));  // 9 blocked by the cap
+  EXPECT_EQ(reg.triggers(site), 2u);
+  const auto stats = reg.stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].site, site);
+  EXPECT_EQ(stats[0].calls, 9u);
+  EXPECT_EQ(stats[0].triggers, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKnownSites, FaultsEverySite, ::testing::ValuesIn(kKnownSites),
+                         [](const ::testing::TestParamInfo<std::string_view>& info) {
+                           std::string name(info.param);
+                           for (char& c : name) {
+                             if (c == '.') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST_F(FaultsTest, ParamParsesAndFallsBack) {
+  auto& reg = Registry::instance();
+  ASSERT_EQ(reg.configure("linalg.cg.stall=1.0:25.5,other.site=1.0"), "");
+  EXPECT_DOUBLE_EQ(reg.param("linalg.cg.stall", 50.0), 25.5);
+  EXPECT_DOUBLE_EQ(reg.param("other.site", 50.0), 50.0);   // no :param given
+  EXPECT_DOUBLE_EQ(reg.param("unknown.site", 50.0), 50.0);
+}
+
+TEST_F(FaultsTest, MalformedSpecsRejectedAndPreviousConfigKept) {
+  auto& reg = Registry::instance();
+  ASSERT_EQ(reg.configure("good.site=1.0"), "");
+  EXPECT_NE(reg.configure("nonsense"), "");            // no '='
+  EXPECT_NE(reg.configure("x=notanumber"), "");        // bad rate
+  EXPECT_NE(reg.configure("x=1.5"), "");               // rate outside [0,1]
+  EXPECT_NE(reg.configure("x=2/3"), "");               // only 1/N supported
+  EXPECT_NE(reg.configure("x=1/0"), "");               // N >= 1
+  EXPECT_NE(reg.configure("x=1/4#abc"), "");           // bad trigger cap
+  EXPECT_NE(reg.configure("x=1.0:ms"), "");            // bad param
+  EXPECT_NE(reg.configure("seed=minus,x=1.0"), "");    // bad seed
+  // Every rejected spec left the previous configuration in force.
+  EXPECT_TRUE(reg.enabled());
+  EXPECT_TRUE(reg.should_fire("good.site"));
+}
+
+TEST_F(FaultsTest, ConfigureFromEnvUnsetDisables) {
+  auto& reg = Registry::instance();
+  ASSERT_EQ(reg.configure("x.site=1.0"), "");
+  ::unsetenv("PDN3D_FAULTS");
+  EXPECT_EQ(reg.configure_from_env(), "");
+  EXPECT_FALSE(reg.enabled());
+
+  ::setenv("PDN3D_FAULTS", "y.site=1/2#1,seed=9", 1);
+  EXPECT_EQ(reg.configure_from_env(), "");
+  EXPECT_TRUE(reg.enabled());
+  EXPECT_FALSE(reg.should_fire("y.site"));  // call 1
+  EXPECT_TRUE(reg.should_fire("y.site"));   // call 2 fires
+  ::unsetenv("PDN3D_FAULTS");
+}
+
+TEST_F(FaultsTest, MaybeStallSleepsForParamDuration) {
+  auto& reg = Registry::instance();
+  ASSERT_EQ(reg.configure("s.site=1.0:40"), "");
+  const auto t0 = std::chrono::steady_clock::now();
+  maybe_stall("s.site", 1000.0);  // :40 overrides the default
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_GE(ms, 35.0);
+  EXPECT_LT(ms, 500.0);
+}
+
+TEST_F(FaultsTest, MaybeStallInterruptedByCancellation) {
+  auto& reg = Registry::instance();
+  ASSERT_EQ(reg.configure("s.site=1.0:2000"), "");
+  exec::CancelToken token;
+  const exec::CancelScope scope(token);
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    token.cancel();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  maybe_stall("s.site", 2000.0);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  canceller.join();
+  EXPECT_LT(ms, 1500.0);  // returned on cancel, far before the 2 s stall
+}
+
+TEST_F(FaultsTest, MaybeThrowAllocThrowsBadAlloc) {
+  auto& reg = Registry::instance();
+  ASSERT_EQ(reg.configure("irdrop.solve.alloc=1/1"), "");
+  EXPECT_THROW(maybe_throw_alloc("irdrop.solve.alloc"), std::bad_alloc);
+  reg.reset();
+  EXPECT_NO_THROW(maybe_throw_alloc("irdrop.solve.alloc"));
+}
+
+// The CG NaN site end to end: the poisoned residual must surface as a
+// detected kDivergedNonFinite failure, never as silently-garbage output.
+TEST_F(FaultsTest, CgNanSiteSurfacesAsDetectedDivergence) {
+  linalg::CooBuilder b(20);
+  for (std::size_t i = 0; i + 1 < 20; ++i) b.stamp_conductance(i, i + 1, 2.0);
+  b.stamp_to_ground(0, 1.0);
+  b.stamp_to_ground(19, 1.0);
+  const linalg::Csr a = b.compress();
+  std::vector<double> rhs(20, 0.0);
+  rhs[10] = 1.0;
+
+  ASSERT_EQ(Registry::instance().configure("linalg.cg.nan=1/1#1"), "");
+  const linalg::CgResult poisoned = linalg::solve_cg(a, rhs);
+  EXPECT_FALSE(poisoned.converged);
+  EXPECT_EQ(poisoned.failure, linalg::CgFailure::kDivergedNonFinite)
+      << linalg::to_string(poisoned.failure) << ": " << poisoned.detail;
+  EXPECT_EQ(Registry::instance().triggers("linalg.cg.nan"), 1u);
+
+  Registry::instance().reset();
+  const linalg::CgResult clean = linalg::solve_cg(a, rhs);
+  EXPECT_TRUE(clean.converged);
+}
+
+// Cooperative cancellation through the CG inner loop: a pre-cancelled token
+// stops the solve at its first poll with the typed kCancelled failure.
+TEST_F(FaultsTest, CgHonorsCancellationToken) {
+  linalg::CooBuilder b(50);
+  for (std::size_t i = 0; i + 1 < 50; ++i) b.stamp_conductance(i, i + 1, 2.0);
+  b.stamp_to_ground(0, 1.0);
+  b.stamp_to_ground(49, 1.0);
+  const linalg::Csr a = b.compress();
+  std::vector<double> rhs(50, 0.0);
+  rhs[25] = 1.0;
+
+  exec::CancelToken token;
+  token.cancel();
+  const exec::CancelScope scope(token);
+  linalg::CgOptions opts;
+  opts.preconditioner = linalg::Preconditioner::kNone;  // force real iterations
+  const linalg::CgResult r = linalg::solve_cg(a, rhs, opts);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.failure, linalg::CgFailure::kCancelled) << r.detail;
+}
+
+}  // namespace
+}  // namespace pdn3d::faults

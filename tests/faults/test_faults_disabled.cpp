@@ -1,0 +1,61 @@
+// PDN3D_DISABLE_FAULTS compiles the site macros down to constants in any TU
+// that defines it -- this file simulates a build with the option ON and proves
+// the macros are inert even against a registry armed at rate 1.0. The macro
+// effect is per translation unit, so this coexists with test_faults.cpp in
+// the same binary.
+
+#ifndef PDN3D_DISABLE_FAULTS
+#define PDN3D_DISABLE_FAULTS 1
+#endif
+
+#include "faults/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace pdn3d::faults {
+namespace {
+
+class FaultsDisabledTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::instance().reset(); }
+  void TearDown() override { Registry::instance().reset(); }
+};
+
+TEST_F(FaultsDisabledTest, MacrosCompileToNoOpsEvenWhenRegistryArmed) {
+  auto& reg = Registry::instance();
+  ASSERT_EQ(reg.configure("dead.point=1.0,dead.stall=1.0:5000,dead.alloc=1.0"), "");
+  ASSERT_TRUE(reg.enabled());
+
+  EXPECT_FALSE(PDN3D_FAULT_POINT("dead.point"));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  PDN3D_FAULT_STALL("dead.stall", 5000.0);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  EXPECT_LT(ms, 1000.0);  // the 5 s stall never ran
+
+  EXPECT_NO_THROW(PDN3D_FAULT_ALLOC("dead.alloc"));
+
+  // The macros never reached the registry: no calls, no triggers.
+  for (const auto& s : reg.stats()) {
+    EXPECT_EQ(s.calls, 0u) << s.site;
+    EXPECT_EQ(s.triggers, 0u) << s.site;
+  }
+}
+
+TEST_F(FaultsDisabledTest, RegistryApiStaysLinkableAndFunctional) {
+  // Disabling the macros must not take the spec-handling API with it: tools
+  // still parse and report on PDN3D_FAULTS even in a hardened build.
+  auto& reg = Registry::instance();
+  EXPECT_NE(reg.configure("bad spec"), "");
+  ASSERT_EQ(reg.configure("x.site=1/2,seed=5"), "");
+  EXPECT_FALSE(reg.should_fire("x.site"));  // direct calls still work
+  EXPECT_TRUE(reg.should_fire("x.site"));
+  EXPECT_EQ(reg.triggers("x.site"), 1u);
+}
+
+}  // namespace
+}  // namespace pdn3d::faults

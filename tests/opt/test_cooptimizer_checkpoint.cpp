@@ -1,0 +1,182 @@
+// Checkpointed co-optimization sweeps: measurements replay from the file by
+// global sample index, so a resumed optimize() is bitwise identical to an
+// uninterrupted one -- at any thread count -- while actually skipping the
+// recorded measurements. Crashes are simulated by truncating the file to a
+// prefix of its entries.
+
+#include "opt/cooptimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "util/checkpoint.hpp"
+
+namespace pdn3d::opt {
+namespace {
+
+double fake_ir(const pdn::PdnConfig& cfg) {
+  double ir = 2.0 + 1.1 / cfg.m2_usage + 0.9 / cfg.m3_usage + 60.0 / cfg.tsv_count;
+  if (cfg.tsv_location == pdn::TsvLocation::kCenter) ir *= 1.6;
+  if (cfg.tsv_location == pdn::TsvLocation::kDistributed) ir *= 0.7;
+  if (cfg.bonding == pdn::BondingStyle::kF2F) ir *= 0.65;
+  if (cfg.wire_bonding) ir *= 0.85;
+  if (cfg.rdl != pdn::RdlMode::kNone) ir *= 1.05;
+  return ir;
+}
+
+DesignSpace small_space() {
+  DesignSpace s;
+  s.tsv_locations = {pdn::TsvLocation::kCenter, pdn::TsvLocation::kEdge};
+  s.dedicated_options = {false};
+  return s;
+}
+
+/// fake_ir plus a shared measurement counter surviving fork() -- the proof
+/// that a resumed sweep *skips* replayed measurements instead of redoing them.
+class CountingEvaluator final : public Evaluator {
+ public:
+  explicit CountingEvaluator(std::atomic<int>* measures) : measures_(measures) {}
+  [[nodiscard]] double measure(const pdn::PdnConfig& cfg) override {
+    measures_->fetch_add(1);
+    return fake_ir(cfg);
+  }
+  [[nodiscard]] std::unique_ptr<Evaluator> fork() const override {
+    return std::make_unique<CountingEvaluator>(measures_);
+  }
+
+ private:
+  std::atomic<int>* measures_;
+};
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+void truncate_to_half(const std::string& path) {
+  const auto lines = read_lines(path);
+  ASSERT_GT(lines.size(), 3u);
+  const std::size_t keep = (lines.size() - 1) / 2;  // header + half the entries
+  std::ofstream out(path, std::ios::trunc);
+  for (std::size_t i = 0; i <= keep; ++i) out << lines[i] << "\n";
+}
+
+TEST(CoOptimizerCheckpoint, ResumedOptimizeIsBitwiseIdenticalAndSkipsReplayedWork) {
+  const std::string path = testing::TempDir() + "pdn3d_coopt.ckpt";
+  std::remove(path.c_str());
+  const std::uint64_t key = util::checkpoint_key("coopt-resume-test");
+
+  // Ground truth: no checkpoint involved at all.
+  CoOptimizer plain(small_space(), std::make_unique<FunctionEvaluator>(fake_ir), 1);
+  const auto truth = plain.optimize(0.3);
+
+  // Full run with a checkpoint attached: same result, file left complete.
+  std::atomic<int> full_measures{0};
+  {
+    auto ckpt = util::SweepCheckpoint::open(path, key, 0, false);
+    CoOptimizer opt(small_space(), std::make_unique<CountingEvaluator>(&full_measures), 1);
+    opt.set_checkpoint(&ckpt);
+    const auto best = opt.optimize(0.3);
+    ckpt.flush();
+    EXPECT_EQ(best.config.summary(), truth.config.summary());
+    EXPECT_EQ(best.predicted_ir_mv, truth.predicted_ir_mv);
+    EXPECT_EQ(best.measured_ir_mv, truth.measured_ir_mv);
+    EXPECT_EQ(best.cost, truth.cost);
+  }
+  ASSERT_GT(full_measures.load(), 0);
+
+  // Crash halfway, resume serially: bitwise-identical optimum, and the
+  // replayed prefix was never re-measured.
+  ASSERT_NO_FATAL_FAILURE(truncate_to_half(path));
+  std::atomic<int> resumed_measures{0};
+  {
+    auto ckpt = util::SweepCheckpoint::open(path, key, 0, true);
+    ASSERT_GT(ckpt.resumed(), 0u);
+    CoOptimizer opt(small_space(), std::make_unique<CountingEvaluator>(&resumed_measures), 1);
+    opt.set_checkpoint(&ckpt);
+    const auto best = opt.optimize(0.3);
+    ckpt.flush();
+    EXPECT_EQ(best.config.summary(), truth.config.summary());
+    EXPECT_EQ(best.predicted_ir_mv, truth.predicted_ir_mv);
+    EXPECT_EQ(best.measured_ir_mv, truth.measured_ir_mv);
+    EXPECT_EQ(best.cost, truth.cost);
+  }
+  EXPECT_GT(resumed_measures.load(), 0);
+  EXPECT_LT(resumed_measures.load(), full_measures.load());
+
+  // Crash again, resume on eight threads: thread count must not perturb the
+  // resumed result either (the ParallelCoOptimizer invariant, now through the
+  // checkpoint path).
+  ASSERT_NO_FATAL_FAILURE(truncate_to_half(path));
+  {
+    std::atomic<int> threaded_measures{0};
+    auto ckpt = util::SweepCheckpoint::open(path, key, 0, true);
+    CoOptimizer opt(small_space(), std::make_unique<CountingEvaluator>(&threaded_measures),
+                    8);
+    opt.set_checkpoint(&ckpt);
+    const auto best = opt.optimize(0.3);
+    EXPECT_EQ(best.config.summary(), truth.config.summary());
+    EXPECT_EQ(best.predicted_ir_mv, truth.predicted_ir_mv);
+    EXPECT_EQ(best.measured_ir_mv, truth.measured_ir_mv);
+    EXPECT_EQ(best.cost, truth.cost);
+    EXPECT_LT(threaded_measures.load(), full_measures.load());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CoOptimizerCheckpoint, FailedMeasurementsResumeAsSkipsNotRetries) {
+  // A checkpointed sweep records failures too; a resume replays them into
+  // skipped_points() without calling the evaluator again for those indices.
+  const std::string path = testing::TempDir() + "pdn3d_coopt_fail.ckpt";
+  std::remove(path.c_str());
+  const std::uint64_t key = util::checkpoint_key("coopt-fail-test");
+  const auto failing = [](const pdn::PdnConfig& cfg) {
+    return cfg.tsv_location == pdn::TsvLocation::kCenter && cfg.m3_usage < 0.2;
+  };
+  const auto evaluate = [&](const pdn::PdnConfig& cfg) {
+    if (failing(cfg)) {
+      throw core::NumericalError(core::Status::numerical_failure("synthetic fault"));
+    }
+    return fake_ir(cfg);
+  };
+
+  CoOptimizer plain(small_space(), std::make_unique<FunctionEvaluator>(evaluate), 1);
+  plain.fit_models();
+  ASSERT_FALSE(plain.skipped_points().empty());
+
+  {
+    auto ckpt = util::SweepCheckpoint::open(path, key, 0, false);
+    CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(evaluate), 1);
+    opt.set_checkpoint(&ckpt);
+    opt.fit_models();
+    ckpt.flush();
+  }
+  {
+    auto ckpt = util::SweepCheckpoint::open(path, key, 0, true);
+    // The resumed evaluator would crash the test if a replayed failure were
+    // re-measured as something else entirely.
+    CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(evaluate), 1);
+    opt.set_checkpoint(&ckpt);
+    opt.fit_models();
+    ASSERT_EQ(opt.skipped_points().size(), plain.skipped_points().size());
+    for (std::size_t i = 0; i < plain.skipped_points().size(); ++i) {
+      EXPECT_EQ(opt.skipped_points()[i].config.summary(),
+                plain.skipped_points()[i].config.summary())
+          << i;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pdn3d::opt

@@ -1,0 +1,452 @@
+// Resilience mechanisms of the batch service: cost-based overload shedding,
+// the health op, the per-request watchdog, fault-injection end-to-end paths,
+// request-size hardening, and the socket front end's stale-socket handling.
+// Suite names start with Service* so scripts/run_sanitized_tests.sh runs them
+// under TSan alongside the other concurrency suites.
+
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "faults/faults.hpp"
+#include "service/protocol.hpp"
+
+namespace pdn3d::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+class Collector {
+ public:
+  ResponseSink sink() {
+    return [this](const std::string& line) {
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        lines_.push_back(line);
+      }
+      cv_.notify_all();
+    };
+  }
+
+  std::vector<std::string> wait_for(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, 30s, [&] { return lines_.size() >= n; });
+    return lines_;
+  }
+
+  std::vector<std::string> lines() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return lines_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::string> lines_;
+};
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+void wait_drained_queue(const BatchService& service) {
+  for (int i = 0; i < 2000 && service.queued() > 0; ++i) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_EQ(service.queued(), 0u);
+}
+
+// Several tests arm the process-global fault registry; reset around each so a
+// failure in one cannot leak injected faults into the next.
+class ServiceFaultFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { faults::Registry::instance().reset(); }
+  void TearDown() override { faults::Registry::instance().reset(); }
+};
+
+using ServiceResilience = ServiceFaultFixture;
+
+TEST_F(ServiceResilience, OverloadControlShedsBeyondCostCeiling) {
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 8;
+  cfg.enable_test_ops = true;
+  cfg.max_outstanding_cost = 1;
+  BatchService service(session, cfg);
+  service.start();
+
+  Collector c1, c2;
+  // r1 is admitted (an idle service always takes one request) and holds its
+  // cost until it finishes, 400 ms from now.
+  service.submit_line(
+      R"({"id":1,"op":"validate","benchmark":"wide-io","test_sleep_ms":400})", c1.sink());
+  wait_drained_queue(service);
+  // r2 would push outstanding cost to 2 > 1: shed, typed, immediate.
+  service.submit_line(R"({"id":2,"op":"validate","benchmark":"wide-io"})", c2.sink());
+  const auto shed = c2.wait_for(1);
+  ASSERT_EQ(shed.size(), 1u);
+  EXPECT_TRUE(contains(shed[0], R"("id":2)")) << shed[0];
+  EXPECT_TRUE(contains(shed[0], R"("kind":"overloaded")")) << shed[0];
+
+  service.drain();
+  // The admitted request was never affected by the shedding.
+  ASSERT_EQ(c1.lines().size(), 1u);
+  EXPECT_TRUE(contains(c1.lines()[0], R"("ok":true)")) << c1.lines()[0];
+  const auto s = service.stats();
+  EXPECT_EQ(s.rejected_overload, 1u);
+  EXPECT_EQ(s.completed, 1u);
+
+  // Once the cost drained, admission reopens.
+  Collector after;
+  service.submit_line(R"({"id":3,"op":"validate","benchmark":"wide-io"})", after.sink());
+  ASSERT_EQ(after.lines().size(), 1u);
+  EXPECT_TRUE(contains(after.lines()[0], R"("kind":"shutdown")"));  // drained, not overloaded
+}
+
+TEST_F(ServiceResilience, HealthOpReportsStateAndAnswersWhileDraining) {
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.max_outstanding_cost = 32;
+  BatchService service(session, cfg);
+  service.start();
+
+  Collector health;
+  service.submit_line(R"({"id":7,"op":"health"})", health.sink());
+  ASSERT_EQ(health.lines().size(), 1u);  // answered inline, no worker involved
+  const std::string live = health.lines()[0];
+  EXPECT_TRUE(contains(live, R"("id":7)")) << live;
+  EXPECT_TRUE(contains(live, R"("ok":true)")) << live;
+  EXPECT_TRUE(contains(live, R"("op":"health")")) << live;
+  EXPECT_TRUE(contains(live, R"("draining":false)")) << live;
+  EXPECT_TRUE(contains(live, R"("queue_depth":0)")) << live;
+  EXPECT_TRUE(contains(live, R"("in_flight":0)")) << live;
+  EXPECT_TRUE(contains(live, R"("outstanding_cost":0)")) << live;
+  EXPECT_TRUE(contains(live, R"("max_outstanding_cost":32)")) << live;
+  EXPECT_TRUE(contains(live, R"("workers":1)")) << live;
+
+  service.drain();
+  // Health bypasses the shutdown rejection: operators can still probe a
+  // draining server.
+  Collector drained;
+  service.submit_line(R"({"id":8,"op":"health"})", drained.sink());
+  ASSERT_EQ(drained.lines().size(), 1u);
+  EXPECT_TRUE(contains(drained.lines()[0], R"("draining":true)")) << drained.lines()[0];
+}
+
+TEST_F(ServiceResilience, WatchdogCancelsStuckEvaluationWithTypedTimeout) {
+  // The injected worker stall (10 s, cancel-aware) stands in for a stuck
+  // solve; the 150 ms watchdog must cut it down to a typed `timeout`.
+  ASSERT_EQ(faults::Registry::instance().configure("service.worker.stall=1.0#1:10000"), "");
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.watchdog_ms = 150.0;
+  BatchService service(session, cfg);
+  service.start();
+
+  Collector client;
+  const auto t0 = std::chrono::steady_clock::now();
+  service.submit_line(R"({"id":1,"op":"evaluate","benchmark":"wide-io"})", client.sink());
+  const auto lines = client.wait_for(1);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(contains(lines[0], R"("id":1)")) << lines[0];
+  EXPECT_TRUE(contains(lines[0], R"("kind":"timeout")")) << lines[0];
+  EXPECT_LT(ms, 8000.0);  // the 10 s stall was interrupted, not served
+  EXPECT_EQ(faults::Registry::instance().triggers("service.worker.stall"), 1u);
+
+  service.drain();
+  const auto s = service.stats();
+  EXPECT_EQ(s.timeouts, 1u);
+  EXPECT_EQ(s.completed, 1u);  // a timed-out request still counts as completed
+
+  // The watchdog left the service healthy: later requests run normally.
+  // (The #1 trigger cap disarmed the stall after its single firing.)
+}
+
+TEST_F(ServiceResilience, AllocationFaultSurfacesAsEvaluationFailed) {
+  ASSERT_EQ(faults::Registry::instance().configure("irdrop.solve.alloc=1/1#1"), "");
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  BatchService service(session, cfg);
+  service.start();
+
+  Collector c1, c2;
+  service.submit_line(R"({"id":1,"op":"evaluate","benchmark":"wide-io"})", c1.sink());
+  const auto failed = c1.wait_for(1);
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_TRUE(contains(failed[0], R"("ok":false)")) << failed[0];
+  EXPECT_TRUE(contains(failed[0], R"("kind":"evaluation_failed")")) << failed[0];
+
+  // One bad_alloc does not poison the worker: the next request (fault capped
+  // at one trigger) succeeds on the same service.
+  service.submit_line(R"({"id":2,"op":"evaluate","benchmark":"wide-io"})", c2.sink());
+  service.drain();
+  ASSERT_EQ(c2.lines().size(), 1u);
+  EXPECT_TRUE(contains(c2.lines()[0], R"("ok":true)")) << c2.lines()[0];
+  EXPECT_EQ(service.stats().completed, 2u);
+}
+
+TEST_F(ServiceResilience, QueueDelayFaultOnlySlowsNeverDrops) {
+  ASSERT_EQ(faults::Registry::instance().configure("service.queue.delay=1.0:20"), "");
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  BatchService service(session, cfg);
+  service.start();
+
+  Collector client;
+  for (int i = 1; i <= 4; ++i) {
+    service.submit_line(
+        R"({"id":)" + std::to_string(i) + R"(,"op":"validate","benchmark":"wide-io"})",
+        client.sink());
+  }
+  service.drain();
+  ASSERT_EQ(client.lines().size(), 4u);  // delayed, but every one answered
+  for (const auto& line : client.lines()) {
+    EXPECT_TRUE(contains(line, R"("ok":true)")) << line;
+  }
+  EXPECT_EQ(faults::Registry::instance().triggers("service.queue.delay"), 4u);
+}
+
+TEST_F(ServiceResilience, OversizedLineAnsweredWithoutParsing) {
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  BatchService service(session, cfg);
+  service.start();
+
+  // A line one byte over the cap -- mostly padding, but syntactically valid
+  // JSON so only the size check can be what rejects it.
+  std::string line = R"({"id":1,"op":"ping","pad":")";
+  line.append(kMaxRequestBytes, 'x');
+  line += "\"}";
+  Collector client;
+  service.submit_line(line, client.sink());
+  ASSERT_EQ(client.lines().size(), 1u);
+  EXPECT_TRUE(contains(client.lines()[0], R"("kind":"request_too_large")"))
+      << client.lines()[0].substr(0, 200);
+  service.drain();
+  EXPECT_EQ(service.stats().rejected_too_large, 1u);
+}
+
+TEST(ServiceProtocolHardening, ParserRejectsHostileInput) {
+  Request req;
+  // Oversized input is rejected by parse_request itself, independent of the
+  // service-level check.
+  std::string huge = R"({"id":1,"op":"ping"})";
+  huge.append(kMaxRequestBytes, ' ');
+  EXPECT_FALSE(parse_request(huge, &req).is_ok());
+
+  // Embedded NUL and invalid UTF-8 never reach the JSON parser.
+  std::string nul = R"({"id":1,"op":"ping"})";
+  nul[5] = '\0';
+  EXPECT_FALSE(parse_request(nul, &req).is_ok());
+  EXPECT_FALSE(parse_request("{\"op\":\"ping\xff\"}", &req).is_ok());      // stray byte
+  EXPECT_FALSE(parse_request("{\"op\":\"ping\xc0\xaf\"}", &req).is_ok());  // overlong '/'
+  EXPECT_FALSE(parse_request("{\"op\":\"ping\xed\xa0\x80\"}", &req).is_ok());  // surrogate
+
+  // Truncated and structurally hostile JSON.
+  EXPECT_FALSE(parse_request(R"({"id":1,"op":"pi)", &req).is_ok());
+  std::string deep;
+  for (int i = 0; i < 256; ++i) deep += '[';
+  for (int i = 0; i < 256; ++i) deep += ']';
+  EXPECT_FALSE(parse_request(deep, &req).is_ok());
+
+  // Numbers that overflow their integer fields are errors, not wrapped casts.
+  EXPECT_FALSE(parse_request(R"({"id":1e999,"op":"ping"})", &req).is_ok());
+  EXPECT_FALSE(parse_request(R"({"id":1e300,"op":"ping"})", &req).is_ok());
+  EXPECT_FALSE(parse_request(R"({"id":-1e300,"op":"ping"})", &req).is_ok());
+  EXPECT_FALSE(parse_request(R"({"id":1.5,"op":"ping"})", &req).is_ok());
+  EXPECT_FALSE(
+      parse_request(R"({"id":1,"op":"montecarlo","benchmark":"hmc","samples":1e300})", &req)
+          .is_ok());
+
+  // The parser is still healthy after all of that.
+  ASSERT_TRUE(parse_request(R"({"id":3,"op":"ping"})", &req).is_ok());
+  EXPECT_EQ(req.kind, Request::Kind::kPing);
+}
+
+TEST(ServiceProtocolHardening, HealthOpParsesAndNewErrorKindsRender) {
+  Request req;
+  ASSERT_TRUE(parse_request(R"({"id":11,"op":"health"})", &req).is_ok());
+  EXPECT_EQ(req.kind, Request::Kind::kHealth);
+  EXPECT_EQ(req.id, 11);
+
+  EXPECT_TRUE(contains(error_response(1, ErrorKind::kOverloaded, "shed"),
+                       R"("kind":"overloaded")"));
+  EXPECT_TRUE(contains(error_response(1, ErrorKind::kTimeout, "watchdog"),
+                       R"("kind":"timeout")"));
+  EXPECT_TRUE(contains(error_response(1, ErrorKind::kRequestTooLarge, "cap"),
+                       R"("kind":"request_too_large")"));
+  EXPECT_TRUE(contains(error_response(1, ErrorKind::kInternal, "boom"),
+                       R"("kind":"internal")"));
+}
+
+// ---------------------------------------------------------------------------
+// Socket front end: stale-socket recovery and the connection-reset fault.
+
+int connect_client(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct timeval tv {};
+  tv.tv_sec = 10;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Write one request line and read back one response line ("" on EOF/error).
+std::string roundtrip(int fd, const std::string& request) {
+  const std::string line = request + "\n";
+  if (::write(fd, line.data(), line.size()) != static_cast<ssize_t>(line.size())) return "";
+  std::string out;
+  char c = 0;
+  while (::read(fd, &c, 1) == 1) {
+    if (c == '\n') return out;
+    out += c;
+  }
+  return "";
+}
+
+class ServiceSocketTest : public ServiceFaultFixture {};
+
+TEST_F(ServiceSocketTest, LiveServerRefusesSecondBindStaleSocketRebinds) {
+  const std::string path = testing::TempDir() + "pdn3d_resilience.sock";
+  std::remove(path.c_str());
+
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  BatchService service(session, cfg);
+  service.start();
+
+  {
+    SocketServer first(service, path);
+    first.start();
+
+    // A second server on the same path must refuse: the socket is live.
+    BatchService other(session, cfg);
+    SocketServer second(other, path);
+    try {
+      second.start();
+      FAIL() << "second bind on a live socket did not throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_TRUE(contains(e.what(), "live server")) << e.what();
+    }
+
+    // The probe did not disturb the live server.
+    const int fd = connect_client(path);
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(roundtrip(fd, R"({"id":1,"op":"ping"})"), R"({"id":1,"ok":true,"op":"ping"})");
+    ::close(fd);
+    first.stop();
+    other.drain();
+  }
+
+  // The first server is gone but (simulating a crash) the path still holds a
+  // socket file: re-create one manually, then prove a new server reclaims it.
+  {
+    const int dead = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(dead, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+    std::remove(path.c_str());
+    ASSERT_EQ(::bind(dead, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)), 0);
+    ::close(dead);  // nobody listening; the file is now stale
+  }
+  SocketServer reborn(service, path);
+  reborn.start();  // unlinks the stale socket and rebinds
+  const int fd = connect_client(path);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(roundtrip(fd, R"({"id":2,"op":"ping"})"), R"({"id":2,"ok":true,"op":"ping"})");
+  ::close(fd);
+  reborn.stop();
+  service.drain();
+  std::remove(path.c_str());
+}
+
+TEST_F(ServiceSocketTest, RegularFileAtSocketPathIsNeverReplaced) {
+  const std::string path = testing::TempDir() + "pdn3d_notasocket.sock";
+  {
+    std::ofstream out(path);
+    out << "precious data\n";
+  }
+  const api::Session session;
+  BatchService service(session, ServiceConfig{});
+  SocketServer server(service, path);
+  try {
+    server.start();
+    FAIL() << "start() replaced a regular file";
+  } catch (const std::runtime_error& e) {
+    EXPECT_TRUE(contains(e.what(), "not a socket")) << e.what();
+  }
+  // The file survived untouched.
+  std::ifstream in(path);
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "precious data");
+  std::remove(path.c_str());
+}
+
+TEST_F(ServiceSocketTest, SocketResetFaultDropsConnectionNotServer) {
+  ASSERT_EQ(faults::Registry::instance().configure("service.socket.reset=1/1#1"), "");
+  const std::string path = testing::TempDir() + "pdn3d_reset.sock";
+  std::remove(path.c_str());
+
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  BatchService service(session, cfg);
+  service.start();
+  SocketServer server(service, path);
+  server.start();
+
+  // First connection: the injected reset shuts the socket down mid-read; the
+  // client observes EOF instead of a response.
+  const int victim = connect_client(path);
+  ASSERT_GE(victim, 0);
+  EXPECT_EQ(roundtrip(victim, R"({"id":1,"op":"ping"})"), "");
+  ::close(victim);
+  EXPECT_EQ(faults::Registry::instance().triggers("service.socket.reset"), 1u);
+
+  // The server survived: a fresh connection (fault capped at one trigger)
+  // round-trips normally.
+  const int fd = connect_client(path);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(roundtrip(fd, R"({"id":2,"op":"ping"})"), R"({"id":2,"ok":true,"op":"ping"})");
+  ::close(fd);
+
+  server.stop();
+  service.drain();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pdn3d::service

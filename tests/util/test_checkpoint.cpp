@@ -1,0 +1,184 @@
+// Crash-safe sweep checkpointing (util/checkpoint.hpp): the resume contract
+// is bitwise -- an ok entry must round-trip the exact IEEE-754 bits, a fail
+// entry its message -- and the file must only ever exist as a complete
+// snapshot (write-temp-then-rename), never torn.
+
+#include "util/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+namespace pdn3d::util {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "pdn3d_" + name + ".ckpt";
+}
+
+TEST(CheckpointTest, KeyIsFnv1aOfCanonicalString) {
+  EXPECT_NE(checkpoint_key("montecarlo|a"), checkpoint_key("montecarlo|b"));
+  EXPECT_EQ(checkpoint_key("same"), checkpoint_key("same"));
+}
+
+TEST(CheckpointTest, RoundTripIsBitwiseExact) {
+  const std::string path = temp_path("roundtrip");
+  std::filesystem::remove(path);
+  const std::uint64_t key = checkpoint_key("roundtrip-config");
+
+  // Values chosen to break any text-formatting round trip: negative zero, a
+  // denormal, an ulp-precise irrational, and a huge magnitude.
+  const double values[] = {-0.0, std::numeric_limits<double>::denorm_min(),
+                           0.1 + 0.2, 1.6e308};
+  {
+    SweepCheckpoint ckpt = SweepCheckpoint::open(path, key, 8, false);
+    for (std::uint64_t i = 0; i < 4; ++i) ckpt.record(i, {true, values[i], {}});
+    ckpt.record(6, {false, 0.0, "solver ladder exhausted\nwith newline"});
+    ckpt.flush();
+  }
+
+  SweepCheckpoint resumed = SweepCheckpoint::open(path, key, 8, true);
+  EXPECT_EQ(resumed.resumed(), 5u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const CheckpointEntry* e = resumed.find(i);
+    ASSERT_NE(e, nullptr) << "index " << i;
+    EXPECT_TRUE(e->ok);
+    // Bit equality, not EXPECT_DOUBLE_EQ: -0.0 == 0.0 would pass the weaker
+    // check while breaking the byte-identical-output contract.
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(e->value), std::bit_cast<std::uint64_t>(values[i]))
+        << "index " << i;
+  }
+  const CheckpointEntry* fail = resumed.find(6);
+  ASSERT_NE(fail, nullptr);
+  EXPECT_FALSE(fail->ok);
+  EXPECT_EQ(fail->message, "solver ladder exhausted with newline");  // folded
+  EXPECT_EQ(resumed.find(5), nullptr);  // never computed
+
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointTest, FindReturnsOnlyResumedEntries) {
+  const std::string path = temp_path("loaded_only");
+  std::filesystem::remove(path);
+  SweepCheckpoint ckpt = SweepCheckpoint::open(path, 1, 4, false);
+  ckpt.record(0, {true, 1.0, {}});
+  // Entries recorded during this run are not handed back: the sweep already
+  // has the value, and a find() hit would skip its own bookkeeping.
+  EXPECT_EQ(ckpt.find(0), nullptr);
+  EXPECT_EQ(ckpt.completed(), 1u);
+  ckpt.remove_file();
+}
+
+TEST(CheckpointTest, MissingFileIsAFreshStart) {
+  const std::string path = temp_path("missing");
+  std::filesystem::remove(path);
+  const SweepCheckpoint ckpt = SweepCheckpoint::open(path, 42, 10, true);
+  EXPECT_EQ(ckpt.resumed(), 0u);
+  EXPECT_EQ(ckpt.completed(), 0u);
+}
+
+TEST(CheckpointTest, KeyMismatchRefusesResume) {
+  const std::string path = temp_path("keymismatch");
+  std::filesystem::remove(path);
+  {
+    SweepCheckpoint ckpt = SweepCheckpoint::open(path, 111, 4, false);
+    ckpt.record(0, {true, 1.0, {}});
+    ckpt.flush();
+  }
+  EXPECT_THROW(SweepCheckpoint::open(path, 222, 4, true), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointTest, TotalMismatchRefusesResume) {
+  const std::string path = temp_path("totalmismatch");
+  std::filesystem::remove(path);
+  {
+    SweepCheckpoint ckpt = SweepCheckpoint::open(path, 7, 8, false);
+    ckpt.flush();
+  }
+  EXPECT_THROW(SweepCheckpoint::open(path, 7, 4, true), std::runtime_error);
+  // total=0 (open-ended) accepts any file total.
+  EXPECT_NO_THROW(SweepCheckpoint::open(path, 7, 0, true));
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointTest, CorruptFileRefusesResume) {
+  const std::string path = temp_path("corrupt");
+  {
+    std::ofstream out(path);
+    out << "not a checkpoint at all\n";
+  }
+  EXPECT_THROW(SweepCheckpoint::open(path, 7, 4, true), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "pdn3d-ckpt v1 key=0000000000000007 total=4\n";
+    out << "9 ok 0000000000000000\n";  // index out of range for total=4
+  }
+  EXPECT_THROW(SweepCheckpoint::open(path, 7, 4, true), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointTest, OpenWithoutResumeDiscardsExistingFile) {
+  const std::string path = temp_path("overwrite");
+  std::filesystem::remove(path);
+  {
+    SweepCheckpoint ckpt = SweepCheckpoint::open(path, 7, 4, false);
+    ckpt.record(0, {true, 1.0, {}});
+    ckpt.flush();
+  }
+  {
+    SweepCheckpoint fresh = SweepCheckpoint::open(path, 7, 4, false);
+    EXPECT_EQ(fresh.resumed(), 0u);
+    fresh.record(1, {true, 2.0, {}});
+    fresh.flush();
+  }
+  const SweepCheckpoint check = SweepCheckpoint::open(path, 7, 4, true);
+  EXPECT_EQ(check.resumed(), 1u);
+  EXPECT_EQ(check.find(0), nullptr);  // old entry gone
+  ASSERT_NE(check.find(1), nullptr);
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointTest, AutoFlushAtIntervalLeavesNoTempFile) {
+  const std::string path = temp_path("autoflush");
+  std::filesystem::remove(path);
+  SweepCheckpoint ckpt = SweepCheckpoint::open(path, 7, 8, false);
+  ckpt.set_flush_interval(2);
+  ckpt.record(0, {true, 1.0, {}});
+  EXPECT_FALSE(std::filesystem::exists(path));  // below the interval
+  ckpt.record(1, {true, 2.0, {}});
+  EXPECT_TRUE(std::filesystem::exists(path));  // interval reached -> flushed
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));  // renamed, never torn
+  ckpt.remove_file();
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(CheckpointTest, RecordedEntriesWinOverResumedOnes) {
+  const std::string path = temp_path("recorded_wins");
+  std::filesystem::remove(path);
+  {
+    SweepCheckpoint ckpt = SweepCheckpoint::open(path, 7, 4, false);
+    ckpt.record(0, {false, 0.0, "transient failure"});
+    ckpt.flush();
+  }
+  {
+    SweepCheckpoint resumed = SweepCheckpoint::open(path, 7, 4, true);
+    resumed.record(0, {true, 3.5, {}});  // recomputed successfully this run
+    resumed.flush();
+  }
+  const SweepCheckpoint check = SweepCheckpoint::open(path, 7, 4, true);
+  const CheckpointEntry* e = check.find(0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->ok);
+  EXPECT_DOUBLE_EQ(e->value, 3.5);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace pdn3d::util

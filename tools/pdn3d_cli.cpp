@@ -50,6 +50,7 @@
 #include "core/status.hpp"
 #include "cost/cost_model.hpp"
 #include "exec/thread_pool.hpp"
+#include "faults/faults.hpp"
 #include "memctrl/trace.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -111,6 +112,10 @@ constexpr int kExitInfeasible = 4;
       "  --tech FILE      load a technology file (any command; serve: with --bench)\n"
       "  --trace FILE     replay a request trace      (simulate)\n"
       "  --samples N      Monte Carlo samples          (montecarlo, default 200)\n"
+      "  --checkpoint F   crash-safe sweep checkpoint file (montecarlo, lut,\n"
+      "                   cooptimize); written atomically as the sweep runs\n"
+      "  --resume         load completed entries from --checkpoint before the\n"
+      "                   sweep; resumed output is bitwise identical\n"
       "  --die N          die to report (1-based)      (report, default top die)\n"
       "  --decap NF       per-tap decap in nF          (droop, default 2)\n"
       "  --top N          hot spans to print           (profile, default 15)\n"
@@ -121,6 +126,11 @@ constexpr int kExitInfeasible = 4;
       "  --socket PATH    serve: also listen on a Unix-domain socket\n"
       "  --queue N        serve: admission queue capacity (default 64)\n"
       "  --deadline MS    serve: default per-request deadline (0 = none)\n"
+      "  --max-cost N     serve: shed load (typed `overloaded` error) once the\n"
+      "                   estimated cost of admitted-but-unfinished requests\n"
+      "                   would exceed N (0 = unlimited)\n"
+      "  --watchdog MS    serve: cancel an evaluation running longer than MS and\n"
+      "                   answer a typed `timeout` error (0 = off)\n"
       "  --bench B        serve: benchmark the --tech override applies to\n"
       "  --report FILE    write a machine-readable JSON run report (any command;\n"
       "                   see docs/OBSERVABILITY.md for the schema)\n"
@@ -168,9 +178,10 @@ Args parse_args(int argc, char** argv) {
       "--m2",    "--m3",       "--tc",     "--tl",     "--bd",      "--rdl",
       "--scale", "--tech",     "--trace",  "--samples", "--decap",  "--die",
       "--report", "--top",     "--threads", "--socket", "--queue",  "--deadline",
-      "--bench"};
+      "--bench", "--checkpoint", "--max-cost", "--watchdog"};
   const std::vector<std::string> known_flags = {"--wb",      "--dedicated", "--no-align",
-                                               "--verbose", "--quiet",     "--test-ops"};
+                                               "--verbose", "--quiet",     "--test-ops",
+                                               "--resume"};
   for (int i = first_opt; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool takes_value =
@@ -459,6 +470,8 @@ int run_facade(const Args& a, api::Operation op, core::BenchmarkKind kind,
   req.activity = get_double(a, "--activity", -1.0, -1.0, 1.0);
   req.samples = get_int(a, "--samples", 200, 1, 10000000);
   req.alpha = get_double(a, "--alpha", 0.3, 0.0, 1.0);
+  if (const auto v = a.get("--checkpoint")) req.checkpoint_path = *v;
+  req.resume = a.has_flag("--resume");
   const core::Status st = req.validate();
   if (!st.is_ok()) usage(st.message());
 
@@ -482,6 +495,9 @@ int cmd_serve(const Args& a, obs::RunReportOptions* report_opts) {
   cfg.queue_capacity = static_cast<std::size_t>(get_int(a, "--queue", 64, 1, 1000000));
   cfg.default_deadline_ms = get_double(a, "--deadline", 0.0, 0.0, 1e9);
   cfg.enable_test_ops = a.has_flag("--test-ops");
+  cfg.max_outstanding_cost =
+      static_cast<std::uint64_t>(get_int(a, "--max-cost", 0, 0, 1000000000));
+  cfg.watchdog_ms = get_double(a, "--watchdog", 0.0, 0.0, 1e9);
 
   api::Session session;
   if (const auto tech_path = a.get("--tech")) {
@@ -560,8 +576,10 @@ int cmd_serve(const Args& a, obs::RunReportOptions* report_opts) {
 
   const auto s = service.stats();
   std::cerr << "pdn3d serve: drained; " << s.completed << "/" << s.submitted
-            << " evaluated (" << s.rejected_full << " queue_full, " << s.deadline_expired
-            << " deadline_exceeded, " << s.cancelled << " cancelled, " << s.bad_requests
+            << " evaluated (" << s.rejected_full << " queue_full, " << s.rejected_overload
+            << " overloaded, " << s.deadline_expired << " deadline_exceeded, " << s.timeouts
+            << " timeout, " << s.cancelled << " cancelled, " << s.internal_errors
+            << " internal, " << s.rejected_too_large << " too_large, " << s.bad_requests
             << " bad)\n";
   report_opts->session = service.session_block();
   return kExitOk;
@@ -583,6 +601,13 @@ int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   if (args.has_flag("--verbose")) util::set_log_level(util::LogLevel::kDebug);
   if (args.has_flag("--quiet")) util::set_log_level(util::LogLevel::kError);
+  // Fault injection (PDN3D_FAULTS env var) activates before any work runs so
+  // every site in the process sees the same schedule. A malformed spec is a
+  // usage error: silently running fault-free would defeat the chaos harness.
+  if (const std::string err = faults::Registry::instance().configure_from_env();
+      !err.empty()) {
+    usage("PDN3D_FAULTS: " + err);
+  }
   if (args.get("--threads")) {
     const long long n = get_int(args, "--threads", 0, 1, 4096);
     // Overrides PDN3D_THREADS; every sweep (and the serve worker pool) sizes
