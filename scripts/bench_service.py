@@ -13,6 +13,11 @@ Three measurements, stdlib-only:
    baseline (fresh `pdn3d analyze wide-io` process per request). Serving
    amortizes process start, platform build, and solver factorization across
    requests, which is where the speedup comes from.
+4. **Telemetry.** Every request carries a client request_id and every
+   response must echo one. A scraper thread polls the `stats` / `metrics`
+   ops mid-soak and must observe a live queue: non-zero queue_depth and
+   in_flight with non-zero service.run_ms p50/p95/p99. A final `stats`
+   scrape lands in the output JSON.
 
 Usage: bench_service.py /path/to/pdn3d [--duration 60] [--clients 4]
                         [--out bench/BENCH_service.json]
@@ -86,9 +91,11 @@ def stop_server(proc):
         raise RuntimeError("server did not drain on SIGTERM")
 
 
-def request_line(req_id, payload):
+def request_line(req_id, payload, request_id=None):
     body = dict(payload)
     body["id"] = req_id
+    if request_id is not None:
+        body["request_id"] = request_id
     return (json.dumps(body) + "\n").encode()
 
 
@@ -98,12 +105,19 @@ def connect(sock_path):
     return sock
 
 
-def roundtrip(sock, rfile, req_id, payload):
-    sock.sendall(request_line(req_id, payload))
+def roundtrip(sock, rfile, req_id, payload, request_id=None):
+    sock.sendall(request_line(req_id, payload, request_id))
     line = rfile.readline()
     if not line:
         raise RuntimeError("server closed the connection")
-    return json.loads(line)
+    resp = json.loads(line)
+    # Every response carries a correlation id; client-supplied ids echo back.
+    if request_id is not None and resp.get("request_id") != request_id:
+        raise RuntimeError(
+            f"request_id not echoed: sent {request_id!r}, got {resp!r}")
+    if "request_id" not in resp:
+        raise RuntimeError(f"response lacks request_id: {resp}")
+    return resp
 
 
 def parity_check(binary, sock_path):
@@ -112,7 +126,8 @@ def parity_check(binary, sock_path):
     with connect(sock_path) as sock:
         rfile = sock.makefile("r")
         for i, case in enumerate(PARITY_CASES):
-            served = roundtrip(sock, rfile, 1000 + i, case["req"])
+            served = roundtrip(sock, rfile, 1000 + i, case["req"],
+                               request_id=f"parity-{i}")
             if not served.get("ok"):
                 raise RuntimeError(f"served request failed: {served}")
             for threads in (1, 8):
@@ -128,12 +143,55 @@ def parity_check(binary, sock_path):
     return results
 
 
+def scrape_stats(sock_path, request_id="scrape"):
+    """One stats + metrics round trip on a fresh connection."""
+    with connect(sock_path) as sock:
+        rfile = sock.makefile("r")
+        stats = roundtrip(sock, rfile, 0, {"op": "stats"},
+                          request_id=f"{request_id}-stats")
+        metrics = roundtrip(sock, rfile, 1, {"op": "metrics"},
+                            request_id=f"{request_id}-metrics")
+    if not stats.get("ok") or not metrics.get("ok"):
+        raise RuntimeError(f"scrape failed: {stats} / {metrics}")
+    if "pdn3d_service_requests" not in metrics.get("body", ""):
+        raise RuntimeError("metrics body lacks pdn3d_service_requests")
+    return stats
+
+
+def live_scrape_ok(stats):
+    """The mid-soak liveness bar: work visibly queued, running, and timed."""
+    run_ms = stats.get("windows", {}).get("service.run_ms", {})
+    return (stats.get("queue_depth", 0) > 0
+            and stats.get("in_flight", 0) > 0
+            and all(run_ms.get(q, 0) > 0 for q in ("p50", "p95", "p99")))
+
+
 def soak(sock_path, clients, duration):
-    """N clients hammer the service; count every response by kind."""
+    """N clients hammer the service; count every response by kind. A scraper
+    thread polls the stats/metrics ops mid-run and must observe a live queue
+    (non-zero depth + in-flight) with non-zero run_ms quantiles."""
     stop_at = time.time() + duration
     lock = threading.Lock()
     totals = {"submitted": 0, "ok": 0, "queue_full": 0, "other_error": 0}
     errors = []
+    scrape = {"attempts": 0, "live": False, "last": None, "live_snapshot": None}
+
+    def scraper_loop():
+        n = 0
+        while time.time() < stop_at - 1.0:
+            time.sleep(2.0)
+            n += 1
+            try:
+                stats = scrape_stats(sock_path, request_id=f"scrape-{n}")
+            except Exception as exc:  # noqa: BLE001 - surfaced in main
+                errors.append({"scraper": n, "exception": repr(exc)})
+                return
+            with lock:
+                scrape["attempts"] = n
+                scrape["last"] = stats
+                if live_scrape_ok(stats):
+                    scrape["live"] = True
+                    scrape["live_snapshot"] = stats
 
     def client_loop(client_idx):
         next_id = client_idx * 1_000_000
@@ -142,7 +200,8 @@ def soak(sock_path, clients, duration):
                 rfile = sock.makefile("r")
                 while time.time() < stop_at:
                     payload = SOAK_REQUESTS[next_id % len(SOAK_REQUESTS)]
-                    resp = roundtrip(sock, rfile, next_id, payload)
+                    resp = roundtrip(sock, rfile, next_id, payload,
+                                     request_id=f"soak-{client_idx}-{next_id}")
                     next_id += 1
                     with lock:
                         totals["submitted"] += 1
@@ -158,6 +217,7 @@ def soak(sock_path, clients, duration):
 
     threads = [threading.Thread(target=client_loop, args=(c,))
                for c in range(clients)]
+    threads.append(threading.Thread(target=scraper_loop))
     started = time.time()
     for t in threads:
         t.start()
@@ -168,9 +228,16 @@ def soak(sock_path, clients, duration):
         raise RuntimeError(f"soak errors: {errors[:5]}")
     if totals["ok"] + totals["queue_full"] != totals["submitted"]:
         raise RuntimeError(f"dropped responses: {totals}")
+    if not scrape["live"]:
+        raise RuntimeError(
+            "mid-soak stats scrape never observed a live queue "
+            f"(attempts={scrape['attempts']}, last={scrape['last']})")
     totals["elapsed_s"] = round(elapsed, 3)
     totals["requests_per_s"] = round(totals["ok"] / elapsed, 3)
-    return totals
+    totals["stats_scrapes"] = scrape["attempts"]
+    # Report the last scrape that actually caught the queue live -- the final
+    # scrape often lands on a drained instant and would report zeros.
+    return totals, scrape["live_snapshot"]
 
 
 def cold_cli_baseline(binary, budget_s=15.0, max_runs=40):
@@ -204,7 +271,9 @@ def main():
         print("parity: CLI vs served ...", flush=True)
         parity = parity_check(args.binary, sock_path)
         print(f"soak: {args.clients} clients x {args.duration:.0f}s ...", flush=True)
-        soak_totals = soak(sock_path, args.clients, args.duration)
+        soak_totals, mid_soak_stats = soak(sock_path, args.clients, args.duration)
+        # Final scrape after the load stops: totals are settled, queue empty.
+        final_stats = scrape_stats(sock_path, request_id="final")
     finally:
         stop_server(server)
 
@@ -229,7 +298,19 @@ def main():
         "server_session": {k: session.get(k) for k in
                            ("workers", "queue_capacity", "submitted", "completed",
                             "rejected_queue_full", "deadline_expired", "cancelled",
-                            "bad_requests")},
+                            "bad_requests", "uptime_seconds", "peak_queue_depth",
+                            "peak_in_flight")},
+        "mid_soak_stats": {
+            "queue_depth": mid_soak_stats.get("queue_depth"),
+            "in_flight": mid_soak_stats.get("in_flight"),
+            "run_ms": mid_soak_stats.get("windows", {}).get("service.run_ms"),
+        },
+        "final_stats": {
+            "uptime_seconds": final_stats.get("uptime_seconds"),
+            "totals": final_stats.get("totals"),
+            "queue_ms": final_stats.get("windows", {}).get("service.queue_ms"),
+            "run_ms": final_stats.get("windows", {}).get("service.run_ms"),
+        },
         "parity": parity,
         "cold_cli": cold,
         "throughput_speedup_vs_cold_cli": round(speedup, 2) if speedup else None,

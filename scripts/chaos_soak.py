@@ -45,6 +45,8 @@ DEFAULT_FAULTS = ",".join([
 REQUEST_MIX = [
     '{"id":%d,"op":"ping"}',
     '{"id":%d,"op":"health"}',
+    '{"id":%d,"op":"stats"}',
+    '{"id":%d,"op":"metrics"}',
     '{"id":%d,"op":"validate","benchmark":"wide-io"}',
     '{"id":%d,"op":"evaluate","benchmark":"wide-io"}',
     '{"id":%d,"op":"evaluate","benchmark":"off-chip"}',
@@ -172,6 +174,27 @@ def client_loop(path, client_idx, stop_at, stats):
         stats.violation("client %d: unexpected %r" % (client_idx, exc))
 
 
+def final_stats_scrape(path):
+    """One last `stats` round trip before shutdown: the telemetry surface
+    must still answer after the whole soak, and its counters must show the
+    soak happened. Returns the parsed stats response."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(10.0)
+    try:
+        sock.connect(path)
+        sock.sendall(b'{"id":0,"op":"stats","request_id":"chaos-final"}\n')
+        buf = [b""]
+        line = recv_lines(sock, buf, time.monotonic() + 10.0)
+    finally:
+        sock.close()
+    resp = json.loads(line)
+    if not resp.get("ok") or resp.get("request_id") != "chaos-final":
+        raise Violation("final stats scrape failed: %r" % line[:200])
+    if resp.get("totals", {}).get("submitted", 0) == 0:
+        raise Violation("final stats show zero submitted requests")
+    return resp
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--binary", required=True, help="path to the pdn3d CLI")
@@ -220,6 +243,29 @@ def main():
 
         if server.poll() is not None:
             stats.violation("server died mid-soak (exit %s)" % server.returncode)
+
+        # The stats op must still answer after the whole soak (the injected
+        # socket reset can kill this one connection too -- retry a few times).
+        final_stats = None
+        if server.poll() is None:
+            for _ in range(5):
+                try:
+                    final_stats = final_stats_scrape(path)
+                    break
+                except Violation as v:
+                    stats.violation("final scrape: %s" % v)
+                    break
+                except (OSError, ConnectionError, json.JSONDecodeError):
+                    time.sleep(0.2)
+            if final_stats is not None:
+                totals = final_stats.get("totals", {})
+                run_ms = final_stats.get("windows", {}).get("service.run_ms", {})
+                print("final stats: submitted=%s completed=%s run_ms p50=%.3g "
+                      "p99=%.3g" % (totals.get("submitted"),
+                                    totals.get("completed"),
+                                    run_ms.get("p50", 0), run_ms.get("p99", 0)))
+            else:
+                stats.violation("final stats scrape never got through")
 
         # Clean shutdown: SIGTERM must drain and exit 0.
         if server.poll() is None:

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Lint metric names at obs::counter/gauge/histogram/window call sites.
+
+The registry accepts any string, so naming drift (CamelCase, missing
+subsystem prefix, spaces) only shows up later as an ugly Prometheus rewrite
+or an ungreppable report key. This linter enforces the convention documented
+in docs/OBSERVABILITY.md:
+
+    subsystem.noun_verb[.qualifier...]
+
+  - all lowercase; [a-z0-9_] within a component, '-' allowed in qualifiers
+    (solver rung names like "ic-pcg" become label-ish suffixes);
+  - at least one '.' (a bare "requests" has no owning subsystem);
+  - the subsystem component starts with a letter.
+
+Dynamic call sites (obs::counter("faults." + name)) are linted on their
+literal prefix: it must be a valid name ending in '.'. Call sites whose
+first argument carries no string literal at all (util::ScopedTimer's stored
+metric_name_) are skipped -- the convention is enforced where the name is
+spelled, which is every site that registers a new metric family.
+
+Usage: check_metric_names.py SRC_DIR [SRC_DIR...]
+Exit 0 when every literal conforms, 1 otherwise (offenders listed).
+
+Stdlib only, so the build can run it as a ctest without extra deps.
+"""
+
+import pathlib
+import re
+import sys
+
+CALL_RE = re.compile(
+    r'obs::(?:counter|gauge|histogram|window)\(\s*(?:std::string\(\s*)?"(?P<name>[^"]*)"'
+)
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+SUBSYSTEM_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+COMPONENT_RE = re.compile(r"^[a-z0-9][a-z0-9_-]*$")
+
+
+def valid_name(name: str) -> bool:
+    """Full metric name: subsystem.component[.component...]."""
+    parts = name.split(".")
+    if len(parts) < 2:
+        return False
+    if not SUBSYSTEM_RE.match(parts[0]):
+        return False
+    return all(COMPONENT_RE.match(p) for p in parts[1:])
+
+
+def valid_prefix(prefix: str) -> bool:
+    """Literal prefix of a dynamic name; must end at a component boundary."""
+    if not prefix.endswith("."):
+        return False
+    parts = prefix[:-1].split(".")
+    if not parts or not SUBSYSTEM_RE.match(parts[0]):
+        return False
+    return all(COMPONENT_RE.match(p) for p in parts[1:])
+
+
+def lint_file(path: pathlib.Path):
+    offenders = []
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as exc:
+        return [(0, f"unreadable: {exc}")]
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = LINE_COMMENT_RE.sub("", raw)
+        for match in CALL_RE.finditer(line):
+            name = match.group("name")
+            if name.endswith("."):
+                ok = valid_prefix(name)
+            else:
+                ok = valid_name(name)
+            if not ok:
+                offenders.append((lineno, name))
+    return offenders
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    roots = [pathlib.Path(a) for a in argv[1:]]
+    checked = 0
+    bad = 0
+    for root in roots:
+        if not root.exists():
+            print(f"check_metric_names: no such path: {root}", file=sys.stderr)
+            return 2
+        files = (
+            sorted(root.rglob("*.cpp")) + sorted(root.rglob("*.hpp"))
+            if root.is_dir()
+            else [root]
+        )
+        for path in files:
+            for lineno, name in lint_file(path):
+                print(f"{path}:{lineno}: bad metric name {name!r} "
+                      f"(want subsystem.noun_verb, lowercase)")
+                bad += 1
+            checked += 1
+    if bad:
+        print(f"check_metric_names: FAIL ({bad} offender(s) in {checked} files)")
+        return 1
+    print(f"check_metric_names: OK ({checked} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

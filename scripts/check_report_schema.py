@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a pdn3d --report JSON file against run-report schema v4.
+"""Validate a pdn3d --report JSON file against run-report schema v5.
 
 Stdlib-only so it can run anywhere the repo builds. Exits 0 when the report
 conforms, 1 with a list of problems otherwise. The schema is documented in
@@ -12,6 +12,9 @@ factorization statistics (builds, build_failures, cache_hits, fill_ratio,
 nnz).
 v4 added the optional top-level "session" block emitted by `pdn3d serve`:
 service aggregates plus one record per evaluated request.
+v5 added "windows" under "metrics" (windowed quantile snapshots), the
+per-request "request_id" under session.requests, and session uptime/peak
+load ("uptime_seconds", "peak_queue_depth", "peak_in_flight").
 
 Usage: check_report_schema.py report.json [report2.json ...]
 """
@@ -20,7 +23,7 @@ import json
 import numbers
 import sys
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 # key -> allowed python types for the documented top-level fields.
 TOP_LEVEL = {
@@ -46,7 +49,7 @@ PROVENANCE_KEYS = {
     "argv": list,
 }
 
-METRICS_KEYS = {"counters": dict, "gauges": dict, "histograms": dict}
+METRICS_KEYS = {"counters": dict, "gauges": dict, "histograms": dict, "windows": dict}
 
 SPAN_ROW_KEYS = {
     "path": str,
@@ -78,6 +81,9 @@ FACTOR_KEYS = {
 SESSION_KEYS = {
     "workers": numbers.Number,
     "queue_capacity": numbers.Number,
+    "uptime_seconds": numbers.Number,
+    "peak_queue_depth": numbers.Number,
+    "peak_in_flight": numbers.Number,
     "submitted": numbers.Number,
     "completed": numbers.Number,
     "rejected_queue_full": numbers.Number,
@@ -95,12 +101,26 @@ SESSION_KEYS = {
 
 SESSION_REQUEST_KEYS = {
     "id": numbers.Number,
+    "request_id": str,
     "op": str,
     "benchmark": str,
     "ok": bool,
     "queue_ms": numbers.Number,
     "run_ms": numbers.Number,
     "headline_mv": numbers.Number,
+}
+
+
+WINDOW_KEYS = {
+    "count": numbers.Number,
+    "window_count": numbers.Number,
+    "min": numbers.Number,
+    "max": numbers.Number,
+    "sum": numbers.Number,
+    "p50": numbers.Number,
+    "p90": numbers.Number,
+    "p95": numbers.Number,
+    "p99": numbers.Number,
 }
 
 
@@ -162,6 +182,11 @@ def check_report(report):
                 check_block(
                     errors, row, SESSION_REQUEST_KEYS, f"session.requests[{i}]"
                 )
+
+    windows = report["metrics"].get("windows")
+    if isinstance(windows, dict):
+        for name, win in windows.items():
+            check_block(errors, win, WINDOW_KEYS, f"metrics.windows[{name!r}]")
 
     counters = report["metrics"].get("counters")
     if isinstance(counters, dict):

@@ -1,0 +1,70 @@
+#pragma once
+
+/// @file event_log.hpp
+/// @brief Structured, leveled event log behind util::log.
+///
+/// Every diagnostic the library emits is an *event*: a level, a short
+/// machine-greppable event name, and zero or more key/value fields. One
+/// sink renders each event to stderr in one of two formats:
+///
+///   text (default)   [pdn3d INFO ] serve.listening socket=/tmp/p.sock
+///   ndjson           {"ts":"2026-08-08T12:34:56.789Z","level":"info",
+///                     "event":"serve.listening","socket":"/tmp/p.sock"}
+///
+/// The format comes from PDN3D_LOG_FORMAT ("text" | "json"/"ndjson",
+/// case-insensitive) or set_log_format(); the threshold is util::log_level()
+/// (PDN3D_LOG_LEVEL), so existing level plumbing keeps working. Plain
+/// util::log_* calls route through here as field-less events, and their text
+/// rendering is byte-identical to the old `[pdn3d LEVEL] message` lines --
+/// scripts that grep stderr keep working until they opt into NDJSON.
+///
+/// Field values are json::Value, so numbers stay numbers in NDJSON output.
+/// In text mode strings render bare when shell-safe and quoted otherwise;
+/// other kinds render as compact JSON. Events with a `request_id` field are
+/// how service logs tie back to wire responses (docs/OBSERVABILITY.md).
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/log.hpp"
+
+namespace pdn3d::obs {
+
+enum class LogFormat { kText, kNdjson };
+
+/// Process-wide output format. Initial value comes from PDN3D_LOG_FORMAT
+/// when set and recognized, else kText.
+[[nodiscard]] LogFormat log_format();
+void set_log_format(LogFormat format);
+
+/// Parse "text" | "json" | "ndjson" (case-insensitive). Returns false on
+/// unknown input, leaving @p out untouched.
+bool parse_log_format(std::string_view text, LogFormat* out);
+
+using EventField = std::pair<std::string_view, json::Value>;
+
+/// Emit one event at @p level. Dropped below util::log_level(). Fields keep
+/// their given order in both renderings.
+void log_event(util::LogLevel level, std::string_view event,
+               std::initializer_list<EventField> fields);
+void log_event(util::LogLevel level, std::string_view event,
+               const std::vector<EventField>& fields);
+inline void log_event(util::LogLevel level, std::string_view event) {
+  log_event(level, event, std::initializer_list<EventField>{});
+}
+
+/// Render without emitting (tests; sinks that write elsewhere).
+[[nodiscard]] std::string render_event_text(util::LogLevel level, std::string_view event,
+                                            const std::vector<EventField>& fields);
+[[nodiscard]] std::string render_event_ndjson(util::LogLevel level, std::string_view event,
+                                              const std::vector<EventField>& fields,
+                                              std::string_view timestamp);
+
+/// Current wall-clock time as "YYYY-MM-DDTHH:MM:SS.mmmZ" (UTC).
+[[nodiscard]] std::string event_timestamp();
+
+}  // namespace pdn3d::obs

@@ -37,6 +37,58 @@ void Histogram::reset() {
   sum_.store(0.0, std::memory_order_relaxed);
 }
 
+QuantileWindow::QuantileWindow(std::size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+void QuantileWindow::observe(double v) {
+  std::lock_guard lock(mutex_);
+  ring_[next_] = v;
+  next_ = (next_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+  ++total_;
+}
+
+namespace {
+
+// Linear interpolation between the floor/ceil ranks of q*(n-1) over a sorted
+// window. Callers guarantee non-empty input.
+double quantile_sorted(const std::vector<double>& sorted, double q) {
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+QuantileWindow::Snapshot QuantileWindow::snapshot() const {
+  std::vector<double> window;
+  Snapshot snap;
+  {
+    std::lock_guard lock(mutex_);
+    snap.count = total_;
+    window.assign(ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(size_));
+  }
+  snap.window_count = window.size();
+  if (window.empty()) return snap;
+  std::sort(window.begin(), window.end());
+  snap.min = window.front();
+  snap.max = window.back();
+  for (double v : window) snap.sum += v;
+  snap.p50 = quantile_sorted(window, 0.50);
+  snap.p90 = quantile_sorted(window, 0.90);
+  snap.p95 = quantile_sorted(window, 0.95);
+  snap.p99 = quantile_sorted(window, 0.99);
+  return snap;
+}
+
+void QuantileWindow::reset() {
+  std::lock_guard lock(mutex_);
+  next_ = 0;
+  size_ = 0;
+  total_ = 0;
+}
+
 MetricsRegistry& MetricsRegistry::instance() {
   static MetricsRegistry registry;
   return registry;
@@ -71,6 +123,15 @@ Histogram& MetricsRegistry::histogram(std::string_view name, std::vector<double>
   return *it->second;
 }
 
+QuantileWindow& MetricsRegistry::window(std::string_view name, std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  auto it = windows_.find(name);
+  if (it == windows_.end()) {
+    it = windows_.emplace(std::string(name), std::make_unique<QuantileWindow>(capacity)).first;
+  }
+  return *it->second;
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard lock(mutex_);
   MetricsSnapshot snap;
@@ -84,6 +145,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     data.sum = h->sum();
     snap.histograms.emplace(name, std::move(data));
   }
+  for (const auto& [name, w] : windows_) snap.windows.emplace(name, w->snapshot());
   return snap;
 }
 
@@ -92,12 +154,16 @@ void MetricsRegistry::reset() {
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, w] : windows_) w->reset();
 }
 
 Counter& counter(std::string_view name) { return MetricsRegistry::instance().counter(name); }
 Gauge& gauge(std::string_view name) { return MetricsRegistry::instance().gauge(name); }
 Histogram& histogram(std::string_view name, std::vector<double> upper_bounds) {
   return MetricsRegistry::instance().histogram(name, std::move(upper_bounds));
+}
+QuantileWindow& window(std::string_view name, std::size_t capacity) {
+  return MetricsRegistry::instance().window(name, capacity);
 }
 
 std::vector<double> linear_buckets(double start, double step, std::size_t count) {

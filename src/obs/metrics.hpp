@@ -77,6 +77,49 @@ class Histogram {
   std::atomic<double> sum_{0.0};
 };
 
+/// Windowed latency recorder: a ring of the most recent observations with
+/// exact quantile snapshots over that window. Complements Histogram (which is
+/// cumulative and bucket-quantized): the window answers "what are p50/p95/p99
+/// *right now*", which is what a live `stats` scrape wants, while the
+/// histogram keeps the full-run distribution for reports.
+///
+/// observe() is a short mutex-guarded ring write -- fine at request
+/// granularity (one observation per served request), not meant for per-row
+/// inner loops. snapshot() copies and sorts the window (O(n log n), n =
+/// window capacity), so scrape cost is bounded and independent of run length.
+///
+/// Quantile semantics (docs/OBSERVABILITY.md): nearest-rank with linear
+/// interpolation over the sorted window -- quantile(q) interpolates between
+/// the floor/ceil ranks of q*(n-1). An empty window reports all-zero
+/// quantiles with window_count == 0; a single sample reports that sample for
+/// every quantile.
+class QuantileWindow {
+ public:
+  /// @p capacity ring slots (observations kept); clamped to >= 1.
+  explicit QuantileWindow(std::size_t capacity);
+
+  void observe(double v);
+
+  struct Snapshot {
+    std::uint64_t count = 0;        ///< observations ever (not just windowed)
+    std::size_t window_count = 0;   ///< observations currently in the window
+    double min = 0.0, max = 0.0;    ///< over the window
+    double sum = 0.0;               ///< over the window
+    double p50 = 0.0, p90 = 0.0, p95 = 0.0, p99 = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> ring_;
+  std::size_t next_ = 0;   ///< ring write cursor
+  std::size_t size_ = 0;   ///< valid entries (== capacity once wrapped)
+  std::uint64_t total_ = 0;
+};
+
 /// Point-in-time copy of every registered metric, sorted by name.
 struct MetricsSnapshot {
   struct HistogramData {
@@ -89,6 +132,7 @@ struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramData> histograms;
+  std::map<std::string, QuantileWindow::Snapshot> windows;
 };
 
 /// Owns every metric for the process. References returned by
@@ -98,10 +142,12 @@ class MetricsRegistry {
   static MetricsRegistry& instance();
 
   /// Find-or-create by name. A name permanently binds to its first-seen
-  /// metric kind; re-registering a histogram name keeps the original bounds.
+  /// metric kind; re-registering a histogram name keeps the original bounds
+  /// (same rule for a window's capacity).
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name, std::vector<double> upper_bounds);
+  QuantileWindow& window(std::string_view name, std::size_t capacity);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
 
@@ -115,12 +161,15 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<QuantileWindow>, std::less<>> windows_;
 };
 
 /// Shorthands for the process-wide registry.
 Counter& counter(std::string_view name);
 Gauge& gauge(std::string_view name);
 Histogram& histogram(std::string_view name, std::vector<double> upper_bounds);
+/// Default window capacity is 1024 recent observations.
+QuantileWindow& window(std::string_view name, std::size_t capacity = 1024);
 
 /// Bucket helpers. exponential_buckets(1, 2, 10) = {1, 2, 4, ..., 512}.
 [[nodiscard]] std::vector<double> linear_buckets(double start, double step, std::size_t count);

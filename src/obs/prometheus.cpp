@@ -1,0 +1,82 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace pdn3d::obs {
+
+namespace {
+
+// Shortest round-trip-ish float rendering: integers print bare ("12"),
+// everything else via %.17g. Prometheus parsers accept either.
+std::string fmt_double(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void append_help_type(std::string& out, const std::string& ename, const std::string& raw,
+                      const char* type) {
+  out += "# HELP " + ename + " pdn3d metric " + raw + "\n";
+  out += "# TYPE " + ename + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 7);
+  out = "pdn3d_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string ename = prometheus_name(name);
+    append_help_type(out, ename, name, "counter");
+    out += ename + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string ename = prometheus_name(name);
+    append_help_type(out, ename, name, "gauge");
+    out += ename + " " + fmt_double(value) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string ename = prometheus_name(name);
+    append_help_type(out, ename, name, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.upper_bounds.size(); ++i) {
+      cumulative += i < h.bucket_counts.size() ? h.bucket_counts[i] : 0;
+      out += ename + "_bucket{le=\"" + fmt_double(h.upper_bounds[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += ename + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += ename + "_sum " + fmt_double(h.sum) + "\n";
+    out += ename + "_count " + std::to_string(h.count) + "\n";
+  }
+  for (const auto& [name, w] : snap.windows) {
+    const std::string ename = prometheus_name(name);
+    append_help_type(out, ename, name, "summary");
+    out += ename + "{quantile=\"0.5\"} " + fmt_double(w.p50) + "\n";
+    out += ename + "{quantile=\"0.9\"} " + fmt_double(w.p90) + "\n";
+    out += ename + "{quantile=\"0.95\"} " + fmt_double(w.p95) + "\n";
+    out += ename + "{quantile=\"0.99\"} " + fmt_double(w.p99) + "\n";
+    out += ename + "_sum " + fmt_double(w.sum) + "\n";
+    out += ename + "_count " + std::to_string(w.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace pdn3d::obs

@@ -1,0 +1,38 @@
+#pragma once
+
+/// @file prometheus.hpp
+/// @brief Prometheus text-exposition (version 0.0.4) renderer for a
+/// MetricsSnapshot.
+///
+/// This is what the service's `metrics` op returns, so any Prometheus-
+/// compatible scraper (or a human with `curl | grep`) can watch a live
+/// `pdn3d serve` without the run-report round trip. Mapping:
+///
+///   Counter          -> `# TYPE <name> counter` + one sample
+///   Gauge            -> `# TYPE <name> gauge` + one sample
+///   Histogram        -> `# TYPE <name> histogram` + cumulative
+///                       `<name>_bucket{le="..."}` series ending in
+///                       `le="+Inf"`, plus `<name>_sum` / `<name>_count`
+///   QuantileWindow   -> `# TYPE <name> summary` + `{quantile="0.5|0.9|
+///                       0.95|0.99"}` samples plus `_sum` / `_count`
+///                       (windowed, see docs/OBSERVABILITY.md)
+///
+/// Registry names use dots and dashes (`solver.rung_attempts.ic-pcg`);
+/// exposition names must match [a-zA-Z_:][a-zA-Z0-9_:]*, so both are
+/// rewritten to underscores and the original name is kept in a `# HELP`
+/// line. Output is sorted by metric name (snapshot maps are sorted), so
+/// two scrapes of identical state are byte-identical.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace pdn3d::obs {
+
+/// Rewrite a registry metric name to a legal exposition name.
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+/// Render the whole snapshot as exposition text (trailing newline included).
+[[nodiscard]] std::string render_prometheus(const MetricsSnapshot& snap);
+
+}  // namespace pdn3d::obs

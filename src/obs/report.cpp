@@ -76,10 +76,27 @@ json::Value metrics_block(const MetricsSnapshot& snap) {
     histograms.set(name, std::move(hist));
   }
 
+  // Schema v5: windowed quantile snapshots (obs::QuantileWindow).
+  json::Value windows = json::Value::object();
+  for (const auto& [name, w] : snap.windows) {
+    json::Value win = json::Value::object();
+    win.set("count", w.count);
+    win.set("window_count", static_cast<std::uint64_t>(w.window_count));
+    win.set("min", w.min);
+    win.set("max", w.max);
+    win.set("sum", w.sum);
+    win.set("p50", w.p50);
+    win.set("p90", w.p90);
+    win.set("p95", w.p95);
+    win.set("p99", w.p99);
+    windows.set(name, std::move(win));
+  }
+
   json::Value metrics = json::Value::object();
   metrics.set("counters", std::move(counters));
   metrics.set("gauges", std::move(gauges));
   metrics.set("histograms", std::move(histograms));
+  metrics.set("windows", std::move(windows));
   return metrics;
 }
 

@@ -6,7 +6,8 @@
 ///
 /// Every `pdn3d <cmd> ... --report out.json` invocation ends by writing one
 /// of these; scripts/check_report_schema.py validates the schema (versioned
-/// as "schema": 3) and docs/OBSERVABILITY.md documents every key. Reports are
+/// via kReportSchemaVersion) and docs/OBSERVABILITY.md documents every key.
+/// Reports are
 /// the diff baseline for performance PRs: two runs of the same command can be
 /// compared span-by-span and counter-by-counter.
 
@@ -25,7 +26,10 @@ namespace pdn3d::obs {
 ///     sparse-direct factorization statistics).
 /// v4: added the optional top-level "session" block (batch evaluation
 ///     service aggregates plus per-request records; `pdn3d serve` only).
-inline constexpr int kReportSchemaVersion = 4;
+/// v5: added "windows" to the "metrics" block (windowed quantile snapshots);
+///     session requests gained "request_id"; the session block gained
+///     "uptime_seconds" and peak queue/in-flight gauges.
+inline constexpr int kReportSchemaVersion = 5;
 
 struct RunReportOptions {
   std::string command;            ///< CLI command ("analyze", "profile", ...)

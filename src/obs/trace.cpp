@@ -43,7 +43,32 @@ struct Frame {
 
 thread_local std::vector<Frame> t_stack;
 
+/// Per-thread capture state for begin_capture()/end_capture().
+struct CaptureState {
+  bool active = false;
+  std::size_t capacity = 0;
+  std::uint64_t dropped = 0;
+  std::vector<SpanRecord> spans;
+};
+
+thread_local CaptureState t_capture;
+
 }  // namespace
+
+void begin_capture(std::size_t capacity) {
+  t_capture.active = true;
+  t_capture.capacity = capacity == 0 ? 1 : capacity;
+  t_capture.dropped = 0;
+  t_capture.spans.clear();
+}
+
+CaptureResult end_capture() {
+  CaptureResult out;
+  out.spans = std::move(t_capture.spans);
+  out.dropped = t_capture.dropped;
+  t_capture = CaptureState{};
+  return out;
+}
 
 TraceStore& TraceStore::instance() {
   static TraceStore store;
@@ -216,6 +241,13 @@ TraceSpan::~TraceSpan() {
 
   const double total_s = static_cast<double>(record.duration_us) * 1e-6;
   if (!t_stack.empty()) t_stack.back().child_seconds += total_s;
+  if (t_capture.active) {
+    if (t_capture.spans.size() < t_capture.capacity) {
+      t_capture.spans.push_back(record);
+    } else {
+      ++t_capture.dropped;
+    }
+  }
   store.record(std::move(record), frame.child_seconds);
 }
 

@@ -121,6 +121,25 @@ class TraceSpan {
   std::size_t frame_index_ = 0;  ///< position in the thread-local open stack
 };
 
+/// Thread-local span capture for per-request export (the service's
+/// `--slow-ms` path): between begin_capture() and end_capture(), every span
+/// *completed on this thread* is also copied into a thread-local buffer, up
+/// to @p capacity (extras are counted as dropped, deepest-first since
+/// children complete before parents). Capture is independent of the global
+/// event buffer and its cap, so a long-running server whose global buffer
+/// filled hours ago still exports complete per-request trees. Valid because
+/// served requests evaluate inline on one worker thread (the nested-region
+/// rule, docs/PARALLELISM.md). Nested captures are not supported: a second
+/// begin_capture() resets the buffer.
+void begin_capture(std::size_t capacity = 256);
+
+struct CaptureResult {
+  std::vector<SpanRecord> spans;  ///< completion order; sort by start_us for a tree
+  std::uint64_t dropped = 0;
+};
+/// Stop capturing on this thread and return everything captured.
+[[nodiscard]] CaptureResult end_capture();
+
 /// No-op stand-in when tracing is compiled out.
 struct NullSpan {
   explicit NullSpan(std::string_view = {}) {}

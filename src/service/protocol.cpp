@@ -105,6 +105,19 @@ void escape_into(std::string_view text, std::string* out) {
   out->append(obsjson::escape(text));
 }
 
+/// Client-supplied request_ids are restricted to a shell/log-safe charset so
+/// they can be embedded in log lines, trace attributes, and grep patterns
+/// without quoting surprises.
+bool valid_request_id(std::string_view id) {
+  if (id.empty() || id.size() > kMaxRequestIdBytes) return false;
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+                    c == '-' || c == '_' || c == '.' || c == ':' || c == '/';
+    if (!ok) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 const char* to_string(ErrorKind kind) {
@@ -150,6 +163,16 @@ core::Status parse_request(std::string_view line, Request* out) {
   }
   if (!status.is_ok()) return status;
 
+  if (const auto* rid =
+          member(doc, "request_id", obsjson::Value::Kind::kString, &status, "string")) {
+    if (!valid_request_id(rid->as_string())) {
+      return bad("request_id must be 1.." + std::to_string(kMaxRequestIdBytes) +
+                 " characters of [A-Za-z0-9._:/-]");
+    }
+    out->request_id = rid->as_string();
+  }
+  if (!status.is_ok()) return status;
+
   const auto* op = member(doc, "op", obsjson::Value::Kind::kString, &status, "string");
   if (!status.is_ok()) return status;
   if (op == nullptr) return bad("missing required field 'op'");
@@ -171,6 +194,14 @@ core::Status parse_request(std::string_view line, Request* out) {
   }
   if (op->as_string() == "health") {
     out->kind = Request::Kind::kHealth;
+    return core::Status::ok();
+  }
+  if (op->as_string() == "stats") {
+    out->kind = Request::Kind::kStats;
+    return core::Status::ok();
+  }
+  if (op->as_string() == "metrics") {
+    out->kind = Request::Kind::kMetrics;
     return core::Status::ok();
   }
 
@@ -255,21 +286,37 @@ std::string ok_response(const Request& request, const api::EvaluateResult& resul
   line += ",\"output\":\"";
   escape_into(result.output, &line);
   line += "\"}";
+  append_request_id(&line, request.request_id);
   return line;
 }
 
-std::string error_response(std::int64_t id, ErrorKind kind, std::string_view message) {
+std::string error_response(std::int64_t id, ErrorKind kind, std::string_view message,
+                           std::string_view request_id) {
   std::string line = "{\"id\":" + std::to_string(id);
   line += ",\"ok\":false,\"error\":{\"kind\":\"";
   line += to_string(kind);
   line += "\",\"message\":\"";
   escape_into(message, &line);
   line += "\"}}";
+  append_request_id(&line, request_id);
   return line;
 }
 
-std::string ping_response(std::int64_t id) {
-  return "{\"id\":" + std::to_string(id) + ",\"ok\":true,\"op\":\"ping\"}";
+std::string ping_response(std::int64_t id, std::string_view request_id) {
+  std::string line = "{\"id\":" + std::to_string(id) + ",\"ok\":true,\"op\":\"ping\"}";
+  append_request_id(&line, request_id);
+  return line;
+}
+
+void append_request_id(std::string* line, std::string_view request_id) {
+  if (request_id.empty()) return;
+  // Responses are single-line JSON objects ending in '}'; splice the echo in
+  // as the final key so substring-matching consumers (smoke greps, docs
+  // examples) keep seeing the historical prefix.
+  line->pop_back();
+  line->append(",\"request_id\":\"");
+  escape_into(request_id, line);
+  line->append("\"}");
 }
 
 }  // namespace pdn3d::service

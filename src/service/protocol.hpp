@@ -18,11 +18,17 @@
 /// Control requests: {"op": "cancel", "id": 9, "target": 7} removes a
 /// still-queued request; {"op": "ping", "id": 0} answers immediately (a
 /// liveness probe that bypasses the queue); {"op": "health", "id": 0}
-/// answers immediately with queue depth, in-flight count, and drain state
+/// answers immediately with queue depth, in-flight count, and drain state;
+/// {"op": "stats", "id": 0} answers immediately with the full telemetry
+/// snapshot (counters, gauges, quantile windows, uptime); {"op": "metrics",
+/// "id": 0} answers with Prometheus exposition text in a "body" field
 /// (docs/SERVICE.md).
 ///
 /// Every submitted line produces exactly one response, matched by `id`.
-/// Responses arrive in completion order, not submission order.
+/// Responses arrive in completion order, not submission order. Every
+/// response also carries a `request_id` string -- echoed from the request's
+/// optional "request_id" member when given, server-generated ("r-<N>")
+/// otherwise -- for log/trace correlation (docs/OBSERVABILITY.md).
 
 #include <cstddef>
 #include <cstdint>
@@ -57,9 +63,12 @@ enum class ErrorKind {
 /// bound or parsed.
 inline constexpr std::size_t kMaxRequestBytes = 64 * 1024;
 
+/// Upper bound on a client-supplied request_id (characters).
+inline constexpr std::size_t kMaxRequestIdBytes = 64;
+
 /// One decoded request line.
 struct Request {
-  enum class Kind { kEvaluate, kCancel, kPing, kHealth };
+  enum class Kind { kEvaluate, kCancel, kPing, kHealth, kStats, kMetrics };
 
   std::int64_t id = -1;  ///< echoed in the response; -1 when absent
   Kind kind = Kind::kEvaluate;
@@ -67,6 +76,9 @@ struct Request {
   std::int64_t cancel_target = -1;  ///< kCancel payload
   double deadline_ms = 0.0;     ///< 0 = no deadline
   double test_sleep_ms = 0.0;   ///< fault-injection hold (test builds only)
+  /// Correlation id: client-supplied "request_id" (1..kMaxRequestIdBytes
+  /// chars of [A-Za-z0-9._:/-]); empty here means the server generates one.
+  std::string request_id;
 };
 
 /// Decode one NDJSON line. On failure the returned status message is what
@@ -74,15 +86,22 @@ struct Request {
 [[nodiscard]] core::Status parse_request(std::string_view line, Request* out);
 
 /// Render the success response for an evaluated request (single line, no
-/// trailing newline).
+/// trailing newline). The request's request_id is echoed as the final key.
 [[nodiscard]] std::string ok_response(const Request& request, const api::EvaluateResult& result,
                                       double queue_ms, double run_ms);
 
-/// Render an error response (single line, no trailing newline).
+/// Render an error response (single line, no trailing newline). The
+/// request_id key is appended when non-empty (the service always supplies
+/// one; bare protocol users may omit it).
 [[nodiscard]] std::string error_response(std::int64_t id, ErrorKind kind,
-                                         std::string_view message);
+                                         std::string_view message,
+                                         std::string_view request_id = {});
 
-/// Render the ping response.
-[[nodiscard]] std::string ping_response(std::int64_t id);
+/// Render the ping response (request_id appended when non-empty).
+[[nodiscard]] std::string ping_response(std::int64_t id, std::string_view request_id = {});
+
+/// Append `,"request_id":"<escaped>"` before the closing brace of a
+/// single-line JSON object response. No-op when @p request_id is empty.
+void append_request_id(std::string* line, std::string_view request_id);
 
 }  // namespace pdn3d::service

@@ -14,8 +14,11 @@
 
 #include "exec/cancel.hpp"
 #include "faults/faults.hpp"
+#include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
+#include "util/log.hpp"
 
 namespace pdn3d::service {
 
@@ -31,9 +34,12 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
 /// the aggregates grow (a soak would otherwise make reports unbounded).
 constexpr std::size_t kMaxRequestRecords = 1024;
 
-std::string cancel_ok_response(std::int64_t id, std::int64_t target) {
-  return "{\"id\":" + std::to_string(id) + ",\"ok\":true,\"op\":\"cancel\",\"target\":" +
-         std::to_string(target) + "}";
+std::string cancel_ok_response(std::int64_t id, std::int64_t target,
+                               std::string_view request_id) {
+  std::string line = "{\"id\":" + std::to_string(id) + ",\"ok\":true,\"op\":\"cancel\",\"target\":" +
+                     std::to_string(target) + "}";
+  append_request_id(&line, request_id);
+  return line;
 }
 
 /// Relative weight of a request for cost-based admission control. Units are
@@ -74,6 +80,7 @@ struct BatchService::InFlight {
 
 struct BatchService::RequestRecord {
   std::int64_t id = -1;
+  std::string request_id;
   std::string op;
   std::string benchmark;
   bool ok = false;
@@ -95,8 +102,12 @@ void BatchService::start() {
   started_ = true;
   queue_ = std::make_unique<exec::BoundedQueue<Pending>>(config_.queue_capacity);
   pool_ = std::make_unique<exec::ThreadPool>(config_.workers);
+  started_at_ = Clock::now();
   obs::gauge("service.workers").set(static_cast<double>(config_.workers));
   obs::gauge("service.queue_capacity").set(static_cast<double>(config_.queue_capacity));
+  obs::gauge("service.queue_depth").set(0.0);
+  obs::gauge("service.inflight").set(0.0);
+  obs::gauge("service.uptime_seconds").set(0.0);
   // The worker loops occupy one pool region for the service's whole life; the
   // orchestrator thread is region participant #0 (parallel_for's caller).
   const std::size_t n = config_.workers;
@@ -132,7 +143,31 @@ void BatchService::watchdog_loop() {
   }
 }
 
-std::string BatchService::health_response(std::int64_t id) const {
+double BatchService::uptime_seconds() const {
+  if (started_at_ == Clock::time_point{}) return 0.0;
+  return std::chrono::duration<double>(Clock::now() - started_at_).count();
+}
+
+void BatchService::publish_queue_depth() {
+  static auto& g_depth = obs::gauge("service.queue_depth");
+  const auto depth = static_cast<std::uint64_t>(queued());
+  g_depth.set(static_cast<double>(depth));
+  std::uint64_t peak = peak_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > peak &&
+         !peak_queue_depth_.compare_exchange_weak(peak, depth, std::memory_order_relaxed)) {
+  }
+}
+
+void BatchService::publish_in_flight(std::uint64_t value) {
+  static auto& g_inflight = obs::gauge("service.inflight");
+  g_inflight.set(static_cast<double>(value));
+  std::uint64_t peak = peak_in_flight_.load(std::memory_order_relaxed);
+  while (value > peak &&
+         !peak_in_flight_.compare_exchange_weak(peak, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::string BatchService::health_response(const Request& req) const {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
   {
@@ -140,7 +175,7 @@ std::string BatchService::health_response(std::int64_t id) const {
     submitted = stats_.submitted;
     completed = stats_.completed;
   }
-  std::string line = "{\"id\":" + std::to_string(id) + ",\"ok\":true,\"op\":\"health\"";
+  std::string line = "{\"id\":" + std::to_string(req.id) + ",\"ok\":true,\"op\":\"health\"";
   line += ",\"draining\":";
   line += draining_.load(std::memory_order_acquire) ? "true" : "false";
   line += ",\"queue_depth\":" + std::to_string(queued());
@@ -152,6 +187,92 @@ std::string BatchService::health_response(std::int64_t id) const {
   line += ",\"submitted\":" + std::to_string(submitted);
   line += ",\"completed\":" + std::to_string(completed);
   line += "}";
+  append_request_id(&line, req.request_id);
+  return line;
+}
+
+std::string BatchService::stats_response(const Request& req) {
+  static auto& g_uptime = obs::gauge("service.uptime_seconds");
+  g_uptime.set(uptime_seconds());
+  publish_queue_depth();
+  publish_in_flight(in_flight_.load(std::memory_order_relaxed));
+
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::instance().snapshot();
+  Stats totals;
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    totals = stats_;
+  }
+
+  auto doc = obs::json::Value::object();
+  doc.set("id", obs::json::Value(req.id));
+  doc.set("ok", obs::json::Value(true));
+  doc.set("op", obs::json::Value("stats"));
+  doc.set("uptime_seconds", obs::json::Value(uptime_seconds()));
+  doc.set("draining", obs::json::Value(draining_.load(std::memory_order_acquire)));
+  doc.set("queue_depth", obs::json::Value(static_cast<std::uint64_t>(queued())));
+  doc.set("in_flight", obs::json::Value(in_flight_.load(std::memory_order_relaxed)));
+  doc.set("outstanding_cost",
+          obs::json::Value(outstanding_cost_.load(std::memory_order_relaxed)));
+  doc.set("peak_queue_depth", obs::json::Value(peak_queue_depth_.load(std::memory_order_relaxed)));
+  doc.set("peak_in_flight", obs::json::Value(peak_in_flight_.load(std::memory_order_relaxed)));
+  doc.set("workers", obs::json::Value(static_cast<std::uint64_t>(config_.workers)));
+  doc.set("queue_capacity",
+          obs::json::Value(static_cast<std::uint64_t>(config_.queue_capacity)));
+
+  auto totals_block = obs::json::Value::object();
+  totals_block.set("submitted", obs::json::Value(totals.submitted));
+  totals_block.set("completed", obs::json::Value(totals.completed));
+  totals_block.set("rejected_queue_full", obs::json::Value(totals.rejected_full));
+  totals_block.set("rejected_shutdown", obs::json::Value(totals.rejected_shutdown));
+  totals_block.set("rejected_overload", obs::json::Value(totals.rejected_overload));
+  totals_block.set("rejected_too_large", obs::json::Value(totals.rejected_too_large));
+  totals_block.set("bad_requests", obs::json::Value(totals.bad_requests));
+  totals_block.set("deadline_expired", obs::json::Value(totals.deadline_expired));
+  totals_block.set("cancelled", obs::json::Value(totals.cancelled));
+  totals_block.set("timeouts", obs::json::Value(totals.timeouts));
+  totals_block.set("internal_errors", obs::json::Value(totals.internal_errors));
+  doc.set("totals", std::move(totals_block));
+
+  auto counters = obs::json::Value::object();
+  for (const auto& [name, value] : snap.counters) counters.set(name, obs::json::Value(value));
+  doc.set("counters", std::move(counters));
+
+  auto gauges = obs::json::Value::object();
+  for (const auto& [name, value] : snap.gauges) gauges.set(name, obs::json::Value(value));
+  doc.set("gauges", std::move(gauges));
+
+  auto windows = obs::json::Value::object();
+  for (const auto& [name, w] : snap.windows) {
+    auto win = obs::json::Value::object();
+    win.set("count", obs::json::Value(w.count));
+    win.set("window_count", obs::json::Value(static_cast<std::uint64_t>(w.window_count)));
+    win.set("min", obs::json::Value(w.min));
+    win.set("max", obs::json::Value(w.max));
+    win.set("sum", obs::json::Value(w.sum));
+    win.set("p50", obs::json::Value(w.p50));
+    win.set("p90", obs::json::Value(w.p90));
+    win.set("p95", obs::json::Value(w.p95));
+    win.set("p99", obs::json::Value(w.p99));
+    windows.set(name, std::move(win));
+  }
+  doc.set("windows", std::move(windows));
+  if (!req.request_id.empty()) doc.set("request_id", obs::json::Value(req.request_id));
+  return doc.dump();
+}
+
+std::string BatchService::metrics_response(const Request& req) {
+  static auto& g_uptime = obs::gauge("service.uptime_seconds");
+  g_uptime.set(uptime_seconds());
+  publish_queue_depth();
+  publish_in_flight(in_flight_.load(std::memory_order_relaxed));
+
+  const std::string body =
+      obs::render_prometheus(obs::MetricsRegistry::instance().snapshot());
+  std::string line = "{\"id\":" + std::to_string(req.id) + ",\"ok\":true,\"op\":\"metrics\"";
+  line += ",\"content_type\":\"text/plain; version=0.0.4\"";
+  line += ",\"body\":\"" + obs::json::escape(body) + "\"}";
+  append_request_id(&line, req.request_id);
   return line;
 }
 
@@ -166,6 +287,13 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
     ++stats_.submitted;
   }
 
+  // Every response carries a correlation id: the client's request_id when it
+  // supplied one, a server-generated "r-<N>" otherwise (including responses
+  // to lines that never parsed).
+  const auto generate_request_id = [this] {
+    return "r-" + std::to_string(next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1);
+  };
+
   if (line.size() > kMaxRequestBytes) {
     // Answer before parsing: an oversized line is rejected on length alone,
     // never buffered into the JSON parser.
@@ -176,8 +304,8 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
       ++stats_.rejected_too_large;
     }
     sink(error_response(-1, ErrorKind::kRequestTooLarge,
-                        "request line exceeds " + std::to_string(kMaxRequestBytes) +
-                            " bytes"));
+                        "request line exceeds " + std::to_string(kMaxRequestBytes) + " bytes",
+                        generate_request_id()));
     return;
   }
 
@@ -188,19 +316,36 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
       const std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.bad_requests;
     }
-    sink(error_response(req.id, ErrorKind::kBadRequest, st.message()));
+    if (req.request_id.empty()) req.request_id = generate_request_id();
+    obs::log_event(util::LogLevel::kDebug, "serve.bad_request",
+                   {{"request_id", req.request_id}, {"id", req.id},
+                    {"message", std::string(st.message())}});
+    sink(error_response(req.id, ErrorKind::kBadRequest, st.message(), req.request_id));
     return;
   }
+  if (req.request_id.empty()) req.request_id = generate_request_id();
 
   if (req.kind == Request::Kind::kPing) {
-    sink(ping_response(req.id));
+    sink(ping_response(req.id, req.request_id));
     return;
   }
 
   if (req.kind == Request::Kind::kHealth) {
     // Answered inline, even while draining: health is how an operator tells
     // "draining" from "hung".
-    sink(health_response(req.id));
+    sink(health_response(req));
+    return;
+  }
+
+  if (req.kind == Request::Kind::kStats) {
+    // Inline and drain-proof like health: scrapes must work while the
+    // server sheds, stalls, or shuts down.
+    sink(stats_response(req));
+    return;
+  }
+
+  if (req.kind == Request::Kind::kMetrics) {
+    sink(metrics_response(req));
     return;
   }
 
@@ -213,10 +358,12 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
     if (removed.has_value()) {
       m_cancelled.add(1);
       outstanding_cost_.fetch_sub(removed->cost, std::memory_order_relaxed);
+      publish_queue_depth();
       removed->sink(error_response(removed->req.id, ErrorKind::kCancelled,
-                                   "cancelled while queued"));
+                                   "cancelled while queued", removed->req.request_id));
       RequestRecord rec;
       rec.id = removed->req.id;
+      rec.request_id = removed->req.request_id;
       rec.op = api::to_string(removed->req.eval.op);
       rec.benchmark = api::benchmark_token(removed->req.eval.benchmark);
       rec.error = to_string(ErrorKind::kCancelled);
@@ -226,10 +373,11 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
         ++stats_.cancelled;
       }
       record(std::move(rec));
-      sink(cancel_ok_response(req.id, req.cancel_target));
+      sink(cancel_ok_response(req.id, req.cancel_target, req.request_id));
     } else {
       sink(error_response(req.id, ErrorKind::kNotFound,
-                          "target not queued (already started, finished, or unknown)"));
+                          "target not queued (already started, finished, or unknown)",
+                          req.request_id));
     }
     return;
   }
@@ -239,7 +387,7 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
       const std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.rejected_shutdown;
     }
-    sink(error_response(req.id, ErrorKind::kShutdown, "service is draining"));
+    sink(error_response(req.id, ErrorKind::kShutdown, "service is draining", req.request_id));
     return;
   }
 
@@ -258,8 +406,8 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
       sink(error_response(req.id, ErrorKind::kOverloaded,
                           "outstanding cost " + std::to_string(cur) + " + " +
                               std::to_string(cost) + " exceeds limit " +
-                              std::to_string(config_.max_outstanding_cost) +
-                              "; retry later"));
+                              std::to_string(config_.max_outstanding_cost) + "; retry later",
+                          req.request_id));
       return;
     }
   }
@@ -283,6 +431,7 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
   // (decided under the queue lock) for the client's retry policy.
   switch (queue_->try_push(std::move(pending))) {
     case exec::PushResult::kOk:
+      publish_queue_depth();
       break;
     case exec::PushResult::kClosed: {
       outstanding_cost_.fetch_sub(cost, std::memory_order_relaxed);
@@ -290,7 +439,8 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
         const std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.rejected_shutdown;
       }
-      pending.sink(error_response(pending.req.id, ErrorKind::kShutdown, "service is draining"));
+      pending.sink(error_response(pending.req.id, ErrorKind::kShutdown, "service is draining",
+                                  pending.req.request_id));
       break;
     }
     case exec::PushResult::kFull: {
@@ -302,7 +452,8 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
       }
       pending.sink(error_response(pending.req.id, ErrorKind::kQueueFull,
                                   "admission queue full (capacity " +
-                                      std::to_string(queue_->capacity()) + "); retry later"));
+                                      std::to_string(queue_->capacity()) + "); retry later",
+                                  pending.req.request_id));
       break;
     }
   }
@@ -322,13 +473,18 @@ void BatchService::finish(Pending&& pending) {
   static auto& m_internal = obs::counter("service.internal_errors");
   static auto& h_queue = obs::histogram("service.queue_ms", {1, 10, 100, 1000, 10000});
   static auto& h_run = obs::histogram("service.run_ms", {1, 10, 100, 1000, 10000});
+  static auto& w_queue = obs::window("service.queue_ms");
+  static auto& w_run = obs::window("service.run_ms");
 
   const Clock::time_point start = Clock::now();
+  publish_queue_depth();
   const double queue_ms = ms_between(pending.enqueued, start);
   h_queue.observe(queue_ms);
+  w_queue.observe(queue_ms);
 
   RequestRecord rec;
   rec.id = pending.req.id;
+  rec.request_id = pending.req.request_id;
   rec.op = api::to_string(pending.req.eval.op);
   rec.benchmark = api::benchmark_token(pending.req.eval.benchmark);
   rec.queue_ms = queue_ms;
@@ -344,13 +500,22 @@ void BatchService::finish(Pending&& pending) {
     record(std::move(rec));
     pending.sink(error_response(pending.req.id, ErrorKind::kDeadlineExceeded,
                                 "deadline expired after " + std::to_string(queue_ms) +
-                                    " ms in queue"));
+                                    " ms in queue",
+                                pending.req.request_id));
     return;
   }
 
   PDN3D_TRACE_SPAN_NAMED(span, "serve/request");
   span.attribute("op", rec.op);
   span.attribute("benchmark", rec.benchmark);
+  span.attribute("request_id", pending.req.request_id);
+
+  // Slow-request tracing: capture every span this evaluation completes on
+  // this thread (sound because the request runs inline here -- the nested-
+  // region rule), and export the tree as a structured event if the run
+  // crosses the threshold.
+  const bool capture = config_.slow_request_ms > 0.0;
+  if (capture) obs::begin_capture();
 
   if (config_.enable_test_ops && pending.req.test_sleep_ms > 0.0) {
     std::this_thread::sleep_for(
@@ -360,7 +525,7 @@ void BatchService::finish(Pending&& pending) {
   // Register with the watchdog before evaluating. The per-request sweep runs
   // inline on this worker (exec's nested-region rule), so installing the
   // token here covers every CG/Cholesky poll point the request will hit.
-  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  publish_in_flight(in_flight_.fetch_add(1, std::memory_order_relaxed) + 1);
   exec::CancelToken cancel;
   std::uint64_t ticket = 0;
   const bool watched = config_.watchdog_ms > 0.0;
@@ -399,13 +564,40 @@ void BatchService::finish(Pending&& pending) {
     const std::lock_guard<std::mutex> lock(watchdog_mutex_);
     inflight_.erase(ticket);
   }
-  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  publish_in_flight(in_flight_.fetch_sub(1, std::memory_order_relaxed) - 1);
   outstanding_cost_.fetch_sub(pending.cost, std::memory_order_relaxed);
 
   const double run_ms = ms_between(start, Clock::now());
   h_run.observe(run_ms);
+  w_run.observe(run_ms);
   m_completed.add(1);
   rec.run_ms = run_ms;
+
+  if (capture) {
+    const obs::CaptureResult trace = obs::end_capture();
+    if (run_ms >= config_.slow_request_ms) {
+      static auto& m_slow = obs::counter("service.slow_requests");
+      m_slow.add(1);
+      auto spans = obs::json::Value::array();
+      for (const auto& s : trace.spans) {
+        auto row = obs::json::Value::object();
+        row.set("path", obs::json::Value(s.path));
+        row.set("start_us", obs::json::Value(s.start_us));
+        row.set("duration_us", obs::json::Value(s.duration_us));
+        spans.push_back(std::move(row));
+      }
+      obs::log_event(util::LogLevel::kWarn, "serve.slow_request",
+                     {{"request_id", pending.req.request_id},
+                      {"id", pending.req.id},
+                      {"op", rec.op},
+                      {"benchmark", rec.benchmark},
+                      {"run_ms", run_ms},
+                      {"queue_ms", queue_ms},
+                      {"threshold_ms", config_.slow_request_ms},
+                      {"spans_dropped", trace.dropped},
+                      {"spans", std::move(spans)}});
+    }
+  }
 
   if (internal_error) {
     m_internal.add(1);
@@ -416,7 +608,8 @@ void BatchService::finish(Pending&& pending) {
     }
     rec.error = to_string(ErrorKind::kInternal);
     record(std::move(rec));
-    pending.sink(error_response(pending.req.id, ErrorKind::kInternal, internal_message));
+    pending.sink(error_response(pending.req.id, ErrorKind::kInternal, internal_message,
+                                pending.req.request_id));
     return;
   }
 
@@ -434,7 +627,8 @@ void BatchService::finish(Pending&& pending) {
     pending.sink(error_response(pending.req.id, ErrorKind::kTimeout,
                                 "evaluation exceeded watchdog (" +
                                     std::to_string(static_cast<long long>(config_.watchdog_ms)) +
-                                    " ms): " + std::string(result.status.message())));
+                                    " ms): " + std::string(result.status.message()),
+                                pending.req.request_id));
     return;
   }
 
@@ -464,6 +658,9 @@ void BatchService::drain() {
   draining_.store(true, std::memory_order_release);
   queue_->close();
   orchestrator_.join();
+  obs::gauge("service.uptime_seconds").set(uptime_seconds());
+  publish_queue_depth();
+  publish_in_flight(in_flight_.load(std::memory_order_relaxed));
   if (watchdog_.joinable()) {
     {
       const std::lock_guard<std::mutex> lock(watchdog_mutex_);
@@ -487,6 +684,12 @@ obs::json::Value BatchService::session_block() const {
   block.set("workers", obs::json::Value(static_cast<std::uint64_t>(config_.workers)));
   block.set("queue_capacity",
             obs::json::Value(static_cast<std::uint64_t>(config_.queue_capacity)));
+  // Schema v5: lifetime and peak load, so a report alone answers "how hard
+  // was this server actually pushed".
+  block.set("uptime_seconds", obs::json::Value(uptime_seconds()));
+  block.set("peak_queue_depth",
+            obs::json::Value(peak_queue_depth_.load(std::memory_order_relaxed)));
+  block.set("peak_in_flight", obs::json::Value(peak_in_flight_.load(std::memory_order_relaxed)));
   block.set("submitted", obs::json::Value(stats_.submitted));
   block.set("completed", obs::json::Value(stats_.completed));
   block.set("rejected_queue_full", obs::json::Value(stats_.rejected_full));
@@ -502,6 +705,7 @@ obs::json::Value BatchService::session_block() const {
   for (const auto& rec : records_) {
     auto r = obs::json::Value::object();
     r.set("id", obs::json::Value(static_cast<std::int64_t>(rec.id)));
+    r.set("request_id", obs::json::Value(rec.request_id));
     r.set("op", obs::json::Value(rec.op));
     r.set("benchmark", obs::json::Value(rec.benchmark));
     r.set("ok", obs::json::Value(rec.ok));

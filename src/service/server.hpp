@@ -41,6 +41,7 @@
 /// plus the api::Session caches shared across them.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -76,6 +77,10 @@ struct ServiceConfig {
   /// cancelled cooperatively and answered `timeout` (0 = off). Measured from
   /// evaluation start, not admission (deadline_ms covers queue time).
   double watchdog_ms = 0.0;
+  /// Slow-request tracing: an evaluation whose run time exceeds this logs a
+  /// `serve.slow_request` event carrying the request's captured span tree
+  /// (0 = off). The CLI flag is `--slow-ms`.
+  double slow_request_ms = 0.0;
 };
 
 /// Delivery callback for one response line (no trailing newline). Invoked
@@ -127,9 +132,13 @@ class BatchService {
   /// aid: polling for 0 after a submit proves the worker picked it up.
   [[nodiscard]] std::size_t queued() const;
 
-  /// The run report's "session" block (schema v4): aggregate counters plus
-  /// one record per evaluated request (docs/OBSERVABILITY.md).
+  /// The run report's "session" block (schema v5): aggregate counters,
+  /// uptime, peak load, plus one record per evaluated request
+  /// (docs/OBSERVABILITY.md).
   [[nodiscard]] obs::json::Value session_block() const;
+
+  /// Seconds since start(); 0 before start.
+  [[nodiscard]] double uptime_seconds() const;
 
  private:
   struct Pending;
@@ -140,7 +149,14 @@ class BatchService {
   void watchdog_loop();
   void finish(Pending&& pending);
   void record(RequestRecord rec);
-  [[nodiscard]] std::string health_response(std::int64_t id) const;
+  /// Refresh the live service.queue_depth / service.inflight gauges (and
+  /// their peaks) from the authoritative sources. Called on every queue or
+  /// in-flight transition, so every exit path is covered by construction.
+  void publish_queue_depth();
+  void publish_in_flight(std::uint64_t value);
+  [[nodiscard]] std::string health_response(const Request& req) const;
+  [[nodiscard]] std::string stats_response(const Request& req);
+  [[nodiscard]] std::string metrics_response(const Request& req);
 
   const api::Session& session_;
   ServiceConfig config_;
@@ -154,6 +170,10 @@ class BatchService {
   std::atomic<std::uint64_t> outstanding_cost_{0};  ///< admitted, unfinished
   std::atomic<std::uint64_t> in_flight_{0};  ///< popped by a worker, running
   std::atomic<std::uint64_t> next_ticket_{0};
+  std::atomic<std::uint64_t> next_request_id_{0};  ///< server-generated "r-<N>"
+  std::atomic<std::uint64_t> peak_queue_depth_{0};
+  std::atomic<std::uint64_t> peak_in_flight_{0};
+  std::chrono::steady_clock::time_point started_at_{};  ///< set by start()
 
   std::mutex watchdog_mutex_;  ///< guards inflight_ + watchdog_stop_
   std::condition_variable watchdog_cv_;

@@ -3,26 +3,13 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
-#include <mutex>
 
+#include "obs/event_log.hpp"
 #include "util/string_util.hpp"
 
 namespace pdn3d::util {
 
 namespace {
-
-std::mutex g_io_mutex;
-
-std::string_view level_tag(LogLevel level) {
-  switch (level) {
-    case LogLevel::kDebug: return "DEBUG";
-    case LogLevel::kInfo: return "INFO ";
-    case LogLevel::kWarn: return "WARN ";
-    case LogLevel::kError: return "ERROR";
-    case LogLevel::kOff: return "OFF  ";
-  }
-  return "?????";
-}
 
 /// Initial threshold: PDN3D_LOG_LEVEL when set and parseable, else kWarn.
 LogLevel initial_level() {
@@ -61,9 +48,10 @@ void set_log_level(LogLevel level) {
 }
 
 void log_message(LogLevel level, std::string_view message) {
-  if (level < log_level()) return;
-  std::lock_guard lock(g_io_mutex);
-  std::cerr << "[pdn3d " << level_tag(level) << "] " << message << '\n';
+  // Routed through the structured event log (obs/event_log.hpp): a plain
+  // message is a field-less event whose text rendering is byte-identical to
+  // the historical `[pdn3d LEVEL] message` line.
+  obs::log_event(level, message);
 }
 
 }  // namespace pdn3d::util

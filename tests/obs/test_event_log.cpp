@@ -1,0 +1,96 @@
+// Structured event log: text rendering stays byte-compatible with the legacy
+// `[pdn3d LEVEL] message` lines, NDJSON rendering carries typed fields, and
+// the format knob parses the documented spellings.
+
+#include "obs/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "util/log.hpp"
+
+namespace pdn3d::obs {
+namespace {
+
+using util::LogLevel;
+
+TEST(EventLog, TextRenderingMatchesLegacyLines) {
+  // Field-less events must render exactly like the old util::log_message
+  // output so scripts grepping stderr keep working.
+  EXPECT_EQ(render_event_text(LogLevel::kInfo, "starting solve", {}),
+            "[pdn3d INFO ] starting solve");
+  EXPECT_EQ(render_event_text(LogLevel::kWarn, "cache miss", {}),
+            "[pdn3d WARN ] cache miss");
+  EXPECT_EQ(render_event_text(LogLevel::kDebug, "x", {}), "[pdn3d DEBUG] x");
+  EXPECT_EQ(render_event_text(LogLevel::kError, "boom", {}), "[pdn3d ERROR] boom");
+}
+
+TEST(EventLog, TextRenderingAppendsKeyValueFields) {
+  const std::string line = render_event_text(
+      LogLevel::kInfo, "serve.listening",
+      {{"socket", json::Value("/tmp/p.sock")}, {"workers", json::Value(4)}});
+  EXPECT_EQ(line, "[pdn3d INFO ] serve.listening socket=/tmp/p.sock workers=4");
+}
+
+TEST(EventLog, TextRenderingQuotesUnsafeStrings) {
+  const std::string line = render_event_text(
+      LogLevel::kWarn, "serve.slow_request",
+      {{"reason", json::Value("has spaces")}, {"empty", json::Value("")}});
+  EXPECT_EQ(line, R"([pdn3d WARN ] serve.slow_request reason="has spaces" empty="")");
+}
+
+TEST(EventLog, NdjsonRenderingCarriesTypedFields) {
+  const std::string line = render_event_ndjson(
+      LogLevel::kInfo, "serve.drained",
+      {{"completed", json::Value(12)}, {"ok", json::Value(true)}},
+      "2026-08-08T00:00:00.000Z");
+  EXPECT_EQ(line,
+            R"({"ts":"2026-08-08T00:00:00.000Z","level":"info","event":"serve.drained",)"
+            R"("completed":12,"ok":true})");
+}
+
+TEST(EventLog, NdjsonReservedKeysCannotBeOverridden) {
+  const std::string line = render_event_ndjson(
+      LogLevel::kError, "faults.tripped",
+      {{"level", json::Value("spoofed")}, {"site", json::Value("solver")}},
+      "2026-08-08T00:00:00.000Z");
+  EXPECT_EQ(line,
+            R"({"ts":"2026-08-08T00:00:00.000Z","level":"error","event":"faults.tripped",)"
+            R"("site":"solver"})");
+}
+
+TEST(EventLog, ParseLogFormatSpellings) {
+  LogFormat f = LogFormat::kText;
+  EXPECT_TRUE(parse_log_format("ndjson", &f));
+  EXPECT_EQ(f, LogFormat::kNdjson);
+  EXPECT_TRUE(parse_log_format("JSON", &f));
+  EXPECT_EQ(f, LogFormat::kNdjson);
+  EXPECT_TRUE(parse_log_format("  text ", &f));
+  EXPECT_EQ(f, LogFormat::kText);
+  f = LogFormat::kNdjson;
+  EXPECT_FALSE(parse_log_format("xml", &f));
+  EXPECT_EQ(f, LogFormat::kNdjson);  // untouched on failure
+}
+
+TEST(EventLog, SetLogFormatRoundTrips) {
+  const LogFormat before = log_format();
+  set_log_format(LogFormat::kNdjson);
+  EXPECT_EQ(log_format(), LogFormat::kNdjson);
+  set_log_format(LogFormat::kText);
+  EXPECT_EQ(log_format(), LogFormat::kText);
+  set_log_format(before);
+}
+
+TEST(EventLog, TimestampShapeIsIso8601Utc) {
+  const std::string ts = event_timestamp();
+  ASSERT_EQ(ts.size(), 24u) << ts;
+  EXPECT_EQ(ts[4], '-');
+  EXPECT_EQ(ts[10], 'T');
+  EXPECT_EQ(ts[19], '.');
+  EXPECT_EQ(ts.back(), 'Z');
+}
+
+}  // namespace
+}  // namespace pdn3d::obs

@@ -1,0 +1,93 @@
+// Prometheus text-exposition renderer: name rewriting, per-kind sample
+// shapes, cumulative histogram buckets, summary quantiles, byte stability.
+
+#include "obs/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace pdn3d::obs {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(Prometheus, NameRewriting) {
+  EXPECT_EQ(prometheus_name("service.run_ms"), "pdn3d_service_run_ms");
+  EXPECT_EQ(prometheus_name("solver.rung_attempts.ic-pcg"),
+            "pdn3d_solver_rung_attempts_ic_pcg");
+  EXPECT_EQ(prometheus_name("already_legal:name"), "pdn3d_already_legal:name");
+}
+
+TEST(Prometheus, RendersCountersAndGauges) {
+  MetricsSnapshot snap;
+  snap.counters["svc.requests"] = 42;
+  snap.gauges["svc.depth"] = 2.5;
+  const std::string text = render_prometheus(snap);
+  EXPECT_TRUE(contains(text, "# HELP pdn3d_svc_requests pdn3d metric svc.requests\n"));
+  EXPECT_TRUE(contains(text, "# TYPE pdn3d_svc_requests counter\n"));
+  EXPECT_TRUE(contains(text, "pdn3d_svc_requests 42\n"));
+  EXPECT_TRUE(contains(text, "# TYPE pdn3d_svc_depth gauge\n"));
+  EXPECT_TRUE(contains(text, "pdn3d_svc_depth 2.5\n"));
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeAndEndInInf) {
+  MetricsSnapshot snap;
+  MetricsSnapshot::HistogramData h;
+  h.upper_bounds = {1.0, 10.0};
+  h.bucket_counts = {3, 2, 1};  // 1 observation overflowed
+  h.count = 6;
+  h.sum = 25.5;
+  snap.histograms["svc.latency"] = h;
+  const std::string text = render_prometheus(snap);
+  EXPECT_TRUE(contains(text, "# TYPE pdn3d_svc_latency histogram\n"));
+  EXPECT_TRUE(contains(text, "pdn3d_svc_latency_bucket{le=\"1\"} 3\n"));
+  EXPECT_TRUE(contains(text, "pdn3d_svc_latency_bucket{le=\"10\"} 5\n"));
+  EXPECT_TRUE(contains(text, "pdn3d_svc_latency_bucket{le=\"+Inf\"} 6\n"));
+  EXPECT_TRUE(contains(text, "pdn3d_svc_latency_sum 25.5\n"));
+  EXPECT_TRUE(contains(text, "pdn3d_svc_latency_count 6\n"));
+}
+
+TEST(Prometheus, WindowRendersAsSummary) {
+  MetricsSnapshot snap;
+  QuantileWindow::Snapshot w;
+  w.count = 100;
+  w.window_count = 50;
+  w.sum = 500.0;
+  w.p50 = 4.0;
+  w.p90 = 8.0;
+  w.p95 = 9.0;
+  w.p99 = 9.9;
+  snap.windows["svc.run_ms"] = w;
+  const std::string text = render_prometheus(snap);
+  EXPECT_TRUE(contains(text, "# TYPE pdn3d_svc_run_ms summary\n"));
+  EXPECT_TRUE(contains(text, "pdn3d_svc_run_ms{quantile=\"0.5\"} 4\n"));
+  EXPECT_TRUE(contains(text, "pdn3d_svc_run_ms{quantile=\"0.9\"} 8\n"));
+  EXPECT_TRUE(contains(text, "pdn3d_svc_run_ms{quantile=\"0.95\"} 9\n"));
+  EXPECT_TRUE(contains(text, "pdn3d_svc_run_ms{quantile=\"0.99\"} 9.9000000000000004\n"));
+  EXPECT_TRUE(contains(text, "pdn3d_svc_run_ms_sum 500\n"));
+  EXPECT_TRUE(contains(text, "pdn3d_svc_run_ms_count 100\n"));
+}
+
+TEST(Prometheus, OutputIsByteStableAcrossRenders) {
+  MetricsSnapshot snap;
+  snap.counters["b.second"] = 2;
+  snap.counters["a.first"] = 1;
+  snap.gauges["z.last"] = 9.0;
+  const std::string once = render_prometheus(snap);
+  const std::string twice = render_prometheus(snap);
+  EXPECT_EQ(once, twice);
+  // Sorted map order: a.first before b.second.
+  EXPECT_LT(once.find("pdn3d_a_first"), once.find("pdn3d_b_second"));
+}
+
+TEST(Prometheus, EmptySnapshotRendersEmpty) {
+  EXPECT_EQ(render_prometheus(MetricsSnapshot{}), "");
+}
+
+}  // namespace
+}  // namespace pdn3d::obs

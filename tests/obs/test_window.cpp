@@ -1,0 +1,154 @@
+// QuantileWindow edge cases (empty, single sample, wraparound, interpolation)
+// plus the Histogram all-overflow case. The Concurrent* suite name follows
+// the TSan convention (scripts/run_sanitized_tests.sh) so the concurrent
+// observe/snapshot test runs under ThreadSanitizer.
+
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace pdn3d::obs {
+namespace {
+
+TEST(QuantileWindowTest, EmptyWindowSnapshotsToZeros) {
+  QuantileWindow w(16);
+  const auto s = w.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.window_count, 0u);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 0.0);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(QuantileWindowTest, SingleSampleIsEveryQuantile) {
+  QuantileWindow w(16);
+  w.observe(42.5);
+  const auto s = w.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.window_count, 1u);
+  EXPECT_DOUBLE_EQ(s.min, 42.5);
+  EXPECT_DOUBLE_EQ(s.max, 42.5);
+  EXPECT_DOUBLE_EQ(s.sum, 42.5);
+  EXPECT_DOUBLE_EQ(s.p50, 42.5);
+  EXPECT_DOUBLE_EQ(s.p90, 42.5);
+  EXPECT_DOUBLE_EQ(s.p95, 42.5);
+  EXPECT_DOUBLE_EQ(s.p99, 42.5);
+}
+
+TEST(QuantileWindowTest, QuantilesInterpolateBetweenRanks) {
+  QuantileWindow w(16);
+  // Sorted window: {10, 20, 30, 40}. rank(q) = q * (n-1).
+  for (double v : {40.0, 10.0, 30.0, 20.0}) w.observe(v);
+  const auto s = w.snapshot();
+  EXPECT_EQ(s.window_count, 4u);
+  EXPECT_DOUBLE_EQ(s.p50, 25.0);   // rank 1.5 -> halfway between 20 and 30
+  EXPECT_DOUBLE_EQ(s.p90, 37.0);   // rank 2.7
+  EXPECT_DOUBLE_EQ(s.p95, 38.5);   // rank 2.85
+  EXPECT_NEAR(s.p99, 39.7, 1e-9);  // rank 2.97
+  EXPECT_DOUBLE_EQ(s.min, 10.0);
+  EXPECT_DOUBLE_EQ(s.max, 40.0);
+}
+
+TEST(QuantileWindowTest, RingEvictsOldestPastCapacity) {
+  QuantileWindow w(4);
+  for (int i = 1; i <= 10; ++i) w.observe(static_cast<double>(i));
+  const auto s = w.snapshot();
+  EXPECT_EQ(s.count, 10u);        // lifetime count keeps growing
+  EXPECT_EQ(s.window_count, 4u);  // window holds the last 4: {7,8,9,10}
+  EXPECT_DOUBLE_EQ(s.min, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.sum, 7.0 + 8.0 + 9.0 + 10.0);
+  EXPECT_DOUBLE_EQ(s.p50, 8.5);
+}
+
+TEST(QuantileWindowTest, CapacityClampsToAtLeastOne) {
+  QuantileWindow w(0);
+  EXPECT_EQ(w.capacity(), 1u);
+  w.observe(1.0);
+  w.observe(2.0);
+  const auto s = w.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.window_count, 1u);
+  EXPECT_DOUBLE_EQ(s.p50, 2.0);  // only the newest sample survives
+}
+
+TEST(QuantileWindowTest, ResetClearsWindowAndLifetimeCount) {
+  QuantileWindow w(8);
+  w.observe(5.0);
+  w.reset();
+  const auto s = w.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.window_count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50, 0.0);
+}
+
+TEST(QuantileWindowTest, RegistryReturnsSameWindowByName) {
+  QuantileWindow& a = window("test_window.same_name", 32);
+  QuantileWindow& b = window("test_window.same_name", 999);  // capacity ignored
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.capacity(), 32u);  // first registration wins
+  a.observe(3.0);
+  EXPECT_EQ(b.snapshot().count, 1u);
+}
+
+TEST(QuantileWindowTest, SnapshotAppearsInRegistrySnapshot) {
+  window("test_window.in_snapshot", 8).observe(12.0);
+  const MetricsSnapshot snap = MetricsRegistry::instance().snapshot();
+  ASSERT_TRUE(snap.windows.find("test_window.in_snapshot") != snap.windows.end());
+  EXPECT_EQ(snap.windows.at("test_window.in_snapshot").count, 1u);
+  EXPECT_DOUBLE_EQ(snap.windows.at("test_window.in_snapshot").p50, 12.0);
+}
+
+TEST(Metrics, HistogramAllObservationsOverflow) {
+  Histogram& h = histogram("test_window.hist_overflow", {1.0, 2.0});
+  h.observe(100.0);
+  h.observe(200.0);
+  h.observe(300.0);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);  // two bounds + overflow
+  EXPECT_EQ(counts[0], 0u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 3u);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 600.0);
+}
+
+TEST(ConcurrentWindow, ObserveAndSnapshotRace) {
+  QuantileWindow& w = window("test_window.concurrent", 128);
+  constexpr int kWriters = 4;
+  constexpr int kPerThread = 5000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto s = w.snapshot();
+      // min/max are always drawn from observed values (or zero when empty).
+      EXPECT_GE(s.max, s.min);
+      EXPECT_LE(s.window_count, w.capacity());
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        w.observe(static_cast<double>(t * kPerThread + i + 1));
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  const auto s = w.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kWriters) * kPerThread);
+  EXPECT_EQ(s.window_count, w.capacity());
+  EXPECT_GE(s.min, 1.0);
+}
+
+}  // namespace
+}  // namespace pdn3d::obs

@@ -363,7 +363,8 @@ TEST_F(ServiceSocketTest, LiveServerRefusesSecondBindStaleSocketRebinds) {
     // The probe did not disturb the live server.
     const int fd = connect_client(path);
     ASSERT_GE(fd, 0);
-    EXPECT_EQ(roundtrip(fd, R"({"id":1,"op":"ping"})"), R"({"id":1,"ok":true,"op":"ping"})");
+    EXPECT_TRUE(contains(roundtrip(fd, R"({"id":1,"op":"ping"})"),
+                         R"({"id":1,"ok":true,"op":"ping")"));
     ::close(fd);
     first.stop();
     other.drain();
@@ -385,7 +386,8 @@ TEST_F(ServiceSocketTest, LiveServerRefusesSecondBindStaleSocketRebinds) {
   reborn.start();  // unlinks the stale socket and rebinds
   const int fd = connect_client(path);
   ASSERT_GE(fd, 0);
-  EXPECT_EQ(roundtrip(fd, R"({"id":2,"op":"ping"})"), R"({"id":2,"ok":true,"op":"ping"})");
+  EXPECT_TRUE(contains(roundtrip(fd, R"({"id":2,"op":"ping"})"),
+                         R"({"id":2,"ok":true,"op":"ping")"));
   ::close(fd);
   reborn.stop();
   service.drain();
@@ -440,7 +442,8 @@ TEST_F(ServiceSocketTest, SocketResetFaultDropsConnectionNotServer) {
   // round-trips normally.
   const int fd = connect_client(path);
   ASSERT_GE(fd, 0);
-  EXPECT_EQ(roundtrip(fd, R"({"id":2,"op":"ping"})"), R"({"id":2,"ok":true,"op":"ping"})");
+  EXPECT_TRUE(contains(roundtrip(fd, R"({"id":2,"op":"ping"})"),
+                         R"({"id":2,"ok":true,"op":"ping")"));
   ::close(fd);
 
   server.stop();

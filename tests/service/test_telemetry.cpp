@@ -1,0 +1,173 @@
+// Live telemetry surface of the batch service: the stats / metrics protocol
+// ops, the per-response request_id contract, and the windowed latency
+// quantiles they expose. Driven through submit_line like the front ends.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace pdn3d::service {
+namespace {
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// Synchronous single-response capture: every op under test answers inline.
+std::string roundtrip(BatchService& service, const std::string& line) {
+  std::string out;
+  service.submit_line(line, [&](const std::string& response) { out = response; });
+  return out;
+}
+
+TEST(Protocol, ParsesStatsMetricsAndRequestId) {
+  Request req;
+  ASSERT_TRUE(parse_request(R"({"id":1,"op":"stats"})", &req).is_ok());
+  EXPECT_EQ(req.kind, Request::Kind::kStats);
+  ASSERT_TRUE(parse_request(R"({"id":2,"op":"metrics"})", &req).is_ok());
+  EXPECT_EQ(req.kind, Request::Kind::kMetrics);
+
+  ASSERT_TRUE(
+      parse_request(R"({"id":3,"op":"ping","request_id":"abc.DEF-1:2/3_x"})", &req).is_ok());
+  EXPECT_EQ(req.request_id, "abc.DEF-1:2/3_x");
+
+  // Unsafe charset and oversized ids are rejected at parse time.
+  EXPECT_FALSE(parse_request(R"({"id":4,"op":"ping","request_id":"has space"})", &req).is_ok());
+  EXPECT_FALSE(parse_request(R"({"id":5,"op":"ping","request_id":""})", &req).is_ok());
+  const std::string too_long(kMaxRequestIdBytes + 1, 'a');
+  EXPECT_FALSE(
+      parse_request(R"({"id":6,"op":"ping","request_id":")" + too_long + R"("})", &req)
+          .is_ok());
+}
+
+TEST(Protocol, AppendRequestIdSplicesFinalKey) {
+  std::string line = R"({"id":3,"ok":true,"op":"ping"})";
+  append_request_id(&line, "client-7");
+  EXPECT_EQ(line, R"({"id":3,"ok":true,"op":"ping","request_id":"client-7"})");
+
+  std::string untouched = R"({"id":4,"ok":true,"op":"ping"})";
+  append_request_id(&untouched, "");
+  EXPECT_EQ(untouched, R"({"id":4,"ok":true,"op":"ping"})");
+}
+
+TEST(ServiceTelemetry, EveryResponseCarriesARequestId) {
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  BatchService service(session, cfg);
+  service.start();
+
+  // Client-supplied id is echoed verbatim.
+  EXPECT_TRUE(contains(
+      roundtrip(service, R"({"id":1,"op":"ping","request_id":"client-abc"})"),
+      R"("request_id":"client-abc")"));
+
+  // Server generates one when the client names none -- including on lines
+  // that never parsed.
+  EXPECT_TRUE(contains(roundtrip(service, R"({"id":2,"op":"ping"})"), R"("request_id":"r-)"));
+  EXPECT_TRUE(contains(roundtrip(service, "not json at all"), R"("request_id":"r-)"));
+  EXPECT_TRUE(contains(roundtrip(service, R"({"id":3,"op":"health"})"), R"("request_id":"r-)"));
+
+  service.drain();
+}
+
+TEST(ServiceTelemetry, StatsOpReturnsSnapshotWithWindows) {
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  BatchService service(session, cfg);
+  service.start();
+
+  // Run one real evaluation so the service.run_ms window has a sample.
+  std::string eval_out;
+  service.submit_line(R"({"id":1,"op":"validate","benchmark":"wide-io"})",
+                      [&](const std::string& r) { eval_out = r; });
+  service.drain();
+  ASSERT_TRUE(contains(eval_out, R"("ok":true)")) << eval_out;
+
+  // stats answers inline even after drain (drain-proof like health).
+  const std::string stats = roundtrip(service, R"({"id":2,"op":"stats","request_id":"s-1"})");
+  const obs::json::Value doc = obs::json::parse(stats);
+  EXPECT_TRUE(contains(stats, R"("op":"stats")"));
+  EXPECT_TRUE(contains(stats, R"("request_id":"s-1")"));
+
+  const obs::json::Value* totals = doc.find("totals");
+  ASSERT_NE(totals, nullptr);
+  ASSERT_NE(totals->find("completed"), nullptr);
+  EXPECT_GE(totals->find("completed")->as_number(), 1.0);
+
+  ASSERT_NE(doc.find("queue_depth"), nullptr);
+  ASSERT_NE(doc.find("in_flight"), nullptr);
+  ASSERT_NE(doc.find("uptime_seconds"), nullptr);
+  EXPECT_GE(doc.find("uptime_seconds")->as_number(), 0.0);
+  ASSERT_NE(doc.find("peak_queue_depth"), nullptr);
+  ASSERT_NE(doc.find("peak_in_flight"), nullptr);
+  EXPECT_GE(doc.find("peak_in_flight")->as_number(), 1.0);
+
+  const obs::json::Value* windows = doc.find("windows");
+  ASSERT_NE(windows, nullptr);
+  const obs::json::Value* run_ms = windows->find("service.run_ms");
+  ASSERT_NE(run_ms, nullptr) << stats;
+  EXPECT_GE(run_ms->find("count")->as_number(), 1.0);
+  ASSERT_NE(run_ms->find("p50"), nullptr);
+  ASSERT_NE(run_ms->find("p95"), nullptr);
+  ASSERT_NE(run_ms->find("p99"), nullptr);
+}
+
+TEST(ServiceTelemetry, MetricsOpReturnsPrometheusBody) {
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  BatchService service(session, cfg);
+  service.start();
+
+  const std::string metrics = roundtrip(service, R"({"id":7,"op":"metrics"})");
+  EXPECT_TRUE(contains(metrics, R"("op":"metrics")")) << metrics;
+  EXPECT_TRUE(contains(metrics, R"("content_type":"text/plain; version=0.0.4")"));
+  // The exposition body rides escaped inside the JSON envelope.
+  EXPECT_TRUE(contains(metrics, R"(# TYPE pdn3d_service_requests counter)"));
+  EXPECT_TRUE(contains(metrics, "pdn3d_service_queue_depth"));
+  EXPECT_TRUE(contains(metrics, R"("request_id":"r-)"));
+
+  const obs::json::Value doc = obs::json::parse(metrics);
+  const obs::json::Value* body = doc.find("body");
+  ASSERT_NE(body, nullptr);
+  EXPECT_TRUE(contains(body->as_string(), "# TYPE pdn3d_service_requests counter\n"));
+
+  service.drain();
+}
+
+TEST(ServiceTelemetry, SessionBlockRecordsRequestIdsAndPeaks) {
+  const api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  BatchService service(session, cfg);
+  service.start();
+
+  std::string out;
+  service.submit_line(
+      R"({"id":1,"op":"validate","benchmark":"wide-io","request_id":"trace-me"})",
+      [&](const std::string& r) { out = r; });
+  service.drain();
+  ASSERT_TRUE(contains(out, R"("request_id":"trace-me")")) << out;
+
+  const obs::json::Value block = service.session_block();
+  ASSERT_NE(block.find("uptime_seconds"), nullptr);
+  ASSERT_NE(block.find("peak_queue_depth"), nullptr);
+  ASSERT_NE(block.find("peak_in_flight"), nullptr);
+  EXPECT_GE(block.find("peak_in_flight")->as_number(), 1.0);
+  const obs::json::Value* requests = block.find("requests");
+  ASSERT_NE(requests, nullptr);
+  ASSERT_GE(requests->items().size(), 1u);
+  const obs::json::Value* rid = requests->items()[0].find("request_id");
+  ASSERT_NE(rid, nullptr);
+  EXPECT_EQ(rid->as_string(), "trace-me");
+}
+
+}  // namespace
+}  // namespace pdn3d::service

@@ -52,6 +52,7 @@
 #include "exec/thread_pool.hpp"
 #include "faults/faults.hpp"
 #include "memctrl/trace.hpp"
+#include "obs/event_log.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "service/server.hpp"
@@ -131,11 +132,16 @@ constexpr int kExitInfeasible = 4;
       "                   would exceed N (0 = unlimited)\n"
       "  --watchdog MS    serve: cancel an evaluation running longer than MS and\n"
       "                   answer a typed `timeout` error (0 = off)\n"
+      "  --slow-ms MS     serve: log a `serve.slow_request` event with the\n"
+      "                   request's span tree when an evaluation runs longer\n"
+      "                   than MS (0 = off)\n"
       "  --bench B        serve: benchmark the --tech override applies to\n"
       "  --report FILE    write a machine-readable JSON run report (any command;\n"
       "                   see docs/OBSERVABILITY.md for the schema)\n"
       "  --verbose        log at debug level (also: PDN3D_LOG_LEVEL env var)\n"
       "  --quiet          log errors only\n"
+      "  --log-format F   stderr log format: text | json (NDJSON events; also\n"
+      "                   the PDN3D_LOG_FORMAT env var; default text)\n"
       "  --m2 PCT --m3 PCT --tc N --tl C|E|D --bd f2b|f2f\n"
       "  --rdl none|bottom|all --wb --dedicated --no-align --scale X\n";
   std::exit(kExitUsage);
@@ -178,7 +184,7 @@ Args parse_args(int argc, char** argv) {
       "--m2",    "--m3",       "--tc",     "--tl",     "--bd",      "--rdl",
       "--scale", "--tech",     "--trace",  "--samples", "--decap",  "--die",
       "--report", "--top",     "--threads", "--socket", "--queue",  "--deadline",
-      "--bench", "--checkpoint", "--max-cost", "--watchdog"};
+      "--bench", "--checkpoint", "--max-cost", "--watchdog", "--slow-ms", "--log-format"};
   const std::vector<std::string> known_flags = {"--wb",      "--dedicated", "--no-align",
                                                "--verbose", "--quiet",     "--test-ops",
                                                "--resume"};
@@ -490,6 +496,19 @@ volatile std::sig_atomic_t g_stop = 0;
 
 void handle_stop(int) { g_stop = 1; }
 
+/// Serve status lines ("listening", "drained") are operational output, not
+/// leveled diagnostics: they print unconditionally (scripts wait on them) but
+/// honor the structured format so a `--log-format json` server emits pure
+/// NDJSON on stderr.
+void serve_status(std::string_view event, const std::vector<obs::EventField>& fields) {
+  const std::string line =
+      obs::log_format() == obs::LogFormat::kNdjson
+          ? obs::render_event_ndjson(util::LogLevel::kInfo, event, fields,
+                                     obs::event_timestamp())
+          : obs::render_event_text(util::LogLevel::kInfo, event, fields);
+  std::cerr << line << "\n";
+}
+
 int cmd_serve(const Args& a, obs::RunReportOptions* report_opts) {
   service::ServiceConfig cfg;
   cfg.queue_capacity = static_cast<std::size_t>(get_int(a, "--queue", 64, 1, 1000000));
@@ -498,6 +517,7 @@ int cmd_serve(const Args& a, obs::RunReportOptions* report_opts) {
   cfg.max_outstanding_cost =
       static_cast<std::uint64_t>(get_int(a, "--max-cost", 0, 0, 1000000000));
   cfg.watchdog_ms = get_double(a, "--watchdog", 0.0, 0.0, 1e9);
+  cfg.slow_request_ms = get_double(a, "--slow-ms", 0.0, 0.0, 1e9);
 
   api::Session session;
   if (const auto tech_path = a.get("--tech")) {
@@ -553,7 +573,7 @@ int cmd_serve(const Args& a, obs::RunReportOptions* report_opts) {
       service.drain();
       return kExitInputError;
     }
-    std::cerr << "pdn3d serve: listening on " << *path << "\n";
+    serve_status("serve.listening", {{"socket", *path}});
   }
 
   // stdin NDJSON loop; stdout carries only response lines. With a socket the
@@ -575,12 +595,18 @@ int cmd_serve(const Args& a, obs::RunReportOptions* report_opts) {
   service.drain();
 
   const auto s = service.stats();
-  std::cerr << "pdn3d serve: drained; " << s.completed << "/" << s.submitted
-            << " evaluated (" << s.rejected_full << " queue_full, " << s.rejected_overload
-            << " overloaded, " << s.deadline_expired << " deadline_exceeded, " << s.timeouts
-            << " timeout, " << s.cancelled << " cancelled, " << s.internal_errors
-            << " internal, " << s.rejected_too_large << " too_large, " << s.bad_requests
-            << " bad)\n";
+  serve_status("serve.drained",
+               {{"completed", s.completed},
+                {"submitted", s.submitted},
+                {"queue_full", s.rejected_full},
+                {"overloaded", s.rejected_overload},
+                {"deadline_exceeded", s.deadline_expired},
+                {"timeout", s.timeouts},
+                {"cancelled", s.cancelled},
+                {"internal", s.internal_errors},
+                {"too_large", s.rejected_too_large},
+                {"bad", s.bad_requests},
+                {"uptime_seconds", service.uptime_seconds()}});
   report_opts->session = service.session_block();
   return kExitOk;
 }
@@ -601,6 +627,13 @@ int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
   if (args.has_flag("--verbose")) util::set_log_level(util::LogLevel::kDebug);
   if (args.has_flag("--quiet")) util::set_log_level(util::LogLevel::kError);
+  if (const auto fmt = args.get("--log-format")) {
+    obs::LogFormat parsed = obs::LogFormat::kText;
+    if (!obs::parse_log_format(*fmt, &parsed)) {
+      usage("--log-format must be 'text' or 'json', got '" + *fmt + "'");
+    }
+    obs::set_log_format(parsed);
+  }
   // Fault injection (PDN3D_FAULTS env var) activates before any work runs so
   // every site in the process sees the same schedule. A malformed spec is a
   // usage error: silently running fault-free would defeat the chaos harness.
