@@ -147,21 +147,39 @@ def gate_google(baseline, fresh, threshold, slowdown, series_filter):
 
 
 def gate_service(baseline, fresh, threshold, slowdown):
-    try:
-        base_rps = float(baseline["soak"]["requests_per_s"])
-        fresh_rps = float(fresh["soak"]["requests_per_s"]) / slowdown
-    except (KeyError, TypeError, ValueError):
-        print("bench_compare: service JSON lacks soak.requests_per_s",
-              file=sys.stderr)
-        return 2
-    floor = base_rps * (1.0 - threshold)
-    print(f"  requests_per_s: base {base_rps:.1f}  fresh {fresh_rps:.1f}  "
-          f"floor {floor:.1f}")
-    if fresh_rps < floor:
-        print(f"bench_compare: FAIL -- throughput {fresh_rps:.1f} req/s is "
-              f"more than {threshold:.0%} below baseline {base_rps:.1f}")
+    # soak.requests_per_s is mandatory; cache_soak.requests_per_s is gated
+    # only when both files carry it, so pre-cache baselines keep working.
+    series = [("soak", True)]
+    if "cache_soak" in baseline and "cache_soak" in fresh:
+        series.append(("cache_soak", True))
+    elif "cache_soak" in baseline:
+        print("note: baseline has cache_soak but fresh run does not (not gated)")
+
+    failures = []
+    for key, required in series:
+        try:
+            base_rps = float(baseline[key]["requests_per_s"])
+            fresh_rps = float(fresh[key]["requests_per_s"]) / slowdown
+        except (KeyError, TypeError, ValueError):
+            if required and key == "soak":
+                print("bench_compare: service JSON lacks soak.requests_per_s",
+                      file=sys.stderr)
+                return 2
+            continue
+        floor = base_rps * (1.0 - threshold)
+        print(f"  {key}.requests_per_s: base {base_rps:.1f}  "
+              f"fresh {fresh_rps:.1f}  floor {floor:.1f}")
+        if fresh_rps < floor:
+            failures.append((key, base_rps, fresh_rps))
+
+    if failures:
+        for key, base_rps, fresh_rps in failures:
+            print(f"bench_compare: FAIL -- {key} throughput {fresh_rps:.1f} "
+                  f"req/s is more than {threshold:.0%} below baseline "
+                  f"{base_rps:.1f}")
         return 1
-    print("bench_compare: PASS (service throughput within threshold)")
+    print(f"bench_compare: PASS ({len(series)} service series within "
+          f"threshold)")
     return 0
 
 

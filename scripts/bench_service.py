@@ -18,6 +18,13 @@ Three measurements, stdlib-only:
    ops mid-soak and must observe a live queue: non-zero queue_depth and
    in_flight with non-zero service.run_ms p50/p95/p99. A final `stats`
    scrape lands in the output JSON.
+5. **Cache soak.** A warm pass replays a shared 32-point sweep with
+   `cache: refresh` (fresh solves, outputs recorded), then N clients replay
+   the same sweep with the default cache mode. Every response's `output`
+   must be byte-identical to the warm pass (request_id aside), the mid-soak
+   stats scrape must show non-zero `cache.hits` with
+   `pdn3d_service_cache_hits` present in the metrics body, and the cached
+   replay must sustain >= 5x the (cache-bypassed) soak throughput.
 
 Usage: bench_service.py /path/to/pdn3d [--duration 60] [--clients 4]
                         [--out bench/BENCH_service.json]
@@ -51,12 +58,27 @@ PARITY_CASES = [
 ]
 
 # The soak's request mix: repeated designs so the session caches amortize,
-# exactly like a sweep driver hammering the service would behave.
+# exactly like a sweep driver hammering the service would behave. Evaluates
+# carry cache:"bypass" so the soak keeps measuring full solves -- the result
+# cache gets its own series below, and the baseline stays comparable to the
+# pre-cache numbers in bench/BENCH_service.json.
 SOAK_REQUESTS = [
-    {"op": "evaluate", "benchmark": "wide-io"},
-    {"op": "evaluate", "benchmark": "wide-io", "design": {"m2": 15, "tl": "d"}},
-    {"op": "evaluate", "benchmark": "wide-io", "design": {"bd": "f2f"}},
+    {"op": "evaluate", "benchmark": "wide-io", "cache": "bypass"},
+    {"op": "evaluate", "benchmark": "wide-io", "cache": "bypass",
+     "design": {"m2": 15, "tl": "d"}},
+    {"op": "evaluate", "benchmark": "wide-io", "cache": "bypass",
+     "design": {"bd": "f2f"}},
     {"op": "validate", "benchmark": "wide-io"},
+]
+
+# The cache soak's shared sweep: 4 designs x 8 memory states = 32 points,
+# the shape of a sweep driver fanned out over identical worker replicas.
+CACHE_SWEEP = [
+    {"op": "evaluate", "benchmark": "wide-io",
+     "design": {"m2": m2}, "state": state}
+    for m2 in (10, 20, 30, 40)
+    for state in ("0-0-0-2", "0-0-2-0", "0-2-0-0", "2-0-0-0",
+                  "0-0-0-1", "0-0-1-0", "0-1-0-0", "1-0-0-0")
 ]
 
 
@@ -240,6 +262,107 @@ def soak(sock_path, clients, duration):
     return totals, scrape["live_snapshot"]
 
 
+def cache_soak(sock_path, clients, duration):
+    """Warm the result cache over the shared sweep (cache:"refresh" forces a
+    fresh solve per point and records its bytes), then replay the sweep from
+    N clients with the default cache mode. Asserts byte parity of every
+    cached response against the warm pass and that the cache is observable
+    mid-soak through both the stats cache block and the Prometheus body."""
+    fresh = {}
+    with connect(sock_path) as sock:
+        rfile = sock.makefile("r")
+        for i, point in enumerate(CACHE_SWEEP):
+            resp = roundtrip(sock, rfile, 5000 + i,
+                             {**point, "cache": "refresh"},
+                             request_id=f"warm-{i}")
+            if not resp.get("ok"):
+                raise RuntimeError(f"warm pass failed on point {i}: {resp}")
+            fresh[i] = resp["output"]
+
+    stop_at = time.time() + duration
+    lock = threading.Lock()
+    totals = {"submitted": 0, "ok": 0, "hits": 0, "queue_full": 0,
+              "other_error": 0}
+    errors = []
+    observed = {"stats_hits": 0, "metrics_seen": False, "snapshot": None}
+
+    def scraper_loop():
+        n = 0
+        while time.time() < stop_at - 0.5:
+            time.sleep(1.0)
+            n += 1
+            try:
+                with connect(sock_path) as sock:
+                    rfile = sock.makefile("r")
+                    stats = roundtrip(sock, rfile, 0, {"op": "stats"},
+                                      request_id=f"cache-scrape-{n}")
+                    metrics = roundtrip(sock, rfile, 1, {"op": "metrics"},
+                                        request_id=f"cache-scrape-m-{n}")
+            except Exception as exc:  # noqa: BLE001 - surfaced in main
+                errors.append({"cache_scraper": n, "exception": repr(exc)})
+                return
+            hits = stats.get("cache", {}).get("hits", 0)
+            with lock:
+                if hits > observed["stats_hits"]:
+                    observed["stats_hits"] = hits
+                    observed["snapshot"] = stats.get("cache")
+                if "pdn3d_service_cache_hits" in metrics.get("body", ""):
+                    observed["metrics_seen"] = True
+
+    def client_loop(client_idx):
+        next_id = client_idx * 1_000_000
+        try:
+            with connect(sock_path) as sock:
+                rfile = sock.makefile("r")
+                while time.time() < stop_at:
+                    point = next_id % len(CACHE_SWEEP)
+                    resp = roundtrip(sock, rfile, next_id, CACHE_SWEEP[point],
+                                     request_id=f"cache-{client_idx}-{next_id}")
+                    next_id += 1
+                    with lock:
+                        totals["submitted"] += 1
+                        if resp.get("ok"):
+                            totals["ok"] += 1
+                            if resp.get("cache") == "hit":
+                                totals["hits"] += 1
+                            if resp.get("output") != fresh[point]:
+                                errors.append({"parity": point,
+                                               "client": client_idx})
+                        elif resp.get("error", {}).get("kind") == "queue_full":
+                            totals["queue_full"] += 1
+                        else:
+                            totals["other_error"] += 1
+                            errors.append(resp)
+        except Exception as exc:  # noqa: BLE001 - surfaced in main
+            errors.append({"cache_client": client_idx, "exception": repr(exc)})
+
+    threads = [threading.Thread(target=client_loop, args=(c,))
+               for c in range(clients)]
+    threads.append(threading.Thread(target=scraper_loop))
+    started = time.time()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.time() - started
+    if errors:
+        raise RuntimeError(f"cache soak errors: {errors[:5]}")
+    if totals["ok"] + totals["queue_full"] != totals["submitted"]:
+        raise RuntimeError(f"cache soak dropped responses: {totals}")
+    if totals["hits"] == 0:
+        raise RuntimeError(f"cache soak produced zero hits: {totals}")
+    if observed["stats_hits"] == 0:
+        raise RuntimeError("mid-soak stats scrape never saw cache.hits > 0")
+    if not observed["metrics_seen"]:
+        raise RuntimeError("metrics body lacks pdn3d_service_cache_hits")
+    totals["points"] = len(CACHE_SWEEP)
+    totals["elapsed_s"] = round(elapsed, 3)
+    totals["requests_per_s"] = round(totals["ok"] / elapsed, 3)
+    totals["hit_rate"] = round(totals["hits"] / max(1, totals["ok"]), 4)
+    totals["mid_soak_cache"] = observed["snapshot"]
+    return totals
+
+
 def cold_cli_baseline(binary, budget_s=15.0, max_runs=40):
     """Fresh process per request: what serving replaces."""
     runs = 0
@@ -259,6 +382,8 @@ def main():
                     help="soak duration in seconds (default 60)")
     ap.add_argument("--clients", type=int, default=4,
                     help="concurrent Unix-socket clients (default 4)")
+    ap.add_argument("--cache-duration", type=float, default=None,
+                    help="cache-soak replay seconds (default min(20, duration))")
     ap.add_argument("--out", default="bench/BENCH_service.json")
     args = ap.parse_args()
 
@@ -272,6 +397,11 @@ def main():
         parity = parity_check(args.binary, sock_path)
         print(f"soak: {args.clients} clients x {args.duration:.0f}s ...", flush=True)
         soak_totals, mid_soak_stats = soak(sock_path, args.clients, args.duration)
+        cache_secs = (args.cache_duration if args.cache_duration is not None
+                      else min(20.0, args.duration))
+        print(f"cache soak: {len(CACHE_SWEEP)} points x {args.clients} clients"
+              f" x {cache_secs:.0f}s ...", flush=True)
+        cache_totals = cache_soak(sock_path, args.clients, cache_secs)
         # Final scrape after the load stops: totals are settled, queue empty.
         final_stats = scrape_stats(sock_path, request_id="final")
     finally:
@@ -311,9 +441,18 @@ def main():
             "queue_ms": final_stats.get("windows", {}).get("service.queue_ms"),
             "run_ms": final_stats.get("windows", {}).get("service.run_ms"),
         },
+        "cache_soak": {
+            "clients": args.clients,
+            "duration_s": cache_secs,
+            **cache_totals,
+        },
         "parity": parity,
         "cold_cli": cold,
         "throughput_speedup_vs_cold_cli": round(speedup, 2) if speedup else None,
+        "cache_speedup_vs_soak": (
+            round(cache_totals["requests_per_s"]
+                  / soak_totals["requests_per_s"], 2)
+            if soak_totals["requests_per_s"] > 0 else None),
     }
 
     os.makedirs(os.path.dirname(args.out) or ".", exist_ok=True)
@@ -321,14 +460,22 @@ def main():
         json.dump(result, fh, indent=2)
         fh.write("\n")
     print(json.dumps({k: result[k] for k in
-                      ("soak", "cold_cli", "throughput_speedup_vs_cold_cli")},
+                      ("soak", "cache_soak", "cold_cli",
+                       "throughput_speedup_vs_cold_cli",
+                       "cache_speedup_vs_soak")},
                      indent=2))
     print(f"wrote {args.out}")
+    status = 0
     if speedup is not None and speedup < 2.0:
         print(f"WARNING: speedup {speedup:.2f}x below the 2x target",
               file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    cache_speedup = result["cache_speedup_vs_soak"]
+    if cache_speedup is not None and cache_speedup < 5.0:
+        print(f"WARNING: cache soak only {cache_speedup:.2f}x the bypassed "
+              "soak, below the 5x target", file=sys.stderr)
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

@@ -50,6 +50,10 @@ REQUEST_MIX = [
     '{"id":%d,"op":"validate","benchmark":"wide-io"}',
     '{"id":%d,"op":"evaluate","benchmark":"wide-io"}',
     '{"id":%d,"op":"evaluate","benchmark":"off-chip"}',
+    # Every cache mode under fault churn: hits, forced re-solves, and
+    # uncached solves must all survive injected faults identically.
+    '{"id":%d,"op":"evaluate","benchmark":"wide-io","cache":"refresh"}',
+    '{"id":%d,"op":"evaluate","benchmark":"off-chip","cache":"bypass"}',
     '{"id":%d,"op":"montecarlo","benchmark":"wide-io","samples":4}',
     '{"id":%d,"op":"validate","benchmark":"hmc"}',
     'this is not json (id %d)',  # must come back as a typed bad_request

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a pdn3d --report JSON file against run-report schema v5.
+"""Validate a pdn3d --report JSON file against run-report schema v6.
 
 Stdlib-only so it can run anywhere the repo builds. Exits 0 when the report
 conforms, 1 with a list of problems otherwise. The schema is documented in
@@ -15,6 +15,10 @@ service aggregates plus one record per evaluated request.
 v5 added "windows" under "metrics" (windowed quantile snapshots), the
 per-request "request_id" under session.requests, and session uptime/peak
 load ("uptime_seconds", "peak_queue_depth", "peak_in_flight").
+v6 added the optional top-level "fingerprint" key (canonical request
+fingerprint, facade commands only), the session "cache" sub-object
+(result-cache stats), and per-request "fingerprint"/"cache" keys under
+session.requests.
 
 Usage: check_report_schema.py report.json [report2.json ...]
 """
@@ -23,7 +27,7 @@ import json
 import numbers
 import sys
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 
 # key -> allowed python types for the documented top-level fields.
 TOP_LEVEL = {
@@ -95,8 +99,20 @@ SESSION_KEYS = {
     "cancelled": numbers.Number,
     "timeouts": numbers.Number,
     "internal_errors": numbers.Number,
+    "cache": dict,
     "requests": list,
     "requests_dropped_from_report": numbers.Number,
+}
+
+# v6: the result-cache block inside the session block.
+SESSION_CACHE_KEYS = {
+    "entries": numbers.Number,
+    "capacity": numbers.Number,
+    "hits": numbers.Number,
+    "misses": numbers.Number,
+    "insertions": numbers.Number,
+    "evictions": numbers.Number,
+    "bypass": numbers.Number,
 }
 
 SESSION_REQUEST_KEYS = {
@@ -108,6 +124,8 @@ SESSION_REQUEST_KEYS = {
     "queue_ms": numbers.Number,
     "run_ms": numbers.Number,
     "headline_mv": numbers.Number,
+    "fingerprint": str,
+    "cache": str,
 }
 
 
@@ -172,9 +190,23 @@ def check_report(report):
     if "trace_events" in report and not isinstance(report["trace_events"], list):
         errors.append("trace_events: expected array")
 
+    # fingerprint is optional (facade commands only) and must be 16 hex chars.
+    if "fingerprint" in report:
+        fp = report["fingerprint"]
+        if not isinstance(fp, str) or len(fp) != 16 or any(
+            c not in "0123456789abcdef" for c in fp
+        ):
+            errors.append(f"fingerprint: expected 16 lowercase hex chars, got {fp!r}")
+
     # session is optional (only `pdn3d serve` runs emit it).
     if "session" in report:
         check_block(errors, report["session"], SESSION_KEYS, "session")
+        if isinstance(report["session"], dict) and isinstance(
+            report["session"].get("cache"), dict
+        ):
+            check_block(
+                errors, report["session"]["cache"], SESSION_CACHE_KEYS, "session.cache"
+            )
         if isinstance(report["session"], dict) and isinstance(
             report["session"].get("requests"), list
         ):

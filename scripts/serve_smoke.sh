@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Smoke test for `pdn3d serve` (wired into ctest as cli_serve_smoke).
 #
-# Pipes a small NDJSON request mix -- evaluate, ping, stats, metrics, a bad
-# line, validate -- through the stdin transport and asserts the exactly-one-
-# response-per-request contract (request_id echo included) plus a schema-v5
-# run report with the session block.
+# Pipes a small NDJSON request mix -- evaluate (twice, so the second is a
+# cache hit), ping, stats, metrics, a bad line, validate -- through the stdin
+# transport and asserts the exactly-one-response-per-request contract
+# (request_id echo included) plus a schema-v6 run report with the session
+# block and its result-cache stats.
 #
 # Usage: serve_smoke.sh /path/to/pdn3d scratch-dir
 set -euo pipefail
@@ -22,12 +23,14 @@ printf '%s\n' \
   '{"id":4,"op":"validate","benchmark":"wide-io"}' \
   '{"id":5,"op":"stats"}' \
   '{"id":6,"op":"metrics"}' \
-  | "$bin" serve --queue 8 --report "$report" > "$out"
+  '{"id":7,"op":"evaluate","benchmark":"off-chip","state":"0-0-0-2","design":{"bd":"f2f"}}' \
+  | "$bin" serve --queue 8 --threads 1 --report "$report" > "$out"
 
 fail() { echo "serve_smoke: FAIL: $1" >&2; cat "$out" >&2; exit 1; }
 
-[[ "$(wc -l < "$out")" -eq 6 ]] || fail "expected 6 response lines"
+[[ "$(wc -l < "$out")" -eq 7 ]] || fail "expected 7 response lines"
 grep -q '"id":1.*"ok":true.*"op":"evaluate"' "$out" || fail "missing evaluate response"
+grep -q '"id":7.*"cache":"hit"' "$out"              || fail "repeat request was not a cache hit"
 grep -q '"id":2,"ok":true,"op":"ping"' "$out"       || fail "missing ping response"
 grep -q '"request_id":"smoke-ping"' "$out"          || fail "client request_id not echoed"
 grep -q '"kind":"bad_request"' "$out"               || fail "missing bad_request response"
@@ -37,5 +40,7 @@ grep -q '"id":6.*"op":"metrics".*pdn3d_service_requests' "$out" || fail "missing
 grep -q '"request_id":"r-' "$out"                   || fail "missing generated request_id"
 grep -q '"session"' "$report"                       || fail "report lacks session block"
 grep -q '"windows"' "$report"                       || fail "report lacks metrics.windows"
+grep -q '"cache"' "$report"                         || fail "report lacks session cache block"
+grep -q 'service.cache.hits' "$report"              || fail "report lacks cache counters"
 
 echo "serve_smoke: OK ($out)"

@@ -1,9 +1,11 @@
 #include "api/api.hpp"
 
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <vector>
 
 #include "cost/cost_model.hpp"
 #include "irdrop/lut.hpp"
@@ -31,27 +33,35 @@ int exit_code_for(const core::Status& status) {
   return 2;
 }
 
-/// Open the request's sweep checkpoint, fingerprinted so a resume against a
-/// different benchmark/op/parameter set is refused instead of silently mixing
-/// results. Returns nullptr when checkpointing is off; throws
+// %.17g round-trips every finite double exactly; matches obs/json.cpp.
+std::string canonical_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+/// Open the request's sweep checkpoint, keyed by the request's canonical
+/// fingerprint text plus @p extra run-shape bits that live outside the
+/// request (Monte Carlo seed, LUT build parameters), so a resume against a
+/// different benchmark/op/parameter set is refused instead of silently
+/// mixing results. Returns nullptr when checkpointing is off; throws
 /// std::runtime_error (-> input error) on a mismatched or corrupt file.
 std::unique_ptr<util::SweepCheckpoint> open_checkpoint(const EvaluateRequest& request,
-                                                       const std::string& fingerprint,
+                                                       const std::string& extra,
                                                        std::uint64_t total) {
   if (request.checkpoint_path.empty()) return nullptr;
-  const std::uint64_t key = util::checkpoint_key(
-      std::string(benchmark_token(request.benchmark)) + "|" + fingerprint);
+  const std::uint64_t key = util::checkpoint_key(request.fingerprint().canonical + extra);
   return std::make_unique<util::SweepCheckpoint>(
       util::SweepCheckpoint::open(request.checkpoint_path, key, total, request.resume));
 }
 
-void render_evaluate(const core::Platform& p, const EvaluateRequest& request, std::ostream& os,
-                     EvaluateResult* result) {
-  const auto cfg = request.design.apply(p.benchmark().baseline);
-  const std::string state =
-      request.state.empty() ? p.benchmark().default_state : request.state;
-  const auto parsed = p.parse_state(state, request.activity);
-  const auto r = p.analyze(cfg, parsed);
+/// The shared back half of an evaluate rendering: everything after the IR
+/// result exists. Used by the per-request path (render_evaluate) and by the
+/// service's coalesced batch path (Session::evaluate_group), so a batched
+/// response cannot render differently from a stand-alone one.
+void render_evaluate_result(const pdn::PdnConfig& cfg, const std::string& state,
+                            const power::MemoryState& parsed, const irdrop::IrResult& r,
+                            std::ostream& os, EvaluateResult* result) {
   os << "design : " << cfg.summary() << "\n";
   os << "state  : " << state << " @ activity " << util::fmt_fixed(parsed.io_activity, 2)
      << "\n";
@@ -70,6 +80,16 @@ void render_evaluate(const core::Platform& p, const EvaluateRequest& request, st
   result->headline_mv = r.dram_max_mv;
 }
 
+void render_evaluate(const core::Platform& p, const EvaluateRequest& request, std::ostream& os,
+                     EvaluateResult* result) {
+  const auto cfg = request.design.apply(p.benchmark().baseline);
+  const std::string state =
+      request.state.empty() ? p.benchmark().default_state : request.state;
+  const auto parsed = p.parse_state(state, request.activity);
+  const auto r = p.analyze(cfg, parsed);
+  render_evaluate_result(cfg, state, parsed, r, os, result);
+}
+
 void render_lut(const core::Platform& p, const EvaluateRequest& request, std::ostream& os,
                 EvaluateResult* result) {
   const auto cfg = request.design.apply(p.benchmark().baseline);
@@ -86,9 +106,8 @@ void render_lut(const core::Platform& p, const EvaluateRequest& request, std::os
     std::uint64_t total = 1;
     for (int d = 0; d < dies; ++d) total *= radix;
     ckpt = open_checkpoint(request,
-                           "lut|" + cfg.summary() +
-                               "|max=" + std::to_string(bench.sim.max_active_per_die) +
-                               "|io=" + std::to_string(bench.sim.io_demand_factor),
+                           "|lut_max=" + std::to_string(bench.sim.max_active_per_die) +
+                               "|lut_io=" + std::to_string(bench.sim.io_demand_factor),
                            total);
     local = irdrop::IrLut::build(analyzer, bench.stack.dram_spec, bench.sim.max_active_per_die,
                                  bench.sim.io_demand_factor, 0, ckpt.get());
@@ -125,10 +144,7 @@ void render_montecarlo(const core::Platform& p, const EvaluateRequest& request,
   const auto cfg = request.design.apply(p.benchmark().baseline);
   irdrop::MonteCarloConfig mc;
   mc.samples = static_cast<int>(request.samples);
-  const auto ckpt = open_checkpoint(request,
-                                    "montecarlo|" + cfg.summary() +
-                                        "|samples=" + std::to_string(mc.samples) +
-                                        "|seed=" + std::to_string(mc.seed),
+  const auto ckpt = open_checkpoint(request, "|mc_seed=" + std::to_string(mc.seed),
                                     static_cast<std::uint64_t>(mc.samples));
   mc.checkpoint = ckpt.get();
   // The cached design analyzer already declares the many-solves access
@@ -156,10 +172,7 @@ void render_cooptimize(const core::Platform& p, const EvaluateRequest& request,
   auto opt = p.make_cooptimizer();
   // total=0: the measurement count is open-ended (adaptive densify rounds and
   // re-measure retries), but the enumeration order is deterministic.
-  const auto ckpt = open_checkpoint(request,
-                                    "cooptimize|" + p.benchmark().baseline.summary() +
-                                        "|alpha=" + std::to_string(alpha),
-                                    0);
+  const auto ckpt = open_checkpoint(request, "", 0);
   if (ckpt != nullptr) opt.set_checkpoint(ckpt.get());
   os << "sampling the design space with the R-Mesh...\n";
   const auto best = opt.optimize(alpha);
@@ -298,6 +311,55 @@ const char* benchmark_token(core::BenchmarkKind kind) {
   return "?";
 }
 
+std::string RequestFingerprint::hex() const {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+EvaluateRequest EvaluateRequest::canonicalize() const {
+  EvaluateRequest c;
+  c.benchmark = benchmark;
+  c.op = op;
+  // Parameters an operation never reads are left at their defaults so they
+  // cannot split identical outputs into distinct identities. cooptimize
+  // explores the benchmark's design space from its baseline and ignores the
+  // request's design overrides entirely, so they are dropped there too.
+  if (op != Operation::kCoOptimize) c.design = design;
+  if (op == Operation::kEvaluate) {
+    c.state = state;
+    c.activity = activity;
+  }
+  if (op == Operation::kMonteCarlo) c.samples = samples;
+  if (op == Operation::kCoOptimize) c.alpha = alpha;
+  // checkpoint_path / resume stay cleared: resume is bitwise identical to an
+  // uninterrupted run, so checkpoint plumbing is not output-determining.
+  return c;
+}
+
+RequestFingerprint EvaluateRequest::fingerprint() const {
+  const EvaluateRequest c = canonicalize();
+  std::string text = "pdn3d-req-v1";
+  text += "|bench=";
+  text += benchmark_token(c.benchmark);
+  text += "|op=";
+  text += to_string(c.op);
+  text += "|design=";
+  text += c.design.canonical_text();
+  text += "|state=";
+  text += c.state;
+  text += "|activity=";
+  text += canonical_double(c.activity);
+  text += "|samples=";
+  text += std::to_string(c.samples);
+  text += "|alpha=";
+  text += canonical_double(c.alpha);
+  RequestFingerprint fp;
+  fp.canonical = std::move(text);
+  fp.hash = util::checkpoint_key(fp.canonical);
+  return fp;
+}
+
 core::Status EvaluateRequest::validate() const {
   const core::Status act = check_activity(activity);
   if (!act.is_ok()) return act;
@@ -341,6 +403,7 @@ const core::Platform& Session::platform(core::BenchmarkKind kind) const {
 
 EvaluateResult Session::evaluate(const EvaluateRequest& request) const {
   EvaluateResult result;
+  result.fingerprint = request.fingerprint().hex();
   result.status = request.validate();
   if (!result.status.is_ok()) {
     result.exit_code = exit_code_for(result.status);
@@ -371,6 +434,64 @@ EvaluateResult Session::evaluate(const EvaluateRequest& request) const {
   result.output = os.str();
   result.exit_code = exit_code_for(result.status);
   return result;
+}
+
+std::vector<EvaluateResult> Session::evaluate_group(
+    std::span<const EvaluateRequest> requests) const {
+  std::vector<EvaluateResult> results(requests.size());
+  if (requests.empty()) return results;
+
+  const auto fallback = [&] {
+    for (std::size_t i = 0; i < requests.size(); ++i) results[i] = evaluate(requests[i]);
+  };
+
+  // The shared-factor fast path only fires for a homogeneous group of valid
+  // plain-evaluate requests on one design; anything else is N independent
+  // evaluate() calls with their usual per-request error reporting.
+  bool batchable = requests.size() > 1;
+  const std::string design_key = requests[0].design.canonical_text();
+  for (const EvaluateRequest& r : requests) {
+    if (r.op != Operation::kEvaluate || !r.checkpoint_path.empty() ||
+        r.benchmark != requests[0].benchmark || !r.validate().is_ok() ||
+        r.design.canonical_text() != design_key) {
+      batchable = false;
+      break;
+    }
+  }
+  if (!batchable) {
+    fallback();
+    return results;
+  }
+
+  try {
+    const core::Platform& p = platform(requests[0].benchmark);
+    const auto cfg = requests[0].design.apply(p.benchmark().baseline);
+    std::vector<std::string> state_texts;
+    std::vector<power::MemoryState> states;
+    state_texts.reserve(requests.size());
+    states.reserve(requests.size());
+    for (const EvaluateRequest& r : requests) {
+      state_texts.push_back(r.state.empty() ? p.benchmark().default_state : r.state);
+      states.push_back(p.parse_state(state_texts.back(), r.activity));
+    }
+    // Same cached analyzer instance Platform::analyze uses, so the solver
+    // takes the same rung and each batch slice is bitwise identical to the
+    // stand-alone result.
+    const auto batch = p.analyzer(cfg).analyze_batch(states);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      EvaluateResult& result = results[i];
+      result.fingerprint = requests[i].fingerprint().hex();
+      std::ostringstream os;
+      render_evaluate_result(cfg, state_texts[i], states[i], batch[i], os, &result);
+      result.output = os.str();
+      result.exit_code = exit_code_for(result.status);
+    }
+  } catch (...) {
+    // Any batch-path failure (state parse error, solver failure, ...) must
+    // surface exactly as individual evaluation would report it.
+    fallback();
+  }
+  return results;
 }
 
 }  // namespace pdn3d::api

@@ -25,11 +25,14 @@
 /// cycle, like the solver's SolveRequest/SolveOutcome redesign in PR 3/4.
 /// evaluate() is const and thread-safe; concurrent callers share the caches.
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "api/options.hpp"
 #include "core/benchmarks.hpp"
@@ -57,6 +60,23 @@ enum class Operation {
 /// The CLI token for a kind (inverse of parse_benchmark).
 [[nodiscard]] const char* benchmark_token(core::BenchmarkKind kind);
 
+/// Stable canonical identity of one evaluation request.
+///
+/// `canonical` is a deterministic text rendering of the *canonicalized*
+/// request (fixed field order, %.17g doubles, op-irrelevant parameters reset
+/// to defaults) and `hash` is its 64-bit FNV-1a (util::checkpoint_key). Two
+/// requests fingerprint identically exactly when the facade guarantees their
+/// rendered output is byte-identical -- whether the knobs arrived through
+/// CLI flags, NDJSON protocol fields, or direct field assignment. The hex
+/// form is what reports, service records, and the result cache carry.
+struct RequestFingerprint {
+  std::uint64_t hash = 0;  ///< FNV-1a 64 of `canonical`
+  std::string canonical;   ///< the canonical request text that was hashed
+  /// 16 lowercase hex digits of `hash`.
+  [[nodiscard]] std::string hex() const;
+  friend bool operator==(const RequestFingerprint&, const RequestFingerprint&) = default;
+};
+
 /// One fully-specified evaluation.
 struct EvaluateRequest {
   core::BenchmarkKind benchmark = core::BenchmarkKind::kStackedDdr3OffChip;
@@ -82,6 +102,19 @@ struct EvaluateRequest {
   /// Validate the operation parameters (design knobs are validated as they
   /// are set). Front ends call this before dispatching.
   [[nodiscard]] core::Status validate() const;
+
+  /// A normalized copy with identical output: parameters the operation never
+  /// reads are reset to their defaults (`state`/`activity` are meaningful
+  /// only for evaluate, `samples` for montecarlo, `alpha` for cooptimize) and
+  /// the checkpoint plumbing is cleared (resume is bitwise identical to a
+  /// fresh run, so it cannot affect identity). Canonicalization is purely
+  /// syntactic: an empty `state` is NOT resolved to the benchmark's default
+  /// state text, so "" and the spelled-out default fingerprint differently
+  /// even though they evaluate identically.
+  [[nodiscard]] EvaluateRequest canonicalize() const;
+
+  /// The stable fingerprint of canonicalize() -- see RequestFingerprint.
+  [[nodiscard]] RequestFingerprint fingerprint() const;
 };
 
 /// Structured outcome plus the rendered text the front end prints verbatim.
@@ -90,6 +123,7 @@ struct EvaluateResult {
   int exit_code = 0;        ///< CLI exit-code mapping (docs/ROBUSTNESS.md)
   std::string output;       ///< rendered text; identical CLI vs served
   double headline_mv = 0.0; ///< op headline: max/worst/p99/optimum IR (mV)
+  std::string fingerprint;  ///< RequestFingerprint::hex() of the request
 
   [[nodiscard]] bool ok() const { return status.is_ok(); }
 };
@@ -116,6 +150,16 @@ class Session {
   /// and numerical failures come back as status + exit_code, exactly as the
   /// CLI would have reported them.
   [[nodiscard]] EvaluateResult evaluate(const EvaluateRequest& request) const;
+
+  /// Run a group of requests, solving them through one multi-RHS batch when
+  /// they share a factor (same benchmark + same canonical design text, all
+  /// plain evaluate ops without checkpointing). Results come back in input
+  /// order and are byte-identical to per-request evaluate() calls -- any
+  /// request (or batch failure) that cannot take the shared-factor path
+  /// falls back to evaluate() per member, so callers never observe a
+  /// different outcome than N individual calls would have produced.
+  [[nodiscard]] std::vector<EvaluateResult> evaluate_group(
+      std::span<const EvaluateRequest> requests) const;
 
  private:
   mutable std::shared_mutex mutex_;

@@ -1,7 +1,9 @@
 #include "api/options.hpp"
 
+#include <array>
 #include <cerrno>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <string>
@@ -207,6 +209,140 @@ pdn::PdnConfig DesignOptions::apply(pdn::PdnConfig base) const {
   if (no_align) base.align_tsvs_to_c4 = false;
   if (metal_usage_scale) base.metal_usage_scale = *metal_usage_scale;
   return base;
+}
+
+namespace {
+
+// Canonical keyspace order; also the field order of canonical_text().
+constexpr std::array<OptionSpec, 10> kDesignOptionSpecs{{
+    {"m2", OptionKind::kNumeric, "[0, 100] percent of die area"},
+    {"m3", OptionKind::kNumeric, "[0, 100] percent of die area"},
+    {"tc", OptionKind::kNumeric, "[1, 1000000] TSVs per interface"},
+    {"tl", OptionKind::kEnum, "c | e | d"},
+    {"bd", OptionKind::kEnum, "f2b | f2f"},
+    {"rdl", OptionKind::kEnum, "none | bottom | all"},
+    {"scale", OptionKind::kNumeric, "(0, 100] metal usage scale"},
+    {"wb", OptionKind::kFlag, "wire bonding"},
+    {"dedicated", OptionKind::kFlag, "dedicated power TSVs"},
+    {"no-align", OptionKind::kFlag, "do not align TSVs to C4 bumps"},
+}};
+
+const OptionSpec* find_spec(std::string_view key) {
+  // "no_align" is a historical protocol spelling of "no-align".
+  const std::string_view canonical = (key == "no_align") ? "no-align" : key;
+  for (const OptionSpec& spec : kDesignOptionSpecs) {
+    if (spec.key == canonical) return &spec;
+  }
+  return nullptr;
+}
+
+core::Status unknown_key(std::string_view key) {
+  std::string known;
+  for (const OptionSpec& spec : kDesignOptionSpecs) {
+    if (!known.empty()) known += ", ";
+    known += spec.key;
+  }
+  return core::Status::invalid_argument("unknown design option '" + std::string(key) +
+                                        "' (known: " + known + ")");
+}
+
+core::Status apply_flag(DesignOptions* opts, const OptionSpec& spec, bool value) {
+  if (!value) {
+    // Flags default to unset; "false" is only meaningful as a no-op.
+    return core::Status::ok();
+  }
+  return opts->set_flag(spec.key);
+}
+
+// %.17g round-trips every finite double exactly; matches obs/json.cpp.
+std::string canonical_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string tsv_location_token(pdn::TsvLocation loc) {
+  switch (loc) {
+    case pdn::TsvLocation::kCenter: return "c";
+    case pdn::TsvLocation::kEdge: return "e";
+    case pdn::TsvLocation::kDistributed: return "d";
+  }
+  return "?";
+}
+
+std::string bonding_token(pdn::BondingStyle bd) {
+  return bd == pdn::BondingStyle::kF2F ? "f2f" : "f2b";
+}
+
+std::string rdl_token(pdn::RdlMode mode) {
+  switch (mode) {
+    case pdn::RdlMode::kNone: return "none";
+    case pdn::RdlMode::kBottomOnly: return "bottom";
+    case pdn::RdlMode::kAllDies: return "all";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::span<const OptionSpec> design_option_specs() { return kDesignOptionSpecs; }
+
+core::Status set_option(DesignOptions* opts, std::string_view key, std::string_view text) {
+  const OptionSpec* spec = find_spec(key);
+  if (spec == nullptr) return unknown_key(key);
+  if (spec->kind == OptionKind::kFlag) {
+    const std::string t = util::to_lower(util::trim(text));
+    if (t == "true" || t == "1") return apply_flag(opts, *spec, true);
+    if (t == "false" || t == "0") return apply_flag(opts, *spec, false);
+    return bad_option(spec->key, text, "is not a boolean (want true | false)");
+  }
+  return opts->set(spec->key, text);
+}
+
+core::Status set_option(DesignOptions* opts, std::string_view key, double value) {
+  const OptionSpec* spec = find_spec(key);
+  if (spec == nullptr) return unknown_key(key);
+  switch (spec->kind) {
+    case OptionKind::kNumeric:
+      return opts->set(spec->key, value);
+    case OptionKind::kFlag:
+      return apply_flag(opts, *spec, value != 0.0);
+    case OptionKind::kEnum:
+      return bad_option(spec->key, canonical_double(value),
+                        std::string("is not one of ") + std::string(spec->values));
+  }
+  return unknown_key(key);
+}
+
+core::Status set_option(DesignOptions* opts, std::string_view key, bool value) {
+  const OptionSpec* spec = find_spec(key);
+  if (spec == nullptr) return unknown_key(key);
+  if (spec->kind != OptionKind::kFlag) {
+    return bad_option(spec->key, value ? "true" : "false",
+                      std::string("is not one of ") + std::string(spec->values));
+  }
+  return apply_flag(opts, *spec, value);
+}
+
+std::string DesignOptions::canonical_text() const {
+  std::string out;
+  auto field = [&out](std::string_view key, const std::string& value) {
+    if (!out.empty()) out += ";";
+    out += key;
+    out += "=";
+    out += value;
+  };
+  field("m2", m2_pct ? canonical_double(*m2_pct) : "-");
+  field("m3", m3_pct ? canonical_double(*m3_pct) : "-");
+  field("tc", tsv_count ? std::to_string(*tsv_count) : "-");
+  field("tl", tsv_location ? tsv_location_token(*tsv_location) : "-");
+  field("bd", bonding ? bonding_token(*bonding) : "-");
+  field("rdl", rdl ? rdl_token(*rdl) : "-");
+  field("scale", metal_usage_scale ? canonical_double(*metal_usage_scale) : "-");
+  field("wb", wire_bonding ? "1" : "0");
+  field("dedicated", dedicated_tsvs ? "1" : "0");
+  field("no-align", no_align ? "1" : "0");
+  return out;
 }
 
 core::Status check_activity(double activity) {

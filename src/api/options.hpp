@@ -15,6 +15,8 @@
 /// value, and the accepted range. No partial parses, no silent zeros.
 
 #include <optional>
+#include <span>
+#include <string>
 #include <string_view>
 
 #include "core/status.hpp"
@@ -66,7 +68,46 @@ struct DesignOptions {
 
   /// Layer the set knobs onto @p base.
   [[nodiscard]] pdn::PdnConfig apply(pdn::PdnConfig base) const;
+
+  /// Deterministic rendering of every knob in spec-table order, unset
+  /// optionals included as "-". Two DesignOptions that would produce the
+  /// same PdnConfig overlay render identically regardless of whether they
+  /// were filled by set()/set_option() or by direct field assignment, which
+  /// is what makes this text safe to hash into a RequestFingerprint.
+  [[nodiscard]] std::string canonical_text() const;
 };
+
+/// How a design option's value is spelled, for front ends that enumerate
+/// the keyspace (CLI flag table, protocol decoder, docs).
+enum class OptionKind {
+  kNumeric,  ///< takes a number (strict-parsed from text)
+  kEnum,     ///< takes one of a fixed token set
+  kFlag,     ///< presence flag; text form accepts true/false/1/0
+};
+
+/// One row of the shared design-option keyspace.
+struct OptionSpec {
+  std::string_view key;     ///< canonical key ("m2", "tl", "no-align", ...)
+  OptionKind kind;
+  std::string_view values;  ///< human-readable value domain for help text
+};
+
+/// The single source of truth for the design-option keyspace. Both front
+/// ends (CLI flags and NDJSON `design` members) iterate this table, so the
+/// key list can never diverge between them. Order is the canonical order
+/// used by DesignOptions::canonical_text().
+[[nodiscard]] std::span<const OptionSpec> design_option_specs();
+
+/// Set any design knob by key from text, dispatching through the one shared
+/// spec table. Flag keys accept "true"/"false"/"1"/"0". Unknown keys get
+/// one canonical error that lists the full keyspace.
+[[nodiscard]] core::Status set_option(DesignOptions* opts, std::string_view key,
+                                      std::string_view text);
+/// Overload for values that arrive already numeric (JSON numbers). Enum
+/// keys reject numbers; flag keys treat nonzero as set.
+[[nodiscard]] core::Status set_option(DesignOptions* opts, std::string_view key, double value);
+/// Overload for values that arrive already boolean (JSON true/false).
+[[nodiscard]] core::Status set_option(DesignOptions* opts, std::string_view key, bool value);
 
 /// Shared range validators for the non-design request options.
 [[nodiscard]] core::Status check_activity(double activity);  ///< [0,1] or -1 (auto)

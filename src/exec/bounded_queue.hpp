@@ -26,6 +26,7 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 namespace pdn3d::exec {
 
@@ -80,6 +81,27 @@ class BoundedQueue {
       }
     }
     return std::nullopt;
+  }
+
+  /// Remove every queued item matching @p pred (up to @p max_items, in queue
+  /// order), appending them to @p out. Returns the number removed. One lock
+  /// acquisition for the whole sweep -- the service's coalescing planner uses
+  /// this to drain a factor-sharing group atomically, so a concurrent worker
+  /// cannot pop a group member mid-collection.
+  template <typename Pred>
+  std::size_t remove_all_if(Pred pred, std::size_t max_items, std::vector<T>* out) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t removed = 0;
+    for (auto it = items_.begin(); it != items_.end() && removed < max_items;) {
+      if (pred(*it)) {
+        out->push_back(std::move(*it));
+        it = items_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
   }
 
   /// Stop admitting; wake every blocked consumer. Already-admitted items are

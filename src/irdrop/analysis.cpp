@@ -137,12 +137,47 @@ IrResult IrAnalyzer::analyze(const power::MemoryState& state, SolveScratch* scra
   injection_into(state, sinks);
   SolveOutcome outcome = solver_.solve({.sinks = sinks, .want_ir = true}, scratch);
   if (!outcome.ok()) throw core::NumericalError(std::move(outcome.status));
-  const std::vector<double>& ir = outcome.x;
+  return extract_stats(state, outcome.x, outcome);
+}
 
+std::vector<IrResult> IrAnalyzer::analyze_batch(
+    std::span<const power::MemoryState> states) const {
+  PDN3D_TRACE_SPAN("irdrop/analyze_batch");
+  static auto& m_states = obs::counter("analysis.states_analyzed");
+  m_states.add(states.size());
+  if (states.empty()) return {};
+
+  // Pack the per-state injections back to back (RHS-major) for one
+  // batch_count solve; the solver guarantees each solution slice is bitwise
+  // identical to a stand-alone solve of that sink vector.
+  const std::size_t n = model_.node_count();
+  std::vector<double> sinks(n * states.size());
+  std::vector<double> one;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    injection_into(states[i], one);
+    std::copy(one.begin(), one.end(), sinks.begin() + static_cast<std::ptrdiff_t>(i * n));
+  }
+
+  SolveOutcome outcome =
+      solver_.solve({.sinks = sinks, .want_ir = true, .batch_count = states.size()});
+  if (!outcome.ok()) throw core::NumericalError(std::move(outcome.status));
+
+  std::vector<IrResult> out;
+  out.reserve(states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    out.push_back(
+        extract_stats(states[i], std::span<const double>(outcome.x).subspan(i * n, n), outcome));
+  }
+  return out;
+}
+
+IrResult IrAnalyzer::extract_stats(const power::MemoryState& state, std::span<const double> ir,
+                                   const SolveOutcome& outcome) const {
   IrResult out;
   // Telemetry comes from the outcome of *this* request -- the deprecated
   // last_* accessors would report some concurrent solve's rung under a
-  // threaded sweep.
+  // threaded sweep. (For a batch, the outcome's scalars are the batch
+  // aggregate; see analyze_batch.)
   out.solver_kind = outcome.kind_used;
   out.solver_iterations = outcome.iterations;
   out.solver_escalations = outcome.escalations;

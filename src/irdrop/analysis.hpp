@@ -8,6 +8,7 @@
 /// memory states. This is the engine every experiment in the paper runs on.
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "floorplan/floorplan.hpp"
@@ -63,6 +64,19 @@ class IrAnalyzer {
   [[nodiscard]] IrResult analyze(const power::MemoryState& state, SolveScratch* scratch,
                                  std::vector<double>* sinks_buffer) const;
 
+  /// Analyze many states through one multi-RHS solve (SolveRequest
+  /// batch_count), amortizing the factorization across the group -- the
+  /// service's request-coalescing hot path. Results come back in input order
+  /// and every IrResult's voltages/statistics are bitwise identical to a
+  /// stand-alone analyze() of that state (the solver's per-slice contract;
+  /// the stats extraction is literally the same code). Per-result solver
+  /// telemetry carries the batch aggregate (iterations/escalations sum,
+  /// kind_used is the last slice's rung) -- rendered output never prints it
+  /// for evaluate, so the byte-parity contract is unaffected. All-or-nothing:
+  /// any slice exhausting the ladder throws core::NumericalError.
+  [[nodiscard]] std::vector<IrResult> analyze_batch(
+      std::span<const power::MemoryState> states) const;
+
   /// The per-node sink-current vector for a state (exposed for validation).
   [[nodiscard]] std::vector<double> injection(const power::MemoryState& state) const;
 
@@ -89,6 +103,13 @@ class IrAnalyzer {
   [[nodiscard]] const pdn::StackModel& model() const { return model_; }
 
  private:
+  /// Shared per-state stats extraction: @p ir is one node_count()-long IR
+  /// slice; @p outcome supplies the solver telemetry. Used by analyze() and
+  /// analyze_batch() so their IrResults cannot diverge.
+  [[nodiscard]] IrResult extract_stats(const power::MemoryState& state,
+                                       std::span<const double> ir,
+                                       const SolveOutcome& outcome) const;
+
   const pdn::StackModel& model_;
   const floorplan::Floorplan& dram_fp_;
   const floorplan::Floorplan& logic_fp_;

@@ -170,6 +170,9 @@ json::Value build_run_report(const RunReportOptions& options) {
   // reports from the same command are only comparable span-by-span when this
   // matches, so it is provenance, not just a metric.
   report.set("threads", static_cast<std::uint64_t>(exec::default_thread_count()));
+  // Schema v6: the canonical request fingerprint, when the command ran
+  // through the evaluation facade (api::EvaluateRequest::fingerprint()).
+  if (!options.fingerprint.empty()) report.set("fingerprint", options.fingerprint);
   report.set("provenance", provenance_block(options));
   report.set("metrics", metrics_block(snap));
   report.set("spans", spans_block());

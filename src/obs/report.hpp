@@ -29,7 +29,11 @@ namespace pdn3d::obs {
 /// v5: added "windows" to the "metrics" block (windowed quantile snapshots);
 ///     session requests gained "request_id"; the session block gained
 ///     "uptime_seconds" and peak queue/in-flight gauges.
-inline constexpr int kReportSchemaVersion = 5;
+/// v6: added the optional top-level "fingerprint" key (the canonical request
+///     fingerprint of the evaluated request, facade commands only); the
+///     session block gained the "cache" sub-object (result-cache stats) and
+///     session requests gained "fingerprint" and "cache" keys.
+inline constexpr int kReportSchemaVersion = 6;
 
 struct RunReportOptions {
   std::string command;            ///< CLI command ("analyze", "profile", ...)
@@ -41,6 +45,10 @@ struct RunReportOptions {
   /// Schema v4: the service's session block (BatchService::session_block()).
   /// Emitted only when it is a JSON object; one-shot commands leave it null.
   json::Value session;
+  /// Schema v6: RequestFingerprint::hex() of the evaluated request. Emitted
+  /// as the top-level "fingerprint" key when non-empty (facade commands
+  /// only; `serve` records fingerprints per request in the session block).
+  std::string fingerprint;
 };
 
 /// Assemble the report document from the current process-wide metrics

@@ -1,0 +1,106 @@
+#include "service/cache.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace pdn3d::service {
+
+namespace {
+
+obs::Counter& m_hits() {
+  static auto& c = obs::counter("service.cache.hits");
+  return c;
+}
+obs::Counter& m_misses() {
+  static auto& c = obs::counter("service.cache.misses");
+  return c;
+}
+obs::Counter& m_insertions() {
+  static auto& c = obs::counter("service.cache.insertions");
+  return c;
+}
+obs::Counter& m_evictions() {
+  static auto& c = obs::counter("service.cache.evictions");
+  return c;
+}
+obs::Counter& m_bypass() {
+  static auto& c = obs::counter("service.cache.bypass");
+  return c;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+  // Pre-register every cache counter so `service.cache.*` rows exist in
+  // stats/metrics scrapes from server start, before the first cache event.
+  m_hits();
+  m_misses();
+  m_insertions();
+  m_evictions();
+  m_bypass();
+}
+
+std::optional<api::EvaluateResult> ResultCache::lookup(const api::RequestFingerprint& fp) {
+  if (capacity_ == 0) {
+    note_bypass();
+    return std::nullopt;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(fp.hash);
+  if (it == index_.end() || it->second->canonical != fp.canonical) {
+    ++misses_;
+    m_misses().add(1);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  ++hits_;
+  m_hits().add(1);
+  return it->second->result;
+}
+
+void ResultCache::insert(const api::RequestFingerprint& fp, const api::EvaluateResult& result) {
+  if (capacity_ == 0 || !result.ok()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(fp.hash);
+  if (it != index_.end()) {
+    // Refresh: overwrite in place and mark most-recently-used. On a true
+    // hash collision the newer request wins the slot; the canonical guard
+    // in lookup() keeps the loser from ever being served the wrong bytes.
+    it->second->canonical = fp.canonical;
+    it->second->result = result;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++insertions_;
+    m_insertions().add(1);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().hash);
+    lru_.pop_back();
+    ++evictions_;
+    m_evictions().add(1);
+  }
+  lru_.push_front(Entry{fp.hash, fp.canonical, result});
+  index_[fp.hash] = lru_.begin();
+  ++insertions_;
+  m_insertions().add(1);
+}
+
+void ResultCache::note_bypass() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++bypass_;
+  m_bypass().add(1);
+}
+
+CacheStats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats s;
+  s.entries = lru_.size();
+  s.capacity = capacity_;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.bypass = bypass_;
+  return s;
+}
+
+}  // namespace pdn3d::service

@@ -1,0 +1,94 @@
+#pragma once
+
+/// @file cache.hpp
+/// @brief Content-addressed LRU result cache for the batch evaluation
+/// service.
+///
+/// Entries are keyed by the request's RequestFingerprint (api/api.hpp): two
+/// requests share an entry exactly when the facade guarantees their rendered
+/// output is byte-identical, so a cache hit returns the same bytes a fresh
+/// evaluation would have produced (the PR 5 parity contract, now extended to
+/// cached responses -- docs/SERVICE.md). The stored canonical text is
+/// compared on every hit, so a 64-bit hash collision degrades to a miss
+/// instead of serving the wrong result.
+///
+/// Only successful results are cached (failures are cheap to recompute and
+/// often transient), and only operations without side channels -- the
+/// service never caches checkpointed requests. Thread-safe: one mutex
+/// around an intrusive LRU list + hash map; at service request rates the
+/// critical section (a list splice and a map probe) is unmeasurable next to
+/// a solve.
+///
+/// Counters (docs/OBSERVABILITY.md): service.cache.hits / misses /
+/// insertions / evictions / bypass.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "api/api.hpp"
+
+namespace pdn3d::service {
+
+/// Point-in-time occupancy + traffic counters for stats/report blocks.
+struct CacheStats {
+  std::size_t entries = 0;    ///< live entries
+  std::size_t capacity = 0;   ///< configured maximum (0 = cache disabled)
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bypass = 0;   ///< requests that skipped the cache entirely
+};
+
+/// Size-capped LRU map: fingerprint -> EvaluateResult. See file comment.
+class ResultCache {
+ public:
+  /// @param capacity maximum entries; 0 disables the cache (every lookup
+  /// reports a bypass and insert() is a no-op).
+  explicit ResultCache(std::size_t capacity);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The cached result for @p fp, refreshing its LRU position. Counts a hit
+  /// or a miss.
+  [[nodiscard]] std::optional<api::EvaluateResult> lookup(const api::RequestFingerprint& fp);
+
+  /// Insert (or overwrite -- the "refresh" path) the result for @p fp,
+  /// evicting the least-recently-used entry when full. Callers only insert
+  /// result.ok() results; a failed result is rejected here as defense in
+  /// depth.
+  void insert(const api::RequestFingerprint& fp, const api::EvaluateResult& result);
+
+  /// Count a request that skipped the cache (server/request bypass mode,
+  /// checkpointed request, cache disabled).
+  void note_bypass();
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    std::uint64_t hash = 0;
+    std::string canonical;  ///< collision guard: verified on every hit
+    api::EvaluateResult result;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  /// Most-recently-used at the front; map values point into the list.
+  std::list<Entry> lru_;
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t bypass_ = 0;
+};
+
+}  // namespace pdn3d::service

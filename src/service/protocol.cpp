@@ -79,22 +79,19 @@ const obsjson::Value* member(const obsjson::Value& object, std::string_view key,
 }
 
 core::Status decode_design(const obsjson::Value& design, api::DesignOptions* out) {
+  // Every member routes through the one shared api::set_option table -- the
+  // same keyspace, range checks, and error messages the CLI flag parser
+  // uses, so the two surfaces cannot drift apart (docs/API.md).
   for (const auto& [key, value] : design.members()) {
-    if (key == "wb" || key == "dedicated" || key == "no_align" || key == "no-align") {
-      if (!value.is_bool()) return bad("design." + key + " must be a boolean");
-      if (value.as_bool()) {
-        const core::Status st = out->set_flag(key == "no_align" ? "no-align" : key);
-        if (!st.is_ok()) return st;
-      }
-      continue;
-    }
     core::Status st;
-    if (value.is_number()) {
-      st = out->set(key, value.as_number());
+    if (value.is_bool()) {
+      st = api::set_option(out, key, value.as_bool());
+    } else if (value.is_number()) {
+      st = api::set_option(out, key, value.as_number());
     } else if (value.is_string()) {
-      st = out->set(key, std::string_view(value.as_string()));
+      st = api::set_option(out, key, std::string_view(value.as_string()));
     } else {
-      return bad("design." + key + " must be a number or a string");
+      return bad("design." + key + " must be a number, string, or boolean");
     }
     if (!st.is_ok()) return st;
   }
@@ -255,13 +252,26 @@ core::Status parse_request(std::string_view line, Request* out) {
           member(doc, "test_sleep_ms", obsjson::Value::Kind::kNumber, &status, "number")) {
     out->test_sleep_ms = sleep->as_number();
   }
+  if (const auto* cache =
+          member(doc, "cache", obsjson::Value::Kind::kString, &status, "string")) {
+    const std::string_view mode = cache->as_string();
+    if (mode == "use") {
+      out->cache = Request::CacheMode::kUse;
+    } else if (mode == "bypass") {
+      out->cache = Request::CacheMode::kBypass;
+    } else if (mode == "refresh") {
+      out->cache = Request::CacheMode::kRefresh;
+    } else {
+      return bad("cache must be one of use | bypass | refresh");
+    }
+  }
   if (!status.is_ok()) return status;
 
   return out->eval.validate();
 }
 
 std::string ok_response(const Request& request, const api::EvaluateResult& result,
-                        double queue_ms, double run_ms) {
+                        double queue_ms, double run_ms, std::string_view cache_token) {
   // Hand-rolled compact JSON: responses are hot-path (one per request) and
   // the shape is fixed, so we skip the Value tree. Numbers use the document
   // model's formatting via Value::dump for doubles.
@@ -283,6 +293,11 @@ std::string ok_response(const Request& request, const api::EvaluateResult& resul
   line += ",\"headline_mv\":" + obsjson::Value(result.headline_mv).dump();
   line += ",\"queue_ms\":" + obsjson::Value(queue_ms).dump();
   line += ",\"run_ms\":" + obsjson::Value(run_ms).dump();
+  if (!cache_token.empty()) {
+    line += ",\"cache\":\"";
+    line += cache_token;
+    line += "\"";
+  }
   line += ",\"output\":\"";
   escape_into(result.output, &line);
   line += "\"}";

@@ -13,6 +13,7 @@
 ///    "state": "0-0-0-2", "activity": 0.5,      // evaluate
 ///    "samples": 200,                            // montecarlo
 ///    "alpha": 0.3,                              // cooptimize
+///    "cache": "use",                            // optional: use|bypass|refresh
 ///    "deadline_ms": 500}                        // optional, admission->start
 ///
 /// Control requests: {"op": "cancel", "id": 9, "target": 7} removes a
@@ -70,12 +71,18 @@ inline constexpr std::size_t kMaxRequestIdBytes = 64;
 struct Request {
   enum class Kind { kEvaluate, kCancel, kPing, kHealth, kStats, kMetrics };
 
+  /// Per-request result-cache policy (the optional "cache" field):
+  /// "use" consults the cache, "bypass" neither reads nor writes it,
+  /// "refresh" evaluates fresh and overwrites the cached entry.
+  enum class CacheMode { kUse, kBypass, kRefresh };
+
   std::int64_t id = -1;  ///< echoed in the response; -1 when absent
   Kind kind = Kind::kEvaluate;
   api::EvaluateRequest eval;    ///< kEvaluate payload
   std::int64_t cancel_target = -1;  ///< kCancel payload
   double deadline_ms = 0.0;     ///< 0 = no deadline
   double test_sleep_ms = 0.0;   ///< fault-injection hold (test builds only)
+  CacheMode cache = CacheMode::kUse;  ///< result-cache policy (kEvaluate)
   /// Correlation id: client-supplied "request_id" (1..kMaxRequestIdBytes
   /// chars of [A-Za-z0-9._:/-]); empty here means the server generates one.
   std::string request_id;
@@ -87,8 +94,13 @@ struct Request {
 
 /// Render the success response for an evaluated request (single line, no
 /// trailing newline). The request's request_id is echoed as the final key.
+/// @p cache_token, when non-empty, is echoed as `"cache":"hit|miss|bypass"`
+/// -- how the result cache treated this request (docs/SERVICE.md). The
+/// parity contract compares the `output` payload; `cache` is bookkeeping
+/// like `queue_ms`/`run_ms`.
 [[nodiscard]] std::string ok_response(const Request& request, const api::EvaluateResult& result,
-                                      double queue_ms, double run_ms);
+                                      double queue_ms, double run_ms,
+                                      std::string_view cache_token = {});
 
 /// Render an error response (single line, no trailing newline). The
 /// request_id key is appended when non-empty (the service always supplies

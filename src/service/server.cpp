@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "exec/cancel.hpp"
 #include "faults/faults.hpp"
@@ -40,6 +41,50 @@ std::string cancel_ok_response(std::int64_t id, std::int64_t target,
                      std::to_string(target) + "}";
   append_request_id(&line, request_id);
   return line;
+}
+
+/// Largest factor-sharing group one worker drains from the queue; bounds the
+/// latency a coalesced member can add to the leader (one multi-RHS solve is
+/// nearly flat in batch size, but response delivery waits for the batch).
+constexpr std::size_t kMaxCoalesce = 16;
+
+/// Whether a queued request may join a factor-sharing group: plain evaluate
+/// only (sweep ops own their parallelism), no checkpoint side channel, and no
+/// fault-injection sleep (tests use test_sleep_ms to pin workers; batching
+/// those would change what the test holds busy).
+bool coalescible(const Request& req) {
+  return req.kind == Request::Kind::kEvaluate && req.eval.op == api::Operation::kEvaluate &&
+         req.eval.checkpoint_path.empty() && req.test_sleep_ms <= 0.0;
+}
+
+/// Requests with equal keys share a factorization: same benchmark, same
+/// canonical design overlay. States/activities may differ -- they are the
+/// extra right-hand sides.
+std::string factor_key(const Request& req) {
+  return std::string(api::benchmark_token(req.eval.benchmark)) + "|" +
+         req.eval.design.canonical_text();
+}
+
+/// How one request is treated against the result cache.
+struct CachePlan {
+  bool consult = false;    ///< look up before evaluating (mode "use")
+  bool store = false;      ///< insert the fresh ok result ("use" miss or "refresh")
+  const char* token = "";  ///< response echo: "hit" | "miss" | "bypass"
+};
+
+CachePlan plan_cache(const ServiceConfig& config, const Request& req) {
+  CachePlan plan;
+  const bool eligible = config.cache_entries > 0 && !config.cache_bypass &&
+                        req.cache != Request::CacheMode::kBypass &&
+                        req.eval.checkpoint_path.empty() && req.test_sleep_ms <= 0.0;
+  if (!eligible) {
+    plan.token = "bypass";
+    return plan;
+  }
+  plan.store = true;
+  plan.token = "miss";  // becomes "hit" only when a lookup succeeds
+  plan.consult = req.cache == Request::CacheMode::kUse;  // refresh skips lookup
+  return plan;
 }
 
 /// Relative weight of a request for cost-based admission control. Units are
@@ -88,11 +133,14 @@ struct BatchService::RequestRecord {
   double queue_ms = 0.0;
   double run_ms = 0.0;
   double headline_mv = 0.0;
+  std::string fingerprint;  ///< RequestFingerprint::hex(); empty if never computed
+  std::string cache;        ///< "hit" | "miss" | "bypass"; empty on error paths
 };
 
 BatchService::BatchService(const api::Session& session, ServiceConfig config)
     : session_(session), config_(config) {
   if (config_.workers == 0) config_.workers = exec::default_thread_count();
+  cache_ = std::make_unique<ResultCache>(config_.cache_entries);
 }
 
 BatchService::~BatchService() { drain(); }
@@ -233,6 +281,19 @@ std::string BatchService::stats_response(const Request& req) {
   totals_block.set("timeouts", obs::json::Value(totals.timeouts));
   totals_block.set("internal_errors", obs::json::Value(totals.internal_errors));
   doc.set("totals", std::move(totals_block));
+
+  {
+    const CacheStats cs = cache_->stats();
+    auto cache_block = obs::json::Value::object();
+    cache_block.set("entries", obs::json::Value(static_cast<std::uint64_t>(cs.entries)));
+    cache_block.set("capacity", obs::json::Value(static_cast<std::uint64_t>(cs.capacity)));
+    cache_block.set("hits", obs::json::Value(cs.hits));
+    cache_block.set("misses", obs::json::Value(cs.misses));
+    cache_block.set("insertions", obs::json::Value(cs.insertions));
+    cache_block.set("evictions", obs::json::Value(cs.evictions));
+    cache_block.set("bypass", obs::json::Value(cs.bypass));
+    doc.set("cache", std::move(cache_block));
+  }
 
   auto counters = obs::json::Value::object();
   for (const auto& [name, value] : snap.counters) counters.set(name, obs::json::Value(value));
@@ -462,6 +523,26 @@ void BatchService::submit_line(std::string_view line, ResponseSink sink) {
 void BatchService::worker_loop() {
   while (auto pending = queue_->pop()) {
     PDN3D_FAULT_STALL("service.queue.delay", 50.0);
+    if (coalescible(pending->req)) {
+      // Evaluation planner: drain every queued request sharing this
+      // factorization (same benchmark + canonical design) in one atomic
+      // sweep and dispatch the group as one multi-RHS solve. A member
+      // drained here has been "popped" for cancellation purposes, exactly
+      // like a singleton pop.
+      std::vector<Pending> group;
+      group.push_back(std::move(*pending));
+      const std::string key = factor_key(group.front().req);
+      queue_->remove_all_if(
+          [&key](const Pending& p) { return coalescible(p.req) && factor_key(p.req) == key; },
+          kMaxCoalesce - 1, &group);
+      if (group.size() > 1) {
+        publish_queue_depth();
+        finish_group(std::move(group));
+      } else {
+        finish(std::move(group.front()));
+      }
+      continue;
+    }
     finish(std::move(*pending));
   }
 }
@@ -509,6 +590,38 @@ void BatchService::finish(Pending&& pending) {
   span.attribute("op", rec.op);
   span.attribute("benchmark", rec.benchmark);
   span.attribute("request_id", pending.req.request_id);
+
+  // Result cache: a hit answers with the stored result -- byte-identical to
+  // a fresh evaluation by the fingerprint contract (api/api.hpp) -- without
+  // touching a worker-side solve.
+  const CachePlan cplan = plan_cache(config_, pending.req);
+  api::RequestFingerprint fp;
+  if (cplan.store) {
+    fp = pending.req.eval.fingerprint();
+  } else {
+    cache_->note_bypass();
+  }
+  if (cplan.consult) {
+    if (const auto cached = cache_->lookup(fp)) {
+      const double run_ms = ms_between(start, Clock::now());
+      h_run.observe(run_ms);
+      w_run.observe(run_ms);
+      m_completed.add(1);
+      outstanding_cost_.fetch_sub(pending.cost, std::memory_order_relaxed);
+      rec.ok = true;
+      rec.run_ms = run_ms;
+      rec.headline_mv = cached->headline_mv;
+      rec.fingerprint = cached->fingerprint;
+      rec.cache = "hit";
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.completed;
+      }
+      record(std::move(rec));
+      pending.sink(ok_response(pending.req, *cached, queue_ms, run_ms, "hit"));
+      return;
+    }
+  }
 
   // Slow-request tracing: capture every span this evaluation completes on
   // this thread (sound because the request runs inline here -- the nested-
@@ -635,12 +748,234 @@ void BatchService::finish(Pending&& pending) {
   rec.ok = result.ok();
   if (!result.ok()) rec.error = to_string(ErrorKind::kEvaluationFailed);
   rec.headline_mv = result.headline_mv;
+  rec.fingerprint = result.fingerprint;
+  rec.cache = cplan.token;
   {
     const std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.completed;
   }
   record(std::move(rec));
-  pending.sink(ok_response(pending.req, result, queue_ms, run_ms));
+  if (cplan.store && result.ok()) cache_->insert(fp, result);
+  pending.sink(ok_response(pending.req, result, queue_ms, run_ms, cplan.token));
+}
+
+void BatchService::finish_group(std::vector<Pending>&& group) {
+  static auto& m_completed = obs::counter("service.completed");
+  static auto& m_deadline = obs::counter("service.deadline_expired");
+  static auto& m_timeouts = obs::counter("service.timeouts");
+  static auto& m_internal = obs::counter("service.internal_errors");
+  static auto& m_groups = obs::counter("service.coalesce.groups");
+  static auto& m_members = obs::counter("service.coalesce.requests");
+  static auto& h_queue = obs::histogram("service.queue_ms", {1, 10, 100, 1000, 10000});
+  static auto& h_run = obs::histogram("service.run_ms", {1, 10, 100, 1000, 10000});
+  static auto& w_queue = obs::window("service.queue_ms");
+  static auto& w_run = obs::window("service.run_ms");
+
+  m_groups.add(1);
+  m_members.add(group.size());
+
+  const Clock::time_point start = Clock::now();
+  PDN3D_TRACE_SPAN_NAMED(span, "serve/batch");
+  span.attribute("members", std::to_string(group.size()));
+  span.attribute("benchmark", std::string(api::benchmark_token(group.front().req.eval.benchmark)));
+
+  // Per-member admission bookkeeping: expired deadlines and cache hits are
+  // answered here exactly as finish() would have, and never reach the solve.
+  struct Member {
+    Pending pending;
+    RequestRecord rec;
+    CachePlan plan;
+    api::RequestFingerprint fp;
+  };
+  std::vector<Member> to_run;
+  to_run.reserve(group.size());
+
+  for (auto& pending : group) {
+    const double queue_ms = ms_between(pending.enqueued, start);
+    h_queue.observe(queue_ms);
+    w_queue.observe(queue_ms);
+
+    RequestRecord rec;
+    rec.id = pending.req.id;
+    rec.request_id = pending.req.request_id;
+    rec.op = api::to_string(pending.req.eval.op);
+    rec.benchmark = api::benchmark_token(pending.req.eval.benchmark);
+    rec.queue_ms = queue_ms;
+
+    if (start > pending.deadline) {
+      m_deadline.add(1);
+      outstanding_cost_.fetch_sub(pending.cost, std::memory_order_relaxed);
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.deadline_expired;
+      }
+      rec.error = to_string(ErrorKind::kDeadlineExceeded);
+      record(std::move(rec));
+      pending.sink(error_response(pending.req.id, ErrorKind::kDeadlineExceeded,
+                                  "deadline expired after " + std::to_string(queue_ms) +
+                                      " ms in queue",
+                                  pending.req.request_id));
+      continue;
+    }
+
+    CachePlan plan = plan_cache(config_, pending.req);
+    api::RequestFingerprint fp;
+    if (plan.store) {
+      fp = pending.req.eval.fingerprint();
+    } else {
+      cache_->note_bypass();
+    }
+    if (plan.consult) {
+      if (const auto cached = cache_->lookup(fp)) {
+        const double run_ms = ms_between(start, Clock::now());
+        h_run.observe(run_ms);
+        w_run.observe(run_ms);
+        m_completed.add(1);
+        outstanding_cost_.fetch_sub(pending.cost, std::memory_order_relaxed);
+        rec.ok = true;
+        rec.run_ms = run_ms;
+        rec.headline_mv = cached->headline_mv;
+        rec.fingerprint = cached->fingerprint;
+        rec.cache = "hit";
+        {
+          const std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.completed;
+        }
+        record(std::move(rec));
+        pending.sink(ok_response(pending.req, *cached, queue_ms, run_ms, "hit"));
+        continue;
+      }
+    }
+    to_run.push_back(Member{std::move(pending), std::move(rec), plan, std::move(fp)});
+  }
+
+  if (to_run.empty()) return;
+
+  // One watchdog ticket and one cancel token cover the whole batch: the
+  // members share a solve, so a timeout stops all of them at the same poll
+  // point (each then answers `timeout` individually below).
+  publish_in_flight(in_flight_.fetch_add(to_run.size(), std::memory_order_relaxed) +
+                    to_run.size());
+  exec::CancelToken cancel;
+  std::uint64_t ticket = 0;
+  const bool watched = config_.watchdog_ms > 0.0;
+  if (watched) {
+    ticket = next_ticket_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const Clock::time_point cancel_at =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double, std::milli>(config_.watchdog_ms));
+    {
+      const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+      inflight_[ticket] = {&cancel, cancel_at};
+    }
+    watchdog_cv_.notify_one();
+  }
+
+  // Identical fingerprints inside one group evaluate once: the duplicate is
+  // answered from its twin's slice, exactly as if it had arrived after the
+  // twin's cache insert and hit -- so it reports `cache: hit` and skips its
+  // own (redundant) insert. Bypass members never dedupe: bypass means "give
+  // me a fresh solve", so each gets its own slice.
+  std::vector<api::EvaluateRequest> reqs;
+  reqs.reserve(to_run.size());
+  std::vector<std::size_t> slot(to_run.size());
+  std::unordered_map<std::string, std::size_t> first_by_fp;
+  for (std::size_t i = 0; i < to_run.size(); ++i) {
+    Member& m = to_run[i];
+    if (m.plan.store) {
+      const auto [it, inserted] = first_by_fp.emplace(m.fp.canonical, reqs.size());
+      if (!inserted) {
+        slot[i] = it->second;
+        m.plan.store = false;
+        m.plan.token = "hit";
+        continue;
+      }
+    }
+    slot[i] = reqs.size();
+    reqs.push_back(m.pending.req.eval);
+  }
+
+  std::vector<api::EvaluateResult> results;
+  bool internal_error = false;
+  std::string internal_message;
+  {
+    const exec::CancelScope scope(cancel);
+    PDN3D_FAULT_STALL("service.worker.stall", 100.0);
+    try {
+      results = session_.evaluate_group(reqs);
+    } catch (const std::exception& e) {
+      internal_error = true;
+      internal_message = e.what();
+    } catch (...) {
+      internal_error = true;
+      internal_message = "unknown exception";
+    }
+  }
+  if (watched) {
+    const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    inflight_.erase(ticket);
+  }
+  publish_in_flight(in_flight_.fetch_sub(to_run.size(), std::memory_order_relaxed) -
+                    to_run.size());
+
+  // run_ms is shared: the members finished together in one solve.
+  const double run_ms = ms_between(start, Clock::now());
+  for (std::size_t i = 0; i < to_run.size(); ++i) {
+    Member& m = to_run[i];
+    outstanding_cost_.fetch_sub(m.pending.cost, std::memory_order_relaxed);
+    h_run.observe(run_ms);
+    w_run.observe(run_ms);
+    m_completed.add(1);
+    m.rec.run_ms = run_ms;
+    const double queue_ms = m.rec.queue_ms;
+
+    if (internal_error || slot[i] >= results.size()) {
+      m_internal.add(1);
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.completed;
+        ++stats_.internal_errors;
+      }
+      m.rec.error = to_string(ErrorKind::kInternal);
+      record(std::move(m.rec));
+      m.pending.sink(error_response(m.pending.req.id, ErrorKind::kInternal,
+                                    internal_error ? internal_message : "batch result missing",
+                                    m.pending.req.request_id));
+      continue;
+    }
+
+    api::EvaluateResult& result = results[slot[i]];
+    if (cancel.cancelled() && !result.ok()) {
+      m_timeouts.add(1);
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.completed;
+        ++stats_.timeouts;
+      }
+      m.rec.error = to_string(ErrorKind::kTimeout);
+      record(std::move(m.rec));
+      m.pending.sink(error_response(
+          m.pending.req.id, ErrorKind::kTimeout,
+          "evaluation exceeded watchdog (" +
+              std::to_string(static_cast<long long>(config_.watchdog_ms)) +
+              " ms): " + std::string(result.status.message()),
+          m.pending.req.request_id));
+      continue;
+    }
+
+    m.rec.ok = result.ok();
+    if (!result.ok()) m.rec.error = to_string(ErrorKind::kEvaluationFailed);
+    m.rec.headline_mv = result.headline_mv;
+    m.rec.fingerprint = result.fingerprint;
+    m.rec.cache = m.plan.token;
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.completed;
+    }
+    record(std::move(m.rec));
+    if (m.plan.store && result.ok()) cache_->insert(m.fp, result);
+    m.pending.sink(ok_response(m.pending.req, result, queue_ms, run_ms, m.plan.token));
+  }
 }
 
 void BatchService::record(RequestRecord rec) {
@@ -684,8 +1019,9 @@ obs::json::Value BatchService::session_block() const {
   block.set("workers", obs::json::Value(static_cast<std::uint64_t>(config_.workers)));
   block.set("queue_capacity",
             obs::json::Value(static_cast<std::uint64_t>(config_.queue_capacity)));
-  // Schema v5: lifetime and peak load, so a report alone answers "how hard
-  // was this server actually pushed".
+  // Schema v6: lifetime and peak load plus the result-cache block, so a
+  // report alone answers "how hard was this server actually pushed" and "how
+  // much of it was absorbed by the cache".
   block.set("uptime_seconds", obs::json::Value(uptime_seconds()));
   block.set("peak_queue_depth",
             obs::json::Value(peak_queue_depth_.load(std::memory_order_relaxed)));
@@ -701,6 +1037,18 @@ obs::json::Value BatchService::session_block() const {
   block.set("cancelled", obs::json::Value(stats_.cancelled));
   block.set("timeouts", obs::json::Value(stats_.timeouts));
   block.set("internal_errors", obs::json::Value(stats_.internal_errors));
+  {
+    const CacheStats cs = cache_->stats();
+    auto cache_block = obs::json::Value::object();
+    cache_block.set("entries", obs::json::Value(static_cast<std::uint64_t>(cs.entries)));
+    cache_block.set("capacity", obs::json::Value(static_cast<std::uint64_t>(cs.capacity)));
+    cache_block.set("hits", obs::json::Value(cs.hits));
+    cache_block.set("misses", obs::json::Value(cs.misses));
+    cache_block.set("insertions", obs::json::Value(cs.insertions));
+    cache_block.set("evictions", obs::json::Value(cs.evictions));
+    cache_block.set("bypass", obs::json::Value(cs.bypass));
+    block.set("cache", std::move(cache_block));
+  }
   auto requests = obs::json::Value::array();
   for (const auto& rec : records_) {
     auto r = obs::json::Value::object();
@@ -713,6 +1061,8 @@ obs::json::Value BatchService::session_block() const {
     r.set("queue_ms", obs::json::Value(rec.queue_ms));
     r.set("run_ms", obs::json::Value(rec.run_ms));
     r.set("headline_mv", obs::json::Value(rec.headline_mv));
+    r.set("fingerprint", obs::json::Value(rec.fingerprint));
+    r.set("cache", obs::json::Value(rec.cache));
     requests.push_back(std::move(r));
   }
   block.set("requests", std::move(requests));

@@ -58,6 +58,7 @@
 #include "exec/bounded_queue.hpp"
 #include "exec/thread_pool.hpp"
 #include "obs/json.hpp"
+#include "service/cache.hpp"
 #include "service/protocol.hpp"
 
 namespace pdn3d::service {
@@ -81,6 +82,13 @@ struct ServiceConfig {
   /// `serve.slow_request` event carrying the request's captured span tree
   /// (0 = off). The CLI flag is `--slow-ms`.
   double slow_request_ms = 0.0;
+  /// Result-cache capacity in entries, content-addressed by request
+  /// fingerprint (0 = cache off). The CLI flag is `--cache-entries`.
+  std::size_t cache_entries = 256;
+  /// Force every request to bypass the result cache regardless of its
+  /// per-request `cache` field (CLI `--cache-bypass`). The cache stays
+  /// allocated so stats keep reporting its configuration.
+  bool cache_bypass = false;
 };
 
 /// Delivery callback for one response line (no trailing newline). Invoked
@@ -132,10 +140,14 @@ class BatchService {
   /// aid: polling for 0 after a submit proves the worker picked it up.
   [[nodiscard]] std::size_t queued() const;
 
-  /// The run report's "session" block (schema v5): aggregate counters,
-  /// uptime, peak load, plus one record per evaluated request
+  /// The run report's "session" block (schema v6): aggregate counters,
+  /// uptime, peak load, the result-cache block, plus one record per
+  /// evaluated request with its fingerprint and cache disposition
   /// (docs/OBSERVABILITY.md).
   [[nodiscard]] obs::json::Value session_block() const;
+
+  /// The result cache (exposed for tests and stats plumbing).
+  [[nodiscard]] const ResultCache& cache() const { return *cache_; }
 
   /// Seconds since start(); 0 before start.
   [[nodiscard]] double uptime_seconds() const;
@@ -148,6 +160,12 @@ class BatchService {
   void worker_loop();
   void watchdog_loop();
   void finish(Pending&& pending);
+  /// The coalescing planner's batch path: a factor-sharing group (>= 2
+  /// plain-evaluate requests on one benchmark+design) dispatched as one
+  /// multi-RHS solve via Session::evaluate_group, with per-member deadline,
+  /// cache, watchdog, and response handling. Responses are byte-identical to
+  /// what N finish() calls would have produced (modulo queue_ms/run_ms).
+  void finish_group(std::vector<Pending>&& group);
   void record(RequestRecord rec);
   /// Refresh the live service.queue_depth / service.inflight gauges (and
   /// their peaks) from the authoritative sources. Called on every queue or
@@ -160,6 +178,7 @@ class BatchService {
 
   const api::Session& session_;
   ServiceConfig config_;
+  std::unique_ptr<ResultCache> cache_;
   std::unique_ptr<exec::ThreadPool> pool_;
   std::unique_ptr<exec::BoundedQueue<Pending>> queue_;
   std::thread orchestrator_;  ///< runs the pool's worker region

@@ -135,6 +135,46 @@ TEST(IrAnalyzer, BlockReportRanksActiveBanksHottest) {
   EXPECT_THROW(a.block_report(f.state("0-0-0-2"), -1), std::out_of_range);
 }
 
+// The multi-RHS batch path must be bitwise indistinguishable from per-state
+// solves: the cross-request coalescing planner and the service's parity
+// contract (docs/SERVICE.md) are built on this.
+TEST(IrAnalyzer, AnalyzeBatchIsBitwiseIdenticalToStandalone) {
+  const Fixture f;
+  const auto a = f.analyzer();
+  const std::vector<power::MemoryState> states = {
+      f.state("0-0-0-2"), f.state("2-0-0-0"), f.state("0-0-2-2", 0.5),
+      f.state("0-0-0-0")};
+  const auto batched = a.analyze_batch(states);
+  ASSERT_EQ(batched.size(), states.size());
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const IrResult solo = a.analyze(states[i]);
+    ASSERT_EQ(batched[i].dram_dies.size(), solo.dram_dies.size()) << "state " << i;
+    for (std::size_t d = 0; d < solo.dram_dies.size(); ++d) {
+      EXPECT_EQ(batched[i].dram_dies[d].max_mv, solo.dram_dies[d].max_mv);
+      EXPECT_EQ(batched[i].dram_dies[d].avg_mv, solo.dram_dies[d].avg_mv);
+    }
+    EXPECT_EQ(batched[i].dram_max_mv, solo.dram_max_mv) << "state " << i;
+    EXPECT_EQ(batched[i].logic_max_mv, solo.logic_max_mv);
+    EXPECT_EQ(batched[i].total_power_mw, solo.total_power_mw);
+    EXPECT_EQ(batched[i].active_die_power_mw, solo.active_die_power_mw);
+  }
+}
+
+TEST(IrAnalyzer, AnalyzeBatchHandlesEdgeSizes) {
+  const Fixture f;
+  const auto a = f.analyzer();
+  EXPECT_TRUE(a.analyze_batch({}).empty());
+
+  const std::vector<power::MemoryState> one = {f.state("0-0-0-2")};
+  const auto batched = a.analyze_batch(one);
+  ASSERT_EQ(batched.size(), 1u);
+  EXPECT_EQ(batched[0].dram_max_mv, a.analyze(one[0]).dram_max_mv);
+
+  // A bad state anywhere in the batch fails the whole call (all-or-nothing).
+  const std::vector<power::MemoryState> mixed = {f.state("0-0-0-2"), f.state("0-0-2")};
+  EXPECT_THROW((void)a.analyze_batch(mixed), std::invalid_argument);
+}
+
 TEST(IrAnalyzer, MoreMetalLowersDrop) {
   pdn::PdnConfig thin;
   pdn::PdnConfig thick;

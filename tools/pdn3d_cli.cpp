@@ -135,6 +135,10 @@ constexpr int kExitInfeasible = 4;
       "  --slow-ms MS     serve: log a `serve.slow_request` event with the\n"
       "                   request's span tree when an evaluation runs longer\n"
       "                   than MS (0 = off)\n"
+      "  --cache-entries N serve: result-cache capacity in entries, keyed by the\n"
+      "                   canonical request fingerprint (default 256, 0 = off)\n"
+      "  --cache-bypass   serve: every request bypasses the result cache,\n"
+      "                   overriding per-request `cache` fields\n"
       "  --bench B        serve: benchmark the --tech override applies to\n"
       "  --report FILE    write a machine-readable JSON run report (any command;\n"
       "                   see docs/OBSERVABILITY.md for the schema)\n"
@@ -184,10 +188,11 @@ Args parse_args(int argc, char** argv) {
       "--m2",    "--m3",       "--tc",     "--tl",     "--bd",      "--rdl",
       "--scale", "--tech",     "--trace",  "--samples", "--decap",  "--die",
       "--report", "--top",     "--threads", "--socket", "--queue",  "--deadline",
-      "--bench", "--checkpoint", "--max-cost", "--watchdog", "--slow-ms", "--log-format"};
+      "--bench", "--checkpoint", "--max-cost", "--watchdog", "--slow-ms", "--log-format",
+      "--cache-entries"};
   const std::vector<std::string> known_flags = {"--wb",      "--dedicated", "--no-align",
                                                "--verbose", "--quiet",     "--test-ops",
-                                               "--resume"};
+                                               "--resume",  "--cache-bypass"};
   for (int i = first_opt; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool takes_value =
@@ -228,17 +233,23 @@ long long get_int(const Args& a, const std::string& key, long long fallback, lon
 }
 
 // The design knobs, parsed and range-checked into the facade's typed options.
+// Driven by the shared option-spec table (api::design_option_specs), so the
+// CLI flags, the NDJSON "design" object, and DesignOptions::set share one
+// keyspace: adding a knob to the table adds it to every surface at once.
 api::DesignOptions design_options(const Args& a) {
   api::DesignOptions d;
-  for (const char* key : {"m2", "m3", "tc", "tl", "bd", "rdl", "scale"}) {
-    if (const auto v = a.get(std::string("--") + key)) {
-      const core::Status st = d.set(key, std::string_view(*v));
+  for (const api::OptionSpec& spec : api::design_option_specs()) {
+    const std::string flag = "--" + std::string(spec.key);
+    if (spec.kind == api::OptionKind::kFlag) {
+      if (a.has_flag(flag)) {
+        const core::Status st = api::set_option(&d, spec.key, true);
+        if (!st.is_ok()) usage(st.message());
+      }
+    } else if (const auto v = a.get(flag)) {
+      const core::Status st = api::set_option(&d, spec.key, std::string_view(*v));
       if (!st.is_ok()) usage(st.message());
     }
   }
-  if (a.has_flag("--wb")) (void)d.set_flag("wb");
-  if (a.has_flag("--dedicated")) (void)d.set_flag("dedicated");
-  if (a.has_flag("--no-align")) (void)d.set_flag("no-align");
   return d;
 }
 
@@ -467,7 +478,7 @@ bool facade_operation(const std::string& command, api::Operation* out) {
 }
 
 int run_facade(const Args& a, api::Operation op, core::BenchmarkKind kind,
-               core::Benchmark benchmark) {
+               core::Benchmark benchmark, obs::RunReportOptions* report_opts) {
   api::EvaluateRequest req;
   req.benchmark = kind;
   req.op = op;
@@ -484,6 +495,9 @@ int run_facade(const Args& a, api::Operation op, core::BenchmarkKind kind,
   api::Session session;
   session.install(kind, std::move(benchmark));
   const api::EvaluateResult result = session.evaluate(req);
+  // Schema v6: record the canonical request fingerprint so two reports can be
+  // matched as "same evaluation" without replaying the command line.
+  report_opts->fingerprint = result.fingerprint;
   std::cout << result.output;
   return result.exit_code;
 }
@@ -518,6 +532,8 @@ int cmd_serve(const Args& a, obs::RunReportOptions* report_opts) {
       static_cast<std::uint64_t>(get_int(a, "--max-cost", 0, 0, 1000000000));
   cfg.watchdog_ms = get_double(a, "--watchdog", 0.0, 0.0, 1e9);
   cfg.slow_request_ms = get_double(a, "--slow-ms", 0.0, 0.0, 1e9);
+  cfg.cache_entries = static_cast<std::size_t>(get_int(a, "--cache-entries", 256, 0, 100000000));
+  cfg.cache_bypass = a.has_flag("--cache-bypass");
 
   api::Session session;
   if (const auto tech_path = a.get("--tech")) {
@@ -679,7 +695,7 @@ int main(int argc, char** argv) {
     if (rc == kExitOk) {
       api::Operation op{};
       if (facade_operation(args.command, &op)) {
-        rc = run_facade(args, op, kind, std::move(benchmark));
+        rc = run_facade(args, op, kind, std::move(benchmark), &report_opts);
       } else {
         core::Platform platform(std::move(benchmark));
         try {
