@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a pdn3d --report JSON file against run-report schema v6.
+"""Validate a pdn3d --report JSON file against run-report schema v7.
 
 Stdlib-only so it can run anywhere the repo builds. Exits 0 when the report
 conforms, 1 with a list of problems otherwise. The schema is documented in
@@ -19,6 +19,8 @@ v6 added the optional top-level "fingerprint" key (canonical request
 fingerprint, facade commands only), the session "cache" sub-object
 (result-cache stats), and per-request "fingerprint"/"cache" keys under
 session.requests.
+v7 added the "macromodel" sub-object to "solver": hierarchical-tier reuse
+statistics (builds, reuses, woodbury_updates, fallbacks).
 
 Usage: check_report_schema.py report.json [report2.json ...]
 """
@@ -27,7 +29,7 @@ import json
 import numbers
 import sys
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 # key -> allowed python types for the documented top-level fields.
 TOP_LEVEL = {
@@ -71,6 +73,7 @@ SOLVER_KEYS = {
     "rung_attempts": dict,
     "rung_failures": dict,
     "factor": dict,
+    "macromodel": dict,
 }
 
 FACTOR_KEYS = {
@@ -79,6 +82,14 @@ FACTOR_KEYS = {
     "cache_hits": numbers.Number,
     "fill_ratio": numbers.Number,
     "nnz": numbers.Number,
+}
+
+# v7: the hierarchical-tier block inside the solver block.
+MACROMODEL_KEYS = {
+    "builds": numbers.Number,
+    "reuses": numbers.Number,
+    "woodbury_updates": numbers.Number,
+    "fallbacks": numbers.Number,
 }
 
 # v4: the `pdn3d serve` session block (optional; one-shot commands omit it).
@@ -182,6 +193,12 @@ def check_report(report):
     check_block(errors, report["solver"], SOLVER_KEYS, "solver")
     if isinstance(report["solver"], dict) and isinstance(report["solver"].get("factor"), dict):
         check_block(errors, report["solver"]["factor"], FACTOR_KEYS, "solver.factor")
+    if isinstance(report["solver"], dict) and isinstance(
+        report["solver"].get("macromodel"), dict
+    ):
+        check_block(
+            errors, report["solver"]["macromodel"], MACROMODEL_KEYS, "solver.macromodel"
+        )
 
     for i, row in enumerate(report["spans"]):
         check_block(errors, row, SPAN_ROW_KEYS, f"spans[{i}]")

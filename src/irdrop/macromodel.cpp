@@ -1,0 +1,41 @@
+#include "irdrop/macromodel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pdn3d::irdrop {
+
+std::vector<int> stack_partition(const pdn::StackModel& model) {
+  // Die codes present, ascending (package -2, logic -1, DRAM 0..n-1), mapped
+  // to contiguous block ids.
+  std::vector<int> dies;
+  for (const auto& grid : model.grids()) {
+    if (std::find(dies.begin(), dies.end(), grid.die) == dies.end()) dies.push_back(grid.die);
+  }
+  std::sort(dies.begin(), dies.end());
+
+  std::vector<int> block_of(model.node_count(), -1);
+  for (const auto& grid : model.grids()) {
+    const int block = static_cast<int>(
+        std::lower_bound(dies.begin(), dies.end(), grid.die) - dies.begin());
+    for (std::size_t i = 0; i < grid.size(); ++i) block_of[grid.base + i] = block;
+  }
+  for (const int b : block_of) {
+    if (b < 0) throw std::logic_error("stack_partition: node outside every layer grid");
+  }
+  return block_of;
+}
+
+std::shared_ptr<const linalg::SchurMacromodel> MacromodelContext::base_for(
+    std::size_t dimension) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = bases_.find(dimension);
+  return it == bases_.end() ? nullptr : it->second;
+}
+
+void MacromodelContext::register_base(std::shared_ptr<const linalg::SchurMacromodel> base) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  bases_[base->dimension()] = std::move(base);
+}
+
+}  // namespace pdn3d::irdrop

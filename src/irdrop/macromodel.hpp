@@ -1,0 +1,70 @@
+#pragma once
+
+/// @file macromodel.hpp
+/// @brief Stack partitioning and the shared reuse context of the hierarchical
+/// (Schur macromodel) solver tier.
+///
+/// The tier lives in linalg/schur.hpp; this file supplies what it needs from
+/// the pdn side: the per-die node partition of a StackModel, and a
+/// MacromodelContext -- the process/platform-shared state that makes the tier
+/// pay off across design points. The context holds the fingerprint-keyed
+/// SchurBlockCache (identical dies rebuild nothing, within one stack or
+/// across sweep neighbors) and a registry of base macromodels so a design
+/// delta that touches only a few nodes (TSV count/placement, one die's metal
+/// usage) rides a WoodburyUpdate on a neighbor's factorizations instead of
+/// refactoring anything.
+///
+/// Thread-safety: MacromodelContext is internally synchronized; one context
+/// is shared by all of a Platform's evaluation contexts.
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "linalg/schur.hpp"
+#include "pdn/stack_model.hpp"
+
+namespace pdn3d::irdrop {
+
+/// Per-node block ids (contiguous from 0) partitioning a stack by die:
+/// package plane, logic die, and each DRAM die get one block each, in
+/// die-code order. This is the partition SchurMacromodel eliminates --
+/// cross-block elements are exactly the TSV/C4/F2F/bond interfaces.
+[[nodiscard]] std::vector<int> stack_partition(const pdn::StackModel& model);
+
+/// Shared reuse state of the hierarchical tier. Solvers of one sweep (or one
+/// Platform) point at a common context through IrSolverOptions; everything
+/// here is keyed by content fingerprints, so sharing is safe across designs.
+class MacromodelContext {
+ public:
+  /// Fingerprint-keyed per-die elimination blocks (see SchurBlockCache).
+  [[nodiscard]] linalg::SchurBlockCache& blocks() { return blocks_; }
+  [[nodiscard]] const linalg::SchurBlockCache& blocks() const { return blocks_; }
+
+  /// Guards forwarded to every macromodel built through this context.
+  [[nodiscard]] linalg::SchurOptions& options() { return options_; }
+
+  /// The registered base macromodel for meshes of @p dimension nodes, or
+  /// null. Sweep neighbors of the same mesh size try a Woodbury overlay on
+  /// this before building their own.
+  [[nodiscard]] std::shared_ptr<const linalg::SchurMacromodel> base_for(
+      std::size_t dimension) const;
+
+  /// Register @p base as the Woodbury anchor for its dimension (latest
+  /// registration wins). Only explicit anchor preparation calls this
+  /// (Platform::prepare_sweep before the workers start) -- solvers never
+  /// auto-register the macromodels they build, so which anchor a sweep point
+  /// sees is independent of worker arrival order and results stay bitwise
+  /// identical at any thread count.
+  void register_base(std::shared_ptr<const linalg::SchurMacromodel> base);
+
+ private:
+  linalg::SchurBlockCache blocks_;
+  linalg::SchurOptions options_;
+  mutable std::mutex mutex_;
+  std::map<std::size_t, std::shared_ptr<const linalg::SchurMacromodel>> bases_;
+};
+
+}  // namespace pdn3d::irdrop

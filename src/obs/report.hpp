@@ -33,7 +33,9 @@ namespace pdn3d::obs {
 ///     fingerprint of the evaluated request, facade commands only); the
 ///     session block gained the "cache" sub-object (result-cache stats) and
 ///     session requests gained "fingerprint" and "cache" keys.
-inline constexpr int kReportSchemaVersion = 6;
+/// v7: added the "macromodel" sub-object to the "solver" block (hierarchical
+///     tier reuse statistics: builds, reuses, woodbury_updates, fallbacks).
+inline constexpr int kReportSchemaVersion = 7;
 
 struct RunReportOptions {
   std::string command;            ///< CLI command ("analyze", "profile", ...)

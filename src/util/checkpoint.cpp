@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/fnv.hpp"
+
 namespace pdn3d::util {
 
 namespace {
@@ -52,14 +54,7 @@ std::string one_line(std::string message) {
 
 }  // namespace
 
-std::uint64_t checkpoint_key(std::string_view canonical) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const char c : canonical) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
+std::uint64_t checkpoint_key(std::string_view canonical) { return fnv1a(canonical); }
 
 SweepCheckpoint::SweepCheckpoint(std::string path, std::uint64_t key, std::uint64_t total)
     : path_(std::move(path)), key_(key), total_(total) {}

@@ -1,0 +1,314 @@
+#include "irdrop/macromodel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/benchmarks.hpp"
+#include "core/platform.hpp"
+#include "irdrop/solver.hpp"
+#include "obs/metrics.hpp"
+#include "opt/cooptimizer.hpp"
+#include "pdn/stack_builder.hpp"
+
+namespace pdn3d::irdrop {
+namespace {
+
+/// Deterministic value stream in [lo, hi].
+class ValueStream {
+ public:
+  explicit ValueStream(std::uint64_t seed) : state_(seed) {}
+  double next(double lo, double hi) {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double u = static_cast<double>((state_ >> 33) & 0xFFFFFF) / static_cast<double>(0xFFFFFF);
+    return lo + (hi - lo) * u;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+struct TestStack {
+  pdn::StackModel model;
+  std::vector<std::size_t> tsv_indices;   ///< resistor indices of inter-die TSVs
+  std::vector<std::size_t> mesh_indices;  ///< resistor indices of die-interior elements
+};
+
+/// A randomized multi-die stack: `dies` DRAM dies of nx-by-ny device grids,
+/// four corner TSVs per interface, taps on die 0 -- the macromodel's target
+/// shape at hand-checkable size.
+TestStack stacked_mesh(int dies, int nx, int ny, std::uint64_t seed) {
+  TestStack out;
+  out.model = pdn::StackModel(1.2);
+  ValueStream vs(seed);
+  std::vector<pdn::LayerGrid> grids;
+  for (int d = 0; d < dies; ++d) {
+    pdn::LayerGrid g;
+    g.die = d;
+    g.layer = 0;
+    g.nx = nx;
+    g.ny = ny;
+    g.dx = g.dy = 1.0;
+    out.model.add_grid(g);
+    grids.push_back(out.model.grids().back());  // base assigned by add_grid
+  }
+  out.model.set_dram_die_count(dies);
+  for (int d = 0; d < dies; ++d) {
+    const pdn::LayerGrid& g = grids[static_cast<std::size_t>(d)];
+    for (int j = 0; j < ny; ++j) {
+      for (int i = 0; i < nx; ++i) {
+        if (i + 1 < nx) {
+          out.mesh_indices.push_back(out.model.resistors().size());
+          out.model.add_resistor(g.node(i, j), g.node(i + 1, j), vs.next(0.3, 0.9));
+        }
+        if (j + 1 < ny) {
+          out.mesh_indices.push_back(out.model.resistors().size());
+          out.model.add_resistor(g.node(i, j), g.node(i, j + 1), vs.next(0.3, 0.9));
+        }
+      }
+    }
+  }
+  for (int d = 0; d + 1 < dies; ++d) {
+    const pdn::LayerGrid& lo = grids[static_cast<std::size_t>(d)];
+    const pdn::LayerGrid& hi = grids[static_cast<std::size_t>(d) + 1];
+    for (const auto [i, j] : {std::pair{0, 0}, std::pair{nx - 1, 0}, std::pair{0, ny - 1},
+                              std::pair{nx - 1, ny - 1}}) {
+      out.tsv_indices.push_back(out.model.resistors().size());
+      out.model.add_resistor(lo.node(i, j), hi.node(i, j), 0.45, pdn::ElementKind::kTsv);
+    }
+  }
+  out.model.add_tap(grids[0].node(0, 0), 0.15);
+  out.model.add_tap(grids[0].node(nx - 1, ny - 1), 0.15);
+  return out;
+}
+
+std::vector<double> sinks_for(std::size_t n, std::uint64_t seed) {
+  ValueStream vs(seed);
+  std::vector<double> s(n);
+  for (double& v : s) v = vs.next(0.0, 0.02);
+  return s;
+}
+
+std::vector<double> solve_with(const pdn::StackModel& model, SolverKind kind,
+                               std::span<const double> sinks, IrSolverOptions options = {}) {
+  const IrSolver solver(model, kind, std::move(options));
+  const SolveOutcome outcome = solver.solve(SolveRequest{.sinks = sinks});
+  EXPECT_TRUE(outcome.ok()) << outcome.status.to_string();
+  EXPECT_EQ(outcome.kind_used, kind);
+  return outcome.x;
+}
+
+double max_abs_diff(std::span<const double> x, std::span<const double> y) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) worst = std::max(worst, std::abs(x[i] - y[i]));
+  return worst;
+}
+
+TEST(StackPartition, OneBlockPerDieCoveringEveryNode) {
+  const auto bench = core::make_benchmark(core::BenchmarkKind::kWideIo);
+  const auto built = pdn::build_stack(bench.stack, bench.baseline);
+  const auto part = stack_partition(built.model);
+  ASSERT_EQ(part.size(), built.model.node_count());
+
+  std::set<int> dies;
+  for (const auto& g : built.model.grids()) dies.insert(g.die);
+  std::set<int> blocks(part.begin(), part.end());
+  EXPECT_EQ(blocks.size(), dies.size());  // one block per die code
+  // Contiguous ids from 0.
+  EXPECT_EQ(*blocks.begin(), 0);
+  EXPECT_EQ(*blocks.rbegin(), static_cast<int>(dies.size()) - 1);
+
+  // Within one grid, every node belongs to one block.
+  for (const auto& g : built.model.grids()) {
+    for (std::size_t i = g.base; i < g.base + g.size(); ++i) {
+      EXPECT_EQ(part[i], part[g.base]) << "grid " << g.name << " node " << i;
+    }
+  }
+}
+
+TEST(HierTier, MatchesSparseDirectOnRandomizedStacks) {
+  for (const std::uint64_t seed : {3ULL, 59ULL, 127ULL}) {
+    const int dies = 3 + static_cast<int>(seed % 2);
+    const TestStack ts = stacked_mesh(dies, 5, 4, seed);
+    const auto sinks = sinks_for(ts.model.node_count(), seed * 13);
+    const auto macro = solve_with(ts.model, SolverKind::kMacromodel, sinks);
+    const auto direct = solve_with(ts.model, SolverKind::kSparseDirect, sinks);
+    EXPECT_LT(max_abs_diff(macro, direct), 1e-10) << "seed " << seed;
+  }
+}
+
+TEST(HierTier, MatchesSparseDirectOnWideIo) {
+  const auto bench = core::make_benchmark(core::BenchmarkKind::kWideIo);
+  const auto built = pdn::build_stack(bench.stack, bench.baseline);
+  const auto sinks = sinks_for(built.model.node_count(), 17);
+  const auto macro = solve_with(built.model, SolverKind::kMacromodel, sinks);
+  const auto direct = solve_with(built.model, SolverKind::kSparseDirect, sinks);
+  EXPECT_LT(max_abs_diff(macro, direct), 1e-10);
+}
+
+TEST(HierTier, WoodburyOverlayMatchesSparseDirect) {
+  auto& m_updates = obs::counter("solver.macromodel.woodbury_updates");
+  const TestStack ts = stacked_mesh(4, 5, 4, 71);
+  auto ctx = std::make_shared<MacromodelContext>();
+  IrSolverOptions options;
+  options.macromodel = ctx;
+
+  // Anchor the context on the unperturbed design, as prepare_sweep would.
+  const IrSolver anchor(ts.model, SolverKind::kMacromodel, options);
+  ASSERT_TRUE(anchor.macromodel_available());
+  ctx->register_base(anchor.macromodel_base());
+
+  // A TSV-resistance delta: the classic small-rank sweep neighbor.
+  pdn::StackModel perturbed = ts.model;
+  perturbed.perturb_resistor(ts.tsv_indices[1], 0.55);
+  perturbed.perturb_resistor(ts.tsv_indices[2], 0.62);
+
+  const auto u0 = m_updates.value();
+  const auto sinks = sinks_for(perturbed.node_count(), 29);
+  const auto macro = solve_with(perturbed, SolverKind::kMacromodel, sinks, options);
+  EXPECT_EQ(m_updates.value(), u0 + 1);  // rode the overlay, no refactorization
+  const auto direct = solve_with(perturbed, SolverKind::kSparseDirect, sinks);
+  EXPECT_LT(max_abs_diff(macro, direct), 1e-10);
+}
+
+TEST(HierTier, GuardDeclineFallsThroughCleanly) {
+  auto& m_fallbacks = obs::counter("solver.macromodel.fallbacks");
+  // A single-die mesh has a one-block partition: the macromodel guard
+  // declines it (nothing to eliminate hierarchically) and the ladder must
+  // recover on sparse-direct, invisibly to the caller.
+  const TestStack ts = stacked_mesh(1, 6, 5, 41);
+  const IrSolver solver(ts.model, SolverKind::kMacromodel);
+  const auto f0 = m_fallbacks.value();
+  const auto sinks = sinks_for(ts.model.node_count(), 7);
+  const SolveOutcome outcome = solver.solve(SolveRequest{.sinks = sinks});
+
+  ASSERT_TRUE(outcome.ok()) << outcome.status.to_string();
+  EXPECT_EQ(outcome.kind_used, SolverKind::kSparseDirect);
+  EXPECT_GE(outcome.escalations, 1u);
+  EXPECT_FALSE(solver.macromodel_available());
+  EXPECT_EQ(solver.telemetry().rung_attempts[0].load(), 1u);
+  EXPECT_EQ(solver.telemetry().rung_failures[0].load(), 1u);
+  EXPECT_EQ(m_fallbacks.value(), f0 + 1);
+
+  // The recovered answer is the sparse-direct answer, bitwise.
+  const auto direct = solve_with(ts.model, SolverKind::kSparseDirect, sinks);
+  EXPECT_EQ(outcome.x, direct);
+}
+
+TEST(HierTier, NonSpdStackNeverReachesTheTier) {
+  // Defense in depth: a planted negative resistance (the classic non-SPD die
+  // block) is refused by the matrix assembly's own stamping guard even with
+  // validation opted out, so no rung -- macromodel included -- can ever see a
+  // non-SPD stack matrix. The rung's own behavior on a non-SPD block matrix
+  // is covered at the linalg layer (SchurMacromodel.NonSpdBlockDeclines).
+  TestStack ts = stacked_mesh(3, 5, 4, 41);
+  ts.model.perturb_resistor(ts.mesh_indices[4], -0.05);
+  IrSolverOptions options;
+  options.validate = false;
+  EXPECT_THROW(IrSolver(ts.model, SolverKind::kMacromodel, options), std::invalid_argument);
+}
+
+TEST(HierTier, WoodburyRankCapFallsBackToFreshBuildNotGarbage) {
+  auto& m_builds = obs::counter("solver.macromodel.builds");
+  const TestStack ts = stacked_mesh(3, 5, 4, 97);
+  auto ctx = std::make_shared<MacromodelContext>();
+  IrSolverOptions options;
+  options.macromodel = ctx;
+  options.woodbury_max_rank = 1;  // every real delta is "too large"
+
+  const IrSolver anchor(ts.model, SolverKind::kMacromodel, options);
+  ASSERT_TRUE(anchor.macromodel_available());
+  ctx->register_base(anchor.macromodel_base());
+
+  pdn::StackModel perturbed = ts.model;
+  perturbed.perturb_resistor(ts.tsv_indices[0], 0.5);  // touches 2 nodes > cap
+
+  const auto b0 = m_builds.value();
+  const auto sinks = sinks_for(perturbed.node_count(), 61);
+  const auto macro = solve_with(perturbed, SolverKind::kMacromodel, sinks, options);
+  EXPECT_EQ(m_builds.value(), b0 + 1);  // fresh build, not a forced overlay
+  const auto direct = solve_with(perturbed, SolverKind::kSparseDirect, sinks);
+  EXPECT_LT(max_abs_diff(macro, direct), 1e-10);
+}
+
+TEST(MacromodelConcurrency, SharedContextSolvesBitwiseEqualAcrossThreads) {
+  const TestStack ts = stacked_mesh(4, 5, 4, 19);
+  auto ctx = std::make_shared<MacromodelContext>();
+  IrSolverOptions options;
+  options.macromodel = ctx;
+
+  const IrSolver anchor(ts.model, SolverKind::kMacromodel, options);
+  ASSERT_TRUE(anchor.macromodel_available());
+  ctx->register_base(anchor.macromodel_base());
+
+  // Four sweep neighbors of the anchor (distinct TSV deltas).
+  std::vector<pdn::StackModel> variants;
+  for (std::size_t v = 0; v < 4; ++v) {
+    variants.push_back(ts.model);
+    variants.back().perturb_resistor(ts.tsv_indices[v], 0.45 + 0.05 * static_cast<double>(v + 1));
+  }
+  const auto sinks = sinks_for(ts.model.node_count(), 23);
+
+  // Serial reference, through the same (already-anchored) context.
+  std::vector<std::vector<double>> expected;
+  for (const auto& m : variants) {
+    expected.push_back(solve_with(m, SolverKind::kMacromodel, sinks, options));
+  }
+
+  // Worker threads race solver construction (shared block cache + anchor
+  // lookup) and solves; every result must be bitwise the serial one.
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(8, 0);
+  for (std::size_t t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t v = 0; v < variants.size(); ++v) {
+        const IrSolver solver(variants[(v + t) % variants.size()], SolverKind::kMacromodel,
+                              options);
+        const SolveOutcome outcome = solver.solve(SolveRequest{.sinks = sinks});
+        if (!outcome.ok() || outcome.kind_used != SolverKind::kMacromodel ||
+            outcome.x != expected[(v + t) % variants.size()]) {
+          ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t t = 0; t < 8; ++t) EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+}
+
+TEST(MacromodelConcurrency, CoOptimizerWinnerBitwiseEqualAcrossThreadCounts) {
+  // The tier's headline determinism contract: with the hierarchical tier on,
+  // the co-optimizer's sampled fits and re-measured winner are bitwise
+  // identical at --threads 1 and --threads 8.
+  opt::DesignSpace space;
+  space.tsv_locations = {pdn::TsvLocation::kCenter};
+  space.dedicated_options = {false};
+  space.bonding_options = {pdn::BondingStyle::kF2B};
+  space.rdl_options = {pdn::RdlMode::kNone};
+  space.wirebond_options = {false};
+  space.m2_samples = {0.12, 0.15, 0.18};
+  space.m3_samples = {0.15, 0.22, 0.30};
+  space.tc_samples = {40, 80};
+
+  const auto run = [&space](int threads) {
+    core::Platform platform(core::make_benchmark(core::BenchmarkKind::kStackedDdr3OffChip));
+    platform.set_hierarchical_tier(true);
+    opt::CoOptimizer co(space, std::make_unique<core::PlatformEvaluator>(platform), threads);
+    return co.optimize(0.5);
+  };
+  const opt::Optimum serial = run(1);
+  const opt::Optimum threaded = run(8);
+
+  EXPECT_EQ(serial.config.summary(), threaded.config.summary());
+  EXPECT_EQ(serial.measured_ir_mv, threaded.measured_ir_mv);  // bitwise
+  EXPECT_EQ(serial.predicted_ir_mv, threaded.predicted_ir_mv);
+  EXPECT_EQ(serial.cost, threaded.cost);
+  EXPECT_EQ(serial.objective, threaded.objective);
+}
+
+}  // namespace
+}  // namespace pdn3d::irdrop

@@ -72,6 +72,46 @@ TEST(Dense, LuRejectsSingular) {
   EXPECT_THROW(solve_lu(a, std::vector<double>{1.0, 1.0}), std::runtime_error);
 }
 
+TEST(DenseLu, FactorOnceSolvesRepeatedly) {
+  DenseMatrix a(3, 3);
+  a(0, 1) = 2.0;  // zero pivot at (0,0) forces a row swap
+  a(0, 2) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 3.0;
+  const DenseLu lu(a);
+  for (const double scale : {1.0, -2.5, 0.25}) {
+    const auto b = a.multiply(std::vector<double>{scale, 2.0 * scale, 3.0 * scale});
+    std::vector<double> x(3, 0.0);
+    lu.solve(b, x);
+    EXPECT_NEAR(x[0], scale, 1e-12);
+    EXPECT_NEAR(x[1], 2.0 * scale, 1e-12);
+    EXPECT_NEAR(x[2], 3.0 * scale, 1e-12);
+  }
+}
+
+TEST(DenseLu, SolveAllowsAliasedBuffers) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 2.0;
+  const DenseLu lu(a);
+  std::vector<double> bx = a.multiply(std::vector<double>{4.0, -1.0});
+  lu.solve(bx, bx);
+  EXPECT_NEAR(bx[0], 4.0, 1e-12);
+  EXPECT_NEAR(bx[1], -1.0, 1e-12);
+}
+
+TEST(DenseLu, ConstructionRejectsSingular) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;  // rank 1 -- the Woodbury rank-deficient capture case
+  EXPECT_THROW(DenseLu{a}, std::runtime_error);
+}
+
 TEST(Dense, SizeMismatchThrows) {
   DenseMatrix a(2, 2);
   a(0, 0) = a(1, 1) = 1.0;
