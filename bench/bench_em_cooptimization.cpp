@@ -1,0 +1,100 @@
+// Table 9, EM-aware variant: co-optimization under a hard electromigration
+// constraint (docs/EM.md). The HMC lowest-cost (alpha = 0) optimum is
+// searched twice over the same fitted models -- once unconstrained (the
+// paper's Table 9 row) and once with a TSV current-density limit the
+// metal-starved cheapest corner violates, attached as a CoOptimizer hard
+// constraint. The constrained search must exclude every EM-violating
+// candidate (they show up as typed SkippedPoints) and land on a winner whose
+// re-measured branch currents pass the limit -- EM margin is bought with
+// more M2 metal, the paper's co-optimization story with a lifetime axis.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/platform.hpp"
+#include "cost/cost_model.hpp"
+#include "irdrop/em.hpp"
+#include "opt/cooptimizer.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+/// TSV current density (MA/cm^2) and fleet-worst MTTF of a design point.
+struct EmSummary {
+  double tsv_j = 0.0;
+  double mttf_hours = 0.0;
+  bool clean = true;
+};
+
+EmSummary summarize(pdn3d::core::Platform& platform, const pdn3d::pdn::PdnConfig& config,
+                    const pdn3d::irdrop::EmOptions& em) {
+  const pdn3d::irdrop::EmReport rep = platform.measure_em(config, em);
+  EmSummary s;
+  if (const auto* tsv = rep.find(pdn3d::pdn::ElementKind::kTsv)) s.tsv_j = tsv->max_j_ma_cm2;
+  s.mttf_hours = rep.min_mttf_hours;
+  s.clean = rep.clean();
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pdn3d;
+  bench::print_header("Table 9 / EM",
+                      "Co-optimized HMC optimum under a hard EM constraint");
+
+  // Sited between the cheapest corner's TSV density (~0.358 MA/cm^2 -- the
+  // metal-starved M2=10% design crowds its TSVs) and its M2=11% sibling
+  // (~0.344): the unconstrained optimum violates, a nearby design clears.
+  irdrop::EmOptions em;
+  em.tsv_limit_ma_cm2 = 0.35;
+  const double alpha = 0.0;
+
+  core::Platform platform(core::make_benchmark(core::BenchmarkKind::kHmc));
+  const auto& b = platform.benchmark();
+  std::cout << "--- " << b.name << " (alpha " << util::fmt_fixed(alpha, 1) << ", TSV limit "
+            << util::fmt_fixed(*em.tsv_limit_ma_cm2, 3) << " MA/cm^2) ---\n";
+
+  util::Timer timer;
+  auto optimizer = platform.make_cooptimizer();
+  optimizer.fit_models();
+
+  util::Table t({"constraint", "M2%", "M3%", "TC", "TL", "BD", "RL", "WB",
+                 "R-Mesh IR (mV)", "cost", "TSV J (MA/cm^2)", "min MTTF (h)", "EM clean"});
+  const auto add_row = [&](const char* label, const opt::Optimum& best) {
+    const auto& c = best.config;
+    const EmSummary s = summarize(platform, c, em);
+    t.add_row({label, util::fmt_fixed(c.m2_usage * 100.0, 0),
+               util::fmt_fixed(c.m3_usage * 100.0, 0), std::to_string(c.tsv_count),
+               pdn::to_string(c.tsv_location), pdn::to_string(c.bonding),
+               c.rdl != pdn::RdlMode::kNone ? "Y" : "N", c.wire_bonding ? "Y" : "N",
+               util::fmt_fixed(best.measured_ir_mv, 2), util::fmt_fixed(best.cost, 2),
+               util::fmt_fixed(s.tsv_j, 4), util::fmt_fixed(s.mttf_hours, 0),
+               s.clean ? "Y" : "N"});
+    return s;
+  };
+
+  const opt::Optimum unconstrained = optimizer.optimize(alpha);
+  const EmSummary before = add_row("none", unconstrained);
+
+  optimizer.set_constraint([&platform, &em](const pdn::PdnConfig& config) {
+    const irdrop::EmReport rep = platform.measure_em(config, em);
+    if (rep.clean()) return std::string{};
+    return "em-limit: " + std::to_string(rep.total_violations) + " violation(s)";
+  });
+  const opt::Optimum constrained = optimizer.optimize(alpha);
+  const EmSummary after = add_row("em", constrained);
+  std::cout << t.render();
+
+  std::size_t excluded = 0;
+  for (const auto& p : optimizer.skipped_points()) {
+    if (p.kind == opt::SkippedPoint::Kind::kConstraint) ++excluded;
+  }
+  std::cout << "candidate optima excluded by the EM constraint: " << excluded << "\n";
+  std::cout << "constrained winner is EM-clean: " << (after.clean ? "yes" : "NO (BUG)")
+            << "; unconstrained winner was " << (before.clean ? "clean" : "violating") << " ("
+            << util::fmt_fixed(timer.elapsed_seconds(), 1) << " s)\n\n";
+  std::cout << "takeaway: EM limits act as a hard feasibility wall, not a soft penalty --\n"
+            << "the optimizer walks to the next-best design rather than report a violator.\n\n";
+  return (after.clean && excluded > 0) ? 0 : 1;
+}

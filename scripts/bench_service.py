@@ -55,6 +55,11 @@ PARITY_CASES = [
         "cli": ["validate", "wide-io"],
         "req": {"op": "validate", "benchmark": "wide-io"},
     },
+    {
+        "cli": ["em-check", "wide-io", "--em-temp", "100"],
+        "req": {"op": "em-check", "benchmark": "wide-io",
+                "design": {"em-temp": 100}},
+    },
 ]
 
 # The soak's request mix: repeated designs so the session caches amortize,
@@ -69,6 +74,7 @@ SOAK_REQUESTS = [
     {"op": "evaluate", "benchmark": "wide-io", "cache": "bypass",
      "design": {"bd": "f2f"}},
     {"op": "validate", "benchmark": "wide-io"},
+    {"op": "em-check", "benchmark": "wide-io", "cache": "bypass"},
 ]
 
 # The cache soak's shared sweep: 4 designs x 8 memory states = 32 points,

@@ -56,6 +56,8 @@ REQUEST_MIX = [
     '{"id":%d,"op":"evaluate","benchmark":"off-chip","cache":"bypass"}',
     '{"id":%d,"op":"montecarlo","benchmark":"wide-io","samples":4}',
     '{"id":%d,"op":"validate","benchmark":"hmc"}',
+    '{"id":%d,"op":"em-check","benchmark":"wide-io"}',
+    '{"id":%d,"op":"em-check","benchmark":"wide-io","design":{"em-temp":100}}',
     'this is not json (id %d)',  # must come back as a typed bad_request
 ]
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate a pdn3d --report JSON file against run-report schema v7.
+"""Validate a pdn3d --report JSON file against run-report schema v8.
 
 Stdlib-only so it can run anywhere the repo builds. Exits 0 when the report
 conforms, 1 with a list of problems otherwise. The schema is documented in
@@ -21,6 +21,8 @@ fingerprint, facade commands only), the session "cache" sub-object
 session.requests.
 v7 added the "macromodel" sub-object to "solver": hierarchical-tier reuse
 statistics (builds, reuses, woodbury_updates, fallbacks).
+v8 added the "em" sub-object to "solver": electromigration pass statistics
+(checks, violations, worst_utilization, min_mttf_hours).
 
 Usage: check_report_schema.py report.json [report2.json ...]
 """
@@ -29,7 +31,7 @@ import json
 import numbers
 import sys
 
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 # key -> allowed python types for the documented top-level fields.
 TOP_LEVEL = {
@@ -74,6 +76,7 @@ SOLVER_KEYS = {
     "rung_failures": dict,
     "factor": dict,
     "macromodel": dict,
+    "em": dict,
 }
 
 FACTOR_KEYS = {
@@ -90,6 +93,14 @@ MACROMODEL_KEYS = {
     "reuses": numbers.Number,
     "woodbury_updates": numbers.Number,
     "fallbacks": numbers.Number,
+}
+
+# v8: the electromigration block inside the solver block.
+EM_KEYS = {
+    "checks": numbers.Number,
+    "violations": numbers.Number,
+    "worst_utilization": numbers.Number,
+    "min_mttf_hours": numbers.Number,
 }
 
 # v4: the `pdn3d serve` session block (optional; one-shot commands omit it).
@@ -199,6 +210,8 @@ def check_report(report):
         check_block(
             errors, report["solver"]["macromodel"], MACROMODEL_KEYS, "solver.macromodel"
         )
+    if isinstance(report["solver"], dict) and isinstance(report["solver"].get("em"), dict):
+        check_block(errors, report["solver"]["em"], EM_KEYS, "solver.em")
 
     for i, row in enumerate(report["spans"]):
         check_block(errors, row, SPAN_ROW_KEYS, f"spans[{i}]")

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cost/cost_model.hpp"
+#include "irdrop/em.hpp"
 #include "irdrop/lut.hpp"
 #include "irdrop/montecarlo.hpp"
 #include "opt/cooptimizer.hpp"
@@ -38,6 +39,65 @@ std::string canonical_double(double value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", value);
   return buf;
+}
+
+// Compact rendering for quantities spanning many decades (MTTF hours).
+std::string fmt_general(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g", value);
+  return buf;
+}
+
+irdrop::EmOptions em_options(const DesignOptions& design) {
+  irdrop::EmOptions o;
+  o.wire_limit_ma_cm2 = design.em_wire_limit;
+  o.tsv_limit_ma_cm2 = design.em_tsv_limit;
+  o.temperature_c = design.em_temp_c;
+  return o;
+}
+
+/// The one shared renderer for per-kind branch-current statistics: analyze's
+/// EM-enabled crowding block and em-check's current block both go through
+/// here, so the two operations cannot drift apart.
+void render_current_block(const irdrop::EmReport& rep, std::ostream& os) {
+  os << "branch currents @ " << util::fmt_fixed(rep.temperature_c, 1) << " C:\n";
+  util::Table t({"kind", "count", "max (mA)", "avg (mA)", "crowding", "max J (MA/cm^2)",
+                 "limit", "util %", "MTTF (h)"});
+  for (const auto& k : rep.kinds) {
+    t.add_row({pdn::to_string(k.kind), std::to_string(k.current.count),
+               util::fmt_fixed(k.current.max_amps * 1e3, 3),
+               util::fmt_fixed(k.current.avg_amps * 1e3, 3),
+               util::fmt_fixed(k.current.crowding_factor(), 2),
+               util::fmt_fixed(k.max_j_ma_cm2, 4), util::fmt_fixed(k.limit_ma_cm2, 2),
+               util::fmt_fixed(k.utilization() * 100.0, 1),
+               k.mttf_hours > 0.0 ? fmt_general(k.mttf_hours) : "-"});
+  }
+  os << t.render();
+  os << "EM check : ";
+  if (rep.clean()) {
+    os << "CLEAN";
+  } else {
+    os << rep.total_violations << " VIOLATION(S)";
+  }
+  os << " (worst utilization " << util::fmt_fixed(rep.worst_utilization * 100.0, 1)
+     << "% of limit, min MTTF " << fmt_general(rep.min_mttf_hours) << " h)\n";
+}
+
+/// Empty when @p rep is clean; otherwise the co-optimizer constraint reason
+/// naming the worst-violating element kind.
+std::string em_violation_reason(const irdrop::EmReport& rep) {
+  if (rep.clean()) return {};
+  const irdrop::EmKindStats* worst = nullptr;
+  for (const auto& k : rep.kinds) {
+    if (k.violations == 0) continue;
+    if (worst == nullptr || k.utilization() > worst->utilization()) worst = &k;
+  }
+  std::ostringstream os;
+  os << "em-limit: " << pdn::to_string(worst->kind) << " J "
+     << util::fmt_fixed(worst->max_j_ma_cm2, 4) << " > limit "
+     << util::fmt_fixed(worst->limit_ma_cm2, 4) << " MA/cm^2 (" << rep.total_violations
+     << " violation(s) total)";
+  return os.str();
 }
 
 /// Open the request's sweep checkpoint, keyed by the request's canonical
@@ -88,6 +148,34 @@ void render_evaluate(const core::Platform& p, const EvaluateRequest& request, st
   const auto parsed = p.parse_state(state, request.activity);
   const auto r = p.analyze(cfg, parsed);
   render_evaluate_result(cfg, state, parsed, r, os, result);
+  if (request.design.em_enabled()) {
+    const auto rep = p.em_check(cfg, parsed, em_options(request.design));
+    render_current_block(rep, os);
+    if (request.design.em_enforce && !rep.clean()) {
+      result->status = core::Status::numerical_failure(
+          std::to_string(rep.total_violations) + " EM limit violation(s)");
+    }
+  }
+}
+
+void render_em_check(const core::Platform& p, const EvaluateRequest& request, std::ostream& os,
+                     EvaluateResult* result) {
+  const auto cfg = request.design.apply(p.benchmark().baseline);
+  const std::string state =
+      request.state.empty() ? p.benchmark().default_state : request.state;
+  const auto parsed = p.parse_state(state, request.activity);
+  const auto ir = p.analyze(cfg, parsed);
+  os << "design : " << cfg.summary() << "\n";
+  os << "state  : " << state << " @ activity " << util::fmt_fixed(parsed.io_activity, 2)
+     << "\n";
+  const auto rep = p.em_check(cfg, parsed, em_options(request.design));
+  render_current_block(rep, os);
+  os << "max DRAM IR drop : " << util::fmt_fixed(ir.dram_max_mv, 2) << " mV\n";
+  result->headline_mv = ir.dram_max_mv;
+  if (request.design.em_enforce && !rep.clean()) {
+    result->status = core::Status::numerical_failure(
+        std::to_string(rep.total_violations) + " EM limit violation(s)");
+  }
 }
 
 void render_lut(const core::Platform& p, const EvaluateRequest& request, std::ostream& os,
@@ -174,6 +262,22 @@ void render_cooptimize(const core::Platform& p, const EvaluateRequest& request,
   // re-measure retries), but the enumeration order is deterministic.
   const auto ckpt = open_checkpoint(request, "", 0);
   if (ckpt != nullptr) opt.set_checkpoint(ckpt.get());
+  if (request.design.em_enabled()) {
+    // Hard EM constraint: a cost/IR optimum that violates a current-density
+    // limit is excluded (typed SkippedPoint) and the search continues.
+    const auto& em_tech = p.benchmark().stack.tech.em;
+    const irdrop::EmOptions em = em_options(request.design);
+    os << "EM constraint: wire <= "
+       << fmt_general(em.wire_limit_ma_cm2.value_or(em_tech.wire_limit_ma_cm2))
+       << ", tsv <= "
+       << fmt_general(em.tsv_limit_ma_cm2.value_or(em_tech.tsv_limit_ma_cm2))
+       << " MA/cm^2 @ "
+       << util::fmt_fixed(em.temperature_c.value_or(em_tech.temperature_c), 1)
+       << " C (hard)\n";
+    opt.set_constraint([&p, em](const pdn::PdnConfig& cfg) {
+      return em_violation_reason(p.measure_em(cfg, em));
+    });
+  }
   os << "sampling the design space with the R-Mesh...\n";
   const auto best = opt.optimize(alpha);
   os << "alpha " << alpha << " optimum:\n";
@@ -184,7 +288,9 @@ void render_cooptimize(const core::Platform& p, const EvaluateRequest& request,
   os << "  fit     : worst RMSE " << util::fmt_fixed(opt.worst_rmse(), 3) << " mV, R^2 "
      << util::fmt_fixed(opt.worst_r_squared(), 4) << "\n";
   for (const auto& s : opt.skipped_points()) {
-    os << "  skipped : " << s.config.summary() << " -- " << s.reason << "\n";
+    const bool constrained = s.kind == opt::SkippedPoint::Kind::kConstraint;
+    os << (constrained ? "  excluded: " : "  skipped : ") << s.config.summary() << " -- "
+       << s.reason << "\n";
   }
   result->headline_mv = best.measured_ir_mv;
 }
@@ -262,6 +368,7 @@ const char* to_string(Operation op) {
     case Operation::kLut: return "lut";
     case Operation::kCoOptimize: return "cooptimize";
     case Operation::kValidate: return "validate";
+    case Operation::kEmCheck: return "em-check";
   }
   return "?";
 }
@@ -277,10 +384,12 @@ core::Status parse_operation(std::string_view text, Operation* out) {
     *out = Operation::kCoOptimize;
   } else if (text == "validate") {
     *out = Operation::kValidate;
+  } else if (text == "em-check") {
+    *out = Operation::kEmCheck;
   } else {
     return core::Status::invalid_argument(
         "unknown operation '" + std::string(text) +
-        "' (want evaluate | montecarlo | lut | cooptimize | validate)");
+        "' (want evaluate | montecarlo | lut | cooptimize | validate | em-check)");
   }
   return core::Status::ok();
 }
@@ -326,12 +435,28 @@ EvaluateRequest EvaluateRequest::canonicalize() const {
   // explores the benchmark's design space from its baseline and ignores the
   // request's design overrides entirely, so they are dropped there too.
   if (op != Operation::kCoOptimize) c.design = design;
-  if (op == Operation::kEvaluate) {
+  if (op == Operation::kEvaluate || op == Operation::kEmCheck) {
     c.state = state;
     c.activity = activity;
   }
   if (op == Operation::kMonteCarlo) c.samples = samples;
-  if (op == Operation::kCoOptimize) c.alpha = alpha;
+  if (op == Operation::kCoOptimize) {
+    c.alpha = alpha;
+    // cooptimize ignores the design overrides -- except the EM fields, which
+    // parameterize its hard constraint and therefore its output.
+    c.design.em_wire_limit = design.em_wire_limit;
+    c.design.em_tsv_limit = design.em_tsv_limit;
+    c.design.em_temp_c = design.em_temp_c;
+    c.design.em_enforce = design.em_enforce;
+  }
+  if (op == Operation::kMonteCarlo || op == Operation::kLut || op == Operation::kValidate) {
+    // These operations never run the EM pass; reset its knobs so they cannot
+    // split identical outputs into distinct identities.
+    c.design.em_wire_limit.reset();
+    c.design.em_tsv_limit.reset();
+    c.design.em_temp_c.reset();
+    c.design.em_enforce = false;
+  }
   // checkpoint_path / resume stay cleared: resume is bitwise identical to an
   // uninterrupted run, so checkpoint plumbing is not output-determining.
   return c;
@@ -339,7 +464,11 @@ EvaluateRequest EvaluateRequest::canonicalize() const {
 
 RequestFingerprint EvaluateRequest::fingerprint() const {
   const EvaluateRequest c = canonicalize();
-  std::string text = "pdn3d-req-v1";
+  // Requests that never touch the EM subsystem keep the historical v1 prefix
+  // (and, because canonical_text() only appends EM fields when set, their
+  // exact pre-EM canonical text and golden hashes). Anything EM-enabled is a
+  // new identity under the v2 prefix.
+  std::string text = c.design.em_enabled() ? "pdn3d-req-v2" : "pdn3d-req-v1";
   text += "|bench=";
   text += benchmark_token(c.benchmark);
   text += "|op=";
@@ -420,6 +549,7 @@ EvaluateResult Session::evaluate(const EvaluateRequest& request) const {
       case Operation::kLut: render_lut(p, request, os, &result); break;
       case Operation::kCoOptimize: render_cooptimize(p, request, os, &result); break;
       case Operation::kValidate: render_validate(p, request, os, &result); break;
+      case Operation::kEmCheck: render_em_check(p, request, os, &result); break;
     }
   } catch (const core::ValidationError& e) {
     os << "error: mesh validation failed:\n" << e.report().to_string() << "\n";
@@ -451,7 +581,7 @@ std::vector<EvaluateResult> Session::evaluate_group(
   bool batchable = requests.size() > 1;
   const std::string design_key = requests[0].design.canonical_text();
   for (const EvaluateRequest& r : requests) {
-    if (r.op != Operation::kEvaluate || !r.checkpoint_path.empty() ||
+    if (r.op != Operation::kEvaluate || r.design.em_enabled() || !r.checkpoint_path.empty() ||
         r.benchmark != requests[0].benchmark || !r.validate().is_ok() ||
         r.design.canonical_text() != design_key) {
       batchable = false;

@@ -50,6 +50,7 @@ enum class Operation {
   kLut,         ///< memory-state IR look-up table (CLI: lut)
   kCoOptimize,  ///< design+packaging co-optimization (CLI: cooptimize)
   kValidate,    ///< numerical-health check of the R-Mesh (CLI: validate)
+  kEmCheck,     ///< branch-current / electromigration check (CLI: em-check)
 };
 
 [[nodiscard]] const char* to_string(Operation op);

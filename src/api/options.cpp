@@ -134,12 +134,25 @@ core::Status DesignOptions::set(std::string_view key, double value) {
     metal_usage_scale = value;
     return core::Status::ok();
   }
+  if (key == "em-wire-limit" || key == "em-tsv-limit") {
+    const core::Status st = check_range(key, value, 1e-6, 10000.0);
+    if (!st.is_ok()) return st;
+    (key == "em-wire-limit" ? em_wire_limit : em_tsv_limit) = value;
+    return core::Status::ok();
+  }
+  if (key == "em-temp") {
+    const core::Status st = check_range(key, value, -55.0, 300.0);
+    if (!st.is_ok()) return st;
+    em_temp_c = value;
+    return core::Status::ok();
+  }
   return core::Status::invalid_argument("unknown numeric design option '" + std::string(key) +
                                         "'");
 }
 
 core::Status DesignOptions::set(std::string_view key, std::string_view text) {
-  if (key == "m2" || key == "m3" || key == "scale") {
+  if (key == "m2" || key == "m3" || key == "scale" || key == "em-wire-limit" ||
+      key == "em-tsv-limit" || key == "em-temp") {
     double value = 0.0;
     // Syntax check here; the numeric setter applies the range contract.
     const core::Status st =
@@ -185,6 +198,8 @@ core::Status DesignOptions::set_flag(std::string_view key) {
     dedicated_tsvs = true;
   } else if (key == "no-align" || key == "no_align") {
     no_align = true;
+  } else if (key == "em") {
+    em_enforce = true;
   } else {
     return core::Status::invalid_argument("unknown design flag '" + std::string(key) + "'");
   }
@@ -214,7 +229,7 @@ pdn::PdnConfig DesignOptions::apply(pdn::PdnConfig base) const {
 namespace {
 
 // Canonical keyspace order; also the field order of canonical_text().
-constexpr std::array<OptionSpec, 10> kDesignOptionSpecs{{
+constexpr std::array<OptionSpec, 14> kDesignOptionSpecs{{
     {"m2", OptionKind::kNumeric, "[0, 100] percent of die area"},
     {"m3", OptionKind::kNumeric, "[0, 100] percent of die area"},
     {"tc", OptionKind::kNumeric, "[1, 1000000] TSVs per interface"},
@@ -225,11 +240,19 @@ constexpr std::array<OptionSpec, 10> kDesignOptionSpecs{{
     {"wb", OptionKind::kFlag, "wire bonding"},
     {"dedicated", OptionKind::kFlag, "dedicated power TSVs"},
     {"no-align", OptionKind::kFlag, "do not align TSVs to C4 bumps"},
+    {"em-wire-limit", OptionKind::kNumeric, "(0, 10000] MA/cm^2 wire EM limit"},
+    {"em-tsv-limit", OptionKind::kNumeric, "(0, 10000] MA/cm^2 TSV EM limit"},
+    {"em-temp", OptionKind::kNumeric, "[-55, 300] junction temperature (C)"},
+    {"em", OptionKind::kFlag, "enforce EM limits (violations fail the request)"},
 }};
 
 const OptionSpec* find_spec(std::string_view key) {
-  // "no_align" is a historical protocol spelling of "no-align".
-  const std::string_view canonical = (key == "no_align") ? "no-align" : key;
+  // Underscores are the historical protocol spelling of dashed keys
+  // ("no_align", "em_wire_limit", ...).
+  std::string canonical(key);
+  for (char& c : canonical) {
+    if (c == '_') c = '-';
+  }
   for (const OptionSpec& spec : kDesignOptionSpecs) {
     if (spec.key == canonical) return &spec;
   }
@@ -342,6 +365,12 @@ std::string DesignOptions::canonical_text() const {
   field("wb", wire_bonding ? "1" : "0");
   field("dedicated", dedicated_tsvs ? "1" : "0");
   field("no-align", no_align ? "1" : "0");
+  // EM fields only when set: pre-EM requests must render exactly as they
+  // always did, or every pinned v1 fingerprint would shift.
+  if (em_wire_limit) field("em-wire-limit", canonical_double(*em_wire_limit));
+  if (em_tsv_limit) field("em-tsv-limit", canonical_double(*em_tsv_limit));
+  if (em_temp_c) field("em-temp", canonical_double(*em_temp_c));
+  if (em_enforce) field("em", "1");
   return out;
 }
 

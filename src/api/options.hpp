@@ -58,12 +58,29 @@ struct DesignOptions {
   bool no_align = false;
   std::optional<double> metal_usage_scale;  ///< (0, 100]
 
-  /// Set a numeric knob by key: "m2" | "m3" | "tc" | "scale". Range-checked.
+  // Electromigration knobs (the em-check operation; also the co-optimizer's
+  // hard constraint). All optional/default-off so that requests which leave
+  // them alone keep their historical pdn3d-req-v1 canonical text and golden
+  // fingerprints byte-for-byte (see EvaluateRequest::fingerprint()).
+  std::optional<double> em_wire_limit;  ///< (0, 10000] MA/cm^2, wire J limit
+  std::optional<double> em_tsv_limit;   ///< (0, 10000] MA/cm^2, TSV J limit
+  std::optional<double> em_temp_c;      ///< [-55, 300] junction temperature
+  bool em_enforce = false;              ///< "em": violations fail the request
+
+  /// Any EM field set (or enforcement on): the request's output depends on
+  /// the EM subsystem, which versions its fingerprint and opts it out of
+  /// batching/coalescing.
+  [[nodiscard]] bool em_enabled() const {
+    return em_enforce || em_wire_limit || em_tsv_limit || em_temp_c;
+  }
+
+  /// Set a numeric knob by key: "m2" | "m3" | "tc" | "scale" | "em-temp" |
+  /// "em-wire-limit" | "em-tsv-limit". Range-checked.
   [[nodiscard]] core::Status set(std::string_view key, double value);
   /// Set any knob by key from text: the numeric keys above plus
   /// "tl" | "bd" | "rdl". Numeric text goes through the strict parsers.
   [[nodiscard]] core::Status set(std::string_view key, std::string_view text);
-  /// Set a boolean knob: "wb" | "dedicated" | "no-align".
+  /// Set a boolean knob: "wb" | "dedicated" | "no-align" | "em".
   [[nodiscard]] core::Status set_flag(std::string_view key);
 
   /// Layer the set knobs onto @p base.
@@ -74,6 +91,8 @@ struct DesignOptions {
   /// same PdnConfig overlay render identically regardless of whether they
   /// were filled by set()/set_option() or by direct field assignment, which
   /// is what makes this text safe to hash into a RequestFingerprint.
+  /// EM fields append *only when set* (the v2 suffix), so every pre-EM
+  /// request renders -- and therefore hashes -- exactly as it always did.
   [[nodiscard]] std::string canonical_text() const;
 };
 

@@ -143,6 +143,22 @@ void Platform::prepare_sweep(const pdn::PdnConfig& representative,
   }
 }
 
+irdrop::EmReport Platform::em_check(const pdn::PdnConfig& config,
+                                    const power::MemoryState& state,
+                                    const irdrop::EmOptions& options) const {
+  const irdrop::IrAnalyzer& a = analyzer(config);
+  return irdrop::em_check(a.model(), bench_.stack.tech, a.node_voltages(state), options);
+}
+
+irdrop::EmReport Platform::measure_em(const pdn::PdnConfig& config,
+                                      const irdrop::EmOptions& options) const {
+  const auto built = pdn::build_stack(bench_.stack, config);
+  const irdrop::IrAnalyzer analyzer(built.model, bench_.stack.dram_fp, bench_.stack.logic_fp,
+                                    power_binding());
+  const auto state = parse_state(bench_.default_state, bench_.default_io_activity);
+  return irdrop::em_check(built.model, bench_.stack.tech, analyzer.node_voltages(state), options);
+}
+
 pdn::BuildInfo Platform::build_info(const pdn::PdnConfig& config) const {
   return design(config).built.info;
 }

@@ -14,6 +14,7 @@
 
 #include "core/benchmarks.hpp"
 #include "irdrop/analysis.hpp"
+#include "irdrop/em.hpp"
 #include "irdrop/lut.hpp"
 #include "memctrl/controller.hpp"
 #include "opt/cooptimizer.hpp"
@@ -76,6 +77,19 @@ class Platform {
   [[nodiscard]] const std::shared_ptr<irdrop::MacromodelContext>& macromodel_context() const {
     return macromodel_ctx_;
   }
+
+  /// Electromigration analysis of @p state on the design point @p config:
+  /// solves for node voltages on the cached analyzer, then runs the
+  /// irdrop::em_check post-solve pass against this benchmark's technology.
+  [[nodiscard]] irdrop::EmReport em_check(const pdn::PdnConfig& config,
+                                          const power::MemoryState& state,
+                                          const irdrop::EmOptions& options = {}) const;
+
+  /// One-shot EM check of the benchmark's default memory state -- the
+  /// co-optimizer's hard-constraint probe. Uncached like measure_ir_mv, so
+  /// design-space sweeps do not accumulate memory.
+  [[nodiscard]] irdrop::EmReport measure_em(const pdn::PdnConfig& config,
+                                            const irdrop::EmOptions& options = {}) const;
 
   /// Build info (TSV placement diagnostics) for a config.
   [[nodiscard]] pdn::BuildInfo build_info(const pdn::PdnConfig& config) const;

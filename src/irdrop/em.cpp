@@ -1,0 +1,180 @@
+#include "irdrop/em.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pdn3d::irdrop {
+
+namespace {
+
+/// Boltzmann constant in eV/K.
+constexpr double kBoltzmannEvPerK = 8.617333262e-5;
+
+/// 1 MA/cm^2 == 10 mA/um^2, so J[MA/cm^2] = 100 * I[A] / A[um^2].
+constexpr double kAmpsPerUm2ToMaCm2 = 100.0;
+
+/// Gauge values must survive a JSON round trip; enormous-but-finite stands in
+/// for "effectively unstressed".
+constexpr double kMttfCapHours = 1e30;
+
+const std::array<pdn::ElementKind, 6> kAllKinds = {
+    pdn::ElementKind::kMesh, pdn::ElementKind::kVia,    pdn::ElementKind::kTsv,
+    pdn::ElementKind::kF2fVia, pdn::ElementKind::kC4,   pdn::ElementKind::kRdlVia,
+};
+
+/// Grids are registered with contiguous, increasing node-id bases, so the
+/// owning grid of a node is found by binary search on `base`.
+const pdn::LayerGrid& owning_grid(const pdn::StackModel& model, std::size_t node) {
+  const auto& grids = model.grids();
+  auto it = std::upper_bound(grids.begin(), grids.end(), node,
+                             [](std::size_t n, const pdn::LayerGrid& g) { return n < g.base; });
+  if (it == grids.begin()) throw std::invalid_argument("em_check: node before first grid");
+  return *std::prev(it);
+}
+
+[[noreturn]] void fail_area(const std::string& what) {
+  throw std::invalid_argument("em_check: non-positive cross-section for " + what +
+                              " (zero-thickness/diameter tech entry?)");
+}
+
+/// Cross-section of one resistor element in um^2.
+double element_area_um2(const pdn::StackModel& model, const tech::EmTech& em,
+                        const pdn::Resistor& r) {
+  switch (r.kind) {
+    case pdn::ElementKind::kTsv: {
+      const double a = em.tsv_area_um2();
+      if (a <= 0.0) fail_area("tsv");
+      return a;
+    }
+    case pdn::ElementKind::kC4: {
+      const double a = em.c4_area_um2();
+      if (a <= 0.0) fail_area("c4");
+      return a;
+    }
+    case pdn::ElementKind::kVia:
+      if (em.via_area_um2 <= 0.0) fail_area("via");
+      return em.via_area_um2;
+    case pdn::ElementKind::kF2fVia:
+      if (em.f2f_via_area_um2 <= 0.0) fail_area("f2f-via");
+      return em.f2f_via_area_um2;
+    case pdn::ElementKind::kRdlVia:
+      if (em.rdl_via_area_um2 <= 0.0) fail_area("rdl-via");
+      return em.rdl_via_area_um2;
+    case pdn::ElementKind::kMesh: {
+      // In-plane stripe bundle: width = usage * perpendicular cell span. The
+      // builder stamps mesh resistors between adjacent nodes of one grid, so
+      // the node-id delta tells the direction (1 = along x, nx = along y).
+      const pdn::LayerGrid& g = owning_grid(model, std::min(r.a, r.b));
+      const std::size_t delta = std::max(r.a, r.b) - std::min(r.a, r.b);
+      const double span_mm = delta == 1 ? g.dy : g.dx;
+      const double area = g.vdd_usage * span_mm * 1000.0 * g.thickness_um;
+      if (area <= 0.0) fail_area("mesh segment on " + g.name);
+      return area;
+    }
+  }
+  throw std::invalid_argument("em_check: unknown element kind");
+}
+
+double resolve_limit(const tech::EmTech& em, const EmOptions& opts, pdn::ElementKind kind) {
+  switch (kind) {
+    case pdn::ElementKind::kMesh: return opts.wire_limit_ma_cm2.value_or(em.wire_limit_ma_cm2);
+    case pdn::ElementKind::kTsv: return opts.tsv_limit_ma_cm2.value_or(em.tsv_limit_ma_cm2);
+    default: return em.via_limit_ma_cm2;
+  }
+}
+
+}  // namespace
+
+const EmKindStats* EmReport::find(pdn::ElementKind k) const {
+  for (const auto& s : kinds) {
+    if (s.kind == k) return &s;
+  }
+  return nullptr;
+}
+
+double black_mttf_hours(const tech::EmTech& em, double j_ma_cm2, double temperature_c) {
+  if (j_ma_cm2 <= 0.0) return 0.0;
+  const double kelvin = temperature_c + 273.15;
+  if (kelvin <= 0.0) throw std::invalid_argument("black_mttf_hours: temperature below 0 K");
+  const double mttf =
+      em.black_a_hours * std::pow(j_ma_cm2, -em.black_n) *
+      std::exp(em.activation_energy_ev / (kBoltzmannEvPerK * kelvin));
+  return std::min(mttf, kMttfCapHours);
+}
+
+EmReport em_check(const pdn::StackModel& model, const tech::Technology& tech,
+                  std::span<const double> voltages, const EmOptions& options) {
+  if (voltages.size() != model.node_count()) {
+    throw std::invalid_argument("em_check: voltage vector size mismatch");
+  }
+  PDN3D_TRACE_SPAN("irdrop/em_check");
+  static auto& m_checks = obs::counter("solver.em.checks");
+  static auto& m_violations = obs::counter("solver.em.violations");
+  m_checks.add(1);
+
+  const tech::EmTech& em = tech.em;
+  EmReport report;
+  report.temperature_c = options.temperature_c.value_or(em.temperature_c);
+
+  // One pass over the resistors, accumulating per-kind extrema/sums.
+  struct Accum {
+    CrowdingStats current;
+    double max_j = 0.0;
+    double sum_j = 0.0;
+    std::size_t violations = 0;
+  };
+  std::array<Accum, kAllKinds.size()> acc;
+  std::array<double, kAllKinds.size()> limits{};
+  for (std::size_t k = 0; k < kAllKinds.size(); ++k) {
+    limits[k] = resolve_limit(em, options, kAllKinds[k]);
+  }
+
+  for (const auto& r : model.resistors()) {
+    const auto k = static_cast<std::size_t>(r.kind);
+    const double amps = std::abs(voltages[r.a] - voltages[r.b]) / r.ohms;
+    const double j = kAmpsPerUm2ToMaCm2 * amps / element_area_um2(model, em, r);
+    Accum& a = acc[k];
+    ++a.current.count;
+    a.current.total_amps += amps;
+    if (amps > a.current.max_amps) a.current.max_amps = amps;
+    a.sum_j += j;
+    if (j > a.max_j) a.max_j = j;
+    if (j > limits[k]) ++a.violations;
+  }
+
+  for (std::size_t k = 0; k < kAllKinds.size(); ++k) {
+    Accum& a = acc[k];
+    if (a.current.count == 0) continue;
+    const auto n = static_cast<double>(a.current.count);
+    a.current.avg_amps = a.current.total_amps / n;
+    EmKindStats stats;
+    stats.kind = kAllKinds[k];
+    stats.current = a.current;
+    stats.max_j_ma_cm2 = a.max_j;
+    stats.avg_j_ma_cm2 = a.sum_j / n;
+    stats.limit_ma_cm2 = limits[k];
+    stats.violations = a.violations;
+    stats.mttf_hours = black_mttf_hours(em, a.max_j, report.temperature_c);
+    report.kinds.push_back(stats);
+
+    report.total_violations += stats.violations;
+    report.worst_utilization = std::max(report.worst_utilization, stats.utilization());
+    if (stats.mttf_hours > 0.0 &&
+        (report.min_mttf_hours == 0.0 || stats.mttf_hours < report.min_mttf_hours)) {
+      report.min_mttf_hours = stats.mttf_hours;
+    }
+  }
+
+  m_violations.add(report.total_violations);
+  obs::gauge("solver.em.worst_utilization").set(report.worst_utilization);
+  obs::gauge("solver.em.min_mttf_hours").set(report.min_mttf_hours);
+  return report;
+}
+
+}  // namespace pdn3d::irdrop

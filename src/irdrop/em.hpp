@@ -1,0 +1,73 @@
+#pragma once
+
+/// @file em.hpp
+/// @brief Post-solve electromigration analysis: branch current densities,
+/// limit checks, and Black's-equation MTTF per element kind.
+///
+/// The solver produces node voltages only; this pass generalizes
+/// crowding.cpp's element-current extraction with per-layer/per-TSV
+/// cross-section geometry so every resistor's current becomes a current
+/// density (MA/cm^2). In-plane segments get their cross-section from the
+/// usage/thickness the stack builder recorded on each LayerGrid; vertical
+/// elements (TSVs, C4s, via arrays, F2F fields, RDL pads) get theirs from
+/// tech::EmTech. Densities are checked against configurable wire/TSV/via
+/// limits and summarized as per-kind MTTF via Black's equation.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "irdrop/crowding.hpp"
+#include "pdn/stack_model.hpp"
+#include "tech/technology.hpp"
+
+namespace pdn3d::irdrop {
+
+/// Request-level overrides for the tech-file EM model (the api `em-*`
+/// options). Unset fields fall back to tech::EmTech defaults.
+struct EmOptions {
+  std::optional<double> wire_limit_ma_cm2;
+  std::optional<double> tsv_limit_ma_cm2;
+  std::optional<double> temperature_c;
+};
+
+/// Current-density statistics for one ElementKind, with its limit check.
+struct EmKindStats {
+  pdn::ElementKind kind = pdn::ElementKind::kMesh;
+  CrowdingStats current;       ///< amps over elements of the kind
+  double max_j_ma_cm2 = 0.0;   ///< worst single element
+  double avg_j_ma_cm2 = 0.0;   ///< mean over elements of the kind
+  double limit_ma_cm2 = 0.0;   ///< the limit this kind was checked against
+  std::size_t violations = 0;  ///< elements with J > limit
+  double mttf_hours = 0.0;     ///< Black's MTTF at max J (0 when no current)
+
+  [[nodiscard]] double utilization() const {
+    return limit_ma_cm2 > 0.0 ? max_j_ma_cm2 / limit_ma_cm2 : 0.0;
+  }
+};
+
+/// Result of one EM pass over a solved stack.
+struct EmReport {
+  std::vector<EmKindStats> kinds;  ///< kinds present in the model, enum order
+  std::size_t total_violations = 0;
+  double worst_utilization = 0.0;  ///< max over kinds of max_j / limit
+  double min_mttf_hours = 0.0;     ///< min over kinds with current (0 = n/a)
+  double temperature_c = 0.0;      ///< temperature the MTTFs used
+
+  [[nodiscard]] bool clean() const { return total_violations == 0; }
+  [[nodiscard]] const EmKindStats* find(pdn::ElementKind k) const;
+};
+
+/// Black's equation MTTF = A * J^-n * exp(Ea / (kB * T)), in hours, with J in
+/// MA/cm^2 and T in Celsius. Returns 0 for J <= 0 ("no stress" sentinel).
+[[nodiscard]] double black_mttf_hours(const tech::EmTech& em, double j_ma_cm2,
+                                      double temperature_c);
+
+/// The EM pass. Throws std::invalid_argument when the voltage vector does not
+/// match the model or when any element's geometry resolves to a non-positive
+/// cross-section (e.g. a zero-thickness or zero-diameter tech entry) -- a
+/// typed error instead of silent NaN/Inf densities.
+[[nodiscard]] EmReport em_check(const pdn::StackModel& model, const tech::Technology& tech,
+                                std::span<const double> voltages, const EmOptions& options = {});
+
+}  // namespace pdn3d::irdrop

@@ -161,6 +161,15 @@ json::Value solver_block(const MetricsSnapshot& snap) {
   macromodel.set("woodbury_updates", counter_or_zero("solver.macromodel.woodbury_updates"));
   macromodel.set("fallbacks", counter_or_zero("solver.macromodel.fallbacks"));
   solver.set("macromodel", std::move(macromodel));
+
+  // Schema v8: electromigration pass statistics. Zeros when the run never
+  // executed an EM check.
+  json::Value em = json::Value::object();
+  em.set("checks", counter_or_zero("solver.em.checks"));
+  em.set("violations", counter_or_zero("solver.em.violations"));
+  em.set("worst_utilization", gauge_or_zero("solver.em.worst_utilization"));
+  em.set("min_mttf_hours", gauge_or_zero("solver.em.min_mttf_hours"));
+  solver.set("em", std::move(em));
   return solver;
 }
 

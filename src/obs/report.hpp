@@ -35,7 +35,10 @@ namespace pdn3d::obs {
 ///     session requests gained "fingerprint" and "cache" keys.
 /// v7: added the "macromodel" sub-object to the "solver" block (hierarchical
 ///     tier reuse statistics: builds, reuses, woodbury_updates, fallbacks).
-inline constexpr int kReportSchemaVersion = 7;
+/// v8: added the "em" sub-object to the "solver" block (electromigration
+///     pass statistics: checks, violations, worst_utilization,
+///     min_mttf_hours).
+inline constexpr int kReportSchemaVersion = 8;
 
 struct RunReportOptions {
   std::string command;            ///< CLI command ("analyze", "profile", ...)

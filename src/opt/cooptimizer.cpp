@@ -113,6 +113,19 @@ bool CoOptimizer::sample_point(const pdn::PdnConfig& config, double* ir_mv) {
   return false;
 }
 
+std::string CoOptimizer::check_constraint(const pdn::PdnConfig& config) {
+  if (!constraint_) return {};
+  PDN3D_TRACE_SPAN("cooptimize/check_constraint");
+  try {
+    return constraint_(config);
+  } catch (const core::NumericalError& e) {
+    if (e.status().code() == core::StatusCode::kCancelled) throw;
+    return e.status().to_string();
+  } catch (const core::ValidationError& e) {
+    return e.report().to_status().to_string();
+  }
+}
+
 const std::vector<FittedChoice>& CoOptimizer::fit_models() {
   if (fitted_) return fits_;
 
@@ -210,6 +223,7 @@ Optimum CoOptimizer::optimize(double alpha) {
 
   PDN3D_TRACE_SPAN("cooptimize/optimize");
   static auto& m_banned = obs::counter("cooptimizer.points_banned");
+  static auto& m_constrained = obs::counter("cooptimizer.points_constrained");
 
   // Winners whose R-Mesh re-measurement failed; excluded from later rounds so
   // the sweep returns the best point among the remaining candidates.
@@ -255,14 +269,21 @@ Optimum CoOptimizer::optimize(double alpha) {
       throw std::runtime_error("CoOptimizer: empty design space");
     }
     if (sample_point(best.config, &best.measured_ir_mv)) {
-      if (checkpoint_ != nullptr) checkpoint_->flush();
-      return best;
+      const std::string rejection = check_constraint(best.config);
+      if (rejection.empty()) {
+        if (checkpoint_ != nullptr) checkpoint_->flush();
+        return best;
+      }
+      skipped_.push_back({best.config, rejection, SkippedPoint::Kind::kConstraint});
+      m_constrained.add(1);
+      util::log_warn("co-optimizer: constraint rejects optimum ", best.config.summary(), " -- ",
+                     rejection);
     }
     banned.insert(best.config.summary());
     m_banned.add(1);
   }
   throw core::NumericalError(core::Status::numerical_failure(
-      "co-optimizer: every candidate optimum failed R-Mesh re-measurement"));
+      "co-optimizer: every candidate optimum failed R-Mesh re-measurement or a hard constraint"));
 }
 
 double CoOptimizer::worst_rmse() const {

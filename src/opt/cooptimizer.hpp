@@ -77,10 +77,15 @@ class FunctionEvaluator final : public Evaluator {
   std::function<double(const pdn::PdnConfig&)> fn_;
 };
 
-/// A design point the sweep could not evaluate, with its structured reason.
+/// A design point the sweep could not accept, with its structured reason.
 struct SkippedPoint {
+  /// Why the point was excluded: the R-Mesh could not solve it, or a hard
+  /// constraint (e.g. an EM current-density limit) rejected its measurement.
+  enum class Kind { kSolveFailure, kConstraint };
+
   pdn::PdnConfig config;
   std::string reason;
+  Kind kind = Kind::kSolveFailure;
 };
 
 struct FittedChoice {
@@ -127,6 +132,18 @@ class CoOptimizer {
   /// optimizes over the remaining candidates.
   [[nodiscard]] const std::vector<SkippedPoint>& skipped_points() const { return skipped_; }
 
+  /// A hard constraint on candidate optima: returns an empty string when
+  /// @p config is acceptable, a human-readable reason otherwise. Checked
+  /// after the winner's successful R-Mesh re-measurement; a rejected winner
+  /// is recorded as a SkippedPoint (Kind::kConstraint), banned, and the
+  /// search continues with the next-best candidate -- so optimize() never
+  /// returns a constraint-violating optimum. May throw core::NumericalError /
+  /// core::ValidationError, treated like a re-measurement failure.
+  using Constraint = std::function<std::string(const pdn::PdnConfig&)>;
+
+  /// Attach (or clear, with nullptr) the hard constraint above.
+  void set_constraint(Constraint constraint) { constraint_ = std::move(constraint); }
+
   /// Attach a crash-safe checkpoint (non-owning; must outlive the optimizer).
   /// Measurements are keyed by their global running index: the sweep order is
   /// deterministic, so a resumed fit/optimize replays recorded measurements
@@ -151,9 +168,14 @@ class CoOptimizer {
   /// on a structured solver failure.
   bool sample_point(const pdn::PdnConfig& config, double* ir_mv);
 
+  /// Run the attached constraint on a re-measured winner. Empty = accepted;
+  /// a thrown solver/validation error reads as a rejection reason.
+  std::string check_constraint(const pdn::PdnConfig& config);
+
   DesignSpace space_;
   std::unique_ptr<Evaluator> evaluate_;
   int threads_ = 0;
+  Constraint constraint_;
   util::SweepCheckpoint* checkpoint_ = nullptr;
   std::vector<FittedChoice> fits_;
   std::vector<SkippedPoint> skipped_;

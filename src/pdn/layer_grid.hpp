@@ -31,6 +31,14 @@ struct LayerGrid {
   double dy = 0.0;
   std::size_t base = 0;
 
+  /// EM cross-section geometry, recorded by the stack builder: the VDD metal
+  /// fraction its mesh was stamped with and the conductor thickness. A mesh
+  /// segment along x carries current through a bundle of total width
+  /// vdd_usage * dy (mm), so its cross-section is
+  /// vdd_usage * dy * 1000 * thickness_um um^2 (symmetrically along y).
+  double vdd_usage = 0.0;
+  double thickness_um = 0.0;
+
   [[nodiscard]] std::size_t size() const {
     return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny);
   }

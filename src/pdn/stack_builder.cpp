@@ -14,9 +14,11 @@ namespace {
 
 constexpr int kRdlLayer = 2;  ///< DRAM RDL layer index (0 = M2, 1 = M3)
 
-/// Grid dimensions for a die of w x h at the given pitch.
+/// Grid dimensions for a die of w x h at the given pitch. The trailing
+/// usage/thickness pair records the EM cross-section geometry the mesh will
+/// be stamped with (see LayerGrid::vdd_usage).
 LayerGrid make_grid(int die, int layer, std::string name, double w, double h, double pitch,
-                    double off_x, double off_y) {
+                    double off_x, double off_y, double usage, double thickness_um) {
   LayerGrid g;
   g.die = die;
   g.layer = layer;
@@ -27,6 +29,8 @@ LayerGrid make_grid(int die, int layer, std::string name, double w, double h, do
   g.dy = h / g.ny;
   g.x0 = off_x;
   g.y0 = off_y;
+  g.vdd_usage = usage;
+  g.thickness_um = thickness_um;
   return g;
 }
 
@@ -110,14 +114,16 @@ BuiltStack build_stack(const StackSpec& spec, const PdnConfig& config) {
   // ---- Phase 1: create every layer grid (node-id layout is fixed after this;
   // references into the model stay valid from here on). ----------------------
   const double pkg_pitch = spec.grid_pitch * 2.0;
-  model.add_grid(make_grid(kPackageDie, 0, "pkg/plane", pkg_w, pkg_h, pkg_pitch, 0.0, 0.0));
+  model.add_grid(make_grid(kPackageDie, 0, "pkg/plane", pkg_w, pkg_h, pkg_pitch, 0.0, 0.0, 1.0,
+                           tech.em.package_thickness_um));
 
   const int logic_layers = static_cast<int>(tech.logic.layer_count());
   if (on_chip) {
     for (int l = 0; l < logic_layers; ++l) {
       const auto& ml = tech.logic.layer(static_cast<std::size_t>(l));
       model.add_grid(make_grid(kLogicDie, l, "logic/" + ml.name, logic_w, logic_h,
-                               spec.grid_pitch, logic_frame.off_x, logic_frame.off_y));
+                               spec.grid_pitch, logic_frame.off_x, logic_frame.off_y,
+                               ml.default_vdd_usage, ml.thickness_um));
     }
   }
 
@@ -128,12 +134,15 @@ BuiltStack build_stack(const StackSpec& spec, const PdnConfig& config) {
     const auto& l2 = tech.dram.layer(0);
     const auto& l3 = tech.dram.layer(1);
     model.add_grid(make_grid(d, 0, "dram" + std::to_string(d + 1) + "/" + l2.name, dram_w, dram_h,
-                             spec.grid_pitch, dram_frame.off_x, dram_frame.off_y));
+                             spec.grid_pitch, dram_frame.off_x, dram_frame.off_y,
+                             config.effective_m2(), l2.thickness_um));
     model.add_grid(make_grid(d, 1, "dram" + std::to_string(d + 1) + "/" + l3.name, dram_w, dram_h,
-                             spec.grid_pitch, dram_frame.off_x, dram_frame.off_y));
+                             spec.grid_pitch, dram_frame.off_x, dram_frame.off_y,
+                             config.effective_m3(), l3.thickness_um));
     if (die_has_rdl(d)) {
       model.add_grid(make_grid(d, kRdlLayer, "dram" + std::to_string(d + 1) + "/RDL", dram_w,
-                               dram_h, spec.grid_pitch, dram_frame.off_x, dram_frame.off_y));
+                               dram_h, spec.grid_pitch, dram_frame.off_x, dram_frame.off_y,
+                               ic.rdl_vdd_usage, tech.em.rdl_thickness_um));
     }
   }
 
@@ -348,8 +357,10 @@ StackModel build_single_die(const StackSpec& spec, const PdnConfig& config, int 
 
   const auto& l2 = tech.dram.layer(0);
   const auto& l3 = tech.dram.layer(1);
-  model.add_grid(make_grid(0, 0, "die/" + l2.name, w, h, pitch, 0.0, 0.0));
-  model.add_grid(make_grid(0, 1, "die/" + l3.name, w, h, pitch, 0.0, 0.0));
+  model.add_grid(make_grid(0, 0, "die/" + l2.name, w, h, pitch, 0.0, 0.0,
+                           config.effective_m2(), l2.thickness_um));
+  model.add_grid(make_grid(0, 1, "die/" + l3.name, w, h, pitch, 0.0, 0.0,
+                           config.effective_m3(), l3.thickness_um));
   add_layer_mesh(model, model.grid(0, 0), l2.direction,
                  l2.segment_resistance(config.effective_m2()));
   add_layer_mesh(model, model.grid(0, 1), l3.direction,

@@ -2,6 +2,18 @@
 
 namespace pdn3d::pdn {
 
+std::string to_string(ElementKind k) {
+  switch (k) {
+    case ElementKind::kMesh: return "mesh";
+    case ElementKind::kVia: return "via";
+    case ElementKind::kTsv: return "tsv";
+    case ElementKind::kF2fVia: return "f2f-via";
+    case ElementKind::kC4: return "c4";
+    case ElementKind::kRdlVia: return "rdl-via";
+  }
+  return "?";
+}
+
 std::size_t StackModel::add_grid(LayerGrid grid) {
   grid.base = node_count_;
   node_count_ += grid.size();

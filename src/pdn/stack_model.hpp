@@ -27,6 +27,8 @@ enum class ElementKind {
   kRdlVia,   ///< RDL backside-pad via
 };
 
+[[nodiscard]] std::string to_string(ElementKind k);
+
 struct Resistor {
   std::size_t a = 0;
   std::size_t b = 0;

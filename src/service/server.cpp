@@ -54,7 +54,8 @@ constexpr std::size_t kMaxCoalesce = 16;
 /// those would change what the test holds busy).
 bool coalescible(const Request& req) {
   return req.kind == Request::Kind::kEvaluate && req.eval.op == api::Operation::kEvaluate &&
-         req.eval.checkpoint_path.empty() && req.test_sleep_ms <= 0.0;
+         !req.eval.design.em_enabled() && req.eval.checkpoint_path.empty() &&
+         req.test_sleep_ms <= 0.0;
 }
 
 /// Requests with equal keys share a factorization: same benchmark, same
@@ -96,6 +97,8 @@ std::uint64_t estimate_cost(const Request& req) {
     case api::Operation::kEvaluate:
     case api::Operation::kValidate:
       return 1;
+    case api::Operation::kEmCheck:
+      return 2;  // one solve + the branch-current recovery pass
     case api::Operation::kLut:
       return 16;
     case api::Operation::kMonteCarlo:

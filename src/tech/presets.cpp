@@ -8,8 +8,8 @@ DieTechnology dram_20nm(double vdd) {
   t.vdd = vdd;
   t.via_resistance = 0.05;
   t.pdn_layers = {
-      MetalLayer{"M2", 0.285, RouteDirection::kHorizontal, 0.10},
-      MetalLayer{"M3", 0.138, RouteDirection::kVertical, 0.20},
+      MetalLayer{"M2", 0.285, RouteDirection::kHorizontal, 0.10, 0.25},
+      MetalLayer{"M3", 0.138, RouteDirection::kVertical, 0.20, 0.45},
   };
   return t;
 }
@@ -20,8 +20,8 @@ DieTechnology logic_28nm(double vdd) {
   t.vdd = vdd;
   t.via_resistance = 0.02;
   t.pdn_layers = {
-      MetalLayer{"M5", 0.075, RouteDirection::kHorizontal, 0.30},
-      MetalLayer{"M6", 0.042, RouteDirection::kVertical, 0.40},
+      MetalLayer{"M5", 0.075, RouteDirection::kHorizontal, 0.30, 0.85},
+      MetalLayer{"M6", 0.042, RouteDirection::kVertical, 0.40, 1.20},
   };
   return t;
 }

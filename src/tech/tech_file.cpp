@@ -75,11 +75,29 @@ void apply_interconnect_key(int line, InterconnectTech& ic, const std::string& k
   else fail(line, "unknown interconnect key '" + key + "'");
 }
 
+void apply_em_key(int line, EmTech& em, const std::string& key, double value) {
+  if (key == "tsv_diameter_um") em.tsv_diameter_um = value;
+  else if (key == "c4_diameter_um") em.c4_diameter_um = value;
+  else if (key == "via_area_um2") em.via_area_um2 = value;
+  else if (key == "f2f_via_area_um2") em.f2f_via_area_um2 = value;
+  else if (key == "rdl_via_area_um2") em.rdl_via_area_um2 = value;
+  else if (key == "rdl_thickness_um") em.rdl_thickness_um = value;
+  else if (key == "package_thickness_um") em.package_thickness_um = value;
+  else if (key == "wire_limit_ma_cm2") em.wire_limit_ma_cm2 = value;
+  else if (key == "tsv_limit_ma_cm2") em.tsv_limit_ma_cm2 = value;
+  else if (key == "via_limit_ma_cm2") em.via_limit_ma_cm2 = value;
+  else if (key == "black_a_hours") em.black_a_hours = value;
+  else if (key == "black_n") em.black_n = value;
+  else if (key == "activation_energy_ev") em.activation_energy_ev = value;
+  else if (key == "temperature_c") em.temperature_c = value;
+  else fail(line, "unknown em key '" + key + "'");
+}
+
 }  // namespace
 
 Technology read_technology(std::istream& is) {
   Technology tech = ddr3_technology();  // library defaults
-  enum class Section { kNone, kDram, kLogic, kInterconnect };
+  enum class Section { kNone, kDram, kLogic, kInterconnect, kEm };
   Section section = Section::kNone;
   bool dram_layers_cleared = false;
   bool logic_layers_cleared = false;
@@ -97,6 +115,7 @@ Technology read_technology(std::istream& is) {
       if (name == "dram") section = Section::kDram;
       else if (name == "logic") section = Section::kLogic;
       else if (name == "interconnect") section = Section::kInterconnect;
+      else if (name == "em") section = Section::kEm;
       else fail(line, "unknown section '" + name + "'");
       continue;
     }
@@ -107,7 +126,9 @@ Technology read_technology(std::istream& is) {
     ss >> first;
 
     if (first == "layer") {
-      if (section == Section::kInterconnect) fail(line, "layers belong to a die section");
+      if (section != Section::kDram && section != Section::kLogic) {
+        fail(line, "layers belong to a die section");
+      }
       std::string lname;
       if (!(ss >> lname)) fail(line, "layer needs a name");
       const auto pairs = parse_pairs(line, ss);
@@ -122,6 +143,8 @@ Technology read_technology(std::istream& is) {
           layer.direction = parse_direction(line, v);
         } else if (k == "usage") {
           layer.default_vdd_usage = parse_double(line, v);
+        } else if (k == "thickness") {
+          layer.thickness_um = parse_double(line, v);
         } else {
           fail(line, "unknown layer attribute '" + k + "'");
         }
@@ -165,6 +188,7 @@ Technology read_technology(std::istream& is) {
       case Section::kDram: apply_die_key(line, tech.dram, key, v); break;
       case Section::kLogic: apply_die_key(line, tech.logic, key, v); break;
       case Section::kInterconnect: apply_interconnect_key(line, tech.interconnect, key, v); break;
+      case Section::kEm: apply_em_key(line, tech.em, key, v); break;
       case Section::kNone: fail(line, "unreachable");
     }
   }
@@ -193,7 +217,8 @@ void write_technology(std::ostream& os, const Technology& tech) {
     os << "via_resistance = " << die.via_resistance << "\n";
     for (const auto& l : die.pdn_layers) {
       os << "layer " << l.name << " sheet=" << l.sheet_resistance << " dir="
-         << to_string(l.direction) << " usage=" << l.default_vdd_usage << "\n";
+         << to_string(l.direction) << " usage=" << l.default_vdd_usage
+         << " thickness=" << l.thickness_um << "\n";
     }
     os << "\n";
   };
@@ -216,6 +241,23 @@ void write_technology(std::ostream& os, const Technology& tech) {
   os << "rdl_sheet_resistance = " << ic.rdl_sheet_resistance << "\n";
   os << "rdl_vdd_usage = " << ic.rdl_vdd_usage << "\n";
   os << "rdl_via_resistance = " << ic.rdl_via_resistance << "\n";
+
+  const auto& em = tech.em;
+  os << "\n[em]\n";
+  os << "tsv_diameter_um = " << em.tsv_diameter_um << "\n";
+  os << "c4_diameter_um = " << em.c4_diameter_um << "\n";
+  os << "via_area_um2 = " << em.via_area_um2 << "\n";
+  os << "f2f_via_area_um2 = " << em.f2f_via_area_um2 << "\n";
+  os << "rdl_via_area_um2 = " << em.rdl_via_area_um2 << "\n";
+  os << "rdl_thickness_um = " << em.rdl_thickness_um << "\n";
+  os << "package_thickness_um = " << em.package_thickness_um << "\n";
+  os << "wire_limit_ma_cm2 = " << em.wire_limit_ma_cm2 << "\n";
+  os << "tsv_limit_ma_cm2 = " << em.tsv_limit_ma_cm2 << "\n";
+  os << "via_limit_ma_cm2 = " << em.via_limit_ma_cm2 << "\n";
+  os << "black_a_hours = " << em.black_a_hours << "\n";
+  os << "black_n = " << em.black_n << "\n";
+  os << "activation_energy_ev = " << em.activation_energy_ev << "\n";
+  os << "temperature_c = " << em.temperature_c << "\n";
 }
 
 }  // namespace pdn3d::tech

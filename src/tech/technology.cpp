@@ -13,6 +13,14 @@ std::string to_string(RouteDirection d) {
   return "?";
 }
 
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+double EmTech::tsv_area_um2() const { return kPi * 0.25 * tsv_diameter_um * tsv_diameter_um; }
+
+double EmTech::c4_area_um2() const { return kPi * 0.25 * c4_diameter_um * c4_diameter_um; }
+
 double MetalLayer::segment_resistance(double usage) const {
   if (usage <= 0.0 || usage > 1.0) {
     throw std::invalid_argument("MetalLayer::segment_resistance: usage must be in (0, 1]");

@@ -29,6 +29,7 @@ struct MetalLayer {
   double sheet_resistance = 0.05;  ///< ohm/square
   RouteDirection direction = RouteDirection::kOmni;
   double default_vdd_usage = 0.2;  ///< fraction of layer area used by VDD
+  double thickness_um = 0.30;      ///< conductor thickness (EM cross-sections)
 
   /// Mesh segment resistance at @p usage (Rs / usage).
   [[nodiscard]] double segment_resistance(double usage) const;
@@ -67,11 +68,42 @@ struct InterconnectTech {
   double rdl_via_resistance = 0.050;       ///< ohm, backside pad connection per node
 };
 
+/// Electromigration model: cross-section geometry for every ElementKind the
+/// stack builder stamps, current-density limits, and Black's-equation
+/// parameters. Units: lengths in um, areas in um^2, current densities in
+/// MA/cm^2 (1 MA/cm^2 == 10 mA/um^2, so J[MA/cm^2] = 100 * I[A] / A[um^2]).
+struct EmTech {
+  // -- Cross-section geometry -------------------------------------------
+  double tsv_diameter_um = 5.0;        ///< PG TSV drill diameter
+  double c4_diameter_um = 90.0;        ///< C4 / BGA bump effective diameter
+  double via_area_um2 = 8.0;           ///< same-die inter-layer via array, per node
+  double f2f_via_area_um2 = 40.0;      ///< F2F via field, per node
+  double rdl_via_area_um2 = 50.0;      ///< RDL backside-pad connection, per node
+  double rdl_thickness_um = 3.0;       ///< redistribution-layer conductor
+  double package_thickness_um = 30.0;  ///< package power-plane conductor
+
+  // -- Current-density limits (MA/cm^2) ---------------------------------
+  double wire_limit_ma_cm2 = 2.0;  ///< in-plane segments (mesh, RDL, package)
+  double tsv_limit_ma_cm2 = 0.5;   ///< PG TSVs (crowding-sensitive, tighter)
+  double via_limit_ma_cm2 = 5.0;   ///< via arrays, F2F fields, C4s, RDL pads
+
+  // -- Black's equation: MTTF = A * J^-n * exp(Ea / (kB * T)) -----------
+  double black_a_hours = 1e-8;  ///< prefactor, hours * (MA/cm^2)^n
+  double black_n = 2.0;         ///< current-density exponent
+  double activation_energy_ev = 0.9;
+  double temperature_c = 85.0;  ///< default junction temperature
+
+  /// Circular cross-section of a drilled/plated connection.
+  [[nodiscard]] double tsv_area_um2() const;
+  [[nodiscard]] double c4_area_um2() const;
+};
+
 /// Everything the PDN builder needs in one bundle.
 struct Technology {
   DieTechnology dram;
   DieTechnology logic;
   InterconnectTech interconnect;
+  EmTech em;
 };
 
 }  // namespace pdn3d::tech

@@ -100,6 +100,62 @@ TEST(Fingerprint, OpIrrelevantParametersDoNotAffectIdentity) {
   EXPECT_NE(a.fingerprint(), b.fingerprint());
 }
 
+// The EM extension is versioned: any EM field set selects the v2 prefix, so
+// the entire pre-EM fingerprint universe (v1) is untouched by construction.
+TEST(Fingerprint, EmFieldsVersionTheFingerprint) {
+  EvaluateRequest plain = base_request();
+  EvaluateRequest em = base_request();
+  ASSERT_TRUE(set_option(&em.design, "em-wire-limit", 1.5).is_ok());
+  EXPECT_EQ(plain.fingerprint().canonical.rfind("pdn3d-req-v1|", 0), 0u);
+  EXPECT_EQ(em.fingerprint().canonical.rfind("pdn3d-req-v2|", 0), 0u);
+  EXPECT_NE(plain.fingerprint(), em.fingerprint());
+
+  // The enforcement flag alone is enough to change behavior, so it alone
+  // selects v2.
+  EvaluateRequest enforce = base_request();
+  ASSERT_TRUE(enforce.design.set_flag("em").is_ok());
+  EXPECT_EQ(enforce.fingerprint().canonical.rfind("pdn3d-req-v2|", 0), 0u);
+}
+
+// Operations that never run the EM pass reset the EM knobs during
+// canonicalization, exactly like state/samples/alpha for ops that ignore
+// them.
+TEST(Fingerprint, EmFieldsAreOpIrrelevantWhereEmNeverRuns) {
+  for (const Operation op : {Operation::kMonteCarlo, Operation::kLut, Operation::kValidate}) {
+    EvaluateRequest a = base_request();
+    a.op = op;
+    EvaluateRequest b = a;
+    ASSERT_TRUE(set_option(&b.design, "em-temp", 110.0).is_ok());
+    ASSERT_TRUE(b.design.set_flag("em").is_ok());
+    EXPECT_EQ(a.fingerprint(), b.fingerprint()) << to_string(op);
+  }
+}
+
+// cooptimize drops the design overlay -- except the EM fields, which
+// parameterize its hard constraint and therefore its output.
+TEST(Fingerprint, CooptimizeKeepsOnlyEmDesignFields) {
+  EvaluateRequest a = base_request();
+  a.op = Operation::kCoOptimize;
+  EvaluateRequest b = a;
+  ASSERT_TRUE(set_option(&b.design, "m2", 80.0).is_ok());  // ignored, as before
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  ASSERT_TRUE(set_option(&b.design, "em-tsv-limit", 0.2).is_ok());  // constraint knob
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(b.fingerprint().canonical.rfind("pdn3d-req-v2|", 0), 0u);
+}
+
+// em-check reads state/activity like evaluate does.
+TEST(Fingerprint, EmCheckKeepsStateAndActivity) {
+  EvaluateRequest a = base_request();
+  a.op = Operation::kEmCheck;
+  EvaluateRequest b = a;
+  b.state = "0-0-2b-0";
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b.state = a.state;
+  b.activity = 0.5;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
 TEST(Fingerprint, CheckpointPlumbingIsNotIdentity) {
   // Resume is bitwise identical to a fresh run, so checkpointing cannot be
   // part of identity -- this is also what lets the existing checkpoint files

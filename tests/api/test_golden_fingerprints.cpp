@@ -1,0 +1,77 @@
+// Golden-stability suite for request fingerprints. Every hash pinned here is
+// a persisted identity: result-cache keys, checkpoint keys, and report
+// fingerprints in the wild all assume these exact values. The EM extension
+// versioned the canonical text (pdn3d-req-v2) precisely so that none of these
+// v1 hashes move -- if one does, a fingerprint-affecting change leaked into
+// the pre-EM keyspace and must be reverted or explicitly re-versioned.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/api.hpp"
+#include "api/options.hpp"
+
+namespace pdn3d::api {
+namespace {
+
+EvaluateRequest make(core::BenchmarkKind bench, Operation op) {
+  EvaluateRequest req;
+  req.benchmark = bench;
+  req.op = op;
+  return req;
+}
+
+TEST(GoldenFingerprints, V1HashesAreFrozen) {
+  // `pdn3d analyze off-chip`, all defaults -- the original pinned golden.
+  EXPECT_EQ(make(core::BenchmarkKind::kStackedDdr3OffChip, Operation::kEvaluate)
+                .fingerprint()
+                .hex(),
+            "4425fa0e988fed16");
+
+  EvaluateRequest analyze = make(core::BenchmarkKind::kWideIo, Operation::kEvaluate);
+  analyze.state = "0-0-0-2";
+  EXPECT_EQ(analyze.fingerprint().hex(), "8432285474d41d83");
+
+  EXPECT_EQ(make(core::BenchmarkKind::kWideIo, Operation::kValidate).fingerprint().hex(),
+            "74b914fd2ae3cb09");
+
+  EXPECT_EQ(make(core::BenchmarkKind::kWideIo, Operation::kLut).fingerprint().hex(),
+            "dbc2c00bb02e7be4");
+
+  EvaluateRequest mc = make(core::BenchmarkKind::kWideIo, Operation::kMonteCarlo);
+  mc.samples = 50;
+  EXPECT_EQ(mc.fingerprint().hex(), "fdf3c57f07cd3fd0");
+
+  EvaluateRequest coopt = make(core::BenchmarkKind::kWideIo, Operation::kCoOptimize);
+  coopt.alpha = 0.3;
+  EXPECT_EQ(coopt.fingerprint().hex(), "c8111981d9ad0b3c");
+}
+
+TEST(GoldenFingerprints, DefaultEmCheckStaysV1) {
+  // em-check with no EM fields set uses tech defaults only: a v1 identity
+  // (new op token, but no v2 suffix to carry).
+  const EvaluateRequest req = make(core::BenchmarkKind::kWideIo, Operation::kEmCheck);
+  const RequestFingerprint fp = req.fingerprint();
+  EXPECT_EQ(fp.canonical.rfind("pdn3d-req-v1|", 0), 0u) << fp.canonical;
+  EXPECT_EQ(fp.hex(), "3589cfafa0b677ae");
+}
+
+TEST(GoldenFingerprints, EmFieldsSelectV2) {
+  EvaluateRequest req = make(core::BenchmarkKind::kWideIo, Operation::kEmCheck);
+  ASSERT_TRUE(set_option(&req.design, "em-temp", 100.0).is_ok());
+  const RequestFingerprint fp = req.fingerprint();
+  EXPECT_EQ(fp.canonical.rfind("pdn3d-req-v2|", 0), 0u) << fp.canonical;
+  EXPECT_EQ(fp.hex(), "733db2f6dd1caf4f");
+}
+
+// Canonical texts (not just hashes) of the pre-EM requests must render
+// without any EM field: the v1 text is frozen character-for-character.
+TEST(GoldenFingerprints, V1CanonicalTextCarriesNoEmFields) {
+  const RequestFingerprint fp =
+      make(core::BenchmarkKind::kStackedDdr3OffChip, Operation::kEvaluate).fingerprint();
+  EXPECT_EQ(fp.canonical.find("em"), std::string::npos) << fp.canonical;
+}
+
+}  // namespace
+}  // namespace pdn3d::api

@@ -114,6 +114,74 @@ TEST(DesignOptions, ApplyLeavesUnsetKnobsAlone) {
   EXPECT_EQ(cfg.tsv_count, 33);
 }
 
+TEST(DesignOptions, EmKnobsAreRangeCheckedOnEverySurface) {
+  DesignOptions d;
+  // Numeric surface (JSON numbers).
+  EXPECT_TRUE(d.set("em-wire-limit", 2.5).is_ok());
+  EXPECT_TRUE(d.set("em-tsv-limit", 0.5).is_ok());
+  EXPECT_TRUE(d.set("em-temp", 100.0).is_ok());
+  EXPECT_FALSE(d.set("em-wire-limit", 0.0).is_ok());      // (0, 10000]
+  EXPECT_FALSE(d.set("em-wire-limit", 20000.0).is_ok());
+  EXPECT_FALSE(d.set("em-tsv-limit", -1.0).is_ok());
+  EXPECT_FALSE(d.set("em-temp", -100.0).is_ok());         // [-55, 300]
+  EXPECT_FALSE(d.set("em-temp", 400.0).is_ok());
+  // Text surface (CLI flag values) shares the same parser and ranges.
+  DesignOptions t;
+  EXPECT_TRUE(t.set("em-wire-limit", "2.5").is_ok());
+  EXPECT_TRUE(t.set("em-temp", "100").is_ok());
+  EXPECT_FALSE(t.set("em-temp", "abc").is_ok());
+  EXPECT_FALSE(t.set("em-tsv-limit", "1e9").is_ok());
+  // The enforcement flag.
+  EXPECT_FALSE(t.em_enforce);
+  EXPECT_TRUE(t.set_flag("em").is_ok());
+  EXPECT_TRUE(t.em_enforce);
+  // Underscore aliases canonicalize like every other key.
+  DesignOptions u;
+  EXPECT_TRUE(set_option(&u, "em_wire_limit", 2.5).is_ok());
+  EXPECT_TRUE(set_option(&u, "em_temp", 100.0).is_ok());
+  EXPECT_EQ(u.em_wire_limit, d.em_wire_limit);
+  EXPECT_EQ(u.em_temp_c, d.em_temp_c);
+}
+
+TEST(DesignOptions, EmEnabledTracksAnyEmField) {
+  EXPECT_FALSE(DesignOptions{}.em_enabled());
+  DesignOptions a;
+  ASSERT_TRUE(a.set("em-temp", 90.0).is_ok());
+  EXPECT_TRUE(a.em_enabled());
+  DesignOptions b;
+  ASSERT_TRUE(b.set_flag("em").is_ok());
+  EXPECT_TRUE(b.em_enabled());
+  // Non-EM knobs do not flip it.
+  DesignOptions c;
+  ASSERT_TRUE(c.set("m2", 15.0).is_ok());
+  EXPECT_FALSE(c.em_enabled());
+}
+
+TEST(DesignOptions, SpecTableCarriesTheEmKeyspace) {
+  // The one shared keyspace: CLI flags, NDJSON fields, and direct set() all
+  // iterate design_option_specs(), so the EM keys must be rows there.
+  bool saw_wire = false, saw_tsv = false, saw_temp = false, saw_em = false;
+  for (const OptionSpec& spec : design_option_specs()) {
+    if (spec.key == "em-wire-limit") saw_wire = spec.kind == OptionKind::kNumeric;
+    if (spec.key == "em-tsv-limit") saw_tsv = spec.kind == OptionKind::kNumeric;
+    if (spec.key == "em-temp") saw_temp = spec.kind == OptionKind::kNumeric;
+    if (spec.key == "em") saw_em = spec.kind == OptionKind::kFlag;
+  }
+  EXPECT_TRUE(saw_wire);
+  EXPECT_TRUE(saw_tsv);
+  EXPECT_TRUE(saw_temp);
+  EXPECT_TRUE(saw_em);
+
+  // The canonical unknown-key error enumerates the keyspace, EM keys
+  // included, on every surface.
+  DesignOptions d;
+  const core::Status st = set_option(&d, "frob", 1.0);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find("em-wire-limit"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("em-tsv-limit"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("em-temp"), std::string::npos) << st.message();
+}
+
 TEST(ParameterChecks, ActivitySamplesAlpha) {
   EXPECT_TRUE(check_activity(-1.0).is_ok());  // auto
   EXPECT_TRUE(check_activity(0.0).is_ok());

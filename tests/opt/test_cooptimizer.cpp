@@ -163,6 +163,54 @@ TEST(CoOptimizer, BannedWinnerTriggersRetry) {
   EXPECT_TRUE(recorded);
 }
 
+TEST(CoOptimizer, HardConstraintExcludesViolatingOptimum) {
+  // Plant an EM-style hard constraint that rejects exactly the cost optimum
+  // (the alpha=0 cheapest corner, see AlphaZeroPicksCheapestDesign). The
+  // optimizer must never report that point as the winner: it is recorded as
+  // a typed constraint exclusion and the search continues.
+  const auto is_cheapest_corner = [](const pdn::PdnConfig& cfg) {
+    return cfg.tsv_count == 15 && cfg.m2_usage < 0.105 && cfg.m3_usage < 0.105 &&
+           cfg.tsv_location == pdn::TsvLocation::kCenter &&
+           cfg.bonding == pdn::BondingStyle::kF2B && !cfg.wire_bonding &&
+           cfg.rdl == pdn::RdlMode::kNone;
+  };
+  CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(fake_ir));
+  opt.set_constraint([&](const pdn::PdnConfig& cfg) -> std::string {
+    if (is_cheapest_corner(cfg)) return "em-limit: tsv J over limit (planted)";
+    return {};
+  });
+  const auto best = opt.optimize(0.0);
+  EXPECT_FALSE(is_cheapest_corner(best.config));
+  EXPECT_GT(best.measured_ir_mv, 0.0);
+
+  // The exclusion is on record with its typed kind and reason.
+  bool recorded = false;
+  for (const auto& skip : opt.skipped_points()) {
+    if (!is_cheapest_corner(skip.config)) continue;
+    recorded = true;
+    EXPECT_EQ(skip.kind, SkippedPoint::Kind::kConstraint);
+    EXPECT_NE(skip.reason.find("em-limit"), std::string::npos) << skip.reason;
+  }
+  EXPECT_TRUE(recorded);
+}
+
+TEST(CoOptimizer, ConstraintRejectingEverythingIsStructuredFailure) {
+  CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(fake_ir));
+  opt.set_constraint([](const pdn::PdnConfig&) -> std::string { return "always violated"; });
+  EXPECT_THROW(opt.optimize(0.3), core::NumericalError);
+  EXPECT_FALSE(opt.skipped_points().empty());
+  for (const auto& skip : opt.skipped_points()) {
+    EXPECT_EQ(skip.kind, SkippedPoint::Kind::kConstraint);
+  }
+}
+
+TEST(CoOptimizer, UnconstrainedRunRecordsNoConstraintSkips) {
+  CoOptimizer opt(small_space(), std::make_unique<FunctionEvaluator>(fake_ir));
+  const auto best = opt.optimize(0.3);
+  EXPECT_GT(best.measured_ir_mv, 0.0);
+  EXPECT_TRUE(opt.skipped_points().empty());
+}
+
 /// Evaluator that tracks how many siblings were forked and how many
 /// measurements ran, shared across forks via atomics.
 class CountingEvaluator final : public Evaluator {

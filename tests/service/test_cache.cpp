@@ -328,6 +328,110 @@ TEST(ServiceCache, CoalescedBatchMatchesStandaloneByteForByte) {
   }
 }
 
+// em-check responses: the cached hit and the bypassed fresh solve must be
+// byte-identical to a direct facade evaluation of the same request.
+TEST(ServiceCache, EmCheckCachedAndFreshResponsesAreByteIdentical) {
+  api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  BatchService service(session, cfg);
+  service.start();
+
+  const auto em_line = [](int id, const std::string& extra = "") {
+    return "{\"id\":" + std::to_string(id) +
+           ",\"op\":\"em-check\",\"benchmark\":\"wide-io\",\"state\":\"0-0-0-2\"," +
+           "\"design\":{\"em-temp\":100}" + (extra.empty() ? "" : "," + extra) + "}";
+  };
+
+  Collector c;
+  service.submit_line(em_line(1), c.sink());
+  auto lines = c.wait_for(1);  // serialize so the second submit hits
+  service.submit_line(em_line(2), c.sink());
+  service.submit_line(em_line(3, "\"cache\":\"bypass\""), c.sink());
+  lines = c.wait_for(3);
+  service.drain();
+  ASSERT_EQ(lines.size(), 3u);
+
+  const std::string miss = line_with_id(lines, 1);
+  const std::string hit = line_with_id(lines, 2);
+  const std::string bypass = line_with_id(lines, 3);
+  EXPECT_TRUE(contains(miss, "\"cache\":\"miss\"")) << miss;
+  EXPECT_TRUE(contains(hit, "\"cache\":\"hit\"")) << hit;
+  EXPECT_TRUE(contains(bypass, "\"cache\":\"bypass\"")) << bypass;
+
+  // Byte parity with the facade (the CLI prints exactly result.output).
+  api::EvaluateRequest req;
+  req.benchmark = core::BenchmarkKind::kWideIo;
+  req.op = api::Operation::kEmCheck;
+  req.state = "0-0-0-2";
+  ASSERT_TRUE(api::set_option(&req.design, "em-temp", 100.0).is_ok());
+  const api::EvaluateResult fresh = session.evaluate(req);
+  ASSERT_TRUE(fresh.ok()) << fresh.status.to_string();
+  Request wire;
+  wire.id = 1;
+  wire.eval = req;
+  wire.request_id = "x";
+  const std::string rendered = ok_response(wire, fresh, 0.0, 0.0, "miss");
+  const std::string fresh_output = output_field(rendered);
+  ASSERT_FALSE(fresh_output.empty());
+  EXPECT_EQ(output_field(miss), fresh_output);
+  EXPECT_EQ(output_field(hit), fresh_output);
+  EXPECT_EQ(output_field(bypass), fresh_output);
+}
+
+// EM-enabled evaluates are excluded from the coalescing planner (the EM pass
+// is per-request work the multi-RHS batch path cannot share), but their
+// responses still match standalone evaluation byte for byte.
+TEST(ServiceCache, EmEnabledEvaluatesDoNotCoalesce) {
+  api::Session session;
+  ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.enable_test_ops = true;
+  BatchService service(session, cfg);
+  service.start();
+
+  const std::uint64_t groups_before = obs::counter("service.coalesce.groups").value();
+
+  Collector c;
+  service.submit_line(
+      "{\"id\":1,\"op\":\"validate\",\"benchmark\":\"off-chip\",\"test_sleep_ms\":400}",
+      c.sink());
+  for (int i = 0; i < 2000 && service.queued() > 0; ++i) std::this_thread::sleep_for(1ms);
+  ASSERT_EQ(service.queued(), 0u);
+
+  const std::vector<std::string> states = {"0-0-0-2", "0-0-2b-0", "0-0-0-1"};
+  for (int i = 0; i < 3; ++i) {
+    service.submit_line("{\"id\":" + std::to_string(30 + i) +
+                            ",\"op\":\"evaluate\",\"benchmark\":\"wide-io\",\"state\":\"" +
+                            states[static_cast<std::size_t>(i)] +
+                            "\",\"design\":{\"em-temp\":100},\"cache\":\"bypass\"}",
+                        c.sink());
+  }
+  const auto lines = c.wait_for(4);
+  service.drain();
+  ASSERT_EQ(lines.size(), 4u);
+  // Same factor key, same op, queued together -- yet no coalesce group fired.
+  EXPECT_EQ(obs::counter("service.coalesce.groups").value(), groups_before);
+
+  for (int i = 0; i < 3; ++i) {
+    api::EvaluateRequest req;
+    req.benchmark = core::BenchmarkKind::kWideIo;
+    req.op = api::Operation::kEvaluate;
+    req.state = states[static_cast<std::size_t>(i)];
+    ASSERT_TRUE(api::set_option(&req.design, "em-temp", 100.0).is_ok());
+    const api::EvaluateResult fresh = session.evaluate(req);
+    ASSERT_TRUE(fresh.ok());
+    Request wire;
+    wire.id = 30 + i;
+    wire.eval = req;
+    wire.request_id = "x";
+    const std::string rendered = ok_response(wire, fresh, 0.0, 0.0, "bypass");
+    const std::string line = line_with_id(lines, 30 + i);
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(output_field(line), output_field(rendered)) << "member " << i;
+  }
+}
+
 // Duplicate requests inside one coalesced group evaluate once and the twin
 // reports a cache hit with identical bytes.
 TEST(ServiceCache, DuplicateGroupMembersDedupeAsHits) {

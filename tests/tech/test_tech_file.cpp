@@ -90,6 +90,62 @@ TEST(TechFile, RejectsMalformedInput) {
                std::runtime_error);
 }
 
+TEST(TechFile, ParsesEmSectionAndLayerThickness) {
+  const std::string text = R"(
+[dram]
+vdd = 1.2
+layer MA sheet=0.5 dir=horizontal usage=0.15 thickness=0.35
+layer MB sheet=0.2 dir=vertical usage=0.25 thickness=0.8
+
+[em]
+tsv_diameter_um = 6.5
+wire_limit_ma_cm2 = 1.5
+tsv_limit_ma_cm2 = 0.4
+black_n = 1.8
+temperature_c = 95
+)";
+  const Technology t = read_technology_string(text);
+  EXPECT_DOUBLE_EQ(t.dram.layer(0).thickness_um, 0.35);
+  EXPECT_DOUBLE_EQ(t.dram.layer(1).thickness_um, 0.8);
+  EXPECT_DOUBLE_EQ(t.em.tsv_diameter_um, 6.5);
+  EXPECT_DOUBLE_EQ(t.em.wire_limit_ma_cm2, 1.5);
+  EXPECT_DOUBLE_EQ(t.em.tsv_limit_ma_cm2, 0.4);
+  EXPECT_DOUBLE_EQ(t.em.black_n, 1.8);
+  EXPECT_DOUBLE_EQ(t.em.temperature_c, 95.0);
+  // Untouched EM keys keep the library defaults.
+  EXPECT_DOUBLE_EQ(t.em.c4_diameter_um, EmTech{}.c4_diameter_um);
+  EXPECT_DOUBLE_EQ(t.em.activation_energy_ev, EmTech{}.activation_energy_ev);
+}
+
+TEST(TechFile, EmRoundTripsThroughWriter) {
+  Technology original = ddr3_technology();
+  original.em.tsv_diameter_um = 7.25;
+  original.em.via_area_um2 = 12.5;
+  original.em.black_a_hours = 2.5e-8;
+  original.em.temperature_c = 110.0;
+  original.dram.pdn_layers[0].thickness_um = 0.41;
+
+  std::ostringstream os;
+  write_technology(os, original);
+  const Technology back = read_technology_string(os.str());
+
+  EXPECT_DOUBLE_EQ(back.em.tsv_diameter_um, 7.25);
+  EXPECT_DOUBLE_EQ(back.em.via_area_um2, 12.5);
+  EXPECT_DOUBLE_EQ(back.em.black_a_hours, 2.5e-8);
+  EXPECT_DOUBLE_EQ(back.em.temperature_c, 110.0);
+  EXPECT_DOUBLE_EQ(back.em.wire_limit_ma_cm2, original.em.wire_limit_ma_cm2);
+  EXPECT_DOUBLE_EQ(back.dram.layer(0).thickness_um, 0.41);
+}
+
+TEST(TechFile, EmSectionRejectsUnknownKeysAndLayers) {
+  EXPECT_THROW(read_technology_string("[em]\nnot_a_key = 1\n"), std::runtime_error);
+  // Layer lines belong to die sections only -- same contract as
+  // [interconnect].
+  EXPECT_THROW(read_technology_string("[em]\nlayer M sheet=0.1 dir=h usage=0.1\n"),
+               std::runtime_error);
+  EXPECT_THROW(read_technology_string("[em]\ntsv_diameter_um = abc\n"), std::runtime_error);
+}
+
 /// Parse @p text, expect a throw, and return the message for inspection.
 std::string parse_error(const std::string& text) {
   try {

@@ -6,15 +6,17 @@
 //   pdn3d simulate  <benchmark> [--policy standard|fcfs|distr] [--limit mV] [design flags]
 //   pdn3d cooptimize <benchmark> [--alpha A]
 //   pdn3d validate  <benchmark> [design flags]
+//   pdn3d em-check  <benchmark> [--state S] [--activity A] [design flags]
 //   pdn3d export    <benchmark> --out DIR [--state S] [design flags]
 //   pdn3d serve     [--socket PATH] [--queue N] [--deadline MS] [--threads N]
 //
 // Benchmarks: off-chip | on-chip | wide-io | hmc
 // Design flags: --m2 PCT --m3 PCT --tc N --tl C|E|D --bd f2b|f2f
 //               --rdl none|bottom|all --wb --dedicated --no-align --scale X
+//               --em --em-wire-limit J --em-tsv-limit J --em-temp C
 //
 // The pure-evaluation commands (analyze, lut, montecarlo, cooptimize,
-// validate) are thin shells over the pdn3d::api facade: they build an
+// validate, em-check) are thin shells over the pdn3d::api facade: they build an
 // EvaluateRequest and print EvaluateResult::output verbatim, so their output
 // is byte-identical to the same request served by `pdn3d serve`
 // (docs/API.md). The streaming/simulation commands keep their own CLI paths.
@@ -90,6 +92,7 @@ constexpr int kExitInfeasible = 4;
       "  simulate    run the memory-controller simulation\n"
       "  cooptimize  co-optimize design+packaging at an alpha\n"
       "  validate    numerical-health check of the R-Mesh (exit 0 = healthy)\n"
+      "  em-check    branch currents, EM current-density limits, Black MTTF\n"
       "  profile     run analyze/lut/simulate/cooptimize and print hot spans\n"
       "  report      per-block hotspot report for one die\n"
       "  montecarlo  IR-drop distribution over random memory states\n"
@@ -147,7 +150,11 @@ constexpr int kExitInfeasible = 4;
       "  --log-format F   stderr log format: text | json (NDJSON events; also\n"
       "                   the PDN3D_LOG_FORMAT env var; default text)\n"
       "  --m2 PCT --m3 PCT --tc N --tl C|E|D --bd f2b|f2f\n"
-      "  --rdl none|bottom|all --wb --dedicated --no-align --scale X\n";
+      "  --rdl none|bottom|all --wb --dedicated --no-align --scale X\n"
+      "  --em             enforce EM limits (violations -> exit 3; any command\n"
+      "                   through the facade, also the cooptimize constraint)\n"
+      "  --em-wire-limit J --em-tsv-limit J  EM current-density limits (MA/cm^2)\n"
+      "  --em-temp C      junction temperature for Black's MTTF (default 85)\n";
   std::exit(kExitUsage);
 }
 
@@ -189,10 +196,10 @@ Args parse_args(int argc, char** argv) {
       "--scale", "--tech",     "--trace",  "--samples", "--decap",  "--die",
       "--report", "--top",     "--threads", "--socket", "--queue",  "--deadline",
       "--bench", "--checkpoint", "--max-cost", "--watchdog", "--slow-ms", "--log-format",
-      "--cache-entries"};
+      "--cache-entries", "--em-wire-limit", "--em-tsv-limit", "--em-temp"};
   const std::vector<std::string> known_flags = {"--wb",      "--dedicated", "--no-align",
                                                "--verbose", "--quiet",     "--test-ops",
-                                               "--resume",  "--cache-bypass"};
+                                               "--resume",  "--cache-bypass", "--em"};
   for (int i = first_opt; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool takes_value =
@@ -473,6 +480,7 @@ bool facade_operation(const std::string& command, api::Operation* out) {
   else if (command == "montecarlo") *out = api::Operation::kMonteCarlo;
   else if (command == "cooptimize") *out = api::Operation::kCoOptimize;
   else if (command == "validate") *out = api::Operation::kValidate;
+  else if (command == "em-check") *out = api::Operation::kEmCheck;
   else return false;
   return true;
 }
